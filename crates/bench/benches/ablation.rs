@@ -1,0 +1,261 @@
+//! Ablation studies over the design choices DESIGN.md calls out.
+//!
+//! These print comparison tables (the interesting output) and attach a
+//! small criterion measurement to each variant so `cargo bench` tracks
+//! regressions. Dimensions:
+//!
+//! 1. **Remote-vs-local cost ratio** — the paper's premise that remote
+//!    tuples cost more; sweeping it shows when naive partitioning stops
+//!    "scaling" at all.
+//! 2. **Partitions per host** (1/2/4) — the paper uses 2 per host "to
+//!    make better use of multiple processing cores".
+//! 3. **Partial aggregation scope** — per-partition (Naive) vs per-host
+//!    (Optimized), isolating Section 6.1's 20–22% reduction.
+//! 4. **Strict vs permissive join compatibility** — the Section 6.2
+//!    semantics question: exact-expression matching (Gigascope) vs
+//!    coarsening (semantically sound).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qap::partition::AnalysisOptions;
+use qap::optimizer::{plan_partitioning, PlacementStrategy};
+use qap::prelude::*;
+use qap_bench::small_trace;
+
+fn ablation_remote_cost(c: &mut Criterion) {
+    let trace = small_trace();
+    let scenario = Scenario::SimpleAgg;
+    println!("\n=== Ablation: remote_rx / op cost ratio (Naive, aggregator work at 1 vs 4 hosts) ===");
+    println!("{:<10} {:>14} {:>14} {:>9}", "ratio", "work@1", "work@4", "growth");
+    for ratio in [0.5, 2.0, 7.5, 20.0] {
+        let costs = CostConstants {
+            remote_rx: 0.4 * ratio,
+            ..CostConstants::default()
+        };
+        let sim = SimConfig {
+            costs,
+            ..SimConfig::default()
+        };
+        let w1 = run_point(scenario, "Naive", 1, &trace, &sim)
+            .expect("runs")
+            .metrics
+            .work[0];
+        let w4 = run_point(scenario, "Naive", 4, &trace, &sim)
+            .expect("runs")
+            .metrics
+            .work[0];
+        println!("{ratio:<10} {w1:>14.0} {w4:>14.0} {:>8.2}x", w4 / w1);
+    }
+    let sim = SimConfig::default();
+    c.bench_function("ablation/remote_cost_naive_4hosts", |b| {
+        let plan = scenario.plan("Naive", 4);
+        b.iter(|| run_distributed(&plan, &trace, &sim).expect("runs"))
+    });
+}
+
+fn ablation_partitions_per_host(c: &mut Criterion) {
+    let trace = small_trace();
+    let dag = Scenario::SimpleAgg.dag();
+    let sim = SimConfig::default();
+    println!("\n=== Ablation: partitions per host (Naive, 4 hosts) ===");
+    println!("{:<18} {:>12} {:>14}", "parts/host", "agg rx", "agg work");
+    for ppn in [1usize, 2, 4] {
+        let mut part = Partitioning::round_robin(4);
+        part.partitions = 4 * ppn;
+        let plan = optimize(&dag, &part, &OptimizerConfig::naive()).expect("lowers");
+        let r = run_distributed(&plan, &trace, &sim).expect("runs");
+        println!(
+            "{ppn:<18} {:>12} {:>14.0}",
+            r.metrics.aggregator_rx_tuples, r.metrics.work[0]
+        );
+    }
+    c.bench_function("ablation/partitions_per_host_4", |b| {
+        let mut part = Partitioning::round_robin(4);
+        part.partitions = 16;
+        let plan = optimize(&dag, &part, &OptimizerConfig::naive()).expect("lowers");
+        b.iter(|| run_distributed(&plan, &trace, &sim).expect("runs"))
+    });
+}
+
+fn ablation_partial_agg_scope(c: &mut Criterion) {
+    let trace = small_trace();
+    let dag = Scenario::SimpleAgg.dag();
+    let sim = SimConfig::default();
+    println!("\n=== Ablation: partial aggregation scope (round-robin, 4 hosts) ===");
+    println!("{:<18} {:>12} {:>14}", "scope", "agg rx", "agg work");
+    for (name, cfg) in [
+        ("none (agnostic)", OptimizerConfig {
+            agnostic: true,
+            ..OptimizerConfig::default()
+        }),
+        ("per-partition", OptimizerConfig::naive()),
+        ("per-host", OptimizerConfig::full()),
+    ] {
+        let plan = optimize(&dag, &Partitioning::round_robin(4), &cfg).expect("lowers");
+        let r = run_distributed(&plan, &trace, &sim).expect("runs");
+        println!(
+            "{name:<18} {:>12} {:>14.0}",
+            r.metrics.aggregator_rx_tuples, r.metrics.work[0]
+        );
+    }
+    c.bench_function("ablation/per_host_partial_agg", |b| {
+        let plan = optimize(
+            &dag,
+            &Partitioning::round_robin(4),
+            &OptimizerConfig::full(),
+        )
+        .expect("lowers");
+        b.iter(|| run_distributed(&plan, &trace, &sim).expect("runs"))
+    });
+}
+
+fn ablation_join_compatibility(c: &mut Criterion) {
+    let trace = small_trace();
+    let dag = Scenario::QuerySet.dag();
+    let sim = SimConfig::default();
+    let masked = PartitionSet::from_exprs([
+        &ScalarExpr::col("srcIP").mask(0xFFF0),
+        &ScalarExpr::col("destIP"),
+    ]);
+    println!("\n=== Ablation: join compatibility semantics under (srcIP & 0xFFF0, destIP) ===");
+    println!("{:<14} {:>12} {:>14}", "join rule", "agg rx", "agg work");
+    for (name, strict) in [("permissive", false), ("strict", true)] {
+        let cfg = OptimizerConfig {
+            analysis: AnalysisOptions {
+                strict_join_compatibility: strict,
+            },
+            ..OptimizerConfig::full()
+        };
+        let plan = optimize(&dag, &Partitioning::hash(masked.clone(), 4), &cfg).expect("lowers");
+        let r = run_distributed(&plan, &trace, &sim).expect("runs");
+        println!(
+            "{name:<14} {:>12} {:>14.0}",
+            r.metrics.aggregator_rx_tuples, r.metrics.work[0]
+        );
+    }
+    c.bench_function("ablation/strict_join_compat", |b| {
+        let cfg = OptimizerConfig {
+            analysis: AnalysisOptions {
+                strict_join_compatibility: true,
+            },
+            ..OptimizerConfig::full()
+        };
+        let plan = optimize(&dag, &Partitioning::hash(masked.clone(), 4), &cfg).expect("lowers");
+        b.iter(|| run_distributed(&plan, &trace, &sim).expect("runs"))
+    });
+}
+
+fn ablation_skew_sensitivity(c: &mut Criterion) {
+    // The FLUX contrast (related work [20]): hash partitioning on a
+    // skewed key concentrates load, while round-robin balances
+    // perfectly — the price of query-aware partitioning, and the
+    // imbalance adaptive operators repair at the cost of
+    // query-independence.
+    let dag = Scenario::SimpleAgg.dag();
+    let sim = SimConfig::default();
+    println!("\n=== Ablation: leaf-load imbalance vs key skew (4 hosts) ===");
+    println!(
+        "{:<8} {:>16} {:>16} {:>14}",
+        "zipf", "hash imbalance", "rr imbalance", "hash agg rx"
+    );
+    for zipf in [0.0, 0.8, 1.1, 1.6] {
+        let trace = generate(&TraceConfig {
+            zipf_exponent: zipf,
+            epochs: 3,
+            flows_per_epoch: 800,
+            hosts: 500,
+            max_flow_packets: 32,
+            spread_ips: true,
+            ..TraceConfig::default()
+        });
+        // Partitioning on the low-cardinality skewed key alone: the
+        // popular sources pile onto single partitions.
+        let hash_plan = optimize(
+            &dag,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 4),
+            &OptimizerConfig::full(),
+        )
+        .expect("lowers");
+        let rr_plan = optimize(
+            &dag,
+            &Partitioning::round_robin(4),
+            &OptimizerConfig::naive(),
+        )
+        .expect("lowers");
+        let h = run_distributed(&hash_plan, &trace, &sim).expect("runs");
+        let r = run_distributed(&rr_plan, &trace, &sim).expect("runs");
+        println!(
+            "{zipf:<8} {:>16.3} {:>16.3} {:>14}",
+            h.metrics.leaf_imbalance, r.metrics.leaf_imbalance, h.metrics.aggregator_rx_tuples
+        );
+    }
+    c.bench_function("ablation/skewed_hash_partitioning", |b| {
+        let trace = generate(&TraceConfig {
+            zipf_exponent: 1.4,
+            epochs: 2,
+            flows_per_epoch: 500,
+            hosts: 300,
+            ..TraceConfig::default()
+        });
+        let plan = Scenario::SimpleAgg.plan("Partitioned", 4);
+        b.iter(|| run_distributed(&plan, &trace, &sim).expect("runs"))
+    });
+}
+
+fn ablation_plan_vs_data_partitioning(c: &mut Criterion) {
+    // The introduction's other baseline: operator placement (Borealis-
+    // style query plan partitioning) cannot shed the heavy low-level
+    // aggregation; query-aware data partitioning can.
+    let trace = small_trace();
+    let dag = Scenario::Complex.dag();
+    let sim = SimConfig::default();
+    let max_load = |plan: &qap::optimizer::DistributedPlan| {
+        run_distributed(plan, &trace, &sim)
+            .expect("runs")
+            .metrics
+            .work
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b))
+    };
+    println!("\n=== Ablation: query-plan vs data partitioning (max per-host work) ===");
+    println!(
+        "{:<34} {:>14}",
+        "strategy", "max host work"
+    );
+    let central = plan_partitioning(&dag, 1, PlacementStrategy::RoundRobin).expect("lowers");
+    println!("{:<34} {:>14.0}", "centralized (1 host)", max_load(&central));
+    for hosts in [2usize, 4] {
+        let pp = plan_partitioning(&dag, hosts, PlacementStrategy::RoundRobin).expect("lowers");
+        println!(
+            "{:<34} {:>14.0}",
+            format!("plan partitioning ({hosts} hosts)"),
+            max_load(&pp)
+        );
+        let dp = optimize(
+            &dag,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), hosts),
+            &OptimizerConfig::full(),
+        )
+        .expect("lowers");
+        println!(
+            "{:<34} {:>14.0}",
+            format!("query-aware data part. ({hosts} hosts)"),
+            max_load(&dp)
+        );
+    }
+    c.bench_function("ablation/plan_partitioning_4hosts", |b| {
+        let plan = plan_partitioning(&dag, 4, PlacementStrategy::RoundRobin).expect("lowers");
+        b.iter(|| run_distributed(&plan, &trace, &sim).expect("runs"))
+    });
+}
+
+criterion_group!(
+    benches,
+    ablation_remote_cost,
+    ablation_partitions_per_host,
+    ablation_partial_agg_scope,
+    ablation_join_compatibility,
+    ablation_skew_sensitivity,
+    ablation_plan_vs_data_partitioning
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figures 8 and 9 (Section 6.1): the suspicious-flows aggregation
+//! query under Naive / Optimized / Partitioned configurations.
+//!
+//! Criterion measures the wall-clock of each full cluster run; the
+//! figure series themselves are printed once at startup (also available
+//! via `cargo run -p qap-bench --bin figures`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qap::prelude::*;
+use qap_bench::{figure_series, render_figure, standard_trace};
+
+fn bench(c: &mut Criterion) {
+    let trace = standard_trace();
+
+    // Regenerate and print the figure data once.
+    let (cpu, net) = figure_series(Scenario::SimpleAgg, &trace, 4);
+    println!(
+        "{}",
+        render_figure("Figure 8: CPU load on aggregator node (%)", "%", &cpu)
+    );
+    println!(
+        "{}",
+        render_figure(
+            "Figure 9: Network load on aggregator node (tuples/sec)",
+            " ",
+            &net
+        )
+    );
+
+    let sim = SimConfig::default();
+    let mut group = c.benchmark_group("fig08_09_simple_agg");
+    group.sample_size(10);
+    for &config in Scenario::SimpleAgg.configs() {
+        for hosts in [1usize, 4] {
+            let plan = Scenario::SimpleAgg.plan(config, hosts);
+            group.bench_with_input(
+                BenchmarkId::new(config, hosts),
+                &plan,
+                |b, plan| {
+                    b.iter(|| {
+                        run_distributed(plan, &trace, &sim).expect("runs")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figures 10 and 11 (Section 6.2): the conflicting query set — subnet
+//! aggregation + flow-jitter self-join — under Naive / suboptimal /
+//! optimal partitioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qap::prelude::*;
+use qap_bench::{figure_series, render_figure, standard_trace};
+
+fn bench(c: &mut Criterion) {
+    let trace = standard_trace();
+
+    let (cpu, net) = figure_series(Scenario::QuerySet, &trace, 4);
+    println!(
+        "{}",
+        render_figure("Figure 10: CPU load on aggregator node (%)", "%", &cpu)
+    );
+    println!(
+        "{}",
+        render_figure(
+            "Figure 11: Network load on aggregator node (tuples/sec)",
+            " ",
+            &net
+        )
+    );
+
+    let sim = SimConfig::default();
+    let mut group = c.benchmark_group("fig10_11_query_set");
+    group.sample_size(10);
+    for &config in Scenario::QuerySet.configs() {
+        for hosts in [1usize, 4] {
+            let plan = Scenario::QuerySet.plan(config, hosts);
+            group.bench_with_input(BenchmarkId::new(config, hosts), &plan, |b, plan| {
+                b.iter(|| run_distributed(plan, &trace, &sim).expect("runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

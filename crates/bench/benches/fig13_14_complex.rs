@@ -1,0 +1,41 @@
+//! Figures 13 and 14 (Section 6.3): the complex related query set
+//! (flows → heavy_flows → flow_pairs) under all four configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qap::prelude::*;
+use qap_bench::{figure_series, render_figure, standard_trace};
+
+fn bench(c: &mut Criterion) {
+    let trace = standard_trace();
+
+    let (cpu, net) = figure_series(Scenario::Complex, &trace, 4);
+    println!(
+        "{}",
+        render_figure("Figure 13: CPU load on aggregator node (%)", "%", &cpu)
+    );
+    println!(
+        "{}",
+        render_figure(
+            "Figure 14: Network load on aggregator node (tuples/sec)",
+            " ",
+            &net
+        )
+    );
+
+    let sim = SimConfig::default();
+    let mut group = c.benchmark_group("fig13_14_complex");
+    group.sample_size(10);
+    for &config in Scenario::Complex.configs() {
+        for hosts in [1usize, 4] {
+            let plan = Scenario::Complex.plan(config, hosts);
+            group.bench_with_input(BenchmarkId::new(config, hosts), &plan, |b, plan| {
+                b.iter(|| run_distributed(plan, &trace, &sim).expect("runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Micro-benchmarks of the analysis layer: parsing, compatibility
+//! inference, reconciliation, the optimal-set search, and distributed
+//! lowering — the components that run at query-deployment time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qap::prelude::*;
+
+fn complex_sql() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        ),
+        (
+            "heavy_flows",
+            "SELECT tb, srcIP, MAX(cnt) as max_cnt FROM flows GROUP BY tb, srcIP",
+        ),
+        (
+            "flow_pairs",
+            "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt \
+             FROM heavy_flows S1, heavy_flows S2 \
+             WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1",
+        ),
+    ]
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let queries = complex_sql();
+    c.bench_function("parse_and_analyze_query_set", |b| {
+        b.iter(|| {
+            let mut builder = QuerySetBuilder::new(Catalog::with_network_schemas());
+            for (name, sql) in &queries {
+                builder.add_query(name, sql).expect("parses");
+            }
+            builder.build()
+        })
+    });
+}
+
+fn bench_compatibility(c: &mut Criterion) {
+    let dag = Scenario::Complex.dag();
+    c.bench_function("node_compatibilities", |b| {
+        b.iter(|| node_compatibilities(&dag))
+    });
+}
+
+fn bench_reconcile(c: &mut Criterion) {
+    let a = PartitionSet::from_exprs([
+        &ScalarExpr::col("time").div(60),
+        &ScalarExpr::col("srcIP"),
+        &ScalarExpr::col("destIP"),
+        &ScalarExpr::col("srcPort"),
+    ]);
+    let b_set = PartitionSet::from_exprs([
+        &ScalarExpr::col("time").div(90),
+        &ScalarExpr::col("srcIP").mask(0xFFF0),
+        &ScalarExpr::col("destIP").mask(0xFF00),
+    ]);
+    c.bench_function("reconcile_partition_sets", |b| {
+        b.iter(|| reconcile_partition_sets(&a, &b_set))
+    });
+}
+
+fn bench_choose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("choose_partitioning");
+    for scenario in [Scenario::SimpleAgg, Scenario::QuerySet, Scenario::Complex] {
+        let dag = scenario.dag();
+        group.bench_function(scenario.name(), |b| {
+            b.iter(|| {
+                choose_partitioning(&dag, &UniformStats::default(), &CostModel::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_choose_wide(c: &mut Criterion) {
+    // A wide query set (many independent aggregations) stresses the
+    // candidate enumeration: 8 leaf queries with overlapping keys.
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    let keys = [
+        "srcIP, destIP, srcPort, destPort",
+        "srcIP, destIP, srcPort",
+        "srcIP, destIP",
+        "srcIP",
+        "destIP, destPort",
+        "destIP",
+        "srcIP, srcPort",
+        "srcPort, destPort",
+    ];
+    for (i, k) in keys.iter().enumerate() {
+        b.add_query(
+            &format!("q{i}"),
+            &format!("SELECT tb, {k}, COUNT(*) as c FROM TCP GROUP BY time/60 as tb, {k}"),
+        )
+        .expect("parses");
+    }
+    let dag = b.build();
+    c.bench_function("choose_partitioning/wide_8_queries", |bch| {
+        bch.iter(|| choose_partitioning(&dag, &UniformStats::default(), &CostModel::default()))
+    });
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let dag = Scenario::Complex.dag();
+    let mut group = c.benchmark_group("distributed_lowering");
+    for (name, part, cfg) in [
+        (
+            "full_compatible",
+            Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 4),
+            OptimizerConfig::full(),
+        ),
+        (
+            "partial_compatible",
+            Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), 4),
+            OptimizerConfig::full(),
+        ),
+        ("round_robin", Partitioning::round_robin(4), OptimizerConfig::naive()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| optimize(&dag, &part, &cfg).expect("lowers"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_compatibility,
+    bench_reconcile,
+    bench_choose,
+    bench_choose_wide,
+    bench_optimize
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the execution substrate: splitter throughput,
+//! aggregation, join, and end-to-end engine tuple rates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use qap::prelude::*;
+use qap::types::tcp_schema;
+use qap_bench::small_trace;
+
+fn bench_partitioner(c: &mut Criterion) {
+    let trace = small_trace();
+    let schema = tcp_schema();
+    let mut group = c.benchmark_group("hash_partitioner");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, set) in [
+        ("five_tuple", PartitionSet::from_columns(["srcIP", "destIP", "srcPort", "destPort"])),
+        ("src_only", PartitionSet::from_columns(["srcIP"])),
+        (
+            "masked",
+            PartitionSet::from_exprs([&ScalarExpr::col("srcIP").mask(0xFFF0)]),
+        ),
+    ] {
+        let p = HashPartitioner::new(&set, &schema, 8).expect("compiles");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for t in &trace {
+                    acc += p.partition(t);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let trace = small_trace();
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.add_query(
+        "flows",
+        "SELECT tb, srcIP, destIP, COUNT(*) as cnt, SUM(len) as bytes FROM TCP \
+         GROUP BY time/60 as tb, srcIP, destIP",
+    )
+    .expect("parses");
+    let dag = b.build();
+    let mut group = c.benchmark_group("aggregation");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("flows_5col", |b| {
+        b.iter(|| run_logical(&dag, trace.iter().cloned()).expect("runs"))
+    });
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let trace = small_trace();
+    let dag = Scenario::Complex.dag();
+    let mut group = c.benchmark_group("join_pipeline");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("flows_heavy_pairs", |b| {
+        b.iter(|| run_logical(&dag, trace.iter().cloned()).expect("runs"))
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let trace = small_trace();
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.add_query("web", "SELECT time, srcIP, len FROM TCP WHERE destPort = 80")
+        .expect("parses");
+    let dag = b.build();
+    let mut group = c.benchmark_group("selection");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("port_filter", |b| {
+        b.iter(|| run_logical(&dag, trace.iter().cloned()).expect("runs"))
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let cfg = TraceConfig {
+        epochs: 2,
+        flows_per_epoch: 1000,
+        ..TraceConfig::default()
+    };
+    c.bench_function("trace_generation", |b| b.iter(|| generate(&cfg)));
+}
+
+criterion_group!(
+    benches,
+    bench_partitioner,
+    bench_aggregation,
+    bench_join,
+    bench_selection,
+    bench_trace_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Regenerates every figure of the paper's evaluation section as text
+//! tables, plus the plan-diagram figures (1–7, 12) as rendered plans.
+//!
+//! ```sh
+//! cargo run --release -p qap-bench --bin figures            # all figures
+//! cargo run --release -p qap-bench --bin figures -- --plans # plan figures only
+//! ```
+
+use qap::prelude::*;
+use qap_bench::{figure_series, render_figure, standard_trace};
+
+fn main() {
+    let plans_only = std::env::args().any(|a| a == "--plans");
+    print_plan_figures();
+    if plans_only {
+        return;
+    }
+
+    let trace = standard_trace();
+    let tstats = stats(&trace);
+    println!(
+        "\nTrace: {} packets, {} flows ({} suspicious, {:.1}%), {} sources, {}s\n",
+        tstats.packets,
+        tstats.flows,
+        tstats.suspicious_flows,
+        100.0 * tstats.suspicious_flows as f64 / tstats.flows as f64,
+        tstats.sources,
+        tstats.duration_secs
+    );
+
+    let specs = [
+        (Scenario::SimpleAgg, "Figure 8", "Figure 9"),
+        (Scenario::QuerySet, "Figure 10", "Figure 11"),
+        (Scenario::Complex, "Figure 13", "Figure 14"),
+    ];
+    for (scenario, cpu_fig, net_fig) in specs {
+        println!("========== {} ==========", scenario.name());
+        let (cpu, net) = figure_series(scenario, &trace, 4);
+        println!(
+            "{}",
+            render_figure(
+                &format!("{cpu_fig}: CPU load on aggregator node (%)"),
+                "%",
+                &cpu
+            )
+        );
+        println!(
+            "{}",
+            render_figure(
+                &format!("{net_fig}: Network load on aggregator node (tuples/sec)"),
+                " ",
+                &net
+            )
+        );
+    }
+
+    // The Section 6.1 text claim: leaf load drops 80.4% → 23.9%.
+    let budget = calibrate_budget(Scenario::SimpleAgg, &trace).expect("calibration");
+    let sim = SimConfig {
+        host_budget: budget,
+        ..SimConfig::default()
+    };
+    println!("Section 6.1 leaf-node CPU load (per leaf host, Naive config):");
+    for hosts in 1..=4 {
+        let r = run_point(Scenario::SimpleAgg, "Naive", hosts, &trace, &sim).expect("runs");
+        println!("  {hosts} hosts: {:.1}%", r.metrics.leaf_host_cpu_pct);
+    }
+}
+
+fn print_plan_figures() {
+    let complex = Scenario::Complex.dag();
+
+    println!("=== Figure 1: sample query execution plan ===");
+    println!("{}", render_dag(&complex));
+
+    let fig = |title: &str, plan: &DistributedPlan| {
+        println!("=== {title} ===");
+        println!("{}", plan.render_by_host());
+    };
+
+    let rr = Partitioning::round_robin(3);
+    fig(
+        "Figure 3: partition-agnostic query execution plan",
+        &agnostic_plan(&complex, &rr).expect("plan lowers"),
+    );
+
+    let flows_only = Scenario::SimpleAgg.dag();
+    fig(
+        "Figure 4: aggregation transformation for compatible nodes",
+        &optimize(
+            &flows_only,
+            &Partitioning::hash(
+                PartitionSet::from_columns(["srcIP", "destIP", "srcPort", "destPort"]),
+                3,
+            ),
+            &OptimizerConfig::full(),
+        )
+        .expect("plan lowers"),
+    );
+    fig(
+        "Figure 5: aggregation transformation for incompatible nodes (sub/super)",
+        &optimize(&flows_only, &rr, &OptimizerConfig::full()).expect("plan lowers"),
+    );
+    fig(
+        "Figures 6/7: join transformation for compatible nodes (pairwise)",
+        &optimize(
+            &complex,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 3),
+            &OptimizerConfig::full(),
+        )
+        .expect("plan lowers"),
+    );
+    fig(
+        "Figure 2/12: plan for partially compatible partitioning (srcIP, destIP)",
+        &optimize(
+            &complex,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), 4),
+            &OptimizerConfig::full(),
+        )
+        .expect("plan lowers"),
+    );
+}

@@ -1,0 +1,374 @@
+//! The paper's three evaluation scenarios (Section 6), packaged as
+//! runnable experiments.
+//!
+//! Each scenario defines a query set and the system configurations the
+//! paper compares; `run_series` sweeps the cluster size 1→N exactly as
+//! Figures 8–11 and 13–14 do, with the host CPU budget calibrated so
+//! the single-host Naive run lands at the paper's 80.4% anchor point
+//! (Section 6.1: "The load on each host drops from 80.4% to 23.9%").
+//!
+//! One deliberate query adjustment: the Section 6.1 listing groups by
+//! raw `time` (1-second windows), which fragments synthetic flows
+//! across windows; we group by `time/60` so a flow's packets share a
+//! window, matching the experiment's *intent* (whole-flow OR_AGGR
+//! detection) on our generator's 60-second flow structure.
+
+use qap_exec::ExecResult;
+use qap_optimizer::{optimize, DistributedPlan, OptimizerConfig, PartialAggScope, Partitioning};
+use qap_partition::PartitionSet;
+use qap_plan::QueryDag;
+use qap_sql::QuerySetBuilder;
+use qap_types::{Catalog, Tuple};
+
+use crate::{run_distributed, ClusterMetrics, SimConfig, SimResult};
+
+/// The three evaluation scenarios of Section 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// 6.1: one aggregation query detecting suspicious flows
+    /// (`HAVING OR_AGGR(flags) = pattern`). Figures 8 and 9.
+    SimpleAgg,
+    /// 6.2: independent subnet aggregation + flow-jitter self-join with
+    /// conflicting partitioning requirements. Figures 10 and 11.
+    QuerySet,
+    /// 6.3: the related flows → heavy_flows → flow_pairs DAG of
+    /// Section 3.2. Figures 13 and 14.
+    Complex,
+}
+
+impl Scenario {
+    /// The paper's name for the scenario.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::SimpleAgg => "simple aggregation (6.1)",
+            Scenario::QuerySet => "query set (6.2)",
+            Scenario::Complex => "complex queries (6.3)",
+        }
+    }
+
+    /// Builds the scenario's logical query DAG.
+    pub fn dag(self) -> QueryDag {
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        match self {
+            Scenario::SimpleAgg => {
+                b.add_query(
+                    "suspicious_flows",
+                    "SELECT tb, srcIP, destIP, srcPort, destPort, \
+                     OR_AGGR(flags) as orflag, COUNT(*) as cnt, SUM(len) as bytes \
+                     FROM TCP \
+                     GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort \
+                     HAVING OR_AGGR(flags) = 0x29",
+                )
+                .expect("static query parses");
+            }
+            Scenario::QuerySet => {
+                b.add_query(
+                    "subnet_stats",
+                    "SELECT tb, subnet, destIP, COUNT(*) as cnt, SUM(len) as bytes \
+                     FROM TCP \
+                     GROUP BY time/60 as tb, srcIP & 0xFFF0 as subnet, destIP",
+                )
+                .expect("static query parses");
+                b.add_query(
+                    "tcp_flows",
+                    "SELECT tb, srcIP, destIP, srcPort, destPort, \
+                     COUNT(*) as cnt, MIN(timestamp) as first_ts \
+                     FROM TCP \
+                     GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort",
+                )
+                .expect("static query parses");
+                b.add_query(
+                    "jitter",
+                    "SELECT S1.tb, S1.srcIP, S1.destIP, S1.srcPort, S1.destPort, \
+                     S2.first_ts - S1.first_ts as delay \
+                     FROM tcp_flows S1, tcp_flows S2 \
+                     WHERE S1.srcIP = S2.srcIP and S1.destIP = S2.destIP \
+                     and S1.srcPort = S2.srcPort and S1.destPort = S2.destPort \
+                     and S2.tb = S1.tb + 1",
+                )
+                .expect("static query parses");
+            }
+            Scenario::Complex => {
+                b.add_query(
+                    "flows",
+                    "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+                     GROUP BY time/60 as tb, srcIP, destIP",
+                )
+                .expect("static query parses");
+                b.add_query(
+                    "heavy_flows",
+                    "SELECT tb, srcIP, MAX(cnt) as max_cnt FROM flows GROUP BY tb, srcIP",
+                )
+                .expect("static query parses");
+                b.add_query(
+                    "flow_pairs",
+                    "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt \
+                     FROM heavy_flows S1, heavy_flows S2 \
+                     WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1",
+                )
+                .expect("static query parses");
+            }
+        }
+        b.build()
+    }
+
+    /// The system configurations the paper compares, in plot order.
+    pub fn configs(self) -> &'static [&'static str] {
+        match self {
+            Scenario::SimpleAgg => &["Naive", "Optimized", "Partitioned"],
+            Scenario::QuerySet => &["Naive", "Partitioned (suboptimal)", "Partitioned (optimal)"],
+            Scenario::Complex => &[
+                "Naive",
+                "Optimized",
+                "Partitioned (partial)",
+                "Partitioned (full)",
+            ],
+        }
+    }
+
+    /// Builds the physical plan of one configuration at a cluster size.
+    pub fn plan(self, config: &str, hosts: usize) -> DistributedPlan {
+        let dag = self.dag();
+        let (partitioning, opt) = self.deployment(config, hosts);
+        optimize(&dag, &partitioning, &opt).expect("scenario plans lower cleanly")
+    }
+
+    /// The deployed partitioning + optimizer configuration of one named
+    /// system configuration.
+    pub fn deployment(self, config: &str, hosts: usize) -> (Partitioning, OptimizerConfig) {
+        let naive = OptimizerConfig::naive();
+        let full = OptimizerConfig::full();
+        match (self, config) {
+            (_, "Naive") => (Partitioning::round_robin(hosts), naive),
+            (_, "Optimized") => (
+                Partitioning::round_robin(hosts),
+                OptimizerConfig {
+                    partial_aggregation: true,
+                    partial_agg_scope: PartialAggScope::PerHost,
+                    ..OptimizerConfig::default()
+                },
+            ),
+            (Scenario::SimpleAgg, "Partitioned") => (
+                Partitioning::hash(
+                    PartitionSet::from_columns(["srcIP", "destIP", "srcPort", "destPort"]),
+                    hosts,
+                ),
+                full,
+            ),
+            (Scenario::QuerySet, "Partitioned (suboptimal)") => (
+                Partitioning::hash(
+                    PartitionSet::from_columns(["srcIP", "destIP", "srcPort", "destPort"]),
+                    hosts,
+                ),
+                full,
+            ),
+            (Scenario::QuerySet, "Partitioned (optimal)") => (
+                Partitioning::hash(
+                    PartitionSet::from_exprs([
+                        &qap_expr::ScalarExpr::col("srcIP").mask(0xFFF0),
+                        &qap_expr::ScalarExpr::col("destIP"),
+                    ]),
+                    hosts,
+                ),
+                // Section 6.2 prose calls this set "compatible only with
+                // the aggregation query", but by the paper's own
+                // Section 3.5.3 rule the join's compatible family is
+                // {se(srcIP), se(destIP), ...} — which *contains* this
+                // set — and only a pushed join is consistent with the
+                // flat measured curve. We therefore use the default
+                // (coarsening) analysis here; the strict-join variant is
+                // kept as an ablation (see the bench crate).
+                full,
+            ),
+            (Scenario::Complex, "Partitioned (partial)") => (
+                Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), hosts),
+                full,
+            ),
+            (Scenario::Complex, "Partitioned (full)") => (
+                Partitioning::hash(PartitionSet::from_columns(["srcIP"]), hosts),
+                full,
+            ),
+            (s, c) => panic!("scenario {s:?} has no configuration named '{c}'"),
+        }
+    }
+}
+
+/// One measured point of a figure: a configuration at a cluster size.
+#[derive(Debug, Clone)]
+pub struct ExperimentPoint {
+    /// Configuration name (figure series).
+    pub config: String,
+    /// Cluster size (figure x-axis).
+    pub hosts: usize,
+    /// Measured loads.
+    pub metrics: ClusterMetrics,
+}
+
+/// Runs one configuration at one cluster size.
+pub fn run_point(
+    scenario: Scenario,
+    config: &str,
+    hosts: usize,
+    trace: &[Tuple],
+    sim: &SimConfig,
+) -> ExecResult<SimResult> {
+    let plan = scenario.plan(config, hosts);
+    run_distributed(&plan, trace, sim)
+}
+
+/// Calibrates the per-host CPU budget so the scenario's single-host
+/// Naive run sits at the paper's 80.4% anchor.
+pub fn calibrate_budget(scenario: Scenario, trace: &[Tuple]) -> ExecResult<f64> {
+    let mut sim = SimConfig {
+        host_budget: 1.0,
+        ..SimConfig::default()
+    };
+    let result = run_point(scenario, "Naive", 1, trace, &sim)?;
+    let work_rate = result.metrics.work[0] / result.metrics.duration_secs;
+    sim.host_budget = work_rate / 0.804;
+    Ok(sim.host_budget)
+}
+
+/// Sweeps every configuration over cluster sizes `1..=max_hosts`,
+/// reproducing one figure pair (CPU + network load on the aggregator).
+pub fn run_series(
+    scenario: Scenario,
+    trace: &[Tuple],
+    max_hosts: usize,
+    sim: &SimConfig,
+) -> ExecResult<Vec<ExperimentPoint>> {
+    let mut points = Vec::new();
+    for &config in scenario.configs() {
+        for hosts in 1..=max_hosts {
+            let result = run_point(scenario, config, hosts, trace, sim)?;
+            points.push(ExperimentPoint {
+                config: config.to_string(),
+                hosts,
+                metrics: result.metrics,
+            });
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qap_trace::{generate, TraceConfig};
+
+    fn trace() -> Vec<Tuple> {
+        generate(&TraceConfig {
+            epochs: 3,
+            flows_per_epoch: 400,
+            hosts: 200,
+            max_flow_packets: 32,
+            pareto_alpha: 1.1,
+            ..TraceConfig::default()
+        })
+    }
+
+    fn series<'a>(points: &'a [ExperimentPoint], config: &str) -> Vec<&'a ClusterMetrics> {
+        points
+            .iter()
+            .filter(|p| p.config == config)
+            .map(|p| &p.metrics)
+            .collect()
+    }
+
+    #[test]
+    fn scenarios_build_and_plan() {
+        for s in [Scenario::SimpleAgg, Scenario::QuerySet, Scenario::Complex] {
+            let dag = s.dag();
+            assert!(!dag.is_empty());
+            for &c in s.configs() {
+                let plan = s.plan(c, 2);
+                assert_eq!(plan.partitioning.hosts, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_8_shape_naive_grows_partitioned_flat() {
+        let trace = trace();
+        let budget = calibrate_budget(Scenario::SimpleAgg, &trace).unwrap();
+        let sim = SimConfig {
+            host_budget: budget,
+            ..SimConfig::default()
+        };
+        let points = run_series(Scenario::SimpleAgg, &trace, 4, &sim).unwrap();
+        let naive = series(&points, "Naive");
+        let optimized = series(&points, "Optimized");
+        let partitioned = series(&points, "Partitioned");
+
+        // Anchor: 1-host Naive calibrated to ~80.4%.
+        assert!((naive[0].aggregator_cpu_pct - 80.4).abs() < 1.0);
+        // Naive aggregator load grows with cluster size.
+        assert!(naive[3].aggregator_cpu_pct > naive[0].aggregator_cpu_pct);
+        // Optimized sits below Naive at 4 hosts but still grows.
+        assert!(optimized[3].aggregator_cpu_pct < naive[3].aggregator_cpu_pct);
+        assert!(optimized[3].aggregator_cpu_pct > optimized[1].aggregator_cpu_pct);
+        // Partitioned declines and ends far below both.
+        assert!(partitioned[3].aggregator_cpu_pct < naive[3].aggregator_cpu_pct / 2.0);
+        assert!(partitioned[3].aggregator_cpu_pct < partitioned[0].aggregator_cpu_pct);
+    }
+
+    #[test]
+    fn figure_9_shape_network_load() {
+        let trace = trace();
+        let sim = SimConfig::default();
+        let points = run_series(Scenario::SimpleAgg, &trace, 4, &sim).unwrap();
+        let naive = series(&points, "Naive");
+        let partitioned = series(&points, "Partitioned");
+        // Naive network load grows linearly-ish; partitioned stays flat
+        // (bounded by output cardinality).
+        assert!(naive[3].aggregator_rx_tps > 1.5 * naive[0].aggregator_rx_tps);
+        assert!(partitioned[3].aggregator_rx_tps < naive[3].aggregator_rx_tps / 3.0);
+        let flat = partitioned[3].aggregator_rx_tps / partitioned[0].aggregator_rx_tps.max(1.0);
+        assert!(flat < 1.5, "partitioned series should be flat, ratio {flat}");
+    }
+
+    #[test]
+    fn leaf_load_drops_with_cluster_size() {
+        let trace = trace();
+        let budget = calibrate_budget(Scenario::SimpleAgg, &trace).unwrap();
+        let sim = SimConfig {
+            host_budget: budget,
+            ..SimConfig::default()
+        };
+        let points = run_series(Scenario::SimpleAgg, &trace, 4, &sim).unwrap();
+        for config in ["Naive", "Optimized", "Partitioned"] {
+            let s = series(&points, config);
+            // Section 6.1: leaf load drops ~80% → ~25% from 1 to 4 hosts.
+            assert!(
+                s[3].leaf_cpu_pct < s[0].leaf_cpu_pct / 2.0,
+                "{config}: {} vs {}",
+                s[3].leaf_cpu_pct,
+                s[0].leaf_cpu_pct
+            );
+        }
+    }
+
+    #[test]
+    fn results_identical_across_configs() {
+        // Every configuration computes the same answer — the semantic
+        // equivalence the optimizer guarantees.
+        let trace = trace();
+        let sim = SimConfig::default();
+        for scenario in [Scenario::SimpleAgg, Scenario::Complex] {
+            let mut reference: Option<Vec<(String, usize)>> = None;
+            for &config in scenario.configs() {
+                let result = run_point(scenario, config, 3, &trace, &sim).unwrap();
+                let mut shape: Vec<(String, usize)> = result
+                    .outputs
+                    .iter()
+                    .map(|(n, rows)| (n.clone(), rows.len()))
+                    .collect();
+                shape.sort();
+                match &reference {
+                    None => reference = Some(shape),
+                    Some(r) => assert_eq!(&shape, r, "{scenario:?}/{config}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Multi-threaded cluster execution: one OS thread per host, boundary
+//! streams over channels.
+//!
+//! Where [`crate::run_distributed`] executes the whole physical plan in
+//! one deterministic engine, this runner actually *distributes* it: each
+//! host gets its own engine over its sub-plan, leaf hosts stream their
+//! boundary outputs to the aggregator host over crossbeam channels while
+//! all hosts run concurrently. Results are identical to the
+//! single-threaded simulator (the engines' merge operators align
+//! independently-progressing inputs), which the test suite checks.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use qap_exec::{Engine, ExecError, ExecResult, OpCounters};
+use qap_optimizer::{DistributedPlan, SplitStrategy};
+use qap_partition::HashPartitioner;
+use qap_plan::{LogicalNode, NodeId, QueryDag};
+use qap_types::Tuple;
+
+use crate::sim::{account, trace_duration, SimConfig, SimResult};
+
+/// One host's executable slice of the plan.
+struct HostPlan {
+    dag: QueryDag,
+    /// global node id → local node id.
+    local: HashMap<NodeId, NodeId>,
+    /// global producer id → local pseudo-source id (remote inputs).
+    remote_in: HashMap<NodeId, NodeId>,
+    /// Global ids (on this host) whose output crosses to another host.
+    boundary: Vec<NodeId>,
+    /// Plan outputs hosted here: (output index, global node id).
+    outputs: Vec<(usize, NodeId)>,
+}
+
+fn slice_host(plan: &DistributedPlan, host: usize) -> ExecResult<HostPlan> {
+    let mut local: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut remote_in: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut catalog = plan.dag.catalog().clone();
+
+    // First pass: register pseudo-streams for remote producers.
+    for id in plan.dag.topo_order() {
+        if plan.host[id] != host {
+            continue;
+        }
+        for child in plan.dag.node(id).children() {
+            if plan.host[child] != host && !remote_in.contains_key(&child) {
+                let name = format!("__remote_{child}");
+                catalog
+                    .register(plan.dag.schema(child).renamed(name))
+                    .map_err(|e| ExecError::BadPlan(format!("pseudo-stream clash: {e}")))?;
+                remote_in.insert(child, usize::MAX); // placeholder
+            }
+        }
+    }
+    let mut dag = QueryDag::new(catalog);
+    for (child, slot) in remote_in.iter_mut() {
+        let sid = dag
+            .add_source(&format!("__remote_{child}"))
+            .map_err(|e| ExecError::BadPlan(format!("pseudo-source: {e}")))?;
+        *slot = sid;
+    }
+
+    // Second pass: clone this host's nodes with remapped children.
+    for id in plan.dag.topo_order() {
+        if plan.host[id] != host {
+            continue;
+        }
+        let remap = |c: NodeId| -> NodeId {
+            if plan.host[c] == host {
+                local[&c]
+            } else {
+                remote_in[&c]
+            }
+        };
+        let node = match plan.dag.node(id).clone() {
+            LogicalNode::Source { stream, partition } => {
+                let lid = dag
+                    .add_partition_source(&stream, partition.expect("physical scan"))
+                    .map_err(|e| ExecError::BadPlan(e.to_string()))?;
+                local.insert(id, lid);
+                continue;
+            }
+            LogicalNode::SelectProject {
+                input,
+                predicate,
+                projections,
+            } => LogicalNode::SelectProject {
+                input: remap(input),
+                predicate,
+                projections,
+            },
+            LogicalNode::Aggregate {
+                input,
+                predicate,
+                group_by,
+                aggregates,
+                having,
+            } => LogicalNode::Aggregate {
+                input: remap(input),
+                predicate,
+                group_by,
+                aggregates,
+                having,
+            },
+            LogicalNode::Join {
+                left,
+                right,
+                left_alias,
+                right_alias,
+                join_type,
+                temporal,
+                equi,
+                residual,
+                projections,
+            } => LogicalNode::Join {
+                left: remap(left),
+                right: remap(right),
+                left_alias,
+                right_alias,
+                join_type,
+                temporal,
+                equi,
+                residual,
+                projections,
+            },
+            LogicalNode::Merge { inputs } => LogicalNode::Merge {
+                inputs: inputs.into_iter().map(remap).collect(),
+            },
+        };
+        let lid = dag
+            .add_node(node)
+            .map_err(|e| ExecError::BadPlan(format!("host {host} subplan: {e}")))?;
+        local.insert(id, lid);
+    }
+
+    // Boundary producers: nodes here consumed elsewhere.
+    let mut boundary = Vec::new();
+    for id in plan.dag.topo_order() {
+        if plan.host[id] != host {
+            continue;
+        }
+        let crosses = plan
+            .dag
+            .parents(id)
+            .into_iter()
+            .any(|p| plan.host[p] != host);
+        if crosses {
+            boundary.push(id);
+        }
+    }
+    let outputs = plan
+        .outputs
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| plan.host[o.node] == host)
+        .map(|(i, o)| (i, o.node))
+        .collect();
+
+    Ok(HostPlan {
+        dag,
+        local,
+        remote_in,
+        boundary,
+        outputs,
+    })
+}
+
+/// Executes a distributed plan with one thread per host. Semantically
+/// identical to [`crate::run_distributed`]; metrics are computed from
+/// the merged per-host counters with the same accounting.
+pub fn run_distributed_threaded(
+    plan: &DistributedPlan,
+    trace: &[Tuple],
+    cfg: &SimConfig,
+) -> ExecResult<SimResult> {
+    let hosts = plan.partitioning.hosts;
+    let agg = plan.partitioning.aggregator_host;
+
+    // Route trace tuples to hosts via the splitter.
+    let mut scan_of_partition: HashMap<u32, NodeId> = HashMap::new();
+    let mut stream_name = None;
+    for id in plan.dag.topo_order() {
+        if let LogicalNode::Source { stream, partition } = plan.dag.node(id) {
+            stream_name = Some(stream.clone());
+            scan_of_partition.insert(partition.expect("physical scan"), id);
+        }
+    }
+    let stream = stream_name
+        .ok_or_else(|| ExecError::BadPlan("plan has no source scans".into()))?;
+    let schema = plan
+        .dag
+        .catalog()
+        .get(&stream)
+        .expect("catalog has stream")
+        .clone();
+    let m = plan.partitioning.partitions;
+    let hash = match &plan.partitioning.strategy {
+        SplitStrategy::RoundRobin => None,
+        SplitStrategy::Hash(set) => Some(
+            HashPartitioner::new(set, &schema, m)
+                .map_err(|e| ExecError::BadPlan(format!("unusable partitioning set: {e}")))?,
+        ),
+    };
+    let mut per_host_feed: Vec<Vec<(NodeId, Tuple)>> = vec![Vec::new(); hosts];
+    let mut rr = 0usize;
+    for t in trace {
+        let p = match &hash {
+            Some(h) => h.partition(t),
+            None => {
+                let p = rr;
+                rr = (rr + 1) % m;
+                p
+            }
+        };
+        let scan = scan_of_partition[&(p as u32)];
+        per_host_feed[plan.host[scan]].push((scan, t.clone()));
+    }
+
+    let slices: Vec<HostPlan> = (0..hosts)
+        .map(|h| slice_host(plan, h))
+        .collect::<ExecResult<Vec<_>>>()?;
+
+    // Leaf hosts must not depend on remote inputs (the lowering only
+    // sends leaf-tier data toward the aggregator).
+    for (h, s) in slices.iter().enumerate() {
+        if h != agg && !s.remote_in.is_empty() {
+            return Err(ExecError::BadPlan(format!(
+                "host {h} unexpectedly consumes remote streams"
+            )));
+        }
+    }
+
+    type Boundary = (NodeId, Vec<Tuple>);
+    let (tx, rx): (Sender<Boundary>, Receiver<Boundary>) = unbounded();
+
+    let mut global_counters: Vec<OpCounters> = vec![OpCounters::default(); plan.dag.len()];
+    let mut outputs: Vec<(String, Vec<Tuple>)> = plan
+        .outputs
+        .iter()
+        .map(|o| {
+            (
+                o.name
+                    .clone()
+                    .unwrap_or_else(|| format!("query{}", o.logical)),
+                Vec::new(),
+            )
+        })
+        .collect();
+
+    let result: ExecResult<Vec<HostRun>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (h, slice) in slices.iter().enumerate() {
+                if h == agg {
+                    continue;
+                }
+                let feed = &per_host_feed[h];
+                let tx = tx.clone();
+                handles.push(scope.spawn(move || -> ExecResult<_> {
+                    run_leaf_host(h, slice, feed, tx)
+                }));
+            }
+            drop(tx);
+            // The aggregator runs on this thread, concurrently with the
+            // leaves.
+            let agg_result = run_agg_host(agg, &slices[agg], &per_host_feed[agg], rx)?;
+            let mut results = vec![agg_result];
+            for handle in handles {
+                results.push(handle.join().expect("host thread panicked")?);
+            }
+            Ok(results)
+        });
+
+    for (h, counters, outs) in result? {
+        let slice = &slices[h];
+        for (&global, &local) in &slice.local {
+            global_counters[global] = counters[local];
+        }
+        for (idx, rows) in outs {
+            outputs[idx].1 = rows;
+        }
+    }
+
+    let duration = trace_duration(&schema, trace);
+    let metrics = account(plan, &global_counters, duration, cfg);
+    Ok(SimResult { metrics, outputs })
+}
+
+type HostRun = (usize, Vec<OpCounters>, Vec<(usize, Vec<Tuple>)>);
+
+fn run_leaf_host(
+    host: usize,
+    slice: &HostPlan,
+    feed: &[(NodeId, Tuple)],
+    tx: Sender<(NodeId, Vec<Tuple>)>,
+) -> ExecResult<HostRun> {
+    let sinks: Vec<NodeId> = slice.boundary.iter().map(|&g| slice.local[&g]).collect();
+    let mut engine = Engine::with_sinks(&slice.dag, &sinks)?;
+    for (scan_global, tuple) in feed {
+        engine.push(slice.local[scan_global], tuple.clone())?;
+        forward_boundary(&mut engine, slice, &tx);
+    }
+    engine.finish()?;
+    forward_boundary(&mut engine, slice, &tx);
+    let counters = engine.counters().to_vec();
+    Ok((host, counters, Vec::new()))
+}
+
+fn forward_boundary(
+    engine: &mut Engine,
+    slice: &HostPlan,
+    tx: &Sender<(NodeId, Vec<Tuple>)>,
+) {
+    for &global in &slice.boundary {
+        let batch = engine.drain_output(slice.local[&global]);
+        if !batch.is_empty() {
+            // Receiver gone means the aggregator finished early (error
+            // path); dropping the batch is fine then.
+            let _ = tx.send((global, batch));
+        }
+    }
+}
+
+fn run_agg_host(
+    host: usize,
+    slice: &HostPlan,
+    feed: &[(NodeId, Tuple)],
+    rx: Receiver<(NodeId, Vec<Tuple>)>,
+) -> ExecResult<HostRun> {
+    let sinks: Vec<NodeId> = slice.outputs.iter().map(|&(_, g)| slice.local[&g]).collect();
+    let mut engine = Engine::with_sinks(&slice.dag, &sinks)?;
+    // Local partitions first (leaves stream concurrently into the
+    // channel buffer)...
+    for (scan_global, tuple) in feed {
+        engine.push(slice.local[scan_global], tuple.clone())?;
+    }
+    // ...then every remote boundary batch; merge operators align the
+    // independently-progressing inputs.
+    while let Ok((producer, batch)) = rx.recv() {
+        let pseudo = slice.remote_in[&producer];
+        for t in batch {
+            engine.push(pseudo, t)?;
+        }
+    }
+    engine.finish()?;
+    let counters = engine.counters().to_vec();
+    let outs = slice
+        .outputs
+        .iter()
+        .map(|&(idx, g)| (idx, engine.output(slice.local[&g])))
+        .collect();
+    Ok((host, counters, outs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qap_optimizer::{optimize, OptimizerConfig, Partitioning};
+    use qap_partition::PartitionSet;
+    use qap_sql::QuerySetBuilder;
+    use qap_trace::{generate, TraceConfig};
+    use qap_types::Catalog;
+
+    use crate::run_distributed;
+
+    fn section_3_2() -> QueryDag {
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        )
+        .unwrap();
+        b.add_query(
+            "heavy_flows",
+            "SELECT tb, srcIP, MAX(cnt) as max_cnt FROM flows GROUP BY tb, srcIP",
+        )
+        .unwrap();
+        b.add_query(
+            "flow_pairs",
+            "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt \
+             FROM heavy_flows S1, heavy_flows S2 \
+             WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1",
+        )
+        .unwrap();
+        b.build()
+    }
+
+    fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+        rows.sort_by(|a, b| {
+            for (x, y) in a.values().iter().zip(b.values()) {
+                let ord = x.total_cmp(y);
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows
+    }
+
+    #[test]
+    fn threaded_matches_single_threaded() {
+        let dag = section_3_2();
+        let trace = generate(&TraceConfig::tiny(21));
+        let cfg = SimConfig::default();
+        for (hosts, part) in [
+            (3, Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 3)),
+            (
+                2,
+                Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), 2),
+            ),
+            (4, Partitioning::round_robin(4)),
+        ] {
+            let plan = optimize(&dag, &part, &OptimizerConfig::full()).unwrap();
+            let single = run_distributed(&plan, &trace, &cfg).unwrap();
+            let threaded = run_distributed_threaded(&plan, &trace, &cfg).unwrap();
+            assert_eq!(single.outputs.len(), threaded.outputs.len());
+            for (s, t) in single.outputs.iter().zip(threaded.outputs.iter()) {
+                assert_eq!(s.0, t.0);
+                assert_eq!(
+                    sorted(s.1.clone()),
+                    sorted(t.1.clone()),
+                    "{} hosts, output {}",
+                    hosts,
+                    s.0
+                );
+            }
+            // Same tuple-flow totals ⇒ same accounted work.
+            assert_eq!(
+                single.metrics.aggregator_rx_tuples,
+                threaded.metrics.aggregator_rx_tuples
+            );
+        }
+    }
+}

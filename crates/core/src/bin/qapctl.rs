@@ -1,0 +1,277 @@
+//! `qapctl` — command-line driver for the query-aware partitioning
+//! toolchain.
+//!
+//! ```sh
+//! qapctl analyze <script.gsql> [--strict-joins]
+//! qapctl plan    <script.gsql> --hosts N [--set "srcIP, destIP & 0xFFF0"]
+//!                              [--round-robin] [--naive] [--agnostic]
+//! qapctl run     <script.gsql> --hosts N [--set ...] [--round-robin]
+//!                              [--seed S] [--epochs E] [--flows F]
+//!                              [--trace file.qtr] [--threaded] [--limit K]
+//! qapctl gen-trace <out.qtr>   [--seed S] [--epochs E] [--flows F]
+//! ```
+//!
+//! A script is a sequence of `STREAM name(...);` definitions and
+//! `QUERY name: SELECT ...;` statements (see `qap_sql`). `run` replays a
+//! synthetic trace of the built-in `TCP` schema, so runnable scripts
+//! read `TCP` (define additional streams for `analyze`/`plan` only).
+
+use std::process::ExitCode;
+
+use qap::prelude::*;
+use qap::sql::parse_expression;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("qapctl: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  qapctl analyze   <script.gsql> [--strict-joins]
+  qapctl plan      <script.gsql> --hosts N [--set \"expr, expr\"] [--round-robin] [--naive] [--agnostic]
+  qapctl run       <script.gsql> --hosts N [--set \"expr, expr\"] [--round-robin]
+                   [--seed S] [--epochs E] [--flows F] [--trace file.qtr] [--threaded] [--limit K]
+  qapctl gen-trace <out.qtr> [--seed S] [--epochs E] [--flows F]";
+
+struct Opts {
+    script: String,
+    hosts: usize,
+    set: Option<PartitionSet>,
+    round_robin: bool,
+    naive: bool,
+    agnostic: bool,
+    strict_joins: bool,
+    seed: u64,
+    epochs: u64,
+    flows: usize,
+    threaded: bool,
+    limit: usize,
+    trace_file: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        script: String::new(),
+        hosts: 4,
+        set: None,
+        round_robin: false,
+        naive: false,
+        agnostic: false,
+        strict_joins: false,
+        seed: 42,
+        epochs: 5,
+        flows: 2_000,
+        threaded: false,
+        limit: 10,
+        trace_file: None,
+    };
+    let mut it = args.iter();
+    let mut positional = Vec::new();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--hosts" => opts.hosts = value("--hosts")?.parse().map_err(|e| format!("--hosts: {e}"))?,
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--epochs" => opts.epochs = value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?,
+            "--flows" => opts.flows = value("--flows")?.parse().map_err(|e| format!("--flows: {e}"))?,
+            "--limit" => opts.limit = value("--limit")?.parse().map_err(|e| format!("--limit: {e}"))?,
+            "--set" => {
+                let raw = value("--set")?;
+                let exprs = raw
+                    .split(',')
+                    .map(|part| {
+                        parse_expression(part.trim())
+                            .map_err(|e| format!("--set '{part}': {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                opts.set = Some(PartitionSet::from_exprs(exprs.iter()));
+            }
+            "--trace" => opts.trace_file = Some(value("--trace")?),
+            "--round-robin" => opts.round_robin = true,
+            "--naive" => opts.naive = true,
+            "--agnostic" => opts.agnostic = true,
+            "--strict-joins" => opts.strict_joins = true,
+            "--threaded" => opts.threaded = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.as_slice() {
+        [script] => opts.script = script.clone(),
+        [] => return Err("missing script file".into()),
+        more => return Err(format!("unexpected arguments: {more:?}")),
+    }
+    Ok(opts)
+}
+
+fn load_dag(path: &str) -> Result<QueryDag, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let mut builder = QuerySetBuilder::new(Catalog::with_network_schemas());
+    builder
+        .parse_script(&text)
+        .map_err(|e| format!("script error: {e}"))?;
+    let dag = builder.build();
+    if dag.is_empty() {
+        return Err("script defines no queries".into());
+    }
+    Ok(dag)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_opts(rest)?;
+    if cmd == "gen-trace" {
+        return gen_trace(&opts);
+    }
+    let dag = load_dag(&opts.script)?;
+    match cmd.as_str() {
+        "analyze" => analyze(&dag, &opts),
+        "plan" => plan(&dag, &opts).map(|p| println!("{}", p.render_by_host())),
+        "run" => execute(&dag, &opts),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn gen_trace(opts: &Opts) -> Result<(), String> {
+    // The positional argument is the output path here.
+    let trace = generate(&TraceConfig {
+        seed: opts.seed,
+        epochs: opts.epochs,
+        flows_per_epoch: opts.flows,
+        spread_ips: true,
+        ..TraceConfig::default()
+    });
+    write_trace(&opts.script, &trace).map_err(|e| e.to_string())?;
+    let s = stats(&trace);
+    println!(
+        "wrote {}: {} packets, {} flows ({} suspicious), {}s",
+        opts.script, s.packets, s.flows, s.suspicious_flows, s.duration_secs
+    );
+    Ok(())
+}
+
+fn analyze(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
+    println!("Logical plan:\n{}", render_dag(dag));
+    let analysis = choose_partitioning_with(
+        dag,
+        &UniformStats::default(),
+        &CostModel::default(),
+        AnalysisOptions {
+            strict_join_compatibility: opts.strict_joins,
+        },
+    );
+    print!("{}", analysis.explain(dag));
+    Ok(())
+}
+
+fn deployment(dag: &QueryDag, opts: &Opts) -> Result<(Partitioning, OptimizerConfig), String> {
+    let partitioning = if opts.round_robin {
+        Partitioning::round_robin(opts.hosts)
+    } else {
+        let set = match &opts.set {
+            Some(s) => s.clone(),
+            None => {
+                let analysis =
+                    choose_partitioning(dag, &UniformStats::default(), &CostModel::default());
+                if analysis.recommended.is_empty() {
+                    return Err(
+                        "analyzer found no usable partitioning; pass --set or --round-robin"
+                            .into(),
+                    );
+                }
+                eprintln!("(using analyzer recommendation {})", analysis.recommended);
+                analysis.recommended
+            }
+        };
+        Partitioning::hash(set, opts.hosts)
+    };
+    let config = if opts.agnostic {
+        OptimizerConfig {
+            agnostic: true,
+            ..OptimizerConfig::default()
+        }
+    } else if opts.naive {
+        OptimizerConfig::naive()
+    } else {
+        OptimizerConfig {
+            analysis: AnalysisOptions {
+                strict_join_compatibility: opts.strict_joins,
+            },
+            ..OptimizerConfig::full()
+        }
+    };
+    Ok((partitioning, config))
+}
+
+fn plan(dag: &QueryDag, opts: &Opts) -> Result<DistributedPlan, String> {
+    let (partitioning, config) = deployment(dag, opts)?;
+    optimize(dag, &partitioning, &config).map_err(|e| format!("optimizer: {e}"))
+}
+
+fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
+    // The synthetic trace is TCP-shaped; refuse to feed other schemas.
+    for id in dag.topo_order() {
+        if let LogicalNode::Source { stream, .. } = dag.node(id) {
+            if !stream.eq_ignore_ascii_case("TCP") {
+                return Err(format!(
+                    "'run' replays a synthetic TCP trace, but the script reads '{stream}'; use 'analyze'/'plan' for custom streams"
+                ));
+            }
+        }
+    }
+    let plan = plan(dag, opts)?;
+    let trace = match &opts.trace_file {
+        Some(path) => read_trace(path).map_err(|e| e.to_string())?,
+        None => generate(&TraceConfig {
+            seed: opts.seed,
+            epochs: opts.epochs,
+            flows_per_epoch: opts.flows,
+            spread_ips: true,
+            ..TraceConfig::default()
+        }),
+    };
+    let tstats = stats(&trace);
+    println!(
+        "Trace: {} packets, {} flows ({} suspicious), {}s\n",
+        tstats.packets, tstats.flows, tstats.suspicious_flows, tstats.duration_secs
+    );
+    let sim = SimConfig::default();
+    let result = if opts.threaded {
+        run_distributed_threaded(&plan, &trace, &sim)
+    } else {
+        run_distributed(&plan, &trace, &sim)
+    }
+    .map_err(|e| format!("execution: {e}"))?;
+
+    for (name, rows) in &result.outputs {
+        println!("{name}: {} rows (showing up to {}):", rows.len(), opts.limit);
+        for row in rows.iter().take(opts.limit) {
+            println!("  {row}");
+        }
+        println!();
+    }
+    let m = &result.metrics;
+    println!("Cluster metrics ({} hosts, {} partitions):", m.hosts, m.partitions);
+    println!("  per-host work units: {:?}", m.work.iter().map(|w| w.round()).collect::<Vec<_>>());
+    println!(
+        "  aggregator network: {} tuples ({:.1}/s, {:.0} B/s)",
+        m.aggregator_rx_tuples, m.aggregator_rx_tps, m.aggregator_rx_bytes_per_sec
+    );
+    println!("  leaf imbalance: {:.3}; late drops: {}", m.leaf_imbalance, m.late_dropped);
+    Ok(())
+}

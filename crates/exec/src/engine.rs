@@ -1,0 +1,398 @@
+//! Plan compilation and the tuple-routing engine.
+
+use std::collections::{HashMap, VecDeque};
+
+use qap_expr::{bind, bind_with, BoundExpr, ColumnRef, ScalarExpr};
+use qap_plan::{LogicalNode, NodeId, QueryDag};
+use qap_types::{Schema, Temporality, Tuple};
+
+use crate::ops::{AccFactory, AggregateOp, JoinOp, MergeOp, Operator, ScanOp, SelectOp};
+use crate::{ExecError, ExecResult};
+
+/// Per-operator tuple-flow counters; the raw material of the cluster
+/// simulator's CPU and network accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Tuples delivered to the operator.
+    pub tuples_in: u64,
+    /// Tuples the operator emitted.
+    pub tuples_out: u64,
+    /// Tuples dropped for arriving behind the operator's window.
+    pub late_dropped: u64,
+}
+
+/// A compiled, executable plan.
+///
+/// Feed tuples to source scans with [`Engine::push`] (in non-decreasing
+/// order of the stream's temporal attribute), then call
+/// [`Engine::finish`]; collected sink outputs are available through
+/// [`Engine::output`].
+pub struct Engine {
+    ops: Vec<Box<dyn Operator>>,
+    consumers: Vec<Vec<(NodeId, usize)>>,
+    /// Expected tuple arity per source scan (None for non-sources).
+    source_arity: Vec<Option<usize>>,
+    counters: Vec<OpCounters>,
+    sink_outputs: HashMap<NodeId, Vec<Tuple>>,
+    finished: bool,
+}
+
+impl Engine {
+    /// Compiles a plan, collecting output at every root.
+    pub fn new(dag: &QueryDag) -> ExecResult<Self> {
+        let roots = dag.roots();
+        Engine::with_sinks(dag, &roots)
+    }
+
+    /// Compiles a plan, collecting output at the given sink nodes.
+    pub fn with_sinks(dag: &QueryDag, sinks: &[NodeId]) -> ExecResult<Self> {
+        let n = dag.len();
+        let mut ops: Vec<Box<dyn Operator>> = Vec::with_capacity(n);
+        for id in dag.topo_order() {
+            ops.push(compile(dag, id)?);
+        }
+        let mut consumers: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); n];
+        for id in dag.topo_order() {
+            for (port, child) in dag.node(id).children().into_iter().enumerate() {
+                consumers[child].push((id, port));
+            }
+        }
+        let source_arity = dag
+            .topo_order()
+            .map(|id| {
+                dag.node(id)
+                    .is_source()
+                    .then(|| dag.schema(id).arity())
+            })
+            .collect();
+        Ok(Engine {
+            ops,
+            consumers,
+            source_arity,
+            counters: vec![OpCounters::default(); n],
+            sink_outputs: sinks.iter().map(|&s| (s, Vec::new())).collect(),
+            finished: false,
+        })
+    }
+
+    /// Ids of source scan nodes.
+    pub fn source_nodes(&self) -> Vec<NodeId> {
+        (0..self.source_arity.len())
+            .filter(|&i| self.source_arity[i].is_some())
+            .collect()
+    }
+
+    /// Delivers one raw tuple to a source scan. The tuple must match the
+    /// scan's schema arity — a mismatched feed would otherwise evaluate
+    /// positions against the wrong fields and produce silent garbage.
+    pub fn push(&mut self, source: NodeId, tuple: Tuple) -> ExecResult<()> {
+        let Some(Some(arity)) = self.source_arity.get(source) else {
+            return Err(ExecError::NotASource(source));
+        };
+        if tuple.arity() != *arity {
+            return Err(ExecError::BadPlan(format!(
+                "tuple arity {} does not match source {source}'s schema arity {arity}",
+                tuple.arity()
+            )));
+        }
+        debug_assert!(!self.finished, "push after finish");
+        self.run(source, 0, tuple)
+    }
+
+    fn run(&mut self, node: NodeId, port: usize, tuple: Tuple) -> ExecResult<()> {
+        let mut queue: VecDeque<(NodeId, usize, Tuple)> = VecDeque::new();
+        queue.push_back((node, port, tuple));
+        let mut out = Vec::new();
+        while let Some((id, port, t)) = queue.pop_front() {
+            self.counters[id].tuples_in += 1;
+            out.clear();
+            self.ops[id].push(port, t, &mut out)?;
+            self.route(id, &mut out, &mut queue);
+        }
+        Ok(())
+    }
+
+    fn route(
+        &mut self,
+        id: NodeId,
+        out: &mut Vec<Tuple>,
+        queue: &mut VecDeque<(NodeId, usize, Tuple)>,
+    ) {
+        self.counters[id].tuples_out += out.len() as u64;
+        if let Some(sink) = self.sink_outputs.get_mut(&id) {
+            sink.extend(out.iter().cloned());
+        }
+        let consumers = &self.consumers[id];
+        if consumers.is_empty() {
+            out.clear();
+            return;
+        }
+        for t in out.drain(..) {
+            // Clone for all but the last consumer.
+            for &(c, p) in &consumers[..consumers.len() - 1] {
+                queue.push_back((c, p, t.clone()));
+            }
+            let &(c, p) = consumers.last().expect("non-empty");
+            queue.push_back((c, p, t));
+        }
+    }
+
+    /// Signals end-of-stream: every operator flushes, in topological
+    /// order, with flushed tuples flowing downstream before their
+    /// consumers finish.
+    pub fn finish(&mut self) -> ExecResult<()> {
+        debug_assert!(!self.finished, "finish called twice");
+        self.finished = true;
+        let mut queue: VecDeque<(NodeId, usize, Tuple)> = VecDeque::new();
+        let mut out = Vec::new();
+        for id in 0..self.ops.len() {
+            // Drain anything still in flight destined at or after `id`.
+            out.clear();
+            self.ops[id].finish(&mut out)?;
+            self.route(id, &mut out, &mut queue);
+            while let Some((nid, port, t)) = queue.pop_front() {
+                self.counters[nid].tuples_in += 1;
+                let mut local = Vec::new();
+                self.ops[nid].push(port, t, &mut local)?;
+                self.route(nid, &mut local, &mut queue);
+            }
+        }
+        for id in 0..self.ops.len() {
+            self.counters[id].late_dropped = self.ops[id].late_dropped();
+        }
+        Ok(())
+    }
+
+    /// Takes the collected output of a sink node.
+    pub fn output(&mut self, node: NodeId) -> Vec<Tuple> {
+        self.sink_outputs.remove(&node).unwrap_or_default()
+    }
+
+    /// Drains a sink's accumulated output without deregistering it —
+    /// used for incremental forwarding (e.g. streaming a host boundary
+    /// over a channel while the engine keeps running).
+    pub fn drain_output(&mut self, node: NodeId) -> Vec<Tuple> {
+        self.sink_outputs
+            .get_mut(&node)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Tuple-flow counters, indexed by node id.
+    pub fn counters(&self) -> &[OpCounters] {
+        &self.counters
+    }
+}
+
+/// Runs a single-source logical plan over a tuple stream, returning
+/// `(root node, output)` pairs. The stream must be ordered by the
+/// source's temporal attribute.
+///
+/// ```
+/// use qap_exec::run_logical;
+/// use qap_sql::QuerySetBuilder;
+/// use qap_types::{tuple, Catalog};
+///
+/// let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+/// b.add_query(
+///     "sums",
+///     "SELECT tb, srcIP, destIP, SUM(len) as total FROM PKT \
+///      GROUP BY time/60 as tb, srcIP, destIP",
+/// )
+/// .unwrap();
+/// let dag = b.build();
+/// // PKT(time, srcIP, destIP, len)
+/// let trace = vec![tuple![0u64, 1u64, 2u64, 10u64], tuple![5u64, 1u64, 2u64, 30u64]];
+/// let outputs = run_logical(&dag, trace).unwrap();
+/// assert_eq!(outputs[0].1, vec![tuple![0u64, 1u64, 2u64, 40u64]]);
+/// ```
+pub fn run_logical(
+    dag: &QueryDag,
+    tuples: impl IntoIterator<Item = Tuple>,
+) -> ExecResult<Vec<(NodeId, Vec<Tuple>)>> {
+    let mut engine = Engine::new(dag)?;
+    let sources = engine.source_nodes();
+    let [source] = sources[..] else {
+        return Err(ExecError::BadPlan(format!(
+            "run_logical expects exactly one source, found {}",
+            sources.len()
+        )));
+    };
+    for t in tuples {
+        engine.push(source, t)?;
+    }
+    engine.finish()?;
+    let roots = dag.roots();
+    Ok(roots
+        .into_iter()
+        .map(|r| {
+            let out = engine.output(r);
+            (r, out)
+        })
+        .collect())
+}
+
+// ---------------------------------------------------------------------
+// compilation
+// ---------------------------------------------------------------------
+
+fn compile(dag: &QueryDag, id: NodeId) -> ExecResult<Box<dyn Operator>> {
+    match dag.node(id) {
+        LogicalNode::Source { .. } => Ok(Box::new(ScanOp)),
+        LogicalNode::SelectProject {
+            input,
+            predicate,
+            projections,
+        } => {
+            let in_schema = dag.schema(*input);
+            let predicate = predicate.as_ref().map(|p| bind(p, in_schema)).transpose()?;
+            let projections = projections
+                .iter()
+                .map(|ne| bind(&ne.expr, in_schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Box::new(SelectOp::new(predicate, projections)))
+        }
+        LogicalNode::Aggregate {
+            input,
+            predicate,
+            group_by,
+            aggregates,
+            having,
+        } => {
+            let in_schema = dag.schema(*input);
+            let out_schema = dag.schema(id);
+            let predicate = predicate.as_ref().map(|p| bind(p, in_schema)).transpose()?;
+            let group_exprs = group_by
+                .iter()
+                .map(|g| bind(&g.expr, in_schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            // The window attribute: first temporal field among the group
+            // columns of the output schema.
+            let temporal_idx = out_schema.fields()[..group_by.len()]
+                .iter()
+                .position(|f| f.temporality() != Temporality::None)
+                .ok_or_else(|| {
+                    ExecError::BadPlan(format!(
+                        "aggregate node {id} has no temporal group attribute"
+                    ))
+                })?;
+            let aggs = aggregates
+                .iter()
+                .map(|a| {
+                    let arg = a
+                        .call
+                        .arg
+                        .as_ref()
+                        .map(|e| bind(e, in_schema))
+                        .transpose()?;
+                    let factory = match &a.call.func {
+                        qap_expr::AggFunc::Builtin(kind) => AccFactory::Builtin(*kind),
+                        qap_expr::AggFunc::Udaf(name) => {
+                            let udaf = dag.catalog().udafs().get(name).ok_or_else(|| {
+                                ExecError::Expr(qap_expr::ExprError::UnknownUdaf(name.clone()))
+                            })?;
+                            AccFactory::Udaf(udaf.clone())
+                        }
+                    };
+                    Ok((factory, arg, a.call.merge, a.call.emit_partial))
+                })
+                .collect::<ExecResult<Vec<_>>>()?;
+            let having = having.as_ref().map(|h| bind(h, out_schema)).transpose()?;
+            Ok(Box::new(AggregateOp::new(
+                predicate,
+                group_exprs,
+                temporal_idx,
+                aggs,
+                having,
+            )))
+        }
+        LogicalNode::Join {
+            left,
+            right,
+            left_alias,
+            right_alias,
+            join_type,
+            temporal,
+            equi,
+            residual,
+            projections,
+        } => {
+            let ls = dag.schema(*left);
+            let rs = dag.schema(*right);
+            let lt = resolve_in(&temporal.left, ls, left_alias).ok_or_else(|| {
+                ExecError::BadPlan(format!("temporal column {} unresolved", temporal.left))
+            })?;
+            let rt = resolve_in(&temporal.right, rs, right_alias).ok_or_else(|| {
+                ExecError::BadPlan(format!("temporal column {} unresolved", temporal.right))
+            })?;
+            let left_key = equi
+                .iter()
+                .map(|(le, _)| bind_side(le, ls, left_alias))
+                .collect::<ExecResult<Vec<_>>>()?;
+            let right_key = equi
+                .iter()
+                .map(|(_, re)| bind_side(re, rs, right_alias))
+                .collect::<ExecResult<Vec<_>>>()?;
+            let concat = |c: &ColumnRef| -> Option<usize> {
+                match &c.qualifier {
+                    Some(q) if q.eq_ignore_ascii_case(left_alias) => ls.index_of(&c.name),
+                    Some(q) if q.eq_ignore_ascii_case(right_alias) => {
+                        rs.index_of(&c.name).map(|i| ls.arity() + i)
+                    }
+                    Some(_) => None,
+                    None => match (ls.index_of(&c.name), rs.index_of(&c.name)) {
+                        (Some(i), _) => Some(i),
+                        (None, Some(i)) => Some(ls.arity() + i),
+                        (None, None) => None,
+                    },
+                }
+            };
+            let residual = residual
+                .as_ref()
+                .map(|r| bind_with(r, &concat))
+                .transpose()?;
+            let projections = projections
+                .iter()
+                .map(|ne| bind_with(&ne.expr, &concat))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Box::new(JoinOp::new(
+                lt,
+                rt,
+                left_key,
+                right_key,
+                temporal.offset,
+                *join_type,
+                residual,
+                projections,
+                ls.arity(),
+                rs.arity(),
+            )))
+        }
+        LogicalNode::Merge { inputs } => {
+            let schema = dag.schema(id);
+            let temporal_idx = schema
+                .fields()
+                .iter()
+                .position(|f| f.temporality() != Temporality::None)
+                .ok_or_else(|| {
+                    ExecError::BadPlan(format!("merge node {id} lacks a temporal attribute"))
+                })?;
+            Ok(Box::new(MergeOp::new(inputs.len(), temporal_idx)))
+        }
+    }
+}
+
+/// Resolves a (possibly alias-qualified) column in one side's schema.
+fn resolve_in(c: &ColumnRef, schema: &Schema, alias: &str) -> Option<usize> {
+    match &c.qualifier {
+        Some(q) if q.eq_ignore_ascii_case(alias) => schema.index_of(&c.name),
+        Some(_) => None,
+        None => schema.index_of(&c.name),
+    }
+}
+
+/// Binds a one-sided join expression against that side's schema,
+/// accepting the side's alias as qualifier.
+fn bind_side(e: &ScalarExpr, schema: &Schema, alias: &str) -> ExecResult<BoundExpr> {
+    Ok(bind_with(e, &|c: &ColumnRef| resolve_in(c, schema, alias))?)
+}

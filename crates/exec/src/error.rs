@@ -1,0 +1,38 @@
+//! Execution-layer errors.
+
+use std::fmt;
+
+use qap_expr::ExprError;
+
+/// Errors raised while compiling or running a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Expression binding/evaluation failed.
+    Expr(ExprError),
+    /// The plan is not executable (missing temporal attribute, bad
+    /// structure). Indicates a planner bug — well-formed DAGs compile.
+    BadPlan(String),
+    /// A tuple was pushed to a node that is not a source scan.
+    NotASource(usize),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Expr(e) => write!(f, "expression error: {e}"),
+            ExecError::BadPlan(msg) => write!(f, "plan not executable: {msg}"),
+            ExecError::NotASource(id) => write!(f, "node {id} is not a source scan"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ExprError> for ExecError {
+    fn from(e: ExprError) -> Self {
+        ExecError::Expr(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type ExecResult<T> = Result<T, ExecError>;

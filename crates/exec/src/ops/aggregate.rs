@@ -1,0 +1,256 @@
+//! Tumbling-window hash aggregation (γ).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use qap_expr::{make_accumulator, Accumulator, AggKind, BoundExpr, Udaf, UdafState};
+use qap_types::{Tuple, Value};
+
+use crate::ExecResult;
+
+use super::{bucket_of, Operator};
+
+/// How to create fresh per-group aggregate state.
+pub(crate) enum AccFactory {
+    /// Built-in aggregate.
+    Builtin(AggKind),
+    /// User-defined aggregate (resolved at compile time).
+    Udaf(Arc<dyn Udaf>),
+}
+
+/// Running state of one aggregate slot for one group.
+enum AnyAcc {
+    Builtin(Accumulator),
+    Udaf(Box<dyn UdafState>),
+}
+
+impl AnyAcc {
+    fn update(&mut self, v: &Value) {
+        match self {
+            AnyAcc::Builtin(a) => a.update(v),
+            AnyAcc::Udaf(u) => u.update(v),
+        }
+    }
+
+    fn merge(&mut self, v: &Value) {
+        match self {
+            AnyAcc::Builtin(a) => a.merge(v),
+            AnyAcc::Udaf(u) => u.merge(v),
+        }
+    }
+
+    fn finalize(&self) -> Value {
+        match self {
+            AnyAcc::Builtin(a) => a.finalize(),
+            AnyAcc::Udaf(u) => u.finalize(),
+        }
+    }
+
+    /// Serialized mergeable state, for sub-aggregate emission. Built-in
+    /// partials coincide with their finalized values.
+    fn partial(&self) -> Value {
+        match self {
+            AnyAcc::Builtin(a) => a.finalize(),
+            AnyAcc::Udaf(u) => u.partial(),
+        }
+    }
+}
+
+/// One aggregate slot: state factory + optional argument + whether
+/// inputs are *partials* to merge (UDAF super-aggregates, Section 5.2.2)
+/// rather than raw values to fold. Built-in supers keep `merge = false`
+/// because the optimizer rewrites their kinds so the fold equals the
+/// partial merge.
+struct AggSlot {
+    factory: AccFactory,
+    arg: Option<BoundExpr>,
+    merge: bool,
+    emit_partial: bool,
+}
+
+impl AggSlot {
+    fn fresh(&self) -> AnyAcc {
+        match &self.factory {
+            AccFactory::Builtin(kind) => AnyAcc::Builtin(make_accumulator(*kind)),
+            AccFactory::Udaf(u) => AnyAcc::Udaf(u.init()),
+        }
+    }
+}
+
+/// Hash aggregation over the current tumbling window. State holds only
+/// the current window's groups; the window flushes the moment the
+/// temporal grouping attribute advances (Section 3.1). Tuples arriving
+/// behind the window are dropped and counted, mirroring a DSMS facing
+/// out-of-order input.
+pub(crate) struct AggregateOp {
+    predicate: Option<BoundExpr>,
+    group_exprs: Vec<BoundExpr>,
+    /// Index (within the group key) of the temporal attribute that
+    /// defines the window.
+    temporal_idx: usize,
+    slots: Vec<AggSlot>,
+    having: Option<BoundExpr>,
+    current_bucket: Option<i128>,
+    groups: HashMap<Vec<Value>, Vec<AnyAcc>>,
+    /// Insertion order of group keys, for deterministic flush output.
+    order: Vec<Vec<Value>>,
+    /// Groups whose temporal attribute is NULL (outer-join padding):
+    /// they belong to no window, accumulate for the whole stream, and
+    /// flush at finish.
+    null_groups: HashMap<Vec<Value>, Vec<AnyAcc>>,
+    null_order: Vec<Vec<Value>>,
+    late: u64,
+}
+
+impl AggregateOp {
+    pub(crate) fn new(
+        predicate: Option<BoundExpr>,
+        group_exprs: Vec<BoundExpr>,
+        temporal_idx: usize,
+        aggs: Vec<(AccFactory, Option<BoundExpr>, bool, bool)>,
+        having: Option<BoundExpr>,
+    ) -> Self {
+        AggregateOp {
+            predicate,
+            group_exprs,
+            temporal_idx,
+            slots: aggs
+                .into_iter()
+                .map(|(factory, arg, merge, emit_partial)| AggSlot {
+                    factory,
+                    arg,
+                    merge,
+                    emit_partial,
+                })
+                .collect(),
+            having,
+            current_bucket: None,
+            groups: HashMap::new(),
+            order: Vec::new(),
+            null_groups: HashMap::new(),
+            null_order: Vec::new(),
+            late: 0,
+        }
+    }
+
+    fn fold(slots: &[AggSlot], accs: &mut [AnyAcc], tuple: &Tuple) -> ExecResult<()> {
+        for (slot, acc) in slots.iter().zip(accs.iter_mut()) {
+            let v = match &slot.arg {
+                Some(e) => e.eval(tuple)?,
+                // COUNT(*): every tuple counts.
+                None => Value::Bool(true),
+            };
+            if slot.merge {
+                acc.merge(&v);
+            } else {
+                acc.update(&v);
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        for key in self.order.drain(..) {
+            let accs = self
+                .groups
+                .remove(&key)
+                .expect("order tracks live groups");
+            let mut t = Tuple::with_capacity(key.len() + accs.len());
+            for v in key {
+                t.push(v);
+            }
+            for (slot, acc) in self.slots.iter().zip(accs.iter()) {
+                t.push(if slot.emit_partial {
+                    acc.partial()
+                } else {
+                    acc.finalize()
+                });
+            }
+            if let Some(h) = &self.having {
+                if !h.eval_predicate(&t)? {
+                    continue;
+                }
+            }
+            out.push(t);
+        }
+        self.groups.clear();
+        Ok(())
+    }
+}
+
+impl Operator for AggregateOp {
+    fn push(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        if let Some(p) = &self.predicate {
+            if !p.eval_predicate(&tuple)? {
+                return Ok(());
+            }
+        }
+        let mut key = Vec::with_capacity(self.group_exprs.len());
+        for e in &self.group_exprs {
+            key.push(e.eval(&tuple)?);
+        }
+        if key[self.temporal_idx].is_null() {
+            // NULL window attribute (e.g. outer-join padding): no window
+            // ever closes over it, so accumulate until end-of-stream.
+            let accs = self.null_groups.entry(key.clone()).or_insert_with(|| {
+                self.null_order.push(key);
+                self.slots.iter().map(AggSlot::fresh).collect()
+            });
+            Self::fold(&self.slots, accs, &tuple)?;
+            return Ok(());
+        }
+        let bucket = bucket_of(&key[self.temporal_idx]);
+        match self.current_bucket {
+            Some(cur) if bucket > cur => {
+                self.flush(out)?;
+                self.current_bucket = Some(bucket);
+            }
+            Some(cur) if bucket < cur => {
+                self.late += 1;
+                return Ok(());
+            }
+            Some(_) => {}
+            None => self.current_bucket = Some(bucket),
+        }
+        let accs = self.groups.entry(key.clone()).or_insert_with(|| {
+            self.order.push(key);
+            self.slots.iter().map(AggSlot::fresh).collect()
+        });
+        Self::fold(&self.slots, accs, &tuple)?;
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        self.flush(out)?;
+        // NULL-window groups close with the stream.
+        for key in self.null_order.drain(..) {
+            let accs = self
+                .null_groups
+                .remove(&key)
+                .expect("null_order tracks live groups");
+            let mut t = Tuple::with_capacity(key.len() + accs.len());
+            for v in key {
+                t.push(v);
+            }
+            for (slot, acc) in self.slots.iter().zip(accs.iter()) {
+                t.push(if slot.emit_partial {
+                    acc.partial()
+                } else {
+                    acc.finalize()
+                });
+            }
+            if let Some(h) = &self.having {
+                if !h.eval_predicate(&t)? {
+                    continue;
+                }
+            }
+            out.push(t);
+        }
+        self.current_bucket = None;
+        Ok(())
+    }
+
+    fn late_dropped(&self) -> u64 {
+        self.late
+    }
+}

@@ -1,0 +1,249 @@
+//! Tumbling-window equi-join (⋈) with epoch offsets.
+
+use std::collections::HashMap;
+
+use qap_expr::BoundExpr;
+use qap_plan::JoinType;
+use qap_types::{Tuple, Value};
+
+use crate::ExecResult;
+
+use super::{bucket_of, Operator};
+
+/// Rows of one epoch on one join side.
+#[derive(Default)]
+struct Epoch {
+    rows: Vec<Tuple>,
+    matched: Vec<bool>,
+    /// Equi-key → row indices.
+    index: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+struct Side {
+    /// Position of the temporal attribute in this side's schema.
+    temporal_idx: usize,
+    /// Equi-key expressions over this side's schema.
+    key: Vec<BoundExpr>,
+    /// Last observed epoch.
+    cur: Option<i128>,
+    /// Buffered epochs.
+    epochs: HashMap<i128, Epoch>,
+    late: u64,
+}
+
+impl Side {
+    fn insert(&mut self, tuple: Tuple) -> ExecResult<Option<i128>> {
+        let b = bucket_of(tuple.get(self.temporal_idx));
+        match self.cur {
+            Some(c) if b < c => {
+                self.late += 1;
+                return Ok(None);
+            }
+            Some(c) if b > c => self.cur = Some(b),
+            None => self.cur = Some(b),
+            Some(_) => {}
+        }
+        let mut key = Vec::with_capacity(self.key.len());
+        for e in &self.key {
+            key.push(e.eval(&tuple)?);
+        }
+        let epoch = self.epochs.entry(b).or_default();
+        let idx = epoch.rows.len();
+        epoch.rows.push(tuple);
+        epoch.matched.push(false);
+        epoch.index.entry(key).or_default().push(idx);
+        Ok(Some(b))
+    }
+
+    /// Whether no further tuples of epoch `e` can arrive.
+    fn closed(&self, e: i128, finished: bool) -> bool {
+        finished || self.cur.is_some_and(|c| c > e)
+    }
+}
+
+/// Per-epoch hash join honouring the temporal alignment
+/// `left.epoch = right.epoch + offset` (Section 3.1). Left epoch `e`
+/// joins right epoch `e - offset`; the pairing fires once both epochs
+/// are closed (their side has advanced past them, or finished). Outer
+/// variants NULL-pad unmatched rows when their epoch retires.
+pub(crate) struct JoinOp {
+    left: Side,
+    right: Side,
+    offset: i64,
+    join_type: JoinType,
+    residual: Option<BoundExpr>,
+    /// Projections over the concatenated (left ++ right) schema.
+    projections: Vec<BoundExpr>,
+    left_arity: usize,
+    right_arity: usize,
+    finished: bool,
+}
+
+impl JoinOp {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        left_temporal_idx: usize,
+        right_temporal_idx: usize,
+        left_key: Vec<BoundExpr>,
+        right_key: Vec<BoundExpr>,
+        offset: i64,
+        join_type: JoinType,
+        residual: Option<BoundExpr>,
+        projections: Vec<BoundExpr>,
+        left_arity: usize,
+        right_arity: usize,
+    ) -> Self {
+        JoinOp {
+            left: Side {
+                temporal_idx: left_temporal_idx,
+                key: left_key,
+                cur: None,
+                epochs: HashMap::new(),
+                late: 0,
+            },
+            right: Side {
+                temporal_idx: right_temporal_idx,
+                key: right_key,
+                cur: None,
+                epochs: HashMap::new(),
+                late: 0,
+            },
+            offset,
+            join_type,
+            residual,
+            projections,
+            left_arity,
+            right_arity,
+            finished: false,
+        }
+    }
+
+    /// Fires every left epoch whose pairing is complete.
+    fn fire_ready(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        let ready: Vec<i128> = self
+            .left
+            .epochs
+            .keys()
+            .copied()
+            .filter(|&e| {
+                self.left.closed(e, self.finished)
+                    && self.right.closed(e - i128::from(self.offset), self.finished)
+            })
+            .collect::<Vec<_>>();
+        let mut ready = ready;
+        ready.sort_unstable();
+        for e in ready {
+            self.fire(e, out)?;
+        }
+        // Right epochs that no longer have a potential left partner
+        // retire: their left epoch (e_r + offset) is closed yet absent.
+        let retired: Vec<i128> = self
+            .right
+            .epochs
+            .keys()
+            .copied()
+            .filter(|&er| {
+                let el = er + i128::from(self.offset);
+                self.left.closed(el, self.finished) && !self.left.epochs.contains_key(&el)
+            })
+            .collect::<Vec<_>>();
+        let mut retired = retired;
+        retired.sort_unstable();
+        for er in retired {
+            let epoch = self.right.epochs.remove(&er).expect("key just listed");
+            self.pad_right(epoch, out)?;
+        }
+        Ok(())
+    }
+
+    fn fire(&mut self, e: i128, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        let mut lep = self.left.epochs.remove(&e).expect("epoch listed as ready");
+        let rep = self.right.epochs.remove(&(e - i128::from(self.offset)));
+        if let Some(mut rep) = rep {
+            // Probe: for each left row, matching right rows by key.
+            for (li, lrow) in lep.rows.iter().enumerate() {
+                let mut key = Vec::with_capacity(self.left.key.len());
+                for expr in &self.left.key {
+                    key.push(expr.eval(lrow)?);
+                }
+                // SQL equality: keys containing NULL match nothing.
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(candidates) = rep.index.get(&key) {
+                    for &ri in candidates {
+                        let joined = lrow.concat(&rep.rows[ri]);
+                        if let Some(r) = &self.residual {
+                            if !r.eval_predicate(&joined)? {
+                                continue;
+                            }
+                        }
+                        lep.matched[li] = true;
+                        rep.matched[ri] = true;
+                        out.push(self.project(&joined)?);
+                    }
+                }
+            }
+            self.pad_right(rep, out)?;
+        }
+        // Unmatched left rows.
+        if matches!(self.join_type, JoinType::LeftOuter | JoinType::FullOuter) {
+            let nulls = Tuple::new(vec![Value::Null; self.right_arity]);
+            for (li, lrow) in lep.rows.iter().enumerate() {
+                if !lep.matched[li] {
+                    out.push(self.project(&lrow.concat(&nulls))?);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// NULL-pads a retiring right epoch's unmatched rows for right/full
+    /// outer joins.
+    fn pad_right(&self, epoch: Epoch, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        if !matches!(self.join_type, JoinType::RightOuter | JoinType::FullOuter) {
+            return Ok(());
+        }
+        let nulls = Tuple::new(vec![Value::Null; self.left_arity]);
+        for (ri, rrow) in epoch.rows.iter().enumerate() {
+            if !epoch.matched[ri] {
+                out.push(self.project(&nulls.concat(rrow))?);
+            }
+        }
+        Ok(())
+    }
+
+    fn project(&self, joined: &Tuple) -> ExecResult<Tuple> {
+        let mut t = Tuple::with_capacity(self.projections.len());
+        for e in &self.projections {
+            t.push(e.eval(joined)?);
+        }
+        Ok(t)
+    }
+}
+
+impl Operator for JoinOp {
+    fn push(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        let advanced = match port {
+            0 => self.left.insert(tuple)?,
+            1 => self.right.insert(tuple)?,
+            _ => unreachable!("join has two ports"),
+        };
+        if advanced.is_some() {
+            self.fire_ready(out)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        self.finished = true;
+        self.fire_ready(out)?;
+        debug_assert!(self.left.epochs.is_empty());
+        debug_assert!(self.right.epochs.is_empty());
+        Ok(())
+    }
+
+    fn late_dropped(&self) -> u64 {
+        self.left.late + self.right.late
+    }
+}

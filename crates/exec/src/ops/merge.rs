@@ -1,0 +1,83 @@
+//! Watermark-aligned stream union (∪).
+
+use std::collections::BTreeMap;
+
+use qap_types::Tuple;
+
+use crate::ExecResult;
+
+use super::{bucket_of, Operator};
+
+/// Merge of K same-schema inputs, aligned on the schema's temporal
+/// attribute so the downstream window discipline holds.
+///
+/// Each input is individually bucket-ordered (it comes from a tumbling
+/// operator or an ordered scan), but inputs progress independently — a
+/// partition replica flushes window `b` only when *its* data reaches
+/// `b+1`. Releasing a tuple of bucket `b` is safe once every input has
+/// moved beyond `b`; everything else buffers until the laggard advances
+/// or the stream finishes. Without this alignment a super-aggregate
+/// would close windows early and silently drop partials.
+pub(crate) struct MergeOp {
+    /// Index of the temporal attribute in the (shared) input schema.
+    temporal_idx: usize,
+    /// Per input port: last observed bucket.
+    last: Vec<Option<i128>>,
+    /// Buffered tuples grouped by bucket (insertion order preserved
+    /// within a bucket).
+    buffer: BTreeMap<i128, Vec<Tuple>>,
+}
+
+impl MergeOp {
+    pub(crate) fn new(ports: usize, temporal_idx: usize) -> Self {
+        MergeOp {
+            temporal_idx,
+            last: vec![None; ports],
+            buffer: BTreeMap::new(),
+        }
+    }
+
+    /// Buckets strictly below every port's current bucket are complete.
+    fn threshold(&self) -> Option<i128> {
+        let mut min = i128::MAX;
+        for l in &self.last {
+            match l {
+                // A port that has produced nothing yet blocks release:
+                // it may still emit any bucket.
+                None => return None,
+                Some(b) => min = min.min(*b),
+            }
+        }
+        Some(min)
+    }
+
+    fn release(&mut self, out: &mut Vec<Tuple>) {
+        let Some(threshold) = self.threshold() else {
+            return;
+        };
+        // Split off the still-buffered tail (buckets >= threshold); what
+        // remains in `ready` is complete, already in bucket order.
+        let keep = self.buffer.split_off(&threshold);
+        let ready = std::mem::replace(&mut self.buffer, keep);
+        for (_, tuples) in ready {
+            out.extend(tuples);
+        }
+    }
+}
+
+impl Operator for MergeOp {
+    fn push(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        let b = bucket_of(tuple.get(self.temporal_idx));
+        self.last[port] = Some(self.last[port].map_or(b, |l| l.max(b)));
+        self.buffer.entry(b).or_default().push(tuple);
+        self.release(out);
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        for (_, tuples) in std::mem::take(&mut self.buffer) {
+            out.extend(tuples);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,58 @@
+//! Streaming operator implementations.
+
+mod aggregate;
+mod join;
+mod merge;
+mod select;
+
+pub(crate) use aggregate::{AccFactory, AggregateOp};
+pub(crate) use join::JoinOp;
+pub(crate) use merge::MergeOp;
+pub(crate) use select::SelectOp;
+
+use qap_types::{Tuple, Value};
+
+use crate::ExecResult;
+
+/// A compiled streaming operator. `push` delivers one input tuple on an
+/// input port (0 for unary operators; joins use 0 = left, 1 = right;
+/// merges one port per input); `finish` signals end-of-stream on all
+/// ports (the engine calls it in topological order, so every input is
+/// already complete).
+pub(crate) trait Operator {
+    /// Processes one tuple, appending any produced tuples to `out`.
+    fn push(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()>;
+    /// Flushes remaining state at end-of-stream.
+    fn finish(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()>;
+    /// Tuples dropped for arriving behind the operator's window.
+    fn late_dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Pass-through operator for source scans (the engine routes external
+/// tuples straight through so counters see them).
+pub(crate) struct ScanOp;
+
+impl Operator for ScanOp {
+    fn push(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        out.push(tuple);
+        Ok(())
+    }
+
+    fn finish(&mut self, _out: &mut Vec<Tuple>) -> ExecResult<()> {
+        Ok(())
+    }
+}
+
+/// Numeric epoch value of a temporal attribute, for window comparisons.
+/// Non-numeric or NULL temporal values map to `i128::MIN` (sorts first,
+/// treated as a degenerate epoch).
+pub(crate) fn bucket_of(v: &Value) -> i128 {
+    match v {
+        Value::UInt(x) => i128::from(*x),
+        Value::Int(x) => i128::from(*x),
+        Value::Bool(b) => i128::from(*b),
+        _ => i128::MIN,
+    }
+}

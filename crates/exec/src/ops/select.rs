@@ -1,0 +1,43 @@
+//! Selection/projection (σ/π).
+
+use qap_expr::BoundExpr;
+use qap_types::Tuple;
+
+use crate::ExecResult;
+
+use super::Operator;
+
+/// Stateless filter + projection.
+pub(crate) struct SelectOp {
+    predicate: Option<BoundExpr>,
+    projections: Vec<BoundExpr>,
+}
+
+impl SelectOp {
+    pub(crate) fn new(predicate: Option<BoundExpr>, projections: Vec<BoundExpr>) -> Self {
+        SelectOp {
+            predicate,
+            projections,
+        }
+    }
+}
+
+impl Operator for SelectOp {
+    fn push(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        if let Some(p) = &self.predicate {
+            if !p.eval_predicate(&tuple)? {
+                return Ok(());
+            }
+        }
+        let mut t = Tuple::with_capacity(self.projections.len());
+        for e in &self.projections {
+            t.push(e.eval(&tuple)?);
+        }
+        out.push(t);
+        Ok(())
+    }
+
+    fn finish(&mut self, _out: &mut Vec<Tuple>) -> ExecResult<()> {
+        Ok(())
+    }
+}

@@ -1,0 +1,472 @@
+//! Aggregate functions and their sub/super-aggregate decomposition.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qap_types::Value;
+
+use crate::ScalarExpr;
+
+/// Built-in aggregate functions.
+///
+/// `OrAgg` is the paper's `OR_AGGR` — the bitwise OR of TCP flags across
+/// a flow, used by the attack-detection HAVING clause of Section 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggKind {
+    /// `COUNT(*)` / `COUNT(expr)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)`.
+    Avg,
+    /// `OR_AGGR(expr)`: bitwise OR accumulation.
+    OrAgg,
+    /// `AND_AGGR(expr)`: bitwise AND accumulation.
+    AndAgg,
+}
+
+impl AggKind {
+    /// Parses a GSQL aggregate function name.
+    pub fn from_name(name: &str) -> Option<AggKind> {
+        let lower = name.to_ascii_lowercase();
+        Some(match lower.as_str() {
+            "count" => AggKind::Count,
+            "sum" => AggKind::Sum,
+            "min" => AggKind::Min,
+            "max" => AggKind::Max,
+            "avg" => AggKind::Avg,
+            "or_aggr" => AggKind::OrAgg,
+            "and_aggr" => AggKind::AndAgg,
+            _ => return None,
+        })
+    }
+
+    /// GSQL surface name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Count => "COUNT",
+            AggKind::Sum => "SUM",
+            AggKind::Min => "MIN",
+            AggKind::Max => "MAX",
+            AggKind::Avg => "AVG",
+            AggKind::OrAgg => "OR_AGGR",
+            AggKind::AndAgg => "AND_AGGR",
+        }
+    }
+}
+
+impl fmt::Display for AggKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which aggregate function a call invokes: a built-in, or a UDAF
+/// resolved by name against the catalog's [`qap_types::UdafRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// A built-in aggregate.
+    Builtin(AggKind),
+    /// A user-defined aggregate, by (case-preserved) name.
+    Udaf(String),
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::Builtin(k) => write!(f, "{k}"),
+            AggFunc::Udaf(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// An aggregate invocation, e.g. `SUM(len)` or `COUNT(*)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AggCall {
+    /// The function invoked.
+    pub func: AggFunc,
+    /// Argument expression; `None` encodes `COUNT(*)`.
+    pub arg: Option<ScalarExpr>,
+    /// Super-aggregate mode: inputs are *partials* produced by the same
+    /// function on another host, folded with merge semantics instead of
+    /// raw-value updates (Section 5.2.2). Built-in supers do not need
+    /// this flag — the optimizer rewrites their kinds so that fold
+    /// equals merge — but UDAF supers do.
+    pub merge: bool,
+    /// Sub-aggregate mode: emit the serialized *partial state* instead
+    /// of the finalized value. For built-ins the two coincide (a COUNT
+    /// partial is the count), but a UDAF's finalized value (e.g. a
+    /// sketch's cardinality estimate) is not its mergeable state.
+    pub emit_partial: bool,
+}
+
+impl AggCall {
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        AggCall {
+            func: AggFunc::Builtin(AggKind::Count),
+            arg: None,
+            merge: false,
+            emit_partial: false,
+        }
+    }
+
+    /// Built-in aggregate over an expression.
+    pub fn new(kind: AggKind, arg: ScalarExpr) -> Self {
+        AggCall {
+            func: AggFunc::Builtin(kind),
+            arg: Some(arg),
+            merge: false,
+            emit_partial: false,
+        }
+    }
+
+    /// User-defined aggregate over an expression.
+    pub fn udaf(name: impl Into<String>, arg: ScalarExpr) -> Self {
+        AggCall {
+            func: AggFunc::Udaf(name.into()),
+            arg: Some(arg),
+            merge: false,
+            emit_partial: false,
+        }
+    }
+
+    /// The built-in kind, when the call is not a UDAF.
+    pub fn builtin_kind(&self) -> Option<AggKind> {
+        match &self.func {
+            AggFunc::Builtin(k) => Some(*k),
+            AggFunc::Udaf(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(e) => write!(f, "{}({e})", self.func),
+            None => write!(f, "{}(*)", self.func),
+        }
+    }
+}
+
+/// Incremental aggregate state.
+///
+/// `update` folds in a raw input value; `merge` folds in a *partial*
+/// aggregate produced by a sub-aggregate on another host — the operation
+/// the super-aggregate of the paper's partial-aggregation transformation
+/// performs (Section 5.2.2, after Cormode et al.'s splittable UDAFs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Accumulator {
+    /// COUNT state.
+    Count(u64),
+    /// SUM state (None until first value).
+    Sum(Option<i128>),
+    /// MIN state.
+    Min(Option<Value>),
+    /// MAX state.
+    Max(Option<Value>),
+    /// AVG state: (sum, count).
+    Avg(i128, u64),
+    /// OR_AGGR state.
+    Or(u64),
+    /// AND_AGGR state (None until first value — identity would be !0).
+    And(Option<u64>),
+}
+
+impl Accumulator {
+    /// Folds one raw input value into the state. NULLs are skipped, per
+    /// SQL aggregate semantics (except COUNT(*), whose caller passes a
+    /// non-null marker).
+    pub fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        match self {
+            Accumulator::Count(n) => *n += 1,
+            Accumulator::Sum(s) => {
+                if let Some(x) = widen(v) {
+                    *s = Some(s.unwrap_or(0) + x);
+                }
+            }
+            Accumulator::Min(m) => {
+                let replace = m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_lt());
+                if replace {
+                    *m = Some(v.clone());
+                }
+            }
+            Accumulator::Max(m) => {
+                let replace = m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_gt());
+                if replace {
+                    *m = Some(v.clone());
+                }
+            }
+            Accumulator::Avg(s, n) => {
+                if let Some(x) = widen(v) {
+                    *s += x;
+                    *n += 1;
+                }
+            }
+            Accumulator::Or(acc) => {
+                if let Some(x) = v.as_u64() {
+                    *acc |= x;
+                }
+            }
+            Accumulator::And(acc) => {
+                if let Some(x) = v.as_u64() {
+                    *acc = Some(acc.unwrap_or(u64::MAX) & x);
+                }
+            }
+        }
+    }
+
+    /// Folds a partial aggregate value (as produced by `finalize` of the
+    /// same kind on another host) into this state.
+    pub fn merge(&mut self, partial: &Value) {
+        if partial.is_null() {
+            return;
+        }
+        match self {
+            // A COUNT partial merges by summation, not increment.
+            Accumulator::Count(n) => {
+                if let Some(x) = partial.as_u64() {
+                    *n += x;
+                }
+            }
+            // AVG partials cannot merge through a single value; the
+            // optimizer decomposes AVG into SUM+COUNT columns instead.
+            Accumulator::Avg(..) => {
+                debug_assert!(false, "AVG partials must be decomposed before merging");
+            }
+            _ => self.update(partial),
+        }
+    }
+
+    /// Produces the aggregate's value.
+    pub fn finalize(&self) -> Value {
+        match self {
+            Accumulator::Count(n) => Value::UInt(*n),
+            Accumulator::Sum(s) => match s {
+                Some(x) => narrow(*x),
+                None => Value::Null,
+            },
+            Accumulator::Min(m) | Accumulator::Max(m) => m.clone().unwrap_or(Value::Null),
+            Accumulator::Avg(s, n) => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    narrow(s / i128::from(*n))
+                }
+            }
+            Accumulator::Or(acc) => Value::UInt(*acc),
+            Accumulator::And(acc) => acc.map(Value::UInt).unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn widen(v: &Value) -> Option<i128> {
+    match v {
+        Value::UInt(x) => Some(i128::from(*x)),
+        Value::Int(x) => Some(i128::from(*x)),
+        Value::Bool(b) => Some(i128::from(*b)),
+        _ => None,
+    }
+}
+
+fn narrow(x: i128) -> Value {
+    if x >= 0 {
+        u64::try_from(x).map(Value::UInt).unwrap_or(Value::UInt(u64::MAX))
+    } else {
+        i64::try_from(x).map(Value::Int).unwrap_or(Value::Int(i64::MIN))
+    }
+}
+
+/// Creates a fresh accumulator for an aggregate kind.
+pub fn make_accumulator(kind: AggKind) -> Accumulator {
+    match kind {
+        AggKind::Count => Accumulator::Count(0),
+        AggKind::Sum => Accumulator::Sum(None),
+        AggKind::Min => Accumulator::Min(None),
+        AggKind::Max => Accumulator::Max(None),
+        AggKind::Avg => Accumulator::Avg(0, 0),
+        AggKind::OrAgg => Accumulator::Or(0),
+        AggKind::AndAgg => Accumulator::And(None),
+    }
+}
+
+/// How a super-aggregate turns its merged partial columns into the final
+/// aggregate value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FinishOp {
+    /// The single merged partial *is* the result.
+    First,
+    /// `partials[0] / partials[1]` — AVG from (SUM, COUNT).
+    DivSumCount,
+}
+
+/// The sub/super decomposition of one aggregate (Section 5.2.2).
+///
+/// The sub-aggregate runs per partition and emits `sub.len()` columns;
+/// the super-aggregate merges column-wise with the listed kinds, then
+/// applies `finish`. E.g. `COUNT → sub [COUNT], super [SUM]`;
+/// `AVG → sub [SUM, COUNT], super [SUM, SUM], finish DivSumCount`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitAgg {
+    /// Aggregates the sub-aggregate computes per partition.
+    pub sub: Vec<AggKind>,
+    /// Aggregates the super-aggregate applies to each partial column.
+    pub sup: Vec<AggKind>,
+    /// Final combining step.
+    pub finish: FinishOp,
+}
+
+/// Decomposes an aggregate into its sub/super pair. All of GSQL's
+/// built-in aggregates are splittable (the paper: "All the SQL's built-in
+/// aggregates can be trivially split in a similar fashion").
+pub fn split_agg(kind: AggKind) -> SplitAgg {
+    let (sub, sup, finish) = match kind {
+        AggKind::Count => (vec![AggKind::Count], vec![AggKind::Sum], FinishOp::First),
+        AggKind::Sum => (vec![AggKind::Sum], vec![AggKind::Sum], FinishOp::First),
+        AggKind::Min => (vec![AggKind::Min], vec![AggKind::Min], FinishOp::First),
+        AggKind::Max => (vec![AggKind::Max], vec![AggKind::Max], FinishOp::First),
+        AggKind::OrAgg => (vec![AggKind::OrAgg], vec![AggKind::OrAgg], FinishOp::First),
+        AggKind::AndAgg => (
+            vec![AggKind::AndAgg],
+            vec![AggKind::AndAgg],
+            FinishOp::First,
+        ),
+        AggKind::Avg => (
+            vec![AggKind::Sum, AggKind::Count],
+            vec![AggKind::Sum, AggKind::Sum],
+            FinishOp::DivSumCount,
+        ),
+    };
+    SplitAgg { sub, sup, finish }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: AggKind, inputs: &[Value]) -> Value {
+        let mut acc = make_accumulator(kind);
+        for v in inputs {
+            acc.update(v);
+        }
+        acc.finalize()
+    }
+
+    #[test]
+    fn count_ignores_nulls_on_update() {
+        let v = run(
+            AggKind::Count,
+            &[Value::UInt(1), Value::Null, Value::UInt(3)],
+        );
+        assert_eq!(v, Value::UInt(2));
+    }
+
+    #[test]
+    fn sum_and_min_max() {
+        let vals = [Value::UInt(5), Value::UInt(2), Value::UInt(9)];
+        assert_eq!(run(AggKind::Sum, &vals), Value::UInt(16));
+        assert_eq!(run(AggKind::Min, &vals), Value::UInt(2));
+        assert_eq!(run(AggKind::Max, &vals), Value::UInt(9));
+    }
+
+    #[test]
+    fn empty_aggregates_yield_null_except_count() {
+        assert_eq!(run(AggKind::Count, &[]), Value::UInt(0));
+        assert_eq!(run(AggKind::Sum, &[]), Value::Null);
+        assert_eq!(run(AggKind::Min, &[]), Value::Null);
+        assert_eq!(run(AggKind::Avg, &[]), Value::Null);
+        assert_eq!(run(AggKind::AndAgg, &[]), Value::Null);
+        // OR identity is 0, matching the flag-accumulation use case.
+        assert_eq!(run(AggKind::OrAgg, &[]), Value::UInt(0));
+    }
+
+    #[test]
+    fn or_aggr_accumulates_flags() {
+        // SYN (0x02) then ACK (0x10) then FIN (0x01): the flow's OR is 0x13.
+        let v = run(
+            AggKind::OrAgg,
+            &[Value::UInt(0x02), Value::UInt(0x10), Value::UInt(0x01)],
+        );
+        assert_eq!(v, Value::UInt(0x13));
+    }
+
+    #[test]
+    fn and_aggr() {
+        let v = run(AggKind::AndAgg, &[Value::UInt(0b1110), Value::UInt(0b0111)]);
+        assert_eq!(v, Value::UInt(0b0110));
+    }
+
+    #[test]
+    fn avg_truncates_like_integer_division() {
+        let v = run(
+            AggKind::Avg,
+            &[Value::UInt(1), Value::UInt(2), Value::UInt(4)],
+        );
+        assert_eq!(v, Value::UInt(2));
+    }
+
+    #[test]
+    fn sum_handles_mixed_signs() {
+        let v = run(AggKind::Sum, &[Value::UInt(5), Value::Int(-8)]);
+        assert_eq!(v, Value::Int(-3));
+    }
+
+    #[test]
+    fn count_merge_sums_partials() {
+        let mut acc = make_accumulator(AggKind::Count);
+        acc.merge(&Value::UInt(10));
+        acc.merge(&Value::UInt(5));
+        assert_eq!(acc.finalize(), Value::UInt(15));
+    }
+
+    #[test]
+    fn split_then_merge_equals_direct_for_all_kinds() {
+        // The correctness property behind Section 5.2.2: evaluating the
+        // sub-aggregate per partition and merging at the super-aggregate
+        // must equal direct evaluation.
+        let partition_a = [Value::UInt(3), Value::UInt(7)];
+        let partition_b = [Value::UInt(1), Value::UInt(100)];
+        for kind in [
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::OrAgg,
+            AggKind::AndAgg,
+        ] {
+            let spec = split_agg(kind);
+            assert_eq!(spec.sub.len(), 1);
+            // Direct evaluation.
+            let direct = run(kind, &[&partition_a[..], &partition_b[..]].concat());
+            // Split evaluation.
+            let pa = run(spec.sub[0], &partition_a);
+            let pb = run(spec.sub[0], &partition_b);
+            let mut sup = make_accumulator(spec.sup[0]);
+            sup.merge(&pa);
+            sup.merge(&pb);
+            assert_eq!(sup.finalize(), direct, "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn avg_splits_into_sum_count() {
+        let spec = split_agg(AggKind::Avg);
+        assert_eq!(spec.sub, vec![AggKind::Sum, AggKind::Count]);
+        assert_eq!(spec.finish, FinishOp::DivSumCount);
+    }
+
+    #[test]
+    fn agg_kind_parsing() {
+        assert_eq!(AggKind::from_name("Or_AGGR"), Some(AggKind::OrAgg));
+        assert_eq!(AggKind::from_name("count"), Some(AggKind::Count));
+        assert_eq!(AggKind::from_name("median"), None);
+    }
+}

@@ -1,0 +1,47 @@
+//! Expression-layer errors.
+
+use std::fmt;
+
+/// Errors raised while binding or evaluating expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// A column reference could not be resolved against the schema(s).
+    UnresolvedColumn(String),
+    /// Division or modulo by zero at evaluation time.
+    DivisionByZero,
+    /// An operator was applied to operands of unsupported types.
+    TypeMismatch {
+        /// Operator name for diagnostics.
+        op: &'static str,
+        /// Rendered operand description.
+        detail: String,
+    },
+    /// Integer overflow in checked arithmetic.
+    Overflow(&'static str),
+    /// An aggregate call appeared where only scalar expressions are legal.
+    MisplacedAggregate(String),
+    /// An unknown user-defined aggregate was referenced.
+    UnknownUdaf(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnresolvedColumn(c) => write!(f, "unresolved column '{c}'"),
+            ExprError::DivisionByZero => write!(f, "division by zero"),
+            ExprError::TypeMismatch { op, detail } => {
+                write!(f, "type mismatch for operator {op}: {detail}")
+            }
+            ExprError::Overflow(op) => write!(f, "integer overflow in {op}"),
+            ExprError::MisplacedAggregate(name) => {
+                write!(f, "aggregate {name}() not allowed in scalar context")
+            }
+            ExprError::UnknownUdaf(name) => write!(f, "unknown aggregate function '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// Result alias for this crate.
+pub type ExprResult<T> = Result<T, ExprError>;

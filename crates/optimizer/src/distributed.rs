@@ -1,0 +1,681 @@
+//! Bottom-up lowering of logical DAGs into host-annotated physical plans.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use qap_expr::{AggCall, ScalarExpr};
+use qap_partition::compatible_set_with;
+use qap_plan::{LogicalNode, NamedAgg, NamedExpr, NodeId, QueryDag};
+
+use crate::{OptResult, OptimizerConfig, PartialAggScope, Partitioning};
+
+/// One consumable result stream of a distributed plan.
+#[derive(Debug, Clone)]
+pub struct PlanOutput {
+    /// Query name, when the logical root was named.
+    pub name: Option<String>,
+    /// The logical node this output implements.
+    pub logical: NodeId,
+    /// The physical node producing the final (collected) stream.
+    pub node: NodeId,
+}
+
+/// A physical, host-annotated plan: a [`QueryDag`] whose leaves are
+/// per-partition scans, plus the host executing every node.
+#[derive(Debug, Clone)]
+pub struct DistributedPlan {
+    /// The physical DAG.
+    pub dag: QueryDag,
+    /// Executing host of each physical node (parallel to `dag`).
+    pub host: Vec<usize>,
+    /// Whether each physical node is *central* (runs in the aggregator
+    /// tier) as opposed to a partitioned-tier replica. The cluster
+    /// simulator uses this to decide which edges are process-to-process
+    /// transfers.
+    pub central: Vec<bool>,
+    /// Final outputs, one per logical root.
+    pub outputs: Vec<PlanOutput>,
+    /// The partitioning the plan was built for.
+    pub partitioning: Partitioning,
+}
+
+impl DistributedPlan {
+    /// Renders the plan grouped by host, in the spirit of the paper's
+    /// Figures 2–7 and 12.
+    pub fn render_by_host(&self) -> String {
+        let mut out = String::new();
+        for h in 0..self.partitioning.hosts {
+            let _ = writeln!(out, "Host {h}{}:", if h == self.partitioning.aggregator_host { " (aggregator)" } else { "" });
+            for id in self.dag.topo_order() {
+                if self.host[id] != h {
+                    continue;
+                }
+                let children = self.dag.node(id).children();
+                let kids = if children.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " <- [{}]",
+                        children
+                            .iter()
+                            .map(|c| c.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                let _ = writeln!(out, "  #{id} {}{kids}", self.dag.node(id).label());
+            }
+        }
+        let _ = writeln!(out, "Outputs:");
+        for o in &self.outputs {
+            let name = o.name.as_deref().unwrap_or("<unnamed>");
+            let _ = writeln!(out, "  {name} -> #{}", o.node);
+        }
+        out
+    }
+
+    /// Physical node count on one host.
+    pub fn nodes_on_host(&self, host: usize) -> usize {
+        self.host.iter().filter(|&&h| h == host).count()
+    }
+}
+
+/// How a logical node is realized physically.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// One replica per partition, indexed by partition.
+    Partitioned(Vec<NodeId>),
+    /// A single node on the aggregator host.
+    Central(NodeId),
+}
+
+struct Lowering<'a> {
+    logical: &'a QueryDag,
+    cfg: &'a OptimizerConfig,
+    part: &'a Partitioning,
+    dag: QueryDag,
+    host: Vec<usize>,
+    central: Vec<bool>,
+    repr: Vec<Option<Repr>>,
+    /// Cache of the central merge collecting a partitioned repr.
+    collected: HashMap<NodeId, NodeId>,
+}
+
+impl Lowering<'_> {
+    fn add(&mut self, node: LogicalNode, host: usize, central: bool) -> OptResult<NodeId> {
+        let id = self.dag.add_node(node)?;
+        debug_assert_eq!(id, self.host.len());
+        self.host.push(host);
+        self.central.push(central);
+        Ok(id)
+    }
+
+    /// A single physical node carrying the logical node's full stream:
+    /// the central node itself, or a collecting merge over the replicas
+    /// (created once, on the aggregator host).
+    fn central(&mut self, logical_id: NodeId) -> OptResult<NodeId> {
+        let repr = self.repr[logical_id].clone().expect("child lowered first");
+        match repr {
+            Repr::Central(id) => Ok(id),
+            Repr::Partitioned(replicas) => {
+                if let Some(&m) = self.collected.get(&logical_id) {
+                    return Ok(m);
+                }
+                let m = self.add(
+                    LogicalNode::Merge { inputs: replicas },
+                    self.part.aggregator_host,
+                    true,
+                )?;
+                self.collected.insert(logical_id, m);
+                Ok(m)
+            }
+        }
+    }
+}
+
+/// Lowers a logical DAG onto a deployed partitioning. See the crate
+/// docs for the rule set.
+pub fn optimize(
+    logical: &QueryDag,
+    partitioning: &Partitioning,
+    config: &OptimizerConfig,
+) -> OptResult<DistributedPlan> {
+    partitioning.validate()?;
+    let set = partitioning.strategy.effective_set();
+    let agg_host = partitioning.aggregator_host;
+
+    // Per-node compatibility with the *deployed* set (not the
+    // recommendation). The agnostic configuration pushes nothing.
+    let compatible: Vec<bool> = logical
+        .topo_order()
+        .map(|id| {
+            !config.agnostic && compatible_set_with(logical, id, config.analysis).allows(&set)
+        })
+        .collect();
+
+    let mut lw = Lowering {
+        logical,
+        cfg: config,
+        part: partitioning,
+        dag: QueryDag::new(logical.catalog().clone()),
+        host: Vec::new(),
+        central: Vec::new(),
+        repr: vec![None; logical.len()],
+        collected: HashMap::new(),
+    };
+
+    for id in logical.topo_order() {
+        let repr = lower_node(&mut lw, id, compatible[id])?;
+        lw.repr[id] = Some(repr);
+    }
+
+    // Collect every logical root into a consumable output stream.
+    let names: HashMap<NodeId, String> = logical
+        .named_queries()
+        .into_iter()
+        .map(|(n, id)| (id, n.to_string()))
+        .collect();
+    let mut outputs = Vec::new();
+    for root in logical.roots() {
+        let node = lw.central(root)?;
+        outputs.push(PlanOutput {
+            name: names.get(&root).cloned(),
+            logical: root,
+            node,
+        });
+    }
+    let _ = agg_host;
+
+    Ok(DistributedPlan {
+        dag: lw.dag,
+        host: lw.host,
+        central: lw.central,
+        outputs,
+        partitioning: partitioning.clone(),
+    })
+}
+
+/// The partition-agnostic plan of Section 5.1 / Figure 3: per-partition
+/// scans merged centrally, all query processing on the aggregator.
+pub fn agnostic_plan(
+    logical: &QueryDag,
+    partitioning: &Partitioning,
+) -> OptResult<DistributedPlan> {
+    let cfg = OptimizerConfig {
+        agnostic: true,
+        ..OptimizerConfig::default()
+    };
+    optimize(logical, partitioning, &cfg)
+}
+
+fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<Repr> {
+    let agg_host = lw.part.aggregator_host;
+    match lw.logical.node(id).clone() {
+        LogicalNode::Source { stream, .. } => {
+            let mut scans = Vec::with_capacity(lw.part.partitions);
+            for p in 0..lw.part.partitions {
+                let scan = lw.dag.add_partition_source(&stream, p as u32)?;
+                debug_assert_eq!(scan, lw.host.len());
+                lw.host.push(lw.part.host_of_partition(p));
+                lw.central.push(false);
+                scans.push(scan);
+            }
+            Ok(Repr::Partitioned(scans))
+        }
+
+        LogicalNode::SelectProject {
+            input,
+            predicate,
+            projections,
+        } => {
+            // σ/π is always compatible (Section 5.4); replicate whenever
+            // the child is partitioned, unless we are building the
+            // agnostic plan.
+            match lw.repr[input].clone().expect("child lowered") {
+                Repr::Partitioned(replicas) if compatible => {
+                    let mut out = Vec::with_capacity(replicas.len());
+                    for (p, &r) in replicas.iter().enumerate() {
+                        let n = lw.add(
+                            LogicalNode::SelectProject {
+                                input: r,
+                                predicate: predicate.clone(),
+                                projections: projections.clone(),
+                            },
+                            lw.part.host_of_partition(p),
+                            false,
+                        )?;
+                        out.push(n);
+                    }
+                    Ok(Repr::Partitioned(out))
+                }
+                _ => {
+                    let c = lw.central(input)?;
+                    let n = lw.add(
+                        LogicalNode::SelectProject {
+                            input: c,
+                            predicate,
+                            projections,
+                        },
+                        agg_host,
+                        true,
+                    )?;
+                    Ok(Repr::Central(n))
+                }
+            }
+        }
+
+        LogicalNode::Aggregate {
+            input,
+            predicate,
+            group_by,
+            aggregates,
+            having,
+        } => {
+            let child = lw.repr[input].clone().expect("child lowered");
+            match child {
+                // Figure 4: compatible aggregation pushes below the merge
+                // and runs complete per partition.
+                Repr::Partitioned(replicas) if compatible => {
+                    let mut out = Vec::with_capacity(replicas.len());
+                    for (p, &r) in replicas.iter().enumerate() {
+                        let n = lw.add(
+                            LogicalNode::Aggregate {
+                                input: r,
+                                predicate: predicate.clone(),
+                                group_by: group_by.clone(),
+                                aggregates: aggregates.clone(),
+                                having: having.clone(),
+                            },
+                            lw.part.host_of_partition(p),
+                            false,
+                        )?;
+                        out.push(n);
+                    }
+                    Ok(Repr::Partitioned(out))
+                }
+                // Figure 5: incompatible aggregation splits into
+                // sub-aggregates feeding a central super-aggregate —
+                // possible only when every aggregate is splittable
+                // (built-ins always are; UDAFs declare it).
+                Repr::Partitioned(replicas)
+                    if !lw.cfg.agnostic
+                        && lw.cfg.partial_aggregation
+                        && all_splittable(lw.logical, &aggregates) =>
+                {
+                    lower_partial_agg(
+                        lw, &replicas, predicate, &group_by, &aggregates, having,
+                    )
+                }
+                // No optimization possible: complete aggregate over the
+                // centrally merged input.
+                _ => {
+                    let c = lw.central(input)?;
+                    let n = lw.add(
+                        LogicalNode::Aggregate {
+                            input: c,
+                            predicate,
+                            group_by,
+                            aggregates,
+                            having,
+                        },
+                        agg_host,
+                        true,
+                    )?;
+                    Ok(Repr::Central(n))
+                }
+            }
+        }
+
+        LogicalNode::Join {
+            left,
+            right,
+            left_alias,
+            right_alias,
+            join_type,
+            temporal,
+            equi,
+            residual,
+            projections,
+        } => {
+            let lrep = lw.repr[left].clone().expect("child lowered");
+            let rrep = lw.repr[right].clone().expect("child lowered");
+            match (&lrep, &rrep) {
+                // Figure 7: pairwise per-partition joins. Both inputs
+                // carry the same partitioning, so partition i on the left
+                // matches exactly partition i on the right — the paper's
+                // unmatched-partition NULL-padding path only arises for
+                // unequal partition counts, which a single splitter never
+                // produces.
+                (Repr::Partitioned(ls), Repr::Partitioned(rs))
+                    if compatible && ls.len() == rs.len() =>
+                {
+                    let mut out = Vec::with_capacity(ls.len());
+                    for p in 0..ls.len() {
+                        let n = lw.add(
+                            LogicalNode::Join {
+                                left: ls[p],
+                                right: rs[p],
+                                left_alias: left_alias.clone(),
+                                right_alias: right_alias.clone(),
+                                join_type,
+                                temporal: temporal.clone(),
+                                equi: equi.clone(),
+                                residual: residual.clone(),
+                                projections: projections.clone(),
+                            },
+                            lw.part.host_of_partition(p),
+                            false,
+                        )?;
+                        out.push(n);
+                    }
+                    Ok(Repr::Partitioned(out))
+                }
+                _ => {
+                    let lc = lw.central(left)?;
+                    let rc = lw.central(right)?;
+                    let n = lw.add(
+                        LogicalNode::Join {
+                            left: lc,
+                            right: rc,
+                            left_alias,
+                            right_alias,
+                            join_type,
+                            temporal,
+                            equi,
+                            residual,
+                            projections,
+                        },
+                        agg_host,
+                        true,
+                    )?;
+                    Ok(Repr::Central(n))
+                }
+            }
+        }
+
+        LogicalNode::Merge { inputs } => {
+            // A user-written union stays partitioned when every input is
+            // partitioned with the same fan-out (partition i unions the
+            // inputs' partition i).
+            let reprs: Vec<Repr> = inputs
+                .iter()
+                .map(|&i| lw.repr[i].clone().expect("child lowered"))
+                .collect();
+            let all_partitioned: Option<Vec<&Vec<NodeId>>> = reprs
+                .iter()
+                .map(|r| match r {
+                    Repr::Partitioned(v) => Some(v),
+                    Repr::Central(_) => None,
+                })
+                .collect();
+            match all_partitioned {
+                Some(vecs)
+                    if compatible
+                        && !vecs.is_empty()
+                        && vecs.iter().all(|v| v.len() == lw.part.partitions) =>
+                {
+                    let mut out = Vec::with_capacity(lw.part.partitions);
+                    for p in 0..lw.part.partitions {
+                        let slice: Vec<NodeId> = vecs.iter().map(|v| v[p]).collect();
+                        let n = lw.add(
+                            LogicalNode::Merge { inputs: slice },
+                            lw.part.host_of_partition(p),
+                            false,
+                        )?;
+                        out.push(n);
+                    }
+                    Ok(Repr::Partitioned(out))
+                }
+                _ => {
+                    let mut central_inputs = Vec::with_capacity(inputs.len());
+                    for &i in &inputs {
+                        central_inputs.push(lw.central(i)?);
+                    }
+                    let n = lw.add(
+                        LogicalNode::Merge {
+                            inputs: central_inputs,
+                        },
+                        agg_host,
+                        true,
+                    )?;
+                    Ok(Repr::Central(n))
+                }
+            }
+        }
+    }
+}
+
+/// Whether every aggregate of the list decomposes into sub/super parts.
+fn all_splittable(logical: &QueryDag, aggregates: &[NamedAgg]) -> bool {
+    aggregates.iter().all(|a| match &a.call.func {
+        qap_expr::AggFunc::Builtin(_) => true,
+        qap_expr::AggFunc::Udaf(name) => logical
+            .catalog()
+            .udafs()
+            .get(name)
+            .is_some_and(|u| u.splittable()),
+    })
+}
+
+/// The Section 5.2.2 transformation: sub-aggregates (per partition or
+/// per host) feeding a central super-aggregate. WHERE is pushed into the
+/// subs; HAVING stays at the super (it "needs complete aggregate
+/// values"); AVG decomposes into SUM and COUNT partials recombined by a
+/// finishing projection.
+fn lower_partial_agg(
+    lw: &mut Lowering<'_>,
+    replicas: &[NodeId],
+    predicate: Option<ScalarExpr>,
+    group_by: &[NamedExpr],
+    aggregates: &[NamedAgg],
+    having: Option<ScalarExpr>,
+) -> OptResult<Repr> {
+    let agg_host = lw.part.aggregator_host;
+
+    // Decompose each aggregate into partial slots.
+    struct Slot {
+        /// Output name of the original aggregate.
+        name: String,
+        /// Partial columns: (column name, sub call, super call).
+        partials: Vec<(String, AggCall, AggCall)>,
+        /// Finishing rule.
+        finish: qap_expr::FinishOp,
+    }
+    let slots: Vec<Slot> = aggregates
+        .iter()
+        .map(|a| match &a.call.func {
+            qap_expr::AggFunc::Builtin(kind) => {
+                let spec = qap_expr::split_agg(*kind);
+                let partial = |col: &str, sub: qap_expr::AggKind, sup: qap_expr::AggKind| {
+                    (
+                        col.to_string(),
+                        AggCall {
+                            func: qap_expr::AggFunc::Builtin(sub),
+                            arg: a.call.arg.clone(),
+                            merge: false,
+                            emit_partial: false,
+                        },
+                        // Built-in supers fold partial columns with a
+                        // rewritten kind whose update equals merge
+                        // (COUNT partials SUM together, etc.).
+                        AggCall::new(sup, ScalarExpr::col(col)),
+                    )
+                };
+                let partials = if spec.sub.len() == 1 {
+                    vec![partial(&a.name, spec.sub[0], spec.sup[0])]
+                } else {
+                    vec![
+                        partial(&format!("{}__sum", a.name), spec.sub[0], spec.sup[0]),
+                        partial(&format!("{}__cnt", a.name), spec.sub[1], spec.sup[1]),
+                    ]
+                };
+                Slot {
+                    name: a.name.clone(),
+                    partials,
+                    finish: spec.finish,
+                }
+            }
+            qap_expr::AggFunc::Udaf(name) => {
+                // A splittable UDAF: the sub runs it over raw values, the
+                // super re-runs it over the partials in merge mode
+                // (callers check splittability before reaching here).
+                let sub = AggCall {
+                    func: a.call.func.clone(),
+                    arg: a.call.arg.clone(),
+                    merge: false,
+                    emit_partial: true,
+                };
+                let sup = AggCall {
+                    func: qap_expr::AggFunc::Udaf(name.clone()),
+                    arg: Some(ScalarExpr::col(a.name.clone())),
+                    merge: true,
+                    emit_partial: false,
+                };
+                Slot {
+                    name: a.name.clone(),
+                    partials: vec![(a.name.clone(), sub, sup)],
+                    finish: qap_expr::FinishOp::First,
+                }
+            }
+        })
+        .collect();
+
+    let sub_aggs: Vec<NamedAgg> = slots
+        .iter()
+        .flat_map(|s| {
+            s.partials
+                .iter()
+                .map(|(col, sub, _)| NamedAgg::new(col.clone(), sub.clone()))
+        })
+        .collect();
+
+    // Inputs of the sub-aggregates, per the configured scope.
+    let sub_inputs: Vec<(NodeId, usize)> = match lw.cfg.partial_agg_scope {
+        PartialAggScope::PerPartition => replicas
+            .iter()
+            .enumerate()
+            .map(|(p, &r)| (r, lw.part.host_of_partition(p)))
+            .collect(),
+        PartialAggScope::PerHost => {
+            let mut per_host: Vec<(NodeId, usize)> = Vec::with_capacity(lw.part.hosts);
+            for h in 0..lw.part.hosts {
+                let mine: Vec<NodeId> = lw
+                    .part
+                    .partitions_of_host(h)
+                    .into_iter()
+                    .map(|p| replicas[p])
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                let input = if mine.len() == 1 {
+                    mine[0]
+                } else {
+                    lw.add(LogicalNode::Merge { inputs: mine }, h, false)?
+                };
+                per_host.push((input, h));
+            }
+            per_host
+        }
+    };
+
+    let mut subs = Vec::with_capacity(sub_inputs.len());
+    for (input, host) in sub_inputs {
+        let n = lw.add(
+            LogicalNode::Aggregate {
+                input,
+                predicate: predicate.clone(),
+                group_by: group_by.to_vec(),
+                aggregates: sub_aggs.clone(),
+                having: None,
+            },
+            host,
+            false,
+        )?;
+        subs.push(n);
+    }
+
+    // Central merge of partials, then the super-aggregate.
+    let merged = lw.add(LogicalNode::Merge { inputs: subs }, agg_host, true)?;
+    let super_group: Vec<NamedExpr> = group_by
+        .iter()
+        .map(|g| NamedExpr::passthrough(g.name.clone()))
+        .collect();
+    let super_aggs: Vec<NamedAgg> = slots
+        .iter()
+        .flat_map(|s| {
+            s.partials
+                .iter()
+                .map(|(col, _, sup)| NamedAgg::new(col.clone(), sup.clone()))
+        })
+        .collect();
+
+    let needs_finish = slots
+        .iter()
+        .any(|s| s.finish == qap_expr::FinishOp::DivSumCount);
+    let super_having = if needs_finish { None } else { having.clone() };
+    let mut node = lw.add(
+        LogicalNode::Aggregate {
+            input: merged,
+            predicate: None,
+            group_by: super_group.clone(),
+            aggregates: super_aggs,
+            having: super_having,
+        },
+        agg_host,
+        true,
+    )?;
+
+    if needs_finish {
+        // Recombine AVG partials and restore the original column set.
+        let mut projections: Vec<NamedExpr> = super_group
+            .iter()
+            .map(|g| NamedExpr::passthrough(g.name.clone()))
+            .collect();
+        for s in &slots {
+            match s.finish {
+                qap_expr::FinishOp::First => {
+                    projections.push(NamedExpr::passthrough(s.partials[0].0.clone()));
+                }
+                qap_expr::FinishOp::DivSumCount => {
+                    projections.push(NamedExpr::new(
+                        s.name.clone(),
+                        ScalarExpr::col(s.partials[0].0.clone()).binary(
+                            qap_expr::BinOp::Div,
+                            ScalarExpr::col(s.partials[1].0.clone()),
+                        ),
+                    ));
+                }
+            }
+        }
+        node = lw.add(
+            LogicalNode::SelectProject {
+                input: node,
+                predicate: None,
+                projections,
+            },
+            agg_host,
+            true,
+        )?;
+        if let Some(h) = having {
+            let all: Vec<NamedExpr> = lw
+                .dag
+                .schema(node)
+                .fields()
+                .iter()
+                .map(|f| NamedExpr::passthrough(f.name()))
+                .collect();
+            node = lw.add(
+                LogicalNode::SelectProject {
+                    input: node,
+                    predicate: Some(h),
+                    projections: all,
+                },
+                agg_host,
+                true,
+            )?;
+        }
+    }
+
+    Ok(Repr::Central(node))
+}

@@ -1,0 +1,35 @@
+//! Optimizer errors.
+
+use std::fmt;
+
+use qap_plan::PlanError;
+
+/// Errors raised while lowering a logical plan to a distributed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// A physical-plan construction step failed (should not happen for
+    /// well-typed logical plans; indicates an optimizer bug).
+    Plan(PlanError),
+    /// Invalid partitioning description.
+    BadPartitioning(String),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Plan(e) => write!(f, "physical plan construction failed: {e}"),
+            OptError::BadPartitioning(msg) => write!(f, "bad partitioning: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<PlanError> for OptError {
+    fn from(e: PlanError) -> Self {
+        OptError::Plan(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type OptResult<T> = Result<T, OptError>;

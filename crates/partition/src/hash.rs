@@ -1,0 +1,170 @@
+//! Hash-based stream partitioning (Section 3.3).
+//!
+//! A tuple falls into partition `i` when
+//! `i·R/M ≤ H(A) < (i+1)·R/M`, with `H` a hash over the partitioning
+//! set's expressions, `R` the hash range and `M` the partition count.
+
+use qap_expr::{bind, BoundExpr, ExprResult};
+use qap_types::{Schema, Tuple, Value};
+
+use crate::PartitionSet;
+
+/// FNV-1a over a 64-bit word stream. Deterministic across runs (unlike
+/// SipHash-keyed std hashing), which experiments and tests rely on.
+pub fn fnv1a_hash(words: impl IntoIterator<Item = u64>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Evaluates a partitioning set's expressions against tuples of one
+/// schema and maps them onto `M` partitions.
+///
+/// ```
+/// use qap_partition::{HashPartitioner, PartitionSet};
+/// use qap_types::{tcp_schema, tuple};
+///
+/// let set = PartitionSet::from_columns(["srcIP", "destIP"]);
+/// let splitter = HashPartitioner::new(&set, &tcp_schema(), 8).unwrap();
+/// // Same flow endpoints → same partition, whatever else differs.
+/// let a = tuple![0u64, 0u64, 10u64, 20u64, 80u64, 443u64, 6u64, 0u64, 40u64];
+/// let b = tuple![99u64, 5u64, 10u64, 20u64, 81u64, 444u64, 6u64, 2u64, 1500u64];
+/// assert_eq!(splitter.partition(&a), splitter.partition(&b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashPartitioner {
+    exprs: Vec<BoundExpr>,
+    partitions: usize,
+}
+
+impl HashPartitioner {
+    /// Compiles the partitioner for a stream schema. Fails when a set
+    /// expression does not resolve against the schema.
+    pub fn new(set: &PartitionSet, schema: &Schema, partitions: usize) -> ExprResult<Self> {
+        assert!(partitions > 0, "at least one partition required");
+        let exprs = set
+            .to_scalar_exprs()
+            .iter()
+            .map(|e| bind(e, schema))
+            .collect::<ExprResult<Vec<_>>>()?;
+        Ok(HashPartitioner { exprs, partitions })
+    }
+
+    /// Number of partitions `M`.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Assigns a tuple to a partition. An empty expression list (the
+    /// degenerate empty set) sends everything to partition 0.
+    pub fn partition(&self, tuple: &Tuple) -> usize {
+        if self.exprs.is_empty() {
+            return 0;
+        }
+        let words = self.exprs.iter().map(|e| match e.eval(tuple) {
+            Ok(v) => value_word(&v),
+            Err(_) => 0,
+        });
+        let h = fnv1a_hash(words);
+        // i = floor(H * M / 2^64): the range split of Section 3.3.
+        ((u128::from(h) * self.partitions as u128) >> 64) as usize
+    }
+}
+
+fn value_word(v: &Value) -> u64 {
+    match v {
+        Value::Null => u64::MAX,
+        Value::UInt(x) => *x,
+        Value::Int(x) => *x as u64,
+        Value::Bool(b) => u64::from(*b),
+        Value::Str(s) => fnv1a_hash(s.as_bytes().iter().map(|&b| u64::from(b))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qap_types::{tcp_schema, tuple};
+
+    fn pkt(time: u64, src: u64, dst: u64) -> Tuple {
+        // TCP(time, timestamp, srcIP, destIP, srcPort, destPort, protocol, flags, len)
+        tuple![time, time * 1000, src, dst, 80u64, 443u64, 6u64, 0x10u64, 64u64]
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let ps = PartitionSet::from_columns(["srcIP", "destIP"]);
+        let p = HashPartitioner::new(&ps, &tcp_schema(), 8).unwrap();
+        for i in 0..1000u64 {
+            let t = pkt(i, i * 7, i * 13);
+            let a = p.partition(&t);
+            assert!(a < 8);
+            assert_eq!(a, p.partition(&t));
+        }
+    }
+
+    #[test]
+    fn same_key_same_partition_regardless_of_other_fields() {
+        let ps = PartitionSet::from_columns(["srcIP", "destIP"]);
+        let p = HashPartitioner::new(&ps, &tcp_schema(), 8).unwrap();
+        let a = p.partition(&pkt(1, 42, 77));
+        let b = p.partition(&pkt(999, 42, 77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn masked_set_groups_subnets() {
+        let ps = PartitionSet::from_exprs([&qap_expr::ScalarExpr::col("srcIP").mask(0xFFFF_FF00)]);
+        let p = HashPartitioner::new(&ps, &tcp_schema(), 16).unwrap();
+        // Same /24: same partition.
+        assert_eq!(
+            p.partition(&pkt(0, 0x0A000001, 1)),
+            p.partition(&pkt(0, 0x0A0000FE, 2))
+        );
+    }
+
+    #[test]
+    fn spreads_load_roughly_evenly() {
+        let ps = PartitionSet::from_columns(["srcIP"]);
+        let m = 4;
+        let p = HashPartitioner::new(&ps, &tcp_schema(), m).unwrap();
+        let mut counts = vec![0usize; m];
+        let n = 40_000u64;
+        for i in 0..n {
+            counts[p.partition(&pkt(0, i, 0))] += 1;
+        }
+        let expected = n as f64 / m as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "partition {i} holds {c} of {n} (dev {dev:.3})");
+        }
+    }
+
+    #[test]
+    fn empty_set_degenerates_to_partition_zero() {
+        let p = HashPartitioner::new(&PartitionSet::empty(), &tcp_schema(), 4).unwrap();
+        assert_eq!(p.partition(&pkt(0, 1, 2)), 0);
+    }
+
+    #[test]
+    fn unresolvable_expression_rejected() {
+        let ps = PartitionSet::from_columns(["nosuch"]);
+        assert!(HashPartitioner::new(&ps, &tcp_schema(), 4).is_err());
+    }
+
+    #[test]
+    fn single_partition_accepts_everything() {
+        let ps = PartitionSet::from_columns(["srcIP"]);
+        let p = HashPartitioner::new(&ps, &tcp_schema(), 1).unwrap();
+        for i in 0..100 {
+            assert_eq!(p.partition(&pkt(i, i * 3, i * 5)), 0);
+        }
+    }
+}

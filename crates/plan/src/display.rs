@@ -1,0 +1,156 @@
+//! ASCII rendering of query DAGs, in the style of the paper's plan
+//! figures (Figures 1–7, 12).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{LogicalNode, NodeId, QueryDag};
+
+/// Renders the DAG as an indented tree, one root at a time. Shared
+/// subtrees (DAG nodes with multiple parents) are expanded once and then
+/// referenced by name.
+pub fn render_dag(dag: &QueryDag) -> String {
+    let mut out = String::new();
+    let names: HashMap<NodeId, &str> = dag
+        .named_queries()
+        .into_iter()
+        .map(|(n, id)| (id, n))
+        .collect();
+    let mut expanded: Vec<bool> = vec![false; dag.len()];
+    for root in dag.roots() {
+        render_node(dag, root, 0, &names, &mut expanded, &mut out);
+    }
+    out
+}
+
+fn render_node(
+    dag: &QueryDag,
+    id: NodeId,
+    depth: usize,
+    names: &HashMap<NodeId, &str>,
+    expanded: &mut Vec<bool>,
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth);
+    let name = names.get(&id).map(|n| format!(" [{n}]")).unwrap_or_default();
+    if expanded[id] && !matches!(dag.node(id), LogicalNode::Source { .. }) {
+        let _ = writeln!(out, "{indent}(see{name} node {id} above)");
+        return;
+    }
+    expanded[id] = true;
+    let detail = describe(dag, id);
+    let _ = writeln!(out, "{indent}{}{name} {detail}", dag.node(id).label());
+    for child in dag.node(id).children() {
+        render_node(dag, child, depth + 1, names, expanded, out);
+    }
+}
+
+fn describe(dag: &QueryDag, id: NodeId) -> String {
+    match dag.node(id) {
+        LogicalNode::Source { .. } => String::new(),
+        LogicalNode::SelectProject {
+            predicate,
+            projections,
+            ..
+        } => {
+            let proj: Vec<String> = projections.iter().map(|p| p.to_string()).collect();
+            let mut s = format!("[{}]", proj.join(", "));
+            if let Some(p) = predicate {
+                let _ = write!(s, " where {p}");
+            }
+            s
+        }
+        LogicalNode::Aggregate {
+            group_by,
+            aggregates,
+            having,
+            predicate,
+            ..
+        } => {
+            let gb: Vec<String> = group_by.iter().map(|g| g.to_string()).collect();
+            let ag: Vec<String> = aggregates.iter().map(|a| a.to_string()).collect();
+            let mut s = format!("group by [{}] compute [{}]", gb.join(", "), ag.join(", "));
+            if let Some(p) = predicate {
+                let _ = write!(s, " where {p}");
+            }
+            if let Some(h) = having {
+                let _ = write!(s, " having {h}");
+            }
+            s
+        }
+        LogicalNode::Join {
+            temporal,
+            equi,
+            left_alias,
+            right_alias,
+            ..
+        } => {
+            let mut preds = vec![temporal.to_string()];
+            preds.extend(equi.iter().map(|(l, r)| format!("{l} = {r}")));
+            format!("{left_alias}×{right_alias} on [{}]", preds.join(" and "))
+        }
+        LogicalNode::Merge { inputs } => format!("of {} inputs", inputs.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NamedAgg, NamedExpr};
+    use qap_expr::{AggCall, ScalarExpr};
+    use qap_types::Catalog;
+
+    #[test]
+    fn renders_aggregation_tree() {
+        let mut d = QueryDag::new(Catalog::with_network_schemas());
+        let src = d.add_source("TCP").unwrap();
+        let flows = d
+            .add_node(LogicalNode::Aggregate {
+                input: src,
+                predicate: None,
+                group_by: vec![
+                    NamedExpr::new("tb", ScalarExpr::col("time").div(60)),
+                    NamedExpr::passthrough("srcIP"),
+                ],
+                aggregates: vec![NamedAgg::new("cnt", AggCall::count_star())],
+                having: None,
+            })
+            .unwrap();
+        d.name_query("flows", flows).unwrap();
+        let rendered = render_dag(&d);
+        assert!(rendered.contains("γ [flows]"), "{rendered}");
+        assert!(rendered.contains("SOURCE TCP"), "{rendered}");
+        assert!(rendered.contains("time / 60 as tb"), "{rendered}");
+    }
+
+    #[test]
+    fn shared_subtrees_rendered_once() {
+        let mut d = QueryDag::new(Catalog::with_network_schemas());
+        let src = d.add_source("TCP").unwrap();
+        let flows = d
+            .add_node(LogicalNode::Aggregate {
+                input: src,
+                predicate: None,
+                group_by: vec![
+                    NamedExpr::new("tb", ScalarExpr::col("time").div(60)),
+                    NamedExpr::passthrough("srcIP"),
+                ],
+                aggregates: vec![NamedAgg::new("cnt", AggCall::count_star())],
+                having: None,
+            })
+            .unwrap();
+        d.name_query("flows", flows).unwrap();
+        // Two consumers of flows.
+        for _ in 0..2 {
+            d.add_node(LogicalNode::SelectProject {
+                input: flows,
+                predicate: None,
+                projections: vec![NamedExpr::passthrough("srcIP")],
+            })
+            .unwrap();
+        }
+        let rendered = render_dag(&d);
+        assert_eq!(rendered.matches("group by").count(), 1, "{rendered}");
+        assert!(rendered.contains("see [flows]"), "{rendered}");
+    }
+}

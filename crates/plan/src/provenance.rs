@@ -1,0 +1,212 @@
+//! Column provenance: tracing derived columns back to source-stream
+//! expressions.
+//!
+//! Partitioning happens *once*, at the splitter, on raw source tuples
+//! (the paper: "we can only afford to partition the source once"). The
+//! compatible-partitioning-set inference of Section 3.5 therefore needs
+//! every candidate grouping/join expression re-expressed over the source
+//! stream's attributes. E.g. `heavy_flows` groups by `tb`, which `flows`
+//! defined as `time/60` over `TCP` — its source expression is
+//! `time / 60`.
+//!
+//! Columns that are "results of aggregations computed in lower-level
+//! queries" (Section 3.5.2) have no per-tuple source expression and
+//! yield `None`; the analysis ignores them, exactly as the paper
+//! prescribes.
+
+use qap_expr::{ColumnRef, ScalarExpr};
+
+use crate::{LogicalNode, NodeId, QueryDag};
+
+/// Traces output column `column` of `node` to a scalar expression over
+/// the base-stream attributes feeding it, or `None` when the column is
+/// not a per-tuple function of source attributes (aggregate results).
+pub fn source_expr(dag: &QueryDag, node: NodeId, column: &str) -> Option<ScalarExpr> {
+    match dag.node(node) {
+        LogicalNode::Source { .. } => {
+            let schema = dag.schema(node);
+            let idx = schema.index_of(column)?;
+            Some(ScalarExpr::col(schema.fields()[idx].name()))
+        }
+        LogicalNode::SelectProject {
+            input, projections, ..
+        } => {
+            let ne = projections
+                .iter()
+                .find(|ne| ne.name.eq_ignore_ascii_case(column))?;
+            lower(dag, *input, &ne.expr)
+        }
+        LogicalNode::Aggregate {
+            input, group_by, ..
+        } => {
+            // Only grouping columns have provenance; aggregate outputs
+            // are not per-tuple functions of the input.
+            let ne = group_by
+                .iter()
+                .find(|ne| ne.name.eq_ignore_ascii_case(column))?;
+            lower(dag, *input, &ne.expr)
+        }
+        LogicalNode::Join {
+            left,
+            right,
+            left_alias,
+            right_alias,
+            projections,
+            ..
+        } => {
+            let ne = projections
+                .iter()
+                .find(|ne| ne.name.eq_ignore_ascii_case(column))?;
+            lower_join(dag, *left, *right, left_alias, right_alias, &ne.expr)
+        }
+        LogicalNode::Merge { inputs } => {
+            // All merge inputs share a schema; provenance follows any
+            // branch (the optimizer only merges replicas of one plan).
+            source_expr(dag, *inputs.first()?, column)
+        }
+    }
+}
+
+/// Rewrites `expr` (over `input`'s output schema) into an expression over
+/// source-stream attributes.
+fn lower(dag: &QueryDag, input: NodeId, expr: &ScalarExpr) -> Option<ScalarExpr> {
+    expr.map_columns(&mut |c: &ColumnRef| source_expr(dag, input, &c.name))
+}
+
+/// Same, for a join's concatenated schema with alias qualifiers.
+fn lower_join(
+    dag: &QueryDag,
+    left: NodeId,
+    right: NodeId,
+    left_alias: &str,
+    right_alias: &str,
+    expr: &ScalarExpr,
+) -> Option<ScalarExpr> {
+    expr.map_columns(&mut |c: &ColumnRef| {
+        let ls = dag.schema(left);
+        let rs = dag.schema(right);
+        match &c.qualifier {
+            Some(q) if q.eq_ignore_ascii_case(left_alias) => source_expr(dag, left, &c.name),
+            Some(q) if q.eq_ignore_ascii_case(right_alias) => source_expr(dag, right, &c.name),
+            Some(_) => None,
+            None => match (ls.index_of(&c.name), rs.index_of(&c.name)) {
+                (Some(_), _) => source_expr(dag, left, &c.name),
+                (None, Some(_)) => source_expr(dag, right, &c.name),
+                (None, None) => None,
+            },
+        }
+    })
+}
+
+/// Source expressions for an arbitrary expression evaluated at `node`'s
+/// *input* boundary — used by the partition analyzer to lower group-by
+/// expressions and join-predicate sides.
+pub fn source_exprs_for_node(
+    dag: &QueryDag,
+    input: NodeId,
+    expr: &ScalarExpr,
+) -> Option<ScalarExpr> {
+    lower(dag, input, expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JoinType, NamedAgg, NamedExpr, TemporalJoin};
+    use qap_expr::{AggCall, AggKind};
+    use qap_types::Catalog;
+
+    fn flows_heavy_pairs() -> (QueryDag, NodeId, NodeId, NodeId) {
+        let mut d = QueryDag::new(Catalog::with_network_schemas());
+        let src = d.add_source("TCP").unwrap();
+        let flows = d
+            .add_node(LogicalNode::Aggregate {
+                input: src,
+                predicate: None,
+                group_by: vec![
+                    NamedExpr::new("tb", ScalarExpr::col("time").div(60)),
+                    NamedExpr::passthrough("srcIP"),
+                    NamedExpr::passthrough("destIP"),
+                ],
+                aggregates: vec![NamedAgg::new("cnt", AggCall::count_star())],
+                having: None,
+            })
+            .unwrap();
+        let heavy = d
+            .add_node(LogicalNode::Aggregate {
+                input: flows,
+                predicate: None,
+                group_by: vec![NamedExpr::passthrough("tb"), NamedExpr::passthrough("srcIP")],
+                aggregates: vec![NamedAgg::new(
+                    "max_cnt",
+                    AggCall::new(AggKind::Max, ScalarExpr::col("cnt")),
+                )],
+                having: None,
+            })
+            .unwrap();
+        let pairs = d
+            .add_node(LogicalNode::Join {
+                left: heavy,
+                right: heavy,
+                left_alias: "S1".into(),
+                right_alias: "S2".into(),
+                join_type: JoinType::Inner,
+                temporal: TemporalJoin {
+                    left: ColumnRef::qualified("S1", "tb"),
+                    right: ColumnRef::qualified("S2", "tb"),
+                    offset: 1,
+                },
+                equi: vec![(
+                    ScalarExpr::qcol("S1", "srcIP"),
+                    ScalarExpr::qcol("S2", "srcIP"),
+                )],
+                residual: None,
+                projections: vec![
+                    NamedExpr::new("tb", ScalarExpr::qcol("S1", "tb")),
+                    NamedExpr::new("srcIP", ScalarExpr::qcol("S1", "srcIP")),
+                    NamedExpr::new("m1", ScalarExpr::qcol("S1", "max_cnt")),
+                ],
+            })
+            .unwrap();
+        (d, flows, heavy, pairs)
+    }
+
+    #[test]
+    fn group_column_traces_to_source() {
+        let (d, flows, _, _) = flows_heavy_pairs();
+        let e = source_expr(&d, flows, "tb").unwrap();
+        assert_eq!(e.to_string(), "time / 60");
+        let s = source_expr(&d, flows, "srcIP").unwrap();
+        assert_eq!(s.to_string(), "srcIP");
+    }
+
+    #[test]
+    fn aggregate_output_has_no_provenance() {
+        let (d, flows, heavy, _) = flows_heavy_pairs();
+        assert!(source_expr(&d, flows, "cnt").is_none());
+        assert!(source_expr(&d, heavy, "max_cnt").is_none());
+    }
+
+    #[test]
+    fn provenance_chains_through_levels() {
+        let (d, _, heavy, _) = flows_heavy_pairs();
+        // heavy_flows.tb → flows.tb → time/60.
+        let e = source_expr(&d, heavy, "tb").unwrap();
+        assert_eq!(e.to_string(), "time / 60");
+    }
+
+    #[test]
+    fn join_projection_traces_through_alias() {
+        let (d, _, _, pairs) = flows_heavy_pairs();
+        let e = source_expr(&d, pairs, "srcIP").unwrap();
+        assert_eq!(e.to_string(), "srcIP");
+        // m1 = S1.max_cnt is an aggregate result: no provenance.
+        assert!(source_expr(&d, pairs, "m1").is_none());
+    }
+
+    #[test]
+    fn unknown_column_has_no_provenance() {
+        let (d, flows, _, _) = flows_heavy_pairs();
+        assert!(source_expr(&d, flows, "nope").is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Raw (pre-analysis) abstract syntax.
+
+use qap_expr::{BinOp, ColumnRef, UnOp};
+use qap_plan::JoinType;
+
+/// A parsed expression. Unlike [`qap_expr::ScalarExpr`] this form may
+/// contain aggregate function calls; the analyzer extracts them into
+/// aggregate slots and rejects them in scalar-only contexts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// String literal.
+    Str(String),
+    /// TRUE / FALSE.
+    Bool(bool),
+    /// NULL.
+    Null,
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<AstExpr>,
+        /// Right operand.
+        rhs: Box<AstExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<AstExpr>,
+    },
+    /// Aggregate call; `arg: None` encodes `f(*)`.
+    Agg {
+        /// Function name as written.
+        name: String,
+        /// Argument (must be scalar).
+        arg: Option<Box<AstExpr>>,
+    },
+}
+
+impl AstExpr {
+    /// Whether any aggregate call occurs in the expression.
+    pub fn contains_agg(&self) -> bool {
+        match self {
+            AstExpr::Agg { .. } => true,
+            AstExpr::Binary { lhs, rhs, .. } => lhs.contains_agg() || rhs.contains_agg(),
+            AstExpr::Unary { expr, .. } => expr.contains_agg(),
+            _ => false,
+        }
+    }
+}
+
+/// One SELECT-list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: AstExpr,
+    /// `AS alias`, when written.
+    pub alias: Option<String>,
+}
+
+/// One FROM-clause source: a base stream or previously defined query,
+/// optionally aliased (`heavy_flows S1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// Stream or query name.
+    pub name: String,
+    /// Alias, when written.
+    pub alias: Option<String>,
+}
+
+impl FromItem {
+    /// Effective name used for qualifier resolution.
+    pub fn effective_alias(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Explicit JOIN syntax info (`A LEFT OUTER JOIN B`). Comma-joins carry
+/// `None` in [`SelectStmt::join`] and default to inner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinSpec {
+    /// Join flavor.
+    pub join_type: JoinType,
+}
+
+/// One GROUP BY entry, optionally aliased (GSQL extends SQL with
+/// `GROUP BY time/60 as tb`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupItem {
+    /// Grouping expression.
+    pub expr: AstExpr,
+    /// Alias naming the output column.
+    pub alias: Option<String>,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM sources (one, or two for a join).
+    pub from: Vec<FromItem>,
+    /// Explicit join syntax, if the JOIN keyword was used.
+    pub join: Option<JoinSpec>,
+    /// WHERE predicate.
+    pub where_clause: Option<AstExpr>,
+    /// GROUP BY entries.
+    pub group_by: Vec<GroupItem>,
+    /// HAVING predicate.
+    pub having: Option<AstExpr>,
+}

@@ -1,0 +1,50 @@
+//! Parser and analyzer errors with source positions.
+
+use std::fmt;
+
+use qap_plan::PlanError;
+
+/// Errors produced while lexing, parsing or analyzing GSQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset in the input.
+        pos: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Parse error at a byte offset.
+    Parse {
+        /// Byte offset in the input.
+        pos: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Semantic error (resolution, typing, query-shape restrictions).
+    Analyze(String),
+    /// Error raised while assembling the plan DAG.
+    Plan(PlanError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, msg } => write!(f, "lex error at byte {pos}: {msg}"),
+            SqlError::Parse { pos, msg } => write!(f, "parse error at byte {pos}: {msg}"),
+            SqlError::Analyze(msg) => write!(f, "semantic error: {msg}"),
+            SqlError::Plan(e) => write!(f, "plan error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<PlanError> for SqlError {
+    fn from(e: PlanError) -> Self {
+        SqlError::Plan(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type SqlResult<T> = Result<T, SqlError>;

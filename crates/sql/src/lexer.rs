@@ -1,0 +1,320 @@
+//! GSQL lexer.
+
+use crate::{SqlError, SqlResult};
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub pos: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively and carried
+/// as `Keyword` with a canonical upper-case spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (column, stream, alias, function name).
+    Ident(String),
+    /// Keyword (canonical upper-case).
+    Keyword(&'static str),
+    /// Unsigned integer literal (decimal, hex, or dotted IPv4).
+    Number(u64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS", "AND", "OR", "NOT", "JOIN", "LEFT",
+    "RIGHT", "FULL", "OUTER", "INNER", "ON", "QUERY", "TRUE", "FALSE", "NULL", "UNION", "ALL",
+    "STREAM",
+];
+
+/// Tokenizes the whole input.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments: -- ... and // ...
+        if (c == b'-' && bytes.get(i + 1) == Some(&b'-'))
+            || (c == b'/' && bytes.get(i + 1) == Some(&b'/'))
+        {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if !c.is_ascii() {
+            let ch = input[i..].chars().next().unwrap_or('?');
+            return Err(SqlError::Lex {
+                pos: i,
+                msg: format!("unexpected character '{ch}'"),
+            });
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == b'_' {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &input[start..i];
+            let upper = word.to_ascii_uppercase();
+            let kind = match KEYWORDS.iter().find(|k| **k == upper) {
+                Some(k) => TokenKind::Keyword(k),
+                None => TokenKind::Ident(word.to_string()),
+            };
+            tokens.push(Token { kind, pos: start });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (value, next) = lex_number(input, start)?;
+            tokens.push(Token {
+                kind: TokenKind::Number(value),
+                pos: start,
+            });
+            i = next;
+            continue;
+        }
+        if c == b'\'' {
+            i += 1;
+            let str_start = i;
+            while i < bytes.len() && bytes[i] != b'\'' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(SqlError::Lex {
+                    pos: start,
+                    msg: "unterminated string literal".into(),
+                });
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str(input[str_start..i].to_string()),
+                pos: start,
+            });
+            i += 1;
+            continue;
+        }
+        // Multi-char operators first.
+        let two = if i + 1 < bytes.len() { &input[i..i + 2] } else { "" };
+        let sym: &'static str = match two {
+            "<>" => "<>",
+            "!=" => "<>",
+            "<=" => "<=",
+            ">=" => ">=",
+            "<<" => "<<",
+            ">>" => ">>",
+            _ => match c {
+                b'(' => "(",
+                b')' => ")",
+                b',' => ",",
+                b';' => ";",
+                b'.' => ".",
+                b'*' => "*",
+                b'/' => "/",
+                b'%' => "%",
+                b'+' => "+",
+                b'-' => "-",
+                b'&' => "&",
+                b'|' => "|",
+                b'^' => "^",
+                b'~' => "~",
+                b'=' => "=",
+                b'<' => "<",
+                b'>' => ">",
+                b':' => ":",
+                _ => {
+                    return Err(SqlError::Lex {
+                        pos: i,
+                        msg: format!("unexpected character '{}'", c as char),
+                    })
+                }
+            },
+        };
+        i += sym.len();
+        tokens.push(Token {
+            kind: TokenKind::Symbol(sym),
+            pos: start,
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: input.len(),
+    });
+    Ok(tokens)
+}
+
+/// Lexes a number starting at `start`: decimal, `0x` hex, or dotted IPv4
+/// (`a.b.c.d`, which lexes to the 32-bit big-endian integer, the form
+/// packet headers carry).
+fn lex_number(input: &str, start: usize) -> SqlResult<(u64, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    // Hex.
+    if bytes[i] == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+        i += 2;
+        let hex_start = i;
+        while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+            i += 1;
+        }
+        if i == hex_start {
+            return Err(SqlError::Lex {
+                pos: start,
+                msg: "empty hex literal".into(),
+            });
+        }
+        let v = u64::from_str_radix(&input[hex_start..i], 16).map_err(|_| SqlError::Lex {
+            pos: start,
+            msg: "hex literal out of range".into(),
+        })?;
+        return Ok((v, i));
+    }
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let first: u64 = input[start..i].parse().map_err(|_| SqlError::Lex {
+        pos: start,
+        msg: "integer literal out of range".into(),
+    })?;
+    // Dotted IPv4: exactly three further .octet groups.
+    if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+        let mut octets = vec![first];
+        let mut j = i;
+        while octets.len() < 4
+            && bytes.get(j) == Some(&b'.')
+            && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+        {
+            j += 1;
+            let oct_start = j;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            let oct: u64 = input[oct_start..j].parse().map_err(|_| SqlError::Lex {
+                pos: oct_start,
+                msg: "bad IPv4 octet".into(),
+            })?;
+            octets.push(oct);
+        }
+        if octets.len() == 4 {
+            if octets.iter().any(|&o| o > 255) {
+                return Err(SqlError::Lex {
+                    pos: start,
+                    msg: "IPv4 octet exceeds 255".into(),
+                });
+            }
+            let v = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3];
+            return Ok((v, j));
+        }
+        // Not a full IPv4 — treat as plain integer, leaving the dot for
+        // the parser (it will reject, since numbers have no fields).
+    }
+    Ok((first, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select FROM GrOuP"),
+            vec![
+                TokenKind::Keyword("SELECT"),
+                TokenKind::Keyword("FROM"),
+                TokenKind::Keyword("GROUP"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_hex_ip() {
+        assert_eq!(
+            kinds("60 0xFFF0 192.168.1.1"),
+            vec![
+                TokenKind::Number(60),
+                TokenKind::Number(0xFFF0),
+                TokenKind::Number(0xC0A80101),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_identifier_lexes_as_parts() {
+        assert_eq!(
+            kinds("S1.srcIP"),
+            vec![
+                TokenKind::Ident("S1".into()),
+                TokenKind::Symbol("."),
+                TokenKind::Ident("srcIP".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("<> <= >= << >> = & |"),
+            vec![
+                TokenKind::Symbol("<>"),
+                TokenKind::Symbol("<="),
+                TokenKind::Symbol(">="),
+                TokenKind::Symbol("<<"),
+                TokenKind::Symbol(">>"),
+                TokenKind::Symbol("="),
+                TokenKind::Symbol("&"),
+                TokenKind::Symbol("|"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("1 -- comment\n2 // another\n3"),
+            vec![
+                TokenKind::Number(1),
+                TokenKind::Number(2),
+                TokenKind::Number(3),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literal() {
+        assert_eq!(
+            kinds("'tcp'"),
+            vec![TokenKind::Str("tcp".into()), TokenKind::Eof]
+        );
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn bad_ip_octet_rejected() {
+        assert!(tokenize("999.1.1.1").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_rejected() {
+        let err = tokenize("SELECT @").unwrap_err();
+        assert!(matches!(err, SqlError::Lex { pos: 7, .. }));
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! GSQL: the SQL dialect of the Gigascope DSMS, as used throughout the
+//! paper.
+//!
+//! Supported surface (everything the paper's listings use):
+//!
+//! ```sql
+//! SELECT tb, srcIP, destIP, COUNT(*) as cnt
+//! FROM TCP
+//! WHERE protocol = 6
+//! GROUP BY time/60 as tb, srcIP, destIP
+//! HAVING OR_AGGR(flags) = 0x29
+//! ```
+//!
+//! - aggregation queries with GROUP BY aliases (`time/60 as tb`),
+//!   HAVING over aggregates, and WHERE over the input;
+//! - two-way equi-joins (comma or `JOIN`/`OUTER JOIN` syntax) whose
+//!   WHERE carries a temporal alignment predicate such as
+//!   `S1.tb = S2.tb + 1` (Section 3.1);
+//! - plain selection/projection queries;
+//! - named query sets: `QUERY flows: SELECT ...;` definitions that later
+//!   queries reference by name in FROM, forming the DAG of Section 4;
+//! - scalar expressions with C-style arithmetic/bit operators, hex
+//!   (`0xFFF0`) and dotted-IPv4 (`192.168.1.0`) literals.
+//!
+//! Parsing produces a [`qap_plan::QueryDag`] via [`QuerySetBuilder`].
+
+mod analyzer;
+mod ast;
+mod builder;
+mod error;
+mod lexer;
+mod parser;
+
+pub use ast::{FromItem, GroupItem, JoinSpec, SelectItem, SelectStmt};
+pub use builder::QuerySetBuilder;
+pub use error::{SqlError, SqlResult};
+pub use parser::{parse_expression, parse_select};

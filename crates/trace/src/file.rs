@@ -1,0 +1,136 @@
+//! Trace file persistence: save generated traces and replay captures.
+//!
+//! The on-disk format is a magic header followed by length-prefixed
+//! tuples in the `qap-types` wire encoding — the same bytes an
+//! inter-host transfer would carry, so a saved trace doubles as a wire-
+//! format regression fixture.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use qap_types::{decode_tuple, encode_tuple, Tuple};
+
+const MAGIC: &[u8; 8] = b"QAPTRC01";
+
+/// Errors raised while reading or writing trace files.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// A tuple failed to decode.
+    Corrupt(qap_types::TypeError),
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file I/O: {e}"),
+            TraceFileError::BadMagic => write!(f, "not a qap trace file (bad magic)"),
+            TraceFileError::Corrupt(e) => write!(f, "corrupt trace file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// Writes a trace to a file.
+pub fn write_trace(path: impl AsRef<Path>, trace: &[Tuple]) -> Result<(), TraceFileError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for t in trace {
+        let bytes = encode_tuple(t);
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&bytes)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a trace previously written with [`write_trace`].
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<Tuple>, TraceFileError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceFileError::BadMagic);
+    }
+    let mut count_bytes = [0u8; 8];
+    r.read_exact(&mut count_bytes)?;
+    let count = u64::from_le_bytes(count_bytes) as usize;
+    let mut trace = Vec::with_capacity(count.min(1 << 24));
+    for _ in 0..count {
+        let mut len_bytes = [0u8; 4];
+        r.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        let tuple = decode_tuple(buf.into()).map_err(TraceFileError::Corrupt)?;
+        trace.push(tuple);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TraceConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("qap-trace-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_a_generated_trace() {
+        let trace = generate(&TraceConfig::tiny(81));
+        let path = tmp("roundtrip.qtr");
+        write_trace(&path, &trace).unwrap();
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let path = tmp("empty.qtr");
+        write_trace(&path, &[]).unwrap();
+        assert!(read_trace(&path).unwrap().is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_non_trace_files() {
+        let path = tmp("garbage.qtr");
+        std::fs::write(&path, b"definitely not a trace").unwrap();
+        assert!(matches!(
+            read_trace(&path).unwrap_err(),
+            TraceFileError::BadMagic
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_files() {
+        let trace = generate(&TraceConfig::tiny(82));
+        let path = tmp("truncated.qtr");
+        write_trace(&path, &trace).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(
+            read_trace(&path).unwrap_err(),
+            TraceFileError::Io(_)
+        ));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,333 @@
+//! The flow-structured packet generator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use qap_types::{Tuple, Value};
+
+/// `FIN | PSH | URG` — the flag OR-pattern of a suspicious flow that
+/// does not follow the TCP handshake (Section 6.1's attack pattern).
+pub const SUSPICIOUS_PATTERN: u64 = 0x29;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// RNG seed; equal seeds produce identical traces.
+    pub seed: u64,
+    /// Number of 60-second epochs to generate.
+    pub epochs: u64,
+    /// Epoch length in seconds of the `time` attribute.
+    pub epoch_secs: u64,
+    /// Flows started per epoch.
+    pub flows_per_epoch: usize,
+    /// Pareto shape of the per-flow packet count (smaller = heavier
+    /// tail).
+    pub pareto_alpha: f64,
+    /// Cap on per-flow packets.
+    pub max_flow_packets: u64,
+    /// Number of distinct host addresses.
+    pub hosts: u64,
+    /// Zipf exponent of host popularity (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Fraction of flows carrying the suspicious flag pattern.
+    pub suspicious_fraction: f64,
+    /// Spread host indices across the 32-bit IPv4 space (Fibonacci
+    /// hashing) instead of using dense small integers. Real traces have
+    /// high subnet diversity, which matters to masked groupings like
+    /// `srcIP & 0xFFF0`; dense indices would collapse them to a handful
+    /// of groups.
+    pub spread_ips: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            seed: 42,
+            epochs: 5,
+            epoch_secs: 60,
+            flows_per_epoch: 2_000,
+            pareto_alpha: 1.2,
+            max_flow_packets: 500,
+            hosts: 5_000,
+            zipf_exponent: 1.1,
+            suspicious_fraction: 0.05,
+            spread_ips: false,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A small trace for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            epochs: 3,
+            flows_per_epoch: 100,
+            hosts: 50,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// Zipf sampler over `0..n` via inverse-CDF table.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: u64, s: f64) -> Self {
+        let n = n.max(1) as usize;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Discrete Pareto: `ceil(1 / U^(1/alpha))`, capped.
+fn pareto_count(rng: &mut StdRng, alpha: f64, cap: u64) -> u64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    let x: f64 = 1.0 / u.powf(1.0 / alpha);
+    let x = x.ceil() as u64;
+    x.clamp(1, cap)
+}
+
+/// Flag sequences: normal flows follow handshake-ish patterns whose OR
+/// never includes URG; suspicious flows cycle FIN/PSH/URG so the
+/// complete flow ORs to [`SUSPICIOUS_PATTERN`] while any proper subset
+/// may not — detecting them requires the whole flow on one host or a
+/// correct super-aggregate.
+const NORMAL_FLAGS: [u64; 4] = [0x02, 0x12, 0x10, 0x18];
+const SUSPICIOUS_FLAGS: [u64; 3] = [0x01, 0x08, 0x20];
+
+/// Maps a dense host index onto the IPv4 space (Fibonacci hashing keeps
+/// the mapping deterministic and collision-free for < 2^32 hosts).
+fn spread(h: u64) -> u64 {
+    (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & 0xFFFF_FFFF
+}
+
+/// Generates a trace as tuples of the `TCP` schema:
+/// `(time, timestamp, srcIP, destIP, srcPort, destPort, protocol,
+/// flags, len)`, ordered by `time`/`timestamp`.
+///
+/// ```
+/// use qap_trace::{generate, stats, TraceConfig};
+///
+/// let trace = generate(&TraceConfig::tiny(7));
+/// let s = stats(&trace);
+/// assert!(s.flows > 0 && s.packets >= s.flows);
+/// // Deterministic in the seed.
+/// assert_eq!(trace, generate(&TraceConfig::tiny(7)));
+/// ```
+pub fn generate(cfg: &TraceConfig) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.hosts, cfg.zipf_exponent);
+    let ip = |h: u64| if cfg.spread_ips { spread(h) } else { h };
+    let mut packets: Vec<(u64, u64, Tuple)> = Vec::new();
+
+    for epoch in 0..cfg.epochs {
+        let base = epoch * cfg.epoch_secs;
+        for _ in 0..cfg.flows_per_epoch {
+            let src = zipf.sample(&mut rng) + 1;
+            let mut dst = zipf.sample(&mut rng) + 1;
+            if dst == src {
+                dst = (dst % cfg.hosts) + 1;
+            }
+            let src_port: u64 = rng.random_range(1024..=65535);
+            let dst_port: u64 = *[80u64, 443, 53, 22, 25]
+                .get(rng.random_range(0..5usize))
+                .expect("index in range");
+            let suspicious = rng.random::<f64>() < cfg.suspicious_fraction;
+            let mut count = pareto_count(&mut rng, cfg.pareto_alpha, cfg.max_flow_packets);
+            if suspicious {
+                // A suspicious flow needs all three flag values present.
+                count = count.max(SUSPICIOUS_FLAGS.len() as u64);
+            }
+            let (src, dst) = (ip(src), ip(dst));
+            for i in 0..count {
+                let time = base + rng.random_range(0..cfg.epoch_secs);
+                let micro: u64 = rng.random_range(0..1_000_000);
+                let timestamp = time * 1_000_000 + micro;
+                let flags = if suspicious {
+                    SUSPICIOUS_FLAGS[(i as usize) % SUSPICIOUS_FLAGS.len()]
+                } else {
+                    NORMAL_FLAGS[rng.random_range(0..NORMAL_FLAGS.len())]
+                };
+                let len: u64 = if rng.random::<f64>() < 0.5 {
+                    rng.random_range(40..=100)
+                } else {
+                    rng.random_range(100..=1500)
+                };
+                let tuple = Tuple::new(vec![
+                    Value::UInt(time),
+                    Value::UInt(timestamp),
+                    Value::UInt(src),
+                    Value::UInt(dst),
+                    Value::UInt(src_port),
+                    Value::UInt(dst_port),
+                    Value::UInt(6),
+                    Value::UInt(flags),
+                    Value::UInt(len),
+                ]);
+                packets.push((time, timestamp, tuple));
+            }
+        }
+    }
+    packets.sort_by_key(|(t, ts, _)| (*t, *ts));
+    packets.into_iter().map(|(_, _, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&TraceConfig::tiny(7));
+        let b = generate(&TraceConfig::tiny(7));
+        assert_eq!(a, b);
+        let c = generate(&TraceConfig::tiny(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ordered_by_time() {
+        let trace = generate(&TraceConfig::tiny(1));
+        let mut last = 0u64;
+        for t in &trace {
+            let time = t.get(0).as_u64().unwrap();
+            assert!(time >= last);
+            last = time;
+        }
+    }
+
+    #[test]
+    fn schema_shape_and_ranges() {
+        let cfg = TraceConfig::tiny(2);
+        let trace = generate(&cfg);
+        assert!(!trace.is_empty());
+        for t in &trace {
+            assert_eq!(t.arity(), 9);
+            let time = t.get(0).as_u64().unwrap();
+            assert!(time < cfg.epochs * cfg.epoch_secs);
+            let src = t.get(2).as_u64().unwrap();
+            assert!((1..=cfg.hosts).contains(&src));
+            assert_eq!(t.get(6), &Value::UInt(6));
+            let len = t.get(8).as_u64().unwrap();
+            assert!((40..=1500).contains(&len));
+        }
+    }
+
+    #[test]
+    fn zipf_skews_popularity() {
+        let cfg = TraceConfig {
+            hosts: 1000,
+            flows_per_epoch: 2000,
+            ..TraceConfig::tiny(3)
+        };
+        let trace = generate(&cfg);
+        let mut counts = std::collections::HashMap::new();
+        for t in &trace {
+            *counts.entry(t.get(2).as_u64().unwrap()).or_insert(0u64) += 1;
+        }
+        let total: u64 = counts.values().sum();
+        let max = *counts.values().max().unwrap();
+        // The most popular host should carry far more than uniform share.
+        assert!(max as f64 > 10.0 * total as f64 / cfg.hosts as f64);
+    }
+
+    #[test]
+    fn suspicious_flows_or_to_pattern() {
+        let cfg = TraceConfig {
+            suspicious_fraction: 1.0,
+            ..TraceConfig::tiny(4)
+        };
+        let trace = generate(&cfg);
+        // Per-flow OR of flags must equal the pattern.
+        let mut per_flow: std::collections::HashMap<(u64, u64, u64, u64), u64> =
+            std::collections::HashMap::new();
+        for t in &trace {
+            let key = (
+                t.get(2).as_u64().unwrap(),
+                t.get(3).as_u64().unwrap(),
+                t.get(4).as_u64().unwrap(),
+                t.get(5).as_u64().unwrap(),
+            );
+            *per_flow.entry(key).or_insert(0) |= t.get(7).as_u64().unwrap();
+        }
+        for (_, or) in per_flow {
+            assert_eq!(or, SUSPICIOUS_PATTERN);
+        }
+    }
+
+    #[test]
+    fn normal_flows_never_match_pattern() {
+        let cfg = TraceConfig {
+            suspicious_fraction: 0.0,
+            ..TraceConfig::tiny(5)
+        };
+        let trace = generate(&cfg);
+        for t in &trace {
+            let flags = t.get(7).as_u64().unwrap();
+            assert_eq!(flags & 0x20, 0, "normal traffic never sets URG");
+        }
+    }
+
+    #[test]
+    fn spread_ips_diversifies_subnets() {
+        let dense = generate(&TraceConfig::tiny(9));
+        let spread = generate(&TraceConfig {
+            spread_ips: true,
+            ..TraceConfig::tiny(9)
+        });
+        let subnets = |trace: &[Tuple]| {
+            trace
+                .iter()
+                .map(|t| t.get(2).as_u64().unwrap() & 0xFFF0)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert!(
+            subnets(&spread) > 2 * subnets(&dense),
+            "spreading should multiply subnet diversity: {} vs {}",
+            subnets(&spread),
+            subnets(&dense)
+        );
+        // Same flow structure either way.
+        assert_eq!(dense.len(), spread.len());
+    }
+
+    #[test]
+    fn heavy_tail_produces_large_flows() {
+        let cfg = TraceConfig {
+            flows_per_epoch: 3000,
+            ..TraceConfig::tiny(6)
+        };
+        let trace = generate(&cfg);
+        let mut per_flow: std::collections::HashMap<(u64, u64, u64, u64), u64> =
+            std::collections::HashMap::new();
+        for t in &trace {
+            let key = (
+                t.get(2).as_u64().unwrap(),
+                t.get(3).as_u64().unwrap(),
+                t.get(4).as_u64().unwrap(),
+                t.get(5).as_u64().unwrap(),
+            );
+            *per_flow.entry(key).or_insert(0) += 1;
+        }
+        let max = *per_flow.values().max().unwrap();
+        assert!(max >= 20, "heavy tail should yield some large flows, max={max}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Trace inspection utilities.
+
+use std::collections::HashMap;
+
+use qap_types::Tuple;
+
+use crate::SUSPICIOUS_PATTERN;
+
+/// Summary statistics of a generated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total packet count.
+    pub packets: usize,
+    /// Distinct 5-tuple flows.
+    pub flows: usize,
+    /// Flows whose flag OR matches [`SUSPICIOUS_PATTERN`].
+    pub suspicious_flows: usize,
+    /// Distinct (srcIP, destIP) host pairs.
+    pub host_pairs: usize,
+    /// Distinct source hosts.
+    pub sources: usize,
+    /// Span of the `time` attribute in seconds (max - min + 1).
+    pub duration_secs: u64,
+    /// Mean packets per flow.
+    pub mean_flow_size: f64,
+}
+
+/// Computes [`TraceStats`] for a trace in the `TCP` schema layout.
+pub fn stats(trace: &[Tuple]) -> TraceStats {
+    let mut flows: HashMap<(u64, u64, u64, u64), (u64, u64)> = HashMap::new();
+    let mut pairs: HashMap<(u64, u64), ()> = HashMap::new();
+    let mut sources: HashMap<u64, ()> = HashMap::new();
+    let mut t_min = u64::MAX;
+    let mut t_max = 0u64;
+    for t in trace {
+        let time = t.get(0).as_u64().unwrap_or(0);
+        let src = t.get(2).as_u64().unwrap_or(0);
+        let dst = t.get(3).as_u64().unwrap_or(0);
+        let sport = t.get(4).as_u64().unwrap_or(0);
+        let dport = t.get(5).as_u64().unwrap_or(0);
+        let flags = t.get(7).as_u64().unwrap_or(0);
+        let e = flows.entry((src, dst, sport, dport)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 |= flags;
+        pairs.insert((src, dst), ());
+        sources.insert(src, ());
+        t_min = t_min.min(time);
+        t_max = t_max.max(time);
+    }
+    let packets = trace.len();
+    let suspicious = flows
+        .values()
+        .filter(|(_, or)| *or == SUSPICIOUS_PATTERN)
+        .count();
+    let nflows = flows.len();
+    TraceStats {
+        packets,
+        flows: nflows,
+        suspicious_flows: suspicious,
+        host_pairs: pairs.len(),
+        sources: sources.len(),
+        duration_secs: if packets == 0 { 0 } else { t_max - t_min + 1 },
+        mean_flow_size: if nflows == 0 {
+            0.0
+        } else {
+            packets as f64 / nflows as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TraceConfig};
+
+    #[test]
+    fn suspicious_fraction_close_to_config() {
+        let cfg = TraceConfig {
+            flows_per_epoch: 2000,
+            ..TraceConfig::tiny(11)
+        };
+        let s = stats(&generate(&cfg));
+        let frac = s.suspicious_flows as f64 / s.flows as f64;
+        assert!(
+            (frac - 0.05).abs() < 0.02,
+            "suspicious fraction {frac} far from 5%"
+        );
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = stats(&[]);
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.flows, 0);
+        assert_eq!(s.duration_secs, 0);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let s = stats(&generate(&TraceConfig::tiny(12)));
+        assert!(s.flows >= s.host_pairs || s.host_pairs <= s.flows * 2);
+        assert!(s.sources <= s.host_pairs);
+        assert!(s.mean_flow_size >= 1.0);
+        assert!(s.packets >= s.flows);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for the data-model layer.
+
+use std::fmt;
+
+/// Errors raised while building or resolving schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A schema declared the same field name twice.
+    DuplicateField {
+        /// Schema being constructed.
+        schema: String,
+        /// Offending field name.
+        field: String,
+    },
+    /// A field lookup failed.
+    UnknownField {
+        /// Schema searched.
+        schema: String,
+        /// Missing field name.
+        field: String,
+    },
+    /// A stream lookup in the catalog failed.
+    UnknownStream {
+        /// Missing stream name.
+        stream: String,
+    },
+    /// A stream was registered twice in the catalog.
+    DuplicateStream {
+        /// Offending stream name.
+        stream: String,
+    },
+    /// Wire decoding encountered malformed bytes.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::DuplicateField { schema, field } => {
+                write!(f, "duplicate field '{field}' in schema '{schema}'")
+            }
+            TypeError::UnknownField { schema, field } => {
+                write!(f, "unknown field '{field}' in schema '{schema}'")
+            }
+            TypeError::UnknownStream { stream } => write!(f, "unknown stream '{stream}'"),
+            TypeError::DuplicateStream { stream } => {
+                write!(f, "stream '{stream}' already registered")
+            }
+            TypeError::Corrupt(what) => write!(f, "corrupt tuple encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Result alias for this crate.
+pub type TypeResult<T> = Result<T, TypeError>;

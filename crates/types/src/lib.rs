@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Core data model for the query-aware partitioning DSMS.
+//!
+//! This crate defines the fundamental vocabulary shared by every layer of
+//! the system: [`Value`]s, [`Tuple`]s, [`Schema`]s with *ordered* (temporal)
+//! attribute metadata, and the [`Catalog`] of base stream schemas.
+//!
+//! The design follows the Gigascope data model described in the paper:
+//! a stream is a relation whose schema may mark one or more attributes as
+//! *ordered* (e.g. `time increasing`). Ordered attributes are what make
+//! tumbling-window evaluation of otherwise blocking operators (aggregation,
+//! join) possible, and — crucially for partitioning analysis — they are
+//! excluded from partitioning sets (Section 3.5.1 of the paper).
+
+mod catalog;
+mod error;
+mod schema;
+mod tuple;
+mod udaf;
+mod value;
+mod wire;
+
+pub use catalog::{pkt_schema, tcp_schema, Catalog};
+pub use error::{TypeError, TypeResult};
+pub use schema::{DataType, Field, Schema, Temporality};
+pub use tuple::Tuple;
+pub use udaf::{Udaf, UdafRegistry, UdafState};
+pub use value::Value;
+pub use wire::{decode_tuple, encode_tuple, encoded_len};

@@ -1,0 +1,139 @@
+//! User-defined aggregate functions (UDAFs).
+//!
+//! Gigascope supports splittable UDAFs (Cormode et al., "Holistic UDAFs
+//! at streaming speeds", SIGMOD 2004 — reference [10] of the paper). The
+//! partial-aggregation transformation of Section 5.2.2 applies to any
+//! UDAF that decomposes into a sub-aggregate (per partition) and a
+//! super-aggregate (merging partials). This module provides the trait a
+//! user implements plus the registry the parser/optimizer consult.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::Value;
+
+/// Running state of a UDAF instance for one group.
+pub trait UdafState: Send {
+    /// Folds one raw input value in.
+    fn update(&mut self, v: &Value);
+    /// Folds a serialized partial (produced by `partial` on another host).
+    fn merge(&mut self, partial: &Value);
+    /// Serializes the partial state for network transfer. For splittable
+    /// UDAFs this must round-trip through `merge`.
+    fn partial(&self) -> Value;
+    /// Produces the final aggregate value.
+    fn finalize(&self) -> Value;
+}
+
+/// A user-defined aggregate function.
+pub trait Udaf: Send + Sync {
+    /// GSQL surface name (case-insensitive).
+    fn name(&self) -> &str;
+    /// Whether the UDAF is splittable into sub/super aggregates. Only
+    /// splittable UDAFs are eligible for the incompatible-aggregation
+    /// optimization; a non-splittable UDAF forces centralized evaluation.
+    fn splittable(&self) -> bool;
+    /// Creates fresh per-group state.
+    fn init(&self) -> Box<dyn UdafState>;
+}
+
+/// Registry of UDAFs, keyed by lower-cased name.
+#[derive(Clone, Default)]
+pub struct UdafRegistry {
+    funcs: HashMap<String, Arc<dyn Udaf>>,
+}
+
+impl UdafRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        UdafRegistry::default()
+    }
+
+    /// Registers a UDAF; later registrations shadow earlier ones.
+    pub fn register(&mut self, udaf: Arc<dyn Udaf>) {
+        self.funcs.insert(udaf.name().to_ascii_lowercase(), udaf);
+    }
+
+    /// Looks up a UDAF by case-insensitive name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn Udaf>> {
+        self.funcs.get(&name.to_ascii_lowercase())
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.funcs.values().map(|u| u.name()).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl std::fmt::Debug for UdafRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdafRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example splittable UDAF: XOR accumulation.
+    struct XorAggr;
+    struct XorState(u64);
+
+    impl UdafState for XorState {
+        fn update(&mut self, v: &Value) {
+            if let Some(x) = v.as_u64() {
+                self.0 ^= x;
+            }
+        }
+        fn merge(&mut self, partial: &Value) {
+            self.update(partial);
+        }
+        fn partial(&self) -> Value {
+            Value::UInt(self.0)
+        }
+        fn finalize(&self) -> Value {
+            Value::UInt(self.0)
+        }
+    }
+
+    impl Udaf for XorAggr {
+        fn name(&self) -> &str {
+            "XOR_AGGR"
+        }
+        fn splittable(&self) -> bool {
+            true
+        }
+        fn init(&self) -> Box<dyn UdafState> {
+            Box::new(XorState(0))
+        }
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut reg = UdafRegistry::new();
+        reg.register(Arc::new(XorAggr));
+        assert!(reg.get("xor_aggr").is_some());
+        assert!(reg.get("XOR_AGGR").is_some());
+        assert!(reg.get("nope").is_none());
+        assert_eq!(reg.names(), vec!["XOR_AGGR"]);
+    }
+
+    #[test]
+    fn splittable_udaf_partials_merge_correctly() {
+        let udaf = XorAggr;
+        // Partition-local states.
+        let mut a = udaf.init();
+        a.update(&Value::UInt(0b1010));
+        let mut b = udaf.init();
+        b.update(&Value::UInt(0b0110));
+        // Super-aggregate merge of partials equals direct evaluation.
+        let mut sup = udaf.init();
+        sup.merge(&a.partial());
+        sup.merge(&b.partial());
+        assert_eq!(sup.finalize(), Value::UInt(0b1100));
+    }
+}

@@ -1,0 +1,161 @@
+//! Compact wire encoding for tuples crossing host boundaries.
+//!
+//! The cluster simulator charges network load in both tuples/sec and
+//! bytes/sec; the byte figure comes from this encoding, which mirrors the
+//! simple tagged binary layout a real inter-Gigascope transfer uses.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{Tuple, TypeError, TypeResult, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_UINT: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// Encodes a tuple into a freshly allocated byte buffer.
+pub fn encode_tuple(tuple: &Tuple) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(tuple));
+    buf.put_u16(tuple.arity() as u16);
+    for v in tuple.values() {
+        match v {
+            Value::Null => buf.put_u8(TAG_NULL),
+            Value::UInt(x) => {
+                buf.put_u8(TAG_UINT);
+                buf.put_u64(*x);
+            }
+            Value::Int(x) => {
+                buf.put_u8(TAG_INT);
+                buf.put_i64(*x);
+            }
+            Value::Bool(b) => {
+                buf.put_u8(TAG_BOOL);
+                buf.put_u8(u8::from(*b));
+            }
+            Value::Str(s) => {
+                buf.put_u8(TAG_STR);
+                buf.put_u32(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Exact length in bytes [`encode_tuple`] will produce, without encoding.
+///
+/// The cost model uses this as `out_tuple_size` when charging network
+/// bytes, so it must stay in lock-step with the encoder.
+pub fn encoded_len(tuple: &Tuple) -> usize {
+    let mut n = 2;
+    for v in tuple.values() {
+        n += 1
+            + match v {
+                Value::Null => 0,
+                Value::UInt(_) | Value::Int(_) => 8,
+                Value::Bool(_) => 1,
+                Value::Str(s) => 4 + s.len(),
+            };
+    }
+    n
+}
+
+/// Decodes a tuple previously produced by [`encode_tuple`].
+pub fn decode_tuple(mut buf: Bytes) -> TypeResult<Tuple> {
+    if buf.remaining() < 2 {
+        return Err(TypeError::Corrupt("missing arity header"));
+    }
+    let arity = buf.get_u16() as usize;
+    let mut tuple = Tuple::with_capacity(arity);
+    for _ in 0..arity {
+        if buf.remaining() < 1 {
+            return Err(TypeError::Corrupt("truncated value tag"));
+        }
+        let tag = buf.get_u8();
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_UINT => {
+                if buf.remaining() < 8 {
+                    return Err(TypeError::Corrupt("truncated uint"));
+                }
+                Value::UInt(buf.get_u64())
+            }
+            TAG_INT => {
+                if buf.remaining() < 8 {
+                    return Err(TypeError::Corrupt("truncated int"));
+                }
+                Value::Int(buf.get_i64())
+            }
+            TAG_BOOL => {
+                if buf.remaining() < 1 {
+                    return Err(TypeError::Corrupt("truncated bool"));
+                }
+                Value::Bool(buf.get_u8() != 0)
+            }
+            TAG_STR => {
+                if buf.remaining() < 4 {
+                    return Err(TypeError::Corrupt("truncated string length"));
+                }
+                let len = buf.get_u32() as usize;
+                if buf.remaining() < len {
+                    return Err(TypeError::Corrupt("truncated string body"));
+                }
+                let raw = buf.copy_to_bytes(len);
+                let s = std::str::from_utf8(&raw).map_err(|_| TypeError::Corrupt("invalid utf-8"))?;
+                Value::from(s)
+            }
+            _ => return Err(TypeError::Corrupt("unknown value tag")),
+        };
+        tuple.push(v);
+    }
+    Ok(tuple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn round_trip_all_value_kinds() {
+        let t = Tuple::new(vec![
+            Value::Null,
+            Value::UInt(u64::MAX),
+            Value::Int(i64::MIN),
+            Value::Bool(true),
+            Value::from("gigascope"),
+        ]);
+        let encoded = encode_tuple(&t);
+        assert_eq!(encoded.len(), encoded_len(&t));
+        assert_eq!(decode_tuple(encoded).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_tuple_round_trips() {
+        let t = Tuple::default();
+        assert_eq!(decode_tuple(encode_tuple(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn truncated_buffer_reports_corrupt() {
+        let t = tuple![1u64, 2u64];
+        let encoded = encode_tuple(&t);
+        let truncated = encoded.slice(0..encoded.len() - 1);
+        assert!(matches!(
+            decode_tuple(truncated).unwrap_err(),
+            TypeError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn garbage_tag_reports_corrupt() {
+        let mut raw = BytesMut::new();
+        raw.put_u16(1);
+        raw.put_u8(99);
+        assert!(matches!(
+            decode_tuple(raw.freeze()).unwrap_err(),
+            TypeError::Corrupt(_)
+        ));
+    }
+}

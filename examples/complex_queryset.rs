@@ -1,0 +1,85 @@
+//! The Section 3.2 / 6.3 complex query set: related aggregations and a
+//! self-join — `flows` → `heavy_flows` → `flow_pairs` — rendered as the
+//! paper's plan figures and executed under all four configurations.
+//!
+//! ```sh
+//! cargo run --release --example complex_queryset
+//! ```
+
+use qap::prelude::*;
+
+fn main() {
+    let scenario = Scenario::Complex;
+    let dag = scenario.dag();
+
+    // Figure 1: the logical plan.
+    println!("=== Figure 1: sample query execution plan ===\n{}", render_dag(&dag));
+
+    // The analyzer works through the Section 3.2 reasoning: flows wants
+    // (srcIP, destIP); heavy_flows and flow_pairs want (srcIP); the
+    // reconciliation is (srcIP).
+    let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
+    println!("Analyzer recommendation: {}\n", analysis.recommended);
+    assert_eq!(analysis.recommended.to_string(), "{srcIP}");
+
+    // Figure 12: the plan under the *partially* compatible (srcIP,
+    // destIP) — only flows pushes; heavy_flows splits sub/super; the
+    // join runs centrally.
+    let partial = optimize(
+        &dag,
+        &Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), 4),
+        &OptimizerConfig::full(),
+    )
+    .expect("plan lowers");
+    println!(
+        "=== Figure 12: plan for partially compatible (srcIP, destIP) ===\n{}",
+        partial.render_by_host()
+    );
+
+    // The fully compatible (srcIP) plan: everything pushes pairwise.
+    let full = optimize(
+        &dag,
+        &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 4),
+        &OptimizerConfig::full(),
+    )
+    .expect("plan lowers");
+    println!(
+        "=== Fully compatible (srcIP) plan ===\n{}",
+        full.render_by_host()
+    );
+
+    // Figures 13/14: sweep all four configurations.
+    let trace = generate(&TraceConfig {
+        epochs: 5,
+        flows_per_epoch: 800,
+        hosts: 300,
+        max_flow_packets: 32,
+        pareto_alpha: 1.1,
+        ..TraceConfig::default()
+    });
+    let budget = calibrate_budget(scenario, &trace).expect("calibration");
+    let sim = SimConfig {
+        host_budget: budget,
+        ..SimConfig::default()
+    };
+    let points = run_series(scenario, &trace, 4, &sim).expect("series");
+
+    println!("CPU load on aggregator node (Figure 13):");
+    for &config in scenario.configs() {
+        let row: Vec<String> = points
+            .iter()
+            .filter(|p| p.config == config)
+            .map(|p| format!("{:6.1}%", p.metrics.aggregator_cpu_pct))
+            .collect();
+        println!("{config:<24} {}", row.join(" "));
+    }
+    println!("\nNetwork load on aggregator node, tuples/sec (Figure 14):");
+    for &config in scenario.configs() {
+        let row: Vec<String> = points
+            .iter()
+            .filter(|p| p.config == config)
+            .map(|p| format!("{:7.0}", p.metrics.aggregator_rx_tps))
+            .collect();
+        println!("{config:<24} {}", row.join(" "));
+    }
+}

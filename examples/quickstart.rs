@@ -1,0 +1,74 @@
+//! Quickstart: parse a query set, find the optimal partitioning, deploy
+//! it on a simulated cluster, and inspect results and loads.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use qap::prelude::*;
+
+fn main() {
+    // 1. A query set: per-minute traffic flows, and the heaviest flow
+    //    per source (Section 3.2 of the paper, first two queries).
+    let mut builder = QuerySetBuilder::new(Catalog::with_network_schemas());
+    builder
+        .add_query(
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        )
+        .expect("flows parses");
+    builder
+        .add_query(
+            "heavy_flows",
+            "SELECT tb, srcIP, MAX(cnt) as max_cnt FROM flows GROUP BY tb, srcIP",
+        )
+        .expect("heavy_flows parses");
+    let dag = builder.build();
+
+    println!("Logical plan:\n{}", render_dag(&dag));
+
+    // 2. Analyze: which single stream partitioning satisfies the whole
+    //    set at minimum worst-case network load?
+    let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
+    println!("Per-node compatible sets:");
+    for id in dag.topo_order() {
+        println!("  node {id} ({}): {}", dag.node(id).label(), analysis.per_node[id]);
+    }
+    println!(
+        "Recommended partitioning: {}  (max network cost {:.0} B/s, {} candidates examined)\n",
+        analysis.recommended, analysis.report.max_cost, analysis.candidates_considered
+    );
+
+    // 3. Deploy on 4 hosts (2 partitions each, as in the paper) and run
+    //    over a synthetic 5-minute trace.
+    let hosts = 4;
+    let plan = optimize(
+        &dag,
+        &Partitioning::hash(analysis.recommended.clone(), hosts),
+        &OptimizerConfig::full(),
+    )
+    .expect("plan lowers");
+    println!("Distributed plan:\n{}", plan.render_by_host());
+
+    let trace = generate(&TraceConfig::default());
+    let tstats = stats(&trace);
+    println!(
+        "Trace: {} packets, {} flows ({} suspicious), {} sources, {}s\n",
+        tstats.packets, tstats.flows, tstats.suspicious_flows, tstats.sources, tstats.duration_secs
+    );
+
+    let result = run_distributed(&plan, &trace, &SimConfig::default()).expect("runs");
+    for (name, rows) in &result.outputs {
+        println!("{name}: {} result rows; first 5:", rows.len());
+        for row in rows.iter().take(5) {
+            println!("  {row}");
+        }
+    }
+    println!(
+        "\nAggregator: CPU work {:.0} units ({:.1} tuples/s over the network); leaves avg {:.0} units",
+        result.metrics.work[0],
+        result.metrics.aggregator_rx_tps,
+        result.metrics.work[1..].iter().sum::<f64>() / (hosts - 1) as f64,
+    );
+}

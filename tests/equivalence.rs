@@ -1,0 +1,370 @@
+//! The central correctness property of the whole system: every
+//! distributed plan the optimizer produces is *semantically equivalent*
+//! to the centralized logical plan — "the output of the query is equal
+//! to a stream union of the output of Q running on all partitions"
+//! (Section 3.4), extended through every transformation of Section 5.
+
+use qap::prelude::*;
+
+fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            let ord = x.total_cmp(y);
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+/// Runs the logical plan centrally and the distributed plan under every
+/// listed deployment, asserting identical (order-insensitive) results
+/// for every named root query.
+fn assert_equivalent(
+    queries: &[(&str, &str)],
+    deployments: &[(Partitioning, OptimizerConfig)],
+    trace_seed: u64,
+) {
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    for (name, sql) in queries {
+        b.add_query(name, sql).unwrap();
+    }
+    let dag = b.build();
+    let trace = generate(&TraceConfig::tiny(trace_seed));
+
+    // Ground truth: centralized execution.
+    let reference: Vec<(usize, Vec<Tuple>)> = run_logical(&dag, trace.clone())
+        .unwrap()
+        .into_iter()
+        .map(|(id, rows)| (id, sorted(rows)))
+        .collect();
+
+    for (partitioning, config) in deployments {
+        let plan = optimize(&dag, partitioning, config).unwrap();
+        let result = run_distributed(&plan, &trace, &SimConfig::default()).unwrap();
+        assert_eq!(result.metrics.late_dropped, 0, "no late drops expected");
+        for output in &plan.outputs {
+            let (_, rows) = result
+                .outputs
+                .iter()
+                .find(|(n, _)| {
+                    output
+                        .name
+                        .as_deref()
+                        .is_some_and(|on| on.eq_ignore_ascii_case(n))
+                })
+                .unwrap_or_else(|| &result.outputs[0]);
+            let (_, ref_rows) = reference
+                .iter()
+                .find(|(id, _)| *id == output.logical)
+                .expect("root present in reference");
+            assert_eq!(
+                &sorted(rows.clone()),
+                ref_rows,
+                "deployment {:?}/{:?} diverged on {:?}",
+                partitioning.strategy,
+                config.partial_agg_scope,
+                output.name
+            );
+        }
+    }
+}
+
+fn all_deployments(compatible_set: PartitionSet, hosts: usize) -> Vec<(Partitioning, OptimizerConfig)> {
+    vec![
+        (Partitioning::round_robin(hosts), OptimizerConfig::naive()),
+        (Partitioning::round_robin(hosts), OptimizerConfig::full()),
+        (
+            Partitioning::round_robin(hosts),
+            OptimizerConfig {
+                agnostic: true,
+                ..OptimizerConfig::default()
+            },
+        ),
+        (
+            Partitioning::hash(compatible_set.clone(), hosts),
+            OptimizerConfig::full(),
+        ),
+        (
+            Partitioning::hash(compatible_set, hosts),
+            OptimizerConfig::naive(),
+        ),
+    ]
+}
+
+#[test]
+fn simple_aggregation_equivalent_under_all_deployments() {
+    for hosts in [1, 2, 4] {
+        assert_equivalent(
+            &[(
+                "flows",
+                "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+                 GROUP BY time/60 as tb, srcIP, destIP",
+            )],
+            &all_deployments(PartitionSet::from_columns(["srcIP", "destIP"]), hosts),
+            hosts as u64,
+        );
+    }
+}
+
+#[test]
+fn having_query_equivalent_under_all_deployments() {
+    assert_equivalent(
+        &[(
+            "suspicious",
+            "SELECT tb, srcIP, destIP, srcPort, destPort, OR_AGGR(flags) as orflag, \
+             COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort \
+             HAVING OR_AGGR(flags) = 0x29",
+        )],
+        &all_deployments(
+            PartitionSet::from_columns(["srcIP", "destIP", "srcPort", "destPort"]),
+            3,
+        ),
+        7,
+    );
+}
+
+#[test]
+fn stacked_aggregations_equivalent() {
+    assert_equivalent(
+        &[
+            (
+                "flows",
+                "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+                 GROUP BY time/60 as tb, srcIP, destIP",
+            ),
+            (
+                "heavy_flows",
+                "SELECT tb, srcIP, MAX(cnt) as max_cnt FROM flows GROUP BY tb, srcIP",
+            ),
+        ],
+        &all_deployments(PartitionSet::from_columns(["srcIP"]), 3),
+        11,
+    );
+}
+
+#[test]
+fn self_join_equivalent() {
+    assert_equivalent(
+        &[
+            (
+                "flows",
+                "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+                 GROUP BY time/60 as tb, srcIP, destIP",
+            ),
+            (
+                "heavy_flows",
+                "SELECT tb, srcIP, MAX(cnt) as max_cnt FROM flows GROUP BY tb, srcIP",
+            ),
+            (
+                "flow_pairs",
+                "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt \
+                 FROM heavy_flows S1, heavy_flows S2 \
+                 WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1",
+            ),
+        ],
+        &all_deployments(PartitionSet::from_columns(["srcIP"]), 4),
+        13,
+    );
+}
+
+#[test]
+fn partially_compatible_deployment_equivalent() {
+    // (srcIP, destIP) is compatible with flows only; heavy_flows and
+    // flow_pairs exercise the sub/super + central-join path.
+    assert_equivalent(
+        &[
+            (
+                "flows",
+                "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+                 GROUP BY time/60 as tb, srcIP, destIP",
+            ),
+            (
+                "heavy_flows",
+                "SELECT tb, srcIP, MAX(cnt) as max_cnt FROM flows GROUP BY tb, srcIP",
+            ),
+            (
+                "flow_pairs",
+                "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt \
+                 FROM heavy_flows S1, heavy_flows S2 \
+                 WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1",
+            ),
+        ],
+        &[(
+            Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), 3),
+            OptimizerConfig::full(),
+        )],
+        17,
+    );
+}
+
+#[test]
+fn masked_grouping_equivalent() {
+    assert_equivalent(
+        &[(
+            "subnet_stats",
+            "SELECT tb, subnet, destIP, COUNT(*) as cnt, SUM(len) as bytes FROM TCP \
+             GROUP BY time/60 as tb, srcIP & 0xFFF0 as subnet, destIP",
+        )],
+        &all_deployments(
+            PartitionSet::from_exprs([
+                &ScalarExpr::col("srcIP").mask(0xFFF0),
+                &ScalarExpr::col("destIP"),
+            ]),
+            3,
+        ),
+        19,
+    );
+}
+
+#[test]
+fn avg_equivalent_through_sum_count_split() {
+    assert_equivalent(
+        &[(
+            "mean_len",
+            "SELECT tb, srcIP, AVG(len) as mean_len, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP",
+        )],
+        &all_deployments(PartitionSet::from_columns(["srcIP"]), 3),
+        23,
+    );
+}
+
+#[test]
+fn where_predicate_equivalent() {
+    assert_equivalent(
+        &[(
+            "web_flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP WHERE destPort = 80 \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        )],
+        &all_deployments(PartitionSet::from_columns(["srcIP", "destIP"]), 2),
+        29,
+    );
+}
+
+#[test]
+fn selection_projection_equivalent() {
+    assert_equivalent(
+        &[(
+            "small_pkts",
+            "SELECT time, srcIP, destIP, len FROM TCP WHERE len < 100",
+        )],
+        &all_deployments(PartitionSet::from_columns(["srcIP"]), 3),
+        31,
+    );
+}
+
+#[test]
+fn two_independent_roots_equivalent() {
+    assert_equivalent(
+        &[
+            (
+                "by_src",
+                "SELECT tb, srcIP, COUNT(*) as c FROM TCP GROUP BY time/60 as tb, srcIP",
+            ),
+            (
+                "by_dst",
+                "SELECT tb, destIP, COUNT(*) as c FROM TCP GROUP BY time/60 as tb, destIP",
+            ),
+        ],
+        &[
+            (Partitioning::round_robin(3), OptimizerConfig::naive()),
+            (
+                Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 3),
+                OptimizerConfig::full(),
+            ),
+        ],
+        37,
+    );
+}
+
+#[test]
+fn stream_union_equivalent() {
+    // A user-level UNION of two filtered aggregations, further
+    // aggregated — exercises the optimizer's partitioned-merge path
+    // (partition i of the union = union of the inputs' partition i).
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.add_query(
+        "web",
+        "SELECT tb, srcIP, COUNT(*) as c FROM TCP WHERE destPort = 80 \
+         GROUP BY time/60 as tb, srcIP",
+    )
+    .unwrap();
+    b.add_query(
+        "dns",
+        "SELECT tb, srcIP, COUNT(*) as c FROM TCP WHERE destPort = 53 \
+         GROUP BY time/60 as tb, srcIP",
+    )
+    .unwrap();
+    b.add_union("monitored", &["web", "dns"]).unwrap();
+    b.add_query(
+        "combined",
+        "SELECT tb, srcIP, SUM(c) as total FROM monitored GROUP BY tb, srcIP",
+    )
+    .unwrap();
+    let dag = b.build();
+    let trace = generate(&TraceConfig::tiny(43));
+    let reference: Vec<(usize, Vec<Tuple>)> = run_logical(&dag, trace.clone())
+        .unwrap()
+        .into_iter()
+        .map(|(id, rows)| (id, sorted(rows)))
+        .collect();
+
+    for (part, cfg) in [
+        (
+            Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 3),
+            OptimizerConfig::full(),
+        ),
+        (Partitioning::round_robin(2), OptimizerConfig::naive()),
+    ] {
+        let plan = optimize(&dag, &part, &cfg).unwrap();
+        let result = run_distributed(&plan, &trace, &SimConfig::default()).unwrap();
+        let combined = dag.query_node("combined").unwrap();
+        let (_, ref_rows) = reference.iter().find(|(id, _)| *id == combined).unwrap();
+        let rows = result
+            .outputs
+            .iter()
+            .find(|(n, _)| n == "combined")
+            .unwrap()
+            .1
+            .clone();
+        assert_eq!(&sorted(rows), ref_rows, "{:?}", part.strategy);
+    }
+}
+
+#[test]
+fn outer_join_equivalent() {
+    assert_equivalent(
+        &[
+            (
+                "by_src",
+                "SELECT tb, srcIP, COUNT(*) as c FROM TCP GROUP BY time/60 as tb, srcIP",
+            ),
+            (
+                "by_dst",
+                "SELECT tb, destIP, COUNT(*) as c FROM TCP GROUP BY time/60 as tb, destIP",
+            ),
+            (
+                "talkers",
+                "SELECT A.tb, A.srcIP, A.c as sent, B.c as received \
+                 FROM by_src A LEFT OUTER JOIN by_dst B \
+                 WHERE A.tb = B.tb and A.srcIP = B.destIP",
+            ),
+        ],
+        &[
+            (Partitioning::round_robin(2), OptimizerConfig::full()),
+            (
+                // srcIP = destIP equates different columns: under the
+                // shared-set assumption the join is incompatible and
+                // runs centrally; results must still agree.
+                Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 2),
+                OptimizerConfig::full(),
+            ),
+        ],
+        41,
+    );
+}

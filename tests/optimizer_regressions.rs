@@ -1,0 +1,135 @@
+//! Regression: the `agnostic` optimizer flag must suppress every
+//! transformation, including the sub/super partial-aggregation split
+//! (a Figure 3 plan has exactly one central aggregate).
+
+use qap::prelude::*;
+
+fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            let ord = x.total_cmp(y);
+            if !ord.is_eq() { return ord; }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+fn check(sql: &str, seed: u64) {
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.add_query("q", sql).unwrap();
+    let dag = b.build();
+    let trace = generate(&TraceConfig::tiny(seed));
+    let reference: Vec<(usize, Vec<Tuple>)> = run_logical(&dag, trace.clone())
+        .unwrap().into_iter().map(|(id, rows)| (id, sorted(rows))).collect();
+    for cfg in [OptimizerConfig::full(), OptimizerConfig::naive()] {
+        let part = Partitioning::round_robin(3);
+        let plan = optimize(&dag, &part, &cfg).unwrap();
+        let result = run_distributed(&plan, &trace, &SimConfig::default()).unwrap();
+        let (_, rows) = &result.outputs[0];
+        assert_eq!(&sorted(rows.clone()), &reference[0].1, "diverged: {sql} / {:?}", cfg.partial_agg_scope);
+    }
+}
+
+#[test]
+fn having_with_avg_split() {
+    check("SELECT tb, srcIP, AVG(len) as a, COUNT(*) as c FROM TCP GROUP BY time/60 as tb, srcIP HAVING COUNT(*) > 2 AND AVG(len) > 500", 11);
+}
+
+#[test]
+fn having_hidden_agg_split() {
+    check("SELECT tb, srcIP, COUNT(*) as c FROM TCP GROUP BY time/60 as tb, srcIP HAVING MAX(len) > 900", 12);
+}
+
+#[test]
+fn where_pushdown_split() {
+    check("SELECT tb, srcIP, SUM(len) as s FROM TCP WHERE len > 100 GROUP BY time/60 as tb, srcIP", 13);
+}
+
+#[test]
+fn agnostic_suppresses_partial_aggregation() {
+    // Regression: `agnostic: true` must suppress every transformation,
+    // including the sub/super split — a Figure 3 plan has exactly one
+    // central aggregate even when partial_aggregation is set.
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.add_query(
+        "q",
+        "SELECT tb, srcIP, COUNT(*) as cnt FROM TCP GROUP BY time/60 as tb, srcIP",
+    )
+    .unwrap();
+    let dag = b.build();
+    let cfg = OptimizerConfig {
+        agnostic: true,
+        ..OptimizerConfig::full()
+    };
+    let plan = optimize(&dag, &Partitioning::round_robin(3), &cfg).unwrap();
+    let aggs = plan
+        .dag
+        .topo_order()
+        .filter(|&id| matches!(plan.dag.node(id), qap_plan::LogicalNode::Aggregate { .. }))
+        .count();
+    assert_eq!(aggs, 1, "agnostic plan pushed work to partitions");
+}
+
+#[test]
+fn null_padded_outer_join_rows_survive_downstream_aggregation() {
+    // Regression: FULL OUTER padding produces rows with a NULL window
+    // attribute; a downstream aggregation must keep them as a NULL
+    // group (flushed at end-of-stream) instead of late-dropping them.
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.add_query(
+        "by_src",
+        "SELECT tb, srcIP, COUNT(*) as c FROM TCP GROUP BY time/60 as tb, srcIP",
+    )
+    .unwrap();
+    b.add_query(
+        "by_dst",
+        "SELECT tb, destIP, COUNT(*) as c FROM TCP GROUP BY time/60 as tb, destIP",
+    )
+    .unwrap();
+    b.add_query(
+        "matched",
+        "SELECT A.tb, A.srcIP, A.c as sent, B.c as received \
+         FROM by_src A FULL OUTER JOIN by_dst B \
+         WHERE A.tb = B.tb and A.srcIP = B.destIP",
+    )
+    .unwrap();
+    b.add_query(
+        "per_epoch",
+        "SELECT tb, COUNT(*) as n FROM matched GROUP BY tb",
+    )
+    .unwrap();
+    let dag = b.build();
+
+    let pkt = |time: u64, src: u64, dst: u64| {
+        Tuple::new(vec![
+            Value::UInt(time),
+            Value::UInt(time * 1000),
+            Value::UInt(src),
+            Value::UInt(dst),
+            Value::UInt(1000),
+            Value::UInt(80),
+            Value::UInt(6),
+            Value::UInt(0),
+            Value::UInt(40),
+        ])
+    };
+    // Host 7 only ever *receives*: the full outer join pads a row with
+    // NULL A.tb for it.
+    // All packets share epoch 0. Matches: src1↔dst1, src2↔dst2; left
+    // pads for srcs 9 and 5; one right pad (receiver-only host 7) whose
+    // A.tb is NULL. Join output = 5 rows.
+    let trace = vec![pkt(0, 1, 2), pkt(1, 2, 1), pkt(2, 9, 1), pkt(3, 5, 7)];
+    let outputs = run_logical(&dag, trace).unwrap();
+    let per_epoch = &outputs
+        .iter()
+        .find(|(id, _)| *id == dag.query_node("per_epoch").unwrap())
+        .unwrap()
+        .1;
+    // Every join output row — including the NULL-padded one — is
+    // accounted for downstream.
+    let counted: u64 = per_epoch.iter().map(|t| t.get(1).as_u64().unwrap()).sum();
+    assert_eq!(counted, 5);
+    // And the NULL group itself is present.
+    assert!(per_epoch.iter().any(|t| t.get(0).is_null()), "{per_epoch:?}");
+}

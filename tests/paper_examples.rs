@@ -1,0 +1,203 @@
+//! Every concrete claim the paper makes about its own examples,
+//! checked against the implementation.
+
+use qap::prelude::*;
+
+fn build(queries: &[(&str, &str)]) -> QueryDag {
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    for (name, sql) in queries {
+        b.add_query(name, sql).unwrap();
+    }
+    b.build()
+}
+
+/// Section 3.2: "partitioning on (srcIP) can satisfy all queries in our
+/// sample query set."
+#[test]
+fn section_3_2_srcip_satisfies_all() {
+    let dag = build(&[
+        (
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        ),
+        (
+            "heavy_flows",
+            "SELECT tb, srcIP, MAX(cnt) as max_cnt FROM flows GROUP BY tb, srcIP",
+        ),
+        (
+            "flow_pairs",
+            "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt \
+             FROM heavy_flows S1, heavy_flows S2 \
+             WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1",
+        ),
+    ]);
+    let srcip = PartitionSet::from_columns(["srcIP"]);
+    for id in dag.topo_order() {
+        assert!(
+            compatible_set(&dag, id).allows(&srcip),
+            "node {id} rejects (srcIP)"
+        );
+    }
+    // And the analyzer finds exactly that set.
+    let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
+    assert_eq!(analysis.recommended, srcip);
+}
+
+/// Section 3.4: "{(time/60)/2, srcIP & 0xFFF0, destIP & 0xFF00} is a
+/// compatible partitioning set" for the flows-style query, while
+/// "{time, srcIP, destIP} is incompatible (tuples belonging to the same
+/// 60 second epoch will end up in different partitions)". (Our
+/// framework additionally excludes temporal attributes outright, per
+/// Section 3.5.1, so we check the non-temporal parts.)
+#[test]
+fn section_3_4_compatibility_examples() {
+    let dag = build(&[(
+        "pkt_flows",
+        "SELECT tb, srcIP, destIP, SUM(len) as bytes FROM PKT \
+         GROUP BY time/60 as tb, srcIP, destIP",
+    )]);
+    let node = dag.query_node("pkt_flows").unwrap();
+    let compat = compatible_set(&dag, node);
+
+    let masked = PartitionSet::from_exprs([
+        &ScalarExpr::col("srcIP").mask(0xFFF0),
+        &ScalarExpr::col("destIP").mask(0xFF00),
+    ]);
+    assert!(compat.allows(&masked));
+
+    // Partitioning on an attribute the query does not group by splits
+    // groups.
+    let wrong = PartitionSet::from_columns(["len"]);
+    assert!(!compat.allows(&wrong));
+}
+
+/// Section 4's worked example: tcp_flows (5-tuple) reconciled with
+/// flow_cnt (srcIP, destIP) yields {srcIP, destIP}.
+#[test]
+fn section_4_reconciliation_example() {
+    let dag = build(&[
+        (
+            "tcp_flows",
+            "SELECT tb, srcIP, destIP, srcPort, destPort, COUNT(*) as cnt, SUM(len) as bytes \
+             FROM TCP GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort",
+        ),
+        (
+            "flow_cnt",
+            "SELECT tb, srcIP, destIP, COUNT(*) as n FROM tcp_flows GROUP BY tb, srcIP, destIP",
+        ),
+    ]);
+    let a = compatible_set(&dag, dag.query_node("tcp_flows").unwrap());
+    let b = compatible_set(&dag, dag.query_node("flow_cnt").unwrap());
+    let reconciled = reconcile_partition_sets(a.as_set().unwrap(), b.as_set().unwrap());
+    assert_eq!(reconciled, PartitionSet::from_columns(["srcIP", "destIP"]));
+}
+
+/// Section 4.1's scalar-expression reconciliation:
+/// {time/60, srcIP, destIP} ⊓ {time/90, srcIP & 0xFFF0}
+///   = {time/180, srcIP & 0xFFF0}.
+#[test]
+fn section_4_1_least_common_denominator() {
+    let a = PartitionSet::from_exprs([
+        &ScalarExpr::col("time").div(60),
+        &ScalarExpr::col("srcIP"),
+        &ScalarExpr::col("destIP"),
+    ]);
+    let b = PartitionSet::from_exprs([
+        &ScalarExpr::col("time").div(90),
+        &ScalarExpr::col("srcIP").mask(0xFFF0),
+    ]);
+    let r = reconcile_partition_sets(&a, &b);
+    let expected = PartitionSet::from_exprs([
+        &ScalarExpr::col("time").div(180),
+        &ScalarExpr::col("srcIP").mask(0xFFF0),
+    ]);
+    assert_eq!(r, expected);
+}
+
+/// The introduction's flow query with the attack-pattern HAVING clause
+/// parses, plans and runs.
+#[test]
+fn introduction_flow_query_runs() {
+    let dag = build(&[(
+        "attack_flows",
+        "SELECT tb, srcIP, destIP, srcPort, destPort, COUNT(*) as cnt, SUM(len) as bytes, \
+         MIN(timestamp) as first_ts, MAX(timestamp) as last_ts \
+         FROM TCP \
+         GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort \
+         HAVING OR_AGGR(flags) = 0x29",
+    )]);
+    let trace = generate(&TraceConfig::tiny(5));
+    let outputs = run_logical(&dag, trace.clone()).unwrap();
+    let rows = &outputs[0].1;
+    let tstats = stats(&trace);
+    // Exactly the suspicious flow-epochs survive the HAVING.
+    assert_eq!(rows.len(), tstats.suspicious_flows);
+}
+
+/// Section 3.1's PKT examples: the per-minute sum and the same-epoch
+/// join both build.
+#[test]
+fn section_3_1_pkt_examples_build() {
+    build(&[(
+        "sums",
+        "SELECT tb, srcIP, destIP, SUM(len) as total FROM PKT \
+         GROUP BY time/60 as tb, srcIP, destIP",
+    )]);
+    build(&[(
+        "paired",
+        "SELECT time, PKT1.srcIP, PKT1.destIP, PKT1.len + PKT2.len as total \
+         FROM PKT AS PKT1 JOIN PKT AS PKT2 \
+         WHERE PKT1.time = PKT2.time and PKT1.srcIP = PKT2.srcIP \
+         and PKT1.destIP = PKT2.destIP",
+    )]);
+}
+
+/// Section 6.2: the cost model "correctly identifies the dominant
+/// queries in a query set and computes the globally optimal
+/// partitioning" — under the strict join rule the masked aggregation
+/// set wins and the join is sacrificed.
+#[test]
+fn section_6_2_dominant_query_wins() {
+    let dag = Scenario::QuerySet.dag();
+    let analysis = choose_partitioning_with(
+        &dag,
+        &UniformStats::default(),
+        &CostModel::default(),
+        AnalysisOptions {
+            strict_join_compatibility: true,
+        },
+    );
+    assert_eq!(analysis.recommended.to_string(), "{destIP, srcIP & 0xFFF0}");
+    let agg = dag.query_node("subnet_stats").unwrap();
+    let join = dag.query_node("jitter").unwrap();
+    assert!(analysis.report.compatible[agg]);
+    assert!(!analysis.report.compatible[join]);
+}
+
+/// "Any subset of a compatible partitioning set is also compatible"
+/// (Section 3.5.2) and "join query is compatible with any non-empty
+/// subset of its partitioning set" (Section 3.5.3).
+#[test]
+fn subset_compatibility_rules() {
+    let dag = Scenario::QuerySet.dag();
+    let flows = dag.query_node("tcp_flows").unwrap();
+    let join = dag.query_node("jitter").unwrap();
+    for node in [flows, join] {
+        let compat = compatible_set(&dag, node);
+        let full = compat.as_set().unwrap().clone();
+        assert!(compat.allows(&full));
+        // Drop attributes one at a time: still compatible.
+        for e in full.exprs() {
+            let subset = PartitionSet::from_analyzed(
+                full.exprs()
+                    .iter()
+                    .filter(|x| x.column != e.column)
+                    .cloned(),
+            );
+            if !subset.is_empty() {
+                assert!(compat.allows(&subset), "node {node} rejects subset {subset}");
+            }
+        }
+    }
+}

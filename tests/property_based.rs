@@ -1,0 +1,367 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+
+use qap::expr::{
+    analyze_transform, make_accumulator, split_agg, AggKind, AnalyzedExpr, ColumnRef,
+    ColumnTransform,
+};
+use qap::partition::{reconcile_partition_sets, HashPartitioner, PartitionSet};
+use qap::prelude::*;
+use qap::types::{decode_tuple, encode_tuple, tcp_schema};
+
+// ---------------------------------------------------------------------
+// generators
+// ---------------------------------------------------------------------
+
+fn arb_transform() -> impl Strategy<Value = ColumnTransform> {
+    prop_oneof![
+        Just(ColumnTransform::Identity),
+        (1u64..=720).prop_map(ColumnTransform::Div),
+        (1u64..=u64::from(u16::MAX)).prop_map(ColumnTransform::Mask),
+    ]
+}
+
+fn arb_column() -> impl Strategy<Value = ColumnRef> {
+    prop_oneof![
+        Just(ColumnRef::bare("srcIP")),
+        Just(ColumnRef::bare("destIP")),
+        Just(ColumnRef::bare("srcPort")),
+        Just(ColumnRef::bare("destPort")),
+        Just(ColumnRef::bare("len")),
+    ]
+}
+
+fn arb_partition_set() -> impl Strategy<Value = PartitionSet> {
+    proptest::collection::vec((arb_column(), arb_transform()), 1..5).prop_map(|entries| {
+        PartitionSet::from_analyzed(
+            entries
+                .into_iter()
+                .map(|(column, transform)| AnalyzedExpr { column, transform }),
+        )
+    })
+}
+
+fn arb_value_seq() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..10_000, 0..40)
+}
+
+// ---------------------------------------------------------------------
+// reconciliation algebra
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Reconciliation is commutative.
+    #[test]
+    fn reconcile_commutative(a in arb_partition_set(), b in arb_partition_set()) {
+        prop_assert_eq!(
+            reconcile_partition_sets(&a, &b),
+            reconcile_partition_sets(&b, &a)
+        );
+    }
+
+    /// Reconciliation is idempotent: a ⊓ a = a.
+    #[test]
+    fn reconcile_idempotent(a in arb_partition_set()) {
+        prop_assert_eq!(reconcile_partition_sets(&a, &a), a);
+    }
+
+    /// The reconciled set is compatible with both inputs (treating each
+    /// input as a grouping requirement): every query satisfied by
+    /// partitioning on its own compatible set is satisfied by the
+    /// reconciliation — the defining property of Section 4.1.
+    #[test]
+    fn reconcile_satisfies_both(a in arb_partition_set(), b in arb_partition_set()) {
+        let r = reconcile_partition_sets(&a, &b);
+        if !r.is_empty() {
+            prop_assert!(r.satisfies(&a), "{} does not satisfy {}", r, a);
+            prop_assert!(r.satisfies(&b), "{} does not satisfy {}", r, b);
+        }
+    }
+
+    /// Reconciliation is associative on the analyzable shapes.
+    #[test]
+    fn reconcile_associative(
+        a in arb_partition_set(),
+        b in arb_partition_set(),
+        c in arb_partition_set()
+    ) {
+        let left = reconcile_partition_sets(&reconcile_partition_sets(&a, &b), &c);
+        let right = reconcile_partition_sets(&a, &reconcile_partition_sets(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// `coarsens` is transitive.
+    #[test]
+    fn coarsens_transitive(
+        a in arb_transform(),
+        b in arb_transform(),
+        c in arb_transform()
+    ) {
+        if a.coarsens(&b) && b.coarsens(&c) {
+            prop_assert!(a.coarsens(&c), "{a:?} / {b:?} / {c:?}");
+        }
+    }
+
+    /// Reconciling two transforms yields a coarsening of each.
+    #[test]
+    fn reconcile_transform_coarsens_both(a in arb_transform(), b in arb_transform()) {
+        if let Some(r) = a.reconcile(&b) {
+            prop_assert!(r.coarsens(&a));
+            prop_assert!(r.coarsens(&b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// expression analysis
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Analysis of a materialized transform round-trips.
+    #[test]
+    fn transform_to_expr_round_trips(t in arb_transform(), col in arb_column()) {
+        let e = t.to_expr(&col);
+        let analyzed = analyze_transform(&e).expect("single-column expr analyzes");
+        prop_assert!(analyzed.column.same_as(&col));
+        prop_assert_eq!(analyzed.transform, t);
+    }
+
+    /// Nested divisions compose multiplicatively.
+    #[test]
+    fn nested_div_composes(a in 1u64..1000, b in 1u64..1000) {
+        let e = ScalarExpr::col("time").div(a).div(b);
+        let analyzed = analyze_transform(&e).unwrap();
+        prop_assert_eq!(analyzed.transform, ColumnTransform::Div(a * b));
+    }
+
+    /// Nested masks compose by intersection.
+    #[test]
+    fn nested_mask_composes(a in 1u64..=0xFFFF, b in 1u64..=0xFFFF) {
+        let e = ScalarExpr::col("srcIP").mask(a).mask(b);
+        let analyzed = analyze_transform(&e).unwrap();
+        if a & b == 0 {
+            // Degenerate all-zero mask still canonicalizes.
+            prop_assert_eq!(analyzed.transform, ColumnTransform::Mask(0));
+        } else {
+            prop_assert_eq!(analyzed.transform, ColumnTransform::Mask(a & b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// parser round trip
+// ---------------------------------------------------------------------
+
+fn arb_scalar_expr() -> impl Strategy<Value = ScalarExpr> {
+    use qap::expr::{BinOp, UnOp};
+    let leaf = prop_oneof![
+        prop_oneof![
+            Just("srcIP"),
+            Just("destIP"),
+            Just("time"),
+            Just("len"),
+            Just("flags")
+        ]
+        .prop_map(ScalarExpr::col),
+        (0u64..1_000_000).prop_map(ScalarExpr::lit),
+        proptest::bool::ANY.prop_map(ScalarExpr::lit),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        let op = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Mod),
+            Just(BinOp::BitAnd),
+            Just(BinOp::BitOr),
+            Just(BinOp::BitXor),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::Lt),
+            Just(BinOp::Ge),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+        ];
+        prop_oneof![
+            (inner.clone(), op, inner.clone())
+                .prop_map(|(l, op, r)| l.binary(op, r)),
+            inner.clone().prop_map(|e| ScalarExpr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            }),
+            inner.prop_map(|e| ScalarExpr::Unary {
+                op: UnOp::BitNot,
+                expr: Box::new(e),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Displaying any scalar expression and re-parsing it yields the
+    /// same tree: the pretty-printer's parenthesization and the parser's
+    /// precedence climbing agree.
+    #[test]
+    fn expression_display_parse_round_trips(e in arb_scalar_expr()) {
+        let rendered = e.to_string();
+        let reparsed = qap::sql::parse_expression(&rendered)
+            .unwrap_or_else(|err| panic!("'{rendered}' failed to reparse: {err}"));
+        prop_assert_eq!(reparsed, e);
+    }
+}
+
+// ---------------------------------------------------------------------
+// hash partitioner
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Partition assignments are in range and deterministic, and agree
+    /// for tuples equal on the partitioning attributes.
+    #[test]
+    fn partitioner_consistent(
+        m in 1usize..16,
+        src in 0u64..1000,
+        dst in 0u64..1000,
+        time1 in 0u64..100_000,
+        time2 in 0u64..100_000
+    ) {
+        let ps = PartitionSet::from_columns(["srcIP", "destIP"]);
+        let p = HashPartitioner::new(&ps, &tcp_schema(), m).unwrap();
+        let t1 = qap::types::tuple![time1, time1, src, dst, 1u64, 2u64, 6u64, 0u64, 40u64];
+        let t2 = qap::types::tuple![time2, time2, src, dst, 9u64, 9u64, 6u64, 1u64, 99u64];
+        let a = p.partition(&t1);
+        prop_assert!(a < m);
+        prop_assert_eq!(a, p.partition(&t1));
+        prop_assert_eq!(a, p.partition(&t2));
+    }
+
+    /// A coarser (masked) partitioning never separates tuples the finer
+    /// grouping would collocate.
+    #[test]
+    fn masked_partitioner_respects_subnets(
+        m in 1usize..8,
+        subnet in 0u64..100,
+        host1 in 0u64..256,
+        host2 in 0u64..256
+    ) {
+        let ps = PartitionSet::from_exprs([&ScalarExpr::col("srcIP").mask(0xFFFF_FF00)]);
+        let p = HashPartitioner::new(&ps, &tcp_schema(), m).unwrap();
+        let ip1 = (subnet << 8) | host1;
+        let ip2 = (subnet << 8) | host2;
+        let t1 = qap::types::tuple![0u64, 0u64, ip1, 1u64, 1u64, 2u64, 6u64, 0u64, 40u64];
+        let t2 = qap::types::tuple![0u64, 0u64, ip2, 2u64, 3u64, 4u64, 6u64, 0u64, 50u64];
+        prop_assert_eq!(p.partition(&t1), p.partition(&t2));
+    }
+}
+
+// ---------------------------------------------------------------------
+// aggregate split/merge
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// For every splittable aggregate: partition the input arbitrarily,
+    /// evaluate subs per part, merge at the super — equals direct
+    /// evaluation (the Section 5.2.2 soundness property).
+    #[test]
+    fn split_merge_equals_direct(
+        values in arb_value_seq(),
+        cut in 0usize..40,
+        kind in prop_oneof![
+            Just(AggKind::Count),
+            Just(AggKind::Sum),
+            Just(AggKind::Min),
+            Just(AggKind::Max),
+            Just(AggKind::OrAgg),
+            Just(AggKind::AndAgg),
+        ]
+    ) {
+        let cut = cut.min(values.len());
+        let (left, right) = values.split_at(cut);
+        let direct = {
+            let mut acc = make_accumulator(kind);
+            for v in &values {
+                acc.update(&Value::UInt(*v));
+            }
+            acc.finalize()
+        };
+        let spec = split_agg(kind);
+        let partial = |part: &[u64]| {
+            let mut acc = make_accumulator(spec.sub[0]);
+            for v in part {
+                acc.update(&Value::UInt(*v));
+            }
+            acc.finalize()
+        };
+        let mut sup = make_accumulator(spec.sup[0]);
+        sup.merge(&partial(left));
+        sup.merge(&partial(right));
+        prop_assert_eq!(sup.finalize(), direct);
+    }
+}
+
+// ---------------------------------------------------------------------
+// wire format
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn wire_round_trips(vals in proptest::collection::vec(0u64..u64::MAX, 0..20)) {
+        let t = Tuple::new(vals.into_iter().map(Value::UInt).collect());
+        let encoded = encode_tuple(&t);
+        prop_assert_eq!(encoded.len(), qap::types::encoded_len(&t));
+        prop_assert_eq!(decode_tuple(encoded).unwrap(), t);
+    }
+}
+
+// ---------------------------------------------------------------------
+// distributed == centralized, randomized
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized end-to-end equivalence: any seed, any cluster size,
+    /// hash or round-robin — the distributed flows query equals the
+    /// centralized run.
+    #[test]
+    fn distributed_equals_centralized(
+        seed in 0u64..1000,
+        hosts in 1usize..5,
+        use_hash in any::<bool>()
+    ) {
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        )
+        .unwrap();
+        let dag = b.build();
+        let trace = generate(&TraceConfig {
+            seed,
+            epochs: 2,
+            flows_per_epoch: 60,
+            hosts: 30,
+            ..TraceConfig::default()
+        });
+        let mut reference: Vec<Tuple> =
+            run_logical(&dag, trace.clone()).unwrap().remove(0).1;
+        let partitioning = if use_hash {
+            Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), hosts)
+        } else {
+            Partitioning::round_robin(hosts)
+        };
+        let plan = optimize(&dag, &partitioning, &OptimizerConfig::naive()).unwrap();
+        let mut rows = run_distributed(&plan, &trace, &SimConfig::default())
+            .unwrap()
+            .outputs
+            .remove(0)
+            .1;
+        let key = |t: &Tuple| format!("{t}");
+        reference.sort_by_key(key);
+        rows.sort_by_key(key);
+        prop_assert_eq!(rows, reference);
+    }
+}

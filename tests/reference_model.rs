@@ -1,0 +1,262 @@
+//! Model-based testing: an independent brute-force evaluator of
+//! tumbling-window semantics, checked against the streaming engine on
+//! randomized traces.
+//!
+//! The brute-force model shares *no code* with the engine's operator
+//! implementations — it materializes the whole trace into maps and
+//! folds — so agreement across random inputs is strong evidence the
+//! incremental window/flush/merge machinery is correct.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use qap::prelude::*;
+
+/// A random packet: (time, srcIP, destIP, flags, len).
+#[derive(Debug, Clone)]
+struct Pkt {
+    time: u64,
+    src: u64,
+    dst: u64,
+    flags: u64,
+    len: u64,
+}
+
+fn arb_trace() -> impl Strategy<Value = Vec<Pkt>> {
+    proptest::collection::vec(
+        (0u64..240, 1u64..6, 1u64..6, 0u64..64, 40u64..200).prop_map(
+            |(time, src, dst, flags, len)| Pkt {
+                time,
+                src,
+                dst,
+                flags,
+                len,
+            },
+        ),
+        0..200,
+    )
+    .prop_map(|mut v| {
+        // The engine contract: time-ordered input.
+        v.sort_by_key(|p| p.time);
+        v
+    })
+}
+
+fn to_tuples(trace: &[Pkt]) -> Vec<Tuple> {
+    trace
+        .iter()
+        .map(|p| {
+            Tuple::new(vec![
+                Value::UInt(p.time),
+                Value::UInt(p.time * 1000),
+                Value::UInt(p.src),
+                Value::UInt(p.dst),
+                Value::UInt(1000),
+                Value::UInt(80),
+                Value::UInt(6),
+                Value::UInt(p.flags),
+                Value::UInt(p.len),
+            ])
+        })
+        .collect()
+}
+
+fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            let ord = x.total_cmp(y);
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+/// Brute force: per (time/60, src, dst): count, sum(len), min(len),
+/// max(len), or(flags).
+#[allow(clippy::type_complexity)]
+fn model_flows(trace: &[Pkt]) -> Vec<Tuple> {
+    let mut m: BTreeMap<(u64, u64, u64), (u64, u64, u64, u64, u64)> = BTreeMap::new();
+    for p in trace {
+        let e = m
+            .entry((p.time / 60, p.src, p.dst))
+            .or_insert((0, 0, u64::MAX, 0, 0));
+        e.0 += 1;
+        e.1 += p.len;
+        e.2 = e.2.min(p.len);
+        e.3 = e.3.max(p.len);
+        e.4 |= p.flags;
+    }
+    m.into_iter()
+        .map(|((tb, s, d), (cnt, sum, min, max, or))| {
+            Tuple::new(vec![
+                Value::UInt(tb),
+                Value::UInt(s),
+                Value::UInt(d),
+                Value::UInt(cnt),
+                Value::UInt(sum),
+                Value::UInt(min),
+                Value::UInt(max),
+                Value::UInt(or),
+            ])
+        })
+        .collect()
+}
+
+/// Brute force heavy_flows + flow_pairs (Section 3.2 semantics).
+fn model_flow_pairs(trace: &[Pkt]) -> Vec<Tuple> {
+    // flows: (tb, src, dst) -> cnt
+    let mut flows: BTreeMap<(u64, u64, u64), u64> = BTreeMap::new();
+    for p in trace {
+        *flows.entry((p.time / 60, p.src, p.dst)).or_insert(0) += 1;
+    }
+    // heavy: (tb, src) -> max cnt
+    let mut heavy: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for ((tb, s, _), cnt) in &flows {
+        let e = heavy.entry((*tb, *s)).or_insert(0);
+        *e = (*e).max(*cnt);
+    }
+    // pairs: S1.tb = S2.tb + 1, same src.
+    let mut out = Vec::new();
+    for (&(tb, s), &m1) in &heavy {
+        if tb == 0 {
+            continue;
+        }
+        if let Some(&m2) = heavy.get(&(tb - 1, s)) {
+            out.push(Tuple::new(vec![
+                Value::UInt(tb),
+                Value::UInt(s),
+                Value::UInt(m1),
+                Value::UInt(m2),
+            ]));
+        }
+    }
+    out
+}
+
+fn engine_eval(queries: &[(&str, &str)], trace: &[Pkt]) -> Vec<Tuple> {
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    for (name, sql) in queries {
+        b.add_query(name, sql).unwrap();
+    }
+    let dag = b.build();
+    run_logical(&dag, to_tuples(trace)).unwrap().remove(0).1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine's aggregation semantics match the brute-force model
+    /// for all five aggregate kinds at once.
+    #[test]
+    fn aggregation_matches_model(trace in arb_trace()) {
+        let engine = engine_eval(
+            &[(
+                "flows",
+                "SELECT tb, srcIP, destIP, COUNT(*) as cnt, SUM(len) as bytes, \
+                 MIN(len) as lo, MAX(len) as hi, OR_AGGR(flags) as orf FROM TCP \
+                 GROUP BY time/60 as tb, srcIP, destIP",
+            )],
+            &trace,
+        );
+        prop_assert_eq!(sorted(engine), sorted(model_flows(&trace)));
+    }
+
+    /// HAVING filters exactly the model's matching groups.
+    #[test]
+    fn having_matches_model(trace in arb_trace(), threshold in 1u64..10) {
+        let engine = engine_eval(
+            &[(
+                "big",
+                &format!(
+                    "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+                     GROUP BY time/60 as tb, srcIP, destIP HAVING COUNT(*) >= {threshold}"
+                ),
+            )],
+            &trace,
+        );
+        let model: Vec<Tuple> = model_flows(&trace)
+            .into_iter()
+            .filter(|t| t.get(3).as_u64().unwrap() >= threshold)
+            .map(|t| t.project(&[0, 1, 2, 3]))
+            .collect();
+        prop_assert_eq!(sorted(engine), sorted(model));
+    }
+
+    /// The three-query Section 3.2 DAG (stacked aggregations + offset
+    /// self-join) matches the model end to end.
+    #[test]
+    fn flow_pairs_matches_model(trace in arb_trace()) {
+        let engine = engine_eval(
+            &[
+                (
+                    "flows",
+                    "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+                     GROUP BY time/60 as tb, srcIP, destIP",
+                ),
+                (
+                    "heavy_flows",
+                    "SELECT tb, srcIP, MAX(cnt) as max_cnt FROM flows GROUP BY tb, srcIP",
+                ),
+                (
+                    "flow_pairs",
+                    "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt \
+                     FROM heavy_flows S1, heavy_flows S2 \
+                     WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1",
+                ),
+            ],
+            &trace,
+        );
+        prop_assert_eq!(sorted(engine), sorted(model_flow_pairs(&trace)));
+    }
+
+    /// WHERE pushes into the window exactly like pre-filtering the
+    /// model's input.
+    #[test]
+    fn where_matches_prefiltered_model(trace in arb_trace(), cutoff in 40u64..200) {
+        let engine = engine_eval(
+            &[(
+                "small",
+                &format!(
+                    "SELECT tb, srcIP, destIP, COUNT(*) as cnt, SUM(len) as bytes, \
+                     MIN(len) as lo, MAX(len) as hi, OR_AGGR(flags) as orf FROM TCP \
+                     WHERE len < {cutoff} \
+                     GROUP BY time/60 as tb, srcIP, destIP"
+                ),
+            )],
+            &trace,
+        );
+        let filtered: Vec<Pkt> = trace.iter().filter(|p| p.len < cutoff).cloned().collect();
+        prop_assert_eq!(sorted(engine), sorted(model_flows(&filtered)));
+    }
+
+    /// Distributed execution of the model-checked query also matches the
+    /// model (closing the loop: model == centralized == distributed).
+    #[test]
+    fn distributed_matches_model(trace in arb_trace(), hosts in 1usize..4) {
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt, SUM(len) as bytes, \
+             MIN(len) as lo, MAX(len) as hi, OR_AGGR(flags) as orf FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        )
+        .unwrap();
+        let dag = b.build();
+        let plan = optimize(
+            &dag,
+            &Partitioning::round_robin(hosts),
+            &OptimizerConfig::naive(),
+        )
+        .unwrap();
+        let rows = run_distributed(&plan, &to_tuples(&trace), &SimConfig::default())
+            .unwrap()
+            .outputs
+            .remove(0)
+            .1;
+        prop_assert_eq!(sorted(rows), sorted(model_flows(&trace)));
+    }
+}

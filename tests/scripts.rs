@@ -1,0 +1,57 @@
+//! The shipped `scripts/*.gsql` files parse, analyze to the paper's
+//! claimed recommendations, and run.
+
+use qap::prelude::*;
+
+fn load(name: &str) -> QueryDag {
+    let path = format!("{}/../../scripts/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.parse_script(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    b.build()
+}
+
+#[test]
+fn section_3_2_script_recommends_srcip() {
+    let dag = load("section_3_2.gsql");
+    let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
+    assert_eq!(analysis.recommended.to_string(), "{srcIP}");
+}
+
+#[test]
+fn section_4_script_recommends_src_dest() {
+    let dag = load("section_4.gsql");
+    let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
+    assert_eq!(analysis.recommended.to_string(), "{destIP, srcIP}");
+}
+
+#[test]
+fn section_6_1_script_runs_and_detects() {
+    let dag = load("section_6_1.gsql");
+    let trace = generate(&TraceConfig::tiny(91));
+    let tstats = stats(&trace);
+    let rows = run_logical(&dag, trace).unwrap().remove(0).1;
+    assert_eq!(rows.len(), tstats.suspicious_flows);
+}
+
+#[test]
+fn section_6_2_script_strict_analysis_matches_paper() {
+    let dag = load("section_6_2.gsql");
+    let analysis = choose_partitioning_with(
+        &dag,
+        &UniformStats::default(),
+        &CostModel::default(),
+        AnalysisOptions {
+            strict_join_compatibility: true,
+        },
+    );
+    assert_eq!(analysis.recommended.to_string(), "{destIP, srcIP & 0xFFF0}");
+}
+
+#[test]
+fn custom_stream_script_analyzes() {
+    let dag = load("netflow_custom_stream.gsql");
+    assert!(dag.catalog().contains("NETFLOW"));
+    let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
+    assert_eq!(analysis.recommended.to_string(), "{router}");
+}
