@@ -17,16 +17,21 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use qap::partition::AnalysisOptions;
 use qap::optimizer::{plan_partitioning, PlacementStrategy};
+use qap::partition::AnalysisOptions;
 use qap::prelude::*;
 use qap_bench::small_trace;
 
 fn ablation_remote_cost(c: &mut Criterion) {
     let trace = small_trace();
     let scenario = Scenario::SimpleAgg;
-    println!("\n=== Ablation: remote_rx / op cost ratio (Naive, aggregator work at 1 vs 4 hosts) ===");
-    println!("{:<10} {:>14} {:>14} {:>9}", "ratio", "work@1", "work@4", "growth");
+    println!(
+        "\n=== Ablation: remote_rx / op cost ratio (Naive, aggregator work at 1 vs 4 hosts) ==="
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}",
+        "ratio", "work@1", "work@4", "growth"
+    );
     for ratio in [0.5, 2.0, 7.5, 20.0] {
         let costs = CostConstants {
             remote_rx: 0.4 * ratio,
@@ -84,10 +89,13 @@ fn ablation_partial_agg_scope(c: &mut Criterion) {
     println!("\n=== Ablation: partial aggregation scope (round-robin, 4 hosts) ===");
     println!("{:<18} {:>12} {:>14}", "scope", "agg rx", "agg work");
     for (name, cfg) in [
-        ("none (agnostic)", OptimizerConfig {
-            agnostic: true,
-            ..OptimizerConfig::default()
-        }),
+        (
+            "none (agnostic)",
+            OptimizerConfig {
+                agnostic: true,
+                ..OptimizerConfig::default()
+            },
+        ),
         ("per-partition", OptimizerConfig::naive()),
         ("per-host", OptimizerConfig::full()),
     ] {
@@ -218,12 +226,13 @@ fn ablation_plan_vs_data_partitioning(c: &mut Criterion) {
             .fold(0.0f64, |a, &b| a.max(b))
     };
     println!("\n=== Ablation: query-plan vs data partitioning (max per-host work) ===");
-    println!(
-        "{:<34} {:>14}",
-        "strategy", "max host work"
-    );
+    println!("{:<34} {:>14}", "strategy", "max host work");
     let central = plan_partitioning(&dag, 1, PlacementStrategy::RoundRobin).expect("lowers");
-    println!("{:<34} {:>14.0}", "centralized (1 host)", max_load(&central));
+    println!(
+        "{:<34} {:>14.0}",
+        "centralized (1 host)",
+        max_load(&central)
+    );
     for hosts in [2usize, 4] {
         let pp = plan_partitioning(&dag, hosts, PlacementStrategy::RoundRobin).expect("lowers");
         println!(

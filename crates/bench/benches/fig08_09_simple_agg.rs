@@ -34,15 +34,9 @@ fn bench(c: &mut Criterion) {
     for &config in Scenario::SimpleAgg.configs() {
         for hosts in [1usize, 4] {
             let plan = Scenario::SimpleAgg.plan(config, hosts);
-            group.bench_with_input(
-                BenchmarkId::new(config, hosts),
-                &plan,
-                |b, plan| {
-                    b.iter(|| {
-                        run_distributed(plan, &trace, &sim).expect("runs")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(config, hosts), &plan, |b, plan| {
+                b.iter(|| run_distributed(plan, &trace, &sim).expect("runs"))
+            });
         }
     }
     group.finish();

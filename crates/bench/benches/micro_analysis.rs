@@ -68,9 +68,7 @@ fn bench_choose(c: &mut Criterion) {
     for scenario in [Scenario::SimpleAgg, Scenario::QuerySet, Scenario::Complex] {
         let dag = scenario.dag();
         group.bench_function(scenario.name(), |b| {
-            b.iter(|| {
-                choose_partitioning(&dag, &UniformStats::default(), &CostModel::default())
-            })
+            b.iter(|| choose_partitioning(&dag, &UniformStats::default(), &CostModel::default()))
         });
     }
     group.finish();
@@ -117,7 +115,11 @@ fn bench_optimize(c: &mut Criterion) {
             Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), 4),
             OptimizerConfig::full(),
         ),
-        ("round_robin", Partitioning::round_robin(4), OptimizerConfig::naive()),
+        (
+            "round_robin",
+            Partitioning::round_robin(4),
+            OptimizerConfig::naive(),
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| optimize(&dag, &part, &cfg).expect("lowers"))

@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the execution substrate: splitter throughput,
 //! aggregation, join, and end-to-end engine tuple rates.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use qap::prelude::*;
 use qap::types::tcp_schema;
@@ -13,7 +13,10 @@ fn bench_partitioner(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash_partitioner");
     group.throughput(Throughput::Elements(trace.len() as u64));
     for (name, set) in [
-        ("five_tuple", PartitionSet::from_columns(["srcIP", "destIP", "srcPort", "destPort"])),
+        (
+            "five_tuple",
+            PartitionSet::from_columns(["srcIP", "destIP", "srcPort", "destPort"]),
+        ),
         ("src_only", PartitionSet::from_columns(["srcIP"])),
         (
             "masked",
@@ -66,14 +69,48 @@ fn bench_join(c: &mut Criterion) {
 fn bench_selection(c: &mut Criterion) {
     let trace = small_trace();
     let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
-    b.add_query("web", "SELECT time, srcIP, len FROM TCP WHERE destPort = 80")
-        .expect("parses");
+    b.add_query(
+        "web",
+        "SELECT time, srcIP, len FROM TCP WHERE destPort = 80",
+    )
+    .expect("parses");
     let dag = b.build();
     let mut group = c.benchmark_group("selection");
     group.throughput(Throughput::Elements(trace.len() as u64));
     group.bench_function("port_filter", |b| {
         b.iter(|| run_logical(&dag, trace.iter().cloned()).expect("runs"))
     });
+    group.finish();
+}
+
+/// Batch-size sweep over the Section 6.1 simple-aggregation query —
+/// the before/after series for the batched dataflow core. `batch=1`
+/// reproduces the old tuple-at-a-time engine; the outputs are identical
+/// at every size (the equivalence suite proves it), only the tuple rate
+/// moves. The input trace is cloned in `iter_batched` setup, outside
+/// the timed region, so the series measures engine throughput rather
+/// than benchmark input construction.
+fn bench_batch_sweep(c: &mut Criterion) {
+    let trace = small_trace();
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.add_query(
+        "flows",
+        "SELECT tb, srcIP, destIP, COUNT(*) as cnt, SUM(len) as bytes FROM TCP \
+         GROUP BY time/60 as tb, srcIP, destIP",
+    )
+    .expect("parses");
+    let dag = b.build();
+    let mut group = c.benchmark_group("engine_batch_sweep");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for batch in [1usize, 64, 1024] {
+        group.bench_function(format!("simple_agg/batch_{batch}"), |b| {
+            b.iter_batched(
+                || trace.clone(),
+                |input| run_logical_with(&dag, input, BatchConfig::new(batch)).expect("runs"),
+                BatchSize::LargeInput,
+            )
+        });
+    }
     group.finish();
 }
 
@@ -92,6 +129,7 @@ criterion_group!(
     bench_aggregation,
     bench_join,
     bench_selection,
+    bench_batch_sweep,
     bench_trace_generation
 );
 criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Batch-size throughput sweep over the Section 6.1 simple-aggregation
+//! query — the before/after measurement for the batched dataflow core
+//! (EXPERIMENTS.md). Unlike the criterion micro-bench, the input clone
+//! is performed *outside* the timed region, so the numbers isolate
+//! engine throughput from benchmark setup.
+//!
+//! Usage: `cargo run --release -p qap-bench --bin batch_sweep`
+
+use std::time::Instant;
+
+use qap::prelude::*;
+use qap_bench::small_trace;
+
+fn flows_dag() -> QueryDag {
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.add_query(
+        "flows",
+        "SELECT tb, srcIP, destIP, COUNT(*) as cnt, SUM(len) as bytes FROM TCP \
+         GROUP BY time/60 as tb, srcIP, destIP",
+    )
+    .expect("parses");
+    b.build()
+}
+
+fn main() {
+    let trace = small_trace();
+    let dag = flows_dag();
+    let n = trace.len();
+    let outputs = run_logical(&dag, trace.iter().cloned()).expect("runs");
+    let out_rows: usize = outputs.iter().map(|(_, rows)| rows.len()).sum();
+    println!("trace: {n} tuples -> {out_rows} group rows; query: flows aggregation (COUNT + SUM)");
+
+    // Cost of cloning the trace itself, for reference.
+    let reps = 50usize;
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(trace.clone());
+    }
+    let clone_ns = start.elapsed().as_nanos() as f64 / (reps * n) as f64;
+    println!("input clone alone: {clone_ns:6.1} ns/tuple");
+
+    let mut base = f64::NAN;
+    for batch in [1usize, 8, 64, 256, 1024, 4096] {
+        let cfg = BatchConfig::new(batch);
+        // Warm-up.
+        for _ in 0..3 {
+            let input = trace.clone();
+            std::hint::black_box(run_logical_with(&dag, input, cfg).expect("runs"));
+        }
+        // Timed: clone outside the clock, run inside.
+        let mut total_ns = 0u128;
+        for _ in 0..reps {
+            let input = trace.clone();
+            let start = Instant::now();
+            std::hint::black_box(run_logical_with(&dag, input, cfg).expect("runs"));
+            total_ns += start.elapsed().as_nanos();
+        }
+        let ns_per_tuple = total_ns as f64 / (reps * n) as f64;
+        let mtps = 1e3 / ns_per_tuple;
+        if batch == 1 {
+            base = ns_per_tuple;
+        }
+        let speedup = base / ns_per_tuple;
+        println!(
+            "batch {batch:>5}: {ns_per_tuple:6.1} ns/tuple  {mtps:6.2} Mtuples/s  ({speedup:4.2}x vs batch 1)"
+        );
+    }
+
+    // The §6.1 simple-aggregation *plan* (Partitioned, 4 hosts): the
+    // full splitter → leaf → merge → aggregator pipeline the paper's
+    // figures run through.
+    println!();
+    println!("§6.1 simple-agg distributed plan (Partitioned, 4 hosts), simulator:");
+    let plan = Scenario::SimpleAgg.plan("Partitioned", 4);
+    let mut base = f64::NAN;
+    for batch in [1usize, 64, 1024] {
+        let sim = SimConfig {
+            batch: BatchConfig::new(batch),
+            ..SimConfig::default()
+        };
+        for _ in 0..2 {
+            std::hint::black_box(run_distributed(&plan, &trace, &sim).expect("runs"));
+        }
+        let reps = 20usize;
+        let mut total_ns = 0u128;
+        for _ in 0..reps {
+            let start = Instant::now();
+            std::hint::black_box(run_distributed(&plan, &trace, &sim).expect("runs"));
+            total_ns += start.elapsed().as_nanos();
+        }
+        let ns_per_tuple = total_ns as f64 / (reps * n) as f64;
+        let mtps = 1e3 / ns_per_tuple;
+        if batch == 1 {
+            base = ns_per_tuple;
+        }
+        let speedup = base / ns_per_tuple;
+        println!(
+            "batch {batch:>5}: {ns_per_tuple:6.1} ns/tuple  {mtps:6.2} Mtuples/s  ({speedup:4.2}x vs batch 1)"
+        );
+    }
+
+    // Same plan through the threaded runner: one OS thread per host,
+    // remote edges over real channels — the per-tuple overhead class
+    // the paper's aggregator saturates on.
+    println!();
+    println!("§6.1 simple-agg distributed plan (Partitioned, 4 hosts), threaded:");
+    let mut base = f64::NAN;
+    for batch in [1usize, 64, 1024] {
+        let sim = SimConfig {
+            batch: BatchConfig::new(batch),
+            ..SimConfig::default()
+        };
+        for _ in 0..2 {
+            std::hint::black_box(run_distributed_threaded(&plan, &trace, &sim).expect("runs"));
+        }
+        let reps = 10usize;
+        let mut total_ns = 0u128;
+        for _ in 0..reps {
+            let start = Instant::now();
+            std::hint::black_box(run_distributed_threaded(&plan, &trace, &sim).expect("runs"));
+            total_ns += start.elapsed().as_nanos();
+        }
+        let ns_per_tuple = total_ns as f64 / (reps * n) as f64;
+        let mtps = 1e3 / ns_per_tuple;
+        if batch == 1 {
+            base = ns_per_tuple;
+        }
+        let speedup = base / ns_per_tuple;
+        println!(
+            "batch {batch:>5}: {ns_per_tuple:6.1} ns/tuple  {mtps:6.2} Mtuples/s  ({speedup:4.2}x vs batch 1)"
+        );
+    }
+}

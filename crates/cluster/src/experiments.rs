@@ -324,7 +324,10 @@ mod tests {
         assert!(naive[3].aggregator_rx_tps > 1.5 * naive[0].aggregator_rx_tps);
         assert!(partitioned[3].aggregator_rx_tps < naive[3].aggregator_rx_tps / 3.0);
         let flat = partitioned[3].aggregator_rx_tps / partitioned[0].aggregator_rx_tps.max(1.0);
-        assert!(flat < 1.5, "partitioned series should be flat, ratio {flat}");
+        assert!(
+            flat < 1.5,
+            "partitioned series should be flat, ratio {flat}"
+        );
     }
 
     #[test]

@@ -75,7 +75,9 @@ fn estimated_size(dag: &QueryDag, id: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qap_partition::{choose_partitioning, plan_cost, node_compatibilities, CostModel, PartitionSet};
+    use qap_partition::{
+        choose_partitioning, node_compatibilities, plan_cost, CostModel, PartitionSet,
+    };
     use qap_sql::QuerySetBuilder;
     use qap_trace::{generate, TraceConfig};
     use qap_types::Catalog;
@@ -101,7 +103,11 @@ mod tests {
         let s = stats.stats(&dag, flows);
         // The aggregation reduces packets to flow-epoch rows; the exact
         // ratio is trace-dependent but must be strictly in (0, 1).
-        assert!(s.selectivity > 0.0 && s.selectivity < 1.0, "{}", s.selectivity);
+        assert!(
+            s.selectivity > 0.0 && s.selectivity < 1.0,
+            "{}",
+            s.selectivity
+        );
         // Cross-check against a direct run.
         let outputs = qap_exec::run_logical(&dag, trace.clone()).unwrap();
         let expected = outputs[0].1.len() as f64 / trace.len() as f64;
@@ -142,6 +148,10 @@ mod tests {
         use qap_partition::StatsProvider;
         let s = stats.stats(&dag, dag.query_node("web").unwrap());
         // destPort=80 is one of five generator choices: ~20%.
-        assert!(s.selectivity > 0.05 && s.selectivity < 0.5, "{}", s.selectivity);
+        assert!(
+            s.selectivity > 0.05 && s.selectivity < 0.5,
+            "{}",
+            s.selectivity
+        );
     }
 }

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use serde::Serialize;
 
-use qap_exec::{Engine, ExecError, ExecResult, OpCounters};
+use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, OpCounters};
 use qap_optimizer::{DistributedPlan, SplitStrategy};
 use qap_partition::HashPartitioner;
 use qap_plan::LogicalNode;
@@ -56,6 +56,10 @@ pub struct SimConfig {
     /// with a reference run (the experiments anchor the single-host
     /// Naive configuration of Section 6.1 at the paper's 80.4%).
     pub host_budget: f64,
+    /// Batch size for the splitter feeds and engine routing. A pure
+    /// performance knob: metrics and outputs are batch-size-invariant
+    /// (the equivalence suite enforces it).
+    pub batch: BatchConfig,
 }
 
 impl Default for SimConfig {
@@ -63,6 +67,7 @@ impl Default for SimConfig {
         SimConfig {
             costs: CostConstants::default(),
             host_budget: 1_000_000.0,
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -119,6 +124,10 @@ pub struct SimResult {
     pub metrics: ClusterMetrics,
     /// `(output name, rows)` per plan output.
     pub outputs: Vec<(String, Vec<Tuple>)>,
+    /// Raw per-node tuple-flow counters, indexed by plan node id — the
+    /// input to [`account`], exposed so equivalence tests can assert
+    /// batched and per-tuple execution agree tuple-for-tuple.
+    pub counters: Vec<OpCounters>,
 }
 
 /// Executes a distributed plan over a time-ordered trace of its (single)
@@ -182,6 +191,7 @@ pub fn run_distributed_multi(
     let m = plan.partitioning.partitions;
     let sink_nodes: Vec<usize> = plan.outputs.iter().map(|o| o.node).collect();
     let mut engine = Engine::with_sinks(&plan.dag, &sink_nodes)?;
+    engine.set_batch_config(cfg.batch);
 
     let mut duration = 1.0f64;
     for (stream, trace) in feeds {
@@ -199,11 +209,16 @@ pub fn run_distributed_multi(
         let hash = match &plan.partitioning.strategy {
             SplitStrategy::RoundRobin => None,
             SplitStrategy::Hash(set) => Some(
-                HashPartitioner::new(set, &schema, m).map_err(|e| {
-                    ExecError::BadPlan(format!("unusable partitioning set: {e}"))
-                })?,
+                HashPartitioner::new(set, &schema, m)
+                    .map_err(|e| ExecError::BadPlan(format!("unusable partitioning set: {e}")))?,
             ),
         };
+        // Partition → scan node, resolved once per feed; the split loop
+        // then stages tuples into per-partition buffers and feeds each
+        // scan a batch at a time.
+        let scan_of: Vec<usize> = (0..m).map(|p| scans[&(key.clone(), p as u32)]).collect();
+        let max = cfg.batch.max_batch;
+        let mut bufs: Vec<Vec<Tuple>> = vec![Vec::new(); m];
         let mut rr = 0usize;
         for tuple in *trace {
             let p = match &hash {
@@ -214,14 +229,26 @@ pub fn run_distributed_multi(
                     p
                 }
             };
-            let scan = scans[&(key.clone(), p as u32)];
-            engine.push(scan, tuple.clone())?;
+            bufs[p].push(tuple.clone());
+            if bufs[p].len() >= max {
+                engine.push_batch(scan_of[p], &mut bufs[p])?;
+            }
+        }
+        // Tail flush, in ascending scan-node order so the residue feeds
+        // deterministically regardless of partition numbering.
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_unstable_by_key(|&p| scan_of[p]);
+        for p in order {
+            if !bufs[p].is_empty() {
+                engine.push_batch(scan_of[p], &mut bufs[p])?;
+            }
         }
         duration = duration.max(trace_duration(&schema, trace));
     }
     engine.finish()?;
 
-    let mut metrics = account(plan, engine.counters(), duration, cfg);
+    let counters = engine.counters().to_vec();
+    let mut metrics = account(plan, &counters, duration, cfg);
 
     let mut outputs = Vec::new();
     for o in &plan.outputs {
@@ -235,7 +262,11 @@ pub fn run_distributed_multi(
         .iter()
         .map(|(n, rows)| (n.clone(), rows.len() as u64))
         .collect();
-    Ok(SimResult { metrics, outputs })
+    Ok(SimResult {
+        metrics,
+        outputs,
+        counters,
+    })
 }
 
 /// Span of the trace's temporal attribute, in seconds.
@@ -304,8 +335,7 @@ pub(crate) fn account(
             // tier into the central tier (process-to-process even on the
             // same machine — the paper's measurements count loopback
             // traffic into the aggregation process).
-            let is_transfer =
-                plan.host[child] != h || (!plan.central[child] && plan.central[id]);
+            let is_transfer = plan.host[child] != h || (!plan.central[child] && plan.central[id]);
             if is_transfer && edge_tuples > 0 {
                 let send_cost = c.send * edge_tuples as f64;
                 work[plan.host[child]] += send_cost;

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use qap_exec::{Engine, ExecError, ExecResult, OpCounters};
+use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, OpCounters};
 use qap_optimizer::{DistributedPlan, SplitStrategy};
 use qap_partition::HashPartitioner;
 use qap_plan::{LogicalNode, NodeId, QueryDag};
@@ -187,8 +187,8 @@ pub fn run_distributed_threaded(
             scan_of_partition.insert(partition.expect("physical scan"), id);
         }
     }
-    let stream = stream_name
-        .ok_or_else(|| ExecError::BadPlan("plan has no source scans".into()))?;
+    let stream =
+        stream_name.ok_or_else(|| ExecError::BadPlan("plan has no source scans".into()))?;
     let schema = plan
         .dag
         .catalog()
@@ -203,7 +203,13 @@ pub fn run_distributed_threaded(
                 .map_err(|e| ExecError::BadPlan(format!("unusable partitioning set: {e}")))?,
         ),
     };
-    let mut per_host_feed: Vec<Vec<(NodeId, Tuple)>> = vec![Vec::new(); hosts];
+    // Each host's feed is a sequence of per-scan batches. Tuples are
+    // cloned exactly once (out of the shared trace, into a staging
+    // buffer); from there batches move — into the feed, then into the
+    // host engine — with no further materialization.
+    let max = cfg.batch.max_batch;
+    let mut per_host_feed: Vec<Vec<(NodeId, Vec<Tuple>)>> = vec![Vec::new(); hosts];
+    let mut stage: Vec<Vec<Tuple>> = vec![Vec::new(); m];
     let mut rr = 0usize;
     for t in trace {
         let p = match &hash {
@@ -214,8 +220,20 @@ pub fn run_distributed_threaded(
                 p
             }
         };
-        let scan = scan_of_partition[&(p as u32)];
-        per_host_feed[plan.host[scan]].push((scan, t.clone()));
+        stage[p].push(t.clone());
+        if stage[p].len() >= max {
+            let scan = scan_of_partition[&(p as u32)];
+            per_host_feed[plan.host[scan]].push((scan, std::mem::take(&mut stage[p])));
+        }
+    }
+    // Tail flush in ascending scan-node order, for determinism.
+    let mut tail: Vec<(NodeId, usize)> = (0..m)
+        .filter(|&p| !stage[p].is_empty())
+        .map(|p| (scan_of_partition[&(p as u32)], p))
+        .collect();
+    tail.sort_unstable();
+    for (scan, p) in tail {
+        per_host_feed[plan.host[scan]].push((scan, std::mem::take(&mut stage[p])));
     }
 
     let slices: Vec<HostPlan> = (0..hosts)
@@ -249,6 +267,7 @@ pub fn run_distributed_threaded(
         })
         .collect();
 
+    let batch_cfg = cfg.batch;
     let result: ExecResult<Vec<HostRun>> =
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -256,16 +275,20 @@ pub fn run_distributed_threaded(
                 if h == agg {
                     continue;
                 }
-                let feed = &per_host_feed[h];
+                // Move the feed into its host thread — the batches were
+                // materialized once at the splitter and never copied
+                // again.
+                let feed = std::mem::take(&mut per_host_feed[h]);
                 let tx = tx.clone();
                 handles.push(scope.spawn(move || -> ExecResult<_> {
-                    run_leaf_host(h, slice, feed, tx)
+                    run_leaf_host(h, slice, feed, batch_cfg, tx)
                 }));
             }
             drop(tx);
             // The aggregator runs on this thread, concurrently with the
             // leaves.
-            let agg_result = run_agg_host(agg, &slices[agg], &per_host_feed[agg], rx)?;
+            let agg_feed = std::mem::take(&mut per_host_feed[agg]);
+            let agg_result = run_agg_host(agg, &slices[agg], agg_feed, batch_cfg, rx)?;
             let mut results = vec![agg_result];
             for handle in handles {
                 results.push(handle.join().expect("host thread panicked")?);
@@ -285,7 +308,11 @@ pub fn run_distributed_threaded(
 
     let duration = trace_duration(&schema, trace);
     let metrics = account(plan, &global_counters, duration, cfg);
-    Ok(SimResult { metrics, outputs })
+    Ok(SimResult {
+        metrics,
+        outputs,
+        counters: global_counters,
+    })
 }
 
 type HostRun = (usize, Vec<OpCounters>, Vec<(usize, Vec<Tuple>)>);
@@ -293,13 +320,15 @@ type HostRun = (usize, Vec<OpCounters>, Vec<(usize, Vec<Tuple>)>);
 fn run_leaf_host(
     host: usize,
     slice: &HostPlan,
-    feed: &[(NodeId, Tuple)],
+    feed: Vec<(NodeId, Vec<Tuple>)>,
+    batch_cfg: BatchConfig,
     tx: Sender<(NodeId, Vec<Tuple>)>,
 ) -> ExecResult<HostRun> {
     let sinks: Vec<NodeId> = slice.boundary.iter().map(|&g| slice.local[&g]).collect();
     let mut engine = Engine::with_sinks(&slice.dag, &sinks)?;
-    for (scan_global, tuple) in feed {
-        engine.push(slice.local[scan_global], tuple.clone())?;
+    engine.set_batch_config(batch_cfg);
+    for (scan_global, mut batch) in feed {
+        engine.push_batch(slice.local[&scan_global], &mut batch)?;
         forward_boundary(&mut engine, slice, &tx);
     }
     engine.finish()?;
@@ -308,11 +337,7 @@ fn run_leaf_host(
     Ok((host, counters, Vec::new()))
 }
 
-fn forward_boundary(
-    engine: &mut Engine,
-    slice: &HostPlan,
-    tx: &Sender<(NodeId, Vec<Tuple>)>,
-) {
+fn forward_boundary(engine: &mut Engine, slice: &HostPlan, tx: &Sender<(NodeId, Vec<Tuple>)>) {
     for &global in &slice.boundary {
         let batch = engine.drain_output(slice.local[&global]);
         if !batch.is_empty() {
@@ -326,23 +351,28 @@ fn forward_boundary(
 fn run_agg_host(
     host: usize,
     slice: &HostPlan,
-    feed: &[(NodeId, Tuple)],
+    feed: Vec<(NodeId, Vec<Tuple>)>,
+    batch_cfg: BatchConfig,
     rx: Receiver<(NodeId, Vec<Tuple>)>,
 ) -> ExecResult<HostRun> {
-    let sinks: Vec<NodeId> = slice.outputs.iter().map(|&(_, g)| slice.local[&g]).collect();
+    let sinks: Vec<NodeId> = slice
+        .outputs
+        .iter()
+        .map(|&(_, g)| slice.local[&g])
+        .collect();
     let mut engine = Engine::with_sinks(&slice.dag, &sinks)?;
+    engine.set_batch_config(batch_cfg);
     // Local partitions first (leaves stream concurrently into the
     // channel buffer)...
-    for (scan_global, tuple) in feed {
-        engine.push(slice.local[scan_global], tuple.clone())?;
+    for (scan_global, mut batch) in feed {
+        engine.push_batch(slice.local[&scan_global], &mut batch)?;
     }
-    // ...then every remote boundary batch; merge operators align the
+    // ...then every remote boundary batch, ingested whole (the engine
+    // chunks oversized ones); merge operators align the
     // independently-progressing inputs.
-    while let Ok((producer, batch)) = rx.recv() {
+    while let Ok((producer, mut batch)) = rx.recv() {
         let pseudo = slice.remote_in[&producer];
-        for t in batch {
-            engine.push(pseudo, t)?;
-        }
+        engine.push_batch(pseudo, &mut batch)?;
     }
     engine.finish()?;
     let counters = engine.counters().to_vec();
@@ -407,7 +437,10 @@ mod tests {
         let trace = generate(&TraceConfig::tiny(21));
         let cfg = SimConfig::default();
         for (hosts, part) in [
-            (3, Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 3)),
+            (
+                3,
+                Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 3),
+            ),
             (
                 2,
                 Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), 2),

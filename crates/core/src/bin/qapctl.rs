@@ -8,6 +8,7 @@
 //! qapctl run     <script.gsql> --hosts N [--set ...] [--round-robin]
 //!                              [--seed S] [--epochs E] [--flows F]
 //!                              [--trace file.qtr] [--threaded] [--limit K]
+//!                              [--batch-size B]
 //! qapctl gen-trace <out.qtr>   [--seed S] [--epochs E] [--flows F]
 //! ```
 //!
@@ -39,6 +40,7 @@ const USAGE: &str = "usage:
   qapctl plan      <script.gsql> --hosts N [--set \"expr, expr\"] [--round-robin] [--naive] [--agnostic]
   qapctl run       <script.gsql> --hosts N [--set \"expr, expr\"] [--round-robin]
                    [--seed S] [--epochs E] [--flows F] [--trace file.qtr] [--threaded] [--limit K]
+                   [--batch-size B]   (engine batch size; results are batch-size-invariant)
   qapctl gen-trace <out.qtr> [--seed S] [--epochs E] [--flows F]";
 
 struct Opts {
@@ -55,6 +57,7 @@ struct Opts {
     threaded: bool,
     limit: usize,
     trace_file: Option<String>,
+    batch_size: usize,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -72,6 +75,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         threaded: false,
         limit: 10,
         trace_file: None,
+        batch_size: BatchConfig::default().max_batch,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -82,18 +86,45 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 .ok_or_else(|| format!("{name} requires a value"))
         };
         match a.as_str() {
-            "--hosts" => opts.hosts = value("--hosts")?.parse().map_err(|e| format!("--hosts: {e}"))?,
-            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--epochs" => opts.epochs = value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?,
-            "--flows" => opts.flows = value("--flows")?.parse().map_err(|e| format!("--flows: {e}"))?,
-            "--limit" => opts.limit = value("--limit")?.parse().map_err(|e| format!("--limit: {e}"))?,
+            "--hosts" => {
+                opts.hosts = value("--hosts")?
+                    .parse()
+                    .map_err(|e| format!("--hosts: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--epochs" => {
+                opts.epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--flows" => {
+                opts.flows = value("--flows")?
+                    .parse()
+                    .map_err(|e| format!("--flows: {e}"))?
+            }
+            "--limit" => {
+                opts.limit = value("--limit")?
+                    .parse()
+                    .map_err(|e| format!("--limit: {e}"))?
+            }
+            "--batch-size" => {
+                opts.batch_size = value("--batch-size")?
+                    .parse()
+                    .map_err(|e| format!("--batch-size: {e}"))?;
+                if opts.batch_size == 0 {
+                    return Err("--batch-size must be at least 1".into());
+                }
+            }
             "--set" => {
                 let raw = value("--set")?;
                 let exprs = raw
                     .split(',')
                     .map(|part| {
-                        parse_expression(part.trim())
-                            .map_err(|e| format!("--set '{part}': {e}"))
+                        parse_expression(part.trim()).map_err(|e| format!("--set '{part}': {e}"))
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 opts.set = Some(PartitionSet::from_exprs(exprs.iter()));
@@ -117,8 +148,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn load_dag(path: &str) -> Result<QueryDag, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let mut builder = QuerySetBuilder::new(Catalog::with_network_schemas());
     builder
         .parse_script(&text)
@@ -190,8 +220,7 @@ fn deployment(dag: &QueryDag, opts: &Opts) -> Result<(Partitioning, OptimizerCon
                     choose_partitioning(dag, &UniformStats::default(), &CostModel::default());
                 if analysis.recommended.is_empty() {
                     return Err(
-                        "analyzer found no usable partitioning; pass --set or --round-robin"
-                            .into(),
+                        "analyzer found no usable partitioning; pass --set or --round-robin".into(),
                     );
                 }
                 eprintln!("(using analyzer recommendation {})", analysis.recommended);
@@ -250,7 +279,10 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
         "Trace: {} packets, {} flows ({} suspicious), {}s\n",
         tstats.packets, tstats.flows, tstats.suspicious_flows, tstats.duration_secs
     );
-    let sim = SimConfig::default();
+    let sim = SimConfig {
+        batch: BatchConfig::new(opts.batch_size),
+        ..SimConfig::default()
+    };
     let result = if opts.threaded {
         run_distributed_threaded(&plan, &trace, &sim)
     } else {
@@ -259,19 +291,32 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
     .map_err(|e| format!("execution: {e}"))?;
 
     for (name, rows) in &result.outputs {
-        println!("{name}: {} rows (showing up to {}):", rows.len(), opts.limit);
+        println!(
+            "{name}: {} rows (showing up to {}):",
+            rows.len(),
+            opts.limit
+        );
         for row in rows.iter().take(opts.limit) {
             println!("  {row}");
         }
         println!();
     }
     let m = &result.metrics;
-    println!("Cluster metrics ({} hosts, {} partitions):", m.hosts, m.partitions);
-    println!("  per-host work units: {:?}", m.work.iter().map(|w| w.round()).collect::<Vec<_>>());
+    println!(
+        "Cluster metrics ({} hosts, {} partitions):",
+        m.hosts, m.partitions
+    );
+    println!(
+        "  per-host work units: {:?}",
+        m.work.iter().map(|w| w.round()).collect::<Vec<_>>()
+    );
     println!(
         "  aggregator network: {} tuples ({:.1}/s, {:.0} B/s)",
         m.aggregator_rx_tuples, m.aggregator_rx_tps, m.aggregator_rx_bytes_per_sec
     );
-    println!("  leaf imbalance: {:.3}; late drops: {}", m.leaf_imbalance, m.late_dropped);
+    println!(
+        "  leaf imbalance: {:.3}; late drops: {}",
+        m.leaf_imbalance, m.late_dropped
+    );
     Ok(())
 }

@@ -87,7 +87,9 @@ pub mod prelude {
         measure_stats, run_distributed, run_distributed_multi, run_distributed_threaded,
         ClusterMetrics, CostConstants, SimConfig, SimResult,
     };
-    pub use qap_exec::{run_logical, Engine, OpCounters, PaneAggregator, PaneSpec};
+    pub use qap_exec::{
+        run_logical, run_logical_with, BatchConfig, Engine, OpCounters, PaneAggregator, PaneSpec,
+    };
     pub use qap_expr::{AggKind, ColumnTransform, ScalarExpr};
     pub use qap_optimizer::{
         agnostic_plan, optimize, plan_partitioning, DistributedPlan, OptimizerConfig,
@@ -100,7 +102,9 @@ pub mod prelude {
     };
     pub use qap_plan::{render_dag, LogicalNode, QueryDag};
     pub use qap_sql::QuerySetBuilder;
-    pub use qap_trace::{generate, read_trace, stats, write_trace, TraceConfig, TraceStats, SUSPICIOUS_PATTERN};
+    pub use qap_trace::{
+        generate, read_trace, stats, write_trace, TraceConfig, TraceStats, SUSPICIOUS_PATTERN,
+    };
     pub use qap_types::{Catalog, Schema, Tuple, Value};
 }
 
@@ -118,8 +122,7 @@ mod facade_tests {
         )
         .unwrap();
         let dag = b.build();
-        let analysis =
-            choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
+        let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
         let plan = optimize(
             &dag,
             &Partitioning::hash(analysis.recommended.clone(), 2),

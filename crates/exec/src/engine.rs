@@ -1,4 +1,11 @@
-//! Plan compilation and the tuple-routing engine.
+//! Plan compilation and the batch-routing engine.
+//!
+//! The engine moves tuples through the DAG a *batch* at a time: the
+//! routing queue holds `(node, port, Vec<Tuple>)` entries, operator
+//! dispatch and counter updates are paid once per batch, and scratch
+//! buffers are pooled and reused. Semantics are defined tuple-at-a-time
+//! (see [`crate::ops::Operator`]); batch size is a pure performance
+//! knob, tuned through [`BatchConfig`].
 
 use std::collections::{HashMap, VecDeque};
 
@@ -21,12 +28,48 @@ pub struct OpCounters {
     pub late_dropped: u64,
 }
 
+/// Tuning knobs for the engine's batched push path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum tuples per routed batch. Source feeds larger than this
+    /// are chunked; operators may still emit larger batches (e.g. a
+    /// window flush). `1` reproduces tuple-at-a-time routing exactly.
+    pub max_batch: usize,
+}
+
+impl Default for BatchConfig {
+    /// 1024 tuples per batch: large enough to amortise dispatch and
+    /// queue traffic, small enough to keep in-flight memory modest.
+    fn default() -> Self {
+        BatchConfig { max_batch: 1024 }
+    }
+}
+
+impl BatchConfig {
+    /// Config with the given batch size (clamped to at least 1).
+    pub fn new(max_batch: usize) -> Self {
+        BatchConfig {
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// Degenerate config routing one tuple per batch — the old
+    /// tuple-at-a-time engine, kept for equivalence testing.
+    pub fn per_tuple() -> Self {
+        BatchConfig::new(1)
+    }
+}
+
+/// Cap on pooled scratch buffers; beyond this they are dropped rather
+/// than retained, bounding idle memory.
+const POOL_CAP: usize = 32;
+
 /// A compiled, executable plan.
 ///
-/// Feed tuples to source scans with [`Engine::push`] (in non-decreasing
-/// order of the stream's temporal attribute), then call
-/// [`Engine::finish`]; collected sink outputs are available through
-/// [`Engine::output`].
+/// Feed tuples to source scans with [`Engine::push_batch`] (or the
+/// per-tuple [`Engine::push`] shim), in non-decreasing order of the
+/// stream's temporal attribute, then call [`Engine::finish`]; collected
+/// sink outputs are available through [`Engine::output`].
 pub struct Engine {
     ops: Vec<Box<dyn Operator>>,
     consumers: Vec<Vec<(NodeId, usize)>>,
@@ -35,6 +78,13 @@ pub struct Engine {
     counters: Vec<OpCounters>,
     sink_outputs: HashMap<NodeId, Vec<Tuple>>,
     finished: bool,
+    batch: BatchConfig,
+    /// Recycled scratch buffers: every routed batch and operator output
+    /// draws from here and returns here, so steady-state routing does
+    /// no buffer allocation.
+    pool: Vec<Vec<Tuple>>,
+    /// In-flight batches awaiting delivery, FIFO.
+    queue: VecDeque<(NodeId, usize, Vec<Tuple>)>,
 }
 
 impl Engine {
@@ -59,11 +109,7 @@ impl Engine {
         }
         let source_arity = dag
             .topo_order()
-            .map(|id| {
-                dag.node(id)
-                    .is_source()
-                    .then(|| dag.schema(id).arity())
-            })
+            .map(|id| dag.node(id).is_source().then(|| dag.schema(id).arity()))
             .collect();
         Ok(Engine {
             ops,
@@ -72,7 +118,32 @@ impl Engine {
             counters: vec![OpCounters::default(); n],
             sink_outputs: sinks.iter().map(|&s| (s, Vec::new())).collect(),
             finished: false,
+            batch: BatchConfig::default(),
+            pool: Vec::new(),
+            queue: VecDeque::new(),
         })
+    }
+
+    /// Sets the batch-routing configuration. Affects only chunking of
+    /// future [`Engine::push_batch`] feeds, never results.
+    pub fn set_batch_config(&mut self, batch: BatchConfig) {
+        self.batch = batch;
+    }
+
+    /// The current batch-routing configuration.
+    pub fn batch_config(&self) -> BatchConfig {
+        self.batch
+    }
+
+    fn take_buf(&mut self) -> Vec<Tuple> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    fn recycle(&mut self, mut buf: Vec<Tuple>) {
+        if self.pool.len() < POOL_CAP {
+            buf.clear();
+            self.pool.push(buf);
+        }
     }
 
     /// Ids of source scan nodes.
@@ -82,80 +153,130 @@ impl Engine {
             .collect()
     }
 
+    /// Validates a source feed, returning the scan's expected arity.
+    fn check_source(&self, source: NodeId) -> ExecResult<usize> {
+        match self.source_arity.get(source) {
+            Some(Some(arity)) => Ok(*arity),
+            _ => Err(ExecError::NotASource(source)),
+        }
+    }
+
     /// Delivers one raw tuple to a source scan. The tuple must match the
     /// scan's schema arity — a mismatched feed would otherwise evaluate
     /// positions against the wrong fields and produce silent garbage.
+    ///
+    /// This is a batch-of-one shim over [`Engine::push_batch`]: the
+    /// tuple is routed (and any window it closes flushes) before the
+    /// call returns, exactly as under the per-tuple engine.
     pub fn push(&mut self, source: NodeId, tuple: Tuple) -> ExecResult<()> {
-        let Some(Some(arity)) = self.source_arity.get(source) else {
-            return Err(ExecError::NotASource(source));
-        };
-        if tuple.arity() != *arity {
+        let arity = self.check_source(source)?;
+        if tuple.arity() != arity {
             return Err(ExecError::BadPlan(format!(
                 "tuple arity {} does not match source {source}'s schema arity {arity}",
                 tuple.arity()
             )));
         }
         debug_assert!(!self.finished, "push after finish");
-        self.run(source, 0, tuple)
+        let mut b = self.take_buf();
+        b.push(tuple);
+        self.queue.push_back((source, 0, b));
+        self.run()
     }
 
-    fn run(&mut self, node: NodeId, port: usize, tuple: Tuple) -> ExecResult<()> {
-        let mut queue: VecDeque<(NodeId, usize, Tuple)> = VecDeque::new();
-        queue.push_back((node, port, tuple));
-        let mut out = Vec::new();
-        while let Some((id, port, t)) = queue.pop_front() {
-            self.counters[id].tuples_in += 1;
-            out.clear();
-            self.ops[id].push(port, t, &mut out)?;
-            self.route(id, &mut out, &mut queue);
+    /// Delivers a batch of raw tuples to a source scan, draining
+    /// `batch` (its allocation is swapped against a pooled buffer, so
+    /// the caller can refill it without reallocating). Feeds larger
+    /// than [`BatchConfig::max_batch`] are chunked. Every tuple must
+    /// match the scan's schema arity; validation happens up front, so
+    /// a mismatch anywhere in the batch routes nothing.
+    pub fn push_batch(&mut self, source: NodeId, batch: &mut Vec<Tuple>) -> ExecResult<()> {
+        let arity = self.check_source(source)?;
+        for t in batch.iter() {
+            if t.arity() != arity {
+                return Err(ExecError::BadPlan(format!(
+                    "tuple arity {} does not match source {source}'s schema arity {arity}",
+                    t.arity()
+                )));
+            }
+        }
+        debug_assert!(!self.finished, "push after finish");
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let max = self.batch.max_batch;
+        if batch.len() <= max {
+            // Whole feed fits one batch: move it, no per-tuple work.
+            let mut b = self.take_buf();
+            std::mem::swap(&mut b, batch);
+            self.queue.push_back((source, 0, b));
+            return self.run();
+        }
+        let mut drain = batch.drain(..);
+        loop {
+            let mut b = self.take_buf();
+            b.extend(drain.by_ref().take(max));
+            if b.is_empty() {
+                self.recycle(b);
+                break;
+            }
+            self.queue.push_back((source, 0, b));
+        }
+        self.run()
+    }
+
+    /// Drains the routing queue, delivering each in-flight batch.
+    fn run(&mut self) -> ExecResult<()> {
+        while let Some((id, port, mut batch)) = self.queue.pop_front() {
+            self.counters[id].tuples_in += batch.len() as u64;
+            let mut out = self.take_buf();
+            self.ops[id].push_batch(port, &mut batch, &mut out)?;
+            self.recycle(batch);
+            self.route(id, out);
         }
         Ok(())
     }
 
-    fn route(
-        &mut self,
-        id: NodeId,
-        out: &mut Vec<Tuple>,
-        queue: &mut VecDeque<(NodeId, usize, Tuple)>,
-    ) {
+    /// Records and fans out one operator's output batch: sinks copy
+    /// (or take, when nothing is downstream), each consumer but the
+    /// last gets a clone, the last gets the batch itself.
+    fn route(&mut self, id: NodeId, mut out: Vec<Tuple>) {
         self.counters[id].tuples_out += out.len() as u64;
+        let has_consumers = !self.consumers[id].is_empty();
         if let Some(sink) = self.sink_outputs.get_mut(&id) {
-            sink.extend(out.iter().cloned());
+            if has_consumers {
+                sink.extend(out.iter().cloned());
+            } else {
+                sink.append(&mut out);
+            }
         }
-        let consumers = &self.consumers[id];
-        if consumers.is_empty() {
-            out.clear();
+        if !has_consumers || out.is_empty() {
+            self.recycle(out);
             return;
         }
-        for t in out.drain(..) {
+        let n = self.consumers[id].len();
+        for k in 0..n - 1 {
             // Clone for all but the last consumer.
-            for &(c, p) in &consumers[..consumers.len() - 1] {
-                queue.push_back((c, p, t.clone()));
-            }
-            let &(c, p) = consumers.last().expect("non-empty");
-            queue.push_back((c, p, t));
+            let (c, p) = self.consumers[id][k];
+            let mut copy = self.take_buf();
+            copy.extend(out.iter().cloned());
+            self.queue.push_back((c, p, copy));
         }
+        let (c, p) = self.consumers[id][n - 1];
+        self.queue.push_back((c, p, out));
     }
 
     /// Signals end-of-stream: every operator flushes, in topological
-    /// order, with flushed tuples flowing downstream before their
-    /// consumers finish.
+    /// order, with flushed tuples flowing downstream (through the
+    /// pooled batch queue) before their consumers finish.
     pub fn finish(&mut self) -> ExecResult<()> {
         debug_assert!(!self.finished, "finish called twice");
         self.finished = true;
-        let mut queue: VecDeque<(NodeId, usize, Tuple)> = VecDeque::new();
-        let mut out = Vec::new();
         for id in 0..self.ops.len() {
-            // Drain anything still in flight destined at or after `id`.
-            out.clear();
+            let mut out = self.take_buf();
             self.ops[id].finish(&mut out)?;
-            self.route(id, &mut out, &mut queue);
-            while let Some((nid, port, t)) = queue.pop_front() {
-                self.counters[nid].tuples_in += 1;
-                let mut local = Vec::new();
-                self.ops[nid].push(port, t, &mut local)?;
-                self.route(nid, &mut local, &mut queue);
-            }
+            self.route(id, out);
+            // Drain anything still in flight destined at or after `id`.
+            self.run()?;
         }
         for id in 0..self.ops.len() {
             self.counters[id].late_dropped = self.ops[id].late_dropped();
@@ -210,7 +331,20 @@ pub fn run_logical(
     dag: &QueryDag,
     tuples: impl IntoIterator<Item = Tuple>,
 ) -> ExecResult<Vec<(NodeId, Vec<Tuple>)>> {
+    run_logical_with(dag, tuples, BatchConfig::default())
+}
+
+/// [`run_logical`] with an explicit batch configuration. The input
+/// stream is buffered into chunks of `batch.max_batch` tuples and fed
+/// through [`Engine::push_batch`]; for a single-source plan the output
+/// is identical at every batch size.
+pub fn run_logical_with(
+    dag: &QueryDag,
+    tuples: impl IntoIterator<Item = Tuple>,
+    batch: BatchConfig,
+) -> ExecResult<Vec<(NodeId, Vec<Tuple>)>> {
     let mut engine = Engine::new(dag)?;
+    engine.set_batch_config(batch);
     let sources = engine.source_nodes();
     let [source] = sources[..] else {
         return Err(ExecError::BadPlan(format!(
@@ -218,8 +352,15 @@ pub fn run_logical(
             sources.len()
         )));
     };
+    let mut buf = Vec::with_capacity(batch.max_batch.min(4096));
     for t in tuples {
-        engine.push(source, t)?;
+        buf.push(t);
+        if buf.len() >= batch.max_batch {
+            engine.push_batch(source, &mut buf)?;
+        }
+    }
+    if !buf.is_empty() {
+        engine.push_batch(source, &mut buf)?;
     }
     engine.finish()?;
     let roots = dag.roots();

@@ -18,15 +18,18 @@
 //!
 //! The [`Engine`] is deterministic and counts per-operator tuple flow
 //! (`tuples_in`/`tuples_out`), which the cluster simulator turns into
-//! the CPU and network loads of the paper's figures.
+//! the CPU and network loads of the paper's figures. Internally tuples
+//! move in batches (see [`BatchConfig`]); counters stay per-tuple
+//! accurate, so every figure series is independent of batch size.
 
 mod engine;
 mod error;
+mod fx;
 mod ops;
 mod panes;
 #[cfg(test)]
 mod tests;
 
-pub use engine::{run_logical, Engine, OpCounters};
+pub use engine::{run_logical, run_logical_with, BatchConfig, Engine, OpCounters};
 pub use error::{ExecError, ExecResult};
 pub use panes::{PaneAggregator, PaneSpec};

@@ -1,13 +1,14 @@
 //! Tumbling-window hash aggregation (γ).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use qap_expr::{make_accumulator, Accumulator, AggKind, BoundExpr, Udaf, UdafState};
+use qap_expr::{make_accumulator, Accumulator, AggKind, BinOp, BoundExpr, Udaf, UdafState};
 use qap_types::{Tuple, Value};
 
+use crate::fx;
 use crate::ExecResult;
 
+use super::group_table::GroupTable;
 use super::{bucket_of, Operator};
 
 /// How to create fresh per-group aggregate state.
@@ -77,6 +78,139 @@ impl AggSlot {
     }
 }
 
+/// Precompiled fast path for one group-key expression, classified once
+/// at operator construction. The general recursive evaluator threads a
+/// `Result<Value>` through every node, which is a measurable share of
+/// the per-tuple cost; the two shapes every windowed query hits — a
+/// plain column and the `time/60` window key — shortcut it. Each fast
+/// path reproduces [`BoundExpr::eval`] exactly and falls back to it for
+/// any input value outside its domain.
+enum KeyEval {
+    /// Plain column reference.
+    Col(usize),
+    /// `column / <positive unsigned literal>` over an unsigned input;
+    /// other inputs (NULL, signed, …) take the general path. When
+    /// `magic` is non-zero (divisor in `2..2^32`), a dividend that fits
+    /// 32 bits strength-reduces the hardware division to a
+    /// multiply-shift: with `m = ⌊2^64/d⌋ + 1`, `(x·m) >> 64 = ⌊x/d⌋`
+    /// exactly for all `x, d < 2^32` (the +1 over-approximation of
+    /// `2^64/d` adds under `x·2^-64 < 2^-32` before the floor, and the
+    /// true fraction `r/d` sits at least `1/d > 2^-32` below the next
+    /// integer).
+    DivConst { col: usize, div: u64, magic: u64 },
+    /// Full recursive evaluation.
+    General,
+}
+
+impl KeyEval {
+    fn classify(e: &BoundExpr) -> KeyEval {
+        match e {
+            BoundExpr::Column(i) => KeyEval::Col(*i),
+            BoundExpr::Binary {
+                op: BinOp::Div,
+                lhs,
+                rhs,
+            } => match (lhs.as_ref(), rhs.as_ref()) {
+                (BoundExpr::Column(i), BoundExpr::Literal(Value::UInt(c))) if *c > 0 => {
+                    let magic = if (2..1u64 << 32).contains(c) {
+                        ((1u128 << 64) / u128::from(*c)) as u64 + 1
+                    } else {
+                        0
+                    };
+                    KeyEval::DivConst {
+                        col: *i,
+                        div: *c,
+                        magic,
+                    }
+                }
+                _ => KeyEval::General,
+            },
+            _ => KeyEval::General,
+        }
+    }
+}
+
+/// Precompiled fast path for one aggregate slot's per-tuple fold.
+enum SlotEval {
+    /// `COUNT(*)` on a built-in accumulator: unconditional increment
+    /// (the general path folds a non-null marker, which counts every
+    /// tuple — identical).
+    CountStar,
+    /// `SUM(column)` on a built-in accumulator over an unsigned input:
+    /// widen-and-add inline, mirroring `Accumulator::update`'s
+    /// `Sum`+`UInt` arm exactly; any other input value falls back to
+    /// the full update.
+    SumCol(usize),
+    /// Non-merge fold of a plain column argument: update straight from
+    /// the tuple slot, skipping the expression evaluator and its value
+    /// clone. `Accumulator::update` takes the value by reference, so
+    /// semantics are bit-identical.
+    Col(usize),
+    /// Evaluate the argument expression, then update or merge.
+    General,
+}
+
+/// Where the fast key path reads the temporal (window) attribute from,
+/// precomputed so the per-tuple loop neither re-indexes the key scratch
+/// nor re-evaluates the expression. Only meaningful when every key
+/// expression is fast ([`AggregateOp::fast_keys`]).
+enum TemporalSrc {
+    /// Tuple column index (a `KeyEval::Col` temporal key).
+    Col(usize),
+    /// Index into the per-tuple division scratch (a `KeyEval::DivConst`
+    /// temporal key, e.g. `time/60`; the quotient is unsigned, so the
+    /// attribute is never NULL on this path).
+    Div(usize),
+}
+
+/// Strength-reduced unsigned division for the window key (see
+/// [`KeyEval::DivConst`]).
+#[inline]
+fn div_q(x: u64, div: u64, magic: u64) -> u64 {
+    if magic != 0 && x >> 32 == 0 {
+        ((u128::from(x) * u128::from(magic)) >> 64) as u64
+    } else {
+        x / div
+    }
+}
+
+/// Compares a stored group key against the *current tuple's* key
+/// without materializing the latter: plain columns compare in place and
+/// window quotients come from `divs` (one entry per `DivConst` eval, in
+/// key order). Equality agrees exactly with the `[Value]` comparison
+/// the materializing path performs, because the materialized key is a
+/// clone of precisely these values.
+#[inline]
+fn key_matches(evals: &[KeyEval], divs: &[u64], tuple: &Tuple, key: &[Value]) -> bool {
+    let mut d = 0;
+    evals.iter().zip(key).all(|(ev, kv)| match ev {
+        KeyEval::Col(i) => kv == tuple.get(*i),
+        KeyEval::DivConst { .. } => {
+            let q = divs[d];
+            d += 1;
+            matches!(kv, Value::UInt(x) if *x == q)
+        }
+        KeyEval::General => {
+            debug_assert!(false, "fast key path excludes General evals");
+            false
+        }
+    })
+}
+
+impl SlotEval {
+    fn classify(slot: &AggSlot) -> SlotEval {
+        if slot.merge {
+            return SlotEval::General;
+        }
+        match (&slot.factory, &slot.arg) {
+            (AccFactory::Builtin(AggKind::Count), None) => SlotEval::CountStar,
+            (AccFactory::Builtin(AggKind::Sum), Some(BoundExpr::Column(i))) => SlotEval::SumCol(*i),
+            (_, Some(BoundExpr::Column(i))) => SlotEval::Col(*i),
+            _ => SlotEval::General,
+        }
+    }
+}
+
 /// Hash aggregation over the current tumbling window. State holds only
 /// the current window's groups; the window flushes the moment the
 /// temporal grouping attribute advances (Section 3.1). Tuples arriving
@@ -85,22 +219,52 @@ impl AggSlot {
 pub(crate) struct AggregateOp {
     predicate: Option<BoundExpr>,
     group_exprs: Vec<BoundExpr>,
+    /// Fast paths for `group_exprs`, classified once (parallel vector).
+    key_evals: Vec<KeyEval>,
+    /// True when every key eval is `Col` or `DivConst`: the per-tuple
+    /// loop then hashes and compares the group key straight from the
+    /// tuple and only materializes an owned key when a new group
+    /// inserts — the common case (a probe hit) clones nothing.
+    fast_keys: bool,
+    /// Where the fast path reads the window attribute (unused when
+    /// `fast_keys` is false).
+    temporal_src: TemporalSrc,
     /// Index (within the group key) of the temporal attribute that
     /// defines the window.
     temporal_idx: usize,
     slots: Vec<AggSlot>,
+    /// Fast paths for `slots` folds, classified once (parallel vector).
+    slot_evals: Vec<SlotEval>,
     having: Option<BoundExpr>,
     current_bucket: Option<i128>,
-    groups: HashMap<Vec<Value>, Vec<AnyAcc>>,
-    /// Insertion order of group keys, for deterministic flush output.
-    order: Vec<Vec<Value>>,
+    /// Current window's groups, in insertion order (deterministic
+    /// flush). Payload width is `slots.len()`: entry `e` owns the
+    /// accumulator slice `e*width..(e+1)*width` in the table's flat
+    /// payload arena, so the per-tuple fold touches contiguous state.
+    groups: GroupTable<AnyAcc>,
     /// Groups whose temporal attribute is NULL (outer-join padding):
     /// they belong to no window, accumulate for the whole stream, and
     /// flush at finish.
-    null_groups: HashMap<Vec<Value>, Vec<AnyAcc>>,
-    null_order: Vec<Vec<Value>>,
+    null_groups: GroupTable<AnyAcc>,
     late: u64,
+    /// Reused group-key buffer: every tuple evaluates its key into this
+    /// scratch and probes by slice; a new group drains the scratch into
+    /// the table's key arena, so no per-group allocation ever happens.
+    key_scratch: Vec<Value>,
+    /// Per-tuple window-key quotients on the fast path (one per
+    /// `DivConst` eval, in key order), feeding both the probe
+    /// comparison and the insert-time key materialization.
+    div_scratch: Vec<u64>,
+    /// Recycled tuple backing buffers: consumed input tuples donate
+    /// their (cleared) allocations here and window flushes build output
+    /// rows from them, so steady-state emission allocates nothing —
+    /// the malloc/free pair per group row becomes a freelist pop/push.
+    spare: Vec<Vec<Value>>,
 }
+
+/// Cap on recycled tuple buffers (bounds idle memory to a few hundred
+/// input-arity rows); beyond this, consumed tuples drop normally.
+const SPARE_CAP: usize = 512;
 
 impl AggregateOp {
     pub(crate) fn new(
@@ -110,56 +274,117 @@ impl AggregateOp {
         aggs: Vec<(AccFactory, Option<BoundExpr>, bool, bool)>,
         having: Option<BoundExpr>,
     ) -> Self {
+        let slots: Vec<AggSlot> = aggs
+            .into_iter()
+            .map(|(factory, arg, merge, emit_partial)| AggSlot {
+                factory,
+                arg,
+                merge,
+                emit_partial,
+            })
+            .collect();
+        let key_evals: Vec<KeyEval> = group_exprs.iter().map(KeyEval::classify).collect();
+        let fast_keys = key_evals.iter().all(|e| !matches!(e, KeyEval::General));
+        let divs_before = key_evals[..temporal_idx]
+            .iter()
+            .filter(|e| matches!(e, KeyEval::DivConst { .. }))
+            .count();
+        let temporal_src = match &key_evals[temporal_idx] {
+            KeyEval::Col(i) => TemporalSrc::Col(*i),
+            KeyEval::DivConst { .. } => TemporalSrc::Div(divs_before),
+            // Unused: `fast_keys` is false, so the slow path runs.
+            KeyEval::General => TemporalSrc::Col(0),
+        };
         AggregateOp {
+            key_evals,
+            fast_keys,
+            temporal_src,
+            slot_evals: slots.iter().map(SlotEval::classify).collect(),
             predicate,
             group_exprs,
             temporal_idx,
-            slots: aggs
-                .into_iter()
-                .map(|(factory, arg, merge, emit_partial)| AggSlot {
-                    factory,
-                    arg,
-                    merge,
-                    emit_partial,
-                })
-                .collect(),
             having,
             current_bucket: None,
-            groups: HashMap::new(),
-            order: Vec::new(),
-            null_groups: HashMap::new(),
-            null_order: Vec::new(),
+            groups: GroupTable::new(slots.len()),
+            null_groups: GroupTable::new(slots.len()),
             late: 0,
+            key_scratch: Vec::new(),
+            div_scratch: Vec::new(),
+            spare: Vec::new(),
+            slots,
         }
     }
 
-    fn fold(slots: &[AggSlot], accs: &mut [AnyAcc], tuple: &Tuple) -> ExecResult<()> {
-        for (slot, acc) in slots.iter().zip(accs.iter_mut()) {
-            let v = match &slot.arg {
-                Some(e) => e.eval(tuple)?,
-                // COUNT(*): every tuple counts.
-                None => Value::Bool(true),
-            };
-            if slot.merge {
-                acc.merge(&v);
-            } else {
-                acc.update(&v);
+    #[inline]
+    fn fold(
+        slots: &[AggSlot],
+        slot_evals: &[SlotEval],
+        accs: &mut [AnyAcc],
+        tuple: &Tuple,
+    ) -> ExecResult<()> {
+        for ((slot, ev), acc) in slots.iter().zip(slot_evals).zip(accs.iter_mut()) {
+            match ev {
+                SlotEval::CountStar => match acc {
+                    AnyAcc::Builtin(Accumulator::Count(n)) => *n += 1,
+                    other => other.update(&Value::Bool(true)),
+                },
+                SlotEval::SumCol(i) => match (&mut *acc, tuple.get(*i)) {
+                    (AnyAcc::Builtin(Accumulator::Sum(s)), Value::UInt(x)) => {
+                        *s = Some(s.unwrap_or(0) + i128::from(*x));
+                    }
+                    (acc, v) => acc.update(v),
+                },
+                SlotEval::Col(i) => acc.update(tuple.get(*i)),
+                SlotEval::General => {
+                    let v = match &slot.arg {
+                        Some(e) => e.eval(tuple)?,
+                        // COUNT(*): every tuple counts.
+                        None => Value::Bool(true),
+                    };
+                    if slot.merge {
+                        acc.merge(&v);
+                    } else {
+                        acc.update(&v);
+                    }
+                }
             }
         }
         Ok(())
     }
 
     fn flush(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()> {
-        for key in self.order.drain(..) {
-            let accs = self
-                .groups
-                .remove(&key)
-                .expect("order tracks live groups");
-            let mut t = Tuple::with_capacity(key.len() + accs.len());
-            for v in key {
+        let (mut keys, accs, n) = self.groups.take_entries();
+        let res = self.emit(&mut keys, &accs, n, out);
+        // Hand the drained arenas back so the next window reuses their
+        // capacity instead of reallocating from empty.
+        self.groups.restore(keys, accs);
+        res
+    }
+
+    /// Emits `n` drained groups — keys drained from the flat key arena,
+    /// one finalized (or partial) value per aggregate slot — applying
+    /// the HAVING filter.
+    fn emit(
+        &mut self,
+        keys: &mut Vec<Value>,
+        accs_arena: &[AnyAcc],
+        n: usize,
+        out: &mut Vec<Tuple>,
+    ) -> ExecResult<()> {
+        let arity = self.group_exprs.len();
+        let width = self.slots.len();
+        out.reserve(n);
+        let mut vals = keys.drain(..);
+        for e in 0..n {
+            let accs = &accs_arena[e * width..(e + 1) * width];
+            let mut t = match self.spare.pop() {
+                Some(buf) => Tuple::new(buf),
+                None => Tuple::with_capacity(arity + width),
+            };
+            for v in vals.by_ref().take(arity) {
                 t.push(v);
             }
-            for (slot, acc) in self.slots.iter().zip(accs.iter()) {
+            for (slot, acc) in self.slots.iter().zip(accs) {
                 t.push(if slot.emit_partial {
                     acc.partial()
                 } else {
@@ -173,33 +398,74 @@ impl AggregateOp {
             }
             out.push(t);
         }
-        self.groups.clear();
         Ok(())
     }
-}
 
-impl Operator for AggregateOp {
-    fn push(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()> {
-        if let Some(p) = &self.predicate {
-            if !p.eval_predicate(&tuple)? {
-                return Ok(());
+    /// Donates a consumed input tuple's backing buffer to the spare
+    /// freelist (cleared, values dropped now) for reuse as an output
+    /// row; past the cap the tuple drops normally.
+    #[inline]
+    fn recycle(&mut self, tuple: Tuple) {
+        if self.spare.len() < SPARE_CAP {
+            let mut vals = tuple.into_values();
+            vals.clear();
+            self.spare.push(vals);
+        }
+    }
+
+    /// Builds the owned group key in `key_scratch` for a fast-path
+    /// tuple: plain columns clone out of the tuple, window quotients
+    /// come from `div_scratch`. Runs only when a new group inserts.
+    fn materialize_key(&mut self, tuple: &Tuple) {
+        self.key_scratch.clear();
+        let mut d = 0;
+        for ev in &self.key_evals {
+            match ev {
+                KeyEval::Col(i) => self.key_scratch.push(tuple.get(*i).clone()),
+                KeyEval::DivConst { .. } => {
+                    self.key_scratch.push(Value::UInt(self.div_scratch[d]));
+                    d += 1;
+                }
+                KeyEval::General => debug_assert!(false, "fast key path excludes General evals"),
             }
         }
-        let mut key = Vec::with_capacity(self.group_exprs.len());
-        for e in &self.group_exprs {
-            key.push(e.eval(&tuple)?);
+    }
+
+    /// The materializing (general) per-tuple path: evaluates the group
+    /// key into the reused scratch — hashing it in the same pass — and
+    /// probes by slice; a brand-new group moves the scratch's values
+    /// into the table's flat key arena (no allocation). The predicate
+    /// has already been applied by the caller.
+    fn push_one(&mut self, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        self.key_scratch.clear();
+        let mut vh = fx::ValueHash::new();
+        for (e, ev) in self.group_exprs.iter().zip(&self.key_evals) {
+            let v = match ev {
+                KeyEval::Col(i) => tuple.get(*i).clone(),
+                KeyEval::DivConst { col, div, magic } => match tuple.get(*col) {
+                    Value::UInt(x) => Value::UInt(div_q(*x, *div, *magic)),
+                    _ => e.eval(&tuple)?,
+                },
+                KeyEval::General => e.eval(&tuple)?,
+            };
+            vh.add(&v);
+            self.key_scratch.push(v);
         }
-        if key[self.temporal_idx].is_null() {
-            // NULL window attribute (e.g. outer-join padding): no window
-            // ever closes over it, so accumulate until end-of-stream.
-            let accs = self.null_groups.entry(key.clone()).or_insert_with(|| {
-                self.null_order.push(key);
-                self.slots.iter().map(AggSlot::fresh).collect()
-            });
-            Self::fold(&self.slots, accs, &tuple)?;
+        let hash = vh.finish();
+        if self.key_scratch[self.temporal_idx].is_null() {
+            // NULL window attribute (e.g. outer-join padding): no
+            // window ever closes over it, so accumulate until
+            // end-of-stream.
+            let accs = self.null_groups.get_or_insert(
+                hash,
+                &mut self.key_scratch,
+                self.slots.iter().map(AggSlot::fresh),
+            );
+            Self::fold(&self.slots, &self.slot_evals, accs, &tuple)?;
+            self.recycle(tuple);
             return Ok(());
         }
-        let bucket = bucket_of(&key[self.temporal_idx]);
+        let bucket = bucket_of(&self.key_scratch[self.temporal_idx]);
         match self.current_bucket {
             Some(cur) if bucket > cur => {
                 self.flush(out)?;
@@ -212,45 +478,181 @@ impl Operator for AggregateOp {
             Some(_) => {}
             None => self.current_bucket = Some(bucket),
         }
-        let accs = self.groups.entry(key.clone()).or_insert_with(|| {
-            self.order.push(key);
-            self.slots.iter().map(AggSlot::fresh).collect()
-        });
-        Self::fold(&self.slots, accs, &tuple)?;
+        let accs = self.groups.get_or_insert(
+            hash,
+            &mut self.key_scratch,
+            self.slots.iter().map(AggSlot::fresh),
+        );
+        Self::fold(&self.slots, &self.slot_evals, accs, &tuple)?;
+        self.recycle(tuple);
+        Ok(())
+    }
+}
+
+impl Operator for AggregateOp {
+    fn push_batch(
+        &mut self,
+        _port: usize,
+        batch: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+    ) -> ExecResult<()> {
+        let arity = self.group_exprs.len();
+        for tuple in batch.drain(..) {
+            if let Some(p) = &self.predicate {
+                if !p.eval_predicate(&tuple)? {
+                    continue;
+                }
+            }
+            if !self.fast_keys {
+                self.push_one(tuple, out)?;
+                continue;
+            }
+            // Fast key path: hash the group key straight from the tuple
+            // (no clones, no scratch writes) and probe with an in-place
+            // comparison; the owned key materializes only when a new
+            // group inserts. A `DivConst` eval over an unexpected value
+            // (non-unsigned input) falls back to the materializing path
+            // for that tuple — both paths hash identical values, so
+            // they probe the same table consistently.
+            self.div_scratch.clear();
+            let mut vh = fx::ValueHash::new();
+            let mut fallback = false;
+            for ev in &self.key_evals {
+                match ev {
+                    KeyEval::Col(i) => vh.add(tuple.get(*i)),
+                    KeyEval::DivConst { col, div, magic } => match tuple.get(*col) {
+                        Value::UInt(x) => {
+                            let q = div_q(*x, *div, *magic);
+                            vh.add(&Value::UInt(q));
+                            self.div_scratch.push(q);
+                        }
+                        _ => {
+                            fallback = true;
+                            break;
+                        }
+                    },
+                    KeyEval::General => {
+                        fallback = true;
+                        break;
+                    }
+                }
+            }
+            if fallback {
+                self.push_one(tuple, out)?;
+                continue;
+            }
+            let hash = vh.finish();
+            let (temporal_null, bucket) = match self.temporal_src {
+                TemporalSrc::Col(i) => {
+                    let v = tuple.get(i);
+                    (v.is_null(), bucket_of(v))
+                }
+                // Window quotients are unsigned: never NULL.
+                TemporalSrc::Div(d) => (false, i128::from(self.div_scratch[d])),
+            };
+            if temporal_null {
+                // NULL window attribute (e.g. outer-join padding): no
+                // window ever closes over it, so accumulate until
+                // end-of-stream.
+                self.materialize_key(&tuple);
+                let accs = self.null_groups.get_or_insert(
+                    hash,
+                    &mut self.key_scratch,
+                    self.slots.iter().map(AggSlot::fresh),
+                );
+                Self::fold(&self.slots, &self.slot_evals, accs, &tuple)?;
+                self.recycle(tuple);
+                continue;
+            }
+            match self.current_bucket {
+                Some(cur) if bucket > cur => {
+                    self.flush(out)?;
+                    self.current_bucket = Some(bucket);
+                }
+                Some(cur) if bucket < cur => {
+                    self.late += 1;
+                    continue;
+                }
+                Some(_) => {}
+                None => self.current_bucket = Some(bucket),
+            }
+            let found = {
+                let evals = &self.key_evals;
+                let divs = &self.div_scratch;
+                self.groups
+                    .find_with(hash, arity, |key| key_matches(evals, divs, &tuple, key))
+            };
+            let accs = match found {
+                Some(e) => self.groups.payload_mut(e),
+                None => {
+                    self.materialize_key(&tuple);
+                    self.groups.insert_new(
+                        hash,
+                        &mut self.key_scratch,
+                        self.slots.iter().map(AggSlot::fresh),
+                    )
+                }
+            };
+            Self::fold(&self.slots, &self.slot_evals, accs, &tuple)?;
+            self.recycle(tuple);
+        }
         Ok(())
     }
 
     fn finish(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()> {
         self.flush(out)?;
         // NULL-window groups close with the stream.
-        for key in self.null_order.drain(..) {
-            let accs = self
-                .null_groups
-                .remove(&key)
-                .expect("null_order tracks live groups");
-            let mut t = Tuple::with_capacity(key.len() + accs.len());
-            for v in key {
-                t.push(v);
-            }
-            for (slot, acc) in self.slots.iter().zip(accs.iter()) {
-                t.push(if slot.emit_partial {
-                    acc.partial()
-                } else {
-                    acc.finalize()
-                });
-            }
-            if let Some(h) = &self.having {
-                if !h.eval_predicate(&t)? {
-                    continue;
-                }
-            }
-            out.push(t);
-        }
+        let (mut keys, accs, n) = self.null_groups.take_entries();
+        let res = self.emit(&mut keys, &accs, n, out);
+        self.null_groups.restore(keys, accs);
+        res?;
         self.current_bucket = None;
+        debug_assert!(self.groups.is_empty() && self.null_groups.is_empty());
         Ok(())
     }
 
     fn late_dropped(&self) -> u64 {
         self.late
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The strength-reduced window-key division must agree with the
+    /// hardware division everywhere the fast path is taken: all
+    /// 32-bit dividends, divisors in `2..2^32`.
+    #[test]
+    fn div_magic_matches_division() {
+        let key = BoundExpr::Binary {
+            op: BinOp::Div,
+            lhs: Box::new(BoundExpr::Column(0)),
+            rhs: Box::new(BoundExpr::Literal(Value::UInt(60))),
+        };
+        let KeyEval::DivConst { div: 60, magic, .. } = KeyEval::classify(&key) else {
+            panic!("time/60 classifies as DivConst");
+        };
+        assert_ne!(magic, 0, "divisor 60 is in the magic domain");
+        for d in [2u64, 3, 7, 60, 86_400, (1 << 32) - 1] {
+            let m = ((1u128 << 64) / u128::from(d)) as u64 + 1;
+            let shifted = |x: u64| ((u128::from(x) * u128::from(m)) >> 64) as u64;
+            // Quotient boundaries, domain edges, and a pseudo-random walk.
+            for q in [0u64, 1, 2, ((1u64 << 32) - 1) / d] {
+                for x in [q * d, q * d + 1, (q + 1) * d - 1] {
+                    if x >> 32 == 0 {
+                        assert_eq!(shifted(x), x / d, "x={x} d={d}");
+                    }
+                }
+            }
+            let mut x = 0x2545_f491u64;
+            for _ in 0..1000 {
+                x = (x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407))
+                    >> 32;
+                assert_eq!(shifted(x), x / d, "x={x} d={d}");
+            }
+        }
     }
 }

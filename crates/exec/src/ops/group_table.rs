@@ -1,0 +1,294 @@
+//! Insertion-ordered hash table for per-window operator state.
+//!
+//! The aggregation inner loop probes a value-keyed map on every tuple.
+//! A `std::collections::HashMap` makes that loop pay for SipHash on the
+//! probe, a *second* full hash on the miss→insert path, a key clone to
+//! track insertion order, and one more hash per group when the window
+//! flushes via `remove`. This table collapses all of that:
+//!
+//! - keys hash once per tuple with the Fx hasher ([`crate::fx`]);
+//! - the index is open-addressed with the cached hash stored *in* the
+//!   slot: a probe loads one 16-byte slot (hash + entry id), rejects on
+//!   hash mismatch without touching the key arena, and walks linearly —
+//!   no collision-chain pointer chasing across side arrays;
+//! - key values live in one flat arena (`arity` values per entry), so a
+//!   hash-confirmed probe compares against contiguous memory instead of
+//!   chasing a per-key heap pointer, and inserting a key is an `append`
+//!   from the caller's scratch — no allocation per group;
+//! - payloads live in a second flat arena (`width` slots per entry), so
+//!   the per-tuple fold updates contiguous accumulator state instead of
+//!   dereferencing a per-group heap `Vec`, and creating a group extends
+//!   the arena in place — again no allocation per group;
+//! - entries stay in insertion order (arena append order), so flushing
+//!   is a plain ordered drain — no re-hash, no order side-vector, no
+//!   clones.
+//!
+//! Determinism: iteration order is exactly insertion order, so operator
+//! output is independent of the hash function and identical across
+//! batch sizes — the property the equivalence suite pins down.
+
+use qap_types::Value;
+
+/// One open-addressed index slot: the entry's cached hash and its
+/// arena index *plus one* (`0` marks a vacant slot).
+type Slot = (u64, u32);
+
+/// Hash table mapping a fixed-arity `[Value]` key to a fixed-width
+/// payload slice of `P`, preserving insertion order for drains. All
+/// keys passed to one table must share the same arity (an operator's
+/// group-key width); payload width is fixed at construction (an
+/// operator's aggregate-slot count).
+pub(crate) struct GroupTable<P> {
+    /// Open-addressed index; length is a power of two, kept at most
+    /// half full so linear probe runs stay short.
+    slots: Vec<Slot>,
+    /// `slots.len() - 1`.
+    mask: u64,
+    /// Number of live entries.
+    len: usize,
+    /// Flat key storage: entry `e` owns `keys[e*arity .. (e+1)*arity]`.
+    keys: Vec<Value>,
+    /// Flat payload storage: entry `e` owns
+    /// `payloads[e*width .. (e+1)*width]`.
+    payloads: Vec<P>,
+    /// Payload slots per entry.
+    width: usize,
+}
+
+impl<P> GroupTable<P> {
+    pub(crate) fn new(width: usize) -> Self {
+        GroupTable {
+            slots: Vec::new(),
+            mask: 0,
+            len: 0,
+            keys: Vec::new(),
+            payloads: Vec::new(),
+            width,
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entry index of `key`, or `None` when the group does not exist.
+    #[inline]
+    fn find(&self, hash: u64, key: &[Value]) -> Option<usize> {
+        self.find_with(hash, key.len(), |k| k == key)
+    }
+
+    /// Entry index of the group whose stored key slice satisfies `eq`,
+    /// or `None`. The predicate form lets callers probe against a key
+    /// they never materialized (e.g. comparing column values straight
+    /// out of the input tuple); `eq` must be consistent with the
+    /// equality the stored keys were inserted under.
+    #[inline]
+    pub(crate) fn find_with(
+        &self,
+        hash: u64,
+        arity: usize,
+        mut eq: impl FnMut(&[Value]) -> bool,
+    ) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut i = (hash & self.mask) as usize;
+        loop {
+            let (h, e1) = self.slots[i];
+            if e1 == 0 {
+                return None;
+            }
+            if h == hash {
+                let e = (e1 - 1) as usize;
+                if eq(&self.keys[e * arity..(e + 1) * arity]) {
+                    return Some(e);
+                }
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    /// Mutable payload slice of entry `e` (an index returned by
+    /// [`GroupTable::find_with`]).
+    #[inline]
+    pub(crate) fn payload_mut(&mut self, e: usize) -> &mut [P] {
+        &mut self.payloads[e * self.width..(e + 1) * self.width]
+    }
+
+    /// Mutable payload slice of `key` (pre-hashed with
+    /// [`crate::fx::hash_values`]), or `None` when the group does not
+    /// exist yet. The hot path goes through
+    /// [`GroupTable::get_or_insert`]; this probe-only form backs the
+    /// unit tests.
+    #[cfg(test)]
+    fn get_mut(&mut self, hash: u64, key: &[Value]) -> Option<&mut [P]> {
+        let e = self.find(hash, key)?;
+        Some(self.payload_mut(e))
+    }
+
+    /// Mutable payload slice of `key`, creating the group when absent:
+    /// the key drains out of the caller's scratch buffer (so the
+    /// scratch keeps its capacity for the next tuple) and the new
+    /// entry's payload slots fill from `fresh`. The single-probe
+    /// hit-or-insert the aggregation inner loop runs per tuple.
+    #[inline]
+    pub(crate) fn get_or_insert(
+        &mut self,
+        hash: u64,
+        key: &mut Vec<Value>,
+        fresh: impl Iterator<Item = P>,
+    ) -> &mut [P] {
+        if let Some(e) = self.find(hash, key) {
+            return self.payload_mut(e);
+        }
+        self.insert_new(hash, key, fresh)
+    }
+
+    /// Inserts a key known to be absent (callers probe first, e.g. via
+    /// [`GroupTable::find_with`]), draining it out of the caller's
+    /// scratch buffer so the scratch keeps its capacity for the next
+    /// tuple, and filling the entry's payload slots from `fresh`.
+    /// Returns the new entry's payload slice so the caller can fold
+    /// into it directly.
+    pub(crate) fn insert_new(
+        &mut self,
+        hash: u64,
+        key: &mut Vec<Value>,
+        fresh: impl Iterator<Item = P>,
+    ) -> &mut [P] {
+        if self.len * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let mut i = (hash & self.mask) as usize;
+        while self.slots[i].1 != 0 {
+            i = (i + 1) & self.mask as usize;
+        }
+        self.len += 1;
+        self.slots[i] = (hash, self.len as u32);
+        self.keys.append(key);
+        let start = self.payloads.len();
+        self.payloads.extend(fresh);
+        debug_assert_eq!(self.payloads.len(), start + self.width);
+        &mut self.payloads[start..]
+    }
+
+    /// Takes every entry in insertion order — the flat key arena
+    /// (`arity` values per entry), the flat payload arena (`width`
+    /// slots per entry) and the entry count — and resets the table for
+    /// the next window (slot storage is retained).
+    pub(crate) fn take_entries(&mut self) -> (Vec<Value>, Vec<P>, usize) {
+        let n = self.len;
+        self.slots.fill((0, 0));
+        self.len = 0;
+        (
+            std::mem::take(&mut self.keys),
+            std::mem::take(&mut self.payloads),
+            n,
+        )
+    }
+
+    /// Hands back the arenas returned by [`GroupTable::take_entries`]
+    /// once the caller has drained the keys, so the next window fills
+    /// already-sized allocations instead of re-growing from empty.
+    pub(crate) fn restore(&mut self, keys: Vec<Value>, mut payloads: Vec<P>) {
+        debug_assert!(keys.is_empty(), "caller drains keys before restore");
+        debug_assert!(self.keys.is_empty() && self.payloads.is_empty());
+        payloads.clear();
+        self.keys = keys;
+        self.payloads = payloads;
+    }
+
+    /// Doubles the slot array and re-places every live slot under the
+    /// new mask, from the hashes cached in the slots themselves.
+    #[cold]
+    fn grow(&mut self) {
+        let n = (self.slots.len() * 2).max(32);
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0); n]);
+        self.mask = (n - 1) as u64;
+        for (h, e1) in old {
+            if e1 == 0 {
+                continue;
+            }
+            let mut i = (h & self.mask) as usize;
+            while self.slots[i].1 != 0 {
+                i = (i + 1) & self.mask as usize;
+            }
+            self.slots[i] = (h, e1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fx::hash_values;
+
+    fn key(v: u64) -> Vec<Value> {
+        vec![Value::UInt(v), Value::UInt(v.wrapping_mul(7))]
+    }
+
+    #[test]
+    fn insert_probe_drain_in_order() {
+        // Width-2 payloads: [v, 0] at insert, second slot bumped on
+        // every probe.
+        let mut t: GroupTable<u64> = GroupTable::new(2);
+        for v in 0..100u64 {
+            let mut k = key(v);
+            let h = hash_values(&k);
+            assert!(t.get_mut(h, &k).is_none());
+            let p = t.insert_new(h, &mut k, [v, 0].into_iter());
+            assert_eq!(p, &mut [v, 0]);
+            assert!(k.is_empty(), "insert drains the scratch key");
+        }
+        for v in 0..100u64 {
+            let k = key(v);
+            let h = hash_values(&k);
+            t.get_mut(h, &k).expect("present")[1] += 1;
+        }
+        let (arena, payloads, n) = t.take_entries();
+        assert_eq!(n, 100);
+        assert_eq!(
+            payloads,
+            (0..100u64).flat_map(|v| [v, 1]).collect::<Vec<u64>>()
+        );
+        assert_eq!(arena[6..8], key(3)[..]);
+        assert_eq!(arena.len(), 200);
+        assert!(t.is_empty());
+        // Reusable after a drain.
+        let mut k = key(7);
+        let h = hash_values(&k);
+        assert!(t.get_mut(h, &k).is_none());
+        t.insert_new(h, &mut k, [1, 1].into_iter());
+        assert_eq!(t.get_mut(h, &key(7)), Some(&mut [1u64, 1][..]));
+    }
+
+    #[test]
+    fn zero_width_payloads_count_entries() {
+        // DISTINCT-style use: groups with no aggregate slots.
+        let mut t: GroupTable<u64> = GroupTable::new(0);
+        for v in 0..10u64 {
+            let mut k = key(v);
+            let h = hash_values(&k);
+            if t.get_mut(h, &k).is_none() {
+                t.insert_new(h, &mut k, std::iter::empty());
+            }
+        }
+        let (arena, payloads, n) = t.take_entries();
+        assert_eq!(n, 10);
+        assert!(payloads.is_empty());
+        assert_eq!(arena.len(), 20);
+    }
+
+    #[test]
+    fn colliding_hashes_resolve_by_key() {
+        // Force identical hashes: linear probing must fall through to
+        // the key comparison and keep both entries reachable.
+        let mut t: GroupTable<u64> = GroupTable::new(1);
+        let (mut a, mut b) = (key(1), key(2));
+        t.insert_new(42, &mut a, [10].into_iter());
+        t.insert_new(42, &mut b, [20].into_iter());
+        assert_eq!(t.get_mut(42, &key(1)), Some(&mut [10u64][..]));
+        assert_eq!(t.get_mut(42, &key(2)), Some(&mut [20u64][..]));
+        assert!(t.get_mut(42, &key(3)).is_none());
+    }
+}

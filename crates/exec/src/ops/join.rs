@@ -1,11 +1,10 @@
 //! Tumbling-window equi-join (⋈) with epoch offsets.
 
-use std::collections::HashMap;
-
 use qap_expr::BoundExpr;
 use qap_plan::JoinType;
 use qap_types::{Tuple, Value};
 
+use crate::fx::FxHashMap;
 use crate::ExecResult;
 
 use super::{bucket_of, Operator};
@@ -16,7 +15,7 @@ struct Epoch {
     rows: Vec<Tuple>,
     matched: Vec<bool>,
     /// Equi-key → row indices.
-    index: HashMap<Vec<Value>, Vec<usize>>,
+    index: FxHashMap<Vec<Value>, Vec<usize>>,
 }
 
 struct Side {
@@ -27,32 +26,45 @@ struct Side {
     /// Last observed epoch.
     cur: Option<i128>,
     /// Buffered epochs.
-    epochs: HashMap<i128, Epoch>,
+    epochs: FxHashMap<i128, Epoch>,
     late: u64,
 }
 
 impl Side {
-    fn insert(&mut self, tuple: Tuple) -> ExecResult<Option<i128>> {
+    /// Buffers one tuple. Returns whether epoch state changed in a way
+    /// that can make pairings ready — the current epoch advanced or a
+    /// (possibly retired-and-revived) epoch was created. When neither
+    /// happened, every closed/retired set is unchanged since the last
+    /// `fire_ready` pass emptied them, so the caller may skip the scan.
+    fn insert(&mut self, tuple: Tuple) -> ExecResult<bool> {
         let b = bucket_of(tuple.get(self.temporal_idx));
+        let mut advanced = false;
         match self.cur {
             Some(c) if b < c => {
                 self.late += 1;
-                return Ok(None);
+                return Ok(false);
             }
-            Some(c) if b > c => self.cur = Some(b),
-            None => self.cur = Some(b),
+            Some(c) if b > c => {
+                self.cur = Some(b);
+                advanced = true;
+            }
+            None => {
+                self.cur = Some(b);
+                advanced = true;
+            }
             Some(_) => {}
         }
         let mut key = Vec::with_capacity(self.key.len());
         for e in &self.key {
             key.push(e.eval(&tuple)?);
         }
+        let new_epoch = !self.epochs.contains_key(&b);
         let epoch = self.epochs.entry(b).or_default();
         let idx = epoch.rows.len();
         epoch.rows.push(tuple);
         epoch.matched.push(false);
         epoch.index.entry(key).or_default().push(idx);
-        Ok(Some(b))
+        Ok(advanced || new_epoch)
     }
 
     /// Whether no further tuples of epoch `e` can arrive.
@@ -98,14 +110,14 @@ impl JoinOp {
                 temporal_idx: left_temporal_idx,
                 key: left_key,
                 cur: None,
-                epochs: HashMap::new(),
+                epochs: FxHashMap::default(),
                 late: 0,
             },
             right: Side {
                 temporal_idx: right_temporal_idx,
                 key: right_key,
                 cur: None,
-                epochs: HashMap::new(),
+                epochs: FxHashMap::default(),
                 late: 0,
             },
             offset,
@@ -127,7 +139,9 @@ impl JoinOp {
             .copied()
             .filter(|&e| {
                 self.left.closed(e, self.finished)
-                    && self.right.closed(e - i128::from(self.offset), self.finished)
+                    && self
+                        .right
+                        .closed(e - i128::from(self.offset), self.finished)
             })
             .collect::<Vec<_>>();
         let mut ready = ready;
@@ -223,14 +237,26 @@ impl JoinOp {
 }
 
 impl Operator for JoinOp {
-    fn push(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()> {
-        let advanced = match port {
-            0 => self.left.insert(tuple)?,
-            1 => self.right.insert(tuple)?,
-            _ => unreachable!("join has two ports"),
-        };
-        if advanced.is_some() {
-            self.fire_ready(out)?;
+    fn push_batch(
+        &mut self,
+        port: usize,
+        batch: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+    ) -> ExecResult<()> {
+        for tuple in batch.drain(..) {
+            let changed = match port {
+                0 => self.left.insert(tuple)?,
+                1 => self.right.insert(tuple)?,
+                _ => unreachable!("join has two ports"),
+            };
+            // `fire_ready` after a no-change insert is provably a
+            // no-op (ready/retired sets were drained by the previous
+            // pass and only grow on advance or epoch creation), so the
+            // common case — another row of the current epoch — costs
+            // no epoch scan.
+            if changed {
+                self.fire_ready(out)?;
+            }
         }
         Ok(())
     }

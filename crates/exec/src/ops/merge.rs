@@ -66,10 +66,23 @@ impl MergeOp {
 }
 
 impl Operator for MergeOp {
-    fn push(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()> {
-        let b = bucket_of(tuple.get(self.temporal_idx));
-        self.last[port] = Some(self.last[port].map_or(b, |l| l.max(b)));
-        self.buffer.entry(b).or_default().push(tuple);
+    fn push_batch(
+        &mut self,
+        port: usize,
+        batch: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+    ) -> ExecResult<()> {
+        for tuple in batch.drain(..) {
+            let b = bucket_of(tuple.get(self.temporal_idx));
+            self.last[port] = Some(self.last[port].map_or(b, |l| l.max(b)));
+            self.buffer.entry(b).or_default().push(tuple);
+        }
+        // One release per batch is exact, not an approximation: a
+        // released bucket lies strictly below every port's watermark,
+        // and per-port inputs are bucket-ordered, so no tuple later in
+        // this batch (or any later batch) can belong to it. Deferring
+        // the release only coalesces consecutive per-tuple releases;
+        // bucket order and within-bucket insertion order are unchanged.
         self.release(out);
         Ok(())
     }

@@ -1,6 +1,7 @@
 //! Streaming operator implementations.
 
 mod aggregate;
+mod group_table;
 mod join;
 mod merge;
 mod select;
@@ -14,14 +15,27 @@ use qap_types::{Tuple, Value};
 
 use crate::ExecResult;
 
-/// A compiled streaming operator. `push` delivers one input tuple on an
-/// input port (0 for unary operators; joins use 0 = left, 1 = right;
-/// merges one port per input); `finish` signals end-of-stream on all
-/// ports (the engine calls it in topological order, so every input is
-/// already complete).
+/// A compiled streaming operator, processing input one *batch* at a
+/// time. `push_batch` delivers a batch of input tuples on an input port
+/// (0 for unary operators; joins use 0 = left, 1 = right; merges one
+/// port per input) and must drain `batch`, appending any produced
+/// tuples to `out`; both vectors are engine-owned scratch buffers that
+/// are recycled between calls, so operators must not stash them.
+/// Semantics are defined tuple-at-a-time: `push_batch(p, [t1..tn], out)`
+/// must emit exactly the concatenation a per-tuple loop would, in the
+/// same order — batching is a mechanical optimisation, never a
+/// semantic one. `finish` signals end-of-stream on all ports (the
+/// engine calls it in topological order, so every input is already
+/// complete).
 pub(crate) trait Operator {
-    /// Processes one tuple, appending any produced tuples to `out`.
-    fn push(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()>;
+    /// Processes one batch of tuples, draining `batch` and appending
+    /// any produced tuples to `out`.
+    fn push_batch(
+        &mut self,
+        port: usize,
+        batch: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+    ) -> ExecResult<()>;
     /// Flushes remaining state at end-of-stream.
     fn finish(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()>;
     /// Tuples dropped for arriving behind the operator's window.
@@ -31,12 +45,23 @@ pub(crate) trait Operator {
 }
 
 /// Pass-through operator for source scans (the engine routes external
-/// tuples straight through so counters see them).
+/// tuples straight through so counters see them). The whole batch moves
+/// in one swap (or a bulk append when `out` already holds tuples) — no
+/// per-tuple work at all.
 pub(crate) struct ScanOp;
 
 impl Operator for ScanOp {
-    fn push(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()> {
-        out.push(tuple);
+    fn push_batch(
+        &mut self,
+        _port: usize,
+        batch: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+    ) -> ExecResult<()> {
+        if out.is_empty() {
+            std::mem::swap(out, batch);
+        } else {
+            out.append(batch);
+        }
         Ok(())
     }
 

@@ -23,17 +23,24 @@ impl SelectOp {
 }
 
 impl Operator for SelectOp {
-    fn push(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> ExecResult<()> {
-        if let Some(p) = &self.predicate {
-            if !p.eval_predicate(&tuple)? {
-                return Ok(());
+    fn push_batch(
+        &mut self,
+        _port: usize,
+        batch: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+    ) -> ExecResult<()> {
+        for tuple in batch.drain(..) {
+            if let Some(p) = &self.predicate {
+                if !p.eval_predicate(&tuple)? {
+                    continue;
+                }
             }
+            let mut t = Tuple::with_capacity(self.projections.len());
+            for e in &self.projections {
+                t.push(e.eval(&tuple)?);
+            }
+            out.push(t);
         }
-        let mut t = Tuple::with_capacity(self.projections.len());
-        for e in &self.projections {
-            t.push(e.eval(&tuple)?);
-        }
-        out.push(t);
         Ok(())
     }
 

@@ -100,9 +100,7 @@ impl PaneAggregator {
             // billions of iterations).
             match self.panes.keys().next() {
                 Some(&first) if first >= w + self.spec.window_panes => {
-                    let skip = (first - (w + self.spec.window_panes))
-                        / self.spec.slide_panes
-                        + 1;
+                    let skip = (first - (w + self.spec.window_panes)) / self.spec.slide_panes + 1;
                     w += skip * self.spec.slide_panes;
                 }
                 None => break,
@@ -201,12 +199,7 @@ mod tests {
         // finish.
         let sums: Vec<(i64, u64)> = out
             .iter()
-            .map(|t| {
-                (
-                    t.get(0).as_i64().unwrap(),
-                    t.get(2).as_u64().unwrap(),
-                )
-            })
+            .map(|t| (t.get(0).as_i64().unwrap(), t.get(2).as_u64().unwrap()))
             .collect();
         assert_eq!(sums[0], (0, 30));
         assert_eq!(sums[1], (1, 30));
@@ -229,10 +222,7 @@ mod tests {
             .filter(|t| t.get(0).as_i64() == Some(0))
             .collect();
         assert_eq!(w0.len(), 2);
-        let g1 = w0
-            .iter()
-            .find(|t| t.get(1).as_u64() == Some(1))
-            .unwrap();
+        let g1 = w0.iter().find(|t| t.get(1).as_u64() == Some(1)).unwrap();
         assert_eq!(g1.get(2).as_u64(), Some(10));
     }
 

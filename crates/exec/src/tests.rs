@@ -9,7 +9,17 @@ use crate::{run_logical, Engine, ExecError};
 /// TCP(time, timestamp, srcIP, destIP, srcPort, destPort, protocol,
 /// flags, len)
 fn pkt(time: u64, src: u64, dst: u64, flags: u64, len: u64) -> Tuple {
-    tuple![time, time * 1_000_000, src, dst, 1000u64, 80u64, 6u64, flags, len]
+    tuple![
+        time,
+        time * 1_000_000,
+        src,
+        dst,
+        1000u64,
+        80u64,
+        6u64,
+        flags,
+        len
+    ]
 }
 
 fn build(queries: &[(&str, &str)]) -> QueryDag {
@@ -139,7 +149,10 @@ fn aggregation_stack_heavy_flows() {
     let outputs = run_logical(&dag, trace).unwrap();
     let rows = sorted(outputs.into_iter().next().unwrap().1);
     // Epoch 0: src 1's heaviest flow has 2 packets; epoch 1: 1 packet.
-    assert_eq!(rows, vec![tuple![0u64, 1u64, 2u64], tuple![1u64, 1u64, 1u64]]);
+    assert_eq!(
+        rows,
+        vec![tuple![0u64, 1u64, 2u64], tuple![1u64, 1u64, 1u64]]
+    );
 }
 
 #[test]
@@ -191,7 +204,10 @@ fn same_epoch_join_combines_lengths() {
          and PKT1.destIP = PKT2.destIP",
     )]);
     // PKT(time, srcIP, destIP, len)
-    let trace = vec![tuple![0u64, 1u64, 2u64, 10u64], tuple![0u64, 1u64, 2u64, 20u64]];
+    let trace = vec![
+        tuple![0u64, 1u64, 2u64, 10u64],
+        tuple![0u64, 1u64, 2u64, 20u64],
+    ];
     let outputs = run_logical(&dag, trace).unwrap();
     let rows = sorted(outputs.into_iter().next().unwrap().1);
     // Self-join of 2 rows in the same epoch/key: 4 combinations.
@@ -219,7 +235,11 @@ fn left_outer_join_pads_unmatched() {
     ]);
     // Host 1 sends to 2; host 2 sends to 1; host 9 sends but never
     // receives.
-    let trace = vec![pkt(0, 1, 2, 0, 10), pkt(1, 2, 1, 0, 10), pkt(2, 9, 1, 0, 10)];
+    let trace = vec![
+        pkt(0, 1, 2, 0, 10),
+        pkt(1, 2, 1, 0, 10),
+        pkt(2, 9, 1, 0, 10),
+    ];
     let outputs = run_logical(&dag, trace).unwrap();
     let matched = outputs
         .into_iter()
@@ -229,10 +249,7 @@ fn left_outer_join_pads_unmatched() {
     let rows = sorted(matched);
     assert_eq!(rows.len(), 3);
     // Host 9 row padded with NULL received count.
-    let host9 = rows
-        .iter()
-        .find(|t| t.get(1) == &Value::UInt(9))
-        .unwrap();
+    let host9 = rows.iter().find(|t| t.get(1) == &Value::UInt(9)).unwrap();
     assert_eq!(host9.get(3), &Value::Null);
 }
 
@@ -277,7 +294,11 @@ fn sum_min_max_avg_aggregates() {
         "SELECT tb, srcIP, SUM(len) as total, MIN(len) as lo, MAX(len) as hi, \
          AVG(len) as mean FROM TCP GROUP BY time/60 as tb, srcIP",
     )]);
-    let trace = vec![pkt(0, 1, 2, 0, 10), pkt(1, 1, 2, 0, 20), pkt(2, 1, 2, 0, 60)];
+    let trace = vec![
+        pkt(0, 1, 2, 0, 10),
+        pkt(1, 1, 2, 0, 20),
+        pkt(2, 1, 2, 0, 60),
+    ];
     let outputs = run_logical(&dag, trace).unwrap();
     let rows = outputs.into_iter().next().unwrap().1;
     assert_eq!(rows, vec![tuple![0u64, 1u64, 90u64, 10u64, 60u64, 30u64]]);
@@ -285,10 +306,7 @@ fn sum_min_max_avg_aggregates() {
 
 #[test]
 fn projection_query_passthrough() {
-    let dag = build(&[(
-        "lens",
-        "SELECT time, len FROM TCP WHERE srcIP = 1",
-    )]);
+    let dag = build(&[("lens", "SELECT time, len FROM TCP WHERE srcIP = 1")]);
     let trace = vec![pkt(0, 1, 2, 0, 10), pkt(1, 5, 2, 0, 99)];
     let outputs = run_logical(&dag, trace).unwrap();
     let rows = outputs.into_iter().next().unwrap().1;
@@ -325,13 +343,18 @@ fn merge_alignment_with_silent_partition() {
     let a0 = sub(&mut dag, s0);
     let a1 = sub(&mut dag, s1);
     let m = dag
-        .add_node(LogicalNode::Merge { inputs: vec![a0, a1] })
+        .add_node(LogicalNode::Merge {
+            inputs: vec![a0, a1],
+        })
         .unwrap();
     let sup = dag
         .add_node(LogicalNode::Aggregate {
             input: m,
             predicate: None,
-            group_by: vec![NamedExpr::passthrough("tb"), NamedExpr::passthrough("srcIP")],
+            group_by: vec![
+                NamedExpr::passthrough("tb"),
+                NamedExpr::passthrough("srcIP"),
+            ],
             aggregates: vec![NamedAgg::new(
                 "total",
                 AggCall::new(AggKind::Sum, ScalarExpr::col("cnt")),

@@ -279,9 +279,13 @@ fn widen(v: &Value) -> Option<i128> {
 
 fn narrow(x: i128) -> Value {
     if x >= 0 {
-        u64::try_from(x).map(Value::UInt).unwrap_or(Value::UInt(u64::MAX))
+        u64::try_from(x)
+            .map(Value::UInt)
+            .unwrap_or(Value::UInt(u64::MAX))
     } else {
-        i64::try_from(x).map(Value::Int).unwrap_or(Value::Int(i64::MIN))
+        i64::try_from(x)
+            .map(Value::Int)
+            .unwrap_or(Value::Int(i64::MIN))
     }
 }
 

@@ -141,8 +141,12 @@ fn eval_binary(op: BinOp, l: &Value, r: &Value) -> ExprResult<Value> {
 
 fn values_eq(l: &Value, r: &Value) -> bool {
     // Numeric equality across UInt/Int; everything else structural.
-    if let (Some(a), Some(b)) = (l.as_u64(), r.as_u64()) { return a == b }
-    if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) { return a == b }
+    if let (Some(a), Some(b)) = (l.as_u64(), r.as_u64()) {
+        return a == b;
+    }
+    if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
+        return a == b;
+    }
     l == r
 }
 
@@ -181,8 +185,12 @@ fn arith_u64(op: BinOp, a: u64, b: u64) -> ExprResult<Value> {
         BinOp::BitAnd => a & b,
         BinOp::BitOr => a | b,
         BinOp::BitXor => a ^ b,
-        BinOp::Shl => a.checked_shl(b.min(u64::from(u32::MAX)) as u32).unwrap_or(0),
-        BinOp::Shr => a.checked_shr(b.min(u64::from(u32::MAX)) as u32).unwrap_or(0),
+        BinOp::Shl => a
+            .checked_shl(b.min(u64::from(u32::MAX)) as u32)
+            .unwrap_or(0),
+        BinOp::Shr => a
+            .checked_shr(b.min(u64::from(u32::MAX)) as u32)
+            .unwrap_or(0),
         _ => unreachable!("non-arith op in arith_u64"),
     };
     Ok(Value::UInt(v))
@@ -208,8 +216,12 @@ fn arith_i64(op: BinOp, a: i64, b: i64) -> ExprResult<Value> {
         BinOp::BitAnd => a & b,
         BinOp::BitOr => a | b,
         BinOp::BitXor => a ^ b,
-        BinOp::Shl => a.checked_shl(b.clamp(0, i64::from(u32::MAX)) as u32).unwrap_or(0),
-        BinOp::Shr => a.checked_shr(b.clamp(0, i64::from(u32::MAX)) as u32).unwrap_or(0),
+        BinOp::Shl => a
+            .checked_shl(b.clamp(0, i64::from(u32::MAX)) as u32)
+            .unwrap_or(0),
+        BinOp::Shr => a
+            .checked_shr(b.clamp(0, i64::from(u32::MAX)) as u32)
+            .unwrap_or(0),
         _ => unreachable!("non-arith op in arith_i64"),
     };
     Ok(Value::Int(v))
@@ -232,13 +244,14 @@ fn eval_unary(op: UnOp, v: &Value) -> ExprResult<Value> {
                 op: "NOT",
                 detail: v.to_string(),
             }),
-        UnOp::BitNot => v
-            .as_u64()
-            .map(|x| Value::UInt(!x))
-            .ok_or_else(|| ExprError::TypeMismatch {
-                op: "~",
-                detail: v.to_string(),
-            }),
+        UnOp::BitNot => {
+            v.as_u64()
+                .map(|x| Value::UInt(!x))
+                .ok_or_else(|| ExprError::TypeMismatch {
+                    op: "~",
+                    detail: v.to_string(),
+                })
+        }
     }
 }
 

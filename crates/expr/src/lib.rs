@@ -27,7 +27,9 @@ mod bound;
 mod error;
 mod scalar;
 
-pub use agg::{make_accumulator, split_agg, Accumulator, AggCall, AggFunc, AggKind, FinishOp, SplitAgg};
+pub use agg::{
+    make_accumulator, split_agg, Accumulator, AggCall, AggFunc, AggKind, FinishOp, SplitAgg,
+};
 pub use analysis::{analyze_transform, AnalyzedExpr, ColumnTransform};
 pub use bound::{bind, bind_with, BoundExpr, Resolver};
 pub use error::{ExprError, ExprResult};

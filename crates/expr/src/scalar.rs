@@ -323,10 +323,8 @@ mod tests {
 
     #[test]
     fn qualified_display() {
-        let e = ScalarExpr::qcol("S1", "tb").eq(ScalarExpr::qcol("S2", "tb").binary(
-            BinOp::Add,
-            ScalarExpr::lit(1u64),
-        ));
+        let e = ScalarExpr::qcol("S1", "tb")
+            .eq(ScalarExpr::qcol("S2", "tb").binary(BinOp::Add, ScalarExpr::lit(1u64)));
         assert_eq!(e.to_string(), "S1.tb = (S2.tb + 1)");
     }
 

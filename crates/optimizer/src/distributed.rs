@@ -45,7 +45,15 @@ impl DistributedPlan {
     pub fn render_by_host(&self) -> String {
         let mut out = String::new();
         for h in 0..self.partitioning.hosts {
-            let _ = writeln!(out, "Host {h}{}:", if h == self.partitioning.aggregator_host { " (aggregator)" } else { "" });
+            let _ = writeln!(
+                out,
+                "Host {h}{}:",
+                if h == self.partitioning.aggregator_host {
+                    " (aggregator)"
+                } else {
+                    ""
+                }
+            );
             for id in self.dag.topo_order() {
                 if self.host[id] != h {
                     continue;
@@ -302,9 +310,7 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
                         && lw.cfg.partial_aggregation
                         && all_splittable(lw.logical, &aggregates) =>
                 {
-                    lower_partial_agg(
-                        lw, &replicas, predicate, &group_by, &aggregates, having,
-                    )
+                    lower_partial_agg(lw, &replicas, predicate, &group_by, &aggregates, having)
                 }
                 // No optimization possible: complete aggregate over the
                 // centrally merged input.

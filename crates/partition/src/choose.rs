@@ -15,8 +15,8 @@ use std::collections::HashSet;
 use qap_plan::{NodeId, QueryDag};
 
 use crate::{
-    node_compatibilities_with, plan_cost, reconcile_partition_sets, AnalysisOptions,
-    Compatibility, CostModel, CostReport, PartitionSet, StatsProvider,
+    node_compatibilities_with, plan_cost, reconcile_partition_sets, AnalysisOptions, Compatibility,
+    CostModel, CostReport, PartitionSet, StatsProvider,
 };
 
 /// Result of the partitioning analysis over a query set.
@@ -55,9 +55,7 @@ impl PartitionAnalysis {
         for id in dag.topo_order() {
             let verdict = match (&self.per_node[id], self.report.compatible[id]) {
                 (Compatibility::Any, _) => "any partitioning works".to_string(),
-                (_, true) if self.report.pushed[id] => {
-                    "satisfied — runs per partition".to_string()
-                }
+                (_, true) if self.report.pushed[id] => "satisfied — runs per partition".to_string(),
                 (_, true) => "satisfied, but a descendant is not — runs centrally".to_string(),
                 (_, false) => "NOT satisfied — evaluated centrally".to_string(),
             };
@@ -120,8 +118,7 @@ pub fn choose_partitioning_with(
         .collect();
 
     let cost_of = |ps: &PartitionSet| plan_cost(dag, &per_node, ps, stats, model);
-    let satisfied_count =
-        |r: &CostReport| r.compatible.iter().filter(|&&c| c).count();
+    let satisfied_count = |r: &CostReport| r.compatible.iter().filter(|&&c| c).count();
 
     // Candidate `a` improves on `b` when it is strictly cheaper, or
     // equally expensive while satisfying more constrained nodes (ties on
@@ -162,7 +159,11 @@ pub fn choose_partitioning_with(
         .copied()
         .filter(|&id| !has_constrained_below[id])
         .collect();
-    let seeds: Vec<NodeId> = if leafs.is_empty() { constrained.clone() } else { leafs.clone() };
+    let seeds: Vec<NodeId> = if leafs.is_empty() {
+        constrained.clone()
+    } else {
+        leafs.clone()
+    };
 
     // The memoized subset search uses a u64 member bitmask. Monitoring
     // DAGs beyond 64 nodes fall back to a linear pass: cost each seed's
@@ -170,7 +171,9 @@ pub fn choose_partitioning_with(
     if dag.len() > 64 {
         let mut chain: Option<PartitionSet> = None;
         for &id in &constrained {
-            let Some(s) = per_node[id].as_set() else { continue };
+            let Some(s) = per_node[id].as_set() else {
+                continue;
+            };
             considered += 1;
             let report = cost_of(s);
             if improves(&report, &best_report) {
@@ -205,7 +208,9 @@ pub fn choose_partitioning_with(
     let mut frontier: Vec<Candidate> = Vec::new();
     let mut seen: HashSet<u64> = HashSet::new();
     for &id in &seeds {
-        let Some(s) = per_node[id].as_set() else { continue };
+        let Some(s) = per_node[id].as_set() else {
+            continue;
+        };
         let members = 1u64 << id;
         if seen.insert(members) {
             frontier.push(Candidate {
@@ -237,7 +242,9 @@ pub fn choose_partitioning_with(
                 if cand.members & (1 << j) != 0 {
                     continue;
                 }
-                let Some(sj) = per_node[j].as_set() else { continue };
+                let Some(sj) = per_node[j].as_set() else {
+                    continue;
+                };
                 if sj.is_empty() {
                     continue;
                 }
@@ -450,8 +457,7 @@ mod tests {
         }
         let dag = b.build();
         assert!(dag.len() > 64);
-        let analysis =
-            choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
+        let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
         assert_eq!(analysis.recommended, PartitionSet::from_columns(["srcIP"]));
     }
 
@@ -500,10 +506,7 @@ mod tests {
         // σ/π is compatible with anything; there is no constraint to
         // optimize, and no benefit either — the empty recommendation
         // signals "partition however the hardware likes".
-        let (_, analysis) = analyze(&[(
-            "dns",
-            "SELECT time, srcIP FROM TCP WHERE destPort = 53",
-        )]);
+        let (_, analysis) = analyze(&[("dns", "SELECT time, srcIP FROM TCP WHERE destPort = 53")]);
         assert!(analysis.recommended.is_empty());
         assert_eq!(analysis.candidates_considered, 1);
     }
@@ -556,12 +559,7 @@ mod tests {
             ),
         ]);
         assert!(!analysis.recommended.is_empty());
-        let satisfied = analysis
-            .report
-            .compatible
-            .iter()
-            .filter(|&&c| c)
-            .count();
+        let satisfied = analysis.report.compatible.iter().filter(|&&c| c).count();
         assert!(satisfied >= 1);
     }
 }

@@ -360,8 +360,8 @@ mod tests {
         let heavy = dag.query_node("heavy_flows").unwrap();
         assert!(report.pushed[flows]);
         assert!(!report.pushed[heavy]); // needs srcIP-only grouping kept together
-        // heavy receives flows' (reduced) output — far below the full
-        // stream rate.
+                                        // heavy receives flows' (reduced) output — far below the full
+                                        // stream rate.
         assert!(report.node_cost[heavy] > 0.0);
         let naive = cost_of(&dag, &PartitionSet::empty());
         assert!(report.max_cost < naive.max_cost);
@@ -389,7 +389,10 @@ mod tests {
             report.objective_cost(CostObjective::MaxPerNode),
             report.max_cost
         );
-        assert_eq!(report.objective_cost(CostObjective::Total), report.total_cost);
+        assert_eq!(
+            report.objective_cost(CostObjective::Total),
+            report.total_cost
+        );
     }
 
     #[test]
@@ -399,8 +402,7 @@ mod tests {
             objective: CostObjective::Total,
             ..CostModel::default()
         };
-        let analysis =
-            crate::choose_partitioning(&dag, &UniformStats::default(), &model);
+        let analysis = crate::choose_partitioning(&dag, &UniformStats::default(), &model);
         // Under either objective the fully-compatible (srcIP) wins here.
         assert_eq!(analysis.recommended, PartitionSet::from_columns(["srcIP"]));
     }

@@ -95,7 +95,17 @@ mod tests {
 
     fn pkt(time: u64, src: u64, dst: u64) -> Tuple {
         // TCP(time, timestamp, srcIP, destIP, srcPort, destPort, protocol, flags, len)
-        tuple![time, time * 1000, src, dst, 80u64, 443u64, 6u64, 0x10u64, 64u64]
+        tuple![
+            time,
+            time * 1000,
+            src,
+            dst,
+            80u64,
+            443u64,
+            6u64,
+            0x10u64,
+            64u64
+        ]
     }
 
     #[test]

@@ -23,17 +23,19 @@
 //! [`HashPartitioner`] implements the hash-based splitter of
 //! Section 3.3, the runtime counterpart the cluster simulator uses.
 
+mod choose;
 mod compat;
 mod cost;
-mod choose;
 mod hash;
 mod set;
 
+pub use choose::{choose_partitioning, choose_partitioning_with, PartitionAnalysis};
 pub use compat::{
     compatible_set, compatible_set_with, node_compatibilities, node_compatibilities_with,
     AnalysisOptions, Compatibility,
 };
-pub use cost::{plan_cost, CostModel, CostObjective, CostReport, NodeStats, StatsProvider, UniformStats};
-pub use choose::{choose_partitioning, choose_partitioning_with, PartitionAnalysis};
+pub use cost::{
+    plan_cost, CostModel, CostObjective, CostReport, NodeStats, StatsProvider, UniformStats,
+};
 pub use hash::{fnv1a_hash, HashPartitioner};
 pub use set::{reconcile_partition_sets, PartitionSet};

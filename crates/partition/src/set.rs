@@ -227,8 +227,14 @@ mod tests {
 
     #[test]
     fn reconcile_incompatible_transforms_drops_column() {
-        let a = ps(&[("time", ColumnTransform::Div(60)), ("srcIP", ColumnTransform::Identity)]);
-        let b = ps(&[("time", ColumnTransform::Mask(0xFF)), ("srcIP", ColumnTransform::Identity)]);
+        let a = ps(&[
+            ("time", ColumnTransform::Div(60)),
+            ("srcIP", ColumnTransform::Identity),
+        ]);
+        let b = ps(&[
+            ("time", ColumnTransform::Mask(0xFF)),
+            ("srcIP", ColumnTransform::Identity),
+        ]);
         let r = reconcile_partition_sets(&a, &b);
         assert_eq!(r, PartitionSet::from_columns(["srcIP"]));
     }
@@ -248,7 +254,10 @@ mod tests {
 
     #[test]
     fn satisfies_respects_coarsening() {
-        let requirement = ps(&[("time", ColumnTransform::Div(60)), ("srcIP", ColumnTransform::Identity)]);
+        let requirement = ps(&[
+            ("time", ColumnTransform::Div(60)),
+            ("srcIP", ColumnTransform::Identity),
+        ]);
         // time/180 is a function of time/60: compatible.
         assert!(ps(&[("time", ColumnTransform::Div(180))]).satisfies(&requirement));
         // time/90 is not.

@@ -104,11 +104,8 @@ impl QueryDag {
 
     /// Registered query names with their nodes, sorted by node id.
     pub fn named_queries(&self) -> Vec<(&str, NodeId)> {
-        let mut v: Vec<(&str, NodeId)> = self
-            .names
-            .iter()
-            .map(|(n, &id)| (n.as_str(), id))
-            .collect();
+        let mut v: Vec<(&str, NodeId)> =
+            self.names.iter().map(|(n, &id)| (n.as_str(), id)).collect();
         v.sort_by_key(|&(_, id)| id);
         v
     }
@@ -241,9 +238,7 @@ impl QueryDag {
                         qap_expr::AggFunc::Builtin(kind) => agg_output_type(*kind),
                         qap_expr::AggFunc::Udaf(name) => {
                             if self.catalog.udafs().get(name).is_none() {
-                                return Err(PlanError::Expr(ExprError::UnknownUdaf(
-                                    name.clone(),
-                                )));
+                                return Err(PlanError::Expr(ExprError::UnknownUdaf(name.clone())));
                             }
                             DataType::UInt
                         }
@@ -308,7 +303,9 @@ impl QueryDag {
     fn projected_field(&self, ne: &NamedExpr, input: &Schema) -> PlanResult<Field> {
         validate_columns(&ne.expr, &single_resolver(input))?;
         let dt = infer_type(&ne.expr, &|c| {
-            input.index_of(&c.name).map(|i| input.fields()[i].data_type())
+            input
+                .index_of(&c.name)
+                .map(|i| input.fields()[i].data_type())
         });
         let temporality = infer_temporality(&ne.expr, &|c| {
             input
@@ -534,7 +531,10 @@ mod tests {
             vec!["tb", "srcIP", "destIP", "cnt"]
         );
         // tb = time/60 stays increasing; srcIP does not become temporal.
-        assert_eq!(s.field("tb").unwrap().temporality(), Temporality::Increasing);
+        assert_eq!(
+            s.field("tb").unwrap().temporality(),
+            Temporality::Increasing
+        );
         assert_eq!(s.field("srcIP").unwrap().temporality(), Temporality::None);
     }
 
@@ -579,7 +579,10 @@ mod tests {
             .add_node(LogicalNode::Aggregate {
                 input: flows,
                 predicate: None,
-                group_by: vec![NamedExpr::passthrough("tb"), NamedExpr::passthrough("srcIP")],
+                group_by: vec![
+                    NamedExpr::passthrough("tb"),
+                    NamedExpr::passthrough("srcIP"),
+                ],
                 aggregates: vec![NamedAgg::new(
                     "max_cnt",
                     AggCall::new(AggKind::Max, ScalarExpr::col("cnt")),
@@ -601,7 +604,10 @@ mod tests {
             .add_node(LogicalNode::Aggregate {
                 input: flows,
                 predicate: None,
-                group_by: vec![NamedExpr::passthrough("tb"), NamedExpr::passthrough("srcIP")],
+                group_by: vec![
+                    NamedExpr::passthrough("tb"),
+                    NamedExpr::passthrough("srcIP"),
+                ],
                 aggregates: vec![NamedAgg::new(
                     "max_cnt",
                     AggCall::new(AggKind::Max, ScalarExpr::col("cnt")),
@@ -622,7 +628,10 @@ mod tests {
                     right: ColumnRef::qualified("S2", "tb"),
                     offset: 1,
                 },
-                equi: vec![(ScalarExpr::qcol("S1", "srcIP"), ScalarExpr::qcol("S2", "srcIP"))],
+                equi: vec![(
+                    ScalarExpr::qcol("S1", "srcIP"),
+                    ScalarExpr::qcol("S2", "srcIP"),
+                )],
                 residual: None,
                 projections: vec![
                     NamedExpr::new("tb", ScalarExpr::qcol("S1", "tb")),
@@ -679,7 +688,10 @@ mod tests {
                 projections: vec![NamedExpr::passthrough("bogus")],
             })
             .unwrap_err();
-        assert!(matches!(err, PlanError::Expr(ExprError::UnresolvedColumn(_))));
+        assert!(matches!(
+            err,
+            PlanError::Expr(ExprError::UnresolvedColumn(_))
+        ));
     }
 
     #[test]
@@ -726,7 +738,9 @@ mod tests {
     fn merge_takes_child_schema() {
         let mut d = dag();
         let a = add_flows(&mut d);
-        let m = d.add_node(LogicalNode::Merge { inputs: vec![a, a] }).unwrap();
+        let m = d
+            .add_node(LogicalNode::Merge { inputs: vec![a, a] })
+            .unwrap();
         assert_eq!(d.schema(m).arity(), d.schema(a).arity());
     }
 }

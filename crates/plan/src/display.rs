@@ -32,7 +32,10 @@ fn render_node(
     out: &mut String,
 ) {
     let indent = "  ".repeat(depth);
-    let name = names.get(&id).map(|n| format!(" [{n}]")).unwrap_or_default();
+    let name = names
+        .get(&id)
+        .map(|n| format!(" [{n}]"))
+        .unwrap_or_default();
     if expanded[id] && !matches!(dag.node(id), LogicalNode::Source { .. }) {
         let _ = writeln!(out, "{indent}(see{name} node {id} above)");
         return;

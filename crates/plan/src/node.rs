@@ -248,7 +248,10 @@ mod tests {
             offset: 1,
         };
         assert_eq!(tj.to_string(), "S1.tb = S2.tb + 1");
-        let tj0 = TemporalJoin { offset: 0, ..tj.clone() };
+        let tj0 = TemporalJoin {
+            offset: 0,
+            ..tj.clone()
+        };
         assert_eq!(tj0.to_string(), "S1.tb = S2.tb");
         let tjn = TemporalJoin { offset: -2, ..tj };
         assert_eq!(tjn.to_string(), "S1.tb = S2.tb - 2");

@@ -136,7 +136,10 @@ mod tests {
             .add_node(LogicalNode::Aggregate {
                 input: flows,
                 predicate: None,
-                group_by: vec![NamedExpr::passthrough("tb"), NamedExpr::passthrough("srcIP")],
+                group_by: vec![
+                    NamedExpr::passthrough("tb"),
+                    NamedExpr::passthrough("srcIP"),
+                ],
                 aggregates: vec![NamedAgg::new(
                     "max_cnt",
                     AggCall::new(AggKind::Max, ScalarExpr::col("cnt")),

@@ -1,10 +1,8 @@
 //! Semantic analysis: lowering parsed SELECTs into plan-DAG nodes.
 
 use qap_expr::{AggCall, AggKind, ColumnRef, ScalarExpr};
+use qap_plan::{JoinType, LogicalNode, NamedAgg, NamedExpr, NodeId, QueryDag, TemporalJoin};
 use qap_types::Catalog;
-use qap_plan::{
-    JoinType, LogicalNode, NamedAgg, NamedExpr, NodeId, QueryDag, TemporalJoin,
-};
 use qap_types::Schema;
 
 use crate::ast::{AstExpr, SelectStmt};
@@ -21,7 +19,11 @@ pub(crate) fn analyze_into(
     let node = match stmt.from.len() {
         1 => analyze_single_source(dag, stmt)?,
         2 => analyze_join(dag, stmt)?,
-        n => return Err(SqlError::Analyze(format!("FROM lists {n} sources; 1 or 2 supported"))),
+        n => {
+            return Err(SqlError::Analyze(format!(
+                "FROM lists {n} sources; 1 or 2 supported"
+            )))
+        }
     };
     if let Some(name) = name {
         dag.name_query(name, node)?;
@@ -65,11 +67,7 @@ fn analyze_select_project(
     input: NodeId,
     stmt: &SelectStmt,
 ) -> SqlResult<NodeId> {
-    let predicate = stmt
-        .where_clause
-        .as_ref()
-        .map(to_scalar)
-        .transpose()?;
+    let predicate = stmt.where_clause.as_ref().map(to_scalar).transpose()?;
     let mut names = NameDeduper::default();
     let projections = stmt
         .items
@@ -96,11 +94,7 @@ fn analyze_aggregation(dag: &mut QueryDag, input: NodeId, stmt: &SelectStmt) -> 
                 .into(),
         ));
     }
-    let predicate = stmt
-        .where_clause
-        .as_ref()
-        .map(to_scalar)
-        .transpose()?;
+    let predicate = stmt.where_clause.as_ref().map(to_scalar).transpose()?;
 
     // Group-by entries, named by alias / bare column / synthesized.
     let mut group_by: Vec<NamedExpr> = Vec::with_capacity(stmt.group_by.len());
@@ -255,7 +249,9 @@ fn make_agg_call(catalog: &Catalog, name: &str, arg: Option<&AstExpr>) -> SqlRes
                 if kind == AggKind::Count {
                     Ok(AggCall::count_star())
                 } else {
-                    Err(SqlError::Analyze(format!("{name}(*) is only valid for COUNT")))
+                    Err(SqlError::Analyze(format!(
+                        "{name}(*) is only valid for COUNT"
+                    )))
                 }
             }
             Some(a) => Ok(AggCall::new(kind, to_scalar(a)?)),
@@ -263,9 +259,8 @@ fn make_agg_call(catalog: &Catalog, name: &str, arg: Option<&AstExpr>) -> SqlRes
     }
     // Not a built-in: resolve against the catalog's UDAF registry.
     if catalog.udafs().get(name).is_some() {
-        let a = arg.ok_or_else(|| {
-            SqlError::Analyze(format!("{name}(*) is only valid for COUNT"))
-        })?;
+        let a =
+            arg.ok_or_else(|| SqlError::Analyze(format!("{name}(*) is only valid for COUNT")))?;
         return Ok(AggCall::udaf(name, to_scalar(a)?));
     }
     Err(SqlError::Analyze(format!(
@@ -321,8 +316,7 @@ fn analyze_join(dag: &mut QueryDag, stmt: &SelectStmt) -> SqlResult<NodeId> {
 
     let where_expr = stmt.where_clause.as_ref().ok_or_else(|| {
         SqlError::Analyze(
-            "join requires a WHERE clause with a temporal equality predicate (Section 3.1)"
-                .into(),
+            "join requires a WHERE clause with a temporal equality predicate (Section 3.1)".into(),
         )
     })?;
     let mut temporal: Option<TemporalJoin> = None;

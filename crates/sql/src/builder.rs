@@ -166,9 +166,7 @@ mod tests {
         let fp = dag.query_node("flow_pairs").unwrap();
         assert_eq!(dag.roots(), vec![fp]);
         match dag.node(fp) {
-            LogicalNode::Join {
-                temporal, equi, ..
-            } => {
+            LogicalNode::Join { temporal, equi, .. } => {
                 assert_eq!(temporal.offset, 1);
                 assert_eq!(temporal.left.to_string(), "S1.tb");
                 assert_eq!(equi.len(), 1);
@@ -327,9 +325,7 @@ mod tests {
             .unwrap();
         let dag = b.build();
         match dag.node(id) {
-            LogicalNode::Join {
-                temporal, equi, ..
-            } => {
+            LogicalNode::Join { temporal, equi, .. } => {
                 assert_eq!(temporal.offset, 0);
                 assert_eq!(equi.len(), 2);
             }
@@ -382,7 +378,9 @@ mod tests {
     fn bad_stream_definition_rejected() {
         let mut b = QuerySetBuilder::new(Catalog::new());
         assert!(b.parse_script("STREAM S(t weird);").is_err());
-        assert!(b.parse_script("STREAM TCP2(t increasing, t uint);").is_err());
+        assert!(b
+            .parse_script("STREAM TCP2(t increasing, t uint);")
+            .is_err());
     }
 
     #[test]

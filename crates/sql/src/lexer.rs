@@ -105,7 +105,11 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
             continue;
         }
         // Multi-char operators first.
-        let two = if i + 1 < bytes.len() { &input[i..i + 2] } else { "" };
+        let two = if i + 1 < bytes.len() {
+            &input[i..i + 2]
+        } else {
+            ""
+        };
         let sym: &'static str = match two {
             "<>" => "<>",
             "!=" => "<>",
@@ -225,7 +229,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -511,7 +511,9 @@ mod tests {
         .unwrap();
         assert_eq!(stmt.items.len(), 4);
         assert_eq!(stmt.items[3].alias.as_deref(), Some("cnt"));
-        assert!(matches!(stmt.items[3].expr, AstExpr::Agg { ref name, arg: None } if name == "COUNT"));
+        assert!(
+            matches!(stmt.items[3].expr, AstExpr::Agg { ref name, arg: None } if name == "COUNT")
+        );
         assert_eq!(stmt.from.len(), 1);
         assert_eq!(stmt.group_by.len(), 3);
         assert_eq!(stmt.group_by[0].alias.as_deref(), Some("tb"));
@@ -550,8 +552,14 @@ mod tests {
                 "SELECT a FROM X LEFT OUTER JOIN Y WHERE X.t = Y.t",
                 JoinType::LeftOuter,
             ),
-            ("SELECT a FROM X FULL JOIN Y WHERE X.t = Y.t", JoinType::FullOuter),
-            ("SELECT a FROM X RIGHT JOIN Y WHERE X.t = Y.t", JoinType::RightOuter),
+            (
+                "SELECT a FROM X FULL JOIN Y WHERE X.t = Y.t",
+                JoinType::FullOuter,
+            ),
+            (
+                "SELECT a FROM X RIGHT JOIN Y WHERE X.t = Y.t",
+                JoinType::RightOuter,
+            ),
         ] {
             let stmt = parse_select(sql).unwrap();
             assert_eq!(stmt.join.unwrap().join_type, jt, "{sql}");
@@ -563,8 +571,16 @@ mod tests {
         // srcIP & 0xFFF0 = 16 must parse as (srcIP & 0xFFF0) = 16.
         let stmt = parse_select("SELECT a FROM T WHERE srcIP & 0xFFF0 = 16").unwrap();
         match stmt.where_clause.unwrap() {
-            AstExpr::Binary { op: BinOp::Eq, lhs, .. } => {
-                assert!(matches!(*lhs, AstExpr::Binary { op: BinOp::BitAnd, .. }));
+            AstExpr::Binary {
+                op: BinOp::Eq, lhs, ..
+            } => {
+                assert!(matches!(
+                    *lhs,
+                    AstExpr::Binary {
+                        op: BinOp::BitAnd,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected parse: {other:?}"),
         }
@@ -574,7 +590,9 @@ mod tests {
     fn precedence_div_binds_tighter_than_add() {
         let stmt = parse_select("SELECT a FROM T WHERE x = t/60 + 1").unwrap();
         match stmt.where_clause.unwrap() {
-            AstExpr::Binary { op: BinOp::Eq, rhs, .. } => {
+            AstExpr::Binary {
+                op: BinOp::Eq, rhs, ..
+            } => {
                 assert!(matches!(*rhs, AstExpr::Binary { op: BinOp::Add, .. }));
             }
             other => panic!("unexpected parse: {other:?}"),
@@ -583,8 +601,8 @@ mod tests {
 
     #[test]
     fn parenthesized_grouping() {
-        let stmt = parse_select("SELECT (time/60)/2 as t2 FROM TCP GROUP BY (time/60)/2 as t2")
-            .unwrap();
+        let stmt =
+            parse_select("SELECT (time/60)/2 as t2 FROM TCP GROUP BY (time/60)/2 as t2").unwrap();
         assert_eq!(stmt.items[0].alias.as_deref(), Some("t2"));
     }
 

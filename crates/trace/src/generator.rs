@@ -328,6 +328,9 @@ mod tests {
             *per_flow.entry(key).or_insert(0) += 1;
         }
         let max = *per_flow.values().max().unwrap();
-        assert!(max >= 20, "heavy tail should yield some large flows, max={max}");
+        assert!(
+            max >= 20,
+            "heavy tail should yield some large flows, max={max}"
+        );
     }
 }

@@ -77,7 +77,11 @@ impl Field {
     }
 
     /// Creates a field with an ordering declaration.
-    pub fn temporal(name: impl Into<String>, data_type: DataType, temporality: Temporality) -> Self {
+    pub fn temporal(
+        name: impl Into<String>,
+        data_type: DataType,
+        temporality: Temporality,
+    ) -> Self {
         Field {
             name: name.into(),
             data_type,
@@ -235,7 +239,10 @@ mod tests {
     fn duplicate_fields_rejected() {
         let err = Schema::new(
             "S",
-            vec![Field::new("a", DataType::UInt), Field::new("A", DataType::Int)],
+            vec![
+                Field::new("a", DataType::UInt),
+                Field::new("A", DataType::Int),
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, TypeError::DuplicateField { .. }));

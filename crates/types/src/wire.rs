@@ -50,13 +50,12 @@ pub fn encode_tuple(tuple: &Tuple) -> Bytes {
 pub fn encoded_len(tuple: &Tuple) -> usize {
     let mut n = 2;
     for v in tuple.values() {
-        n += 1
-            + match v {
-                Value::Null => 0,
-                Value::UInt(_) | Value::Int(_) => 8,
-                Value::Bool(_) => 1,
-                Value::Str(s) => 4 + s.len(),
-            };
+        n += 1 + match v {
+            Value::Null => 0,
+            Value::UInt(_) | Value::Int(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => 4 + s.len(),
+        };
     }
     n
 }
@@ -102,7 +101,8 @@ pub fn decode_tuple(mut buf: Bytes) -> TypeResult<Tuple> {
                     return Err(TypeError::Corrupt("truncated string body"));
                 }
                 let raw = buf.copy_to_bytes(len);
-                let s = std::str::from_utf8(&raw).map_err(|_| TypeError::Corrupt("invalid utf-8"))?;
+                let s =
+                    std::str::from_utf8(&raw).map_err(|_| TypeError::Corrupt("invalid utf-8"))?;
                 Value::from(s)
             }
             _ => return Err(TypeError::Corrupt("unknown value tag")),

@@ -46,7 +46,10 @@ fn main() {
     let points = run_series(scenario, &trace, 4, &sim).expect("series runs");
 
     println!("CPU load on aggregator node (Figure 8):");
-    println!("{:<28} {:>7} {:>7} {:>7} {:>7}", "config", "1", "2", "3", "4");
+    println!(
+        "{:<28} {:>7} {:>7} {:>7} {:>7}",
+        "config", "1", "2", "3", "4"
+    );
     for &config in scenario.configs() {
         let row: Vec<String> = points
             .iter()

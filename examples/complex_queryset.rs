@@ -13,7 +13,10 @@ fn main() {
     let dag = scenario.dag();
 
     // Figure 1: the logical plan.
-    println!("=== Figure 1: sample query execution plan ===\n{}", render_dag(&dag));
+    println!(
+        "=== Figure 1: sample query execution plan ===\n{}",
+        render_dag(&dag)
+    );
 
     // The analyzer works through the Section 3.2 reasoning: flows wants
     // (srcIP, destIP); heavy_flows and flow_pairs want (srcIP); the

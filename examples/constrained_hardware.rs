@@ -59,7 +59,10 @@ fn main() {
     let optimal_run = run_distributed(&optimal_plan, &trace, &sim).expect("runs");
 
     println!("Aggregator network load (tuples/s), {hosts} hosts:");
-    println!("  round-robin (naive)     {:8.0}", naive_run.metrics.aggregator_rx_tps);
+    println!(
+        "  round-robin (naive)     {:8.0}",
+        naive_run.metrics.aggregator_rx_tps
+    );
     println!(
         "  destIP (constrained)    {:8.0}",
         constrained_run.metrics.aggregator_rx_tps

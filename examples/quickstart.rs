@@ -33,7 +33,11 @@ fn main() {
     let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
     println!("Per-node compatible sets:");
     for id in dag.topo_order() {
-        println!("  node {id} ({}): {}", dag.node(id).label(), analysis.per_node[id]);
+        println!(
+            "  node {id} ({}): {}",
+            dag.node(id).label(),
+            analysis.per_node[id]
+        );
     }
     println!(
         "Recommended partitioning: {}  (max network cost {:.0} B/s, {} candidates examined)\n",

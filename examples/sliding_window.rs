@@ -57,7 +57,10 @@ fn main() {
     }
     windows.extend(slider.finish());
 
-    println!("Sliding windows produced: {} rows; top talkers per window start:", windows.len());
+    println!(
+        "Sliding windows produced: {} rows; top talkers per window start:",
+        windows.len()
+    );
     let mut best: std::collections::BTreeMap<i64, (u64, u64)> = Default::default();
     for w in &windows {
         let start = w.get(0).as_i64().unwrap();
@@ -69,6 +72,9 @@ fn main() {
         }
     }
     for (start, (src, bytes)) in best {
-        println!("  window [{start}, {}): host {src} with {bytes} bytes", start + 3);
+        println!(
+            "  window [{start}, {}): host {src} with {bytes} bytes",
+            start + 3
+        );
     }
 }

@@ -39,8 +39,7 @@ fn analyzer_recommendation_beats_round_robin_everywhere() {
     let sim = SimConfig::default();
     for scenario in [Scenario::SimpleAgg, Scenario::Complex] {
         let dag = scenario.dag();
-        let analysis =
-            choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
+        let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
         assert!(!analysis.recommended.is_empty(), "{scenario:?}");
         let hosts = 4;
         let recommended = run_distributed(
@@ -98,8 +97,18 @@ fn figure_10_11_shape_query_set() {
     let sub = by("Partitioned (suboptimal)");
     let opt = by("Partitioned (optimal)");
     // At 4 hosts: naive > suboptimal > optimal (Figure 10's ordering).
-    assert!(naive[3] > sub[3], "naive {} vs suboptimal {}", naive[3], sub[3]);
-    assert!(sub[3] > opt[3], "suboptimal {} vs optimal {}", sub[3], opt[3]);
+    assert!(
+        naive[3] > sub[3],
+        "naive {} vs suboptimal {}",
+        naive[3],
+        sub[3]
+    );
+    assert!(
+        sub[3] > opt[3],
+        "suboptimal {} vs optimal {}",
+        sub[3],
+        opt[3]
+    );
 
     let net = |config: &str| -> Vec<f64> {
         points
@@ -197,10 +206,7 @@ fn plan_partitioning_cannot_shed_the_heavy_operator() {
 
     let max_load = |plan: &DistributedPlan| -> f64 {
         let r = run_distributed(plan, &trace, &sim).unwrap();
-        r.metrics
-            .work
-            .iter()
-            .fold(0.0f64, |a, &b| a.max(b))
+        r.metrics.work.iter().fold(0.0f64, |a, &b| a.max(b))
     };
 
     let centralized = max_load(&plan_partitioning(&dag, 1, PlacementStrategy::RoundRobin).unwrap());
@@ -250,8 +256,7 @@ fn measured_stats_agree_with_defaults_on_recommendation() {
     let trace = small_trace(9);
     let measured = measure_stats(&dag, &trace).unwrap();
     let with_measured = choose_partitioning(&dag, &measured, &CostModel::default());
-    let with_defaults =
-        choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
+    let with_defaults = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
     assert_eq!(with_measured.recommended, with_defaults.recommended);
 }
 

@@ -72,7 +72,10 @@ fn assert_equivalent(
     }
 }
 
-fn all_deployments(compatible_set: PartitionSet, hosts: usize) -> Vec<(Partitioning, OptimizerConfig)> {
+fn all_deployments(
+    compatible_set: PartitionSet,
+    hosts: usize,
+) -> Vec<(Partitioning, OptimizerConfig)> {
     vec![
         (Partitioning::round_robin(hosts), OptimizerConfig::naive()),
         (Partitioning::round_robin(hosts), OptimizerConfig::full()),
@@ -333,6 +336,159 @@ fn stream_union_equivalent() {
             .1
             .clone();
         assert_eq!(&sorted(rows), ref_rows, "{:?}", part.strategy);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched vs tuple-at-a-time execution. The batched dataflow core must
+// be invisible: identical sink outputs AND identical per-node
+// OpCounters at every batch size, so every figure series derived from
+// the counters is independent of the batching knob.
+// ---------------------------------------------------------------------
+
+/// The Section 3.2 query set: aggregation, super-aggregation, and the
+/// epoch-offset self-join.
+fn section_3_2_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        ),
+        (
+            "heavy_flows",
+            "SELECT tb, srcIP, MAX(cnt) as max_cnt FROM flows GROUP BY tb, srcIP",
+        ),
+        (
+            "flow_pairs",
+            "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt \
+             FROM heavy_flows S1, heavy_flows S2 \
+             WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1",
+        ),
+    ]
+}
+
+fn build_dag(queries: &[(&str, &str)]) -> QueryDag {
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    for (name, sql) in queries {
+        b.add_query(name, sql).unwrap();
+    }
+    b.build()
+}
+
+/// Single-source logical plans are *bit-identical* (same rows, same
+/// order) at every batch size — batching never reorders a plan without
+/// a merge of independently-progressing inputs.
+#[test]
+fn logical_plan_bit_identical_across_batch_sizes() {
+    let dag = build_dag(&section_3_2_queries());
+    let trace = generate(&TraceConfig::tiny(47));
+    let per_tuple = run_logical_with(&dag, trace.clone(), BatchConfig::per_tuple()).unwrap();
+    for batch in [2usize, 7, 64, 1024, 1 << 20] {
+        let batched = run_logical_with(&dag, trace.clone(), BatchConfig::new(batch)).unwrap();
+        assert_eq!(per_tuple, batched, "batch size {batch} diverged");
+    }
+}
+
+/// Distributed plans (RR and hash, simulator runner) produce the same
+/// result multisets and the exact same per-node OpCounters at every
+/// batch size.
+#[test]
+fn distributed_counters_and_outputs_batch_invariant() {
+    let dag = build_dag(&section_3_2_queries());
+    let trace = generate(&TraceConfig::tiny(53));
+    for (part, cfg) in [
+        (Partitioning::round_robin(3), OptimizerConfig::naive()),
+        (Partitioning::round_robin(4), OptimizerConfig::full()),
+        (
+            Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 3),
+            OptimizerConfig::full(),
+        ),
+        (
+            Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), 2),
+            OptimizerConfig::full(),
+        ),
+    ] {
+        let plan = optimize(&dag, &part, &cfg).unwrap();
+        let base_cfg = SimConfig {
+            batch: BatchConfig::per_tuple(),
+            ..SimConfig::default()
+        };
+        let base = run_distributed(&plan, &trace, &base_cfg).unwrap();
+        for batch in [3usize, 256, 4096] {
+            let sim_cfg = SimConfig {
+                batch: BatchConfig::new(batch),
+                ..SimConfig::default()
+            };
+            let run = run_distributed(&plan, &trace, &sim_cfg).unwrap();
+            assert_eq!(
+                base.counters, run.counters,
+                "{:?}: per-node counters diverged at batch {batch}",
+                part.strategy
+            );
+            assert_eq!(
+                base.metrics.aggregator_rx_tuples, run.metrics.aggregator_rx_tuples,
+                "{:?}: accounted network traffic diverged at batch {batch}",
+                part.strategy
+            );
+            for ((name, rows), (bname, brows)) in base.outputs.iter().zip(run.outputs.iter()) {
+                assert_eq!(name, bname);
+                assert_eq!(
+                    sorted(rows.clone()),
+                    sorted(brows.clone()),
+                    "{:?}: output {name} diverged at batch {batch}",
+                    part.strategy
+                );
+            }
+        }
+    }
+}
+
+/// The threaded runner agrees with the per-tuple simulator under
+/// batching too — counters included, despite host engines running
+/// concurrently on moved batches.
+#[test]
+fn threaded_batched_matches_per_tuple_simulator() {
+    let dag = build_dag(&section_3_2_queries());
+    let trace = generate(&TraceConfig::tiny(59));
+    let plan = optimize(
+        &dag,
+        &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 3),
+        &OptimizerConfig::full(),
+    )
+    .unwrap();
+    let reference = run_distributed(
+        &plan,
+        &trace,
+        &SimConfig {
+            batch: BatchConfig::per_tuple(),
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    for batch in [1usize, 128] {
+        let threaded = run_distributed_threaded(
+            &plan,
+            &trace,
+            &SimConfig {
+                batch: BatchConfig::new(batch),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            reference.counters, threaded.counters,
+            "threaded counters diverged at batch {batch}"
+        );
+        for ((name, rows), (tname, trows)) in reference.outputs.iter().zip(threaded.outputs.iter())
+        {
+            assert_eq!(name, tname);
+            assert_eq!(
+                sorted(rows.clone()),
+                sorted(trows.clone()),
+                "threaded output {name} diverged at batch {batch}"
+            );
+        }
     }
 }
 

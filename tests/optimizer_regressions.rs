@@ -8,7 +8,9 @@ fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
     rows.sort_by(|a, b| {
         for (x, y) in a.values().iter().zip(b.values()) {
             let ord = x.total_cmp(y);
-            if !ord.is_eq() { return ord; }
+            if !ord.is_eq() {
+                return ord;
+            }
         }
         std::cmp::Ordering::Equal
     });
@@ -21,13 +23,21 @@ fn check(sql: &str, seed: u64) {
     let dag = b.build();
     let trace = generate(&TraceConfig::tiny(seed));
     let reference: Vec<(usize, Vec<Tuple>)> = run_logical(&dag, trace.clone())
-        .unwrap().into_iter().map(|(id, rows)| (id, sorted(rows))).collect();
+        .unwrap()
+        .into_iter()
+        .map(|(id, rows)| (id, sorted(rows)))
+        .collect();
     for cfg in [OptimizerConfig::full(), OptimizerConfig::naive()] {
         let part = Partitioning::round_robin(3);
         let plan = optimize(&dag, &part, &cfg).unwrap();
         let result = run_distributed(&plan, &trace, &SimConfig::default()).unwrap();
         let (_, rows) = &result.outputs[0];
-        assert_eq!(&sorted(rows.clone()), &reference[0].1, "diverged: {sql} / {:?}", cfg.partial_agg_scope);
+        assert_eq!(
+            &sorted(rows.clone()),
+            &reference[0].1,
+            "diverged: {sql} / {:?}",
+            cfg.partial_agg_scope
+        );
     }
 }
 
@@ -43,7 +53,10 @@ fn having_hidden_agg_split() {
 
 #[test]
 fn where_pushdown_split() {
-    check("SELECT tb, srcIP, SUM(len) as s FROM TCP WHERE len > 100 GROUP BY time/60 as tb, srcIP", 13);
+    check(
+        "SELECT tb, srcIP, SUM(len) as s FROM TCP WHERE len > 100 GROUP BY time/60 as tb, srcIP",
+        13,
+    );
 }
 
 #[test]
@@ -131,5 +144,8 @@ fn null_padded_outer_join_rows_survive_downstream_aggregation() {
     let counted: u64 = per_epoch.iter().map(|t| t.get(1).as_u64().unwrap()).sum();
     assert_eq!(counted, 5);
     // And the NULL group itself is present.
-    assert!(per_epoch.iter().any(|t| t.get(0).is_null()), "{per_epoch:?}");
+    assert!(
+        per_epoch.iter().any(|t| t.get(0).is_null()),
+        "{per_epoch:?}"
+    );
 }

@@ -196,7 +196,10 @@ fn subset_compatibility_rules() {
                     .cloned(),
             );
             if !subset.is_empty() {
-                assert!(compat.allows(&subset), "node {node} rejects subset {subset}");
+                assert!(
+                    compat.allows(&subset),
+                    "node {node} rejects subset {subset}"
+                );
             }
         }
     }

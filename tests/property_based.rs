@@ -185,8 +185,7 @@ fn arb_scalar_expr() -> impl Strategy<Value = ScalarExpr> {
             Just(BinOp::Or),
         ];
         prop_oneof![
-            (inner.clone(), op, inner.clone())
-                .prop_map(|(l, op, r)| l.binary(op, r)),
+            (inner.clone(), op, inner.clone()).prop_map(|(l, op, r)| l.binary(op, r)),
             inner.clone().prop_map(|e| ScalarExpr::Unary {
                 op: UnOp::Neg,
                 expr: Box::new(e),
@@ -363,5 +362,90 @@ proptest! {
         reference.sort_by_key(key);
         rows.sort_by_key(key);
         prop_assert_eq!(rows, reference);
+    }
+}
+
+// ---------------------------------------------------------------------
+// batched == tuple-at-a-time, randomized
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batching is invisible at any batch size: a single-source logical
+    /// plan (aggregation stack + epoch-offset self-join) is
+    /// *bit-identical* to the per-tuple run, and a distributed plan
+    /// keeps the exact per-node OpCounters and result multiset.
+    #[test]
+    fn batched_execution_equals_per_tuple(
+        seed in 0u64..1000,
+        batch in 1usize..5000,
+        hosts in 1usize..5,
+        use_hash in any::<bool>()
+    ) {
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        )
+        .unwrap();
+        b.add_query(
+            "heavy_flows",
+            "SELECT tb, srcIP, MAX(cnt) as max_cnt FROM flows GROUP BY tb, srcIP",
+        )
+        .unwrap();
+        b.add_query(
+            "flow_pairs",
+            "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt \
+             FROM heavy_flows S1, heavy_flows S2 \
+             WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1",
+        )
+        .unwrap();
+        let dag = b.build();
+        let trace = generate(&TraceConfig {
+            seed,
+            epochs: 2,
+            flows_per_epoch: 40,
+            hosts: 20,
+            ..TraceConfig::default()
+        });
+
+        // Logical plan: bit-identical, order included.
+        let per_tuple =
+            run_logical_with(&dag, trace.clone(), BatchConfig::per_tuple()).unwrap();
+        let batched =
+            run_logical_with(&dag, trace.clone(), BatchConfig::new(batch)).unwrap();
+        prop_assert_eq!(&per_tuple, &batched, "logical diverged at batch {}", batch);
+
+        // Distributed plan: identical counters, identical multisets.
+        let partitioning = if use_hash {
+            Partitioning::hash(PartitionSet::from_columns(["srcIP"]), hosts)
+        } else {
+            Partitioning::round_robin(hosts)
+        };
+        let plan = optimize(&dag, &partitioning, &OptimizerConfig::full()).unwrap();
+        let base = run_distributed(
+            &plan,
+            &trace,
+            &SimConfig { batch: BatchConfig::per_tuple(), ..SimConfig::default() },
+        )
+        .unwrap();
+        let run = run_distributed(
+            &plan,
+            &trace,
+            &SimConfig { batch: BatchConfig::new(batch), ..SimConfig::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(&base.counters, &run.counters, "counters diverged at batch {}", batch);
+        let key = |t: &Tuple| format!("{t}");
+        for ((name, rows), (bname, brows)) in base.outputs.iter().zip(run.outputs.iter()) {
+            prop_assert_eq!(name, bname);
+            let mut a = rows.clone();
+            let mut c = brows.clone();
+            a.sort_by_key(key);
+            c.sort_by_key(key);
+            prop_assert_eq!(a, c, "output {} diverged at batch {}", name, batch);
+        }
     }
 }

@@ -64,7 +64,9 @@ fn lossy_splitter_degrades_gracefully() {
     let lossy = run_logical(&dag, lossy_trace).unwrap().remove(0).1;
     assert!(lossy.len() <= lossless.len());
     let keys = |rows: &[Tuple]| -> std::collections::HashSet<String> {
-        rows.iter().map(|t| format!("{}|{}|{}", t.get(0), t.get(1), t.get(2))).collect()
+        rows.iter()
+            .map(|t| format!("{}|{}|{}", t.get(0), t.get(1), t.get(2)))
+            .collect()
     };
     assert!(keys(&lossy).is_subset(&keys(&lossless)));
 }
@@ -120,8 +122,14 @@ fn empty_trace_produces_empty_outputs() {
 #[test]
 fn single_packet_trace() {
     let trace = vec![pkt(0, 1, 2, 64)];
-    let result = run_point(Scenario::Complex, "Partitioned (full)", 2, &trace, &SimConfig::default())
-        .unwrap();
+    let result = run_point(
+        Scenario::Complex,
+        "Partitioned (full)",
+        2,
+        &trace,
+        &SimConfig::default(),
+    )
+    .unwrap();
     // flows emits 1 row; heavy_flows 1; flow_pairs needs two epochs → 0.
     assert!(result.outputs[0].1.is_empty());
     assert_eq!(result.metrics.late_dropped, 0);
@@ -175,12 +183,7 @@ fn multi_stream_join_across_tcp_and_pkt() {
         &SimConfig::default(),
     )
     .unwrap();
-    let rows = &result
-        .outputs
-        .iter()
-        .find(|(n, _)| n == "both")
-        .unwrap()
-        .1;
+    let rows = &result.outputs.iter().find(|(n, _)| n == "both").unwrap().1;
     // 2 epochs × sources {1, 2} present on both streams = 4 rows.
     assert_eq!(rows.len(), 4);
     for row in rows.iter() {

@@ -7,7 +7,8 @@ fn load(name: &str) -> QueryDag {
     let path = format!("{}/../../scripts/{name}", env!("CARGO_MANIFEST_DIR"));
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
     let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
-    b.parse_script(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    b.parse_script(&text)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
     b.build()
 }
 

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the `bytes` API the tuple wire codec uses:
+//! a cheaply cloneable, sliceable [`Bytes`] buffer, a growable
+//! [`BytesMut`] builder, and the [`Buf`]/[`BufMut`] traits carrying the
+//! big-endian cursor accessors. Semantics (big-endian integer encoding,
+//! `freeze`, zero-copy `slice`/`copy_to_bytes`) match the real crate for
+//! this subset.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, read-only slice of memory.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a sub-view sharing the same backing allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let finish = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            begin <= finish && finish <= self.len(),
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + finish,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn read_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.as_slice()[..N]);
+        self.start += N;
+        out
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+/// Read cursor over a byte buffer; integer accessors are big-endian.
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u16` and advances.
+    fn get_u16(&mut self) -> u16;
+
+    /// Reads a big-endian `u32` and advances.
+    fn get_u32(&mut self) -> u32;
+
+    /// Reads a big-endian `u64` and advances.
+    fn get_u64(&mut self) -> u64;
+
+    /// Reads a big-endian `i64` and advances.
+    fn get_i64(&mut self) -> i64;
+
+    /// Consumes `len` bytes, returning them as a new [`Bytes`] view.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        u8::from_be_bytes(self.read_array::<1>())
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.read_array::<2>())
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.read_array::<4>())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.read_array::<8>())
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.read_array::<8>())
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "copy_to_bytes out of bounds");
+        let out = self.slice(0..len);
+        self.start += len;
+        out
+    }
+}
+
+/// Write cursor appending to a byte buffer; integer writers are
+/// big-endian.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with space for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u16(0x0102);
+        b.put_u8(7);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(u64::MAX - 1);
+        b.put_i64(i64::MIN);
+        b.put_slice(b"xyz");
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 2 + 1 + 4 + 8 + 8 + 3);
+        assert_eq!(bytes.get_u16(), 0x0102);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64(), u64::MAX - 1);
+        assert_eq!(bytes.get_i64(), i64::MIN);
+        let tail = bytes.copy_to_bytes(3);
+        assert_eq!(&tail[..], b"xyz");
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let bytes = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let mid = bytes.slice(1..4);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let again = mid.slice(1..2);
+        assert_eq!(&again[..], &[3]);
+        assert_eq!(bytes.len(), 5);
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for the `crossbeam` facade.
+//!
+//! Only the `channel` module is provided, delegating to
+//! `std::sync::mpsc`. Semantics the cluster runner relies on hold
+//! unchanged: unbounded buffering, cloneable senders, and `recv`
+//! returning an error once every sender is dropped and the buffer is
+//! drained.
+
+pub mod channel {
+    //! Multi-producer channels (subset of `crossbeam-channel`).
+
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed
+    /// and empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails only if the receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; errs when the channel is closed
+        /// and drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive of an already-buffered message.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.inner.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_then_close() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || tx.send(1).unwrap());
+                s.spawn(move || tx2.send(2).unwrap());
+                let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+                got.sort_unstable();
+                assert_eq!(got, vec![1, 2]);
+                assert_eq!(rx.recv(), Err(RecvError));
+            });
+        }
+    }
+}

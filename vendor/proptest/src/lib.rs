@@ -1,0 +1,451 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy-combinator subset the test suite uses —
+//! ranges, `Just`, tuples, `prop_map`, `prop_oneof!`, `prop_recursive`,
+//! `collection::vec`, `any::<bool>()` — plus the `proptest!` macro with
+//! per-test deterministic seeding. Unlike the real crate there is **no
+//! shrinking**: a failing case reports the assertion with its sampled
+//! inputs (strategies are `Debug`-free, so tests should format inputs in
+//! their assertion messages, which the in-tree suites already do).
+//! Sampling is deterministic per (test name, case index), so failures
+//! reproduce exactly across runs.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The RNG handed to [`Strategy::sample`].
+pub type TestRng = StdRng;
+
+/// A generator of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one random value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and
+    /// `recurse` wraps an inner strategy into a deeper one. `depth`
+    /// bounds the recursion; the size/branch hints are accepted for API
+    /// compatibility and ignored by this sampler.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            leaf: self.boxed(),
+            recurse: Arc::new(move |inner| recurse(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erases the strategy behind a cheaply cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe view of a strategy, used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased, cloneable strategy handle.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// Uniform choice between alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given (non-empty) arms.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    #[allow(clippy::type_complexity)]
+    recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let levels = rng.random_range(0..=self.depth as usize);
+        let mut strat = self.leaf.clone();
+        for _ in 0..levels {
+            strat = (self.recurse)(strat);
+        }
+        strat.sample(rng)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Clone,
+    Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rand::SampleRange::sample(self.clone(), rng)
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Clone,
+    RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rand::SampleRange::sample(self.clone(), rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(Strategy::sample(&self.$idx, rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0.0);
+impl_tuple_strategy!(S0.0, S1.1);
+impl_tuple_strategy!(S0.0, S1.1, S2.2);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a random length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.random_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Uniform `true`/`false`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.random()
+        }
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = crate::bool::Any;
+
+    fn arbitrary() -> Self::Strategy {
+        crate::bool::ANY
+    }
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Per-run configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// FNV-1a hash of a test path, keeping case streams deterministic and
+/// distinct per test.
+pub fn test_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic RNG for one test case.
+pub fn new_rng(seed: u64) -> TestRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` deterministic random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __strats = ($($strat,)+);
+            let __seed = $crate::test_seed(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::new_rng(
+                    __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let ($($arg,)+) = $crate::Strategy::sample(&__strats, &mut __rng);
+                $body
+            }
+        }
+    )*};
+}
+
+/// Assertion inside `proptest!` (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+pub mod prelude {
+    //! Everything a test file normally imports.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(a in 1u64..10, b in 0usize..3, flag in any::<bool>()) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b < 3);
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u64..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1u64), (10u64..20).prop_map(|v| v * 2)]) {
+            prop_assert!(x == 1 || (20..40).contains(&x));
+        }
+
+        #[test]
+        fn recursive_respects_depth(
+            t in Just(Tree::Leaf(0))
+                .prop_map(|_| Tree::Leaf(7))
+                .prop_recursive(3, 16, 2, |inner| {
+                    (inner.clone(), inner)
+                        .prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+                })
+        ) {
+            prop_assert!(depth(&t) <= 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let s = (0u64..1_000_000, crate::bool::ANY);
+        let mut a = crate::new_rng(crate::test_seed("x") ^ 5);
+        let mut b = crate::new_rng(crate::test_seed("x") ^ 5);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Provides just enough surface for `use serde::{Deserialize, Serialize}`
+//! plus `#[derive(Serialize, Deserialize)]` to compile: marker traits in
+//! the type namespace and the no-op derive macros re-exported in the
+//! macro namespace (the two namespaces coexist, exactly like the real
+//! crate's facade). No serialization machinery is provided — nothing
+//! in-tree performs serde serialization yet.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

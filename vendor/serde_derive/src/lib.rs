@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types so downstream consumers *can* plug in a real serde, but nothing
+//! in-tree serializes through serde today. The build environment has no
+//! network registry, so these derives expand to nothing: the attribute
+//! positions stay valid and the code keeps compiling, without pulling in
+//! `syn`/`quote`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
