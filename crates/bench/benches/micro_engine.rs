@@ -114,6 +114,43 @@ fn bench_batch_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Metrics accounting on vs off over the Section 6.1 simple-aggregation
+/// query — the throughput-cost measurement behind the observability
+/// layer's ≤5% budget (also asserted by `tests/metrics_overhead.rs`).
+/// Both variants drive the engine identically; only
+/// `set_metrics_enabled` differs.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let trace = small_trace();
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.add_query(
+        "flows",
+        "SELECT tb, srcIP, destIP, COUNT(*) as cnt, SUM(len) as bytes FROM TCP \
+         GROUP BY time/60 as tb, srcIP, destIP",
+    )
+    .expect("parses");
+    let dag = b.build();
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, on) in [("metrics_on", true), ("metrics_off", false)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || trace.clone(),
+                |input| {
+                    let mut engine = Engine::new(&dag).expect("engine builds");
+                    engine.set_metrics_enabled(on);
+                    let source = engine.source_nodes()[0];
+                    let mut input = input;
+                    engine.push_batch(source, &mut input).expect("push");
+                    engine.finish().expect("finish");
+                    engine.counters().len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn bench_trace_generation(c: &mut Criterion) {
     let cfg = TraceConfig {
         epochs: 2,
@@ -130,6 +167,7 @@ criterion_group!(
     bench_join,
     bench_selection,
     bench_batch_sweep,
+    bench_metrics_overhead,
     bench_trace_generation
 );
 criterion_main!(benches);

@@ -130,4 +130,48 @@ fn main() {
             "batch {batch:>5}: {ns_per_tuple:6.1} ns/tuple  {mtps:6.2} Mtuples/s  ({speedup:4.2}x vs batch 1)"
         );
     }
+
+    // Per-operator telemetry behind the sweep numbers: does the batch
+    // size survive the splitter fan-out (occupancy), where does
+    // aggregation time go (flush latency, group-table probes), and how
+    // deep does the cross-host boundary queue run?
+    println!();
+    println!("operator telemetry (simulator, batch 1024):");
+    let sim = SimConfig {
+        batch: BatchConfig::new(1024),
+        ..SimConfig::default()
+    };
+    let result = run_distributed(&plan, &trace, &sim).expect("runs");
+    for id in plan.dag.topo_order() {
+        let m = &result.node_metrics[id];
+        if m.tuples_in == 0 && m.tuples_out == 0 {
+            continue;
+        }
+        let kind = qap::cluster::op_kind(plan.dag.node(id));
+        print!(
+            "  node {id:>2} {kind:<9} host {h}: {tin:>6} in / {tout:>6} out, \
+             {b} batches (mean occupancy {occ:.0}, max {max})",
+            h = plan.host[id],
+            tin = m.tuples_in,
+            tout = m.tuples_out,
+            b = m.batch_occupancy.count(),
+            occ = m.batch_occupancy.mean(),
+            max = m.batch_occupancy.max(),
+        );
+        if m.flushes > 0 {
+            print!(
+                ", {f} flushes ({us:.0} us total), {slots} groups / {probes} probes",
+                f = m.flushes,
+                us = m.flush_ns as f64 / 1e3,
+                slots = m.group_slots,
+                probes = m.group_probes,
+            );
+        }
+        println!();
+    }
+    let threaded = run_distributed_threaded(&plan, &trace, &sim).expect("runs");
+    println!(
+        "boundary queue peak (threaded, batch 1024): {} batches",
+        threaded.metrics.boundary_queue_peak
+    );
 }

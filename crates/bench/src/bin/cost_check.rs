@@ -1,0 +1,63 @@
+//! Predicted vs. measured per-host network load, for every Section 6
+//! scenario — the table behind EXPERIMENTS.md's cost-model validation
+//! section.
+//!
+//! For each scenario/partitioning pair: measure selectivities on a
+//! trace, predict per-host receive load with the Section 4.2.1 cost
+//! model, execute the lowered plan through the threaded runner, and
+//! print both sides with the per-host relative error
+//! (`qap_cluster::validate_cost_model`).
+//!
+//! Usage: `cargo run --release -p qap-bench --bin cost_check`
+
+use qap::prelude::*;
+
+fn main() {
+    let trace = generate(&TraceConfig {
+        epochs: 4,
+        flows_per_epoch: 1_500,
+        hosts: 400,
+        max_flow_packets: 32,
+        seed: 8080,
+        spread_ips: true,
+        ..TraceConfig::default()
+    });
+    let s = stats(&trace);
+    println!(
+        "trace: {} packets, {} flows, {}s\n",
+        s.packets, s.flows, s.duration_secs
+    );
+
+    let cases: &[(Scenario, &str, usize)] = &[
+        (Scenario::SimpleAgg, "Partitioned", 4),
+        (Scenario::SimpleAgg, "Naive", 4),
+        (Scenario::QuerySet, "Partitioned (optimal)", 4),
+        (Scenario::QuerySet, "Partitioned (suboptimal)", 4),
+        (Scenario::Complex, "Partitioned (full)", 4),
+        (Scenario::Complex, "Partitioned (partial)", 4),
+    ];
+    for &(scenario, config, hosts) in cases {
+        let dag = scenario.dag();
+        let (partitioning, _) = scenario.deployment(config, hosts);
+        let v = validate_cost_model(
+            &dag,
+            &partitioning,
+            &trace,
+            &SimConfig::default(),
+            DEFAULT_TOLERANCE,
+        )
+        .expect("validation runs");
+        println!(
+            "{} / {config} ({hosts} hosts): max rel err {:.4} ({})",
+            scenario.name(),
+            v.max_rel_error,
+            if v.within_tolerance() {
+                "within tolerance"
+            } else {
+                "OVER TOLERANCE"
+            }
+        );
+        print!("{}", v.to_table());
+        println!();
+    }
+}

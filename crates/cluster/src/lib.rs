@@ -28,11 +28,19 @@
 
 pub mod experiments;
 mod measure;
+mod obs_export;
 mod sim;
 mod threaded;
+mod validate;
 
 pub use measure::measure_stats;
+pub use obs_export::{metrics_registry, op_kind};
 pub use sim::{
     run_distributed, run_distributed_multi, ClusterMetrics, CostConstants, SimConfig, SimResult,
 };
 pub use threaded::run_distributed_threaded;
+pub use validate::{validate_cost_model, CostValidation, DEFAULT_TOLERANCE};
+
+// Re-exported so downstream users can export snapshots without naming
+// `qap-obs` directly.
+pub use qap_obs::MetricsRegistry;

@@ -24,16 +24,16 @@ pub fn measure_stats(dag: &QueryDag, sample: &[Tuple]) -> ExecResult<UniformStat
     let mut engine = Engine::new(dag)?;
     let sources = engine.source_nodes();
     // Feed every source the sample (the analyzer's single-input-schema
-    // assumption: all sources see the same feed).
-    if let [source] = sources[..] {
-        for t in sample {
-            engine.push(source, t.clone())?;
-        }
-    } else {
-        for &s in &sources {
-            for t in sample {
-                engine.push(s, t.clone())?;
-            }
+    // assumption: all sources see the same feed), in batches through
+    // the engine's vectorized path — one clone per chunk buffer instead
+    // of one `push` call per tuple.
+    const CHUNK: usize = 1024;
+    let mut buf = Vec::with_capacity(CHUNK.min(sample.len()));
+    for &s in &sources {
+        for chunk in sample.chunks(CHUNK) {
+            buf.clear();
+            buf.extend_from_slice(chunk);
+            engine.push_batch(s, &mut buf)?;
         }
     }
     engine.finish()?;

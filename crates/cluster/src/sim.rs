@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use serde::Serialize;
 
-use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, OpCounters};
+use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, OpCounters, OpMetrics};
 use qap_optimizer::{DistributedPlan, SplitStrategy};
 use qap_partition::HashPartitioner;
 use qap_plan::LogicalNode;
@@ -115,6 +115,19 @@ pub struct ClusterMetrics {
     /// Tuples dropped by window discipline (should be 0 for ordered
     /// traces).
     pub late_dropped: u64,
+    /// Tuples received per host over process-to-process transfers.
+    pub host_rx_tuples: Vec<u64>,
+    /// Estimated wire bytes/sec received per host over transfers — the
+    /// quantity the Section 4.2.1 cost model predicts per node.
+    pub host_rx_bytes_per_sec: Vec<f64>,
+    /// Tuples shipped per host to other processes.
+    pub host_tx_tuples: Vec<u64>,
+    /// Estimated wire bytes/sec shipped per host.
+    pub host_tx_bytes_per_sec: Vec<f64>,
+    /// Peak boundary-queue depth (in-flight batches). Zero in the
+    /// deterministic simulator (batches deliver synchronously); the
+    /// threaded runner reports its live channel peak.
+    pub boundary_queue_peak: u64,
 }
 
 /// Metrics plus the actual result streams (for correctness checks).
@@ -128,6 +141,10 @@ pub struct SimResult {
     /// input to [`account`], exposed so equivalence tests can assert
     /// batched and per-tuple execution agree tuple-for-tuple.
     pub counters: Vec<OpCounters>,
+    /// Full per-node operator metrics (bytes, batches, occupancy, flush
+    /// latency, group-table telemetry), indexed by plan node id. The
+    /// threaded runner stitches these from its per-host engines.
+    pub node_metrics: Vec<OpMetrics>,
 }
 
 /// Executes a distributed plan over a time-ordered trace of its (single)
@@ -248,6 +265,7 @@ pub fn run_distributed_multi(
     engine.finish()?;
 
     let counters = engine.counters().to_vec();
+    let node_metrics = engine.metrics();
     let mut metrics = account(plan, &counters, duration, cfg);
 
     let mut outputs = Vec::new();
@@ -266,6 +284,7 @@ pub fn run_distributed_multi(
         metrics,
         outputs,
         counters,
+        node_metrics,
     })
 }
 
@@ -306,6 +325,10 @@ pub(crate) fn account(
     let mut agg_rx_bytes = 0.0f64;
     let mut transfers = 0u64;
     let mut late = 0u64;
+    let mut host_rx_tuples = vec![0u64; hosts];
+    let mut host_rx_bytes = vec![0.0f64; hosts];
+    let mut host_tx_tuples = vec![0u64; hosts];
+    let mut host_tx_bytes = vec![0.0f64; hosts];
 
     // Wire size estimate per node's output tuple (matches the cost
     // model's estimator: 2-byte header + 9 bytes per field).
@@ -344,9 +367,14 @@ pub(crate) fn account(
                 }
                 work[h] += c.remote_rx * edge_tuples as f64;
                 transfers += edge_tuples;
+                let edge_bytes = edge_tuples as f64 * wire_size(child);
+                host_tx_tuples[plan.host[child]] += edge_tuples;
+                host_tx_bytes[plan.host[child]] += edge_bytes;
+                host_rx_tuples[h] += edge_tuples;
+                host_rx_bytes[h] += edge_bytes;
                 if h == agg {
                     agg_rx += edge_tuples;
-                    agg_rx_bytes += edge_tuples as f64 * wire_size(child);
+                    agg_rx_bytes += edge_bytes;
                 }
             }
         }
@@ -401,6 +429,11 @@ pub(crate) fn account(
         leaf_imbalance,
         output_rows: Vec::new(),
         late_dropped: late,
+        host_rx_tuples,
+        host_rx_bytes_per_sec: host_rx_bytes.iter().map(|b| b / duration_secs).collect(),
+        host_tx_tuples,
+        host_tx_bytes_per_sec: host_tx_bytes.iter().map(|b| b / duration_secs).collect(),
+        boundary_queue_peak: 0,
     }
 }
 

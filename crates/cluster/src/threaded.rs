@@ -13,7 +13,8 @@ use std::collections::HashMap;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, OpCounters};
+use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, OpCounters, OpMetrics};
+use qap_obs::SharedGauge;
 use qap_optimizer::{DistributedPlan, SplitStrategy};
 use qap_partition::HashPartitioner;
 use qap_plan::{LogicalNode, NodeId, QueryDag};
@@ -252,8 +253,12 @@ pub fn run_distributed_threaded(
 
     type Boundary = (NodeId, Vec<Tuple>);
     let (tx, rx): (Sender<Boundary>, Receiver<Boundary>) = unbounded();
+    // Live depth of the boundary channel (in-flight batches), shared
+    // across the sending leaf threads and the receiving aggregator.
+    let depth = SharedGauge::new();
 
     let mut global_counters: Vec<OpCounters> = vec![OpCounters::default(); plan.dag.len()];
+    let mut global_metrics: Vec<OpMetrics> = vec![OpMetrics::default(); plan.dag.len()];
     let mut outputs: Vec<(String, Vec<Tuple>)> = plan
         .outputs
         .iter()
@@ -268,38 +273,39 @@ pub fn run_distributed_threaded(
         .collect();
 
     let batch_cfg = cfg.batch;
-    let result: ExecResult<Vec<HostRun>> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (h, slice) in slices.iter().enumerate() {
-                if h == agg {
-                    continue;
-                }
-                // Move the feed into its host thread — the batches were
-                // materialized once at the splitter and never copied
-                // again.
-                let feed = std::mem::take(&mut per_host_feed[h]);
-                let tx = tx.clone();
-                handles.push(scope.spawn(move || -> ExecResult<_> {
-                    run_leaf_host(h, slice, feed, batch_cfg, tx)
-                }));
+    let result: ExecResult<Vec<HostRun>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (h, slice) in slices.iter().enumerate() {
+            if h == agg {
+                continue;
             }
-            drop(tx);
-            // The aggregator runs on this thread, concurrently with the
-            // leaves.
-            let agg_feed = std::mem::take(&mut per_host_feed[agg]);
-            let agg_result = run_agg_host(agg, &slices[agg], agg_feed, batch_cfg, rx)?;
-            let mut results = vec![agg_result];
-            for handle in handles {
-                results.push(handle.join().expect("host thread panicked")?);
-            }
-            Ok(results)
-        });
+            // Move the feed into its host thread — the batches were
+            // materialized once at the splitter and never copied
+            // again.
+            let feed = std::mem::take(&mut per_host_feed[h]);
+            let tx = tx.clone();
+            let depth = &depth;
+            handles.push(scope.spawn(move || -> ExecResult<_> {
+                run_leaf_host(h, slice, feed, batch_cfg, tx, depth)
+            }));
+        }
+        drop(tx);
+        // The aggregator runs on this thread, concurrently with the
+        // leaves.
+        let agg_feed = std::mem::take(&mut per_host_feed[agg]);
+        let agg_result = run_agg_host(agg, &slices[agg], agg_feed, batch_cfg, rx, &depth)?;
+        let mut results = vec![agg_result];
+        for handle in handles {
+            results.push(handle.join().expect("host thread panicked")?);
+        }
+        Ok(results)
+    });
 
-    for (h, counters, outs) in result? {
+    for (h, counters, node_metrics, outs) in result? {
         let slice = &slices[h];
         for (&global, &local) in &slice.local {
             global_counters[global] = counters[local];
+            global_metrics[global] = node_metrics[local].clone();
         }
         for (idx, rows) in outs {
             outputs[idx].1 = rows;
@@ -307,15 +313,22 @@ pub fn run_distributed_threaded(
     }
 
     let duration = trace_duration(&schema, trace);
-    let metrics = account(plan, &global_counters, duration, cfg);
+    let mut metrics = account(plan, &global_counters, duration, cfg);
+    metrics.boundary_queue_peak = depth.peak();
     Ok(SimResult {
         metrics,
         outputs,
         counters: global_counters,
+        node_metrics: global_metrics,
     })
 }
 
-type HostRun = (usize, Vec<OpCounters>, Vec<(usize, Vec<Tuple>)>);
+type HostRun = (
+    usize,
+    Vec<OpCounters>,
+    Vec<OpMetrics>,
+    Vec<(usize, Vec<Tuple>)>,
+);
 
 fn run_leaf_host(
     host: usize,
@@ -323,27 +336,38 @@ fn run_leaf_host(
     feed: Vec<(NodeId, Vec<Tuple>)>,
     batch_cfg: BatchConfig,
     tx: Sender<(NodeId, Vec<Tuple>)>,
+    depth: &SharedGauge,
 ) -> ExecResult<HostRun> {
     let sinks: Vec<NodeId> = slice.boundary.iter().map(|&g| slice.local[&g]).collect();
     let mut engine = Engine::with_sinks(&slice.dag, &sinks)?;
     engine.set_batch_config(batch_cfg);
     for (scan_global, mut batch) in feed {
         engine.push_batch(slice.local[&scan_global], &mut batch)?;
-        forward_boundary(&mut engine, slice, &tx);
+        forward_boundary(&mut engine, slice, &tx, depth);
     }
     engine.finish()?;
-    forward_boundary(&mut engine, slice, &tx);
+    forward_boundary(&mut engine, slice, &tx, depth);
     let counters = engine.counters().to_vec();
-    Ok((host, counters, Vec::new()))
+    let node_metrics = engine.metrics();
+    Ok((host, counters, node_metrics, Vec::new()))
 }
 
-fn forward_boundary(engine: &mut Engine, slice: &HostPlan, tx: &Sender<(NodeId, Vec<Tuple>)>) {
+fn forward_boundary(
+    engine: &mut Engine,
+    slice: &HostPlan,
+    tx: &Sender<(NodeId, Vec<Tuple>)>,
+    depth: &SharedGauge,
+) {
     for &global in &slice.boundary {
         let batch = engine.drain_output(slice.local[&global]);
         if !batch.is_empty() {
             // Receiver gone means the aggregator finished early (error
-            // path); dropping the batch is fine then.
-            let _ = tx.send((global, batch));
+            // path); dropping the batch is fine then. The gauge counts
+            // the batch as in-flight from send to receive.
+            depth.inc();
+            if tx.send((global, batch)).is_err() {
+                depth.dec();
+            }
         }
     }
 }
@@ -354,6 +378,7 @@ fn run_agg_host(
     feed: Vec<(NodeId, Vec<Tuple>)>,
     batch_cfg: BatchConfig,
     rx: Receiver<(NodeId, Vec<Tuple>)>,
+    depth: &SharedGauge,
 ) -> ExecResult<HostRun> {
     let sinks: Vec<NodeId> = slice
         .outputs
@@ -371,17 +396,19 @@ fn run_agg_host(
     // chunks oversized ones); merge operators align the
     // independently-progressing inputs.
     while let Ok((producer, mut batch)) = rx.recv() {
+        depth.dec();
         let pseudo = slice.remote_in[&producer];
         engine.push_batch(pseudo, &mut batch)?;
     }
     engine.finish()?;
     let counters = engine.counters().to_vec();
+    let node_metrics = engine.metrics();
     let outs = slice
         .outputs
         .iter()
         .map(|&(idx, g)| (idx, engine.output(slice.local[&g])))
         .collect();
-    Ok((host, counters, outs))
+    Ok((host, counters, node_metrics, outs))
 }
 
 #[cfg(test)]

@@ -1,0 +1,242 @@
+//! Cost-model validation: predicted vs. measured per-host network load.
+//!
+//! The paper's search procedure (Section 4.2) ranks candidate
+//! partitioning sets by the Section 4.2.1 cost model — *estimated*
+//! bytes/sec received over the network per node. This module closes the
+//! loop: drive the cost model with measured selectivities
+//! ([`crate::measure_stats`]), lower the same plan onto the same
+//! partitioning, execute it for real ([`crate::run_distributed_threaded`])
+//! and compare the measured per-host receive load against the
+//! prediction. The regression suite asserts agreement within
+//! [`DEFAULT_TOLERANCE`], turning the paper's central claim into a test.
+//!
+//! # What exactly is compared
+//!
+//! The cost model charges each *central consumer* for the pushed inputs
+//! it receives; the physical lowering, however, shares **one** collecting
+//! merge per pushed producer among all its central consumers (and a
+//! self-join consumes the same collected stream twice without shipping
+//! it twice). The per-host prediction therefore counts every pushed
+//! node whose output crosses the partitioned/central frontier **once**,
+//! charging its output rate to the aggregator host — the byte-for-byte
+//! mirror of what the runners' per-host accounting measures. Both sides
+//! use the same wire-size estimator (`2 + 9·arity`), the same measured
+//! selectivities, and the same trace duration, so the residual error is
+//! only float accumulation — the 5% default tolerance is generous.
+//!
+//! The physical plan is lowered with partial aggregation *disabled*:
+//! the Section 5.2.2 sub/super split deliberately changes what crosses
+//! the network (partials instead of raw tuples), which the Section 4.2.1
+//! model does not describe.
+
+use qap_exec::{ExecError, ExecResult};
+use qap_optimizer::{optimize, OptimizerConfig, Partitioning};
+use qap_partition::{
+    node_compatibilities_with, plan_cost, CostModel, CostObjective, StatsProvider,
+};
+use qap_plan::{LogicalNode, QueryDag};
+use qap_types::Tuple;
+
+use crate::sim::trace_duration;
+use crate::{measure_stats, run_distributed_threaded, SimConfig};
+
+/// Documented agreement tolerance of the validation harness: maximum
+/// relative error between predicted and measured per-host network load.
+/// Prediction and measurement share estimators and selectivities (see
+/// the module docs), so the true residual is float noise; 5% leaves
+/// headroom without ever masking a modelling bug.
+pub const DEFAULT_TOLERANCE: f64 = 0.05;
+
+/// The outcome of one prediction-vs-measurement comparison.
+#[derive(Debug, Clone)]
+pub struct CostValidation {
+    /// Predicted network receive load per host, bytes/sec (Section
+    /// 4.2.1 cost model under measured selectivities).
+    pub predicted_bytes_per_sec: Vec<f64>,
+    /// Measured network receive load per host, bytes/sec (threaded run).
+    pub measured_bytes_per_sec: Vec<f64>,
+    /// Source rate driving the model, tuples/sec (trace length over
+    /// trace duration).
+    pub source_rate: f64,
+    /// Maximum over hosts of `|predicted - measured| / max(predicted,
+    /// measured)` (0 when both sides are 0).
+    pub max_rel_error: f64,
+    /// The tolerance the comparison was asked to meet.
+    pub tolerance: f64,
+}
+
+impl CostValidation {
+    /// Whether every host's relative error is within tolerance.
+    pub fn within_tolerance(&self) -> bool {
+        self.max_rel_error <= self.tolerance
+    }
+
+    /// Renders one row per host: `host, predicted, measured, rel_error`.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("host,predicted_bytes_per_sec,measured_bytes_per_sec,rel_err\n");
+        for (h, (p, m)) in self
+            .predicted_bytes_per_sec
+            .iter()
+            .zip(&self.measured_bytes_per_sec)
+            .enumerate()
+        {
+            let _ = writeln!(out, "{h},{p:.1},{m:.1},{:.4}", rel_error(*p, *m));
+        }
+        out
+    }
+}
+
+/// Relative disagreement between a predicted and a measured value,
+/// normalized by the larger of the two (0 when both vanish).
+fn rel_error(p: f64, m: f64) -> f64 {
+    let denom = p.max(m);
+    if denom <= 1e-9 {
+        0.0
+    } else {
+        (p - m).abs() / denom
+    }
+}
+
+/// Predicts the per-host network receive load of `dag` deployed on
+/// `partitioning`, in bytes/sec, under the Section 4.2.1 cost model.
+///
+/// Every pushed node whose output crosses the partitioned/central
+/// frontier — it feeds a central consumer, or it is a collected root —
+/// ships its output to the aggregator host exactly once (the lowering
+/// shares one collecting merge per producer). Leaf hosts receive
+/// nothing: the splitter's feed is not process-to-process traffic.
+pub fn predict_host_load(
+    dag: &QueryDag,
+    partitioning: &Partitioning,
+    stats: &dyn StatsProvider,
+    model: &CostModel,
+    analysis: qap_partition::AnalysisOptions,
+) -> Vec<f64> {
+    let compat = node_compatibilities_with(dag, analysis);
+    let ps = partitioning.strategy.effective_set();
+    let report = plan_cost(dag, &compat, &ps, stats, model);
+    let mut predicted = vec![0.0f64; partitioning.hosts];
+    for id in dag.topo_order() {
+        if !report.pushed[id] {
+            continue;
+        }
+        let parents = dag.parents(id);
+        let crosses = parents.iter().any(|&p| !report.pushed[p])
+            || (parents.is_empty() && !dag.node(id).is_source());
+        if crosses {
+            let size = stats.stats(dag, id).out_tuple_size;
+            predicted[partitioning.aggregator_host] += report.out_tuples[id] * size;
+        }
+    }
+    predicted
+}
+
+/// Runs the full validation loop for one plan and partitioning:
+/// measure selectivities on the trace, predict per-host load, execute
+/// the lowered plan threaded, and compare. See the module docs for the
+/// exact correspondence.
+///
+/// The plan must read a single base stream (the threaded runner's
+/// constraint).
+pub fn validate_cost_model(
+    dag: &QueryDag,
+    partitioning: &Partitioning,
+    trace: &[Tuple],
+    cfg: &SimConfig,
+    tolerance: f64,
+) -> ExecResult<CostValidation> {
+    // 1. Observed selectivities from a centralized run over the trace.
+    let stats = measure_stats(dag, trace)?;
+
+    // 2. The model's source rate is the trace's own rate, so predicted
+    //    bytes/sec and measured bytes/sec share a denominator.
+    let stream = dag
+        .topo_order()
+        .find_map(|id| match dag.node(id) {
+            LogicalNode::Source { stream, .. } => Some(stream.clone()),
+            _ => None,
+        })
+        .ok_or_else(|| ExecError::BadPlan("plan has no source".into()))?;
+    let schema = dag
+        .catalog()
+        .get(&stream)
+        .expect("catalog has its stream")
+        .clone();
+    let duration = trace_duration(&schema, trace);
+    let source_rate = trace.len() as f64 / duration;
+    let analysis = qap_partition::AnalysisOptions::default();
+    let model = CostModel {
+        source_rate,
+        objective: CostObjective::MaxPerNode,
+    };
+
+    // 3. Predict.
+    let predicted = predict_host_load(dag, partitioning, &stats, &model, analysis);
+
+    // 4. Execute the same deployment for real (partial aggregation off:
+    //    the model does not describe the sub/super rewrite).
+    let opt_cfg = OptimizerConfig {
+        partial_aggregation: false,
+        analysis,
+        ..OptimizerConfig::full()
+    };
+    let plan = optimize(dag, partitioning, &opt_cfg)
+        .map_err(|e| ExecError::BadPlan(format!("lowering failed: {e}")))?;
+    let result = run_distributed_threaded(&plan, trace, cfg)?;
+    let measured = result.metrics.host_rx_bytes_per_sec.clone();
+
+    // 5. Compare.
+    let max_rel_error = predicted
+        .iter()
+        .zip(&measured)
+        .map(|(&p, &m)| rel_error(p, m))
+        .fold(0.0f64, f64::max);
+
+    Ok(CostValidation {
+        predicted_bytes_per_sec: predicted,
+        measured_bytes_per_sec: measured,
+        source_rate,
+        max_rel_error,
+        tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qap_partition::PartitionSet;
+    use qap_sql::QuerySetBuilder;
+    use qap_trace::{generate, TraceConfig};
+    use qap_types::Catalog;
+
+    #[test]
+    fn simple_agg_prediction_matches_measurement() {
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        )
+        .unwrap();
+        let dag = b.build();
+        let trace = generate(&TraceConfig::tiny(71));
+        let v = validate_cost_model(
+            &dag,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), 3),
+            &trace,
+            &SimConfig::default(),
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap();
+        assert!(
+            v.within_tolerance(),
+            "max rel error {} over tolerance {}\n{}",
+            v.max_rel_error,
+            v.tolerance,
+            v.to_table()
+        );
+        // The aggregator actually receives something.
+        assert!(v.measured_bytes_per_sec[0] > 0.0);
+    }
+}

@@ -8,7 +8,7 @@
 //! qapctl run     <script.gsql> --hosts N [--set ...] [--round-robin]
 //!                              [--seed S] [--epochs E] [--flows F]
 //!                              [--trace file.qtr] [--threaded] [--limit K]
-//!                              [--batch-size B]
+//!                              [--batch-size B] [--metrics[=PATH]]
 //! qapctl gen-trace <out.qtr>   [--seed S] [--epochs E] [--flows F]
 //! ```
 //!
@@ -41,6 +41,8 @@ const USAGE: &str = "usage:
   qapctl run       <script.gsql> --hosts N [--set \"expr, expr\"] [--round-robin]
                    [--seed S] [--epochs E] [--flows F] [--trace file.qtr] [--threaded] [--limit K]
                    [--batch-size B]   (engine batch size; results are batch-size-invariant)
+                   [--metrics[=PATH]] (export run metrics; .prom = Prometheus text, else JSON;
+                                       bare --metrics prints JSON to stdout)
   qapctl gen-trace <out.qtr> [--seed S] [--epochs E] [--flows F]";
 
 struct Opts {
@@ -58,6 +60,10 @@ struct Opts {
     limit: usize,
     trace_file: Option<String>,
     batch_size: usize,
+    /// `None` = no export, `Some(None)` = JSON to stdout,
+    /// `Some(Some(path))` = write to `path` (`.prom` selects Prometheus
+    /// text, anything else JSON).
+    metrics: Option<Option<String>>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -76,6 +82,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         limit: 10,
         trace_file: None,
         batch_size: BatchConfig::default().max_batch,
+        metrics: None,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -135,6 +142,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--agnostic" => opts.agnostic = true,
             "--strict-joins" => opts.strict_joins = true,
             "--threaded" => opts.threaded = true,
+            "--metrics" => opts.metrics = Some(None),
+            other if other.starts_with("--metrics=") => {
+                let path = &other["--metrics=".len()..];
+                if path.is_empty() {
+                    return Err("--metrics= requires a path (or use bare --metrics)".into());
+                }
+                opts.metrics = Some(Some(path.to_string()));
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -318,5 +333,21 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
         "  leaf imbalance: {:.3}; late drops: {}",
         m.leaf_imbalance, m.late_dropped
     );
+    if let Some(dest) = &opts.metrics {
+        let registry = metrics_registry(&plan, &result);
+        match dest {
+            None => println!("{}", registry.to_json()),
+            Some(path) => {
+                let text = if path.ends_with(".prom") {
+                    registry.to_prometheus()
+                } else {
+                    registry.to_json()
+                };
+                std::fs::write(path, text)
+                    .map_err(|e| format!("cannot write metrics to '{path}': {e}"))?;
+                println!("  metrics snapshot written to {path}");
+            }
+        }
+    }
     Ok(())
 }

@@ -84,8 +84,9 @@ pub mod prelude {
         calibrate_budget, run_point, run_series, ExperimentPoint, Scenario,
     };
     pub use qap_cluster::{
-        measure_stats, run_distributed, run_distributed_multi, run_distributed_threaded,
-        ClusterMetrics, CostConstants, SimConfig, SimResult,
+        measure_stats, metrics_registry, run_distributed, run_distributed_multi,
+        run_distributed_threaded, validate_cost_model, ClusterMetrics, CostConstants,
+        CostValidation, MetricsRegistry, SimConfig, SimResult, DEFAULT_TOLERANCE,
     };
     pub use qap_exec::{
         run_logical, run_logical_with, BatchConfig, Engine, OpCounters, PaneAggregator, PaneSpec,

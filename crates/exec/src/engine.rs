@@ -10,6 +10,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use qap_expr::{bind, bind_with, BoundExpr, ColumnRef, ScalarExpr};
+use qap_obs::OpMetrics;
 use qap_plan::{LogicalNode, NodeId, QueryDag};
 use qap_types::{Schema, Temporality, Tuple};
 
@@ -85,6 +86,18 @@ pub struct Engine {
     pool: Vec<Vec<Tuple>>,
     /// In-flight batches awaiting delivery, FIFO.
     queue: VecDeque<(NodeId, usize, Vec<Tuple>)>,
+    /// Batch-level telemetry per node (bytes, batch counts, occupancy);
+    /// tuple counts and operator-internal stats join in at snapshot
+    /// time ([`Engine::metrics`]). Updated once per *batch*, never per
+    /// tuple.
+    metrics: Vec<OpMetrics>,
+    /// Whether the routing path updates `metrics` (on by default; the
+    /// overhead guard benches both settings).
+    metrics_on: bool,
+    /// Estimated wire bytes of one tuple of each node's output schema —
+    /// `qap_obs::wire_size` precomputed per node, so byte accounting is
+    /// a multiply per batch rather than an `encoded_len` walk per tuple.
+    wire: Vec<u64>,
 }
 
 impl Engine {
@@ -111,6 +124,10 @@ impl Engine {
             .topo_order()
             .map(|id| dag.node(id).is_source().then(|| dag.schema(id).arity()))
             .collect();
+        let wire = dag
+            .topo_order()
+            .map(|id| qap_obs::wire_size(dag.schema(id).arity()) as u64)
+            .collect();
         Ok(Engine {
             ops,
             consumers,
@@ -121,6 +138,9 @@ impl Engine {
             batch: BatchConfig::default(),
             pool: Vec::new(),
             queue: VecDeque::new(),
+            metrics: vec![OpMetrics::default(); n],
+            metrics_on: true,
+            wire,
         })
     }
 
@@ -177,6 +197,9 @@ impl Engine {
             )));
         }
         debug_assert!(!self.finished, "push after finish");
+        if self.metrics_on {
+            self.metrics[source].bytes_in += self.wire[source];
+        }
         let mut b = self.take_buf();
         b.push(tuple);
         self.queue.push_back((source, 0, b));
@@ -203,6 +226,9 @@ impl Engine {
         if batch.is_empty() {
             return Ok(());
         }
+        if self.metrics_on {
+            self.metrics[source].bytes_in += batch.len() as u64 * self.wire[source];
+        }
         let max = self.batch.max_batch;
         if batch.len() <= max {
             // Whole feed fits one batch: move it, no per-tuple work.
@@ -228,6 +254,11 @@ impl Engine {
     fn run(&mut self) -> ExecResult<()> {
         while let Some((id, port, mut batch)) = self.queue.pop_front() {
             self.counters[id].tuples_in += batch.len() as u64;
+            if self.metrics_on {
+                let m = &mut self.metrics[id];
+                m.batches_in += 1;
+                m.batch_occupancy.record(batch.len() as u64);
+            }
             let mut out = self.take_buf();
             self.ops[id].push_batch(port, &mut batch, &mut out)?;
             self.recycle(batch);
@@ -241,6 +272,15 @@ impl Engine {
     /// last gets a clone, the last gets the batch itself.
     fn route(&mut self, id: NodeId, mut out: Vec<Tuple>) {
         self.counters[id].tuples_out += out.len() as u64;
+        if self.metrics_on && !out.is_empty() {
+            let bytes = out.len() as u64 * self.wire[id];
+            self.metrics[id].bytes_out += bytes;
+            self.metrics[id].batches_out += 1;
+            // Each consumer receives a producer-schema-sized copy.
+            for &(c, _) in &self.consumers[id] {
+                self.metrics[c].bytes_in += bytes;
+            }
+        }
         let has_consumers = !self.consumers[id].is_empty();
         if let Some(sink) = self.sink_outputs.get_mut(&id) {
             if has_consumers {
@@ -302,6 +342,40 @@ impl Engine {
     /// Tuple-flow counters, indexed by node id.
     pub fn counters(&self) -> &[OpCounters] {
         &self.counters
+    }
+
+    /// Enables or disables batch-level metrics recording (on by
+    /// default). Disabling skips the per-batch histogram/byte updates;
+    /// semantic [`OpCounters`] are always maintained.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics_on = on;
+    }
+
+    /// Whether batch-level metrics recording is enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_on
+    }
+
+    /// Snapshot of per-operator metrics, indexed by node id: the
+    /// routing path's batch-level telemetry joined with the semantic
+    /// tuple counters and each operator's internal runtime stats
+    /// (flush latency, group-table occupancy). Assembled on demand —
+    /// nothing here runs on the hot path.
+    pub fn metrics(&self) -> Vec<OpMetrics> {
+        let mut out = self.metrics.clone();
+        for (id, m) in out.iter_mut().enumerate() {
+            let c = &self.counters[id];
+            m.tuples_in = c.tuples_in;
+            m.tuples_out = c.tuples_out;
+            m.late_dropped = self.ops[id].late_dropped();
+            let rt = self.ops[id].runtime_stats();
+            m.flushes = rt.flushes;
+            m.flush_ns = rt.flush_ns;
+            m.group_slots = rt.group_slots;
+            m.group_probes = rt.group_probes;
+            m.group_inserts = rt.group_inserts;
+        }
+        out
     }
 }
 

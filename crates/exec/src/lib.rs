@@ -33,3 +33,6 @@ mod tests;
 pub use engine::{run_logical, run_logical_with, BatchConfig, Engine, OpCounters};
 pub use error::{ExecError, ExecResult};
 pub use panes::{PaneAggregator, PaneSpec};
+// Re-exported so engine users can consume [`Engine::metrics`] without
+// depending on `qap-obs` directly.
+pub use qap_obs::{Histogram, OpMetrics};

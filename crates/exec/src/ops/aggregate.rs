@@ -9,7 +9,7 @@ use crate::fx;
 use crate::ExecResult;
 
 use super::group_table::GroupTable;
-use super::{bucket_of, Operator};
+use super::{bucket_of, OpRuntimeStats, Operator};
 
 /// How to create fresh per-group aggregate state.
 pub(crate) enum AccFactory {
@@ -247,6 +247,11 @@ pub(crate) struct AggregateOp {
     /// flush at finish.
     null_groups: GroupTable<AnyAcc>,
     late: u64,
+    /// Window flushes performed (including the end-of-stream flush).
+    flushes: u64,
+    /// Wall-clock nanoseconds spent inside window flushes. Timed per
+    /// flush (once per closed window), never per tuple.
+    flush_ns: u64,
     /// Reused group-key buffer: every tuple evaluates its key into this
     /// scratch and probes by slice; a new group drains the scratch into
     /// the table's key arena, so no per-group allocation ever happens.
@@ -308,6 +313,8 @@ impl AggregateOp {
             groups: GroupTable::new(slots.len()),
             null_groups: GroupTable::new(slots.len()),
             late: 0,
+            flushes: 0,
+            flush_ns: 0,
             key_scratch: Vec::new(),
             div_scratch: Vec::new(),
             spare: Vec::new(),
@@ -353,11 +360,14 @@ impl AggregateOp {
     }
 
     fn flush(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        let start = std::time::Instant::now();
         let (mut keys, accs, n) = self.groups.take_entries();
         let res = self.emit(&mut keys, &accs, n, out);
         // Hand the drained arenas back so the next window reuses their
         // capacity instead of reallocating from empty.
         self.groups.restore(keys, accs);
+        self.flushes += 1;
+        self.flush_ns += start.elapsed().as_nanos() as u64;
         res
     }
 
@@ -601,10 +611,13 @@ impl Operator for AggregateOp {
 
     fn finish(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()> {
         self.flush(out)?;
-        // NULL-window groups close with the stream.
+        // NULL-window groups close with the stream (their emission
+        // folds into the final flush's latency accounting).
+        let start = std::time::Instant::now();
         let (mut keys, accs, n) = self.null_groups.take_entries();
         let res = self.emit(&mut keys, &accs, n, out);
         self.null_groups.restore(keys, accs);
+        self.flush_ns += start.elapsed().as_nanos() as u64;
         res?;
         self.current_bucket = None;
         debug_assert!(self.groups.is_empty() && self.null_groups.is_empty());
@@ -613,6 +626,16 @@ impl Operator for AggregateOp {
 
     fn late_dropped(&self) -> u64 {
         self.late
+    }
+
+    fn runtime_stats(&self) -> OpRuntimeStats {
+        OpRuntimeStats {
+            flushes: self.flushes,
+            flush_ns: self.flush_ns,
+            group_slots: self.groups.slot_count() + self.null_groups.slot_count(),
+            group_probes: self.groups.probe_count() + self.null_groups.probe_count(),
+            group_inserts: self.groups.insert_count() + self.null_groups.insert_count(),
+        }
     }
 }
 

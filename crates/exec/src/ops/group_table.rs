@@ -27,6 +27,8 @@
 //! output is independent of the hash function and identical across
 //! batch sizes — the property the equivalence suite pins down.
 
+use std::cell::Cell;
+
 use qap_types::Value;
 
 /// One open-addressed index slot: the entry's cached hash and its
@@ -53,6 +55,15 @@ pub(crate) struct GroupTable<P> {
     payloads: Vec<P>,
     /// Payload slots per entry.
     width: usize,
+    /// Total slot inspections across all lookups — the collision
+    /// telemetry [`crate::OpCounters`]'s companion metrics report.
+    /// `Cell` because [`GroupTable::find_with`] probes through `&self`;
+    /// the counter accumulates locally per lookup and writes once, so
+    /// the probe loop itself stays increment-free.
+    probes: Cell<u64>,
+    /// Groups created across the table's lifetime (not reset by
+    /// [`GroupTable::take_entries`]).
+    inserts: u64,
 }
 
 impl<P> GroupTable<P> {
@@ -64,11 +75,28 @@ impl<P> GroupTable<P> {
             keys: Vec::new(),
             payloads: Vec::new(),
             width,
+            probes: Cell::new(0),
+            inserts: 0,
         }
     }
 
     pub(crate) fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Current open-addressed index capacity (slot count).
+    pub(crate) fn slot_count(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Total slot inspections across all lookups so far.
+    pub(crate) fn probe_count(&self) -> u64 {
+        self.probes.get()
+    }
+
+    /// Groups created across the table's lifetime.
+    pub(crate) fn insert_count(&self) -> u64 {
+        self.inserts
     }
 
     /// Entry index of `key`, or `None` when the group does not exist.
@@ -93,19 +121,23 @@ impl<P> GroupTable<P> {
             return None;
         }
         let mut i = (hash & self.mask) as usize;
-        loop {
+        let mut inspected = 0u64;
+        let found = loop {
+            inspected += 1;
             let (h, e1) = self.slots[i];
             if e1 == 0 {
-                return None;
+                break None;
             }
             if h == hash {
                 let e = (e1 - 1) as usize;
                 if eq(&self.keys[e * arity..(e + 1) * arity]) {
-                    return Some(e);
+                    break Some(e);
                 }
             }
             i = (i + 1) & self.mask as usize;
-        }
+        };
+        self.probes.set(self.probes.get() + inspected);
+        found
     }
 
     /// Mutable payload slice of entry `e` (an index returned by
@@ -159,6 +191,7 @@ impl<P> GroupTable<P> {
         if self.len * 2 >= self.slots.len() {
             self.grow();
         }
+        self.inserts += 1;
         let mut i = (hash & self.mask) as usize;
         while self.slots[i].1 != 0 {
             i = (i + 1) & self.mask as usize;

@@ -15,6 +15,24 @@ use qap_types::{Tuple, Value};
 
 use crate::ExecResult;
 
+/// Operator-internal runtime telemetry, harvested once per snapshot
+/// (off the hot path). Distinct from [`crate::OpCounters`], which is
+/// batch-size-invariant semantic flow: these numbers describe the
+/// mechanics of one particular run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct OpRuntimeStats {
+    /// Window flushes performed.
+    pub flushes: u64,
+    /// Wall-clock nanoseconds spent inside window flushes.
+    pub flush_ns: u64,
+    /// Open-addressed index slots across the operator's group tables.
+    pub group_slots: u64,
+    /// Slot inspections across all group-table lookups.
+    pub group_probes: u64,
+    /// Groups created across the run.
+    pub group_inserts: u64,
+}
+
 /// A compiled streaming operator, processing input one *batch* at a
 /// time. `push_batch` delivers a batch of input tuples on an input port
 /// (0 for unary operators; joins use 0 = left, 1 = right; merges one
@@ -41,6 +59,12 @@ pub(crate) trait Operator {
     /// Tuples dropped for arriving behind the operator's window.
     fn late_dropped(&self) -> u64 {
         0
+    }
+    /// Operator-internal runtime telemetry (flush latency, group-table
+    /// occupancy). Harvested once per snapshot, never on the hot path;
+    /// stateless operators report zeros.
+    fn runtime_stats(&self) -> OpRuntimeStats {
+        OpRuntimeStats::default()
     }
 }
 

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! **qap-obs** — the observability layer of the qap workspace.
+//!
+//! Large-scale stream monitors live or die on cheap, always-on
+//! telemetry: the paper's whole search procedure ranks partitionings by
+//! *estimated* per-node load, and only measurement closes the loop on
+//! whether the estimate was right. This crate provides the measurement
+//! substrate the rest of the workspace threads through its hot paths:
+//!
+//! - [`OpMetrics`] — per-operator flow counters (tuples/bytes/batches
+//!   in and out), a power-of-two [`Histogram`] of delivered batch
+//!   occupancy, window-flush latency, and group-table slot/probe
+//!   telemetry;
+//! - [`HostMetrics`] — per-host cluster gauges: cross-process traffic
+//!   shipped and received, boundary-queue peak depth, accounted work
+//!   and CPU share;
+//! - [`SharedGauge`] — a lock-free (relaxed-atomic) up/down gauge with
+//!   peak tracking, for state that genuinely crosses threads (the
+//!   threaded runner's boundary channel depth);
+//! - [`MetricsRegistry`] — the snapshot container, exporting
+//!   [JSON](MetricsRegistry::to_json) and
+//!   [Prometheus text](MetricsRegistry::to_prometheus) formats.
+//!
+//! # Hot-path discipline
+//!
+//! Nothing here takes a lock on a per-tuple path. Operators and engines
+//! own their counters as plain integers (an engine is single-threaded
+//! by construction; the threaded cluster runner gives every host its
+//! own engine and merges snapshots after the run). The only shared
+//! mutable state is [`SharedGauge`], which uses relaxed atomics — a
+//! `fetch_add` and a `fetch_max`, no CAS loops, no locks. Snapshot
+//! assembly (`MetricsRegistry`) happens once per run, off the hot path.
+//!
+//! Per-tuple byte accounting would be a real cost (`encoded_len` walks
+//! the tuple), so bytes are *derived*: every operator's output schema
+//! is fixed, hence `bytes = tuples × wire_size(schema)` — the same
+//! 2 + 9·arity estimator the Section 4.2.1 cost model uses, which is
+//! exactly what makes measured bytes comparable to predicted bytes in
+//! the cost-model validation harness.
+
+mod export;
+mod histogram;
+mod registry;
+
+pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{HostMetrics, MetricsRegistry, OpEntry, OpMetrics, SharedGauge};
+
+/// Estimated wire size in bytes of one tuple with `arity` fields —
+/// 2-byte header plus 1 tag + 8 payload bytes per field. Mirrors
+/// `qap_types::encoded_len` for numeric tuples and the cost model's
+/// `estimated_tuple_size`; keeping the three in agreement is what lets
+/// measured byte counters validate cost-model predictions.
+pub fn wire_size(arity: usize) -> f64 {
+    2.0 + 9.0 * arity as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_matches_cost_model_estimator() {
+        assert_eq!(wire_size(0), 2.0);
+        assert_eq!(wire_size(4), 38.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Differential tests for the aggregation operator's precompiled fast
+//! paths.
+//!
+//! The operator classifies group-key expressions (plain column,
+//! `column / constant`) and aggregate folds (`COUNT(*)`, `SUM(column)`)
+//! into per-tuple shortcuts at construction time, falling back to the
+//! general recursive evaluator for everything else — HAVING predicates,
+//! `OR_AGGR`, masked keys, and any *value* outside a shortcut's domain
+//! (NULL or signed inputs reaching a `DivConst` key or a `SUM` slot).
+//! The contract is that the shortcut is invisible: byte-identical
+//! output tuples and identical operator counters at every batch size,
+//! including inputs engineered to cross the fast/fallback seam
+//! mid-stream.
+
+use qap::prelude::*;
+use qap::types::encode_tuple;
+
+/// One sink's output: (sink node id, encoded rows in emission order).
+type SinkRows = (usize, Vec<Vec<u8>>);
+
+/// Runs a query set at one batch size and returns the sink outputs
+/// encoded to wire bytes plus the engine's counters.
+fn run_encoded(dag: &QueryDag, input: &[Tuple], batch: usize) -> (Vec<SinkRows>, Vec<OpCounters>) {
+    let mut engine = Engine::new(dag).expect("engine builds");
+    let sources = engine.source_nodes();
+    let mut buf = Vec::new();
+    for &s in &sources {
+        for chunk in input.chunks(batch) {
+            buf.clear();
+            buf.extend_from_slice(chunk);
+            engine.push_batch(s, &mut buf).expect("push");
+        }
+    }
+    engine.finish().expect("finish");
+    let counters = engine.counters().to_vec();
+    let outputs = dag
+        .topo_order()
+        .filter(|&id| dag.parents(id).is_empty())
+        .map(|id| {
+            let rows = engine.output(id);
+            (id, rows.iter().map(|t| encode_tuple(t).to_vec()).collect())
+        })
+        .collect();
+    (outputs, counters)
+}
+
+/// Asserts a query produces byte-identical outputs and identical
+/// counters at every batch size, against the batch-size-1 reference
+/// (the pure per-tuple path).
+fn assert_batch_invariant(dag: &QueryDag, input: &[Tuple], label: &str) {
+    let (ref_out, ref_counters) = run_encoded(dag, input, 1);
+    assert!(
+        ref_out.iter().any(|(_, rows)| !rows.is_empty()),
+        "{label}: reference run produced no rows"
+    );
+    for batch in [5usize, 64, 1024] {
+        let (out, counters) = run_encoded(dag, input, batch);
+        assert_eq!(out, ref_out, "{label}: outputs differ at batch {batch}");
+        assert_eq!(
+            counters, ref_counters,
+            "{label}: counters differ at batch {batch}"
+        );
+    }
+}
+
+fn tcp_dag(query: &str) -> QueryDag {
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.add_query("q", query).expect("query parses");
+    b.build()
+}
+
+fn tcp_trace() -> Vec<Tuple> {
+    generate(&TraceConfig {
+        epochs: 3,
+        flows_per_epoch: 150,
+        hosts: 60,
+        max_flow_packets: 12,
+        seed: 4117,
+        ..TraceConfig::default()
+    })
+}
+
+#[test]
+fn fast_keys_and_fast_slots() {
+    // Col + DivConst keys, CountStar + SumCol folds: every shortcut at
+    // once, on its home turf (all-unsigned packet fields).
+    let dag = tcp_dag(
+        "SELECT tb, srcIP, COUNT(*) as cnt, SUM(len) as bytes FROM TCP \
+         GROUP BY time/60 as tb, srcIP",
+    );
+    assert_batch_invariant(&dag, &tcp_trace(), "fast keys + fast slots");
+}
+
+#[test]
+fn masked_key_takes_general_evaluator() {
+    // `srcIP & 0xFFF0` is not a classified key shape, so the whole key
+    // tuple goes through the materializing path.
+    let dag = tcp_dag(
+        "SELECT tb, subnet, COUNT(*) as cnt FROM TCP \
+         GROUP BY time/60 as tb, srcIP & 0xFFF0 as subnet",
+    );
+    assert_batch_invariant(&dag, &tcp_trace(), "masked key");
+}
+
+#[test]
+fn having_or_aggr_general_path() {
+    // The Section 6.1 query: OR_AGGR has no fold shortcut and HAVING
+    // filters at flush; both must be batch-size-invariant.
+    let dag = tcp_dag(
+        "SELECT tb, srcIP, destIP, srcPort, destPort, \
+         OR_AGGR(flags) as orflag, COUNT(*) as cnt FROM TCP \
+         GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort \
+         HAVING OR_AGGR(flags) = 0x29",
+    );
+    assert_batch_invariant(&dag, &tcp_trace(), "HAVING + OR_AGGR");
+}
+
+/// A hand-built stream whose key and sum columns wander outside the
+/// fast paths' value domains mid-stream.
+fn mixed_dag() -> QueryDag {
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.parse_script(
+        "STREAM S(ts uint increasing, k uint, v uint);\n\
+         QUERY mixed: SELECT tb, kb, COUNT(*) as cnt, SUM(v) as sv FROM S \
+         GROUP BY ts/60 as tb, k/10 as kb;",
+    )
+    .expect("script parses");
+    b.build()
+}
+
+fn mixed_trace() -> Vec<Tuple> {
+    // ts advances normally; k and v cycle through UInt (fast), Int and
+    // NULL (fallback), so consecutive tuples of the same batch take
+    // different paths through the same group table.
+    (0..600u64)
+        .map(|i| {
+            let k = match i % 4 {
+                0 | 1 => Value::UInt(i % 50),
+                2 => Value::Int(-((i % 30) as i64)),
+                _ => Value::Null,
+            };
+            let v = match i % 3 {
+                0 => Value::UInt(i),
+                1 => Value::Int(-5),
+                _ => Value::Null,
+            };
+            Tuple::new(vec![Value::UInt(i / 2), k, v])
+        })
+        .collect()
+}
+
+#[test]
+fn mixed_type_inputs_cross_the_fallback_seam() {
+    let dag = mixed_dag();
+    assert_batch_invariant(&dag, &mixed_trace(), "mixed-type keys and sums");
+}
+
+#[test]
+fn mixed_type_groups_match_a_scalar_reference() {
+    // Beyond batch invariance: the division key's fallback must agree
+    // with the evaluator's semantics. Recompute the expected group
+    // count with direct Value arithmetic and compare cardinalities.
+    let dag = mixed_dag();
+    let input = mixed_trace();
+    let outputs = run_logical(&dag, input.iter().cloned()).expect("runs");
+    let rows = &outputs[0].1;
+    use std::collections::BTreeSet;
+    let expected: BTreeSet<(u64, String)> = input
+        .iter()
+        .map(|t| {
+            let ts = t.get(0).as_u64().unwrap();
+            // k/10 under evaluator semantics: UInt divides, Int divides
+            // signed, NULL propagates.
+            let kb = match t.get(1) {
+                Value::UInt(x) => format!("u{}", x / 10),
+                Value::Int(x) => format!("i{}", x / 10),
+                _ => "null".to_string(),
+            };
+            (ts / 60, kb)
+        })
+        .collect();
+    assert_eq!(rows.len(), expected.len(), "group cardinality mismatch");
+}

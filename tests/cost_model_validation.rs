@@ -1,0 +1,158 @@
+//! Cost-model validation over the paper's Section 6 scenarios.
+//!
+//! The regression the paper's argument rests on: the Section 4.2.1 cost
+//! model — estimated bytes/sec received over the network per node —
+//! must agree with what the executed deployment actually measures.
+//! These tests drive [`qap_cluster::validate_cost_model`] over every
+//! evaluation scenario (Section 6.1 simple aggregation, 6.2 query set,
+//! 6.3 complex DAG) under both round-robin and query-aware hash
+//! partitionings, at cluster sizes 2–4, and assert the predicted and
+//! measured per-host loads agree within the documented tolerance.
+//!
+//! Each partitioning exercises a different partitioned/central
+//! frontier: round-robin pushes only selections, the suboptimal hash
+//! sets push some aggregates, the optimal sets push whole query chains
+//! including the self-join. Agreement across all of them shows the
+//! model tracks the frontier, not just one lucky configuration.
+
+use qap_cluster::experiments::Scenario;
+use qap_cluster::{validate_cost_model, SimConfig, DEFAULT_TOLERANCE};
+use qap_optimizer::Partitioning;
+use qap_trace::{generate, TraceConfig};
+use qap_types::Tuple;
+
+fn trace() -> Vec<Tuple> {
+    generate(&TraceConfig {
+        epochs: 3,
+        flows_per_epoch: 250,
+        hosts: 120,
+        max_flow_packets: 24,
+        seed: 4221,
+        ..TraceConfig::default()
+    })
+}
+
+/// Asserts one scenario/partitioning pair validates within tolerance
+/// and returns the validation for further shape checks.
+fn check(
+    scenario: Scenario,
+    partitioning: &Partitioning,
+    trace: &[Tuple],
+) -> qap_cluster::CostValidation {
+    let dag = scenario.dag();
+    let v = validate_cost_model(
+        &dag,
+        partitioning,
+        trace,
+        &SimConfig::default(),
+        DEFAULT_TOLERANCE,
+    )
+    .expect("validation runs");
+    assert!(
+        v.within_tolerance(),
+        "{} on {:?}: max rel error {} over tolerance {}\n{}",
+        scenario.name(),
+        partitioning.strategy,
+        v.max_rel_error,
+        v.tolerance,
+        v.to_table()
+    );
+    v
+}
+
+#[test]
+fn simple_agg_partitioned_across_cluster_sizes() {
+    let trace = trace();
+    for hosts in 2..=4 {
+        let (partitioning, _) = Scenario::SimpleAgg.deployment("Partitioned", hosts);
+        let v = check(Scenario::SimpleAgg, &partitioning, &trace);
+        // Only the aggregator host receives network traffic; the leaves
+        // consume the splitter feed, which is not process-to-process.
+        assert!(v.measured_bytes_per_sec[partitioning.aggregator_host] > 0.0);
+        for (h, &m) in v.measured_bytes_per_sec.iter().enumerate() {
+            if h != partitioning.aggregator_host {
+                assert_eq!(m, 0.0, "leaf host {h} should receive nothing");
+            }
+        }
+    }
+}
+
+#[test]
+fn simple_agg_round_robin_ships_raw_tuples() {
+    // Round-robin pushes only the selection tier, so the frontier sits
+    // below the aggregate: the model must charge the full (selected)
+    // tuple stream to the aggregator, far more than the hash deployment
+    // ships.
+    let trace = trace();
+    let rr = check(Scenario::SimpleAgg, &Partitioning::round_robin(3), &trace);
+    let (hash_part, _) = Scenario::SimpleAgg.deployment("Partitioned", 3);
+    let hash = check(Scenario::SimpleAgg, &hash_part, &trace);
+    let rr_load = rr.predicted_bytes_per_sec[0];
+    let hash_load = hash.predicted_bytes_per_sec[hash_part.aggregator_host];
+    assert!(
+        rr_load > 2.0 * hash_load,
+        "round-robin should ship much more than hash: {rr_load} vs {hash_load}"
+    );
+}
+
+#[test]
+fn query_set_optimal_partitioning_validates() {
+    // Section 6.2's optimal set pushes both aggregation chains and the
+    // flow-jitter self-join; the lowering shares one collecting merge
+    // per pushed root and the model must mirror that.
+    let trace = trace();
+    for hosts in [2, 4] {
+        let (partitioning, _) = Scenario::QuerySet.deployment("Partitioned (optimal)", hosts);
+        check(Scenario::QuerySet, &partitioning, &trace);
+    }
+}
+
+#[test]
+fn query_set_suboptimal_partitioning_validates() {
+    let trace = trace();
+    let (partitioning, _) = Scenario::QuerySet.deployment("Partitioned (suboptimal)", 3);
+    check(Scenario::QuerySet, &partitioning, &trace);
+}
+
+#[test]
+fn complex_dag_both_partitionings_validate() {
+    // 6.3: srcIP pushes the whole flows → heavy_flows → flow_pairs
+    // chain; (srcIP, destIP) pushes only the first aggregate, leaving
+    // the rest central. Both frontiers must be predicted correctly.
+    let trace = trace();
+    for config in ["Partitioned (full)", "Partitioned (partial)"] {
+        let (partitioning, _) = Scenario::Complex.deployment(config, 3);
+        check(Scenario::Complex, &partitioning, &trace);
+    }
+}
+
+#[test]
+fn finer_partitioning_ships_no_more_than_coarser_frontier() {
+    // The partial set (srcIP, destIP) leaves heavy_flows and the join
+    // central, so the frontier carries `flows` outputs; the full set
+    // (srcIP) pushes everything and ships only `flow_pairs` plus final
+    // roots. The model must rank them the way Section 4.2 searches.
+    let trace = trace();
+    let (full, _) = Scenario::Complex.deployment("Partitioned (full)", 3);
+    let (partial, _) = Scenario::Complex.deployment("Partitioned (partial)", 3);
+    let v_full = check(Scenario::Complex, &full, &trace);
+    let v_partial = check(Scenario::Complex, &partial, &trace);
+    let agg_full = v_full.predicted_bytes_per_sec[full.aggregator_host];
+    let agg_partial = v_partial.predicted_bytes_per_sec[partial.aggregator_host];
+    assert!(
+        agg_full < agg_partial,
+        "pushing the whole chain should ship less: {agg_full} vs {agg_partial}"
+    );
+}
+
+#[test]
+fn report_table_lists_every_host() {
+    let trace = trace();
+    let (partitioning, _) = Scenario::SimpleAgg.deployment("Partitioned", 4);
+    let v = check(Scenario::SimpleAgg, &partitioning, &trace);
+    let table = v.to_table();
+    // Header plus one row per host.
+    assert_eq!(table.lines().count(), 1 + partitioning.hosts);
+    assert!(table.starts_with("host,predicted_bytes_per_sec"));
+    assert!(v.source_rate > 0.0);
+}
