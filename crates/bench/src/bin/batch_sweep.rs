@@ -174,4 +174,41 @@ fn main() {
         "boundary queue peak (threaded, batch 1024): {} batches",
         threaded.metrics.boundary_queue_peak
     );
+
+    // Transport sweep: channel capacity × frame batch through the
+    // framed threaded runner. Tight capacities force backpressure
+    // stalls; tiny frames pay the per-frame encode/ship overhead.
+    println!();
+    println!("transport sweep (threaded, engine batch 1024, partition-parallel):");
+    for capacity in [1usize, 4, 64] {
+        for frame_batch in [1usize, 64, 1024] {
+            let sim = SimConfig {
+                batch: BatchConfig::new(1024),
+                transport: TransportConfig::new(capacity, frame_batch),
+                ..SimConfig::default()
+            };
+            for _ in 0..2 {
+                std::hint::black_box(run_distributed_threaded(&plan, &trace, &sim).expect("runs"));
+            }
+            let reps = 5usize;
+            let mut total_ns = 0u128;
+            let mut last = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let r = run_distributed_threaded(&plan, &trace, &sim).expect("runs");
+                total_ns += start.elapsed().as_nanos();
+                last = Some(r);
+            }
+            let ns_per_tuple = total_ns as f64 / (reps * n) as f64;
+            let t = last.expect("ran").metrics.transport;
+            println!(
+                "  cap {capacity:>3} frame {frame_batch:>5}: {ns_per_tuple:6.1} ns/tuple, \
+                 {frames:>6} frames / {bytes:>9} B, queue peak {peak:>3}, stalls {stalls}",
+                frames = t.frames,
+                bytes = t.frame_bytes,
+                peak = t.queue_peak,
+                stalls = t.backpressure_stalls,
+            );
+        }
+    }
 }

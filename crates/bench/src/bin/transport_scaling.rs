@@ -1,0 +1,194 @@
+//! Boundary-transport throughput: framed batch shipping vs
+//! tuple-at-a-time frames, and partition-parallel vs host-serial
+//! workers — the before/after measurement for the bounded framed
+//! transport (EXPERIMENTS.md).
+//!
+//! The tuple-at-a-time baseline is expressed *in* the new transport:
+//! `frame_batch = 1` ships one encoded tuple per frame, which is what
+//! the pre-frame runner did on every boundary crossing (one channel
+//! send per tuple). The comparison therefore isolates framing itself —
+//! same plan, same engines, same channel discipline.
+//!
+//! Usage:
+//!   cargo run --release -p qap-bench --bin transport_scaling
+//!     [--smoke]          quick pass on the small trace (CI)
+//!     [--metrics PATH]   write a metrics snapshot (JSON) of the final
+//!                        framed partition-parallel run
+//!
+//! Numbers are wall-clock and machine-dependent; the report prints the
+//! host's available parallelism because partition-parallel workers
+//! cannot beat host-serial on a single hardware thread.
+
+use std::time::Instant;
+
+use qap::prelude::*;
+use qap_bench::{small_trace, standard_trace};
+
+struct Measurement {
+    label: &'static str,
+    ns_per_tuple: f64,
+    transport: TransportMetrics,
+}
+
+fn measure(
+    label: &'static str,
+    plan: &DistributedPlan,
+    trace: &[Tuple],
+    transport: TransportConfig,
+    reps: usize,
+) -> (Measurement, SimResult) {
+    let sim = SimConfig {
+        batch: BatchConfig::new(1024),
+        transport,
+        ..SimConfig::default()
+    };
+    for _ in 0..2 {
+        std::hint::black_box(run_distributed_threaded(plan, trace, &sim).expect("runs"));
+    }
+    let mut total_ns = 0u128;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = run_distributed_threaded(plan, trace, &sim).expect("runs");
+        total_ns += start.elapsed().as_nanos();
+        last = Some(r);
+    }
+    let result = last.expect("ran");
+    let m = Measurement {
+        label,
+        ns_per_tuple: total_ns as f64 / (reps * trace.len()) as f64,
+        transport: result.metrics.transport.clone(),
+    };
+    (m, result)
+}
+
+fn report(m: &Measurement, base_ns: f64) {
+    let t = &m.transport;
+    println!(
+        "  {label:<26} {ns:7.1} ns/tuple  {mtps:6.2} Mtuples/s  ({speedup:4.2}x)  \
+         [{frames} frames, {bytes} B, peak {peak}, stalls {stalls}]",
+        label = m.label,
+        ns = m.ns_per_tuple,
+        mtps = 1e3 / m.ns_per_tuple,
+        speedup = base_ns / m.ns_per_tuple,
+        frames = t.frames,
+        bytes = t.frame_bytes,
+        peak = t.queue_peak,
+        stalls = t.backpressure_stalls,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let metrics_path = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let trace = if smoke {
+        small_trace()
+    } else {
+        standard_trace()
+    };
+    let reps = if smoke { 2 } else { 10 };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "transport_scaling: {} tuples, {reps} reps{}, {threads} hardware thread(s)",
+        trace.len(),
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    // The transport-bound case first: the Naive deployment ships every
+    // raw tuple to the aggregator, so the boundary channel dominates
+    // and framing is the whole story.
+    let naive = Scenario::SimpleAgg.plan("Naive", 4);
+    println!();
+    println!("§6.1 simple-agg (Naive, 4 hosts), threaded runner — transport-bound:");
+    let (naive_base, _) = measure(
+        "tuple frames (frame=1)",
+        &naive,
+        &trace,
+        TransportConfig::new(64, 1),
+        reps.min(3),
+    );
+    report(&naive_base, naive_base.ns_per_tuple);
+    let (naive_framed, _) = measure(
+        "framed, partition-parallel",
+        &naive,
+        &trace,
+        TransportConfig::default(),
+        reps,
+    );
+    report(&naive_framed, naive_base.ns_per_tuple);
+    let naive_speedup = naive_base.ns_per_tuple / naive_framed.ns_per_tuple;
+    println!(
+        "  transport-bound framing speedup: {naive_speedup:.2}x \
+         (target >= 1.5x{})",
+        if naive_speedup >= 1.5 { ", met" } else { "" }
+    );
+
+    // The paper's Partitioned deployment: leaf pre-aggregation shrinks
+    // the boundary volume, so framing matters less and engine work
+    // dominates — reported for honesty, not as the headline.
+    let plan = Scenario::SimpleAgg.plan("Partitioned", 4);
+    println!();
+    println!("§6.1 simple-agg (Partitioned, 4 hosts), threaded runner:");
+
+    let (baseline, _) = measure(
+        "tuple frames (frame=1)",
+        &plan,
+        &trace,
+        TransportConfig::new(64, 1),
+        reps,
+    );
+    report(&baseline, baseline.ns_per_tuple);
+
+    let (serial, _) = measure(
+        "framed, host-serial",
+        &plan,
+        &trace,
+        TransportConfig {
+            partition_parallel: false,
+            ..TransportConfig::default()
+        },
+        reps,
+    );
+    report(&serial, baseline.ns_per_tuple);
+
+    let (framed, framed_result) = measure(
+        "framed, partition-parallel",
+        &plan,
+        &trace,
+        TransportConfig::default(),
+        reps,
+    );
+    report(&framed, baseline.ns_per_tuple);
+
+    let speedup = baseline.ns_per_tuple / framed.ns_per_tuple;
+    println!();
+    println!(
+        "framing speedup: {naive_speedup:.2}x transport-bound (Naive), \
+         {speedup:.2}x engine-bound (Partitioned); {threads} hardware thread(s)"
+    );
+
+    // Backpressure probe: a capacity-1 channel with tiny frames forces
+    // producers to stall on the consumer — stalls should register.
+    let (tight, _) = measure(
+        "tight (cap=1, frame=16)",
+        &plan,
+        &trace,
+        TransportConfig::new(1, 16),
+        if smoke { 1 } else { 3 },
+    );
+    report(&tight, baseline.ns_per_tuple);
+
+    if let Some(path) = metrics_path {
+        let registry = metrics_registry(&plan, &framed_result);
+        std::fs::write(&path, registry.to_json()).expect("write metrics");
+        println!("metrics snapshot written to {path}");
+    }
+}

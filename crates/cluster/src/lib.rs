@@ -31,6 +31,7 @@ mod measure;
 mod obs_export;
 mod sim;
 mod threaded;
+mod transport;
 mod validate;
 
 pub use measure::measure_stats;
@@ -39,6 +40,7 @@ pub use sim::{
     run_distributed, run_distributed_multi, ClusterMetrics, CostConstants, SimConfig, SimResult,
 };
 pub use threaded::run_distributed_threaded;
+pub use transport::{EdgeTransport, TransportConfig, TransportMetrics};
 pub use validate::{validate_cost_model, CostValidation, DEFAULT_TOLERANCE};
 
 // Re-exported so downstream users can export snapshots without naming

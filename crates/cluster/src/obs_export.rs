@@ -50,7 +50,28 @@ pub fn metrics_registry(plan: &DistributedPlan, result: &SimResult) -> MetricsRe
     }
     // The boundary queue is a single cluster-wide channel draining at
     // the aggregator; report its peak there.
-    reg.host_mut(plan.partitioning.aggregator_host).queue_peak = m.boundary_queue_peak;
+    let agg = plan.partitioning.aggregator_host;
+    reg.host_mut(agg).queue_peak = m.boundary_queue_peak;
+    // Measured frame transport (threaded runs only; the deterministic
+    // simulator ships no frames and leaves these at zero). Every frame
+    // drains at the aggregator host, so rx accumulates there.
+    let t = &m.transport;
+    for e in &t.edges {
+        let header_bytes = qap_types::FRAME_HEADER_LEN as u64 * e.frames;
+        let tx = reg.host_mut(e.from_host);
+        tx.frames_tx += e.frames;
+        tx.frame_bytes_tx += e.bytes + header_bytes;
+        let rx = reg.host_mut(agg);
+        rx.frames_rx += e.frames;
+        rx.frame_bytes_rx += e.bytes + header_bytes;
+        reg.record_edge(qap_obs::EdgeEntry {
+            producer: e.producer,
+            from_host: e.from_host,
+            frames: e.frames,
+            tuples: e.tuples,
+            bytes: e.bytes,
+        });
+    }
     reg.set_gauge("duration_secs", m.duration_secs);
     reg.set_gauge("hosts", m.hosts as f64);
     reg.set_gauge("partitions", m.partitions as f64);
@@ -59,6 +80,18 @@ pub fn metrics_registry(plan: &DistributedPlan, result: &SimResult) -> MetricsRe
     reg.set_gauge("aggregator_rx_tps", m.aggregator_rx_tps);
     reg.set_gauge("aggregator_rx_bytes_per_sec", m.aggregator_rx_bytes_per_sec);
     reg.set_gauge("aggregator_cpu_pct", m.aggregator_cpu_pct);
+    // Transport gauges: zero/default for simulator runs, measured for
+    // threaded runs. channel_capacity/frame_batch echo the knobs so an
+    // exported snapshot is self-describing.
+    reg.set_gauge("transport_frames", t.frames as f64);
+    reg.set_gauge("transport_frame_bytes", t.frame_bytes as f64);
+    reg.set_gauge(
+        "transport_backpressure_stalls",
+        t.backpressure_stalls as f64,
+    );
+    reg.set_gauge("transport_queue_peak", t.queue_peak as f64);
+    reg.set_gauge("transport_channel_capacity", t.channel_capacity as f64);
+    reg.set_gauge("transport_frame_batch", t.frame_batch as f64);
     reg
 }
 
@@ -108,8 +141,54 @@ mod tests {
             result.metrics.aggregator_rx_tuples
         );
         // Exports render without panicking and mention both formats'
-        // anchors.
+        // anchors. Simulator runs ship no frames: transport gauges are
+        // present but zero and the edge list is empty.
         assert!(reg.to_json().contains("\"duration_secs\""));
+        assert!(reg.to_json().contains("\"transport_frames\":0"));
+        assert!(reg.to_json().contains("\"edges\":[]"));
         assert!(reg.to_prometheus().contains("qap_run_duration_secs"));
+        assert!(reg
+            .to_prometheus()
+            .contains("qap_run_transport_backpressure_stalls 0"));
+    }
+
+    #[test]
+    fn threaded_runs_export_measured_frame_transport() {
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        )
+        .unwrap();
+        let dag = b.build();
+        let plan = optimize(
+            &dag,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP", "destIP"]), 3),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let trace = generate(&TraceConfig::tiny(55));
+        let result = crate::run_distributed_threaded(&plan, &trace, &SimConfig::default()).unwrap();
+        let reg = metrics_registry(&plan, &result);
+        let t = &result.metrics.transport;
+        assert!(t.frames > 0, "threaded run ships frames");
+        assert_eq!(reg.edges.len(), t.edges.len());
+        // Host tx/rx frame counters reconcile with the edge list.
+        let tx_frames: u64 = reg.hosts.iter().map(|h| h.frames_tx).sum();
+        let rx_frames: u64 = reg.hosts.iter().map(|h| h.frames_rx).sum();
+        assert_eq!(tx_frames, t.frames);
+        assert_eq!(rx_frames, t.frames);
+        let tx_bytes: u64 = reg.hosts.iter().map(|h| h.frame_bytes_tx).sum();
+        assert_eq!(tx_bytes, t.frame_bytes);
+        let agg = plan.partitioning.aggregator_host;
+        assert_eq!(reg.hosts[agg].frames_rx, t.frames);
+        // Exports carry the measured series.
+        let j = reg.to_json();
+        assert!(j.contains("\"frames_tx\""));
+        assert!(j.contains("\"producer\""));
+        let p = reg.to_prometheus();
+        assert!(p.contains("qap_edge_frames{"));
+        assert!(p.contains("qap_run_transport_frame_batch"));
     }
 }

@@ -10,6 +10,8 @@ use qap_partition::HashPartitioner;
 use qap_plan::LogicalNode;
 use qap_types::Tuple;
 
+use crate::transport::{TransportConfig, TransportMetrics};
+
 /// Per-tuple work-unit charges. The absolute scale is arbitrary — CPU
 /// percentages divide by [`SimConfig::host_budget`] — but the *ratio*
 /// between `remote_rx` and `op` encodes the paper's premise that
@@ -60,6 +62,10 @@ pub struct SimConfig {
     /// performance knob: metrics and outputs are batch-size-invariant
     /// (the equivalence suite enforces it).
     pub batch: BatchConfig,
+    /// Boundary-transport knobs for the threaded runner (channel
+    /// capacity, frame size, partition-parallel hosts). Ignored by the
+    /// deterministic simulator, which delivers boundaries in-process.
+    pub transport: TransportConfig,
 }
 
 impl Default for SimConfig {
@@ -68,6 +74,7 @@ impl Default for SimConfig {
             costs: CostConstants::default(),
             host_budget: 1_000_000.0,
             batch: BatchConfig::default(),
+            transport: TransportConfig::default(),
         }
     }
 }
@@ -124,10 +131,14 @@ pub struct ClusterMetrics {
     pub host_tx_tuples: Vec<u64>,
     /// Estimated wire bytes/sec shipped per host.
     pub host_tx_bytes_per_sec: Vec<f64>,
-    /// Peak boundary-queue depth (in-flight batches). Zero in the
+    /// Peak boundary-queue depth (in-flight frames). Zero in the
     /// deterministic simulator (batches deliver synchronously); the
     /// threaded runner reports its live channel peak.
     pub boundary_queue_peak: u64,
+    /// Measured boundary transport (frames, encoded bytes, stalls).
+    /// Empty in the deterministic simulator; the threaded runner fills
+    /// it from its framed channel path.
+    pub transport: TransportMetrics,
 }
 
 /// Metrics plus the actual result streams (for correctness checks).
@@ -434,6 +445,7 @@ pub(crate) fn account(
         host_tx_tuples,
         host_tx_bytes_per_sec: host_tx_bytes.iter().map(|b| b / duration_secs).collect(),
         boundary_queue_peak: 0,
+        transport: TransportMetrics::default(),
     }
 }
 

@@ -1,52 +1,86 @@
-//! Multi-threaded cluster execution: one OS thread per host, boundary
-//! streams over channels.
+//! Multi-threaded cluster execution over framed, bounded boundary
+//! transport.
 //!
 //! Where [`crate::run_distributed`] executes the whole physical plan in
-//! one deterministic engine, this runner actually *distributes* it: each
-//! host gets its own engine over its sub-plan, leaf hosts stream their
-//! boundary outputs to the aggregator host over crossbeam channels while
-//! all hosts run concurrently. Results are identical to the
-//! single-threaded simulator (the engines' merge operators align
-//! independently-progressing inputs), which the test suite checks.
+//! one deterministic engine, this runner actually *distributes* it. The
+//! plan is decomposed into **execution units**:
+//!
+//! - the **central unit** — the aggregation tier (`plan.central`
+//!   nodes), run by the calling thread;
+//! - one **leaf unit** per independent partition pipeline — a connected
+//!   component of non-central nodes on one host — each run by its own
+//!   worker thread. A host owning N partition scans therefore runs N
+//!   workers, so a 4-host deployment scales with cores instead of
+//!   serializing each host's partitions on one thread
+//!   ([`TransportConfig::partition_parallel`]; turning it off restores
+//!   the one-thread-per-host baseline).
+//!
+//! Boundary data crosses units as **length-prefixed wire frames**
+//! ([`qap_types::encode_batch`], reusable scratch, up to
+//! [`TransportConfig::frame_batch`] tuples per frame) over a **bounded**
+//! channel of [`TransportConfig::channel_capacity`] frames: a producer
+//! that outruns the central consumer blocks — backpressure — instead of
+//! buffering unboundedly. The encoded frames double as the *measured*
+//! byte source ([`TransportMetrics`]), kept in lock-step with the
+//! Section 4.2.1 cost model because a frame's payload length is exactly
+//! `Σ encoded_len(tuple)`.
+//!
+//! Results are identical to the single-threaded simulator at every
+//! capacity/frame-size setting (the engines' merge operators align
+//! independently-progressing inputs), which the transport equivalence
+//! suite checks.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
 use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, OpCounters, OpMetrics};
 use qap_obs::SharedGauge;
 use qap_optimizer::{DistributedPlan, SplitStrategy};
 use qap_partition::HashPartitioner;
 use qap_plan::{LogicalNode, NodeId, QueryDag};
-use qap_types::Tuple;
+use qap_types::{encode_batch, Bytes, BytesMut, Tuple, FRAME_HEADER_LEN};
 
 use crate::sim::{account, trace_duration, SimConfig, SimResult};
+use crate::transport::{EdgeTransport, TransportConfig, TransportMetrics};
 
-/// One host's executable slice of the plan.
-struct HostPlan {
+/// One execution unit's slice of the plan.
+struct UnitPlan {
+    /// Executing host (for transport attribution).
+    host: usize,
     dag: QueryDag,
     /// global node id → local node id.
     local: HashMap<NodeId, NodeId>,
     /// global producer id → local pseudo-source id (remote inputs).
     remote_in: HashMap<NodeId, NodeId>,
-    /// Global ids (on this host) whose output crosses to another host.
+    /// Global ids (in this unit) whose output crosses to another unit.
     boundary: Vec<NodeId>,
     /// Plan outputs hosted here: (output index, global node id).
     outputs: Vec<(usize, NodeId)>,
 }
 
-fn slice_host(plan: &DistributedPlan, host: usize) -> ExecResult<HostPlan> {
+/// Clones the sub-plan induced by `nodes` (a deterministic, topo-ordered
+/// subset), registering a pseudo-source for every edge arriving from
+/// outside the unit.
+fn slice_unit(plan: &DistributedPlan, nodes: &[NodeId]) -> ExecResult<UnitPlan> {
+    let mut in_unit = vec![false; plan.dag.len()];
+    for &id in nodes {
+        in_unit[id] = true;
+    }
+    let host = nodes.first().map(|&id| plan.host[id]).unwrap_or(0);
+
     let mut local: HashMap<NodeId, NodeId> = HashMap::new();
     let mut remote_in: HashMap<NodeId, NodeId> = HashMap::new();
     let mut catalog = plan.dag.catalog().clone();
 
-    // First pass: register pseudo-streams for remote producers.
+    // First pass: register pseudo-streams for outside producers.
     for id in plan.dag.topo_order() {
-        if plan.host[id] != host {
+        if !in_unit[id] {
             continue;
         }
         for child in plan.dag.node(id).children() {
-            if plan.host[child] != host && !remote_in.contains_key(&child) {
+            if !in_unit[child] && !remote_in.contains_key(&child) {
                 let name = format!("__remote_{child}");
                 catalog
                     .register(plan.dag.schema(child).renamed(name))
@@ -56,20 +90,23 @@ fn slice_host(plan: &DistributedPlan, host: usize) -> ExecResult<HostPlan> {
         }
     }
     let mut dag = QueryDag::new(catalog);
-    for (child, slot) in remote_in.iter_mut() {
+    // Deterministic pseudo-source numbering: ascending producer id.
+    let mut producers: Vec<NodeId> = remote_in.keys().copied().collect();
+    producers.sort_unstable();
+    for child in producers {
         let sid = dag
             .add_source(&format!("__remote_{child}"))
             .map_err(|e| ExecError::BadPlan(format!("pseudo-source: {e}")))?;
-        *slot = sid;
+        remote_in.insert(child, sid);
     }
 
-    // Second pass: clone this host's nodes with remapped children.
+    // Second pass: clone this unit's nodes with remapped children.
     for id in plan.dag.topo_order() {
-        if plan.host[id] != host {
+        if !in_unit[id] {
             continue;
         }
         let remap = |c: NodeId| -> NodeId {
-            if plan.host[c] == host {
+            if in_unit[c] {
                 local[&c]
             } else {
                 remote_in[&c]
@@ -132,21 +169,17 @@ fn slice_host(plan: &DistributedPlan, host: usize) -> ExecResult<HostPlan> {
         };
         let lid = dag
             .add_node(node)
-            .map_err(|e| ExecError::BadPlan(format!("host {host} subplan: {e}")))?;
+            .map_err(|e| ExecError::BadPlan(format!("unit subplan: {e}")))?;
         local.insert(id, lid);
     }
 
-    // Boundary producers: nodes here consumed elsewhere.
+    // Boundary producers: nodes here consumed outside the unit.
     let mut boundary = Vec::new();
     for id in plan.dag.topo_order() {
-        if plan.host[id] != host {
+        if !in_unit[id] {
             continue;
         }
-        let crosses = plan
-            .dag
-            .parents(id)
-            .into_iter()
-            .any(|p| plan.host[p] != host);
+        let crosses = plan.dag.parents(id).into_iter().any(|p| !in_unit[p]);
         if crosses {
             boundary.push(id);
         }
@@ -155,11 +188,12 @@ fn slice_host(plan: &DistributedPlan, host: usize) -> ExecResult<HostPlan> {
         .outputs
         .iter()
         .enumerate()
-        .filter(|(_, o)| plan.host[o.node] == host)
+        .filter(|(_, o)| in_unit[o.node])
         .map(|(i, o)| (i, o.node))
         .collect();
 
-    Ok(HostPlan {
+    Ok(UnitPlan {
+        host,
         dag,
         local,
         remote_in,
@@ -168,18 +202,117 @@ fn slice_host(plan: &DistributedPlan, host: usize) -> ExecResult<HostPlan> {
     })
 }
 
-/// Executes a distributed plan with one thread per host. Semantically
-/// identical to [`crate::run_distributed`]; metrics are computed from
-/// the merged per-host counters with the same accounting.
+/// Splits the plan into execution units: element 0 is the central unit
+/// (run by the calling thread), the rest are leaf units (one worker
+/// thread each). Falls back to one-unit-per-host when the
+/// partition-parallel decomposition is not applicable (no central tier,
+/// central nodes off the aggregator host, or leaf pipelines that span
+/// hosts or consume central output).
+fn compute_units(
+    plan: &DistributedPlan,
+    agg: usize,
+    transport: &TransportConfig,
+) -> Vec<Vec<NodeId>> {
+    let n = plan.dag.len();
+    let parallel_ok = transport.partition_parallel && {
+        let mut any_central = false;
+        let mut ok = true;
+        for id in plan.dag.topo_order() {
+            if plan.central[id] {
+                any_central = true;
+                if plan.host[id] != agg {
+                    ok = false;
+                }
+            } else {
+                for c in plan.dag.node(id).children() {
+                    if plan.central[c] || plan.host[c] != plan.host[id] {
+                        ok = false;
+                    }
+                }
+            }
+        }
+        ok && any_central
+    };
+
+    if parallel_ok {
+        // Union-find over the non-central subgraph: each connected
+        // component is an independently schedulable leaf pipeline.
+        let mut uf: Vec<usize> = (0..n).collect();
+        fn find(uf: &mut [usize], mut x: usize) -> usize {
+            while uf[x] != x {
+                uf[x] = uf[uf[x]];
+                x = uf[x];
+            }
+            x
+        }
+        for id in plan.dag.topo_order() {
+            if plan.central[id] {
+                continue;
+            }
+            for c in plan.dag.node(id).children() {
+                if !plan.central[c] {
+                    let (a, b) = (find(&mut uf, id), find(&mut uf, c));
+                    uf[a.max(b)] = a.min(b);
+                }
+            }
+        }
+        let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        for id in plan.dag.topo_order() {
+            if !plan.central[id] {
+                groups.entry(find(&mut uf, id)).or_default().push(id);
+            }
+        }
+        let central: Vec<NodeId> = plan
+            .dag
+            .topo_order()
+            .filter(|&id| plan.central[id])
+            .collect();
+        let mut leaves: Vec<Vec<NodeId>> = groups.into_values().collect();
+        // Deterministic unit order: by smallest member id.
+        leaves.sort_unstable_by_key(|g| g[0]);
+        let mut units = vec![central];
+        units.extend(leaves);
+        units
+    } else {
+        // Host-serial baseline: the aggregator host is the central
+        // unit, every other host one leaf unit.
+        let hosts = plan.partitioning.hosts;
+        let mut per_host: Vec<Vec<NodeId>> = vec![Vec::new(); hosts];
+        for id in plan.dag.topo_order() {
+            per_host[plan.host[id]].push(id);
+        }
+        let central = std::mem::take(&mut per_host[agg]);
+        let mut units = vec![central];
+        units.extend(per_host.into_iter().filter(|u| !u.is_empty()));
+        units
+    }
+}
+
+/// A boundary frame in flight: (global producer node id, encoded frame).
+type Frame = (NodeId, Bytes);
+
+/// One unit's results: stitched back into global vectors by the driver.
+struct UnitRun {
+    counters: Vec<OpCounters>,
+    node_metrics: Vec<OpMetrics>,
+    outputs: Vec<(usize, Vec<Tuple>)>,
+    edges: Vec<EdgeTransport>,
+}
+
+/// Executes a distributed plan with partition-parallel worker threads
+/// and framed, bounded boundary transport. Semantically identical to
+/// [`crate::run_distributed`]; metrics are computed from the merged
+/// per-unit counters with the same accounting, plus the *measured*
+/// [`TransportMetrics`] from the frame path.
 pub fn run_distributed_threaded(
     plan: &DistributedPlan,
     trace: &[Tuple],
     cfg: &SimConfig,
 ) -> ExecResult<SimResult> {
-    let hosts = plan.partitioning.hosts;
     let agg = plan.partitioning.aggregator_host;
+    let transport = cfg.transport;
 
-    // Route trace tuples to hosts via the splitter.
+    // Route trace tuples to units via the splitter.
     let mut scan_of_partition: HashMap<u32, NodeId> = HashMap::new();
     let mut stream_name = None;
     for id in plan.dag.topo_order() {
@@ -204,12 +337,21 @@ pub fn run_distributed_threaded(
                 .map_err(|e| ExecError::BadPlan(format!("unusable partitioning set: {e}")))?,
         ),
     };
-    // Each host's feed is a sequence of per-scan batches. Tuples are
+
+    let unit_nodes = compute_units(plan, agg, &transport);
+    let mut unit_of: Vec<usize> = vec![0; plan.dag.len()];
+    for (u, nodes) in unit_nodes.iter().enumerate() {
+        for &id in nodes {
+            unit_of[id] = u;
+        }
+    }
+
+    // Each unit's feed is a sequence of per-scan batches. Tuples are
     // cloned exactly once (out of the shared trace, into a staging
     // buffer); from there batches move — into the feed, then into the
-    // host engine — with no further materialization.
+    // unit engine — with no further materialization.
     let max = cfg.batch.max_batch;
-    let mut per_host_feed: Vec<Vec<(NodeId, Vec<Tuple>)>> = vec![Vec::new(); hosts];
+    let mut per_unit_feed: Vec<Vec<(NodeId, Vec<Tuple>)>> = vec![Vec::new(); unit_nodes.len()];
     let mut stage: Vec<Vec<Tuple>> = vec![Vec::new(); m];
     let mut rr = 0usize;
     for t in trace {
@@ -224,7 +366,7 @@ pub fn run_distributed_threaded(
         stage[p].push(t.clone());
         if stage[p].len() >= max {
             let scan = scan_of_partition[&(p as u32)];
-            per_host_feed[plan.host[scan]].push((scan, std::mem::take(&mut stage[p])));
+            per_unit_feed[unit_of[scan]].push((scan, std::mem::take(&mut stage[p])));
         }
     }
     // Tail flush in ascending scan-node order, for determinism.
@@ -234,28 +376,41 @@ pub fn run_distributed_threaded(
         .collect();
     tail.sort_unstable();
     for (scan, p) in tail {
-        per_host_feed[plan.host[scan]].push((scan, std::mem::take(&mut stage[p])));
+        per_unit_feed[unit_of[scan]].push((scan, std::mem::take(&mut stage[p])));
     }
 
-    let slices: Vec<HostPlan> = (0..hosts)
-        .map(|h| slice_host(plan, h))
+    let slices: Vec<UnitPlan> = unit_nodes
+        .iter()
+        .map(|nodes| slice_unit(plan, nodes))
         .collect::<ExecResult<Vec<_>>>()?;
 
-    // Leaf hosts must not depend on remote inputs (the lowering only
-    // sends leaf-tier data toward the aggregator).
-    for (h, s) in slices.iter().enumerate() {
-        if h != agg && !s.remote_in.is_empty() {
+    // Leaf units must be channel-source-free: their only inputs are
+    // trace partitions (the lowering sends leaf-tier data toward the
+    // central tier, never back out), and the central unit must not ship
+    // anything onward — otherwise the single rendezvous at the central
+    // thread could deadlock.
+    for (u, s) in slices.iter().enumerate() {
+        if u != 0 && !s.remote_in.is_empty() {
             return Err(ExecError::BadPlan(format!(
-                "host {h} unexpectedly consumes remote streams"
+                "leaf unit on host {} unexpectedly consumes remote streams",
+                s.host
             )));
         }
     }
+    if !slices[0].boundary.is_empty() {
+        return Err(ExecError::BadPlan(
+            "central unit unexpectedly ships boundary output".into(),
+        ));
+    }
 
-    type Boundary = (NodeId, Vec<Tuple>);
-    let (tx, rx): (Sender<Boundary>, Receiver<Boundary>) = unbounded();
-    // Live depth of the boundary channel (in-flight batches), shared
-    // across the sending leaf threads and the receiving aggregator.
+    // The boundary data path: one bounded frame channel fanning into
+    // the central unit. No unbounded buffering anywhere — producers
+    // block when `channel_capacity` frames are in flight.
+    let (tx, rx): (Sender<Frame>, Receiver<Frame>) = bounded(transport.channel_capacity.max(1));
+    // Live depth of the boundary channel (in-flight frames).
     let depth = SharedGauge::new();
+    // Blocking sends observed by producers (backpressure stalls).
+    let stalls = AtomicU64::new(0);
 
     let mut global_counters: Vec<OpCounters> = vec![OpCounters::default(); plan.dag.len()];
     let mut global_metrics: Vec<OpMetrics> = vec![OpMetrics::default(); plan.dag.len()];
@@ -273,48 +428,64 @@ pub fn run_distributed_threaded(
         .collect();
 
     let batch_cfg = cfg.batch;
-    let result: ExecResult<Vec<HostRun>> = std::thread::scope(|scope| {
+    let frame_batch = transport.frame_batch.max(1);
+    let result: ExecResult<Vec<(usize, UnitRun)>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (h, slice) in slices.iter().enumerate() {
-            if h == agg {
-                continue;
-            }
-            // Move the feed into its host thread — the batches were
-            // materialized once at the splitter and never copied
-            // again.
-            let feed = std::mem::take(&mut per_host_feed[h]);
+        for (u, slice) in slices.iter().enumerate().skip(1) {
+            // Move the feed into its worker thread — the batches were
+            // materialized once at the splitter and never copied again.
+            let feed = std::mem::take(&mut per_unit_feed[u]);
             let tx = tx.clone();
             let depth = &depth;
-            handles.push(scope.spawn(move || -> ExecResult<_> {
-                run_leaf_host(h, slice, feed, batch_cfg, tx, depth)
-            }));
+            let stalls = &stalls;
+            handles.push((
+                u,
+                scope.spawn(move || -> ExecResult<UnitRun> {
+                    run_leaf_unit(slice, feed, batch_cfg, frame_batch, tx, depth, stalls)
+                }),
+            ));
         }
         drop(tx);
-        // The aggregator runs on this thread, concurrently with the
-        // leaves.
-        let agg_feed = std::mem::take(&mut per_host_feed[agg]);
-        let agg_result = run_agg_host(agg, &slices[agg], agg_feed, batch_cfg, rx, &depth)?;
-        let mut results = vec![agg_result];
-        for handle in handles {
-            results.push(handle.join().expect("host thread panicked")?);
+        // The central unit runs on this thread, concurrently with the
+        // workers.
+        let central_feed = std::mem::take(&mut per_unit_feed[0]);
+        let central = run_central_unit(&slices[0], central_feed, batch_cfg, rx, &depth);
+        let mut results = vec![(0, central?)];
+        for (u, handle) in handles {
+            results.push((u, handle.join().expect("worker thread panicked")?));
         }
         Ok(results)
     });
 
-    for (h, counters, node_metrics, outs) in result? {
-        let slice = &slices[h];
+    let mut edges: Vec<EdgeTransport> = Vec::new();
+    for (u, run) in result? {
+        let slice = &slices[u];
         for (&global, &local) in &slice.local {
-            global_counters[global] = counters[local];
-            global_metrics[global] = node_metrics[local].clone();
+            global_counters[global] = run.counters[local];
+            global_metrics[global] = run.node_metrics[local].clone();
         }
-        for (idx, rows) in outs {
+        for (idx, rows) in run.outputs {
             outputs[idx].1 = rows;
         }
+        edges.extend(run.edges);
     }
+    edges.sort_unstable_by_key(|e| e.producer);
+    let frames: u64 = edges.iter().map(|e| e.frames).sum();
+    let payload: u64 = edges.iter().map(|e| e.bytes).sum();
+    let transport_metrics = TransportMetrics {
+        edges,
+        frames,
+        frame_bytes: payload + frames * FRAME_HEADER_LEN as u64,
+        backpressure_stalls: stalls.load(Ordering::Relaxed),
+        queue_peak: depth.peak(),
+        channel_capacity: transport.channel_capacity.max(1),
+        frame_batch,
+    };
 
     let duration = trace_duration(&schema, trace);
     let mut metrics = account(plan, &global_counters, duration, cfg);
-    metrics.boundary_queue_peak = depth.peak();
+    metrics.boundary_queue_peak = transport_metrics.queue_peak;
+    metrics.transport = transport_metrics;
     Ok(SimResult {
         metrics,
         outputs,
@@ -323,63 +494,190 @@ pub fn run_distributed_threaded(
     })
 }
 
-type HostRun = (
-    usize,
-    Vec<OpCounters>,
-    Vec<OpMetrics>,
-    Vec<(usize, Vec<Tuple>)>,
-);
-
-fn run_leaf_host(
-    host: usize,
-    slice: &HostPlan,
-    feed: Vec<(NodeId, Vec<Tuple>)>,
-    batch_cfg: BatchConfig,
-    tx: Sender<(NodeId, Vec<Tuple>)>,
-    depth: &SharedGauge,
-) -> ExecResult<HostRun> {
-    let sinks: Vec<NodeId> = slice.boundary.iter().map(|&g| slice.local[&g]).collect();
-    let mut engine = Engine::with_sinks(&slice.dag, &sinks)?;
-    engine.set_batch_config(batch_cfg);
-    for (scan_global, mut batch) in feed {
-        engine.push_batch(slice.local[&scan_global], &mut batch)?;
-        forward_boundary(&mut engine, slice, &tx, depth);
-    }
-    engine.finish()?;
-    forward_boundary(&mut engine, slice, &tx, depth);
-    let counters = engine.counters().to_vec();
-    let node_metrics = engine.metrics();
-    Ok((host, counters, node_metrics, Vec::new()))
+/// Per-boundary-producer framing state within one leaf unit.
+struct EdgeStage {
+    /// Global producer node id.
+    producer: NodeId,
+    /// Local sink id inside the unit's engine.
+    local: NodeId,
+    /// Tuples drained but not yet framed.
+    pending: Vec<Tuple>,
+    /// Measured transport for this edge.
+    stats: EdgeTransport,
 }
 
+fn run_leaf_unit(
+    slice: &UnitPlan,
+    feed: Vec<(NodeId, Vec<Tuple>)>,
+    batch_cfg: BatchConfig,
+    frame_batch: usize,
+    tx: Sender<Frame>,
+    depth: &SharedGauge,
+    stalls: &AtomicU64,
+) -> ExecResult<UnitRun> {
+    let mut sinks: Vec<NodeId> = slice.boundary.iter().map(|&g| slice.local[&g]).collect();
+    for &(_, g) in &slice.outputs {
+        let l = slice.local[&g];
+        if !sinks.contains(&l) {
+            sinks.push(l);
+        }
+    }
+    let mut engine = Engine::with_sinks(&slice.dag, &sinks)?;
+    engine.set_batch_config(batch_cfg);
+
+    let mut edges: Vec<EdgeStage> = slice
+        .boundary
+        .iter()
+        .map(|&g| EdgeStage {
+            producer: g,
+            local: slice.local[&g],
+            pending: Vec::new(),
+            stats: EdgeTransport {
+                producer: g,
+                from_host: slice.host,
+                ..EdgeTransport::default()
+            },
+        })
+        .collect();
+    let mut scratch = BytesMut::new();
+
+    for (scan_global, mut batch) in feed {
+        engine.push_batch(slice.local[&scan_global], &mut batch)?;
+        forward_boundary(
+            &mut engine,
+            &mut edges,
+            frame_batch,
+            false,
+            &mut scratch,
+            &tx,
+            depth,
+            stalls,
+        );
+    }
+    engine.finish()?;
+    forward_boundary(
+        &mut engine,
+        &mut edges,
+        frame_batch,
+        true,
+        &mut scratch,
+        &tx,
+        depth,
+        stalls,
+    );
+
+    let counters = engine.counters().to_vec();
+    let node_metrics = engine.metrics();
+    let outputs = slice
+        .outputs
+        .iter()
+        .map(|&(idx, g)| (idx, engine.output(slice.local[&g])))
+        .collect();
+    Ok(UnitRun {
+        counters,
+        node_metrics,
+        outputs,
+        edges: edges.into_iter().map(|e| e.stats).collect(),
+    })
+}
+
+/// Drains each boundary sink into its staging buffer and ships every
+/// full `frame_batch`-tuple frame (plus, on `final_flush`, the partial
+/// tail frame). Frames per edge are deterministic: the producer's
+/// output sequence is fixed by the plan and trace, and chunking is
+/// positional.
+#[allow(clippy::too_many_arguments)]
 fn forward_boundary(
     engine: &mut Engine,
-    slice: &HostPlan,
-    tx: &Sender<(NodeId, Vec<Tuple>)>,
+    edges: &mut [EdgeStage],
+    frame_batch: usize,
+    final_flush: bool,
+    scratch: &mut BytesMut,
+    tx: &Sender<Frame>,
     depth: &SharedGauge,
+    stalls: &AtomicU64,
 ) {
-    for &global in &slice.boundary {
-        let batch = engine.drain_output(slice.local[&global]);
-        if !batch.is_empty() {
-            // Receiver gone means the aggregator finished early (error
-            // path); dropping the batch is fine then. The gauge counts
-            // the batch as in-flight from send to receive.
-            depth.inc();
-            if tx.send((global, batch)).is_err() {
-                depth.dec();
+    for edge in edges.iter_mut() {
+        let mut drained = engine.drain_output(edge.local);
+        if !drained.is_empty() {
+            if edge.pending.is_empty() {
+                edge.pending = drained;
+            } else {
+                edge.pending.append(&mut drained);
             }
+        }
+        let (producer, pending, stats) = (edge.producer, &edge.pending, &mut edge.stats);
+        let mut start = 0;
+        while pending.len() - start >= frame_batch {
+            ship(
+                &pending[start..start + frame_batch],
+                producer,
+                stats,
+                scratch,
+                tx,
+                depth,
+                stalls,
+            );
+            start += frame_batch;
+        }
+        if final_flush && start < pending.len() {
+            ship(
+                &pending[start..],
+                producer,
+                stats,
+                scratch,
+                tx,
+                depth,
+                stalls,
+            );
+            start = pending.len();
+        }
+        if start > 0 {
+            edge.pending.drain(..start);
         }
     }
 }
 
-fn run_agg_host(
-    host: usize,
-    slice: &HostPlan,
+/// Encodes one frame and sends it over the bounded channel: a
+/// non-blocking attempt first, and on a full buffer one counted
+/// backpressure stall followed by a blocking send. A dropped receiver
+/// (central error path) discards the frame — never a deadlock.
+#[allow(clippy::too_many_arguments)]
+fn ship(
+    chunk: &[Tuple],
+    producer: NodeId,
+    stats: &mut EdgeTransport,
+    scratch: &mut BytesMut,
+    tx: &Sender<Frame>,
+    depth: &SharedGauge,
+    stalls: &AtomicU64,
+) {
+    let frame = encode_batch(chunk, scratch);
+    stats.frames += 1;
+    stats.tuples += chunk.len() as u64;
+    stats.bytes += (frame.len() - FRAME_HEADER_LEN) as u64;
+    depth.inc();
+    match tx.try_send((producer, frame)) {
+        Ok(()) => {}
+        Err(TrySendError::Full(msg)) => {
+            stalls.fetch_add(1, Ordering::Relaxed);
+            if tx.send(msg).is_err() {
+                depth.dec();
+            }
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            depth.dec();
+        }
+    }
+}
+
+fn run_central_unit(
+    slice: &UnitPlan,
     feed: Vec<(NodeId, Vec<Tuple>)>,
     batch_cfg: BatchConfig,
-    rx: Receiver<(NodeId, Vec<Tuple>)>,
+    rx: Receiver<Frame>,
     depth: &SharedGauge,
-) -> ExecResult<HostRun> {
+) -> ExecResult<UnitRun> {
     let sinks: Vec<NodeId> = slice
         .outputs
         .iter()
@@ -387,28 +685,35 @@ fn run_agg_host(
         .collect();
     let mut engine = Engine::with_sinks(&slice.dag, &sinks)?;
     engine.set_batch_config(batch_cfg);
-    // Local partitions first (leaves stream concurrently into the
-    // channel buffer)...
+    // Local partitions first (host-serial mode keeps the aggregator
+    // host's own scans in this unit; workers stream concurrently into
+    // the channel buffer)...
     for (scan_global, mut batch) in feed {
         engine.push_batch(slice.local[&scan_global], &mut batch)?;
     }
-    // ...then every remote boundary batch, ingested whole (the engine
-    // chunks oversized ones); merge operators align the
-    // independently-progressing inputs.
-    while let Ok((producer, mut batch)) = rx.recv() {
+    // ...then every boundary frame, decoded straight into the engine's
+    // pooled buffers; merge operators align the independently-
+    // progressing inputs. Dropping `rx` on an early error unblocks any
+    // producer stalled on a full channel.
+    while let Ok((producer, frame)) = rx.recv() {
         depth.dec();
         let pseudo = slice.remote_in[&producer];
-        engine.push_batch(pseudo, &mut batch)?;
+        engine.push_frame(pseudo, frame)?;
     }
     engine.finish()?;
     let counters = engine.counters().to_vec();
     let node_metrics = engine.metrics();
-    let outs = slice
+    let outputs = slice
         .outputs
         .iter()
         .map(|&(idx, g)| (idx, engine.output(slice.local[&g])))
         .collect();
-    Ok((host, counters, node_metrics, outs))
+    Ok(UnitRun {
+        counters,
+        node_metrics,
+        outputs,
+        edges: Vec::new(),
+    })
 }
 
 #[cfg(test)]
@@ -458,11 +763,9 @@ mod tests {
         rows
     }
 
-    #[test]
-    fn threaded_matches_single_threaded() {
+    fn check_matches(cfg: &SimConfig) {
         let dag = section_3_2();
         let trace = generate(&TraceConfig::tiny(21));
-        let cfg = SimConfig::default();
         for (hosts, part) in [
             (
                 3,
@@ -475,8 +778,8 @@ mod tests {
             (4, Partitioning::round_robin(4)),
         ] {
             let plan = optimize(&dag, &part, &OptimizerConfig::full()).unwrap();
-            let single = run_distributed(&plan, &trace, &cfg).unwrap();
-            let threaded = run_distributed_threaded(&plan, &trace, &cfg).unwrap();
+            let single = run_distributed(&plan, &trace, cfg).unwrap();
+            let threaded = run_distributed_threaded(&plan, &trace, cfg).unwrap();
             assert_eq!(single.outputs.len(), threaded.outputs.len());
             for (s, t) in single.outputs.iter().zip(threaded.outputs.iter()) {
                 assert_eq!(s.0, t.0);
@@ -493,6 +796,116 @@ mod tests {
                 single.metrics.aggregator_rx_tuples,
                 threaded.metrics.aggregator_rx_tuples
             );
+            // The measured frame path must carry exactly the transfer
+            // tuples the derived accounting charges. Partition-parallel
+            // runs ship *every* transfer (including the aggregator
+            // host's own leaf→central loopback edges) as frames;
+            // host-serial keeps agg-local leaf output in-engine, so its
+            // frames carry only the cross-host subset.
+            let expected = if cfg.transport.partition_parallel {
+                threaded.metrics.total_transfers
+            } else {
+                let agg = plan.partitioning.aggregator_host;
+                threaded
+                    .metrics
+                    .host_tx_tuples
+                    .iter()
+                    .enumerate()
+                    .filter(|&(h, _)| h != agg)
+                    .map(|(_, &t)| t)
+                    .sum()
+            };
+            assert_eq!(
+                threaded.metrics.transport.tuples(),
+                expected,
+                "{hosts} hosts: frame path vs derived accounting"
+            );
         }
+    }
+
+    #[test]
+    fn threaded_matches_single_threaded() {
+        check_matches(&SimConfig::default());
+    }
+
+    #[test]
+    fn host_serial_matches_single_threaded() {
+        let cfg = SimConfig {
+            transport: TransportConfig::default().host_serial(),
+            ..SimConfig::default()
+        };
+        check_matches(&cfg);
+    }
+
+    #[test]
+    fn tight_channel_small_frames_match() {
+        let cfg = SimConfig {
+            transport: TransportConfig::new(1, 7),
+            ..SimConfig::default()
+        };
+        check_matches(&cfg);
+    }
+
+    #[test]
+    fn partition_parallel_spawns_per_component_units() {
+        let dag = section_3_2();
+        let plan = optimize(
+            &dag,
+            &Partitioning::round_robin(4),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let agg = plan.partitioning.aggregator_host;
+        let parallel = compute_units(&plan, agg, &TransportConfig::default());
+        let serial = compute_units(&plan, agg, &TransportConfig::default().host_serial());
+        // Host-serial: at most one unit per host. Partition-parallel:
+        // one leaf unit per partition pipeline — strictly more workers
+        // whenever hosts own multiple partitions.
+        assert!(serial.len() <= plan.partitioning.hosts);
+        assert!(
+            parallel.len() > serial.len(),
+            "parallel {} vs serial {}",
+            parallel.len(),
+            serial.len()
+        );
+        // Every node lands in exactly one unit, and unit 0 is exactly
+        // the central tier.
+        let total: usize = parallel.iter().map(|u| u.len()).sum();
+        assert_eq!(total, plan.dag.len());
+        for &id in &parallel[0] {
+            assert!(plan.central[id]);
+        }
+        for unit in &parallel[1..] {
+            for &id in unit {
+                assert!(!plan.central[id]);
+            }
+        }
+    }
+
+    #[test]
+    fn measured_frame_bytes_match_derived_estimate() {
+        // All-numeric schemas: the wire encoding costs exactly
+        // 2 + 9·arity bytes per tuple, so the measured frame payload
+        // must equal the cost model's derived estimate.
+        let dag = section_3_2();
+        let trace = generate(&TraceConfig::tiny(5));
+        let plan = optimize(
+            &dag,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 4),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let result = run_distributed_threaded(&plan, &trace, &SimConfig::default()).unwrap();
+        let derived: f64 = result
+            .metrics
+            .host_rx_bytes_per_sec
+            .iter()
+            .map(|b| b * result.metrics.duration_secs)
+            .sum();
+        let measured = result.metrics.transport.payload_bytes() as f64;
+        assert!(
+            (derived - measured).abs() < 0.5,
+            "derived {derived} vs measured {measured}"
+        );
     }
 }

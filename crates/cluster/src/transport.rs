@@ -1,0 +1,176 @@
+//! Configuration and measured telemetry for the threaded runner's
+//! framed boundary transport.
+//!
+//! The threaded cluster runner ships boundary data between execution
+//! units as length-prefixed wire frames ([`qap_types::encode_batch`])
+//! over *bounded* channels. Two knobs govern the path:
+//!
+//! - `channel_capacity` — in-flight frames a boundary channel buffers
+//!   before the producing unit blocks (backpressure);
+//! - `frame_batch` — tuples staged per frame before it is encoded and
+//!   shipped.
+//!
+//! Both are pure performance knobs: results and semantic counters are
+//! identical at every setting (the transport equivalence suite sweeps
+//! them against the deterministic simulator).
+//!
+//! [`TransportMetrics`] is the *measured* side: actual frames and
+//! encoded bytes that crossed each boundary edge — as opposed to the
+//! cost model's derived `tuples × wire_size(arity)` estimate — plus
+//! backpressure stalls and the live channel-depth peak.
+
+use serde::Serialize;
+
+/// Knobs for the threaded runner's boundary transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TransportConfig {
+    /// Bounded channel capacity, in frames. Producing units block once
+    /// this many frames are in flight toward a consumer — backpressure
+    /// instead of unbounded buffering. Clamped to at least 1.
+    pub channel_capacity: usize,
+    /// Tuples staged per boundary frame. Boundary output is chunked
+    /// into frames of exactly this many tuples (plus one final partial
+    /// frame). Clamped to at least 1.
+    pub frame_batch: usize,
+    /// When true (default), a host owning several partition scans runs
+    /// each independent leaf component on its own worker thread feeding
+    /// the central merge stage; when false, each host runs one thread —
+    /// the pre-partition-parallel baseline topology.
+    pub partition_parallel: bool,
+}
+
+impl Default for TransportConfig {
+    /// 64 in-flight frames (enough to decouple producer/consumer
+    /// scheduling jitter, small enough that a stalled consumer stops
+    /// producers within tens of frames) × 1024-tuple frames (matches
+    /// the default [`qap_exec::BatchConfig`]) with partition-parallel
+    /// hosts on.
+    fn default() -> Self {
+        TransportConfig {
+            channel_capacity: 64,
+            frame_batch: 1024,
+            partition_parallel: true,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Config with the given capacity and frame size (each clamped to
+    /// at least 1), partition-parallel on.
+    pub fn new(channel_capacity: usize, frame_batch: usize) -> Self {
+        TransportConfig {
+            channel_capacity: channel_capacity.max(1),
+            frame_batch: frame_batch.max(1),
+            partition_parallel: true,
+        }
+    }
+
+    /// The pre-partition-parallel baseline: one thread per host, same
+    /// framed bounded transport.
+    pub fn host_serial(mut self) -> Self {
+        self.partition_parallel = false;
+        self
+    }
+}
+
+/// Measured transport for one boundary edge (one producing plan node's
+/// frame stream into its consuming unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct EdgeTransport {
+    /// Global plan-node id of the producing operator.
+    pub producer: usize,
+    /// Host executing the producer.
+    pub from_host: usize,
+    /// Frames shipped over this edge.
+    pub frames: u64,
+    /// Tuples carried by those frames.
+    pub tuples: u64,
+    /// Encoded payload bytes carried (excluding the 8-byte frame
+    /// headers) — the measured counterpart of the cost model's
+    /// `tuples × wire_size(arity)` estimate, identical for all-numeric
+    /// schemas.
+    pub bytes: u64,
+}
+
+/// Measured boundary-transport telemetry of one threaded run.
+///
+/// Frame/tuple/byte counts per edge are deterministic (each producer's
+/// output stream and its chunking into frames are fixed by the plan and
+/// trace); `backpressure_stalls` and `queue_peak` depend on scheduling
+/// and vary run to run. The deterministic simulator ships no frames and
+/// reports an empty value.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct TransportMetrics {
+    /// Per-edge measurements, sorted by producing node id.
+    pub edges: Vec<EdgeTransport>,
+    /// Total frames shipped across all boundary edges.
+    pub frames: u64,
+    /// Total encoded frame bytes shipped, *including* the 8-byte
+    /// per-frame headers (`Σ edge.bytes + 8 × frames`).
+    pub frame_bytes: u64,
+    /// Times a producing unit found its boundary channel full and had
+    /// to block (one stall per blocking send, not per blocked tuple).
+    pub backpressure_stalls: u64,
+    /// Peak frames in flight across all boundary channels.
+    pub queue_peak: u64,
+    /// The capacity the run's channels were created with.
+    pub channel_capacity: usize,
+    /// The frame size the run staged boundary tuples into.
+    pub frame_batch: usize,
+}
+
+impl TransportMetrics {
+    /// Total tuples shipped across all boundary edges.
+    pub fn tuples(&self) -> u64 {
+        self.edges.iter().map(|e| e.tuples).sum()
+    }
+
+    /// Total encoded payload bytes (excluding frame headers).
+    pub fn payload_bytes(&self) -> u64 {
+        self.edges.iter().map(|e| e.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_clamping() {
+        let d = TransportConfig::default();
+        assert_eq!(d.channel_capacity, 64);
+        assert_eq!(d.frame_batch, 1024);
+        assert!(d.partition_parallel);
+        let c = TransportConfig::new(0, 0);
+        assert_eq!((c.channel_capacity, c.frame_batch), (1, 1));
+        assert!(!TransportConfig::default().host_serial().partition_parallel);
+    }
+
+    #[test]
+    fn totals_sum_edges() {
+        let m = TransportMetrics {
+            edges: vec![
+                EdgeTransport {
+                    producer: 1,
+                    from_host: 0,
+                    frames: 2,
+                    tuples: 10,
+                    bytes: 100,
+                },
+                EdgeTransport {
+                    producer: 3,
+                    from_host: 1,
+                    frames: 1,
+                    tuples: 5,
+                    bytes: 50,
+                },
+            ],
+            frames: 3,
+            frame_bytes: 150 + 3 * 8,
+            ..TransportMetrics::default()
+        };
+        assert_eq!(m.tuples(), 15);
+        assert_eq!(m.payload_bytes(), 150);
+        assert_eq!(m.frame_bytes, m.payload_bytes() + 8 * m.frames);
+    }
+}

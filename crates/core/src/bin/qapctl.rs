@@ -9,6 +9,7 @@
 //!                              [--seed S] [--epochs E] [--flows F]
 //!                              [--trace file.qtr] [--threaded] [--limit K]
 //!                              [--batch-size B] [--metrics[=PATH]]
+//!                              [--channel-capacity C] [--frame-batch F] [--host-serial]
 //! qapctl gen-trace <out.qtr>   [--seed S] [--epochs E] [--flows F]
 //! ```
 //!
@@ -43,6 +44,9 @@ const USAGE: &str = "usage:
                    [--batch-size B]   (engine batch size; results are batch-size-invariant)
                    [--metrics[=PATH]] (export run metrics; .prom = Prometheus text, else JSON;
                                        bare --metrics prints JSON to stdout)
+                   [--channel-capacity C] (bounded boundary-channel depth for --threaded; default 64)
+                   [--frame-batch F]      (max tuples per boundary frame for --threaded; default 1024)
+                   [--host-serial]        (one worker per host instead of partition-parallel units)
   qapctl gen-trace <out.qtr> [--seed S] [--epochs E] [--flows F]";
 
 struct Opts {
@@ -60,6 +64,7 @@ struct Opts {
     limit: usize,
     trace_file: Option<String>,
     batch_size: usize,
+    transport: TransportConfig,
     /// `None` = no export, `Some(None)` = JSON to stdout,
     /// `Some(Some(path))` = write to `path` (`.prom` selects Prometheus
     /// text, anything else JSON).
@@ -82,6 +87,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         limit: 10,
         trace_file: None,
         batch_size: BatchConfig::default().max_batch,
+        transport: TransportConfig::default(),
         metrics: None,
     };
     let mut it = args.iter();
@@ -136,6 +142,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .collect::<Result<Vec<_>, _>>()?;
                 opts.set = Some(PartitionSet::from_exprs(exprs.iter()));
             }
+            "--channel-capacity" => {
+                opts.transport.channel_capacity = value("--channel-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--channel-capacity: {e}"))?;
+                if opts.transport.channel_capacity == 0 {
+                    return Err("--channel-capacity must be at least 1".into());
+                }
+            }
+            "--frame-batch" => {
+                opts.transport.frame_batch = value("--frame-batch")?
+                    .parse()
+                    .map_err(|e| format!("--frame-batch: {e}"))?;
+                if opts.transport.frame_batch == 0 {
+                    return Err("--frame-batch must be at least 1".into());
+                }
+            }
+            "--host-serial" => opts.transport.partition_parallel = false,
             "--trace" => opts.trace_file = Some(value("--trace")?),
             "--round-robin" => opts.round_robin = true,
             "--naive" => opts.naive = true,
@@ -296,6 +319,7 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
     );
     let sim = SimConfig {
         batch: BatchConfig::new(opts.batch_size),
+        transport: opts.transport,
         ..SimConfig::default()
     };
     let result = if opts.threaded {
@@ -333,6 +357,20 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
         "  leaf imbalance: {:.3}; late drops: {}",
         m.leaf_imbalance, m.late_dropped
     );
+    let t = &m.transport;
+    if t.frames > 0 {
+        println!(
+            "  boundary transport: {} frames / {} tuples / {} B (cap {}, frame {}); \
+             queue peak {}, stalls {}",
+            t.frames,
+            t.tuples(),
+            t.frame_bytes,
+            t.channel_capacity,
+            t.frame_batch,
+            t.queue_peak,
+            t.backpressure_stalls
+        );
+    }
     if let Some(dest) = &opts.metrics {
         let registry = metrics_registry(&plan, &result);
         match dest {

@@ -65,12 +65,14 @@
 //! | [`partition`] | `qap-partition` | compatibility, reconciliation, cost model, search |
 //! | [`optimizer`] | `qap-optimizer` | partition-aware distributed lowering |
 //! | [`exec`] | `qap-exec` | tumbling-window streaming engine |
+//! | [`obs`] | `qap-obs` | metrics registry, histograms, exporters |
 //! | [`trace`] | `qap-trace` | synthetic packet traces |
 //! | [`cluster`] | `qap-cluster` | cluster simulator + the paper's experiments |
 
 pub use qap_cluster as cluster;
 pub use qap_exec as exec;
 pub use qap_expr as expr;
+pub use qap_obs as obs;
 pub use qap_optimizer as optimizer;
 pub use qap_partition as partition;
 pub use qap_plan as plan;
@@ -86,7 +88,8 @@ pub mod prelude {
     pub use qap_cluster::{
         measure_stats, metrics_registry, run_distributed, run_distributed_multi,
         run_distributed_threaded, validate_cost_model, ClusterMetrics, CostConstants,
-        CostValidation, MetricsRegistry, SimConfig, SimResult, DEFAULT_TOLERANCE,
+        CostValidation, MetricsRegistry, SimConfig, SimResult, TransportConfig, TransportMetrics,
+        DEFAULT_TOLERANCE,
     };
     pub use qap_exec::{
         run_logical, run_logical_with, BatchConfig, Engine, OpCounters, PaneAggregator, PaneSpec,

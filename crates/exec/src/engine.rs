@@ -250,6 +250,28 @@ impl Engine {
         self.run()
     }
 
+    /// Delivers a wire frame (produced by [`qap_types::encode_batch`])
+    /// to a source scan: the frame is decoded into a pooled scratch
+    /// buffer — no per-frame allocation at steady state — validated,
+    /// and routed as one batch. Returns the number of tuples ingested.
+    ///
+    /// This is the receive half of the cluster's framed boundary
+    /// transport: decode errors surface as typed [`ExecError::Wire`]
+    /// failures rather than panics.
+    pub fn push_frame(&mut self, source: NodeId, frame: qap_types::Bytes) -> ExecResult<usize> {
+        let mut buf = self.take_buf();
+        if let Err(e) = qap_types::decode_batch_into(frame, &mut buf) {
+            buf.clear();
+            self.recycle(buf);
+            return Err(ExecError::Wire(e));
+        }
+        let n = buf.len();
+        let result = self.push_batch(source, &mut buf);
+        buf.clear();
+        self.recycle(buf);
+        result.map(|()| n)
+    }
+
     /// Drains the routing queue, delivering each in-flight batch.
     fn run(&mut self) -> ExecResult<()> {
         while let Some((id, port, mut batch)) = self.queue.pop_front() {

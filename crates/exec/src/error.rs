@@ -3,6 +3,7 @@
 use std::fmt;
 
 use qap_expr::ExprError;
+use qap_types::TypeError;
 
 /// Errors raised while compiling or running a plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +15,9 @@ pub enum ExecError {
     BadPlan(String),
     /// A tuple was pushed to a node that is not a source scan.
     NotASource(usize),
+    /// A wire frame failed to decode (truncation, bad tag, length
+    /// mismatch) — corrupt boundary transport, never a panic.
+    Wire(TypeError),
 }
 
 impl fmt::Display for ExecError {
@@ -22,6 +26,7 @@ impl fmt::Display for ExecError {
             ExecError::Expr(e) => write!(f, "expression error: {e}"),
             ExecError::BadPlan(msg) => write!(f, "plan not executable: {msg}"),
             ExecError::NotASource(id) => write!(f, "node {id} is not a source scan"),
+            ExecError::Wire(e) => write!(f, "boundary frame decode failed: {e}"),
         }
     }
 }
@@ -31,6 +36,12 @@ impl std::error::Error for ExecError {}
 impl From<ExprError> for ExecError {
     fn from(e: ExprError) -> Self {
         ExecError::Expr(e)
+    }
+}
+
+impl From<TypeError> for ExecError {
+    fn from(e: TypeError) -> Self {
+        ExecError::Wire(e)
     }
 }
 

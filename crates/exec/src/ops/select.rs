@@ -8,16 +8,37 @@ use crate::ExecResult;
 use super::Operator;
 
 /// Stateless filter + projection.
+///
+/// When every projection is a bare column reference (the common case in
+/// the paper's HFTA queries, which push arithmetic into the LFTA tier),
+/// the projection loop takes a scratch-reusing fast path:
+/// [`Tuple::project_into`] fills one recycled scratch tuple, which is
+/// then swapped with the drained input tuple — so the output row reuses
+/// the previous input row's backing allocation and steady-state
+/// projection does no per-tuple allocation at all.
 pub(crate) struct SelectOp {
     predicate: Option<BoundExpr>,
     projections: Vec<BoundExpr>,
+    /// `Some(positions)` when all projections are `BoundExpr::Column`.
+    column_positions: Option<Vec<usize>>,
+    /// Recycled output row for the pure-column fast path.
+    scratch: Tuple,
 }
 
 impl SelectOp {
     pub(crate) fn new(predicate: Option<BoundExpr>, projections: Vec<BoundExpr>) -> Self {
+        let column_positions = projections
+            .iter()
+            .map(|e| match e {
+                BoundExpr::Column(i) => Some(*i),
+                _ => None,
+            })
+            .collect::<Option<Vec<usize>>>();
         SelectOp {
             predicate,
             projections,
+            column_positions,
+            scratch: Tuple::default(),
         }
     }
 }
@@ -29,17 +50,27 @@ impl Operator for SelectOp {
         batch: &mut Vec<Tuple>,
         out: &mut Vec<Tuple>,
     ) -> ExecResult<()> {
-        for tuple in batch.drain(..) {
+        for mut tuple in batch.drain(..) {
             if let Some(p) = &self.predicate {
                 if !p.eval_predicate(&tuple)? {
                     continue;
                 }
             }
-            let mut t = Tuple::with_capacity(self.projections.len());
-            for e in &self.projections {
-                t.push(e.eval(&tuple)?);
+            if let Some(positions) = &self.column_positions {
+                // Fast path: project into the recycled scratch row,
+                // then swap it with the spent input row. The pushed
+                // output carries the projected values; `scratch`
+                // inherits the input's allocation for the next tuple.
+                tuple.project_into(positions, &mut self.scratch);
+                std::mem::swap(&mut tuple, &mut self.scratch);
+                out.push(tuple);
+            } else {
+                let mut t = Tuple::with_capacity(self.projections.len());
+                for e in &self.projections {
+                    t.push(e.eval(&tuple)?);
+                }
+                out.push(t);
             }
-            out.push(t);
         }
         Ok(())
     }

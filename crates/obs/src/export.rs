@@ -99,7 +99,8 @@ fn json_op_metrics(out: &mut String, m: &OpMetrics) {
 
 impl MetricsRegistry {
     /// Renders the snapshot as a single JSON object:
-    /// `{"ops": [...], "hosts": [...], "gauges": {...}}`. Deterministic —
+    /// `{"ops": [...], "hosts": [...], "edges": [...], "gauges": {...}}`.
+    /// Deterministic —
     /// rows in insertion order, no whitespace — so golden tests can
     /// compare output byte-for-byte.
     pub fn to_json(&self) -> String {
@@ -127,15 +128,33 @@ impl MetricsRegistry {
             let _ = write!(
                 out,
                 "{{\"host\":{},\"rx_tuples\":{},\"rx_bytes\":{},\"tx_tuples\":{},\
-                 \"tx_bytes\":{},\"queue_peak\":{},\"work_units\":{},\"cpu_pct\":{}}}",
+                 \"tx_bytes\":{},\"queue_peak\":{},\"frames_tx\":{},\
+                 \"frame_bytes_tx\":{},\"frames_rx\":{},\"frame_bytes_rx\":{},\
+                 \"work_units\":{},\"cpu_pct\":{}}}",
                 i,
                 h.rx_tuples,
                 h.rx_bytes,
                 h.tx_tuples,
                 h.tx_bytes,
                 h.queue_peak,
+                h.frames_tx,
+                h.frame_bytes_tx,
+                h.frames_rx,
+                h.frame_bytes_rx,
                 json_f64(h.work_units),
                 json_f64(h.cpu_pct),
+            );
+        }
+        out.push_str("],\"edges\":[");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"producer\":{},\"from_host\":{},\"frames\":{},\"tuples\":{},\
+                 \"bytes\":{}}}",
+                e.producer, e.from_host, e.frames, e.tuples, e.bytes,
             );
         }
         out.push_str("],\"gauges\":{");
@@ -151,7 +170,8 @@ impl MetricsRegistry {
 
     /// Renders the snapshot in the Prometheus text exposition format:
     /// one `# TYPE`-headed family per metric, operator rows labelled
-    /// `{op,node,host}`, host gauges labelled `{host}`, run-level
+    /// `{op,node,host}`, host gauges labelled `{host}`, boundary-edge
+    /// transport counters labelled `{node,host}`, run-level
     /// gauges as unlabelled `qap_run_*` series. Histograms emit
     /// cumulative `_bucket{le=...}` series ending in `le="+Inf"` plus
     /// `_sum` and `_count`.
@@ -269,6 +289,26 @@ impl MetricsRegistry {
                 "Peak boundary-queue depth (in-flight batches)",
                 |h| h.queue_peak,
             ),
+            (
+                "qap_host_frames_tx",
+                "Boundary frames shipped from this host (measured)",
+                |h| h.frames_tx,
+            ),
+            (
+                "qap_host_frame_bytes_tx",
+                "Measured encoded bytes shipped, including frame headers",
+                |h| h.frame_bytes_tx,
+            ),
+            (
+                "qap_host_frames_rx",
+                "Boundary frames received by this host (measured)",
+                |h| h.frames_rx,
+            ),
+            (
+                "qap_host_frame_bytes_rx",
+                "Measured encoded bytes received, including frame headers",
+                |h| h.frame_bytes_rx,
+            ),
         ];
         for (name, help, get) in host_u64 {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -288,6 +328,38 @@ impl MetricsRegistry {
             let _ = writeln!(out, "# TYPE {name} gauge");
             for (i, h) in self.hosts.iter().enumerate() {
                 let _ = writeln!(out, "{name}{{host=\"{i}\"}} {}", prom_f64(get(h)));
+            }
+        }
+
+        // Per-boundary-edge measured transport counters.
+        let edge_u64: &[Family<crate::EdgeEntry, u64>] = &[
+            (
+                "qap_edge_frames",
+                "Frames shipped over this boundary edge",
+                |e| e.frames,
+            ),
+            (
+                "qap_edge_tuples",
+                "Tuples carried over this boundary edge",
+                |e| e.tuples,
+            ),
+            (
+                "qap_edge_bytes",
+                "Encoded payload bytes carried over this boundary edge",
+                |e| e.bytes,
+            ),
+        ];
+        for (name, help, get) in edge_u64 {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for e in &self.edges {
+                let _ = writeln!(
+                    out,
+                    "{name}{{node=\"{}\",host=\"{}\"}} {}",
+                    e.producer,
+                    e.from_host,
+                    get(e)
+                );
             }
         }
 
@@ -312,7 +384,7 @@ fn prom_name(name: &str) -> String {
 
 #[cfg(test)]
 mod tests {
-    use crate::{MetricsRegistry, OpMetrics};
+    use crate::{EdgeEntry, MetricsRegistry, OpMetrics};
 
     fn sample() -> MetricsRegistry {
         let mut r = MetricsRegistry::new();
@@ -335,6 +407,17 @@ mod tests {
         r.record_op(1, "aggregate", 1, m);
         r.host_mut(1).rx_tuples = 10;
         r.host_mut(1).rx_bytes = 380;
+        r.host_mut(0).frames_tx = 3;
+        r.host_mut(0).frame_bytes_tx = 404;
+        r.host_mut(1).frames_rx = 3;
+        r.host_mut(1).frame_bytes_rx = 404;
+        r.record_edge(EdgeEntry {
+            producer: 0,
+            from_host: 0,
+            frames: 3,
+            tuples: 10,
+            bytes: 380,
+        });
         r.set_gauge("duration_secs", 2.5);
         r
     }
@@ -353,6 +436,13 @@ mod tests {
         // Two hosts materialised (0 grown implicitly, 1 set).
         assert!(a.contains("\"host\":0"));
         assert!(a.contains("\"rx_bytes\":380"));
+        // Measured frame transport appears per host and per edge.
+        assert!(a.contains("\"frames_tx\":3"));
+        assert!(a.contains("\"frame_bytes_rx\":404"));
+        assert!(a.contains(
+            "\"edges\":[{\"producer\":0,\"from_host\":0,\"frames\":3,\
+             \"tuples\":10,\"bytes\":380}]"
+        ));
     }
 
     #[test]
@@ -375,6 +465,10 @@ mod tests {
         assert!(p.contains("le=\"+Inf\"} 2"));
         assert!(p.contains("qap_op_batch_occupancy_sum{op=\"aggregate\",node=\"1\",host=\"1\"} 10"));
         assert!(p.contains("qap_host_rx_bytes{host=\"1\"} 380"));
+        assert!(p.contains("qap_host_frames_tx{host=\"0\"} 3"));
+        assert!(p.contains("qap_host_frame_bytes_rx{host=\"1\"} 404"));
+        assert!(p.contains("# TYPE qap_edge_frames counter"));
+        assert!(p.contains("qap_edge_tuples{node=\"0\",host=\"0\"} 10"));
         assert!(p.contains("qap_run_duration_secs 2.5"));
         // Every line is either a comment or `name{labels} value` / `name value`.
         for line in p.lines() {

@@ -13,8 +13,10 @@
 //!   occupancy, window-flush latency, and group-table slot/probe
 //!   telemetry;
 //! - [`HostMetrics`] — per-host cluster gauges: cross-process traffic
-//!   shipped and received, boundary-queue peak depth, accounted work
-//!   and CPU share;
+//!   shipped and received (both derived estimates and measured frame
+//!   counts), boundary-queue peak depth, accounted work and CPU share;
+//! - [`EdgeEntry`] — per-boundary-edge *measured* frame transport
+//!   (frames/tuples/encoded bytes a producing node actually shipped);
 //! - [`SharedGauge`] — a lock-free (relaxed-atomic) up/down gauge with
 //!   peak tracking, for state that genuinely crosses threads (the
 //!   threaded runner's boundary channel depth);
@@ -44,7 +46,7 @@ mod histogram;
 mod registry;
 
 pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
-pub use registry::{HostMetrics, MetricsRegistry, OpEntry, OpMetrics, SharedGauge};
+pub use registry::{EdgeEntry, HostMetrics, MetricsRegistry, OpEntry, OpMetrics, SharedGauge};
 
 /// Estimated wire size in bytes of one tuple with `arity` fields —
 /// 2-byte header plus 1 tag + 8 payload bytes per field. Mirrors

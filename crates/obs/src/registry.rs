@@ -82,13 +82,40 @@ pub struct HostMetrics {
     pub tx_tuples: u64,
     /// Estimated wire bytes shipped.
     pub tx_bytes: u64,
-    /// Peak boundary-queue depth observed (in-flight batches; 0 in the
+    /// Peak boundary-queue depth observed (in-flight frames; 0 in the
     /// deterministic simulator, live channel depth in threaded runs).
     pub queue_peak: u64,
+    /// Boundary frames shipped from this host (measured frame path; 0
+    /// in the deterministic simulator).
+    pub frames_tx: u64,
+    /// Measured encoded bytes shipped from this host, including frame
+    /// headers.
+    pub frame_bytes_tx: u64,
+    /// Boundary frames received by this host.
+    pub frames_rx: u64,
+    /// Measured encoded bytes received by this host, including frame
+    /// headers.
+    pub frame_bytes_rx: u64,
     /// Accounted work units.
     pub work_units: f64,
     /// CPU load percentage.
     pub cpu_pct: f64,
+}
+
+/// One boundary edge's measured transport in a snapshot: the frame
+/// stream of one producing plan node into its consuming unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EdgeEntry {
+    /// Global plan-node id of the producing operator.
+    pub producer: usize,
+    /// Host executing the producer.
+    pub from_host: usize,
+    /// Frames shipped over this edge.
+    pub frames: u64,
+    /// Tuples carried by those frames.
+    pub tuples: u64,
+    /// Encoded payload bytes carried (excluding frame headers).
+    pub bytes: u64,
 }
 
 /// A completed snapshot of one run: per-operator rows, per-host gauges
@@ -99,6 +126,9 @@ pub struct MetricsRegistry {
     pub ops: Vec<OpEntry>,
     /// Per-host gauges, indexed by host.
     pub hosts: Vec<HostMetrics>,
+    /// Measured boundary-transport edges, in producer order (empty for
+    /// deterministic simulator runs).
+    pub edges: Vec<EdgeEntry>,
     /// Run-level scalar gauges, in registration order (e.g.
     /// `duration_secs`, `total_transfers`).
     pub gauges: Vec<(String, f64)>,
@@ -126,6 +156,11 @@ impl MetricsRegistry {
             self.hosts.resize(host + 1, HostMetrics::default());
         }
         &mut self.hosts[host]
+    }
+
+    /// Appends one boundary edge's measured transport.
+    pub fn record_edge(&mut self, edge: EdgeEntry) {
+        self.edges.push(edge);
     }
 
     /// Sets (or overwrites) a run-level scalar gauge.

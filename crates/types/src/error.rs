@@ -31,6 +31,25 @@ pub enum TypeError {
     },
     /// Wire decoding encountered malformed bytes.
     Corrupt(&'static str),
+    /// Wire decoding ran out of bytes mid-value.
+    Truncated {
+        /// What was being decoded when the buffer ran dry.
+        context: &'static str,
+        /// Bytes the decoder needed.
+        need: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// A frame header's declared payload length disagreed with the
+    /// bytes actually present.
+    FrameLengthMismatch {
+        /// Payload length the header declared.
+        declared: usize,
+        /// Bytes actually following the header.
+        actual: usize,
+    },
+    /// Wire decoding met a value tag outside the known set.
+    BadTag(u8),
 }
 
 impl fmt::Display for TypeError {
@@ -47,6 +66,23 @@ impl fmt::Display for TypeError {
                 write!(f, "stream '{stream}' already registered")
             }
             TypeError::Corrupt(what) => write!(f, "corrupt tuple encoding: {what}"),
+            TypeError::Truncated {
+                context,
+                need,
+                have,
+            } => {
+                write!(
+                    f,
+                    "truncated wire data: {context} needs {need} bytes, {have} remain"
+                )
+            }
+            TypeError::FrameLengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "frame length mismatch: header declares {declared} payload bytes, {actual} present"
+                )
+            }
+            TypeError::BadTag(tag) => write!(f, "unknown wire value tag {tag}"),
         }
     }
 }

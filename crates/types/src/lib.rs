@@ -27,4 +27,12 @@ pub use schema::{DataType, Field, Schema, Temporality};
 pub use tuple::Tuple;
 pub use udaf::{Udaf, UdafRegistry, UdafState};
 pub use value::Value;
-pub use wire::{decode_tuple, encode_tuple, encoded_len};
+pub use wire::{
+    decode_batch, decode_batch_into, decode_tuple, encode_batch, encode_tuple, encoded_batch_len,
+    encoded_len, FRAME_HEADER_LEN,
+};
+
+// Downstream crates (exec frame ingestion, the cluster transport) take
+// and return wire buffers; re-export the byte types so they don't need
+// their own dependency edge on the vendored crate.
+pub use bytes::{Buf, BufMut, Bytes, BytesMut};

@@ -3,6 +3,19 @@
 //! The cluster simulator charges network load in both tuples/sec and
 //! bytes/sec; the byte figure comes from this encoding, which mirrors the
 //! simple tagged binary layout a real inter-Gigascope transfer uses.
+//!
+//! Two granularities are provided:
+//!
+//! - [`encode_tuple`]/[`decode_tuple`] — one tuple, one buffer (trace
+//!   files, tests);
+//! - [`encode_batch`]/[`decode_batch`] — a length-prefixed **frame**
+//!   carrying a whole batch, the unit the threaded cluster runner ships
+//!   over its bounded boundary channels. A frame is
+//!   `[u32 payload_len][u32 tuple_count][tuple bytes…]`, where the
+//!   payload is exactly the concatenation of [`encode_tuple`] encodings
+//!   — so `payload_len == Σ encoded_len(t)` and the measured frame
+//!   bytes stay in lock-step with the Section 4.2.1 cost model's
+//!   per-tuple size estimator.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -14,9 +27,12 @@ const TAG_INT: u8 = 2;
 const TAG_BOOL: u8 = 3;
 const TAG_STR: u8 = 4;
 
-/// Encodes a tuple into a freshly allocated byte buffer.
-pub fn encode_tuple(tuple: &Tuple) -> Bytes {
-    let mut buf = BytesMut::with_capacity(encoded_len(tuple));
+/// Byte length of a frame header: `u32` payload length plus `u32`
+/// tuple count.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Appends one tuple's encoding to a growing buffer.
+fn encode_tuple_into(tuple: &Tuple, buf: &mut BytesMut) {
     buf.put_u16(tuple.arity() as u16);
     for v in tuple.values() {
         match v {
@@ -40,7 +56,88 @@ pub fn encode_tuple(tuple: &Tuple) -> Bytes {
             }
         }
     }
+}
+
+/// Encodes a tuple into a freshly allocated byte buffer.
+pub fn encode_tuple(tuple: &Tuple) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(tuple));
+    encode_tuple_into(tuple, &mut buf);
     buf.freeze()
+}
+
+/// Exact payload length in bytes of a frame carrying `batch` — the sum
+/// of the tuples' [`encoded_len`]s, excluding the
+/// [`FRAME_HEADER_LEN`]-byte header.
+pub fn encoded_batch_len(batch: &[Tuple]) -> usize {
+    batch.iter().map(encoded_len).sum()
+}
+
+/// Encodes a batch of tuples into one length-prefixed frame, reusing
+/// `scratch` as the staging buffer (its allocation is retained across
+/// calls, so steady-state framing does no buffer growth).
+///
+/// Frame layout: `[u32 payload_len][u32 tuple_count][payload]`, payload
+/// being the concatenation of [`encode_tuple`] encodings. The returned
+/// [`Bytes`] is self-contained; `scratch` is left empty with its
+/// capacity intact.
+pub fn encode_batch(batch: &[Tuple], scratch: &mut BytesMut) -> Bytes {
+    scratch.clear();
+    let payload = encoded_batch_len(batch);
+    scratch.reserve(FRAME_HEADER_LEN + payload);
+    scratch.put_u32(payload as u32);
+    scratch.put_u32(batch.len() as u32);
+    for t in batch {
+        encode_tuple_into(t, scratch);
+    }
+    debug_assert_eq!(scratch.len(), FRAME_HEADER_LEN + payload);
+    scratch.split().freeze()
+}
+
+/// Decodes a frame produced by [`encode_batch`] into a fresh vector.
+pub fn decode_batch(frame: Bytes) -> TypeResult<Vec<Tuple>> {
+    let mut out = Vec::new();
+    decode_batch_into(frame, &mut out)?;
+    Ok(out)
+}
+
+/// Decodes a frame produced by [`encode_batch`], appending the tuples
+/// to `out` (callers recycle the vector to keep the decode path
+/// allocation-free at steady state).
+///
+/// Rejects truncated or oversized frames, count/length disagreements,
+/// and malformed tuple payloads with typed [`TypeError`]s — a corrupt
+/// frame never panics and never yields partial output beyond what was
+/// already appended.
+pub fn decode_batch_into(mut frame: Bytes, out: &mut Vec<Tuple>) -> TypeResult<()> {
+    if frame.remaining() < FRAME_HEADER_LEN {
+        return Err(TypeError::Truncated {
+            context: "frame header",
+            need: FRAME_HEADER_LEN,
+            have: frame.remaining(),
+        });
+    }
+    let payload = frame.get_u32() as usize;
+    let count = frame.get_u32() as usize;
+    if frame.remaining() != payload {
+        return Err(TypeError::FrameLengthMismatch {
+            declared: payload,
+            actual: frame.remaining(),
+        });
+    }
+    // Every tuple costs at least its 2-byte arity header; a count that
+    // cannot fit the payload is corrupt (and must not drive a huge
+    // `reserve`).
+    if count * 2 > payload {
+        return Err(TypeError::Corrupt("tuple count exceeds frame payload"));
+    }
+    out.reserve(count);
+    for _ in 0..count {
+        out.push(decode_tuple_from(&mut frame)?);
+    }
+    if frame.remaining() != 0 {
+        return Err(TypeError::Corrupt("trailing bytes after frame payload"));
+    }
+    Ok(())
 }
 
 /// Exact length in bytes [`encode_tuple`] will produce, without encoding.
@@ -62,50 +159,57 @@ pub fn encoded_len(tuple: &Tuple) -> usize {
 
 /// Decodes a tuple previously produced by [`encode_tuple`].
 pub fn decode_tuple(mut buf: Bytes) -> TypeResult<Tuple> {
-    if buf.remaining() < 2 {
-        return Err(TypeError::Corrupt("missing arity header"));
+    decode_tuple_from(&mut buf)
+}
+
+/// Ensures `buf` holds at least `need` more bytes before a read.
+fn want(buf: &Bytes, context: &'static str, need: usize) -> TypeResult<()> {
+    let have = buf.remaining();
+    if have < need {
+        return Err(TypeError::Truncated {
+            context,
+            need,
+            have,
+        });
     }
+    Ok(())
+}
+
+/// Decodes one tuple off the front of `buf`, advancing the cursor —
+/// the inner loop of [`decode_batch_into`]'s frame walk. Every
+/// short-buffer case reports a typed [`TypeError::Truncated`] (never a
+/// panic), unknown tags report [`TypeError::BadTag`].
+fn decode_tuple_from(buf: &mut Bytes) -> TypeResult<Tuple> {
+    want(buf, "arity header", 2)?;
     let arity = buf.get_u16() as usize;
     let mut tuple = Tuple::with_capacity(arity);
     for _ in 0..arity {
-        if buf.remaining() < 1 {
-            return Err(TypeError::Corrupt("truncated value tag"));
-        }
+        want(buf, "value tag", 1)?;
         let tag = buf.get_u8();
         let v = match tag {
             TAG_NULL => Value::Null,
             TAG_UINT => {
-                if buf.remaining() < 8 {
-                    return Err(TypeError::Corrupt("truncated uint"));
-                }
+                want(buf, "uint value", 8)?;
                 Value::UInt(buf.get_u64())
             }
             TAG_INT => {
-                if buf.remaining() < 8 {
-                    return Err(TypeError::Corrupt("truncated int"));
-                }
+                want(buf, "int value", 8)?;
                 Value::Int(buf.get_i64())
             }
             TAG_BOOL => {
-                if buf.remaining() < 1 {
-                    return Err(TypeError::Corrupt("truncated bool"));
-                }
+                want(buf, "bool value", 1)?;
                 Value::Bool(buf.get_u8() != 0)
             }
             TAG_STR => {
-                if buf.remaining() < 4 {
-                    return Err(TypeError::Corrupt("truncated string length"));
-                }
+                want(buf, "string length", 4)?;
                 let len = buf.get_u32() as usize;
-                if buf.remaining() < len {
-                    return Err(TypeError::Corrupt("truncated string body"));
-                }
+                want(buf, "string body", len)?;
                 let raw = buf.copy_to_bytes(len);
                 let s =
                     std::str::from_utf8(&raw).map_err(|_| TypeError::Corrupt("invalid utf-8"))?;
                 Value::from(s)
             }
-            _ => return Err(TypeError::Corrupt("unknown value tag")),
+            other => return Err(TypeError::BadTag(other)),
         };
         tuple.push(v);
     }
@@ -138,23 +242,134 @@ mod tests {
     }
 
     #[test]
-    fn truncated_buffer_reports_corrupt() {
+    fn truncated_buffer_reports_typed_error() {
         let t = tuple![1u64, 2u64];
         let encoded = encode_tuple(&t);
-        let truncated = encoded.slice(0..encoded.len() - 1);
+        // Every prefix of the encoding must fail with a typed error,
+        // never a panic.
+        for cut in 0..encoded.len() {
+            let truncated = encoded.slice(0..cut);
+            let err = decode_tuple(truncated).unwrap_err();
+            assert!(
+                matches!(err, TypeError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_string_body_reports_typed_error() {
+        let mut raw = BytesMut::new();
+        raw.put_u16(1);
+        raw.put_u8(4); // TAG_STR
+        raw.put_u32(100); // declares 100 bytes, provides 2
+        raw.put_slice(b"ab");
         assert!(matches!(
-            decode_tuple(truncated).unwrap_err(),
-            TypeError::Corrupt(_)
+            decode_tuple(raw.freeze()).unwrap_err(),
+            TypeError::Truncated {
+                context: "string body",
+                need: 100,
+                have: 2,
+            }
         ));
     }
 
     #[test]
-    fn garbage_tag_reports_corrupt() {
+    fn garbage_tag_reports_bad_tag() {
         let mut raw = BytesMut::new();
         raw.put_u16(1);
         raw.put_u8(99);
         assert!(matches!(
             decode_tuple(raw.freeze()).unwrap_err(),
+            TypeError::BadTag(99)
+        ));
+    }
+
+    #[test]
+    fn batch_round_trips_and_sizes_agree() {
+        let batch = vec![
+            tuple![1u64, 2u64],
+            Tuple::new(vec![Value::Null, Value::from("frame"), Value::Bool(false)]),
+            Tuple::default(),
+        ];
+        let mut scratch = BytesMut::new();
+        let frame = encode_batch(&batch, &mut scratch);
+        assert_eq!(frame.len(), FRAME_HEADER_LEN + encoded_batch_len(&batch));
+        assert_eq!(
+            encoded_batch_len(&batch),
+            batch.iter().map(encoded_len).sum::<usize>()
+        );
+        assert_eq!(decode_batch(frame).unwrap(), batch);
+        // Scratch is drained but keeps capacity for the next frame.
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let mut scratch = BytesMut::new();
+        let frame = encode_batch(&[], &mut scratch);
+        assert_eq!(frame.len(), FRAME_HEADER_LEN);
+        assert_eq!(decode_batch(frame).unwrap(), Vec::<Tuple>::new());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable_across_frames() {
+        let mut scratch = BytesMut::new();
+        let a = vec![tuple![7u64]];
+        let b = vec![tuple![8u64, 9u64], tuple![10u64]];
+        let fa = encode_batch(&a, &mut scratch);
+        let fb = encode_batch(&b, &mut scratch);
+        assert_eq!(decode_batch(fa).unwrap(), a);
+        assert_eq!(decode_batch(fb).unwrap(), b);
+    }
+
+    #[test]
+    fn frame_length_mismatch_is_rejected() {
+        let mut scratch = BytesMut::new();
+        let frame = encode_batch(&[tuple![1u64]], &mut scratch);
+        let short = frame.slice(0..frame.len() - 1);
+        assert!(matches!(
+            decode_batch(short).unwrap_err(),
+            TypeError::FrameLengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_header_is_rejected() {
+        let mut scratch = BytesMut::new();
+        let frame = encode_batch(&[tuple![1u64]], &mut scratch);
+        let stub = frame.slice(0..FRAME_HEADER_LEN - 1);
+        assert!(matches!(
+            decode_batch(stub).unwrap_err(),
+            TypeError::Truncated {
+                context: "frame header",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn absurd_tuple_count_is_rejected_before_reserve() {
+        let mut raw = BytesMut::new();
+        raw.put_u32(2); // payload: one empty tuple (2-byte arity header)
+        raw.put_u32(u32::MAX); // claims 4 billion tuples
+        raw.put_u16(0);
+        assert!(matches!(
+            decode_batch(raw.freeze()).unwrap_err(),
+            TypeError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_after_counted_tuples_are_rejected() {
+        // payload length covers two empty tuples but count says one.
+        let mut raw = BytesMut::new();
+        raw.put_u32(4);
+        raw.put_u32(1);
+        raw.put_u16(0);
+        raw.put_u16(0);
+        assert!(matches!(
+            decode_batch(raw.freeze()).unwrap_err(),
             TypeError::Corrupt(_)
         ));
     }

@@ -78,6 +78,19 @@ fn sample_registry() -> MetricsRegistry {
     r.host_mut(1).rx_bytes = 1_520;
     r.host_mut(1).queue_peak = 7;
     r.host_mut(1).cpu_pct = 23.9;
+    // Measured frame transport: host 0 shipped one edge's frames, all
+    // drained at host 1 (5 frames × 8-byte headers over 1520 payload).
+    r.host_mut(0).frames_tx = 5;
+    r.host_mut(0).frame_bytes_tx = 1_560;
+    r.host_mut(1).frames_rx = 5;
+    r.host_mut(1).frame_bytes_rx = 1_560;
+    r.record_edge(qap::obs::EdgeEntry {
+        producer: 3,
+        from_host: 0,
+        frames: 5,
+        tuples: 40,
+        bytes: 1_520,
+    });
     r.set_gauge("duration_secs", 120.0);
     r.set_gauge("hosts", 2.0);
     r.set_gauge("bytes/sec", 12.5); // '/' must sanitize to '_'

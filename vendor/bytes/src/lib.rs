@@ -223,6 +223,31 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Empties the buffer, retaining its capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Splits off the accumulated bytes into a new `BytesMut`, leaving
+    /// `self` empty with its capacity intact.
+    ///
+    /// The real crate hands back a view into the same allocation; this
+    /// stand-in copies the bytes out, which preserves the crucial
+    /// property for scratch-reuse callers — `self` keeps its capacity
+    /// so steady-state encoding does no buffer growth.
+    pub fn split(&mut self) -> BytesMut {
+        let out = BytesMut {
+            data: self.data.clone(),
+        };
+        self.data.clear();
+        out
+    }
+
     /// Converts the accumulated bytes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -258,6 +283,30 @@ mod tests {
         let tail = bytes.copy_to_bytes(3);
         assert_eq!(&tail[..], b"xyz");
         assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn split_drains_but_keeps_capacity() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(b"hello");
+        let cap_before = b.data.capacity();
+        let first = b.split().freeze();
+        assert_eq!(&first[..], b"hello");
+        assert!(b.is_empty());
+        assert_eq!(b.data.capacity(), cap_before);
+        b.put_slice(b"world");
+        assert_eq!(&b.split().freeze()[..], b"world");
+    }
+
+    #[test]
+    fn clear_and_reserve_manage_capacity() {
+        let mut b = BytesMut::new();
+        b.reserve(128);
+        assert!(b.data.capacity() >= 128);
+        b.put_u64(1);
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.data.capacity() >= 128);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! Only the `channel` module is provided, delegating to
 //! `std::sync::mpsc`. Semantics the cluster runner relies on hold
-//! unchanged: unbounded buffering, cloneable senders, and `recv`
-//! returning an error once every sender is dropped and the buffer is
-//! drained.
+//! unchanged: cloneable senders, `recv` returning an error once every
+//! sender is dropped and the buffer is drained, and — for [`bounded`]
+//! channels — `send` blocking while the buffer is full (backpressure)
+//! and unblocking with an error when the receiver drops.
 
 pub mod channel {
     //! Multi-producer channels (subset of `crossbeam-channel`).
@@ -15,34 +16,69 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel's buffer is full; sending now would block.
+        Full(T),
+        /// The receiver was dropped; the message can never arrive.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is closed
     /// and empty.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
-    /// The sending half of an unbounded channel.
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// The sending half of a channel.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: Tx<T>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender {
-                inner: self.inner.clone(),
+                inner: match &self.inner {
+                    Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+                    Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+                },
             }
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueues a message; fails only if the receiver was dropped.
+        /// Enqueues a message, blocking while a bounded channel's
+        /// buffer is full; fails only if the receiver was dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.inner
-                .send(msg)
-                .map_err(|mpsc::SendError(m)| SendError(m))
+            match &self.inner {
+                Tx::Unbounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+                Tx::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            }
+        }
+
+        /// Attempts to enqueue without blocking. On a bounded channel a
+        /// full buffer reports [`TrySendError::Full`], handing the
+        /// message back so the caller can count the stall and fall
+        /// through to a blocking [`Sender::send`].
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                Tx::Unbounded(tx) => tx
+                    .send(msg)
+                    .map_err(|mpsc::SendError(m)| TrySendError::Disconnected(m)),
+                Tx::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                    mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+                }),
+            }
         }
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of a channel.
     pub struct Receiver<T> {
         inner: mpsc::Receiver<T>,
     }
@@ -63,7 +99,28 @@ pub mod channel {
     /// Creates an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (
+            Sender {
+                inner: Tx::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a bounded MPSC channel holding at most `cap` in-flight
+    /// messages. Senders block (exert backpressure) while the buffer is
+    /// full. `cap` must be at least 1 — a rendezvous channel (`cap == 0`)
+    /// would deadlock a single-threaded runner stage, so it is rejected
+    /// eagerly.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel capacity must be >= 1");
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: Tx::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
     }
 
     #[cfg(test)]
@@ -82,6 +139,45 @@ pub mod channel {
                 assert_eq!(got, vec![1, 2]);
                 assert_eq!(rx.recv(), Err(RecvError));
             });
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full_then_drains() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_receiver_drains() {
+            let (tx, rx) = bounded::<u32>(1);
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    // Second send must block until the receiver takes
+                    // the first message.
+                    tx.send(1).unwrap();
+                    tx.send(2).unwrap();
+                });
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                assert_eq!(rx.recv(), Ok(1));
+                assert_eq!(rx.recv(), Ok(2));
+                assert_eq!(rx.recv(), Err(RecvError));
+            });
+        }
+
+        #[test]
+        fn dropped_receiver_unblocks_bounded_sender() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            drop(rx);
+            // A blocked/full send must error out, not deadlock.
+            assert!(tx.send(2).is_err());
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
         }
     }
 }
