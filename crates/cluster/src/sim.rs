@@ -8,7 +8,7 @@ use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, OpCounters, OpMetrics
 use qap_optimizer::{DistributedPlan, SplitStrategy};
 use qap_partition::HashPartitioner;
 use qap_plan::LogicalNode;
-use qap_types::Tuple;
+use qap_types::{ColumnBatch, Tuple};
 
 use crate::transport::{TransportConfig, TransportMetrics};
 
@@ -63,8 +63,14 @@ pub struct SimConfig {
     /// (the equivalence suite enforces it).
     pub batch: BatchConfig,
     /// Boundary-transport knobs for the threaded runner (channel
-    /// capacity, frame size, partition-parallel hosts). Ignored by the
-    /// deterministic simulator, which delivers boundaries in-process.
+    /// capacity, frame size, partition-parallel hosts). The channel and
+    /// threading knobs are ignored by the deterministic simulator,
+    /// which delivers boundaries in-process; [`TransportConfig::columnar`]
+    /// *is* honored — it selects whether the splitter stages feeds as
+    /// columnar (SoA) batches into the engines' vectorized hot path
+    /// (the default) or as row batches. Results and semantic counters
+    /// are identical either way (the columnar equivalence suite
+    /// enforces it).
     pub transport: TransportConfig,
 }
 
@@ -243,10 +249,24 @@ pub fn run_distributed_multi(
         };
         // Partition → scan node, resolved once per feed; the split loop
         // then stages tuples into per-partition buffers and feeds each
-        // scan a batch at a time.
+        // scan a batch at a time. Routing always hashes the *row*
+        // tuple, so the partition a tuple lands on is independent of
+        // the staging representation.
         let scan_of: Vec<usize> = (0..m).map(|p| scans[&(key.clone(), p as u32)]).collect();
         let max = cfg.batch.max_batch;
+        let columnar = cfg.transport.columnar;
+        let arity = schema.arity();
         let mut bufs: Vec<Vec<Tuple>> = vec![Vec::new(); m];
+        // Columnar staging: per-partition SoA batches, transposed at
+        // the splitter (one value clone per field — the same copy the
+        // row path pays) and fed to `push_columns`, which swaps the
+        // buffer against a pooled batch; a pooled batch of another
+        // arity is re-armed before reuse.
+        let mut cbufs: Vec<ColumnBatch> = if columnar {
+            (0..m).map(|_| ColumnBatch::new(arity)).collect()
+        } else {
+            Vec::new()
+        };
         let mut rr = 0usize;
         for tuple in *trace {
             let p = match &hash {
@@ -257,9 +277,19 @@ pub fn run_distributed_multi(
                     p
                 }
             };
-            bufs[p].push(tuple.clone());
-            if bufs[p].len() >= max {
-                engine.push_batch(scan_of[p], &mut bufs[p])?;
+            if columnar {
+                cbufs[p].push_row(tuple);
+                if cbufs[p].rows() >= max {
+                    engine.push_columns(scan_of[p], &mut cbufs[p])?;
+                    if cbufs[p].arity() != arity {
+                        cbufs[p] = ColumnBatch::new(arity);
+                    }
+                }
+            } else {
+                bufs[p].push(tuple.clone());
+                if bufs[p].len() >= max {
+                    engine.push_batch(scan_of[p], &mut bufs[p])?;
+                }
             }
         }
         // Tail flush, in ascending scan-node order so the residue feeds
@@ -267,7 +297,11 @@ pub fn run_distributed_multi(
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_unstable_by_key(|&p| scan_of[p]);
         for p in order {
-            if !bufs[p].is_empty() {
+            if columnar {
+                if cbufs[p].rows() > 0 {
+                    engine.push_columns(scan_of[p], &mut cbufs[p])?;
+                }
+            } else if !bufs[p].is_empty() {
                 engine.push_batch(scan_of[p], &mut bufs[p])?;
             }
         }

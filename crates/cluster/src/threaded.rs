@@ -15,15 +15,19 @@
 //!   ([`TransportConfig::partition_parallel`]; turning it off restores
 //!   the one-thread-per-host baseline).
 //!
-//! Boundary data crosses units as **length-prefixed wire frames**
-//! ([`qap_types::encode_batch`], reusable scratch, up to
-//! [`TransportConfig::frame_batch`] tuples per frame) over a **bounded**
-//! channel of [`TransportConfig::channel_capacity`] frames: a producer
-//! that outruns the central consumer blocks — backpressure — instead of
-//! buffering unboundedly. The encoded frames double as the *measured*
-//! byte source ([`TransportMetrics`]), kept in lock-step with the
-//! Section 4.2.1 cost model because a frame's payload length is exactly
-//! `Σ encoded_len(tuple)`.
+//! Boundary data crosses units as **length-prefixed wire frames** (up
+//! to [`TransportConfig::frame_batch`] tuples per frame, staged through
+//! reusable scratch) over a **bounded** channel of
+//! [`TransportConfig::channel_capacity`] frames: a producer that
+//! outruns the central consumer blocks — backpressure — instead of
+//! buffering unboundedly. Frames carry either representation: columnar
+//! (SoA) payloads ([`qap_types::encode_column_batch`], the default —
+//! the receiving engine keeps them columnar through its vectorized hot
+//! path) or row-major payloads ([`qap_types::encode_batch`], the
+//! [`TransportConfig::with_columnar`]`(false)` baseline, whose payload
+//! length is exactly `Σ encoded_len(tuple)` — the Section 4.2.1 cost
+//! model's estimate). The encoded frames double as the *measured* byte
+//! source ([`TransportMetrics`]) either way.
 //!
 //! Results are identical to the single-threaded simulator at every
 //! capacity/frame-size setting (the engines' merge operators align
@@ -40,7 +44,9 @@ use qap_obs::SharedGauge;
 use qap_optimizer::{DistributedPlan, SplitStrategy};
 use qap_partition::HashPartitioner;
 use qap_plan::{LogicalNode, NodeId, QueryDag};
-use qap_types::{encode_batch, Bytes, BytesMut, Tuple, FRAME_HEADER_LEN};
+use qap_types::{
+    encode_batch, encode_column_batch, Bytes, BytesMut, ColumnBatch, Tuple, FRAME_HEADER_LEN,
+};
 
 use crate::sim::{account, trace_duration, SimConfig, SimResult};
 use crate::transport::{EdgeTransport, TransportConfig, TransportMetrics};
@@ -429,6 +435,7 @@ pub fn run_distributed_threaded(
 
     let batch_cfg = cfg.batch;
     let frame_batch = transport.frame_batch.max(1);
+    let columnar = transport.columnar;
     let result: ExecResult<Vec<(usize, UnitRun)>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (u, slice) in slices.iter().enumerate().skip(1) {
@@ -441,7 +448,16 @@ pub fn run_distributed_threaded(
             handles.push((
                 u,
                 scope.spawn(move || -> ExecResult<UnitRun> {
-                    run_leaf_unit(slice, feed, batch_cfg, frame_batch, tx, depth, stalls)
+                    run_leaf_unit(
+                        slice,
+                        feed,
+                        batch_cfg,
+                        frame_batch,
+                        columnar,
+                        tx,
+                        depth,
+                        stalls,
+                    )
                 }),
             ));
         }
@@ -449,7 +465,7 @@ pub fn run_distributed_threaded(
         // The central unit runs on this thread, concurrently with the
         // workers.
         let central_feed = std::mem::take(&mut per_unit_feed[0]);
-        let central = run_central_unit(&slices[0], central_feed, batch_cfg, rx, &depth);
+        let central = run_central_unit(&slices[0], central_feed, batch_cfg, columnar, rx, &depth);
         let mut results = vec![(0, central?)];
         for (u, handle) in handles {
             results.push((u, handle.join().expect("worker thread panicked")?));
@@ -502,15 +518,47 @@ struct EdgeStage {
     local: NodeId,
     /// Tuples drained but not yet framed.
     pending: Vec<Tuple>,
+    /// Reused columnar staging batch (columnar transport only): each
+    /// frame's tuples transpose into these lanes before encoding, so
+    /// steady-state framing reuses the lane allocations.
+    col_stage: ColumnBatch,
     /// Measured transport for this edge.
     stats: EdgeTransport,
 }
 
+/// Feeds one splitter batch to a unit engine in the configured
+/// representation: columnar transposes into the reusable `stage` batch
+/// (re-armed when a [`qap_exec::Engine::push_columns`] swap handed back
+/// a pooled batch of another arity) and enters the engine's vectorized
+/// path; row mode pushes the batch as-is.
+fn feed_engine(
+    engine: &mut Engine,
+    local: NodeId,
+    batch: &mut Vec<Tuple>,
+    columnar: bool,
+    stage: &mut ColumnBatch,
+) -> ExecResult<()> {
+    if !columnar || batch.is_empty() {
+        return engine.push_batch(local, batch);
+    }
+    let arity = batch[0].arity();
+    if stage.arity() != arity {
+        *stage = ColumnBatch::new(arity);
+    } else {
+        stage.clear();
+    }
+    stage.extend_rows(batch);
+    batch.clear();
+    engine.push_columns(local, stage)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_leaf_unit(
     slice: &UnitPlan,
     feed: Vec<(NodeId, Vec<Tuple>)>,
     batch_cfg: BatchConfig,
     frame_batch: usize,
+    columnar: bool,
     tx: Sender<Frame>,
     depth: &SharedGauge,
     stalls: &AtomicU64,
@@ -532,6 +580,7 @@ fn run_leaf_unit(
             producer: g,
             local: slice.local[&g],
             pending: Vec::new(),
+            col_stage: ColumnBatch::new(slice.dag.schema(slice.local[&g]).arity()),
             stats: EdgeTransport {
                 producer: g,
                 from_host: slice.host,
@@ -540,13 +589,21 @@ fn run_leaf_unit(
         })
         .collect();
     let mut scratch = BytesMut::new();
+    let mut feed_stage = ColumnBatch::new(0);
 
     for (scan_global, mut batch) in feed {
-        engine.push_batch(slice.local[&scan_global], &mut batch)?;
+        feed_engine(
+            &mut engine,
+            slice.local[&scan_global],
+            &mut batch,
+            columnar,
+            &mut feed_stage,
+        )?;
         forward_boundary(
             &mut engine,
             &mut edges,
             frame_batch,
+            columnar,
             false,
             &mut scratch,
             &tx,
@@ -559,6 +616,7 @@ fn run_leaf_unit(
         &mut engine,
         &mut edges,
         frame_batch,
+        columnar,
         true,
         &mut scratch,
         &tx,
@@ -591,6 +649,7 @@ fn forward_boundary(
     engine: &mut Engine,
     edges: &mut [EdgeStage],
     frame_batch: usize,
+    columnar: bool,
     final_flush: bool,
     scratch: &mut BytesMut,
     tx: &Sender<Frame>,
@@ -606,12 +665,19 @@ fn forward_boundary(
                 edge.pending.append(&mut drained);
             }
         }
-        let (producer, pending, stats) = (edge.producer, &edge.pending, &mut edge.stats);
+        let (producer, pending, col_stage, stats) = (
+            edge.producer,
+            &edge.pending,
+            &mut edge.col_stage,
+            &mut edge.stats,
+        );
         let mut start = 0;
         while pending.len() - start >= frame_batch {
             ship(
                 &pending[start..start + frame_batch],
                 producer,
+                columnar,
+                col_stage,
                 stats,
                 scratch,
                 tx,
@@ -624,6 +690,8 @@ fn forward_boundary(
             ship(
                 &pending[start..],
                 producer,
+                columnar,
+                col_stage,
                 stats,
                 scratch,
                 tx,
@@ -638,21 +706,31 @@ fn forward_boundary(
     }
 }
 
-/// Encodes one frame and sends it over the bounded channel: a
-/// non-blocking attempt first, and on a full buffer one counted
-/// backpressure stall followed by a blocking send. A dropped receiver
-/// (central error path) discards the frame — never a deadlock.
+/// Encodes one frame — column-contiguous through the edge's reused
+/// staging batch when `columnar`, row-major otherwise — and sends it
+/// over the bounded channel: a non-blocking attempt first, and on a
+/// full buffer one counted backpressure stall followed by a blocking
+/// send. A dropped receiver (central error path) discards the frame —
+/// never a deadlock.
 #[allow(clippy::too_many_arguments)]
 fn ship(
     chunk: &[Tuple],
     producer: NodeId,
+    columnar: bool,
+    col_stage: &mut ColumnBatch,
     stats: &mut EdgeTransport,
     scratch: &mut BytesMut,
     tx: &Sender<Frame>,
     depth: &SharedGauge,
     stalls: &AtomicU64,
 ) {
-    let frame = encode_batch(chunk, scratch);
+    let frame = if columnar {
+        col_stage.clear();
+        col_stage.extend_rows(chunk);
+        encode_column_batch(col_stage, scratch)
+    } else {
+        encode_batch(chunk, scratch)
+    };
     stats.frames += 1;
     stats.tuples += chunk.len() as u64;
     stats.bytes += (frame.len() - FRAME_HEADER_LEN) as u64;
@@ -675,6 +753,7 @@ fn run_central_unit(
     slice: &UnitPlan,
     feed: Vec<(NodeId, Vec<Tuple>)>,
     batch_cfg: BatchConfig,
+    columnar: bool,
     rx: Receiver<Frame>,
     depth: &SharedGauge,
 ) -> ExecResult<UnitRun> {
@@ -688,8 +767,15 @@ fn run_central_unit(
     // Local partitions first (host-serial mode keeps the aggregator
     // host's own scans in this unit; workers stream concurrently into
     // the channel buffer)...
+    let mut feed_stage = ColumnBatch::new(0);
     for (scan_global, mut batch) in feed {
-        engine.push_batch(slice.local[&scan_global], &mut batch)?;
+        feed_engine(
+            &mut engine,
+            slice.local[&scan_global],
+            &mut batch,
+            columnar,
+            &mut feed_stage,
+        )?;
     }
     // ...then every boundary frame, decoded straight into the engine's
     // pooled buffers; merge operators align the independently-
@@ -847,6 +933,50 @@ mod tests {
     }
 
     #[test]
+    fn row_frames_match_single_threaded() {
+        let cfg = SimConfig {
+            transport: TransportConfig::default().with_columnar(false),
+            ..SimConfig::default()
+        };
+        check_matches(&cfg);
+    }
+
+    #[test]
+    fn columnar_and_row_frames_carry_identical_streams() {
+        // The frame representation is a pure encoding choice: both
+        // modes ship the same tuple streams chunked into the same
+        // frames; only the payload bytes differ (columnar drops the
+        // per-tuple headers and per-value tags on typed lanes).
+        let dag = section_3_2();
+        let trace = generate(&TraceConfig::tiny(13));
+        let plan = optimize(
+            &dag,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 3),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let col = run_distributed_threaded(&plan, &trace, &SimConfig::default()).unwrap();
+        let row_cfg = SimConfig {
+            transport: TransportConfig::default().with_columnar(false),
+            ..SimConfig::default()
+        };
+        let row = run_distributed_threaded(&plan, &trace, &row_cfg).unwrap();
+        let (ct, rt) = (&col.metrics.transport, &row.metrics.transport);
+        assert_eq!(ct.tuples(), rt.tuples());
+        assert_eq!(ct.frames, rt.frames);
+        for (ce, re) in ct.edges.iter().zip(&rt.edges) {
+            assert_eq!(
+                (ce.producer, ce.frames, ce.tuples),
+                (re.producer, re.frames, re.tuples)
+            );
+        }
+        assert!(ct.payload_bytes() > 0);
+        for (c, r) in col.outputs.iter().zip(row.outputs.iter()) {
+            assert_eq!(sorted(c.1.clone()), sorted(r.1.clone()), "output {}", c.0);
+        }
+    }
+
+    #[test]
     fn partition_parallel_spawns_per_component_units() {
         let dag = section_3_2();
         let plan = optimize(
@@ -884,9 +1014,11 @@ mod tests {
 
     #[test]
     fn measured_frame_bytes_match_derived_estimate() {
-        // All-numeric schemas: the wire encoding costs exactly
-        // 2 + 9·arity bytes per tuple, so the measured frame payload
-        // must equal the cost model's derived estimate.
+        // All-numeric schemas: the *row* wire encoding costs exactly
+        // 2 + 9·arity bytes per tuple, so under row frames the measured
+        // payload must equal the cost model's derived estimate.
+        // (Columnar frames pack typed lanes and cost less — the
+        // estimate deliberately models the row encoding.)
         let dag = section_3_2();
         let trace = generate(&TraceConfig::tiny(5));
         let plan = optimize(
@@ -895,7 +1027,11 @@ mod tests {
             &OptimizerConfig::full(),
         )
         .unwrap();
-        let result = run_distributed_threaded(&plan, &trace, &SimConfig::default()).unwrap();
+        let cfg = SimConfig {
+            transport: TransportConfig::default().with_columnar(false),
+            ..SimConfig::default()
+        };
+        let result = run_distributed_threaded(&plan, &trace, &cfg).unwrap();
         let derived: f64 = result
             .metrics
             .host_rx_bytes_per_sec

@@ -37,6 +37,13 @@ pub struct TransportConfig {
     /// the central merge stage; when false, each host runs one thread —
     /// the pre-partition-parallel baseline topology.
     pub partition_parallel: bool,
+    /// When true (default), boundary tuples stage into columnar (SoA)
+    /// frames ([`qap_types::encode_column_batch`]) and the receiving
+    /// engine keeps them columnar through its vectorized hot path; when
+    /// false, frames carry row-major payloads — the pre-columnar
+    /// baseline. Results and semantic counters are identical either
+    /// way (the columnar equivalence suite sweeps both).
+    pub columnar: bool,
 }
 
 impl Default for TransportConfig {
@@ -50,6 +57,7 @@ impl Default for TransportConfig {
             channel_capacity: 64,
             frame_batch: 1024,
             partition_parallel: true,
+            columnar: true,
         }
     }
 }
@@ -62,6 +70,7 @@ impl TransportConfig {
             channel_capacity: channel_capacity.max(1),
             frame_batch: frame_batch.max(1),
             partition_parallel: true,
+            columnar: true,
         }
     }
 
@@ -69,6 +78,13 @@ impl TransportConfig {
     /// framed bounded transport.
     pub fn host_serial(mut self) -> Self {
         self.partition_parallel = false;
+        self
+    }
+
+    /// Sets the boundary-frame representation: columnar (SoA) frames
+    /// when `on`, row-major frames otherwise.
+    pub fn with_columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
         self
     }
 }
@@ -87,8 +103,10 @@ pub struct EdgeTransport {
     pub tuples: u64,
     /// Encoded payload bytes carried (excluding the 8-byte frame
     /// headers) — the measured counterpart of the cost model's
-    /// `tuples × wire_size(arity)` estimate, identical for all-numeric
-    /// schemas.
+    /// `tuples × wire_size(arity)` estimate. Under row frames
+    /// ([`TransportConfig::with_columnar`]`(false)`) the two are
+    /// identical for all-numeric schemas; columnar frames pack typed
+    /// lanes and measure *below* the estimate.
     pub bytes: u64,
 }
 
@@ -141,9 +159,11 @@ mod tests {
         assert_eq!(d.channel_capacity, 64);
         assert_eq!(d.frame_batch, 1024);
         assert!(d.partition_parallel);
+        assert!(d.columnar);
         let c = TransportConfig::new(0, 0);
         assert_eq!((c.channel_capacity, c.frame_batch), (1, 1));
         assert!(!TransportConfig::default().host_serial().partition_parallel);
+        assert!(!TransportConfig::default().with_columnar(false).columnar);
     }
 
     #[test]

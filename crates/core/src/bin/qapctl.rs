@@ -8,7 +8,7 @@
 //! qapctl run     <script.gsql> --hosts N [--set ...] [--round-robin]
 //!                              [--seed S] [--epochs E] [--flows F]
 //!                              [--trace file.qtr] [--threaded] [--limit K]
-//!                              [--batch-size B] [--metrics[=PATH]]
+//!                              [--batch-size B] [--metrics[=PATH]] [--columnar[=on|off]]
 //!                              [--channel-capacity C] [--frame-batch F] [--host-serial]
 //! qapctl gen-trace <out.qtr>   [--seed S] [--epochs E] [--flows F]
 //! ```
@@ -47,6 +47,8 @@ const USAGE: &str = "usage:
                    [--channel-capacity C] (bounded boundary-channel depth for --threaded; default 64)
                    [--frame-batch F]      (max tuples per boundary frame for --threaded; default 1024)
                    [--host-serial]        (one worker per host instead of partition-parallel units)
+                   [--columnar[=on|off]]  (columnar SoA frames + vectorized engine path; default on;
+                                           results are representation-invariant)
   qapctl gen-trace <out.qtr> [--seed S] [--epochs E] [--flows F]";
 
 struct Opts {
@@ -159,6 +161,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--host-serial" => opts.transport.partition_parallel = false,
+            "--columnar" => opts.transport.columnar = true,
+            other if other.starts_with("--columnar=") => {
+                opts.transport.columnar = match &other["--columnar=".len()..] {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    bad => return Err(format!("--columnar: expected on|off, got '{bad}'")),
+                };
+            }
             "--trace" => opts.trace_file = Some(value("--trace")?),
             "--round-robin" => opts.round_robin = true,
             "--naive" => opts.naive = true,
@@ -322,6 +332,20 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
         transport: opts.transport,
         ..SimConfig::default()
     };
+    println!(
+        "Engine: {} runner, batch {}, {} representation\n",
+        if opts.threaded {
+            "threaded"
+        } else {
+            "simulated"
+        },
+        opts.batch_size,
+        if opts.transport.columnar {
+            "columnar"
+        } else {
+            "row"
+        }
+    );
     let result = if opts.threaded {
         run_distributed_threaded(&plan, &trace, &sim)
     } else {

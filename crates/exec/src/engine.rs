@@ -12,7 +12,7 @@ use std::collections::{HashMap, VecDeque};
 use qap_expr::{bind, bind_with, BoundExpr, ColumnRef, ScalarExpr};
 use qap_obs::OpMetrics;
 use qap_plan::{LogicalNode, NodeId, QueryDag};
-use qap_types::{Schema, Temporality, Tuple};
+use qap_types::{ColumnBatch, Schema, SelectionVector, Temporality, Tuple};
 
 use crate::ops::{AccFactory, AggregateOp, JoinOp, MergeOp, Operator, ScanOp, SelectOp};
 use crate::{ExecError, ExecResult};
@@ -65,6 +65,25 @@ impl BatchConfig {
 /// than retained, bounding idle memory.
 const POOL_CAP: usize = 32;
 
+/// One in-flight routed payload: a row (AoS) batch or a columnar (SoA)
+/// batch. The queue preserves representation end-to-end — a columnar
+/// feed stays columnar through every operator that accepts columns and
+/// only transposes at the boundary of a row-based consumer (join,
+/// merge) or a sink.
+enum Payload {
+    Rows(Vec<Tuple>),
+    Cols(ColumnBatch),
+}
+
+impl Payload {
+    fn len(&self) -> usize {
+        match self {
+            Payload::Rows(b) => b.len(),
+            Payload::Cols(c) => c.rows(),
+        }
+    }
+}
+
 /// A compiled, executable plan.
 ///
 /// Feed tuples to source scans with [`Engine::push_batch`] (or the
@@ -84,8 +103,11 @@ pub struct Engine {
     /// draws from here and returns here, so steady-state routing does
     /// no buffer allocation.
     pool: Vec<Vec<Tuple>>,
-    /// In-flight batches awaiting delivery, FIFO.
-    queue: VecDeque<(NodeId, usize, Vec<Tuple>)>,
+    /// Recycled columnar scratch batches (the SoA analogue of `pool`).
+    col_pool: Vec<ColumnBatch>,
+    /// In-flight batches awaiting delivery, FIFO. Each entry carries
+    /// its representation (rows or columns).
+    queue: VecDeque<(NodeId, usize, Payload)>,
     /// Batch-level telemetry per node (bytes, batch counts, occupancy);
     /// tuple counts and operator-internal stats join in at snapshot
     /// time ([`Engine::metrics`]). Updated once per *batch*, never per
@@ -137,6 +159,7 @@ impl Engine {
             finished: false,
             batch: BatchConfig::default(),
             pool: Vec::new(),
+            col_pool: Vec::new(),
             queue: VecDeque::new(),
             metrics: vec![OpMetrics::default(); n],
             metrics_on: true,
@@ -163,6 +186,17 @@ impl Engine {
         if self.pool.len() < POOL_CAP {
             buf.clear();
             self.pool.push(buf);
+        }
+    }
+
+    fn take_col_buf(&mut self) -> ColumnBatch {
+        self.col_pool.pop().unwrap_or_default()
+    }
+
+    fn recycle_col(&mut self, mut buf: ColumnBatch) {
+        if self.col_pool.len() < POOL_CAP {
+            buf.clear();
+            self.col_pool.push(buf);
         }
     }
 
@@ -202,7 +236,7 @@ impl Engine {
         }
         let mut b = self.take_buf();
         b.push(tuple);
-        self.queue.push_back((source, 0, b));
+        self.queue.push_back((source, 0, Payload::Rows(b)));
         self.run()
     }
 
@@ -234,7 +268,7 @@ impl Engine {
             // Whole feed fits one batch: move it, no per-tuple work.
             let mut b = self.take_buf();
             std::mem::swap(&mut b, batch);
-            self.queue.push_back((source, 0, b));
+            self.queue.push_back((source, 0, Payload::Rows(b)));
             return self.run();
         }
         let mut drain = batch.drain(..);
@@ -245,20 +279,80 @@ impl Engine {
                 self.recycle(b);
                 break;
             }
-            self.queue.push_back((source, 0, b));
+            self.queue.push_back((source, 0, Payload::Rows(b)));
         }
         self.run()
     }
 
-    /// Delivers a wire frame (produced by [`qap_types::encode_batch`])
-    /// to a source scan: the frame is decoded into a pooled scratch
-    /// buffer — no per-frame allocation at steady state — validated,
-    /// and routed as one batch. Returns the number of tuples ingested.
+    /// Delivers a columnar batch to a source scan, draining `cols`
+    /// (its buffers are swapped against a pooled batch when the feed
+    /// fits one routed batch). The batch stays in SoA form through
+    /// every operator that accepts columns; it must produce exactly
+    /// the results its row materialization would — the columnar
+    /// equivalence suite holds the engine to that.
+    pub fn push_columns(&mut self, source: NodeId, cols: &mut ColumnBatch) -> ExecResult<()> {
+        let arity = self.check_source(source)?;
+        if cols.rows() == 0 {
+            return Ok(());
+        }
+        if cols.arity() != arity {
+            return Err(ExecError::BadPlan(format!(
+                "column batch arity {} does not match source {source}'s schema arity {arity}",
+                cols.arity()
+            )));
+        }
+        debug_assert!(!self.finished, "push after finish");
+        if self.metrics_on {
+            self.metrics[source].bytes_in += cols.rows() as u64 * self.wire[source];
+        }
+        let max = self.batch.max_batch;
+        if cols.rows() <= max {
+            let mut b = self.take_col_buf();
+            std::mem::swap(&mut b, cols);
+            self.queue.push_back((source, 0, Payload::Cols(b)));
+            return self.run();
+        }
+        // Oversized feed: split `max` rows at a time. The head chunk is
+        // carved out by compaction (a lane copy); rare — boundary
+        // transports frame at most `frame_batch` rows per frame.
+        while cols.rows() > 0 {
+            let take = cols.rows().min(max);
+            let mut head = cols.clone();
+            if take < cols.rows() {
+                head.compact(&SelectionVector::identity(take));
+                let mut tail = SelectionVector::new();
+                for i in take..cols.rows() {
+                    tail.push(i as u32);
+                }
+                cols.compact(&tail);
+            } else {
+                cols.clear();
+            }
+            self.queue.push_back((source, 0, Payload::Cols(head)));
+        }
+        self.run()
+    }
+
+    /// Delivers a wire frame (produced by [`qap_types::encode_batch`]
+    /// or [`qap_types::encode_column_batch`]) to a source scan,
+    /// dispatching on the frame's representation flag: row frames
+    /// decode into a pooled scratch buffer, columnar frames decode
+    /// straight into a [`ColumnBatch`] and stay columnar through the
+    /// engine. Returns the number of tuples ingested.
     ///
     /// This is the receive half of the cluster's framed boundary
     /// transport: decode errors surface as typed [`ExecError::Wire`]
     /// failures rather than panics.
     pub fn push_frame(&mut self, source: NodeId, frame: qap_types::Bytes) -> ExecResult<usize> {
+        if qap_types::frame_is_columnar(&frame) {
+            let mut cols = match qap_types::decode_column_batch(frame) {
+                Ok(c) => c,
+                Err(e) => return Err(ExecError::Wire(e)),
+            };
+            let n = cols.rows();
+            self.push_columns(source, &mut cols)?;
+            return Ok(n);
+        }
         let mut buf = self.take_buf();
         if let Err(e) = qap_types::decode_batch_into(frame, &mut buf) {
             buf.clear();
@@ -272,19 +366,48 @@ impl Engine {
         result.map(|()| n)
     }
 
-    /// Drains the routing queue, delivering each in-flight batch.
+    /// Drains the routing queue, delivering each in-flight batch in
+    /// its native representation: columnar batches reach
+    /// column-accepting operators as columns and transpose only at the
+    /// boundary of a row-based consumer.
     fn run(&mut self) -> ExecResult<()> {
-        while let Some((id, port, mut batch)) = self.queue.pop_front() {
-            self.counters[id].tuples_in += batch.len() as u64;
+        while let Some((id, port, payload)) = self.queue.pop_front() {
+            let n = payload.len() as u64;
+            self.counters[id].tuples_in += n;
             if self.metrics_on {
                 let m = &mut self.metrics[id];
                 m.batches_in += 1;
-                m.batch_occupancy.record(batch.len() as u64);
+                m.batch_occupancy.record(n);
+                if matches!(payload, Payload::Cols(_)) {
+                    m.col_batches_in += 1;
+                    m.col_batch_occupancy.record(n);
+                }
             }
             let mut out = self.take_buf();
-            self.ops[id].push_batch(port, &mut batch, &mut out)?;
-            self.recycle(batch);
-            self.route(id, out);
+            match payload {
+                Payload::Rows(mut batch) => {
+                    self.ops[id].push_batch(port, &mut batch, &mut out)?;
+                    self.recycle(batch);
+                    self.route(id, out);
+                }
+                Payload::Cols(mut cols) if self.ops[id].accepts_columns() => {
+                    let mut cols_out = self.take_col_buf();
+                    self.ops[id].push_columns(port, &mut cols, &mut out, &mut cols_out)?;
+                    self.recycle_col(cols);
+                    self.route(id, out);
+                    self.route_cols(id, cols_out);
+                }
+                Payload::Cols(cols) => {
+                    // Row-based operator (join, merge): transpose at
+                    // the boundary.
+                    let mut batch = self.take_buf();
+                    cols.append_rows_to(&mut batch);
+                    self.recycle_col(cols);
+                    self.ops[id].push_batch(port, &mut batch, &mut out)?;
+                    self.recycle(batch);
+                    self.route(id, out);
+                }
+            }
         }
         Ok(())
     }
@@ -321,10 +444,41 @@ impl Engine {
             let (c, p) = self.consumers[id][k];
             let mut copy = self.take_buf();
             copy.extend(out.iter().cloned());
-            self.queue.push_back((c, p, copy));
+            self.queue.push_back((c, p, Payload::Rows(copy)));
         }
         let (c, p) = self.consumers[id][n - 1];
-        self.queue.push_back((c, p, out));
+        self.queue.push_back((c, p, Payload::Rows(out)));
+    }
+
+    /// [`Engine::route`] for a columnar output batch: identical
+    /// accounting and fan-out, with sinks receiving the row
+    /// materialization (sink outputs are row vectors) and consumers
+    /// receiving the batch in SoA form.
+    fn route_cols(&mut self, id: NodeId, out: ColumnBatch) {
+        self.counters[id].tuples_out += out.rows() as u64;
+        if self.metrics_on && !out.is_empty() {
+            let bytes = out.rows() as u64 * self.wire[id];
+            self.metrics[id].bytes_out += bytes;
+            self.metrics[id].batches_out += 1;
+            for &(c, _) in &self.consumers[id] {
+                self.metrics[c].bytes_in += bytes;
+            }
+        }
+        let has_consumers = !self.consumers[id].is_empty();
+        if let Some(sink) = self.sink_outputs.get_mut(&id) {
+            out.append_rows_to(sink);
+        }
+        if !has_consumers || out.is_empty() {
+            self.recycle_col(out);
+            return;
+        }
+        let n = self.consumers[id].len();
+        for k in 0..n - 1 {
+            let (c, p) = self.consumers[id][k];
+            self.queue.push_back((c, p, Payload::Cols(out.clone())));
+        }
+        let (c, p) = self.consumers[id][n - 1];
+        self.queue.push_back((c, p, Payload::Cols(out)));
     }
 
     /// Signals end-of-stream: every operator flushes, in topological
@@ -396,6 +550,8 @@ impl Engine {
             m.group_slots = rt.group_slots;
             m.group_probes = rt.group_probes;
             m.group_inserts = rt.group_inserts;
+            m.kernel_hits = rt.kernel_hits;
+            m.kernel_fallbacks = rt.kernel_fallbacks;
         }
         out
     }

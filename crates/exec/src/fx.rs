@@ -22,6 +22,18 @@ pub(crate) type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDef
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
+/// One multiply-xor round over a raw word — the fold [`FxHasher::add`]
+/// performs, exposed so the columnar aggregation path can hash an
+/// entire unsigned key lane in one pass. Starting from `0`
+/// (`FxHasher::default()`'s state), `fold_word(h, x)` agrees
+/// bit-for-bit with [`ValueHash::add`] of `Value::UInt(x)` because the
+/// `UInt` variant tag is zero — so column-hashed and row-hashed group
+/// keys probe the same table slots.
+#[inline]
+pub(crate) fn fold_word(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
 /// One-word-at-a-time multiply-xor hasher.
 #[derive(Default)]
 pub(crate) struct FxHasher {
@@ -31,7 +43,7 @@ pub(crate) struct FxHasher {
 impl FxHasher {
     #[inline]
     fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+        self.hash = fold_word(self.hash, word);
     }
 }
 
@@ -185,6 +197,22 @@ mod tests {
             hash(&[Value::Str("ab".into())]),
             hash(&[Value::Str("ba".into())])
         );
+    }
+
+    /// The columnar key-hash fold must agree with [`ValueHash`] over
+    /// unsigned values — the equality the column-hashed group probe and
+    /// the partition-routing equivalence suite both rely on.
+    #[test]
+    fn fold_word_matches_value_hash_on_uints() {
+        for key in [&[0u64][..], &[1, 2], &[u64::MAX, 0, 42]] {
+            let mut vh = ValueHash::new();
+            let mut h = 0u64;
+            for &x in key {
+                vh.add(&Value::UInt(x));
+                h = fold_word(h, x);
+            }
+            assert_eq!(vh.finish(), h, "key {key:?}");
+        }
     }
 
     #[test]

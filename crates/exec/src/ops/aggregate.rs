@@ -2,8 +2,11 @@
 
 use std::sync::Arc;
 
-use qap_expr::{make_accumulator, Accumulator, AggKind, BinOp, BoundExpr, Udaf, UdafState};
-use qap_types::{Tuple, Value};
+use qap_expr::{
+    make_accumulator, Accumulator, AggKind, BinOp, BoundExpr, KernelScratch, PredicateKernel, Udaf,
+    UdafState,
+};
+use qap_types::{ColumnBatch, SelectionVector, Tuple, Value};
 
 use crate::fx;
 use crate::ExecResult;
@@ -265,6 +268,25 @@ pub(crate) struct AggregateOp {
     /// rows from them, so steady-state emission allocates nothing —
     /// the malloc/free pair per group row becomes a freelist pop/push.
     spare: Vec<Vec<Value>>,
+    /// Compiled predicate kernel for the columnar path (None: no
+    /// predicate, or outside the kernel domain).
+    kernel: Option<PredicateKernel>,
+    /// Reused kernel register file.
+    kscratch: KernelScratch,
+    /// Reused selection vector for the columnar filter.
+    sel: SelectionVector,
+    /// Per-row group-key hashes, built column-at-a-time (one fold per
+    /// key lane) so the probe loop touches no `Value`s at all.
+    hash_scratch: Vec<u64>,
+    /// Per-row window-key quotients on the columnar path, one lane per
+    /// `DivConst` eval in key order (the columnar analogue of
+    /// `div_scratch`).
+    q_lanes: Vec<Vec<u64>>,
+    /// Reused row materialization for columnar fallbacks (interpreter
+    /// predicates, `General` slot folds).
+    row_scratch: Tuple,
+    kernel_hits: u64,
+    kernel_fallbacks: u64,
 }
 
 /// Cap on recycled tuple buffers (bounds idle memory to a few hundred
@@ -300,6 +322,7 @@ impl AggregateOp {
             // Unused: `fast_keys` is false, so the slow path runs.
             KeyEval::General => TemporalSrc::Col(0),
         };
+        let kernel = predicate.as_ref().and_then(PredicateKernel::compile);
         AggregateOp {
             key_evals,
             fast_keys,
@@ -318,6 +341,14 @@ impl AggregateOp {
             key_scratch: Vec::new(),
             div_scratch: Vec::new(),
             spare: Vec::new(),
+            kernel,
+            kscratch: KernelScratch::new(),
+            sel: SelectionVector::new(),
+            hash_scratch: Vec::new(),
+            q_lanes: Vec::new(),
+            row_scratch: Tuple::default(),
+            kernel_hits: 0,
+            kernel_fallbacks: 0,
             slots,
         }
     }
@@ -497,6 +528,157 @@ impl AggregateOp {
         self.recycle(tuple);
         Ok(())
     }
+
+    /// Whether the batch's key lanes admit the vectorized key pass:
+    /// every fast key eval must read a non-null unsigned lane, so the
+    /// columnar hash fold ([`fx::fold_word`]) and the in-place probe
+    /// comparison agree bit-for-bit with [`fx::ValueHash`] and the
+    /// materialized-key comparison of the row path.
+    fn keys_columnar(&self, batch: &ColumnBatch) -> bool {
+        self.fast_keys
+            && self.key_evals.iter().all(|ev| {
+                let col = match ev {
+                    KeyEval::Col(i) => *i,
+                    KeyEval::DivConst { col, .. } => *col,
+                    KeyEval::General => return false,
+                };
+                let c = batch.column(col);
+                c.uints().is_some() && !c.has_nulls()
+            })
+    }
+
+    /// Refines `self.sel` to the rows the predicate keeps — compiled
+    /// kernel when it applies, per-tuple interpreter otherwise.
+    fn filter_columns(&mut self, batch: &ColumnBatch) -> ExecResult<()> {
+        let Some(p) = &self.predicate else {
+            return Ok(());
+        };
+        if let Some(k) = &self.kernel {
+            if k.filter(batch, &mut self.sel, &mut self.kscratch) {
+                self.kernel_hits += 1;
+                return Ok(());
+            }
+        }
+        self.kernel_fallbacks += 1;
+        let kept = std::mem::take(self.sel.raw_mut());
+        self.sel.clear();
+        for i in kept {
+            batch.write_row_into(i as usize, &mut self.row_scratch);
+            if p.eval_predicate(&self.row_scratch)? {
+                self.sel.push(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// The vectorized key pass: one fold per key lane into the per-row
+    /// hash vector, quotient lanes computed in the same sweep. The hash
+    /// agrees bit-for-bit with the row path's [`fx::ValueHash`] over
+    /// the same key values, so row-pushed and column-pushed tuples
+    /// probe identical table slots.
+    fn hash_keys_columnar(&mut self, batch: &ColumnBatch) {
+        let rows = batch.rows();
+        self.hash_scratch.clear();
+        self.hash_scratch.resize(rows, 0);
+        let n_divs = self
+            .key_evals
+            .iter()
+            .filter(|e| matches!(e, KeyEval::DivConst { .. }))
+            .count();
+        self.q_lanes.resize_with(n_divs, Vec::new);
+        let mut d = 0;
+        for ev in &self.key_evals {
+            match ev {
+                KeyEval::Col(i) => {
+                    let lane = batch.column(*i).uints().expect("eligibility checked");
+                    for (h, &x) in self.hash_scratch.iter_mut().zip(lane) {
+                        *h = fx::fold_word(*h, x);
+                    }
+                }
+                KeyEval::DivConst { col, div, magic } => {
+                    let lane = batch.column(*col).uints().expect("eligibility checked");
+                    let q = &mut self.q_lanes[d];
+                    d += 1;
+                    q.clear();
+                    q.extend(lane.iter().map(|&x| div_q(x, *div, *magic)));
+                    for (h, &qv) in self.hash_scratch.iter_mut().zip(q.iter()) {
+                        *h = fx::fold_word(*h, qv);
+                    }
+                }
+                KeyEval::General => debug_assert!(false, "columnar keys exclude General evals"),
+            }
+        }
+    }
+
+    /// Builds the owned group key in `key_scratch` for row `r` of a
+    /// columnar batch — the lane-reading analogue of
+    /// [`AggregateOp::materialize_key`]. Runs only when a new group
+    /// inserts.
+    fn materialize_key_cols(&mut self, batch: &ColumnBatch, r: usize) {
+        self.key_scratch.clear();
+        let mut d = 0;
+        for ev in &self.key_evals {
+            match ev {
+                KeyEval::Col(i) => {
+                    let lane = batch.column(*i).uints().expect("eligibility checked");
+                    self.key_scratch.push(Value::UInt(lane[r]));
+                }
+                KeyEval::DivConst { .. } => {
+                    self.key_scratch.push(Value::UInt(self.q_lanes[d][r]));
+                    d += 1;
+                }
+                KeyEval::General => debug_assert!(false, "columnar keys exclude General evals"),
+            }
+        }
+    }
+
+    /// Folds row `r` of a columnar batch into a group's accumulators,
+    /// mirroring [`AggregateOp::fold`] arm for arm: `CountStar`
+    /// increments, `SumCol` widen-adds straight off an unsigned lane
+    /// (falling back to the generic update for NULLs and other lane
+    /// shapes exactly as the row path does for non-`UInt` values), and
+    /// `General` slots evaluate against `row` — the caller's
+    /// materialization of row `r`.
+    fn fold_cols(
+        slots: &[AggSlot],
+        slot_evals: &[SlotEval],
+        accs: &mut [AnyAcc],
+        batch: &ColumnBatch,
+        r: usize,
+        row: &Tuple,
+    ) -> ExecResult<()> {
+        for ((slot, ev), acc) in slots.iter().zip(slot_evals).zip(accs.iter_mut()) {
+            match ev {
+                SlotEval::CountStar => match acc {
+                    AnyAcc::Builtin(Accumulator::Count(n)) => *n += 1,
+                    other => other.update(&Value::Bool(true)),
+                },
+                SlotEval::SumCol(i) => {
+                    let c = batch.column(*i);
+                    match (&mut *acc, c.uints()) {
+                        (AnyAcc::Builtin(Accumulator::Sum(s)), Some(lane)) if !c.is_null(r) => {
+                            *s = Some(s.unwrap_or(0) + i128::from(lane[r]));
+                        }
+                        (acc, _) => acc.update(&c.value(r)),
+                    }
+                }
+                SlotEval::Col(i) => acc.update(&batch.column(*i).value(r)),
+                SlotEval::General => {
+                    let v = match &slot.arg {
+                        Some(e) => e.eval(row)?,
+                        // COUNT(*): every tuple counts.
+                        None => Value::Bool(true),
+                    };
+                    if slot.merge {
+                        acc.merge(&v);
+                    } else {
+                        acc.update(&v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Operator for AggregateOp {
@@ -609,6 +791,124 @@ impl Operator for AggregateOp {
         Ok(())
     }
 
+    fn accepts_columns(&self) -> bool {
+        true
+    }
+
+    fn push_columns(
+        &mut self,
+        port: usize,
+        batch: &mut ColumnBatch,
+        rows_out: &mut Vec<Tuple>,
+        _cols_out: &mut ColumnBatch,
+    ) -> ExecResult<()> {
+        if batch.rows() == 0 {
+            batch.clear();
+            return Ok(());
+        }
+        // Key-lane eligibility gates the whole batch: the vectorized
+        // pass requires non-null unsigned key lanes (anything else
+        // hashes differently from `ValueHash`), so other shapes
+        // materialize and take the exact row path — predicate included.
+        if !self.keys_columnar(batch) {
+            self.kernel_fallbacks += 1;
+            let mut rows = Vec::with_capacity(batch.rows());
+            batch.append_rows_to(&mut rows);
+            batch.clear();
+            return self.push_batch(port, &mut rows, rows_out);
+        }
+        // σ: refine the selection, then compact onto the survivors.
+        self.sel.fill_identity(batch.rows());
+        self.filter_columns(batch)?;
+        if self.sel.is_empty() {
+            batch.clear();
+            return Ok(());
+        }
+        batch.compact(&self.sel);
+        // Vectorized key pass: hash every row's group key lane-at-a-
+        // time, computing window quotients in the same sweep.
+        self.hash_keys_columnar(batch);
+        self.kernel_hits += 1;
+        let arity = self.group_exprs.len();
+        let any_general = self
+            .slot_evals
+            .iter()
+            .any(|e| matches!(e, SlotEval::General));
+        // Bulk upsert: per row, probe with an in-place lane comparison
+        // (no key materialization on a hit) and fold straight off the
+        // lanes. Window flush/late logic runs in row order, so bucket
+        // transitions land exactly where the row path puts them.
+        for r in 0..batch.rows() {
+            let hash = self.hash_scratch[r];
+            // Key lanes are non-null unsigned: the temporal attribute
+            // is never NULL on this path.
+            let bucket: i128 = match self.temporal_src {
+                TemporalSrc::Col(i) => {
+                    i128::from(batch.column(i).uints().expect("eligibility checked")[r])
+                }
+                TemporalSrc::Div(d) => i128::from(self.q_lanes[d][r]),
+            };
+            match self.current_bucket {
+                Some(cur) if bucket > cur => {
+                    self.flush(rows_out)?;
+                    self.current_bucket = Some(bucket);
+                }
+                Some(cur) if bucket < cur => {
+                    self.late += 1;
+                    continue;
+                }
+                Some(_) => {}
+                None => self.current_bucket = Some(bucket),
+            }
+            let found = {
+                let evals = &self.key_evals;
+                let q_lanes = &self.q_lanes;
+                self.groups.find_with(hash, arity, |key| {
+                    let mut d = 0;
+                    evals.iter().zip(key).all(|(ev, kv)| match ev {
+                        KeyEval::Col(i) => {
+                            let lane = batch.column(*i).uints().expect("eligibility checked");
+                            matches!(kv, Value::UInt(x) if *x == lane[r])
+                        }
+                        KeyEval::DivConst { .. } => {
+                            let qv = q_lanes[d][r];
+                            d += 1;
+                            matches!(kv, Value::UInt(x) if *x == qv)
+                        }
+                        KeyEval::General => {
+                            debug_assert!(false, "columnar keys exclude General evals");
+                            false
+                        }
+                    })
+                })
+            };
+            if any_general {
+                batch.write_row_into(r, &mut self.row_scratch);
+            }
+            let accs = match found {
+                Some(e) => self.groups.payload_mut(e),
+                None => {
+                    self.materialize_key_cols(batch, r);
+                    self.groups.insert_new(
+                        hash,
+                        &mut self.key_scratch,
+                        self.slots.iter().map(AggSlot::fresh),
+                    )
+                }
+            };
+            Self::fold_cols(
+                &self.slots,
+                &self.slot_evals,
+                accs,
+                batch,
+                r,
+                &self.row_scratch,
+            )?;
+        }
+        batch.clear();
+        Ok(())
+    }
+
     fn finish(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()> {
         self.flush(out)?;
         // NULL-window groups close with the stream (their emission
@@ -635,6 +935,8 @@ impl Operator for AggregateOp {
             group_slots: self.groups.slot_count() + self.null_groups.slot_count(),
             group_probes: self.groups.probe_count() + self.null_groups.probe_count(),
             group_inserts: self.groups.insert_count() + self.null_groups.insert_count(),
+            kernel_hits: self.kernel_hits,
+            kernel_fallbacks: self.kernel_fallbacks,
         }
     }
 }

@@ -11,7 +11,7 @@ pub(crate) use join::JoinOp;
 pub(crate) use merge::MergeOp;
 pub(crate) use select::SelectOp;
 
-use qap_types::{Tuple, Value};
+use qap_types::{ColumnBatch, Tuple, Value};
 
 use crate::ExecResult;
 
@@ -31,6 +31,12 @@ pub(crate) struct OpRuntimeStats {
     pub group_probes: u64,
     /// Groups created across the run.
     pub group_inserts: u64,
+    /// Compiled-kernel executions (vectorized filters, projections,
+    /// columnar key passes) that ran to completion.
+    pub kernel_hits: u64,
+    /// Columnar evaluations that fell back to the per-tuple
+    /// interpreter (non-kernelizable expression or runtime bailout).
+    pub kernel_fallbacks: u64,
 }
 
 /// A compiled streaming operator, processing input one *batch* at a
@@ -56,6 +62,35 @@ pub(crate) trait Operator {
     ) -> ExecResult<()>;
     /// Flushes remaining state at end-of-stream.
     fn finish(&mut self, out: &mut Vec<Tuple>) -> ExecResult<()>;
+    /// Whether the operator consumes columnar (SoA) batches natively.
+    /// Operators answering `false` only ever see row batches — the
+    /// engine transposes at the boundary (the row↔column converter the
+    /// join and merge operators rely on).
+    fn accepts_columns(&self) -> bool {
+        false
+    }
+    /// Processes one columnar batch, draining `batch` (left cleared)
+    /// and appending produced output to `rows_out` and/or `cols_out`
+    /// (an empty engine-owned scratch batch). Must emit exactly what
+    /// [`Operator::push_batch`] would emit for the batch's row
+    /// materialization, in the same order — representation is a
+    /// mechanical optimisation, never a semantic one.
+    ///
+    /// The default bridges through rows for operators that opt in to
+    /// columns on some code path but not another; the engine only calls
+    /// this when [`Operator::accepts_columns`] is `true`.
+    fn push_columns(
+        &mut self,
+        port: usize,
+        batch: &mut ColumnBatch,
+        rows_out: &mut Vec<Tuple>,
+        _cols_out: &mut ColumnBatch,
+    ) -> ExecResult<()> {
+        let mut rows = Vec::with_capacity(batch.rows());
+        batch.append_rows_to(&mut rows);
+        batch.clear();
+        self.push_batch(port, &mut rows, rows_out)
+    }
     /// Tuples dropped for arriving behind the operator's window.
     fn late_dropped(&self) -> u64 {
         0
@@ -90,6 +125,23 @@ impl Operator for ScanOp {
     }
 
     fn finish(&mut self, _out: &mut Vec<Tuple>) -> ExecResult<()> {
+        Ok(())
+    }
+
+    fn accepts_columns(&self) -> bool {
+        true
+    }
+
+    fn push_columns(
+        &mut self,
+        _port: usize,
+        batch: &mut ColumnBatch,
+        _rows_out: &mut Vec<Tuple>,
+        cols_out: &mut ColumnBatch,
+    ) -> ExecResult<()> {
+        // Column batches pass through by swap, mirroring the row path.
+        std::mem::swap(cols_out, batch);
+        batch.clear();
         Ok(())
     }
 }

@@ -1,28 +1,66 @@
 //! Selection/projection (σ/π).
 
-use qap_expr::BoundExpr;
-use qap_types::Tuple;
+use qap_expr::{BoundExpr, KernelScratch, NumKernel, PredicateKernel};
+use qap_types::{Column, ColumnBatch, SelectionVector, Tuple};
 
 use crate::ExecResult;
 
-use super::Operator;
+use super::{OpRuntimeStats, Operator};
+
+/// One projection's columnar evaluation strategy, classified once at
+/// construction.
+enum ColProj {
+    /// Bare column reference: the output column is the input column —
+    /// a pointer move (or a clone when the position repeats).
+    Col {
+        pos: usize,
+        /// Whether this is the projection's last use of `pos`, so the
+        /// column can be *taken* out of the (about-to-be-cleared) input
+        /// batch instead of cloned.
+        take: bool,
+    },
+    /// Compiled numeric kernel evaluating column-at-a-time.
+    Kernel(NumKernel),
+}
 
 /// Stateless filter + projection.
 ///
-/// When every projection is a bare column reference (the common case in
-/// the paper's HFTA queries, which push arithmetic into the LFTA tier),
-/// the projection loop takes a scratch-reusing fast path:
-/// [`Tuple::project_into`] fills one recycled scratch tuple, which is
-/// then swapped with the drained input tuple — so the output row reuses
-/// the previous input row's backing allocation and steady-state
-/// projection does no per-tuple allocation at all.
+/// **Row path.** When every projection is a bare column reference (the
+/// common case in the paper's HFTA queries, which push arithmetic into
+/// the LFTA tier), the projection loop takes a scratch-reusing fast
+/// path: [`Tuple::project_into`] fills one recycled scratch tuple,
+/// which is then swapped with the drained input tuple — so the output
+/// row reuses the previous input row's backing allocation. The general
+/// path evaluates into the same scratch and swaps likewise, so neither
+/// projection shape allocates per surviving tuple.
+///
+/// **Columnar path.** The predicate compiles once into a
+/// [`PredicateKernel`] that refines a [`SelectionVector`]
+/// column-at-a-time; the batch compacts onto the surviving rows, and
+/// projection is a column pointer shuffle (bare columns) or a
+/// [`NumKernel`] evaluation — zero per-tuple work. Anything outside the
+/// kernel domain (at compile time or via a runtime bailout) falls back
+/// to the per-tuple interpreter with identical semantics.
 pub(crate) struct SelectOp {
     predicate: Option<BoundExpr>,
     projections: Vec<BoundExpr>,
     /// `Some(positions)` when all projections are `BoundExpr::Column`.
     column_positions: Option<Vec<usize>>,
-    /// Recycled output row for the pure-column fast path.
+    /// Recycled scratch row (output projection on the row path, input
+    /// materialization on columnar fallbacks).
     scratch: Tuple,
+    /// Compiled predicate kernel (None: no predicate, or outside the
+    /// kernel domain — the interpreter handles it).
+    kernel: Option<PredicateKernel>,
+    /// `Some(plan)` when every projection is columnar-evaluable (bare
+    /// column or compiled numeric kernel).
+    col_plan: Option<Vec<ColProj>>,
+    /// Reused selection vector for the columnar filter.
+    sel: SelectionVector,
+    /// Reused kernel register file.
+    kscratch: KernelScratch,
+    kernel_hits: u64,
+    kernel_fallbacks: u64,
 }
 
 impl SelectOp {
@@ -34,12 +72,71 @@ impl SelectOp {
                 _ => None,
             })
             .collect::<Option<Vec<usize>>>();
+        let kernel = predicate.as_ref().and_then(PredicateKernel::compile);
+        let mut col_plan = projections
+            .iter()
+            .map(|e| match e {
+                BoundExpr::Column(i) => Some(ColProj::Col {
+                    pos: *i,
+                    take: false,
+                }),
+                e => NumKernel::compile(e).map(ColProj::Kernel),
+            })
+            .collect::<Option<Vec<ColProj>>>();
+        if let Some(plan) = &mut col_plan {
+            // Mark the last use of each bare-column position: that use
+            // may move the column out of the input batch; earlier uses
+            // clone. Kernels evaluate before any take, so they always
+            // see intact input columns.
+            let mut seen: Vec<usize> = Vec::new();
+            for p in plan.iter_mut().rev() {
+                if let ColProj::Col { pos, take } = p {
+                    if !seen.contains(pos) {
+                        seen.push(*pos);
+                        *take = true;
+                    }
+                }
+            }
+        }
         SelectOp {
             predicate,
             projections,
             column_positions,
             scratch: Tuple::default(),
+            kernel,
+            col_plan,
+            sel: SelectionVector::new(),
+            kscratch: KernelScratch::new(),
+            kernel_hits: 0,
+            kernel_fallbacks: 0,
         }
+    }
+
+    /// Refines `self.sel` to the rows of `batch` the predicate keeps:
+    /// the compiled kernel when it applies, the per-tuple interpreter
+    /// otherwise — bit-identical outcomes either way.
+    fn filter_columns(&mut self, batch: &ColumnBatch) -> ExecResult<()> {
+        let Some(p) = &self.predicate else {
+            return Ok(());
+        };
+        if let Some(k) = &self.kernel {
+            if k.filter(batch, &mut self.sel, &mut self.kscratch) {
+                self.kernel_hits += 1;
+                return Ok(());
+            }
+        }
+        // Interpreter fallback: materialize each selected row into the
+        // scratch tuple and evaluate exactly as the row path would.
+        self.kernel_fallbacks += 1;
+        let kept = std::mem::take(self.sel.raw_mut());
+        self.sel.clear();
+        for i in kept {
+            batch.write_row_into(i as usize, &mut self.scratch);
+            if p.eval_predicate(&self.scratch)? {
+                self.sel.push(i);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -65,11 +162,15 @@ impl Operator for SelectOp {
                 std::mem::swap(&mut tuple, &mut self.scratch);
                 out.push(tuple);
             } else {
-                let mut t = Tuple::with_capacity(self.projections.len());
+                // General path: same scratch-swap discipline — evaluate
+                // into the recycled scratch, swap with the spent input
+                // row, push. No per-tuple allocation here either.
+                self.scratch.clear();
                 for e in &self.projections {
-                    t.push(e.eval(&tuple)?);
+                    self.scratch.push(e.eval(&tuple)?);
                 }
-                out.push(t);
+                std::mem::swap(&mut tuple, &mut self.scratch);
+                out.push(tuple);
             }
         }
         Ok(())
@@ -77,5 +178,94 @@ impl Operator for SelectOp {
 
     fn finish(&mut self, _out: &mut Vec<Tuple>) -> ExecResult<()> {
         Ok(())
+    }
+
+    fn accepts_columns(&self) -> bool {
+        true
+    }
+
+    fn push_columns(
+        &mut self,
+        _port: usize,
+        batch: &mut ColumnBatch,
+        rows_out: &mut Vec<Tuple>,
+        cols_out: &mut ColumnBatch,
+    ) -> ExecResult<()> {
+        let n = batch.rows();
+        if n == 0 {
+            batch.clear();
+            return Ok(());
+        }
+        // σ: refine the selection, then compact the batch onto it.
+        self.sel.fill_identity(n);
+        self.filter_columns(batch)?;
+        if self.sel.is_empty() {
+            batch.clear();
+            return Ok(());
+        }
+        batch.compact(&self.sel);
+        // π, columnar: kernels evaluate first (they read input
+        // columns), then bare columns move or clone into place.
+        if let Some(plan) = &self.col_plan {
+            let mut outputs: Vec<Option<Column>> = Vec::with_capacity(plan.len());
+            let mut bailed = false;
+            let mut ran_kernel = false;
+            for p in plan {
+                match p {
+                    ColProj::Col { .. } => outputs.push(None),
+                    ColProj::Kernel(k) => match k.eval_column(batch, &mut self.kscratch) {
+                        Some(c) => {
+                            ran_kernel = true;
+                            outputs.push(Some(c));
+                        }
+                        None => {
+                            bailed = true;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !bailed {
+                if ran_kernel {
+                    self.kernel_hits += 1;
+                }
+                let rows = batch.rows();
+                let columns = plan
+                    .iter()
+                    .zip(outputs)
+                    .map(|(p, out)| match (p, out) {
+                        (_, Some(c)) => c,
+                        (ColProj::Col { pos, take: true }, None) => batch.take_column(*pos),
+                        (ColProj::Col { pos, take: false }, None) => batch.column(*pos).clone(),
+                        (ColProj::Kernel(_), None) => unreachable!("kernel output populated"),
+                    })
+                    .collect();
+                *cols_out = ColumnBatch::from_columns_with_rows(columns, rows);
+                batch.clear();
+                return Ok(());
+            }
+        }
+        // Whole-batch row fallback for the projection: the filter has
+        // already been applied, so only survivors materialize.
+        self.kernel_fallbacks += 1;
+        rows_out.reserve(batch.rows());
+        for i in 0..batch.rows() {
+            batch.write_row_into(i, &mut self.scratch);
+            let mut t = Tuple::with_capacity(self.projections.len());
+            for e in &self.projections {
+                t.push(e.eval(&self.scratch)?);
+            }
+            rows_out.push(t);
+        }
+        batch.clear();
+        Ok(())
+    }
+
+    fn runtime_stats(&self) -> OpRuntimeStats {
+        OpRuntimeStats {
+            kernel_hits: self.kernel_hits,
+            kernel_fallbacks: self.kernel_fallbacks,
+            ..OpRuntimeStats::default()
+        }
     }
 }

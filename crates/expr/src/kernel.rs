@@ -1,0 +1,1144 @@
+//! Vectorized expression kernels over [`ColumnBatch`]es.
+//!
+//! The row engine walks the [`BoundExpr`] tree and matches on [`Value`]
+//! enums for every tuple; at batch sizes in the hundreds that tree walk
+//! — not the operator logic around it — dominates per-tuple CPU, which
+//! is exactly the resource the paper says binds a query-aware-
+//! partitioned deployment (Section 4.2.1). A kernel compiles the tree
+//! **once** into a flat program that evaluates column-at-a-time:
+//!
+//! - [`PredicateKernel`] refines a [`SelectionVector`] — a filter never
+//!   copies data, it shrinks the set of surviving row indices. `AND` is
+//!   evaluated as successive refinement (the right conjunct only ever
+//!   sees the left conjunct's survivors — the columnar analogue of
+//!   short-circuit evaluation), `OR` as a union of branch survivors
+//!   where each branch only sees the rows every earlier branch
+//!   rejected (so an erroring right branch is reached exactly when the
+//!   row engine would reach it).
+//! - [`NumKernel`] evaluates a numeric projection expression into a
+//!   typed output column, one operation per *column* rather than one
+//!   tree walk per row.
+//!
+//! Kernels are compiled against the unsigned domain — the native type
+//! of every packet-header field. Anything outside it (signed lanes,
+//! strings, negative literals, arithmetic that would error) is left to
+//! the per-tuple interpreter: compilation returns `None` for shapes it
+//! does not cover, and execution **bails out losslessly** (returning
+//! `false`/`None` with the selection untouched) when a batch's runtime
+//! lane types or an overflow/division error fall outside the compiled
+//! domain. The caller then re-runs the row interpreter, which
+//! reproduces tuple-at-a-time semantics — including *which* row errors
+//! first — bit-for-bit. A kernel therefore never changes results; it
+//! only makes the common case cheap.
+
+use qap_types::{Column, ColumnBatch, ColumnData, SelectionVector, Value};
+
+use crate::{BinOp, BoundExpr, UnOp};
+
+/// Comparison operator of a filter instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn from_bin(op: BinOp) -> Option<CmpOp> {
+        Some(match op {
+            BinOp::Eq => CmpOp::Eq,
+            BinOp::Ne => CmpOp::Ne,
+            BinOp::Lt => CmpOp::Lt,
+            BinOp::Le => CmpOp::Le,
+            BinOp::Gt => CmpOp::Gt,
+            BinOp::Ge => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+
+    /// Logical negation (exact under two-valued comparison results;
+    /// NULL operands are dropped by both the original and the negation,
+    /// matching `NOT NULL = NULL` → predicate-false).
+    fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Mirror for swapped operands: `lit OP col` ⇔ `col mirror(OP) lit`.
+    fn mirror(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    #[inline]
+    fn apply(self, a: u64, b: u64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// Arithmetic operator of an [`Instr::Arith`] instruction, evaluated in
+/// the unsigned domain with the exact error behaviour of
+/// `BoundExpr::eval` (an operation the row evaluator would reject —
+/// overflow, borrow, division by zero — aborts the kernel instead of
+/// producing a value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl ArithOp {
+    fn from_bin(op: BinOp) -> Option<ArithOp> {
+        Some(match op {
+            BinOp::Add => ArithOp::Add,
+            BinOp::Sub => ArithOp::Sub,
+            BinOp::Mul => ArithOp::Mul,
+            BinOp::Div => ArithOp::Div,
+            BinOp::Mod => ArithOp::Mod,
+            BinOp::BitAnd => ArithOp::BitAnd,
+            BinOp::BitOr => ArithOp::BitOr,
+            BinOp::BitXor => ArithOp::BitXor,
+            BinOp::Shl => ArithOp::Shl,
+            BinOp::Shr => ArithOp::Shr,
+            _ => return None,
+        })
+    }
+
+    /// One element, mirroring `arith_u64` exactly. `None` means the row
+    /// evaluator would not produce an unsigned value here (error or
+    /// signed borrow) — the kernel must bail out and let the
+    /// interpreter reproduce the exact behaviour.
+    #[inline]
+    fn apply(self, a: u64, b: u64) -> Option<u64> {
+        match self {
+            ArithOp::Add => a.checked_add(b),
+            ArithOp::Sub => a.checked_sub(b),
+            ArithOp::Mul => a.checked_mul(b),
+            ArithOp::Div => a.checked_div(b),
+            ArithOp::Mod => a.checked_rem(b),
+            ArithOp::BitAnd => Some(a & b),
+            ArithOp::BitOr => Some(a | b),
+            ArithOp::BitXor => Some(a ^ b),
+            ArithOp::Shl => Some(
+                a.checked_shl(b.min(u64::from(u32::MAX)) as u32)
+                    .unwrap_or(0),
+            ),
+            ArithOp::Shr => Some(
+                a.checked_shr(b.min(u64::from(u32::MAX)) as u32)
+                    .unwrap_or(0),
+            ),
+        }
+    }
+}
+
+/// One instruction of the flat kernel program.
+///
+/// Numeric instructions write dense registers aligned to the selection
+/// current at execution time; a register is always consumed by an
+/// instruction compiled before the next selection-refining `Filter`, so
+/// registers never outlive the selection they were gathered under.
+#[derive(Debug, Clone)]
+enum Instr {
+    /// Gather the selected rows of a column into a register. Requires
+    /// an unsigned lane at runtime (bail out otherwise).
+    LoadCol { col: u32, dst: u8 },
+    /// Broadcast a constant into a register.
+    LoadConst { idx: u16, dst: u8 },
+    /// Element-wise unsigned arithmetic: `dst = a OP b`.
+    Arith { op: ArithOp, a: u8, b: u8, dst: u8 },
+    /// Element-wise bitwise complement: `dst = !a`.
+    BitNot { a: u8, dst: u8 },
+    /// Refine the current selection to rows where `a OP b` holds and
+    /// neither operand is NULL.
+    Filter { op: CmpOp, a: u8, b: u8 },
+    /// Fused column-vs-constant filter — the `destPort = 80` hot path:
+    /// no gather, no register, one pass over the lane.
+    FilterColConst { col: u32, op: CmpOp, idx: u16 },
+    /// Begin an OR: remember the incoming selection and start an empty
+    /// survivor accumulator.
+    OrStart,
+    /// End of one OR branch: bank its survivors, restart the next
+    /// branch on the rows no earlier branch accepted.
+    OrBranch,
+    /// End of the OR: the selection becomes the union of all branch
+    /// survivors.
+    OrEnd,
+}
+
+/// A dense kernel register: either one scalar broadcast over the
+/// selection or a gathered vector with an optional NULL mask.
+#[derive(Debug, Default, Clone)]
+enum Reg {
+    #[default]
+    Empty,
+    Scalar(u64),
+    Vector {
+        vals: Vec<u64>,
+        /// Aligned NULL flags; empty means no selected row is NULL.
+        nulls: Vec<bool>,
+    },
+}
+
+/// Reusable execution state for kernel runs: registers, the working
+/// selection, and the OR bookkeeping stack. One scratch serves any
+/// number of kernels; steady-state execution allocates nothing.
+#[derive(Default)]
+pub struct KernelScratch {
+    regs: Vec<Reg>,
+    cur: Vec<u32>,
+    /// `(pending, accepted)` per open OR: rows not yet accepted by any
+    /// branch, and the union of branch survivors so far.
+    or_stack: Vec<(Vec<u32>, Vec<u32>)>,
+    /// Spare index buffers recycled across OR constructs.
+    spare_idx: Vec<Vec<u32>>,
+}
+
+impl KernelScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        KernelScratch::default()
+    }
+
+    fn take_idx(&mut self) -> Vec<u32> {
+        self.spare_idx.pop().unwrap_or_default()
+    }
+
+    fn recycle_idx(&mut self, mut v: Vec<u32>) {
+        v.clear();
+        self.spare_idx.push(v);
+    }
+}
+
+/// Shared compile state: emitted program, constant pool, register
+/// high-water mark.
+struct Compiler {
+    instrs: Vec<Instr>,
+    consts: Vec<u64>,
+    nregs: u8,
+}
+
+impl Compiler {
+    fn new() -> Self {
+        Compiler {
+            instrs: Vec::new(),
+            consts: Vec::new(),
+            nregs: 0,
+        }
+    }
+
+    fn const_idx(&mut self, c: u64) -> Option<u16> {
+        if let Some(i) = self.consts.iter().position(|&x| x == c) {
+            return Some(i as u16);
+        }
+        if self.consts.len() >= usize::from(u16::MAX) {
+            return None;
+        }
+        self.consts.push(c);
+        Some((self.consts.len() - 1) as u16)
+    }
+
+    /// Compiles a numeric (unsigned-domain) expression, returning the
+    /// register holding its result. `base` is the first free register;
+    /// registers are allocated as a stack so sibling subtrees reuse
+    /// slots once consumed.
+    fn num(&mut self, e: &BoundExpr, base: u8) -> Option<u8> {
+        if base == u8::MAX {
+            return None;
+        }
+        match e {
+            BoundExpr::Column(i) => {
+                let col = u32::try_from(*i).ok()?;
+                self.instrs.push(Instr::LoadCol { col, dst: base });
+                self.reserve(base);
+                Some(base)
+            }
+            BoundExpr::Literal(v) => {
+                let idx = self.const_idx(literal_u64(v)?)?;
+                self.instrs.push(Instr::LoadConst { idx, dst: base });
+                self.reserve(base);
+                Some(base)
+            }
+            BoundExpr::Binary { op, lhs, rhs } => {
+                let op = ArithOp::from_bin(*op)?;
+                // Division/modulo by a constant zero errors on every
+                // row; leave it to the interpreter.
+                if matches!(op, ArithOp::Div | ArithOp::Mod) {
+                    if let BoundExpr::Literal(v) = rhs.as_ref() {
+                        if literal_u64(v)? == 0 {
+                            return None;
+                        }
+                    }
+                }
+                let a = self.num(lhs, base)?;
+                let b = self.num(rhs, base + 1)?;
+                self.instrs.push(Instr::Arith {
+                    op,
+                    a,
+                    b,
+                    dst: base,
+                });
+                Some(base)
+            }
+            BoundExpr::Unary {
+                op: UnOp::BitNot,
+                expr,
+            } => {
+                let a = self.num(expr, base)?;
+                self.instrs.push(Instr::BitNot { a, dst: base });
+                Some(base)
+            }
+            _ => None,
+        }
+    }
+
+    fn reserve(&mut self, reg: u8) {
+        self.nregs = self.nregs.max(reg + 1);
+    }
+
+    /// Compiles a predicate expression into selection-refining
+    /// instructions.
+    fn pred(&mut self, e: &BoundExpr) -> Option<()> {
+        match e {
+            BoundExpr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
+                // AND = successive refinement: rhs only sees lhs
+                // survivors, the columnar short-circuit.
+                self.pred(lhs)?;
+                self.pred(rhs)
+            }
+            BoundExpr::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } => {
+                self.instrs.push(Instr::OrStart);
+                self.pred(lhs)?;
+                self.instrs.push(Instr::OrBranch);
+                self.pred(rhs)?;
+                self.instrs.push(Instr::OrEnd);
+                Some(())
+            }
+            BoundExpr::Binary { op, lhs, rhs } => {
+                let op = CmpOp::from_bin(*op)?;
+                self.cmp(op, lhs, rhs)
+            }
+            BoundExpr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => match expr.as_ref() {
+                BoundExpr::Binary { op, lhs, rhs } => {
+                    let op = CmpOp::from_bin(*op)?;
+                    self.cmp(op.negate(), lhs, rhs)
+                }
+                _ => None,
+            },
+            // Bare column predicate: GSQL's C convention (non-zero is
+            // true, NULL is false) — over the unsigned domain exactly
+            // `col <> 0`.
+            BoundExpr::Column(i) => {
+                let col = u32::try_from(*i).ok()?;
+                let idx = self.const_idx(0)?;
+                self.instrs.push(Instr::FilterColConst {
+                    col,
+                    op: CmpOp::Ne,
+                    idx,
+                });
+                Some(())
+            }
+            _ => None,
+        }
+    }
+
+    /// Compiles one comparison, fusing the column-vs-constant shape.
+    fn cmp(&mut self, op: CmpOp, lhs: &BoundExpr, rhs: &BoundExpr) -> Option<()> {
+        match (lhs, rhs) {
+            (BoundExpr::Column(i), BoundExpr::Literal(v)) => {
+                if let Some(c) = literal_u64(v) {
+                    let col = u32::try_from(*i).ok()?;
+                    let idx = self.const_idx(c)?;
+                    self.instrs.push(Instr::FilterColConst { col, op, idx });
+                    return Some(());
+                }
+                None
+            }
+            (BoundExpr::Literal(v), BoundExpr::Column(i)) => {
+                if let Some(c) = literal_u64(v) {
+                    let col = u32::try_from(*i).ok()?;
+                    let idx = self.const_idx(c)?;
+                    self.instrs.push(Instr::FilterColConst {
+                        col,
+                        op: op.mirror(),
+                        idx,
+                    });
+                    return Some(());
+                }
+                None
+            }
+            _ => {
+                let a = self.num(lhs, 0)?;
+                let b = self.num(rhs, 1)?;
+                self.instrs.push(Instr::Filter { op, a, b });
+                Some(())
+            }
+        }
+    }
+}
+
+/// The unsigned-domain value of a literal, when comparing or computing
+/// with it in `u64` reproduces the row evaluator exactly: `UInt`
+/// directly, non-negative `Int` via the same coercion `as_u64` applies
+/// (`values_eq` and `cmp_u_i` both compare it numerically).
+fn literal_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(x) => Some(*x),
+        Value::Int(x) if *x >= 0 => Some(*x as u64),
+        _ => None,
+    }
+}
+
+/// A compiled predicate: evaluates column-at-a-time into a
+/// [`SelectionVector`]. Build once per operator with
+/// [`PredicateKernel::compile`]; apply per batch with
+/// [`PredicateKernel::filter`].
+pub struct PredicateKernel {
+    instrs: Vec<Instr>,
+    consts: Vec<u64>,
+    nregs: u8,
+}
+
+impl PredicateKernel {
+    /// Compiles a predicate, or `None` when the expression contains a
+    /// shape the kernel domain does not cover (string comparison,
+    /// signed literals, non-comparison `NOT`, …) — the caller keeps
+    /// the per-tuple interpreter for those.
+    pub fn compile(e: &BoundExpr) -> Option<Self> {
+        let mut c = Compiler::new();
+        c.pred(e)?;
+        Some(PredicateKernel {
+            instrs: c.instrs,
+            consts: c.consts,
+            nregs: c.nregs,
+        })
+    }
+
+    /// Refines `sel` to the rows of `batch` satisfying the predicate.
+    ///
+    /// Returns `true` on success. Returns `false` — with `sel`
+    /// untouched — when the batch falls outside the compiled domain at
+    /// runtime (a referenced lane is not unsigned, or an arithmetic
+    /// instruction hits a value the row evaluator would reject); the
+    /// caller must then re-run the interpreter, which reproduces exact
+    /// tuple-at-a-time semantics including error order.
+    pub fn filter(
+        &self,
+        batch: &ColumnBatch,
+        sel: &mut SelectionVector,
+        scratch: &mut KernelScratch,
+    ) -> bool {
+        if sel.as_slice().is_empty() {
+            // Nothing selected: the refinement is trivially the empty
+            // set, and an empty batch may not even carry typed lanes.
+            return true;
+        }
+        scratch.cur.clear();
+        scratch.cur.extend_from_slice(sel.as_slice());
+        scratch.or_stack.clear();
+        if scratch.regs.len() < usize::from(self.nregs) {
+            scratch.regs.resize(usize::from(self.nregs), Reg::Empty);
+        }
+        if !run_instrs(&self.instrs, &self.consts, batch, scratch) {
+            return false;
+        }
+        debug_assert!(scratch.or_stack.is_empty());
+        sel.set_from(&scratch.cur);
+        true
+    }
+}
+
+/// A compiled numeric projection: evaluates an unsigned-domain
+/// expression over every row of a batch into one typed output column.
+pub struct NumKernel {
+    instrs: Vec<Instr>,
+    consts: Vec<u64>,
+    nregs: u8,
+    out: u8,
+}
+
+impl NumKernel {
+    /// Compiles a numeric expression, or `None` when it falls outside
+    /// the kernel domain.
+    pub fn compile(e: &BoundExpr) -> Option<Self> {
+        let mut c = Compiler::new();
+        let out = c.num(e, 0)?;
+        Some(NumKernel {
+            instrs: c.instrs,
+            consts: c.consts,
+            nregs: c.nregs,
+            out,
+        })
+    }
+
+    /// Evaluates the expression over all rows of `batch`, producing the
+    /// output column. `None` means the batch falls outside the compiled
+    /// domain (bail out to the interpreter); NULL inputs yield NULL
+    /// outputs exactly as the row evaluator's NULL propagation does.
+    pub fn eval_column(&self, batch: &ColumnBatch, scratch: &mut KernelScratch) -> Option<Column> {
+        if batch.rows() == 0 {
+            return Some(Column::from_uints(Vec::new()));
+        }
+        scratch.cur.clear();
+        scratch.cur.extend(0..batch.rows() as u32);
+        scratch.or_stack.clear();
+        if scratch.regs.len() < usize::from(self.nregs) {
+            scratch.regs.resize(usize::from(self.nregs), Reg::Empty);
+        }
+        if !run_instrs(&self.instrs, &self.consts, batch, scratch) {
+            return None;
+        }
+        let n = batch.rows();
+        let col = match std::mem::take(&mut scratch.regs[usize::from(self.out)]) {
+            Reg::Scalar(c) => Column::from_uints(vec![c; n]),
+            Reg::Vector { vals, nulls } => {
+                debug_assert_eq!(vals.len(), n);
+                Column::from_parts(ColumnData::UInt(vals), nulls)
+            }
+            Reg::Empty => unreachable!("kernel output register never written"),
+        };
+        Some(col)
+    }
+}
+
+/// Executes a kernel program over the scratch's working selection.
+/// Returns `false` on a domain bailout (lane type or arithmetic); the
+/// scratch is left in an unspecified-but-reusable state.
+fn run_instrs(
+    instrs: &[Instr],
+    consts: &[u64],
+    batch: &ColumnBatch,
+    scratch: &mut KernelScratch,
+) -> bool {
+    for ins in instrs {
+        match ins {
+            Instr::LoadCol { col, dst } => {
+                let c = batch.column(*col as usize);
+                let mut reg = std::mem::take(&mut scratch.regs[usize::from(*dst)]);
+                if !load_column(c, &scratch.cur, &mut reg) {
+                    return false;
+                }
+                scratch.regs[usize::from(*dst)] = reg;
+            }
+            Instr::LoadConst { idx, dst } => {
+                scratch.regs[usize::from(*dst)] = Reg::Scalar(consts[usize::from(*idx)]);
+            }
+            Instr::Arith { op, a, b, dst } => {
+                if !arith(scratch, *op, *a, *b, *dst) {
+                    return false;
+                }
+            }
+            Instr::BitNot { a, dst } => match std::mem::take(&mut scratch.regs[usize::from(*a)]) {
+                Reg::Scalar(x) => scratch.regs[usize::from(*dst)] = Reg::Scalar(!x),
+                Reg::Vector { mut vals, nulls } => {
+                    for v in &mut vals {
+                        *v = !*v;
+                    }
+                    scratch.regs[usize::from(*dst)] = Reg::Vector { vals, nulls };
+                }
+                Reg::Empty => unreachable!("BitNot on unwritten register"),
+            },
+            Instr::Filter { op, a, b } => {
+                let (ra, rb) = if a == b {
+                    let r = std::mem::take(&mut scratch.regs[usize::from(*a)]);
+                    (r.clone(), r)
+                } else {
+                    (
+                        std::mem::take(&mut scratch.regs[usize::from(*a)]),
+                        std::mem::take(&mut scratch.regs[usize::from(*b)]),
+                    )
+                };
+                filter_regs(&mut scratch.cur, *op, &ra, &rb);
+            }
+            Instr::FilterColConst { col, op, idx } => {
+                let c = batch.column(*col as usize);
+                if !filter_col_const(&mut scratch.cur, c, *op, consts[usize::from(*idx)]) {
+                    return false;
+                }
+            }
+            Instr::OrStart => {
+                let mut pending = scratch.take_idx();
+                pending.extend_from_slice(&scratch.cur);
+                let acc = scratch.take_idx();
+                scratch.or_stack.push((pending, acc));
+            }
+            Instr::OrBranch => {
+                let (pending, acc) = scratch
+                    .or_stack
+                    .last_mut()
+                    .expect("OrBranch outside OrStart");
+                // Bank this branch's survivors (disjoint from earlier
+                // branches' by construction) and restart the next
+                // branch on the still-rejected rows.
+                merge_sorted(acc, &scratch.cur);
+                let mut next = Vec::new();
+                std::mem::swap(&mut next, pending);
+                diff_sorted(&mut next, &scratch.cur);
+                scratch.cur.clear();
+                scratch.cur.extend_from_slice(&next);
+                *pending = next;
+            }
+            Instr::OrEnd => {
+                let (pending, mut acc) = scratch.or_stack.pop().expect("OrEnd outside OrStart");
+                merge_sorted(&mut acc, &scratch.cur);
+                scratch.cur.clear();
+                scratch.cur.extend_from_slice(&acc);
+                scratch.recycle_idx(pending);
+                scratch.recycle_idx(acc);
+            }
+        }
+    }
+    true
+}
+
+/// Gathers the selected rows of a column into a register. Unsigned
+/// lanes gather values (and NULL flags when present); a fully untyped
+/// column is all-NULL; any other lane type bails out.
+fn load_column(c: &Column, cur: &[u32], reg: &mut Reg) -> bool {
+    let (mut vals, mut nulls) = match std::mem::take(reg) {
+        Reg::Vector {
+            mut vals,
+            mut nulls,
+        } => {
+            vals.clear();
+            nulls.clear();
+            (vals, nulls)
+        }
+        _ => (Vec::new(), Vec::new()),
+    };
+    match c.data() {
+        Some(ColumnData::UInt(lane)) => {
+            vals.extend(cur.iter().map(|&i| lane[i as usize]));
+            if c.has_nulls() {
+                let mask = c.null_mask();
+                nulls.extend(cur.iter().map(|&i| mask[i as usize]));
+            }
+        }
+        None => {
+            // Untyped column: every row NULL.
+            vals.resize(cur.len(), 0);
+            nulls.resize(cur.len(), true);
+        }
+        _ => return false,
+    }
+    *reg = Reg::Vector { vals, nulls };
+    true
+}
+
+/// Element-wise arithmetic between two registers. Any element the row
+/// evaluator would reject (overflow, borrow, division by zero on a
+/// non-NULL row) bails the kernel out; NULL rows skip the computation
+/// exactly as NULL propagation short-circuits `eval_binary`.
+fn arith(scratch: &mut KernelScratch, op: ArithOp, a: u8, b: u8, dst: u8) -> bool {
+    let ra = std::mem::take(&mut scratch.regs[usize::from(a)]);
+    let rb = if a == b {
+        ra.clone()
+    } else {
+        std::mem::take(&mut scratch.regs[usize::from(b)])
+    };
+    let out = match (ra, rb) {
+        (Reg::Scalar(x), Reg::Scalar(y)) => match op.apply(x, y) {
+            Some(v) => Reg::Scalar(v),
+            None => return false,
+        },
+        (Reg::Vector { mut vals, nulls }, Reg::Scalar(y)) => {
+            if nulls.is_empty() {
+                for v in vals.iter_mut() {
+                    match op.apply(*v, y) {
+                        Some(r) => *v = r,
+                        None => return false,
+                    }
+                }
+            } else {
+                for (v, n) in vals.iter_mut().zip(&nulls) {
+                    if *n {
+                        continue;
+                    }
+                    match op.apply(*v, y) {
+                        Some(r) => *v = r,
+                        None => return false,
+                    }
+                }
+            }
+            Reg::Vector { vals, nulls }
+        }
+        (Reg::Scalar(x), Reg::Vector { mut vals, nulls }) => {
+            if nulls.is_empty() {
+                for v in vals.iter_mut() {
+                    match op.apply(x, *v) {
+                        Some(r) => *v = r,
+                        None => return false,
+                    }
+                }
+            } else {
+                for (v, n) in vals.iter_mut().zip(&nulls) {
+                    if *n {
+                        continue;
+                    }
+                    match op.apply(x, *v) {
+                        Some(r) => *v = r,
+                        None => return false,
+                    }
+                }
+            }
+            Reg::Vector { vals, nulls }
+        }
+        (
+            Reg::Vector { mut vals, nulls },
+            Reg::Vector {
+                vals: bvals,
+                nulls: bnulls,
+            },
+        ) => {
+            let merged = merge_null_masks(&nulls, &bnulls, vals.len());
+            match &merged {
+                None => {
+                    for (v, w) in vals.iter_mut().zip(&bvals) {
+                        match op.apply(*v, *w) {
+                            Some(r) => *v = r,
+                            None => return false,
+                        }
+                    }
+                }
+                Some(mask) => {
+                    for ((v, w), n) in vals.iter_mut().zip(&bvals).zip(mask) {
+                        if *n {
+                            continue;
+                        }
+                        match op.apply(*v, *w) {
+                            Some(r) => *v = r,
+                            None => return false,
+                        }
+                    }
+                }
+            }
+            Reg::Vector {
+                vals,
+                nulls: merged.unwrap_or_default(),
+            }
+        }
+        _ => unreachable!("arith on unwritten register"),
+    };
+    scratch.regs[usize::from(dst)] = out;
+    true
+}
+
+/// Union of two aligned NULL masks (`None` = no NULLs anywhere).
+fn merge_null_masks(a: &[bool], b: &[bool], len: usize) -> Option<Vec<bool>> {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => None,
+        (false, true) => Some(a.to_vec()),
+        (true, false) => Some(b.to_vec()),
+        (false, false) => Some((0..len).map(|i| a[i] || b[i]).collect()),
+    }
+}
+
+/// Refines the selection by an element-wise register comparison; NULL
+/// operands drop the row (NULL comparison → NULL → predicate false).
+fn filter_regs(cur: &mut Vec<u32>, op: CmpOp, a: &Reg, b: &Reg) {
+    let mut w = 0;
+    match (a, b) {
+        (Reg::Scalar(x), Reg::Scalar(y)) => {
+            if !op.apply(*x, *y) {
+                cur.clear();
+            }
+            return;
+        }
+        (Reg::Vector { vals, nulls }, Reg::Scalar(y)) => {
+            for k in 0..cur.len() {
+                let null = nulls.get(k).copied().unwrap_or(false);
+                if !null && op.apply(vals[k], *y) {
+                    cur[w] = cur[k];
+                    w += 1;
+                }
+            }
+        }
+        (Reg::Scalar(x), Reg::Vector { vals, nulls }) => {
+            for k in 0..cur.len() {
+                let null = nulls.get(k).copied().unwrap_or(false);
+                if !null && op.apply(*x, vals[k]) {
+                    cur[w] = cur[k];
+                    w += 1;
+                }
+            }
+        }
+        (
+            Reg::Vector { vals, nulls },
+            Reg::Vector {
+                vals: bvals,
+                nulls: bnulls,
+            },
+        ) => {
+            for k in 0..cur.len() {
+                let null = nulls.get(k).copied().unwrap_or(false)
+                    || bnulls.get(k).copied().unwrap_or(false);
+                if !null && op.apply(vals[k], bvals[k]) {
+                    cur[w] = cur[k];
+                    w += 1;
+                }
+            }
+        }
+        _ => unreachable!("filter on unwritten register"),
+    }
+    cur.truncate(w);
+}
+
+/// The fused column-vs-constant filter: one pass over the unsigned
+/// lane, refining the selection in place. Bails out (selection
+/// unchanged) when the lane is not unsigned.
+fn filter_col_const(cur: &mut Vec<u32>, c: &Column, op: CmpOp, k: u64) -> bool {
+    let lane = match c.data() {
+        Some(ColumnData::UInt(lane)) => lane.as_slice(),
+        // Untyped column: every row NULL, nothing survives.
+        None => {
+            cur.clear();
+            return true;
+        }
+        _ => return false,
+    };
+    let mut w = 0;
+    if c.has_nulls() {
+        let mask = c.null_mask();
+        for r in 0..cur.len() {
+            let i = cur[r] as usize;
+            if !mask[i] && op.apply(lane[i], k) {
+                cur[w] = cur[r];
+                w += 1;
+            }
+        }
+    } else {
+        for r in 0..cur.len() {
+            let i = cur[r] as usize;
+            if op.apply(lane[i], k) {
+                cur[w] = cur[r];
+                w += 1;
+            }
+        }
+    }
+    cur.truncate(w);
+    true
+}
+
+/// Merges sorted `src` into sorted `dst` (disjoint index sets).
+fn merge_sorted(dst: &mut Vec<u32>, src: &[u32]) {
+    if src.is_empty() {
+        return;
+    }
+    if dst.is_empty() || *dst.last().unwrap() < src[0] {
+        dst.extend_from_slice(src);
+        return;
+    }
+    let mut merged = Vec::with_capacity(dst.len() + src.len());
+    let (mut i, mut j) = (0, 0);
+    while i < dst.len() && j < src.len() {
+        if dst[i] < src[j] {
+            merged.push(dst[i]);
+            i += 1;
+        } else {
+            merged.push(src[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&dst[i..]);
+    merged.extend_from_slice(&src[j..]);
+    *dst = merged;
+}
+
+/// Removes sorted `remove` from sorted `set`, in place.
+fn diff_sorted(set: &mut Vec<u32>, remove: &[u32]) {
+    if remove.is_empty() {
+        return;
+    }
+    let mut w = 0;
+    let mut j = 0;
+    for r in 0..set.len() {
+        while j < remove.len() && remove[j] < set[r] {
+            j += 1;
+        }
+        if j < remove.len() && remove[j] == set[r] {
+            continue;
+        }
+        set[w] = set[r];
+        w += 1;
+    }
+    set.truncate(w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qap_types::{tuple, Tuple};
+
+    fn batch(rows: &[Tuple]) -> ColumnBatch {
+        ColumnBatch::from_rows(rows)
+    }
+
+    /// Applies a compiled kernel and cross-checks against the row
+    /// interpreter on every row.
+    fn check(e: &BoundExpr, rows: &[Tuple]) {
+        let k = PredicateKernel::compile(e).expect("kernelizable");
+        let b = batch(rows);
+        let mut sel = SelectionVector::identity(rows.len());
+        let mut scratch = KernelScratch::new();
+        assert!(k.filter(&b, &mut sel, &mut scratch), "kernel bailed out");
+        let expect: Vec<u32> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| e.eval_predicate(t).unwrap())
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(sel.as_slice(), &expect[..], "kernel vs interpreter");
+    }
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Column(i)
+    }
+
+    fn lit(x: u64) -> BoundExpr {
+        BoundExpr::Literal(Value::UInt(x))
+    }
+
+    fn bin(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn col_const_comparisons() {
+        let rows: Vec<Tuple> = (0..10u64).map(|x| tuple![x, 100u64 - x]).collect();
+        for op in [
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ] {
+            check(&bin(op, col(0), lit(5)), &rows);
+            check(&bin(op, lit(5), col(0)), &rows);
+        }
+    }
+
+    #[test]
+    fn col_col_and_arith() {
+        let rows: Vec<Tuple> = (0..20u64).map(|x| tuple![x, x * 3 % 7, x + 1]).collect();
+        check(&bin(BinOp::Lt, col(0), col(1)), &rows);
+        check(
+            &bin(
+                BinOp::Eq,
+                bin(BinOp::Mod, col(0), lit(3)),
+                bin(BinOp::BitAnd, col(1), lit(1)),
+            ),
+            &rows,
+        );
+        check(
+            &bin(BinOp::Ge, bin(BinOp::Div, col(2), lit(4)), lit(2)),
+            &rows,
+        );
+    }
+
+    #[test]
+    fn and_or_not_structure() {
+        let rows: Vec<Tuple> = (0..30u64).map(|x| tuple![x, x % 5, x % 3]).collect();
+        let p = bin(
+            BinOp::And,
+            bin(BinOp::Gt, col(0), lit(4)),
+            bin(
+                BinOp::Or,
+                bin(BinOp::Eq, col(1), lit(0)),
+                bin(BinOp::Eq, col(2), lit(1)),
+            ),
+        );
+        check(&p, &rows);
+        let n = BoundExpr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(bin(BinOp::Lt, col(0), lit(15))),
+        };
+        check(&n, &rows);
+    }
+
+    #[test]
+    fn nulls_drop_rows_and_three_valued_or_holds() {
+        let rows = vec![
+            Tuple::new(vec![Value::UInt(1), Value::UInt(10)]),
+            Tuple::new(vec![Value::Null, Value::UInt(10)]),
+            Tuple::new(vec![Value::Null, Value::UInt(0)]),
+            Tuple::new(vec![Value::UInt(7), Value::Null]),
+        ];
+        check(&bin(BinOp::Gt, col(0), lit(0)), &rows);
+        // NULL OR true = true must keep row 1 (lhs NULL, rhs true).
+        let p = bin(
+            BinOp::Or,
+            bin(BinOp::Gt, col(0), lit(0)),
+            bin(BinOp::Eq, col(1), lit(10)),
+        );
+        check(&p, &rows);
+    }
+
+    #[test]
+    fn bare_column_predicate_is_c_convention() {
+        let rows = vec![tuple![0u64], tuple![3u64], Tuple::new(vec![Value::Null])];
+        check(&col(0), &rows);
+    }
+
+    #[test]
+    fn mixed_lane_bails_out_losslessly() {
+        let rows = vec![tuple![1u64], tuple![-5i64]];
+        let e = bin(BinOp::Gt, col(0), lit(0));
+        let k = PredicateKernel::compile(&e).unwrap();
+        let b = batch(&rows);
+        let mut sel = SelectionVector::identity(2);
+        let mut scratch = KernelScratch::new();
+        assert!(!k.filter(&b, &mut sel, &mut scratch), "mixed lane bails");
+        assert_eq!(sel.as_slice(), &[0, 1], "selection untouched on bailout");
+    }
+
+    #[test]
+    fn overflow_bails_out() {
+        let rows = vec![tuple![u64::MAX], tuple![1u64]];
+        let e = bin(BinOp::Gt, bin(BinOp::Add, col(0), lit(1)), lit(0));
+        let k = PredicateKernel::compile(&e).unwrap();
+        let b = batch(&rows);
+        let mut sel = SelectionVector::identity(2);
+        let mut scratch = KernelScratch::new();
+        assert!(!k.filter(&b, &mut sel, &mut scratch));
+    }
+
+    #[test]
+    fn unkernelizable_shapes_refuse_compilation() {
+        // String literal comparison.
+        let e = bin(
+            BinOp::Eq,
+            col(0),
+            BoundExpr::Literal(Value::Str("tcp".into())),
+        );
+        assert!(PredicateKernel::compile(&e).is_none());
+        // Negative literal.
+        let e = bin(BinOp::Lt, col(0), BoundExpr::Literal(Value::Int(-1)));
+        assert!(PredicateKernel::compile(&e).is_none());
+        // Division by constant zero must keep the interpreter's error.
+        let e = bin(BinOp::Eq, bin(BinOp::Div, col(0), lit(0)), lit(1));
+        assert!(PredicateKernel::compile(&e).is_none());
+        // NOT of a non-comparison.
+        let e = BoundExpr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(col(0)),
+        };
+        assert!(PredicateKernel::compile(&e).is_none());
+    }
+
+    #[test]
+    fn num_kernel_matches_interpreter() {
+        let rows: Vec<Tuple> = (0..50u64).map(|x| tuple![x * 17 + 3, x % 11]).collect();
+        let exprs = [
+            bin(BinOp::Div, col(0), lit(60)),
+            bin(BinOp::BitAnd, col(0), lit(0xFF00)),
+            bin(
+                BinOp::Add,
+                bin(BinOp::Mul, col(1), lit(10)),
+                bin(BinOp::Shr, col(0), lit(4)),
+            ),
+            BoundExpr::Unary {
+                op: UnOp::BitNot,
+                expr: Box::new(col(1)),
+            },
+        ];
+        let b = batch(&rows);
+        let mut scratch = KernelScratch::new();
+        for e in &exprs {
+            let k = NumKernel::compile(e).expect("kernelizable");
+            let c = k.eval_column(&b, &mut scratch).expect("in domain");
+            assert_eq!(c.len(), rows.len());
+            for (i, t) in rows.iter().enumerate() {
+                assert_eq!(c.value(i), e.eval(t).unwrap(), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn num_kernel_propagates_nulls() {
+        let rows = vec![
+            Tuple::new(vec![Value::UInt(120)]),
+            Tuple::new(vec![Value::Null]),
+            Tuple::new(vec![Value::UInt(61)]),
+        ];
+        let e = bin(BinOp::Div, col(0), lit(60));
+        let k = NumKernel::compile(&e).unwrap();
+        let b = batch(&rows);
+        let mut scratch = KernelScratch::new();
+        let c = k.eval_column(&b, &mut scratch).unwrap();
+        assert_eq!(c.value(0), Value::UInt(2));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::UInt(1));
+    }
+
+    #[test]
+    fn scalar_only_expression_broadcasts() {
+        let rows = vec![tuple![1u64], tuple![2u64]];
+        let e = bin(BinOp::Mul, lit(6), lit(7));
+        let k = NumKernel::compile(&e).unwrap();
+        let b = batch(&rows);
+        let mut scratch = KernelScratch::new();
+        let c = k.eval_column(&b, &mut scratch).unwrap();
+        assert_eq!(c.value(0), Value::UInt(42));
+        assert_eq!(c.value(1), Value::UInt(42));
+    }
+
+    #[test]
+    fn scratch_reuse_across_batches() {
+        let e = bin(BinOp::Eq, col(0), lit(1));
+        let k = PredicateKernel::compile(&e).unwrap();
+        let mut scratch = KernelScratch::new();
+        for n in [0usize, 1, 7, 64] {
+            let rows: Vec<Tuple> = (0..n as u64).map(|x| tuple![x % 2]).collect();
+            let b = batch(&rows);
+            let mut sel = SelectionVector::identity(n);
+            assert!(k.filter(&b, &mut sel, &mut scratch));
+            let expect: Vec<u32> = (0..n as u32).filter(|i| i % 2 == 1).collect();
+            assert_eq!(sel.as_slice(), &expect[..]);
+        }
+    }
+}

@@ -25,6 +25,7 @@ mod agg;
 mod analysis;
 mod bound;
 mod error;
+mod kernel;
 mod scalar;
 
 pub use agg::{
@@ -33,6 +34,7 @@ pub use agg::{
 pub use analysis::{analyze_transform, AnalyzedExpr, ColumnTransform};
 pub use bound::{bind, bind_with, BoundExpr, Resolver};
 pub use error::{ExprError, ExprResult};
+pub use kernel::{KernelScratch, NumKernel, PredicateKernel};
 pub use scalar::{BinOp, ColumnRef, ScalarExpr, UnOp};
 // Re-exported so downstream crates keep a single import path for the
 // aggregate machinery.

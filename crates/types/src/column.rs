@@ -1,0 +1,755 @@
+//! Columnar (structure-of-arrays) batches for the vectorized hot path.
+//!
+//! A [`ColumnBatch`] holds the same tuples as a `Vec<Tuple>` but
+//! transposed: one typed lane per attribute, so an operator touching a
+//! single column walks a contiguous `&[u64]` instead of chasing a
+//! `Value` enum per field per row. The Gigascope premise (Section 4.2.1
+//! of the paper) is that per-tuple CPU on the low tier is the binding
+//! resource; the columnar layout is what lets selection, projection and
+//! group-key hashing amortize dispatch over a whole batch.
+//!
+//! Three pieces:
+//!
+//! - [`Column`] — one attribute: a typed lane ([`ColumnData`]) plus a
+//!   null mask. Columns *type themselves* from the values pushed: the
+//!   first non-null value fixes the lane type; a later mismatching kind
+//!   demotes the column to a [`ColumnData::Mixed`] lane of plain
+//!   [`Value`]s, preserving every value exactly. Row→column→row is the
+//!   identity for arbitrary value sequences.
+//! - [`ColumnBatch`] — a fixed-arity set of equal-length columns with
+//!   row↔column converters for the operators that stay row-based
+//!   (join, merge) and for the engine boundary.
+//! - [`SelectionVector`] — the indices of surviving rows, the unit of
+//!   communication between predicate kernels and operators: a filter is
+//!   a refinement of the selection, not a copy of the data.
+
+use std::sync::Arc;
+
+use crate::{Tuple, Value};
+
+/// The typed lane backing one [`Column`].
+///
+/// Lanes hold a *placeholder* at null positions (0, `false`, `""`);
+/// the authoritative null information lives in the column's null mask.
+/// A column whose values mix kinds (after GSQL's permissive coercions
+/// there are few, but arbitrary data can) is demoted to
+/// [`ColumnData::Mixed`], the exact row representation — correctness
+/// never depends on a lane staying typed, only speed does.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Unsigned 64-bit lane — the native type of packet-header fields.
+    UInt(Vec<u64>),
+    /// Signed 64-bit lane.
+    Int(Vec<i64>),
+    /// Boolean lane.
+    Bool(Vec<bool>),
+    /// Interned-string lane.
+    Str(Vec<Arc<str>>),
+    /// Untyped fallback lane holding plain values.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::UInt(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            ColumnData::UInt(v) => v.clear(),
+            ColumnData::Int(v) => v.clear(),
+            ColumnData::Bool(v) => v.clear(),
+            ColumnData::Str(v) => v.clear(),
+            ColumnData::Mixed(v) => v.clear(),
+        }
+    }
+
+    fn push_placeholder(&mut self) {
+        match self {
+            ColumnData::UInt(v) => v.push(0),
+            ColumnData::Int(v) => v.push(0),
+            ColumnData::Bool(v) => v.push(false),
+            ColumnData::Str(v) => v.push(Arc::from("")),
+            ColumnData::Mixed(v) => v.push(Value::Null),
+        }
+    }
+
+    /// In-place compaction onto the (strictly increasing) selection.
+    fn compact(&mut self, sel: &[u32]) {
+        match self {
+            ColumnData::UInt(v) => compact_lane(v, sel),
+            ColumnData::Int(v) => compact_lane(v, sel),
+            ColumnData::Bool(v) => compact_lane(v, sel),
+            ColumnData::Str(v) => compact_lane(v, sel),
+            ColumnData::Mixed(v) => compact_lane(v, sel),
+        }
+    }
+}
+
+fn compact_lane<T: Clone>(lane: &mut Vec<T>, sel: &[u32]) {
+    for (dst, &src) in sel.iter().enumerate() {
+        let src = src as usize;
+        if dst != src {
+            lane[dst] = lane[src].clone();
+        }
+    }
+    lane.truncate(sel.len());
+}
+
+/// One attribute of a [`ColumnBatch`]: a typed lane plus a null mask.
+///
+/// The null mask is empty while the column holds no NULLs (the common
+/// case for packet-header fields), so the all-valid fast path costs one
+/// `is_empty` check per batch, not per row.
+#[derive(Debug, Clone, Default)]
+pub struct Column {
+    data: Option<ColumnData>,
+    /// `nulls[i] == true` marks row `i` as SQL NULL. Empty means no row
+    /// is NULL. Invariant: empty, or exactly `len()` entries.
+    nulls: Vec<bool>,
+    /// Row count. Tracked explicitly so an untyped (all-NULL so far)
+    /// column needs no lane at all.
+    len: usize,
+}
+
+impl Column {
+    /// Creates an empty, untyped column.
+    pub fn new() -> Self {
+        Column::default()
+    }
+
+    /// Builds a typed unsigned column with no nulls.
+    pub fn from_uints(lane: Vec<u64>) -> Self {
+        let len = lane.len();
+        Column {
+            data: Some(ColumnData::UInt(lane)),
+            nulls: Vec::new(),
+            len,
+        }
+    }
+
+    /// Builds a typed signed column with no nulls.
+    pub fn from_ints(lane: Vec<i64>) -> Self {
+        let len = lane.len();
+        Column {
+            data: Some(ColumnData::Int(lane)),
+            nulls: Vec::new(),
+            len,
+        }
+    }
+
+    /// Builds a column by pushing each value in turn (so the lane types
+    /// itself exactly as incremental construction would).
+    pub fn from_values(values: &[Value]) -> Self {
+        let mut c = Column::new();
+        for v in values {
+            c.push(v);
+        }
+        c
+    }
+
+    /// Builds an untyped column of `n` SQL NULLs (no lane at all).
+    pub fn all_null(n: usize) -> Self {
+        Column {
+            data: None,
+            nulls: vec![true; n],
+            len: n,
+        }
+    }
+
+    /// Builds a column from raw parts produced by a decoder: a typed
+    /// lane and a null mask (empty, or one flag per lane entry).
+    ///
+    /// # Panics
+    /// When the mask is non-empty and its length disagrees with the
+    /// lane's.
+    pub fn from_parts(data: ColumnData, nulls: Vec<bool>) -> Self {
+        let len = data.len();
+        assert!(
+            nulls.is_empty() || nulls.len() == len,
+            "null mask length {} != lane length {len}",
+            nulls.len()
+        );
+        Column {
+            data: Some(data),
+            nulls,
+            len,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The typed lane, or `None` while the column is untyped (no
+    /// non-NULL value has been pushed yet).
+    #[inline]
+    pub fn data(&self) -> Option<&ColumnData> {
+        self.data.as_ref()
+    }
+
+    /// The null mask: empty when no row is NULL, else one flag per row.
+    #[inline]
+    pub fn null_mask(&self) -> &[bool] {
+        &self.nulls
+    }
+
+    /// Whether any row is NULL.
+    #[inline]
+    pub fn has_nulls(&self) -> bool {
+        !self.nulls.is_empty()
+    }
+
+    /// Whether row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.get(i).copied().unwrap_or(false)
+    }
+
+    /// The unsigned lane when the column is typed `UInt`.
+    #[inline]
+    pub fn uints(&self) -> Option<&[u64]> {
+        match &self.data {
+            Some(ColumnData::UInt(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The signed lane when the column is typed `Int`.
+    #[inline]
+    pub fn ints(&self) -> Option<&[i64]> {
+        match &self.data {
+            Some(ColumnData::Int(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Appends a value, typing or demoting the lane as needed.
+    pub fn push(&mut self, v: &Value) {
+        match v {
+            Value::Null => {
+                if self.nulls.is_empty() {
+                    self.nulls.resize(self.len, false);
+                }
+                if let Some(data) = &mut self.data {
+                    data.push_placeholder();
+                }
+                self.nulls.push(true);
+                self.len += 1;
+            }
+            other => {
+                self.push_non_null(other);
+                if !self.nulls.is_empty() {
+                    self.nulls.push(false);
+                }
+                self.len += 1;
+            }
+        }
+    }
+
+    fn push_non_null(&mut self, v: &Value) {
+        let data = self.data.get_or_insert_with(|| {
+            let mut lane = match v {
+                Value::UInt(_) => ColumnData::UInt(Vec::new()),
+                Value::Int(_) => ColumnData::Int(Vec::new()),
+                Value::Bool(_) => ColumnData::Bool(Vec::new()),
+                Value::Str(_) => ColumnData::Str(Vec::new()),
+                Value::Null => unreachable!("push_non_null sees no NULLs"),
+            };
+            for _ in 0..self.len {
+                lane.push_placeholder();
+            }
+            lane
+        });
+        match (data, v) {
+            (ColumnData::UInt(l), Value::UInt(x)) => l.push(*x),
+            (ColumnData::Int(l), Value::Int(x)) => l.push(*x),
+            (ColumnData::Bool(l), Value::Bool(x)) => l.push(*x),
+            (ColumnData::Str(l), Value::Str(x)) => l.push(Arc::clone(x)),
+            (ColumnData::Mixed(l), v) => l.push(v.clone()),
+            (_, v) => {
+                self.demote_to_mixed();
+                match self.data.as_mut() {
+                    Some(ColumnData::Mixed(l)) => l.push(v.clone()),
+                    _ => unreachable!("demote_to_mixed leaves a Mixed lane"),
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the lane as [`ColumnData::Mixed`], materializing every
+    /// existing row exactly (NULL rows become [`Value::Null`]).
+    fn demote_to_mixed(&mut self) {
+        let mixed: Vec<Value> = (0..self.len).map(|i| self.value(i)).collect();
+        self.data = Some(ColumnData::Mixed(mixed));
+    }
+
+    /// Materializes row `i` as a [`Value`] (an `Arc` bump for strings).
+    ///
+    /// # Panics
+    /// When `i` is out of bounds.
+    pub fn value(&self, i: usize) -> Value {
+        assert!(i < self.len, "row {i} out of bounds (len {})", self.len);
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self.data.as_ref() {
+            Some(ColumnData::UInt(l)) => Value::UInt(l[i]),
+            Some(ColumnData::Int(l)) => Value::Int(l[i]),
+            Some(ColumnData::Bool(l)) => Value::Bool(l[i]),
+            Some(ColumnData::Str(l)) => Value::Str(Arc::clone(&l[i])),
+            Some(ColumnData::Mixed(l)) => l[i].clone(),
+            None => unreachable!("non-null row in an untyped column"),
+        }
+    }
+
+    /// Empties the column, retaining lane type and capacity.
+    pub fn clear(&mut self) {
+        if let Some(d) = &mut self.data {
+            d.clear();
+        }
+        self.nulls.clear();
+        self.len = 0;
+    }
+
+    /// Compacts the column in place onto `sel` (strictly increasing row
+    /// indices, all `< len()`). After the call the column holds exactly
+    /// the selected rows, in order, with no allocation.
+    pub fn compact(&mut self, sel: &[u32]) {
+        debug_assert!(sel.windows(2).all(|w| w[0] < w[1]), "selection not sorted");
+        debug_assert!(sel.last().is_none_or(|&i| (i as usize) < self.len));
+        if sel.len() == self.len {
+            return;
+        }
+        if let Some(d) = &mut self.data {
+            d.compact(sel);
+        }
+        if !self.nulls.is_empty() {
+            compact_lane(&mut self.nulls, sel);
+            if !self.nulls.iter().any(|&n| n) {
+                self.nulls.clear();
+            }
+        }
+        self.len = sel.len();
+    }
+}
+
+/// A batch of tuples in columnar (structure-of-arrays) layout.
+///
+/// The arity is fixed at construction; every column always holds
+/// exactly [`ColumnBatch::rows`] entries.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnBatch {
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl ColumnBatch {
+    /// Creates an empty batch of the given arity.
+    pub fn new(arity: usize) -> Self {
+        ColumnBatch {
+            columns: (0..arity).map(|_| Column::new()).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Transposes a row batch into columns. The arity is taken from the
+    /// first tuple (0 when the batch is empty).
+    pub fn from_rows(rows: &[Tuple]) -> Self {
+        let arity = rows.first().map_or(0, Tuple::arity);
+        let mut b = ColumnBatch::new(arity);
+        b.extend_rows(rows);
+        b
+    }
+
+    /// Assembles a batch from pre-built columns.
+    ///
+    /// # Panics
+    /// When the columns disagree on length.
+    pub fn from_columns(columns: Vec<Column>) -> Self {
+        let rows = columns.first().map_or(0, Column::len);
+        Self::from_columns_with_rows(columns, rows)
+    }
+
+    /// Assembles a batch from pre-built columns with an explicit row
+    /// count (required to represent a non-empty batch of arity 0,
+    /// which row frames can carry).
+    ///
+    /// # Panics
+    /// When any column's length disagrees with `rows`.
+    pub fn from_columns_with_rows(columns: Vec<Column>, rows: usize) -> Self {
+        assert!(
+            columns.iter().all(|c| c.len() == rows),
+            "columns disagree on row count"
+        );
+        ColumnBatch { columns, rows }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the batch holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column at position `i`.
+    #[inline]
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// All columns.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Moves column `i` out, leaving an empty column in its place —
+    /// the zero-copy building block of pure-column projection.
+    pub fn take_column(&mut self, i: usize) -> Column {
+        std::mem::take(&mut self.columns[i])
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// When the tuple's arity disagrees with the batch's.
+    pub fn push_row(&mut self, t: &Tuple) {
+        assert_eq!(t.arity(), self.arity(), "tuple arity != batch arity");
+        for (c, v) in self.columns.iter_mut().zip(t.values()) {
+            c.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Appends every row of a batch.
+    pub fn extend_rows(&mut self, rows: &[Tuple]) {
+        for t in rows {
+            self.push_row(t);
+        }
+    }
+
+    /// Materializes row `i` into `out` (cleared first), so a row-based
+    /// consumer can recycle one scratch tuple across the whole batch.
+    pub fn write_row_into(&self, i: usize, out: &mut Tuple) {
+        out.clear();
+        for c in &self.columns {
+            out.push(c.value(i));
+        }
+    }
+
+    /// Materializes row `i` as a fresh tuple.
+    pub fn row(&self, i: usize) -> Tuple {
+        let mut t = Tuple::with_capacity(self.arity());
+        self.write_row_into(i, &mut t);
+        t
+    }
+
+    /// Transposes back to rows, appending to `out` — the boundary
+    /// converter for operators that stay row-based (join, merge) and
+    /// for sink output.
+    pub fn append_rows_to(&self, out: &mut Vec<Tuple>) {
+        out.reserve(self.rows);
+        for i in 0..self.rows {
+            out.push(self.row(i));
+        }
+    }
+
+    /// Transposes back to a fresh row vector.
+    pub fn to_rows(&self) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        self.append_rows_to(&mut out);
+        out
+    }
+
+    /// Empties the batch, retaining arity, lane types and capacity.
+    pub fn clear(&mut self) {
+        for c in &mut self.columns {
+            c.clear();
+        }
+        self.rows = 0;
+    }
+
+    /// Compacts every column in place onto `sel` (strictly increasing
+    /// row indices). This is how a vectorized filter applies its
+    /// [`SelectionVector`]: no row is copied unless it survives.
+    pub fn compact(&mut self, sel: &SelectionVector) {
+        if sel.len() == self.rows {
+            return;
+        }
+        for c in &mut self.columns {
+            c.compact(sel.as_slice());
+        }
+        self.rows = sel.len();
+    }
+}
+
+/// The set of row indices a predicate kernel has kept so far.
+///
+/// Kernels refine the selection (AND = intersect, OR = union of the
+/// branch survivors) instead of copying data; the final selection is
+/// applied once via [`ColumnBatch::compact`]. Indices are `u32` —
+/// batches are bounded by `BatchConfig` far below 2³² rows — and kept
+/// strictly increasing by construction.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionVector {
+    idx: Vec<u32>,
+}
+
+impl SelectionVector {
+    /// Creates an empty selection.
+    pub fn new() -> Self {
+        SelectionVector::default()
+    }
+
+    /// Creates the identity selection `0..n` (all rows selected).
+    pub fn identity(n: usize) -> Self {
+        let mut s = SelectionVector::new();
+        s.fill_identity(n);
+        s
+    }
+
+    /// Resets to the identity selection `0..n`, reusing the backing
+    /// allocation.
+    pub fn fill_identity(&mut self, n: usize) {
+        self.idx.clear();
+        self.idx.extend(0..n as u32);
+    }
+
+    /// Number of selected rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether no row is selected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// The selected row indices, strictly increasing.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.idx
+    }
+
+    /// Clears the selection, retaining capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.idx.clear();
+    }
+
+    /// Appends a row index. Callers must keep indices strictly
+    /// increasing.
+    #[inline]
+    pub fn push(&mut self, i: u32) {
+        debug_assert!(self.idx.last().is_none_or(|&last| last < i));
+        self.idx.push(i);
+    }
+
+    /// Replaces the selection with the given indices (must be strictly
+    /// increasing).
+    pub fn set_from(&mut self, indices: &[u32]) {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        self.idx.clear();
+        self.idx.extend_from_slice(indices);
+    }
+
+    /// Mutable access to the raw indices, for kernels that compact the
+    /// selection in place. The strictly-increasing invariant must hold
+    /// when the borrow ends.
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn round_trip(rows: Vec<Tuple>) {
+        let b = ColumnBatch::from_rows(&rows);
+        assert_eq!(b.rows(), rows.len());
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn round_trip_uniform_uints() {
+        round_trip(vec![tuple![1u64, 2u64], tuple![3u64, 4u64]]);
+    }
+
+    #[test]
+    fn round_trip_all_kinds_and_nulls() {
+        round_trip(vec![
+            Tuple::new(vec![
+                Value::Null,
+                Value::UInt(7),
+                Value::from("tcp"),
+                Value::Bool(true),
+            ]),
+            Tuple::new(vec![
+                Value::Int(-1),
+                Value::Null,
+                Value::from(""),
+                Value::Bool(false),
+            ]),
+            Tuple::new(vec![
+                Value::UInt(9),
+                Value::UInt(0),
+                Value::Null,
+                Value::Null,
+            ]),
+        ]);
+    }
+
+    #[test]
+    fn round_trip_all_null_column() {
+        round_trip(vec![
+            Tuple::new(vec![Value::Null]),
+            Tuple::new(vec![Value::Null]),
+        ]);
+    }
+
+    #[test]
+    fn round_trip_empty_batch() {
+        round_trip(Vec::new());
+    }
+
+    #[test]
+    fn mixed_kinds_demote_but_preserve_values() {
+        let rows = vec![
+            tuple![1u64],
+            tuple![-2i64],
+            Tuple::new(vec![Value::Null]),
+            tuple!["x"],
+            tuple![true],
+        ];
+        let b = ColumnBatch::from_rows(&rows);
+        assert!(matches!(b.column(0).data(), Some(ColumnData::Mixed(_))));
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn null_then_typed_keeps_typed_lane() {
+        let rows = vec![
+            Tuple::new(vec![Value::Null]),
+            tuple![5u64],
+            Tuple::new(vec![Value::Null]),
+        ];
+        let b = ColumnBatch::from_rows(&rows);
+        assert!(matches!(b.column(0).data(), Some(ColumnData::UInt(_))));
+        assert!(b.column(0).has_nulls());
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn no_null_mask_until_first_null() {
+        let b = ColumnBatch::from_rows(&[tuple![1u64], tuple![2u64]]);
+        assert!(!b.column(0).has_nulls());
+        assert!(b.column(0).null_mask().is_empty());
+    }
+
+    #[test]
+    fn compact_applies_selection_in_place() {
+        let rows = vec![
+            tuple![10u64, "a"],
+            tuple![20u64, "b"],
+            tuple![30u64, "c"],
+            tuple![40u64, "d"],
+        ];
+        let mut b = ColumnBatch::from_rows(&rows);
+        let mut sel = SelectionVector::new();
+        sel.push(1);
+        sel.push(3);
+        b.compact(&sel);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.to_rows(), vec![tuple![20u64, "b"], tuple![40u64, "d"]]);
+    }
+
+    #[test]
+    fn compact_drops_null_mask_when_no_null_survives() {
+        let rows = vec![Tuple::new(vec![Value::Null]), tuple![1u64], tuple![2u64]];
+        let mut b = ColumnBatch::from_rows(&rows);
+        assert!(b.column(0).has_nulls());
+        let mut sel = SelectionVector::new();
+        sel.push(1);
+        sel.push(2);
+        b.compact(&sel);
+        assert!(!b.column(0).has_nulls());
+        assert_eq!(b.to_rows(), vec![tuple![1u64], tuple![2u64]]);
+    }
+
+    #[test]
+    fn compact_to_empty() {
+        let mut b = ColumnBatch::from_rows(&[tuple![1u64]]);
+        b.compact(&SelectionVector::new());
+        assert_eq!(b.rows(), 0);
+        assert!(b.to_rows().is_empty());
+    }
+
+    #[test]
+    fn take_column_leaves_empty_slot() {
+        let mut b = ColumnBatch::from_rows(&[tuple![1u64, 2u64]]);
+        let c = b.take_column(1);
+        assert_eq!(c.value(0), Value::UInt(2));
+        assert!(b.column(1).is_empty());
+    }
+
+    #[test]
+    fn clear_retains_lane_type() {
+        let mut b = ColumnBatch::from_rows(&[tuple![1u64]]);
+        b.clear();
+        assert_eq!(b.rows(), 0);
+        assert!(matches!(b.column(0).data(), Some(ColumnData::UInt(_))));
+        b.push_row(&tuple![9u64]);
+        assert_eq!(b.to_rows(), vec![tuple![9u64]]);
+    }
+
+    #[test]
+    fn selection_identity_and_refill() {
+        let mut s = SelectionVector::identity(3);
+        assert_eq!(s.as_slice(), &[0, 1, 2]);
+        s.fill_identity(2);
+        assert_eq!(s.as_slice(), &[0, 1]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn write_row_into_recycles_scratch() {
+        let b = ColumnBatch::from_rows(&[tuple![1u64, 2u64], tuple![3u64, 4u64]]);
+        let mut scratch = Tuple::with_capacity(2);
+        b.write_row_into(0, &mut scratch);
+        assert_eq!(scratch, tuple![1u64, 2u64]);
+        b.write_row_into(1, &mut scratch);
+        assert_eq!(scratch, tuple![3u64, 4u64]);
+    }
+}

@@ -14,6 +14,7 @@
 //! excluded from partitioning sets (Section 3.5.1 of the paper).
 
 mod catalog;
+mod column;
 mod error;
 mod schema;
 mod tuple;
@@ -22,14 +23,16 @@ mod value;
 mod wire;
 
 pub use catalog::{pkt_schema, tcp_schema, Catalog};
+pub use column::{Column, ColumnBatch, ColumnData, SelectionVector};
 pub use error::{TypeError, TypeResult};
 pub use schema::{DataType, Field, Schema, Temporality};
 pub use tuple::Tuple;
 pub use udaf::{Udaf, UdafRegistry, UdafState};
 pub use value::Value;
 pub use wire::{
-    decode_batch, decode_batch_into, decode_tuple, encode_batch, encode_tuple, encoded_batch_len,
-    encoded_len, FRAME_HEADER_LEN,
+    decode_batch, decode_batch_into, decode_column_batch, decode_frame_into, decode_tuple,
+    encode_batch, encode_column_batch, encode_tuple, encoded_batch_len, encoded_column_batch_len,
+    encoded_len, frame_is_columnar, DecodedFrame, COLUMNAR_FLAG, FRAME_HEADER_LEN,
 };
 
 // Downstream crates (exec frame ingestion, the cluster transport) take

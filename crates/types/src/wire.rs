@@ -19,7 +19,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::{Tuple, TypeError, TypeResult, Value};
+use crate::{Column, ColumnBatch, ColumnData, Tuple, TypeError, TypeResult, Value};
 
 const TAG_NULL: u8 = 0;
 const TAG_UINT: u8 = 1;
@@ -27,34 +27,29 @@ const TAG_INT: u8 = 2;
 const TAG_BOOL: u8 = 3;
 const TAG_STR: u8 = 4;
 
+/// Lane tag marking an untyped (all-NULL) column in a columnar frame.
+/// Reuses the NULL value tag; the remaining lane tags are the value
+/// tags themselves, plus [`LANE_MIXED`] for the fallback lane.
+const LANE_NONE: u8 = TAG_NULL;
+const LANE_MIXED: u8 = 5;
+
 /// Byte length of a frame header: `u32` payload length plus `u32`
 /// tuple count.
 pub const FRAME_HEADER_LEN: usize = 8;
+
+/// High bit of the frame header's count word, set when the payload is
+/// column-contiguous ([`encode_column_batch`]) rather than row-major
+/// ([`encode_batch`]). Row batches never reach 2³¹ tuples (the batch
+/// size is config-bounded), so the bit is free. A row decoder handed a
+/// columnar frame sees an absurd count and fails with a typed error
+/// rather than misparsing; [`decode_frame_into`] dispatches on the bit.
+pub const COLUMNAR_FLAG: u32 = 1 << 31;
 
 /// Appends one tuple's encoding to a growing buffer.
 fn encode_tuple_into(tuple: &Tuple, buf: &mut BytesMut) {
     buf.put_u16(tuple.arity() as u16);
     for v in tuple.values() {
-        match v {
-            Value::Null => buf.put_u8(TAG_NULL),
-            Value::UInt(x) => {
-                buf.put_u8(TAG_UINT);
-                buf.put_u64(*x);
-            }
-            Value::Int(x) => {
-                buf.put_u8(TAG_INT);
-                buf.put_i64(*x);
-            }
-            Value::Bool(b) => {
-                buf.put_u8(TAG_BOOL);
-                buf.put_u8(u8::from(*b));
-            }
-            Value::Str(s) => {
-                buf.put_u8(TAG_STR);
-                buf.put_u32(s.len() as u32);
-                buf.put_slice(s.as_bytes());
-            }
-        }
+        encode_value_into(v, buf);
     }
 }
 
@@ -140,21 +135,292 @@ pub fn decode_batch_into(mut frame: Bytes, out: &mut Vec<Tuple>) -> TypeResult<(
     Ok(())
 }
 
+/// Whether a frame's payload is column-contiguous (produced by
+/// [`encode_column_batch`]) rather than row-major. Answers `false` for
+/// anything shorter than a header; the decoder will report the
+/// truncation properly.
+#[inline]
+pub fn frame_is_columnar(frame: &[u8]) -> bool {
+    frame.len() >= FRAME_HEADER_LEN && frame[4] & 0x80 != 0
+}
+
+/// Payload byte length of the value body (excluding the 1-byte tag) —
+/// shared between [`encoded_len`] and the mixed-lane columnar encoder.
+#[inline]
+fn value_body_len(v: &Value) -> usize {
+    match v {
+        Value::Null => 0,
+        Value::UInt(_) | Value::Int(_) => 8,
+        Value::Bool(_) => 1,
+        Value::Str(s) => 4 + s.len(),
+    }
+}
+
+/// Byte length of one encoded column: lane tag, null-mask flag,
+/// optional mask, lane body.
+fn encoded_column_len(col: &Column) -> usize {
+    let mask = if col.has_nulls() { col.len() } else { 0 };
+    let lane = match col.data() {
+        None => 0,
+        Some(ColumnData::UInt(_)) | Some(ColumnData::Int(_)) => 8 * col.len(),
+        Some(ColumnData::Bool(_)) => col.len(),
+        Some(ColumnData::Str(l)) => l.iter().map(|s| 4 + s.len()).sum(),
+        Some(ColumnData::Mixed(l)) => l.iter().map(|v| 1 + value_body_len(v)).sum(),
+    };
+    2 + mask + lane
+}
+
+/// Exact payload length in bytes of a columnar frame carrying `batch`,
+/// excluding the [`FRAME_HEADER_LEN`]-byte header.
+pub fn encoded_column_batch_len(batch: &ColumnBatch) -> usize {
+    2 + batch
+        .columns()
+        .iter()
+        .map(encoded_column_len)
+        .sum::<usize>()
+}
+
+/// Encodes a column batch into one length-prefixed frame, reusing
+/// `scratch` exactly as [`encode_batch`] does.
+///
+/// Frame layout: `[u32 payload_len][u32 row_count | COLUMNAR_FLAG]`
+/// then `[u16 arity]` and, per column: `[u8 lane_tag][u8 has_mask]`,
+/// `row_count` mask bytes when `has_mask` is 1, and the lane body laid
+/// out contiguously (`u64`s for UInt, `i64`s for Int, one byte per
+/// Bool, `u32`-length-prefixed UTF-8 per Str, tagged [`Value`]
+/// encodings per Mixed entry; untyped all-NULL columns ship no body at
+/// all). Decoding a columnar frame yields exactly the tuples the row
+/// frame of the same batch would — the two encodings are
+/// interchangeable on the wire.
+pub fn encode_column_batch(batch: &ColumnBatch, scratch: &mut BytesMut) -> Bytes {
+    scratch.clear();
+    let payload = encoded_column_batch_len(batch);
+    scratch.reserve(FRAME_HEADER_LEN + payload);
+    scratch.put_u32(payload as u32);
+    scratch.put_u32(batch.rows() as u32 | COLUMNAR_FLAG);
+    scratch.put_u16(batch.arity() as u16);
+    for col in batch.columns() {
+        let tag = match col.data() {
+            None => LANE_NONE,
+            Some(ColumnData::UInt(_)) => TAG_UINT,
+            Some(ColumnData::Int(_)) => TAG_INT,
+            Some(ColumnData::Bool(_)) => TAG_BOOL,
+            Some(ColumnData::Str(_)) => TAG_STR,
+            Some(ColumnData::Mixed(_)) => LANE_MIXED,
+        };
+        scratch.put_u8(tag);
+        scratch.put_u8(u8::from(col.has_nulls()));
+        if col.has_nulls() {
+            for &n in col.null_mask() {
+                scratch.put_u8(u8::from(n));
+            }
+        }
+        match col.data() {
+            None => {}
+            Some(ColumnData::UInt(l)) => {
+                for &x in l {
+                    scratch.put_u64(x);
+                }
+            }
+            Some(ColumnData::Int(l)) => {
+                for &x in l {
+                    scratch.put_i64(x);
+                }
+            }
+            Some(ColumnData::Bool(l)) => {
+                for &b in l {
+                    scratch.put_u8(u8::from(b));
+                }
+            }
+            Some(ColumnData::Str(l)) => {
+                for s in l {
+                    scratch.put_u32(s.len() as u32);
+                    scratch.put_slice(s.as_bytes());
+                }
+            }
+            Some(ColumnData::Mixed(l)) => {
+                for v in l {
+                    encode_value_into(v, scratch);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(scratch.len(), FRAME_HEADER_LEN + payload);
+    scratch.split().freeze()
+}
+
+/// Appends one tagged value encoding (the unit of both the row tuple
+/// payload and the columnar mixed lane).
+fn encode_value_into(v: &Value, buf: &mut BytesMut) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::UInt(x) => {
+            buf.put_u8(TAG_UINT);
+            buf.put_u64(*x);
+        }
+        Value::Int(x) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64(*x);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Decodes a columnar frame produced by [`encode_column_batch`].
+///
+/// The same corruption discipline as [`decode_batch_into`]: truncated
+/// lanes, count/length disagreements, bad tags and invalid UTF-8 all
+/// report typed [`TypeError`]s, never panics.
+pub fn decode_column_batch(mut frame: Bytes) -> TypeResult<ColumnBatch> {
+    if frame.remaining() < FRAME_HEADER_LEN {
+        return Err(TypeError::Truncated {
+            context: "frame header",
+            need: FRAME_HEADER_LEN,
+            have: frame.remaining(),
+        });
+    }
+    let payload = frame.get_u32() as usize;
+    let count = frame.get_u32();
+    if count & COLUMNAR_FLAG == 0 {
+        return Err(TypeError::Corrupt("row frame passed to columnar decoder"));
+    }
+    let rows = (count & !COLUMNAR_FLAG) as usize;
+    if frame.remaining() != payload {
+        return Err(TypeError::FrameLengthMismatch {
+            declared: payload,
+            actual: frame.remaining(),
+        });
+    }
+    want(&frame, "columnar arity", 2)?;
+    let arity = frame.get_u16() as usize;
+    let mut columns = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        columns.push(decode_column_from(&mut frame, rows)?);
+    }
+    if frame.remaining() != 0 {
+        return Err(TypeError::Corrupt("trailing bytes after columnar payload"));
+    }
+    Ok(ColumnBatch::from_columns_with_rows(columns, rows))
+}
+
+/// Decodes one column (lane tag, optional null mask, lane body) off the
+/// front of a columnar frame payload.
+fn decode_column_from(buf: &mut Bytes, rows: usize) -> TypeResult<Column> {
+    want(buf, "lane header", 2)?;
+    let tag = buf.get_u8();
+    let has_mask = buf.get_u8() != 0;
+    let mut nulls = Vec::new();
+    if has_mask {
+        want(buf, "null mask", rows)?;
+        nulls.reserve(rows);
+        for _ in 0..rows {
+            nulls.push(buf.get_u8() != 0);
+        }
+    }
+    let data = match tag {
+        LANE_NONE => {
+            // Untyped column: every row is NULL by invariant.
+            if has_mask && nulls.iter().any(|&n| !n) {
+                return Err(TypeError::Corrupt("non-null row in untyped column"));
+            }
+            return Ok(Column::all_null(rows));
+        }
+        TAG_UINT => {
+            want(buf, "uint lane", 8 * rows)?;
+            let mut l = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                l.push(buf.get_u64());
+            }
+            ColumnData::UInt(l)
+        }
+        TAG_INT => {
+            want(buf, "int lane", 8 * rows)?;
+            let mut l = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                l.push(buf.get_i64());
+            }
+            ColumnData::Int(l)
+        }
+        TAG_BOOL => {
+            want(buf, "bool lane", rows)?;
+            let mut l = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                l.push(buf.get_u8() != 0);
+            }
+            ColumnData::Bool(l)
+        }
+        TAG_STR => {
+            let mut l = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                want(buf, "string length", 4)?;
+                let len = buf.get_u32() as usize;
+                want(buf, "string body", len)?;
+                let raw = buf.copy_to_bytes(len);
+                let s =
+                    std::str::from_utf8(&raw).map_err(|_| TypeError::Corrupt("invalid utf-8"))?;
+                l.push(std::sync::Arc::from(s));
+            }
+            ColumnData::Str(l)
+        }
+        LANE_MIXED => {
+            let mut l = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                l.push(decode_value_from(buf)?);
+            }
+            ColumnData::Mixed(l)
+        }
+        other => return Err(TypeError::BadTag(other)),
+    };
+    Ok(Column::from_parts(data, nulls))
+}
+
+/// Which representation a boundary frame carried, as reported by
+/// [`decode_frame_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodedFrame {
+    /// Row frame: the decoded tuples were appended to the row buffer.
+    Rows,
+    /// Columnar frame: the column batch was replaced with the decoded
+    /// columns (the row buffer is untouched).
+    Columns,
+}
+
+/// Decodes either kind of boundary frame, dispatching on
+/// [`COLUMNAR_FLAG`]: row frames append to `rows`, columnar frames
+/// replace `columns`. Returns which buffer received the batch so the
+/// engine can route it down the matching path.
+pub fn decode_frame_into(
+    frame: Bytes,
+    rows: &mut Vec<Tuple>,
+    columns: &mut ColumnBatch,
+) -> TypeResult<DecodedFrame> {
+    if frame_is_columnar(&frame) {
+        *columns = decode_column_batch(frame)?;
+        Ok(DecodedFrame::Columns)
+    } else {
+        decode_batch_into(frame, rows)?;
+        Ok(DecodedFrame::Rows)
+    }
+}
+
 /// Exact length in bytes [`encode_tuple`] will produce, without encoding.
 ///
 /// The cost model uses this as `out_tuple_size` when charging network
 /// bytes, so it must stay in lock-step with the encoder.
 pub fn encoded_len(tuple: &Tuple) -> usize {
-    let mut n = 2;
-    for v in tuple.values() {
-        n += 1 + match v {
-            Value::Null => 0,
-            Value::UInt(_) | Value::Int(_) => 8,
-            Value::Bool(_) => 1,
-            Value::Str(s) => 4 + s.len(),
-        };
-    }
-    n
+    2 + tuple
+        .values()
+        .iter()
+        .map(|v| 1 + value_body_len(v))
+        .sum::<usize>()
 }
 
 /// Decodes a tuple previously produced by [`encode_tuple`].
@@ -184,36 +450,40 @@ fn decode_tuple_from(buf: &mut Bytes) -> TypeResult<Tuple> {
     let arity = buf.get_u16() as usize;
     let mut tuple = Tuple::with_capacity(arity);
     for _ in 0..arity {
-        want(buf, "value tag", 1)?;
-        let tag = buf.get_u8();
-        let v = match tag {
-            TAG_NULL => Value::Null,
-            TAG_UINT => {
-                want(buf, "uint value", 8)?;
-                Value::UInt(buf.get_u64())
-            }
-            TAG_INT => {
-                want(buf, "int value", 8)?;
-                Value::Int(buf.get_i64())
-            }
-            TAG_BOOL => {
-                want(buf, "bool value", 1)?;
-                Value::Bool(buf.get_u8() != 0)
-            }
-            TAG_STR => {
-                want(buf, "string length", 4)?;
-                let len = buf.get_u32() as usize;
-                want(buf, "string body", len)?;
-                let raw = buf.copy_to_bytes(len);
-                let s =
-                    std::str::from_utf8(&raw).map_err(|_| TypeError::Corrupt("invalid utf-8"))?;
-                Value::from(s)
-            }
-            other => return Err(TypeError::BadTag(other)),
-        };
-        tuple.push(v);
+        tuple.push(decode_value_from(buf)?);
     }
     Ok(tuple)
+}
+
+/// Decodes one tagged value off the front of `buf` — shared by the row
+/// tuple walk and the columnar mixed lane.
+fn decode_value_from(buf: &mut Bytes) -> TypeResult<Value> {
+    want(buf, "value tag", 1)?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_UINT => {
+            want(buf, "uint value", 8)?;
+            Value::UInt(buf.get_u64())
+        }
+        TAG_INT => {
+            want(buf, "int value", 8)?;
+            Value::Int(buf.get_i64())
+        }
+        TAG_BOOL => {
+            want(buf, "bool value", 1)?;
+            Value::Bool(buf.get_u8() != 0)
+        }
+        TAG_STR => {
+            want(buf, "string length", 4)?;
+            let len = buf.get_u32() as usize;
+            want(buf, "string body", len)?;
+            let raw = buf.copy_to_bytes(len);
+            let s = std::str::from_utf8(&raw).map_err(|_| TypeError::Corrupt("invalid utf-8"))?;
+            Value::from(s)
+        }
+        other => return Err(TypeError::BadTag(other)),
+    })
 }
 
 #[cfg(test)]
@@ -358,6 +628,176 @@ mod tests {
             decode_batch(raw.freeze()).unwrap_err(),
             TypeError::Corrupt(_)
         ));
+    }
+
+    /// A columnar frame must decode to exactly the tuples the row frame
+    /// of the same batch decodes to.
+    fn assert_interchangeable(rows: Vec<Tuple>) {
+        let mut scratch = BytesMut::new();
+        let row_frame = encode_batch(&rows, &mut scratch);
+        let batch = ColumnBatch::from_rows(&rows);
+        let col_frame = encode_column_batch(&batch, &mut scratch);
+        assert!(!frame_is_columnar(&row_frame));
+        assert!(frame_is_columnar(&col_frame));
+        assert_eq!(
+            col_frame.len(),
+            FRAME_HEADER_LEN + encoded_column_batch_len(&batch)
+        );
+        let from_rows = decode_batch(row_frame.clone()).unwrap();
+        let from_cols = decode_column_batch(col_frame.clone()).unwrap().to_rows();
+        assert_eq!(from_cols, from_rows);
+        assert_eq!(from_cols, rows);
+        // The dispatching decoder routes each frame to the right buffer.
+        let mut rbuf = Vec::new();
+        let mut cbuf = ColumnBatch::default();
+        assert_eq!(
+            decode_frame_into(row_frame, &mut rbuf, &mut cbuf).unwrap(),
+            DecodedFrame::Rows
+        );
+        assert_eq!(rbuf, rows);
+        assert_eq!(
+            decode_frame_into(col_frame, &mut rbuf, &mut cbuf).unwrap(),
+            DecodedFrame::Columns
+        );
+        assert_eq!(cbuf.to_rows(), rows);
+    }
+
+    #[test]
+    fn columnar_frame_interchangeable_uniform_uints() {
+        assert_interchangeable(vec![tuple![1u64, 2u64], tuple![3u64, 4u64]]);
+    }
+
+    #[test]
+    fn columnar_frame_interchangeable_all_kinds_and_nulls() {
+        assert_interchangeable(vec![
+            Tuple::new(vec![
+                Value::Null,
+                Value::UInt(u64::MAX),
+                Value::from("tcp"),
+                Value::Bool(true),
+                Value::Int(i64::MIN),
+            ]),
+            Tuple::new(vec![
+                Value::Int(-1),
+                Value::Null,
+                Value::from(""),
+                Value::Bool(false),
+                Value::Null,
+            ]),
+        ]);
+    }
+
+    #[test]
+    fn columnar_frame_interchangeable_mixed_lane() {
+        assert_interchangeable(vec![
+            tuple![1u64],
+            tuple![-2i64],
+            Tuple::new(vec![Value::Null]),
+            tuple!["x"],
+            tuple![true],
+        ]);
+    }
+
+    #[test]
+    fn columnar_frame_interchangeable_all_null_column() {
+        assert_interchangeable(vec![
+            Tuple::new(vec![Value::Null, Value::UInt(1)]),
+            Tuple::new(vec![Value::Null, Value::UInt(2)]),
+        ]);
+    }
+
+    #[test]
+    fn columnar_frame_interchangeable_empty_batch() {
+        assert_interchangeable(Vec::new());
+    }
+
+    #[test]
+    fn columnar_frame_interchangeable_arity_zero_rows() {
+        assert_interchangeable(vec![Tuple::default(), Tuple::default()]);
+    }
+
+    #[test]
+    fn row_decoder_rejects_columnar_frame() {
+        let batch = ColumnBatch::from_rows(&[tuple![1u64]]);
+        let mut scratch = BytesMut::new();
+        let frame = encode_column_batch(&batch, &mut scratch);
+        // The flagged count word is absurd as a row count; the row
+        // decoder must fail typed, never misparse.
+        assert!(decode_batch(frame).is_err());
+    }
+
+    #[test]
+    fn columnar_decoder_rejects_row_frame() {
+        let mut scratch = BytesMut::new();
+        let frame = encode_batch(&[tuple![1u64]], &mut scratch);
+        assert!(matches!(
+            decode_column_batch(frame).unwrap_err(),
+            TypeError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_columnar_frame_reports_typed_errors() {
+        let rows = vec![
+            Tuple::new(vec![Value::UInt(7), Value::from("abc"), Value::Null]),
+            Tuple::new(vec![Value::Int(-9), Value::from("d"), Value::Bool(true)]),
+        ];
+        let batch = ColumnBatch::from_rows(&rows);
+        let mut scratch = BytesMut::new();
+        let frame = encode_column_batch(&batch, &mut scratch);
+        for cut in 0..frame.len() {
+            let err = decode_column_batch(frame.slice(0..cut)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    TypeError::Truncated { .. }
+                        | TypeError::FrameLengthMismatch { .. }
+                        | TypeError::Corrupt(_)
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_garbage_lane_tag_reports_bad_tag() {
+        let mut raw = BytesMut::new();
+        raw.put_u32(4); // payload: arity word + lane header
+        raw.put_u32(1 | COLUMNAR_FLAG);
+        raw.put_u16(1);
+        raw.put_u8(99); // bogus lane tag
+        raw.put_u8(0);
+        assert!(matches!(
+            decode_column_batch(raw.freeze()).unwrap_err(),
+            TypeError::BadTag(99)
+        ));
+    }
+
+    #[test]
+    fn columnar_untyped_lane_with_non_null_row_is_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u32(2 + 2 + 1); // arity + lane header + 1 mask byte
+        raw.put_u32(1 | COLUMNAR_FLAG);
+        raw.put_u16(1);
+        raw.put_u8(0); // LANE_NONE
+        raw.put_u8(1); // mask present
+        raw.put_u8(0); // …claiming the row is non-null
+        assert!(matches!(
+            decode_column_batch(raw.freeze()).unwrap_err(),
+            TypeError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn columnar_scratch_reuse_is_stable_across_frames() {
+        let mut scratch = BytesMut::new();
+        let a = ColumnBatch::from_rows(&[tuple![7u64]]);
+        let b = ColumnBatch::from_rows(&[tuple![8u64, "s"], tuple![9u64, "t"]]);
+        let fa = encode_column_batch(&a, &mut scratch);
+        let fb = encode_column_batch(&b, &mut scratch);
+        assert_eq!(decode_column_batch(fa).unwrap().to_rows(), a.to_rows());
+        assert_eq!(decode_column_batch(fb).unwrap().to_rows(), b.to_rows());
+        assert!(scratch.is_empty());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Columnar ↔ row execution equivalence across the Section 6
+//! deployments: the SoA representation, the compiled expression
+//! kernels, the vectorized group-key path and the column-contiguous
+//! wire frames must all be invisible to results and to the semantic
+//! per-node counters — at every batch size, in both the deterministic
+//! simulator and the threaded runner.
+
+use qap::prelude::*;
+use qap::types::{decode_column_batch, encode_column_batch, BytesMut, ColumnBatch};
+
+fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            let ord = x.total_cmp(y);
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+/// Runs every configuration of one Section 6 scenario through the
+/// simulator and the threaded runner at batch ∈ {1, 7, 1024} ×
+/// columnar ∈ {off, on}, holding results and flow counters to the
+/// row-mode reference.
+fn assert_columnar_invariant(scenario: Scenario, hosts: usize, seed: u64) {
+    let trace = generate(&TraceConfig::tiny(seed));
+    for config in scenario.configs() {
+        let plan = scenario.plan(config, hosts);
+
+        // Reference: row representation end-to-end, default batching.
+        let ref_cfg = SimConfig {
+            transport: TransportConfig::default().with_columnar(false),
+            ..SimConfig::default()
+        };
+        let reference = run_distributed(&plan, &trace, &ref_cfg).unwrap();
+        let ref_outputs: Vec<(String, Vec<Tuple>)> = reference
+            .outputs
+            .iter()
+            .map(|(n, rows)| (n.clone(), sorted(rows.clone())))
+            .collect();
+
+        for batch in [1usize, 7, 1024] {
+            for columnar in [false, true] {
+                let cfg = SimConfig {
+                    batch: BatchConfig { max_batch: batch },
+                    transport: TransportConfig::default().with_columnar(columnar),
+                    ..SimConfig::default()
+                };
+                let label = format!(
+                    "{} [{config}] batch={batch} columnar={columnar}",
+                    scenario.name()
+                );
+                for (runner, result) in [
+                    ("sim", run_distributed(&plan, &trace, &cfg)),
+                    ("threaded", run_distributed_threaded(&plan, &trace, &cfg)),
+                ] {
+                    let result = result.unwrap_or_else(|e| panic!("{label} {runner}: {e}"));
+                    // Flow-conservation counters: per-node tuple flow
+                    // is representation- and batch-size-invariant.
+                    assert_eq!(
+                        result.counters, reference.counters,
+                        "{label} {runner}: counters"
+                    );
+                    for ((name, rows), (ref_name, ref_rows)) in
+                        result.outputs.iter().zip(ref_outputs.iter())
+                    {
+                        assert_eq!(name, ref_name, "{label} {runner}");
+                        assert_eq!(
+                            &sorted(rows.clone()),
+                            ref_rows,
+                            "{label} {runner}: output {name}"
+                        );
+                    }
+                    assert_eq!(result.metrics.late_dropped, 0, "{label} {runner}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simple_agg_deployments_match() {
+    assert_columnar_invariant(Scenario::SimpleAgg, 3, 31);
+}
+
+#[test]
+fn query_set_deployments_match() {
+    assert_columnar_invariant(Scenario::QuerySet, 3, 37);
+}
+
+#[test]
+fn complex_deployments_match() {
+    assert_columnar_invariant(Scenario::Complex, 4, 41);
+}
+
+/// The splitter always hashes the *row* view of a tuple, and a tuple
+/// that has crossed the columnar wire must route to the same partition
+/// as its original: transpose → encode → decode → materialize is the
+/// identity as far as the hash partitioner is concerned.
+#[test]
+fn column_round_trip_preserves_partition_routing() {
+    let schema = Catalog::with_network_schemas().get("TCP").unwrap().clone();
+    let trace = generate(&TraceConfig::tiny(99));
+    for cols in [vec!["srcIP"], vec!["srcIP", "destIP"], vec!["destPort"]] {
+        let set = PartitionSet::from_columns(cols.clone());
+        let splitter = HashPartitioner::new(&set, &schema, 8).unwrap();
+        let batch = ColumnBatch::from_rows(&trace);
+        let mut scratch = BytesMut::new();
+        let decoded = decode_column_batch(encode_column_batch(&batch, &mut scratch)).unwrap();
+        assert_eq!(decoded.rows(), trace.len());
+        for (i, t) in trace.iter().enumerate() {
+            assert_eq!(
+                splitter.partition(t),
+                splitter.partition(&decoded.row(i)),
+                "row {i} rerouted under {cols:?}"
+            );
+        }
+    }
+}

@@ -511,3 +511,206 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// columnar representation and kernels
+// ---------------------------------------------------------------------
+
+use qap::expr::{BinOp, BoundExpr, KernelScratch, NumKernel, PredicateKernel, UnOp};
+use qap::types::{
+    decode_column_batch, encode_column_batch, BytesMut, ColumnBatch, SelectionVector,
+};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (0u64..=u64::MAX).prop_map(Value::UInt),
+        (0u64..=u64::MAX).prop_map(Value::UInt),
+        (i64::MIN..=i64::MAX).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        (0u64..10_000).prop_map(|x| Value::from(format!("s{x:x}").as_str())),
+        Just(Value::from("")),
+    ]
+}
+
+/// Uniform-arity row batches of arbitrary values (mixed kinds within a
+/// column are allowed — they exercise lane demotion). Rows are drawn at
+/// width 4 and truncated to a shared arity.
+fn arb_rows() -> impl Strategy<Value = Vec<Tuple>> {
+    (
+        0usize..5,
+        proptest::collection::vec(proptest::collection::vec(arb_value(), 4..5), 0..25),
+    )
+        .prop_map(|(arity, rows)| {
+            rows.into_iter()
+                .map(|mut vals| {
+                    vals.truncate(arity);
+                    Tuple::new(vals)
+                })
+                .collect()
+        })
+}
+
+/// Mostly-numeric rows of fixed arity 3 with occasional NULLs and
+/// near-overflow values — the kernel domain plus the bailout edges
+/// around it.
+fn arb_numeric_rows() -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            prop_oneof![
+                (0u64..1_000).prop_map(Value::UInt),
+                (0u64..1_000).prop_map(Value::UInt),
+                (0u64..1_000).prop_map(Value::UInt),
+                (0u64..1_000).prop_map(Value::UInt),
+                Just(Value::Null),
+                (u64::MAX - 8..=u64::MAX).prop_map(Value::UInt),
+            ],
+            3..4,
+        )
+        .prop_map(Tuple::new),
+        0..40,
+    )
+}
+
+fn cmp_expr(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+    BoundExpr::Binary {
+        op,
+        lhs: Box::new(l),
+        rhs: Box::new(r),
+    }
+}
+
+fn arb_atom() -> impl Strategy<Value = BoundExpr> {
+    let leaf = prop_oneof![
+        (0usize..3).prop_map(BoundExpr::Column),
+        (0u64..2_000).prop_map(|x| BoundExpr::Literal(Value::UInt(x))),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::BitAnd),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| cmp_expr(op, l, r))
+    })
+}
+
+fn arb_predicate() -> impl Strategy<Value = BoundExpr> {
+    let cmp = (
+        prop_oneof![
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+        ],
+        arb_atom(),
+        arb_atom(),
+    )
+        .prop_map(|(op, l, r)| cmp_expr(op, l, r));
+    cmp.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| cmp_expr(BinOp::And, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| cmp_expr(BinOp::Or, l, r)),
+            inner.prop_map(|e| BoundExpr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Row → column → row is the identity for arbitrary uniform-arity
+    /// batches: every value kind, NULLs, interned strings, and columns
+    /// whose kinds mix (lane demotion) all survive the transpose.
+    #[test]
+    fn row_column_row_round_trip(rows in arb_rows()) {
+        let b = ColumnBatch::from_rows(&rows);
+        prop_assert_eq!(b.rows(), rows.len());
+        prop_assert_eq!(b.to_rows(), rows);
+    }
+
+    /// The columnar wire codec round-trips the same batches exactly:
+    /// transpose → encode → decode → materialize is the identity.
+    #[test]
+    fn columnar_wire_round_trip(rows in arb_rows()) {
+        let b = ColumnBatch::from_rows(&rows);
+        let mut scratch = BytesMut::new();
+        let frame = encode_column_batch(&b, &mut scratch);
+        let decoded = decode_column_batch(frame).unwrap();
+        prop_assert_eq!(decoded.rows(), rows.len());
+        prop_assert_eq!(decoded.to_rows(), rows);
+    }
+
+    /// A compiled predicate kernel that runs to completion selects
+    /// exactly the rows the interpreter keeps — and never completes on
+    /// a batch where the interpreter would error (overflow etc.): the
+    /// bailout discipline is lossless.
+    #[test]
+    fn predicate_kernel_agrees_with_interpreter(
+        p in arb_predicate(),
+        rows in arb_numeric_rows()
+    ) {
+        // Outside the compile-time domain the engine runs the
+        // interpreter; nothing to cross-check then.
+        if let Some(k) = PredicateKernel::compile(&p) {
+            let batch = ColumnBatch::from_rows(&rows);
+            let mut sel = SelectionVector::identity(rows.len());
+            let mut scratch = KernelScratch::new();
+            let ran = k.filter(&batch, &mut sel, &mut scratch);
+            let interp: Result<Vec<u32>, _> = rows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match p.eval_predicate(t) {
+                    Ok(true) => Some(Ok(i as u32)),
+                    Ok(false) => None,
+                    Err(e) => Some(Err(e)),
+                })
+                .collect();
+            if ran {
+                match interp {
+                    Ok(expect) => prop_assert_eq!(sel.as_slice(), &expect[..]),
+                    Err(e) => prop_assert!(
+                        false,
+                        "kernel completed where the interpreter errors: {e}"
+                    ),
+                }
+            }
+            // A bailout is always allowed: the engine re-runs the
+            // interpreter, reproducing its exact outcome (including the
+            // error) row by row.
+        }
+    }
+
+    /// A numeric projection kernel that runs to completion computes
+    /// exactly the interpreter's values row for row.
+    #[test]
+    fn num_kernel_agrees_with_interpreter(
+        e in arb_atom(),
+        rows in arb_numeric_rows()
+    ) {
+        if let Some(k) = NumKernel::compile(&e) {
+            let batch = ColumnBatch::from_rows(&rows);
+            let mut scratch = KernelScratch::new();
+            if let Some(col) = k.eval_column(&batch, &mut scratch) {
+                prop_assert_eq!(col.len(), rows.len());
+                for (i, t) in rows.iter().enumerate() {
+                    match e.eval(t) {
+                        Ok(v) => prop_assert_eq!(col.value(i), v, "row {}", i),
+                        Err(err) => prop_assert!(
+                            false,
+                            "kernel completed where the interpreter errors: {err}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
