@@ -40,9 +40,15 @@ pub use sim::{
     run_distributed, run_distributed_multi, ClusterMetrics, CostConstants, SimConfig, SimResult,
 };
 pub use threaded::run_distributed_threaded;
-pub use transport::{EdgeTransport, TransportConfig, TransportMetrics};
+pub use transport::{
+    EdgeTransport, FaultPlan, TransportConfig, TransportMetrics, DEFAULT_SEND_TIMEOUT_MS,
+};
 pub use validate::{validate_cost_model, CostValidation, DEFAULT_TOLERANCE};
 
 // Re-exported so downstream users can export snapshots without naming
 // `qap-obs` directly.
 pub use qap_obs::MetricsRegistry;
+
+// Re-exported so callers matching on a failed run's error (or reading
+// `SimResult::failures`) don't need their own `qap-exec` edge.
+pub use qap_exec::{FailureCause, HostFailure};

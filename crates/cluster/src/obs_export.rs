@@ -70,8 +70,17 @@ pub fn metrics_registry(plan: &DistributedPlan, result: &SimResult) -> MetricsRe
             frames: e.frames,
             tuples: e.tuples,
             bytes: e.bytes,
+            retries: e.retries,
         });
     }
+    // Fault-tolerance telemetry: failure records attribute to the host
+    // named in each record; corrupt frames are detected and discarded
+    // at the consuming (aggregator) host. All zero on the clean path —
+    // CI asserts exactly that on the exported artifact.
+    for f in &result.failures {
+        reg.host_mut(f.host).failures += 1;
+    }
+    reg.host_mut(agg).frames_corrupt_dropped = t.frames_corrupt_dropped;
     reg.set_gauge("duration_secs", m.duration_secs);
     reg.set_gauge("hosts", m.hosts as f64);
     reg.set_gauge("partitions", m.partitions as f64);
@@ -92,6 +101,13 @@ pub fn metrics_registry(plan: &DistributedPlan, result: &SimResult) -> MetricsRe
     reg.set_gauge("transport_queue_peak", t.queue_peak as f64);
     reg.set_gauge("transport_channel_capacity", t.channel_capacity as f64);
     reg.set_gauge("transport_frame_batch", t.frame_batch as f64);
+    reg.set_gauge("transport_retries", t.retries as f64);
+    reg.set_gauge("transport_frames_dropped", t.frames_dropped as f64);
+    reg.set_gauge(
+        "transport_frames_corrupt_dropped",
+        t.frames_corrupt_dropped as f64,
+    );
+    reg.set_gauge("host_failures", result.failures.len() as f64);
     reg
 }
 

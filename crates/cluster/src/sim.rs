@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use serde::Serialize;
 
-use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, OpCounters, OpMetrics};
+use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, HostFailure, OpCounters, OpMetrics};
 use qap_optimizer::{DistributedPlan, SplitStrategy};
 use qap_partition::HashPartitioner;
 use qap_plan::LogicalNode;
@@ -162,6 +162,12 @@ pub struct SimResult {
     /// latency, group-table telemetry), indexed by plan node id. The
     /// threaded runner stitches these from its per-host engines.
     pub node_metrics: Vec<OpMetrics>,
+    /// Per-host failure records from a partial-results threaded run
+    /// ([`crate::TransportConfig::partial_results`]): who failed, why,
+    /// and how far each got. Empty on the clean path, in strict mode
+    /// (the first failure aborts as `Err` instead), and always in the
+    /// deterministic simulator.
+    pub failures: Vec<HostFailure>,
 }
 
 /// Executes a distributed plan over a time-ordered trace of its (single)
@@ -330,6 +336,7 @@ pub fn run_distributed_multi(
         outputs,
         counters,
         node_metrics,
+        failures: Vec::new(),
     })
 }
 

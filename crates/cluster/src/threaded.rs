@@ -33,13 +33,37 @@
 //! capacity/frame-size setting (the engines' merge operators align
 //! independently-progressing inputs), which the transport equivalence
 //! suite checks.
+//!
+//! # Fault tolerance
+//!
+//! Host faults are first-class operating conditions, not panics. A
+//! worker panic is caught ([`std::panic::catch_unwind`]) and surfaces
+//! as a typed [`HostFailure`] with
+//! [`FailureCause::Panic`]; a corrupt boundary frame surfaces as
+//! [`FailureCause::Decode`] attributed to the producing host; a peer
+//! that neither produces nor accepts a frame within
+//! [`TransportConfig::send_timeout_ms`] surfaces as
+//! [`FailureCause::Timeout`] instead of deadlocking the run (producers
+//! retry a full channel with bounded backoff; the central consumer
+//! bounds its receive wait). In strict mode (the default) the first
+//! failure aborts the run as `Err(ExecError::Host(..))`; with
+//! [`TransportConfig::partial_results`] surviving hosts finish their
+//! epochs and the [`SimResult`] carries the per-host failure records
+//! plus conservation-checked partial counters. A deterministic
+//! [`FaultPlan`] injects each fault class on demand for the chaos
+//! suite; the default plan injects nothing and leaves the clean path
+//! bit-identical.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 
-use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, OpCounters, OpMetrics};
+use qap_exec::{
+    BatchConfig, Engine, ExecError, ExecResult, FailureCause, HostFailure, OpCounters, OpMetrics,
+};
 use qap_obs::SharedGauge;
 use qap_optimizer::{DistributedPlan, SplitStrategy};
 use qap_partition::HashPartitioner;
@@ -49,9 +73,10 @@ use qap_types::{
 };
 
 use crate::sim::{account, trace_duration, SimConfig, SimResult};
-use crate::transport::{EdgeTransport, TransportConfig, TransportMetrics};
+use crate::transport::{EdgeTransport, FaultPlan, TransportConfig, TransportMetrics};
 
 /// One execution unit's slice of the plan.
+#[derive(Debug)]
 struct UnitPlan {
     /// Executing host (for transport attribution).
     host: usize,
@@ -74,7 +99,17 @@ fn slice_unit(plan: &DistributedPlan, nodes: &[NodeId]) -> ExecResult<UnitPlan> 
     for &id in nodes {
         in_unit[id] = true;
     }
-    let host = nodes.first().map(|&id| plan.host[id]).unwrap_or(0);
+    // An empty node set is a decomposition bug: silently pinning a
+    // hostless unit to host 0 would mis-attribute its work (and its
+    // failures) — reject it at planning time instead.
+    let host = match nodes.first() {
+        Some(&id) => plan.host[id],
+        None => {
+            return Err(ExecError::BadPlan(
+                "execution unit has no nodes (empty component in the unit decomposition)".into(),
+            ))
+        }
+    };
 
     let mut local: HashMap<NodeId, NodeId> = HashMap::new();
     let mut remote_in: HashMap<NodeId, NodeId> = HashMap::new();
@@ -297,6 +332,74 @@ fn compute_units(
 /// A boundary frame in flight: (global producer node id, encoded frame).
 type Frame = (NodeId, Bytes);
 
+/// Everything a leaf worker's send path shares with the driver: the
+/// boundary channel plus telemetry counters, the fault plan, and the
+/// retry bound. One per worker (the channel sender is cloned, the
+/// counters are shared references into driver-owned atomics).
+struct TxShared<'a> {
+    tx: Sender<Frame>,
+    /// Live boundary-channel depth (in-flight frames).
+    depth: &'a SharedGauge,
+    /// First-refusal backpressure stalls, run-wide.
+    stalls: &'a AtomicU64,
+    /// Frames discarded by the fault plan's `drop_every` knob, run-wide.
+    dropped: &'a AtomicU64,
+    /// Tuples this worker has fed its engine — advanced batch by batch
+    /// so a panic or fault mid-run reports the last consistent count in
+    /// its [`HostFailure`].
+    tuples: &'a AtomicU64,
+    fault: FaultPlan,
+    /// Bound on the full-channel retry loop, in milliseconds (0 =
+    /// unbounded blocking send, the pre-fault-tolerance behavior).
+    send_timeout_ms: u64,
+    /// Host this worker executes on (fault targeting + attribution).
+    host: usize,
+}
+
+/// Applies the per-frame fault knobs to an encoded frame about to be
+/// shipped. `seq` is the edge's 1-based frame sequence number (advanced
+/// even for dropped frames), so a fixed plan hits the same frames on
+/// every run. Returns `None` when the frame is dropped.
+///
+/// Corruption flips the high byte of the big-endian payload-length
+/// header word — the consumer's decoder deterministically reports
+/// `FrameLengthMismatch`. Truncation halves the frame (cutting either
+/// mid-payload or into the header), which decodes as
+/// `Truncated`/`FrameLengthMismatch`. Both mutations copy the frame —
+/// the clean path stays zero-copy.
+// `seq % n == 0` spelled out rather than `is_multiple_of` to hold the
+// workspace MSRV (1.75; the method stabilized in 1.87).
+#[allow(clippy::manual_is_multiple_of)]
+fn inject_frame_fault(fault: &FaultPlan, seq: u64, frame: Bytes) -> Option<Bytes> {
+    if fault.drop_every > 0 && seq % fault.drop_every == 0 {
+        return None;
+    }
+    let corrupt = fault.corrupt_every > 0 && seq % fault.corrupt_every == 0;
+    let truncate = fault.truncate_every > 0 && seq % fault.truncate_every == 0;
+    if !corrupt && !truncate {
+        return Some(frame);
+    }
+    let mut bytes = frame.as_ref().to_vec();
+    if corrupt && !bytes.is_empty() {
+        bytes[0] ^= 0x80;
+    }
+    if truncate {
+        bytes.truncate(bytes.len() / 2);
+    }
+    Some(Bytes::from(bytes))
+}
+
+/// Renders a caught panic payload as the `FailureCause::Panic` message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".into()
+    }
+}
+
 /// One unit's results: stitched back into global vectors by the driver.
 struct UnitRun {
     counters: Vec<OpCounters>,
@@ -417,6 +520,8 @@ pub fn run_distributed_threaded(
     let depth = SharedGauge::new();
     // Blocking sends observed by producers (backpressure stalls).
     let stalls = AtomicU64::new(0);
+    // Frames discarded by the fault plan's drop knob.
+    let dropped = AtomicU64::new(0);
 
     let mut global_counters: Vec<OpCounters> = vec![OpCounters::default(); plan.dag.len()];
     let mut global_metrics: Vec<OpMetrics> = vec![OpMetrics::default(); plan.dag.len()];
@@ -436,28 +541,38 @@ pub fn run_distributed_threaded(
     let batch_cfg = cfg.batch;
     let frame_batch = transport.frame_batch.max(1);
     let columnar = transport.columnar;
-    let result: ExecResult<Vec<(usize, UnitRun)>> = std::thread::scope(|scope| {
+    // Per-worker progress counters, owned by the driver so a panicking
+    // worker's last consistent tuple count survives into its failure
+    // record.
+    let worker_tuples: Vec<AtomicU64> = (0..slices.len()).map(|_| AtomicU64::new(0)).collect();
+    type ScopeOut = (Vec<(usize, UnitRun)>, Vec<HostFailure>, u64);
+    let result: ExecResult<ScopeOut> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (u, slice) in slices.iter().enumerate().skip(1) {
             // Move the feed into its worker thread — the batches were
             // materialized once at the splitter and never copied again.
             let feed = std::mem::take(&mut per_unit_feed[u]);
-            let tx = tx.clone();
-            let depth = &depth;
-            let stalls = &stalls;
+            let shared = TxShared {
+                tx: tx.clone(),
+                depth: &depth,
+                stalls: &stalls,
+                dropped: &dropped,
+                tuples: &worker_tuples[u],
+                fault: transport.fault,
+                send_timeout_ms: transport.send_timeout_ms,
+                host: slice.host,
+            };
             handles.push((
                 u,
-                scope.spawn(move || -> ExecResult<UnitRun> {
-                    run_leaf_unit(
-                        slice,
-                        feed,
-                        batch_cfg,
-                        frame_batch,
-                        columnar,
-                        tx,
-                        depth,
-                        stalls,
-                    )
+                scope.spawn(move || {
+                    // A worker panic (organic or injected) must not
+                    // propagate: catch it here and let the driver turn
+                    // it into a typed HostFailure. The closure's state
+                    // is moved in and abandoned on unwind, so
+                    // AssertUnwindSafe is sound.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        run_leaf_unit(slice, feed, batch_cfg, frame_batch, columnar, shared)
+                    }))
                 }),
             ));
         }
@@ -465,16 +580,55 @@ pub fn run_distributed_threaded(
         // The central unit runs on this thread, concurrently with the
         // workers.
         let central_feed = std::mem::take(&mut per_unit_feed[0]);
-        let central = run_central_unit(&slices[0], central_feed, batch_cfg, columnar, rx, &depth);
-        let mut results = vec![(0, central?)];
+        let central = run_central_unit(
+            &slices[0],
+            central_feed,
+            batch_cfg,
+            columnar,
+            rx,
+            &depth,
+            &plan.host,
+            &transport,
+            agg,
+        );
+        // Join every worker before inspecting the central result: even
+        // a failing run must not leave a thread behind (std::thread::
+        // scope would join them anyway, but collecting their outcomes
+        // here is what turns panics into typed failure records).
+        let mut runs = Vec::new();
+        let mut failures: Vec<HostFailure> = Vec::new();
         for (u, handle) in handles {
-            results.push((u, handle.join().expect("worker thread panicked")?));
+            let outcome = handle.join().expect("catch_unwind never panics");
+            match outcome {
+                Ok(Ok(run)) => runs.push((u, run)),
+                Ok(Err(ExecError::Host(f))) => failures.push(f),
+                Ok(Err(e)) => failures.push(HostFailure {
+                    host: slices[u].host,
+                    cause: FailureCause::Exec(Box::new(e)),
+                    tuples_processed: worker_tuples[u].load(Ordering::Relaxed),
+                }),
+                Err(payload) => failures.push(HostFailure {
+                    host: slices[u].host,
+                    cause: FailureCause::Panic(panic_message(payload)),
+                    tuples_processed: worker_tuples[u].load(Ordering::Relaxed),
+                }),
+            }
         }
-        Ok(results)
+        let central = central?;
+        runs.insert(0, (0, central.run));
+        failures.extend(central.failures);
+        if !transport.partial_results {
+            if let Some(first) = failures.into_iter().next() {
+                return Err(first.into());
+            }
+            return Ok((runs, Vec::new(), central.corrupt_dropped));
+        }
+        Ok((runs, failures, central.corrupt_dropped))
     });
+    let (runs, failures, corrupt_dropped) = result?;
 
     let mut edges: Vec<EdgeTransport> = Vec::new();
-    for (u, run) in result? {
+    for (u, run) in runs {
         let slice = &slices[u];
         for (&global, &local) in &slice.local {
             global_counters[global] = run.counters[local];
@@ -488,12 +642,16 @@ pub fn run_distributed_threaded(
     edges.sort_unstable_by_key(|e| e.producer);
     let frames: u64 = edges.iter().map(|e| e.frames).sum();
     let payload: u64 = edges.iter().map(|e| e.bytes).sum();
+    let retries: u64 = edges.iter().map(|e| e.retries).sum();
     let transport_metrics = TransportMetrics {
         edges,
         frames,
         frame_bytes: payload + frames * FRAME_HEADER_LEN as u64,
         backpressure_stalls: stalls.load(Ordering::Relaxed),
         queue_peak: depth.peak(),
+        retries,
+        frames_dropped: dropped.load(Ordering::Relaxed),
+        frames_corrupt_dropped: corrupt_dropped,
         channel_capacity: transport.channel_capacity.max(1),
         frame_batch,
     };
@@ -507,6 +665,7 @@ pub fn run_distributed_threaded(
         outputs,
         counters: global_counters,
         node_metrics: global_metrics,
+        failures,
     })
 }
 
@@ -522,6 +681,10 @@ struct EdgeStage {
     /// frame's tuples transpose into these lanes before encoding, so
     /// steady-state framing reuses the lane allocations.
     col_stage: ColumnBatch,
+    /// 1-based frame sequence number for deterministic fault selection;
+    /// advances even for frames the fault plan drops (unlike
+    /// `stats.frames`, which counts only shipped frames).
+    seq: u64,
     /// Measured transport for this edge.
     stats: EdgeTransport,
 }
@@ -552,17 +715,23 @@ fn feed_engine(
     engine.push_columns(local, stage)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_leaf_unit(
     slice: &UnitPlan,
     feed: Vec<(NodeId, Vec<Tuple>)>,
     batch_cfg: BatchConfig,
     frame_batch: usize,
     columnar: bool,
-    tx: Sender<Frame>,
-    depth: &SharedGauge,
-    stalls: &AtomicU64,
+    shared: TxShared<'_>,
 ) -> ExecResult<UnitRun> {
+    // Injected hang: stall once, before the first frame, long enough
+    // for the consumer's receive timeout to notice. Finite by
+    // construction — the scoped runner must eventually join us.
+    if shared.fault.hang_host == Some(shared.host) && shared.fault.hang_millis > 0 {
+        std::thread::sleep(Duration::from_millis(shared.fault.hang_millis));
+    }
+    let panic_at =
+        (shared.fault.panic_host == Some(shared.host)).then_some(shared.fault.panic_after_tuples);
+
     let mut sinks: Vec<NodeId> = slice.boundary.iter().map(|&g| slice.local[&g]).collect();
     for &(_, g) in &slice.outputs {
         let l = slice.local[&g];
@@ -581,6 +750,7 @@ fn run_leaf_unit(
             local: slice.local[&g],
             pending: Vec::new(),
             col_stage: ColumnBatch::new(slice.dag.schema(slice.local[&g]).arity()),
+            seq: 0,
             stats: EdgeTransport {
                 producer: g,
                 from_host: slice.host,
@@ -591,7 +761,9 @@ fn run_leaf_unit(
     let mut scratch = BytesMut::new();
     let mut feed_stage = ColumnBatch::new(0);
 
+    let mut fed: u64 = 0;
     for (scan_global, mut batch) in feed {
+        let batch_len = batch.len() as u64;
         feed_engine(
             &mut engine,
             slice.local[&scan_global],
@@ -599,6 +771,13 @@ fn run_leaf_unit(
             columnar,
             &mut feed_stage,
         )?;
+        fed += batch_len;
+        shared.tuples.store(fed, Ordering::Relaxed);
+        if let Some(at) = panic_at {
+            if fed >= at {
+                panic!("injected worker fault after {fed} tuples (plan: panic at {at})");
+            }
+        }
         forward_boundary(
             &mut engine,
             &mut edges,
@@ -606,10 +785,8 @@ fn run_leaf_unit(
             columnar,
             false,
             &mut scratch,
-            &tx,
-            depth,
-            stalls,
-        );
+            &shared,
+        )?;
     }
     engine.finish()?;
     forward_boundary(
@@ -619,10 +796,8 @@ fn run_leaf_unit(
         columnar,
         true,
         &mut scratch,
-        &tx,
-        depth,
-        stalls,
-    );
+        &shared,
+    )?;
 
     let counters = engine.counters().to_vec();
     let node_metrics = engine.metrics();
@@ -644,7 +819,6 @@ fn run_leaf_unit(
 /// tail frame). Frames per edge are deterministic: the producer's
 /// output sequence is fixed by the plan and trace, and chunking is
 /// positional.
-#[allow(clippy::too_many_arguments)]
 fn forward_boundary(
     engine: &mut Engine,
     edges: &mut [EdgeStage],
@@ -652,10 +826,8 @@ fn forward_boundary(
     columnar: bool,
     final_flush: bool,
     scratch: &mut BytesMut,
-    tx: &Sender<Frame>,
-    depth: &SharedGauge,
-    stalls: &AtomicU64,
-) {
+    shared: &TxShared<'_>,
+) -> ExecResult<()> {
     for edge in edges.iter_mut() {
         let mut drained = engine.drain_output(edge.local);
         if !drained.is_empty() {
@@ -665,90 +837,128 @@ fn forward_boundary(
                 edge.pending.append(&mut drained);
             }
         }
-        let (producer, pending, col_stage, stats) = (
-            edge.producer,
-            &edge.pending,
-            &mut edge.col_stage,
-            &mut edge.stats,
-        );
         let mut start = 0;
-        while pending.len() - start >= frame_batch {
-            ship(
-                &pending[start..start + frame_batch],
-                producer,
-                columnar,
-                col_stage,
-                stats,
-                scratch,
-                tx,
-                depth,
-                stalls,
-            );
+        while edge.pending.len() - start >= frame_batch {
+            ship(edge, start..start + frame_batch, columnar, scratch, shared)?;
             start += frame_batch;
         }
-        if final_flush && start < pending.len() {
-            ship(
-                &pending[start..],
-                producer,
-                columnar,
-                col_stage,
-                stats,
-                scratch,
-                tx,
-                depth,
-                stalls,
-            );
-            start = pending.len();
+        if final_flush && start < edge.pending.len() {
+            let end = edge.pending.len();
+            ship(edge, start..end, columnar, scratch, shared)?;
+            start = end;
         }
         if start > 0 {
             edge.pending.drain(..start);
         }
     }
+    Ok(())
 }
 
 /// Encodes one frame — column-contiguous through the edge's reused
-/// staging batch when `columnar`, row-major otherwise — and sends it
-/// over the bounded channel: a non-blocking attempt first, and on a
-/// full buffer one counted backpressure stall followed by a blocking
-/// send. A dropped receiver (central error path) discards the frame —
-/// never a deadlock.
-#[allow(clippy::too_many_arguments)]
+/// staging batch when `columnar`, row-major otherwise — applies the
+/// fault plan, and sends it over the bounded channel: a non-blocking
+/// attempt first, and on a full buffer one counted backpressure stall
+/// followed by a bounded retry-with-backoff loop (or, with
+/// `send_timeout_ms == 0`, the pre-fault-tolerance blocking send).
+/// Exhausting the retry bound surfaces as a typed
+/// [`FailureCause::Timeout`] instead of wedging the worker. A dropped
+/// receiver (central error path) discards the frame — never a deadlock.
 fn ship(
-    chunk: &[Tuple],
-    producer: NodeId,
+    edge: &mut EdgeStage,
+    range: std::ops::Range<usize>,
     columnar: bool,
-    col_stage: &mut ColumnBatch,
-    stats: &mut EdgeTransport,
     scratch: &mut BytesMut,
-    tx: &Sender<Frame>,
-    depth: &SharedGauge,
-    stalls: &AtomicU64,
-) {
+    shared: &TxShared<'_>,
+) -> ExecResult<()> {
+    let chunk = &edge.pending[range];
     let frame = if columnar {
-        col_stage.clear();
-        col_stage.extend_rows(chunk);
-        encode_column_batch(col_stage, scratch)
+        edge.col_stage.clear();
+        edge.col_stage.extend_rows(chunk);
+        encode_column_batch(&edge.col_stage, scratch)?
     } else {
-        encode_batch(chunk, scratch)
+        encode_batch(chunk, scratch)?
     };
-    stats.frames += 1;
-    stats.tuples += chunk.len() as u64;
-    stats.bytes += (frame.len() - FRAME_HEADER_LEN) as u64;
-    depth.inc();
-    match tx.try_send((producer, frame)) {
-        Ok(()) => {}
-        Err(TrySendError::Full(msg)) => {
-            stalls.fetch_add(1, Ordering::Relaxed);
-            if tx.send(msg).is_err() {
-                depth.dec();
+    edge.seq += 1;
+    let frame_len = frame.len();
+    let frame = match inject_frame_fault(&shared.fault, edge.seq, frame) {
+        Some(f) => f,
+        None => {
+            // Dropped by the fault plan: the frame never reaches the
+            // wire, so it counts as a drop, not a shipment.
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+    };
+    if shared.fault.slow_host == Some(shared.host) && shared.fault.slow_micros > 0 {
+        std::thread::sleep(Duration::from_micros(shared.fault.slow_micros));
+    }
+    edge.stats.frames += 1;
+    edge.stats.tuples += chunk.len() as u64;
+    edge.stats.bytes += (frame_len - FRAME_HEADER_LEN) as u64;
+    shared.depth.inc();
+    match shared.tx.try_send((edge.producer, frame)) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(mut msg)) => {
+            shared.stalls.fetch_add(1, Ordering::Relaxed);
+            if shared.send_timeout_ms == 0 {
+                // Unbounded mode: plain blocking send, as before.
+                if shared.tx.send(msg).is_err() {
+                    shared.depth.dec();
+                }
+                return Ok(());
+            }
+            // Bounded retry with exponential backoff, capped at the
+            // send timeout: a consumer that never drains surfaces as a
+            // typed timeout failure instead of a wedged worker.
+            let deadline = Duration::from_millis(shared.send_timeout_ms);
+            let started = Instant::now();
+            let mut backoff = Duration::from_micros(100);
+            loop {
+                match shared.tx.try_send(msg) {
+                    Ok(()) => return Ok(()),
+                    Err(TrySendError::Disconnected(_)) => {
+                        shared.depth.dec();
+                        return Ok(());
+                    }
+                    Err(TrySendError::Full(m)) => {
+                        msg = m;
+                        edge.stats.retries += 1;
+                        let waited = started.elapsed();
+                        if waited >= deadline {
+                            shared.depth.dec();
+                            return Err(HostFailure {
+                                host: shared.host,
+                                cause: FailureCause::Timeout {
+                                    waited_ms: waited.as_millis() as u64,
+                                },
+                                tuples_processed: shared.tuples.load(Ordering::Relaxed),
+                            }
+                            .into());
+                        }
+                        std::thread::sleep(backoff.min(deadline - waited));
+                        backoff = (backoff * 2).min(Duration::from_millis(10));
+                    }
+                }
             }
         }
         Err(TrySendError::Disconnected(_)) => {
-            depth.dec();
+            shared.depth.dec();
+            Ok(())
         }
     }
 }
 
+/// The central unit's outcome: its engine results plus the failure
+/// records it observed on the receive side (always empty in strict
+/// mode, where the first such failure aborts instead).
+struct CentralOutcome {
+    run: UnitRun,
+    failures: Vec<HostFailure>,
+    /// Corrupt frames detected, recorded, and discarded (partial mode).
+    corrupt_dropped: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_central_unit(
     slice: &UnitPlan,
     feed: Vec<(NodeId, Vec<Tuple>)>,
@@ -756,7 +966,10 @@ fn run_central_unit(
     columnar: bool,
     rx: Receiver<Frame>,
     depth: &SharedGauge,
-) -> ExecResult<UnitRun> {
+    host_of: &[usize],
+    transport: &TransportConfig,
+    agg: usize,
+) -> ExecResult<CentralOutcome> {
     let sinks: Vec<NodeId> = slice
         .outputs
         .iter()
@@ -780,11 +993,65 @@ fn run_central_unit(
     // ...then every boundary frame, decoded straight into the engine's
     // pooled buffers; merge operators align the independently-
     // progressing inputs. Dropping `rx` on an early error unblocks any
-    // producer stalled on a full channel.
-    while let Ok((producer, frame)) = rx.recv() {
+    // producer stalled on a full channel. The receive wait is bounded
+    // (`send_timeout_ms`, 0 = unbounded): a quiet-but-connected
+    // boundary past the bound means a hung peer, surfaced as a typed
+    // timeout attributed to this observer host.
+    let mut failures: Vec<HostFailure> = Vec::new();
+    let mut corrupt_dropped: u64 = 0;
+    let mut rx_tuples: u64 = 0;
+    let timeout = Duration::from_millis(transport.send_timeout_ms);
+    loop {
+        let (producer, frame) = if transport.send_timeout_ms == 0 {
+            match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            }
+        } else {
+            match rx.recv_timeout(timeout) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => {
+                    let failure = HostFailure {
+                        host: agg,
+                        cause: FailureCause::Timeout {
+                            waited_ms: transport.send_timeout_ms,
+                        },
+                        tuples_processed: rx_tuples,
+                    };
+                    if transport.partial_results {
+                        // Give up on the quiet boundary but keep what
+                        // arrived: record the failure and finish the
+                        // surviving epochs.
+                        failures.push(failure);
+                        break;
+                    }
+                    return Err(failure.into());
+                }
+            }
+        };
         depth.dec();
         let pseudo = slice.remote_in[&producer];
-        engine.push_frame(pseudo, frame)?;
+        match engine.push_frame(pseudo, frame) {
+            Ok(n) => rx_tuples += n as u64,
+            Err(ExecError::Wire(e)) => {
+                // Corrupt boundary frame: attribute to the producing
+                // host. Strict mode fails the run; partial mode drops
+                // the frame, records the failure, and keeps consuming.
+                let failure = HostFailure {
+                    host: host_of[producer],
+                    cause: FailureCause::Decode(e),
+                    tuples_processed: rx_tuples,
+                };
+                if transport.partial_results {
+                    corrupt_dropped += 1;
+                    failures.push(failure);
+                } else {
+                    return Err(failure.into());
+                }
+            }
+            Err(other) => return Err(other),
+        }
     }
     engine.finish()?;
     let counters = engine.counters().to_vec();
@@ -794,11 +1061,15 @@ fn run_central_unit(
         .iter()
         .map(|&(idx, g)| (idx, engine.output(slice.local[&g])))
         .collect();
-    Ok(UnitRun {
-        counters,
-        node_metrics,
-        outputs,
-        edges: Vec::new(),
+    Ok(CentralOutcome {
+        run: UnitRun {
+            counters,
+            node_metrics,
+            outputs,
+            edges: Vec::new(),
+        },
+        failures,
+        corrupt_dropped,
     })
 }
 
@@ -912,6 +1183,24 @@ mod tests {
     #[test]
     fn threaded_matches_single_threaded() {
         check_matches(&SimConfig::default());
+    }
+
+    #[test]
+    fn empty_unit_is_a_planning_error() {
+        // An empty node set used to silently pin a phantom unit to host
+        // 0; it must surface as a planning error instead.
+        let dag = section_3_2();
+        let plan = optimize(
+            &dag,
+            &Partitioning::round_robin(2),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let err = slice_unit(&plan, &[]).unwrap_err();
+        assert!(
+            matches!(&err, ExecError::BadPlan(msg) if msg.contains("no nodes")),
+            "got {err}"
+        );
     }
 
     #[test]

@@ -21,6 +21,122 @@
 
 use serde::Serialize;
 
+/// Deterministic fault-injection plan for the threaded runner.
+///
+/// All knobs are *every-Nth* selectors driven by per-edge (or per-host)
+/// monotone counters, so a given plan injects the same faults at the
+/// same points on every run — chaos tests assert exact outcomes under a
+/// fixed plan. `0` disables a knob. The default plan injects nothing.
+///
+/// Injectable fault classes:
+///
+/// - **corruption** (`corrupt_every`): the shipped frame's declared
+///   payload-length header byte is flipped, so the consumer's decoder
+///   reports a typed [`qap_types::TypeError::FrameLengthMismatch`] —
+///   never a panic;
+/// - **truncation** (`truncate_every`): the frame is cut to half its
+///   bytes mid-payload, surfacing as `Truncated`/`FrameLengthMismatch`;
+/// - **drop** (`drop_every`): the frame is silently discarded before
+///   the send — the consumer sees a gap, not an error (models a lossy
+///   link; conservation checks catch the deficit);
+/// - **slowdown** (`slow_host` + `slow_micros`): every frame shipped by
+///   that host sleeps first — exercises backpressure and timeouts
+///   without changing results;
+/// - **hang** (`hang_host` + `hang_millis`): the host sleeps *once*,
+///   before its first frame, long enough to trip the consumer's
+///   receive timeout (finite, so the scoped runner always joins);
+/// - **worker panic** (`panic_host` + `panic_after_tuples`): the
+///   host's worker panics after feeding N tuples; `catch_unwind`
+///   converts it into a typed
+///   [`qap_exec::HostFailure`](qap_exec::FailureCause::Panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct FaultPlan {
+    /// Seed recorded with the plan (reserved for randomized selection;
+    /// current knobs are deterministic every-Nth counters, but the seed
+    /// keys chaos-suite fixtures and metrics artifacts).
+    pub seed: u64,
+    /// Corrupt every Nth boundary frame (per edge); 0 = never.
+    pub corrupt_every: u64,
+    /// Truncate every Nth boundary frame (per edge); 0 = never.
+    pub truncate_every: u64,
+    /// Drop every Nth boundary frame (per edge); 0 = never.
+    pub drop_every: u64,
+    /// Host whose sends are delayed by [`FaultPlan::slow_micros`].
+    pub slow_host: Option<usize>,
+    /// Delay, in microseconds, injected before each frame send on
+    /// [`FaultPlan::slow_host`].
+    pub slow_micros: u64,
+    /// Host that stalls once, before its first frame.
+    pub hang_host: Option<usize>,
+    /// How long the hung host sleeps, in milliseconds. Finite by
+    /// construction: the scoped runner must eventually join it.
+    pub hang_millis: u64,
+    /// Host whose worker panics mid-run.
+    pub panic_host: Option<usize>,
+    /// Tuples the panicking worker feeds its engine before the injected
+    /// panic fires.
+    pub panic_after_tuples: u64,
+}
+
+impl FaultPlan {
+    /// True when no knob is active — the clean path.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_every == 0
+            && self.truncate_every == 0
+            && self.drop_every == 0
+            && self.slow_host.is_none()
+            && self.hang_host.is_none()
+            && self.panic_host.is_none()
+    }
+
+    /// Plan with the given seed and all knobs off.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Corrupt every `n`th frame per edge (0 = never).
+    pub fn corrupt_every(mut self, n: u64) -> Self {
+        self.corrupt_every = n;
+        self
+    }
+
+    /// Truncate every `n`th frame per edge (0 = never).
+    pub fn truncate_every(mut self, n: u64) -> Self {
+        self.truncate_every = n;
+        self
+    }
+
+    /// Drop every `n`th frame per edge (0 = never).
+    pub fn drop_every(mut self, n: u64) -> Self {
+        self.drop_every = n;
+        self
+    }
+
+    /// Delay each of `host`'s frame sends by `micros` microseconds.
+    pub fn slow(mut self, host: usize, micros: u64) -> Self {
+        self.slow_host = Some(host);
+        self.slow_micros = micros;
+        self
+    }
+
+    /// Stall `host` for `millis` milliseconds before its first frame.
+    pub fn hang(mut self, host: usize, millis: u64) -> Self {
+        self.hang_host = Some(host);
+        self.hang_millis = millis;
+        self
+    }
+
+    /// Panic `host`'s worker after it feeds `tuples` tuples.
+    pub fn panic_after(mut self, host: usize, tuples: u64) -> Self {
+        self.panic_host = Some(host);
+        self.panic_after_tuples = tuples;
+        self
+    }
+}
+
 /// Knobs for the threaded runner's boundary transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct TransportConfig {
@@ -44,6 +160,22 @@ pub struct TransportConfig {
     /// baseline. Results and semantic counters are identical either
     /// way (the columnar equivalence suite sweeps both).
     pub columnar: bool,
+    /// Deterministic fault-injection plan. The default injects nothing;
+    /// with any knob active the run exercises the failure paths
+    /// (typed [`qap_exec::HostFailure`], retries, timeouts).
+    pub fault: FaultPlan,
+    /// When true, a host failure does not abort the run: surviving
+    /// hosts finish their epochs, and the run report carries per-host
+    /// failure records plus conservation-checked partial counters. When
+    /// false (default, *strict* mode) the first failure surfaces as
+    /// `Err(ExecError::Host(..))`.
+    pub partial_results: bool,
+    /// Bound, in milliseconds, on how long a producer retries a full
+    /// channel and on how long the central consumer waits for a quiet
+    /// boundary before declaring the peer hung
+    /// ([`qap_exec::FailureCause::Timeout`]). `0` means unbounded —
+    /// the pre-fault-tolerance blocking behavior.
+    pub send_timeout_ms: u64,
 }
 
 impl Default for TransportConfig {
@@ -58,9 +190,17 @@ impl Default for TransportConfig {
             frame_batch: 1024,
             partition_parallel: true,
             columnar: true,
+            fault: FaultPlan::default(),
+            partial_results: false,
+            send_timeout_ms: DEFAULT_SEND_TIMEOUT_MS,
         }
     }
 }
+
+/// Default retry/receive timeout bound: generous enough that a healthy
+/// but heavily backpressured run never trips it, small enough that a
+/// genuinely hung peer surfaces in seconds rather than wedging CI.
+pub const DEFAULT_SEND_TIMEOUT_MS: u64 = 30_000;
 
 impl TransportConfig {
     /// Config with the given capacity and frame size (each clamped to
@@ -69,8 +209,7 @@ impl TransportConfig {
         TransportConfig {
             channel_capacity: channel_capacity.max(1),
             frame_batch: frame_batch.max(1),
-            partition_parallel: true,
-            columnar: true,
+            ..TransportConfig::default()
         }
     }
 
@@ -85,6 +224,26 @@ impl TransportConfig {
     /// when `on`, row-major frames otherwise.
     pub fn with_columnar(mut self, on: bool) -> Self {
         self.columnar = on;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Sets partial-results mode: host failures are recorded, not
+    /// fatal; surviving hosts finish their epochs.
+    pub fn with_partial_results(mut self, on: bool) -> Self {
+        self.partial_results = on;
+        self
+    }
+
+    /// Sets the retry/receive timeout bound in milliseconds (0 =
+    /// unbounded).
+    pub fn with_send_timeout_ms(mut self, ms: u64) -> Self {
+        self.send_timeout_ms = ms;
         self
     }
 }
@@ -108,6 +267,11 @@ pub struct EdgeTransport {
     /// identical for all-numeric schemas; columnar frames pack typed
     /// lanes and measure *below* the estimate.
     pub bytes: u64,
+    /// Bounded-backoff retries this edge's producer performed against a
+    /// full channel (each retry re-polls `try_send` after a short
+    /// sleep; the count complements `backpressure_stalls`, which tracks
+    /// first-refusals).
+    pub retries: u64,
 }
 
 /// Measured boundary-transport telemetry of one threaded run.
@@ -131,6 +295,16 @@ pub struct TransportMetrics {
     pub backpressure_stalls: u64,
     /// Peak frames in flight across all boundary channels.
     pub queue_peak: u64,
+    /// Total bounded-backoff retries against full channels
+    /// (`Σ edge.retries`).
+    pub retries: u64,
+    /// Frames discarded before the send by the fault plan's
+    /// `drop_every` knob. Always 0 on the clean path.
+    pub frames_dropped: u64,
+    /// Corrupt frames the consumer detected, recorded, and discarded in
+    /// partial-results mode (strict mode fails the run on the first one
+    /// instead). Always 0 on the clean path.
+    pub frames_corrupt_dropped: u64,
     /// The capacity the run's channels were created with.
     pub channel_capacity: usize,
     /// The frame size the run staged boundary tuples into.
@@ -160,10 +334,55 @@ mod tests {
         assert_eq!(d.frame_batch, 1024);
         assert!(d.partition_parallel);
         assert!(d.columnar);
+        assert!(d.fault.is_clean());
+        assert!(!d.partial_results);
+        assert_eq!(d.send_timeout_ms, DEFAULT_SEND_TIMEOUT_MS);
         let c = TransportConfig::new(0, 0);
         assert_eq!((c.channel_capacity, c.frame_batch), (1, 1));
         assert!(!TransportConfig::default().host_serial().partition_parallel);
         assert!(!TransportConfig::default().with_columnar(false).columnar);
+        assert!(
+            TransportConfig::default()
+                .with_partial_results(true)
+                .partial_results
+        );
+        assert_eq!(
+            TransportConfig::default()
+                .with_send_timeout_ms(250)
+                .send_timeout_ms,
+            250
+        );
+    }
+
+    #[test]
+    fn fault_plan_builders_and_cleanliness() {
+        assert!(FaultPlan::default().is_clean());
+        assert!(FaultPlan::seeded(7).is_clean());
+        let p = FaultPlan::seeded(7)
+            .corrupt_every(3)
+            .truncate_every(5)
+            .drop_every(2)
+            .slow(1, 50)
+            .hang(2, 400)
+            .panic_after(0, 1000);
+        assert!(!p.is_clean());
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.corrupt_every, 3);
+        assert_eq!(p.truncate_every, 5);
+        assert_eq!(p.drop_every, 2);
+        assert_eq!((p.slow_host, p.slow_micros), (Some(1), 50));
+        assert_eq!((p.hang_host, p.hang_millis), (Some(2), 400));
+        assert_eq!((p.panic_host, p.panic_after_tuples), (Some(0), 1000));
+        // Every single knob flips the plan dirty on its own.
+        assert!(!FaultPlan::default().corrupt_every(1).is_clean());
+        assert!(!FaultPlan::default().truncate_every(1).is_clean());
+        assert!(!FaultPlan::default().drop_every(1).is_clean());
+        assert!(!FaultPlan::default().slow(0, 1).is_clean());
+        assert!(!FaultPlan::default().hang(0, 1).is_clean());
+        assert!(!FaultPlan::default().panic_after(0, 1).is_clean());
+        // Config embedding round-trips.
+        let cfg = TransportConfig::default().with_fault(p);
+        assert_eq!(cfg.fault, p);
     }
 
     #[test]
@@ -176,6 +395,7 @@ mod tests {
                     frames: 2,
                     tuples: 10,
                     bytes: 100,
+                    retries: 0,
                 },
                 EdgeTransport {
                     producer: 3,
@@ -183,6 +403,7 @@ mod tests {
                     frames: 1,
                     tuples: 5,
                     bytes: 50,
+                    retries: 1,
                 },
             ],
             frames: 3,

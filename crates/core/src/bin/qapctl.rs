@@ -49,6 +49,14 @@ const USAGE: &str = "usage:
                    [--host-serial]        (one worker per host instead of partition-parallel units)
                    [--columnar[=on|off]]  (columnar SoA frames + vectorized engine path; default on;
                                            results are representation-invariant)
+                   [--fault-plan SPEC]    (deterministic fault injection for --threaded; SPEC is a
+                                           comma list of seed=N, corrupt=N, truncate=N, drop=N
+                                           (every Nth frame), slow=HOST:MICROS, hang=HOST:MILLIS,
+                                           panic=HOST:TUPLES)
+                   [--partial-results]    (record host failures and finish surviving epochs instead
+                                           of failing the run on the first fault)
+                   [--send-timeout MS]    (bound on send retries / receive waits before a hung peer
+                                           surfaces as a timeout failure; 0 = unbounded; default 30000)
   qapctl gen-trace <out.qtr> [--seed S] [--epochs E] [--flows F]";
 
 struct Opts {
@@ -161,6 +169,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--host-serial" => opts.transport.partition_parallel = false,
+            "--fault-plan" => {
+                opts.transport.fault = parse_fault_plan(&value("--fault-plan")?)?;
+            }
+            "--partial-results" => opts.transport.partial_results = true,
+            "--send-timeout" => {
+                opts.transport.send_timeout_ms = value("--send-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--send-timeout: {e}"))?;
+            }
             "--columnar" => opts.transport.columnar = true,
             other if other.starts_with("--columnar=") => {
                 opts.transport.columnar = match &other["--columnar=".len()..] {
@@ -193,6 +210,58 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         more => return Err(format!("unexpected arguments: {more:?}")),
     }
     Ok(opts)
+}
+
+/// Parses a `--fault-plan` spec: a comma-separated list of
+/// `seed=N`, `corrupt=N`, `truncate=N`, `drop=N` (every Nth frame),
+/// `slow=HOST:MICROS`, `hang=HOST:MILLIS`, `panic=HOST:TUPLES`.
+fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::default();
+    let parse_u64 = |key: &str, raw: &str| -> Result<u64, String> {
+        raw.parse().map_err(|e| format!("--fault-plan {key}: {e}"))
+    };
+    let parse_host_pair = |key: &str, raw: &str| -> Result<(usize, u64), String> {
+        let (host, amount) = raw
+            .split_once(':')
+            .ok_or_else(|| format!("--fault-plan {key}: expected HOST:VALUE, got '{raw}'"))?;
+        Ok((
+            host.parse()
+                .map_err(|e| format!("--fault-plan {key} host: {e}"))?,
+            amount
+                .parse()
+                .map_err(|e| format!("--fault-plan {key} value: {e}"))?,
+        ))
+    };
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (key, val) = part
+            .trim()
+            .split_once('=')
+            .ok_or_else(|| format!("--fault-plan: expected key=value, got '{part}'"))?;
+        match key {
+            "seed" => plan.seed = parse_u64(key, val)?,
+            "corrupt" => plan.corrupt_every = parse_u64(key, val)?,
+            "truncate" => plan.truncate_every = parse_u64(key, val)?,
+            "drop" => plan.drop_every = parse_u64(key, val)?,
+            "slow" => {
+                let (host, micros) = parse_host_pair(key, val)?;
+                plan = plan.slow(host, micros);
+            }
+            "hang" => {
+                let (host, millis) = parse_host_pair(key, val)?;
+                plan = plan.hang(host, millis);
+            }
+            "panic" => {
+                let (host, tuples) = parse_host_pair(key, val)?;
+                plan = plan.panic_after(host, tuples);
+            }
+            other => {
+                return Err(format!(
+                    "--fault-plan: unknown key '{other}' (expected seed, corrupt, truncate, drop, slow, hang, panic)"
+                ))
+            }
+        }
+    }
+    Ok(plan)
 }
 
 fn load_dag(path: &str) -> Result<QueryDag, String> {
@@ -394,6 +463,21 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
             t.queue_peak,
             t.backpressure_stalls
         );
+    }
+    if t.retries > 0 || t.frames_dropped > 0 || t.frames_corrupt_dropped > 0 {
+        println!(
+            "  fault telemetry: {} send retries, {} frames dropped, {} corrupt frames discarded",
+            t.retries, t.frames_dropped, t.frames_corrupt_dropped
+        );
+    }
+    if !result.failures.is_empty() {
+        println!(
+            "  HOST FAILURES ({}; partial results — surviving hosts finished their epochs):",
+            result.failures.len()
+        );
+        for f in &result.failures {
+            println!("    {f}");
+        }
     }
     if let Some(dest) = &opts.metrics {
         let registry = metrics_registry(&plan, &result);

@@ -88,8 +88,8 @@ pub mod prelude {
     pub use qap_cluster::{
         measure_stats, metrics_registry, run_distributed, run_distributed_multi,
         run_distributed_threaded, validate_cost_model, ClusterMetrics, CostConstants,
-        CostValidation, MetricsRegistry, SimConfig, SimResult, TransportConfig, TransportMetrics,
-        DEFAULT_TOLERANCE,
+        CostValidation, FailureCause, FaultPlan, HostFailure, MetricsRegistry, SimConfig,
+        SimResult, TransportConfig, TransportMetrics, DEFAULT_SEND_TIMEOUT_MS, DEFAULT_TOLERANCE,
     };
     pub use qap_exec::{
         run_logical, run_logical_with, BatchConfig, Engine, OpCounters, PaneAggregator, PaneSpec,

@@ -18,6 +18,71 @@ pub enum ExecError {
     /// A wire frame failed to decode (truncation, bad tag, length
     /// mismatch) — corrupt boundary transport, never a panic.
     Wire(TypeError),
+    /// A cluster host failed mid-run (worker panic, corrupt boundary
+    /// frame, hung peer, nested execution error). Strict-mode
+    /// distributed runs surface the first such failure instead of
+    /// panicking the driver; partial-results runs collect them in the
+    /// run report.
+    Host(HostFailure),
+}
+
+/// What brought a cluster host down — the typed `cause` inside
+/// [`HostFailure`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureCause {
+    /// The host's worker thread panicked; the payload is the panic
+    /// message (caught via `catch_unwind`, never propagated).
+    Panic(String),
+    /// A boundary frame from this host failed to decode — corruption
+    /// or truncation on the wire.
+    Decode(TypeError),
+    /// The host's engine reported a nested execution error.
+    Exec(Box<ExecError>),
+    /// The peer neither produced nor accepted a frame within the
+    /// configured send/recv timeout — a hung or stalled host, surfaced
+    /// instead of deadlocking the run.
+    Timeout {
+        /// How long the observer waited before giving up, in
+        /// milliseconds.
+        waited_ms: u64,
+    },
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::Panic(msg) => write!(f, "worker panicked: {msg}"),
+            FailureCause::Decode(e) => write!(f, "boundary frame corrupt: {e}"),
+            FailureCause::Exec(e) => write!(f, "execution failed: {e}"),
+            FailureCause::Timeout { waited_ms } => {
+                write!(f, "peer unresponsive for {waited_ms} ms")
+            }
+        }
+    }
+}
+
+/// One host's failure record: who failed, why, and how far it got.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostFailure {
+    /// The failing host (or, for a [`FailureCause::Timeout`], the host
+    /// that *observed* the silence — the consumer end of the boundary).
+    pub host: usize,
+    /// The typed cause.
+    pub cause: FailureCause,
+    /// Tuples the host had processed when it failed (best effort: the
+    /// worker advances this counter as it feeds its engine, so a panic
+    /// or fault mid-batch reports the last consistent count).
+    pub tuples_processed: u64,
+}
+
+impl fmt::Display for HostFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "host {} failed after {} tuples: {}",
+            self.host, self.tuples_processed, self.cause
+        )
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -27,11 +92,18 @@ impl fmt::Display for ExecError {
             ExecError::BadPlan(msg) => write!(f, "plan not executable: {msg}"),
             ExecError::NotASource(id) => write!(f, "node {id} is not a source scan"),
             ExecError::Wire(e) => write!(f, "boundary frame decode failed: {e}"),
+            ExecError::Host(failure) => write!(f, "{failure}"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+impl From<HostFailure> for ExecError {
+    fn from(f: HostFailure) -> Self {
+        ExecError::Host(f)
+    }
+}
 
 impl From<ExprError> for ExecError {
     fn from(e: ExprError) -> Self {

@@ -31,7 +31,7 @@ mod panes;
 mod tests;
 
 pub use engine::{run_logical, run_logical_with, BatchConfig, Engine, OpCounters};
-pub use error::{ExecError, ExecResult};
+pub use error::{ExecError, ExecResult, FailureCause, HostFailure};
 pub use panes::{PaneAggregator, PaneSpec};
 // Re-exported so engine users can consume [`Engine::metrics`] without
 // depending on `qap-obs` directly.

@@ -136,6 +136,7 @@ impl MetricsRegistry {
                 "{{\"host\":{},\"rx_tuples\":{},\"rx_bytes\":{},\"tx_tuples\":{},\
                  \"tx_bytes\":{},\"queue_peak\":{},\"frames_tx\":{},\
                  \"frame_bytes_tx\":{},\"frames_rx\":{},\"frame_bytes_rx\":{},\
+                 \"failures\":{},\"frames_corrupt_dropped\":{},\
                  \"work_units\":{},\"cpu_pct\":{}}}",
                 i,
                 h.rx_tuples,
@@ -147,6 +148,8 @@ impl MetricsRegistry {
                 h.frame_bytes_tx,
                 h.frames_rx,
                 h.frame_bytes_rx,
+                h.failures,
+                h.frames_corrupt_dropped,
                 json_f64(h.work_units),
                 json_f64(h.cpu_pct),
             );
@@ -159,8 +162,8 @@ impl MetricsRegistry {
             let _ = write!(
                 out,
                 "{{\"producer\":{},\"from_host\":{},\"frames\":{},\"tuples\":{},\
-                 \"bytes\":{}}}",
-                e.producer, e.from_host, e.frames, e.tuples, e.bytes,
+                 \"bytes\":{},\"retries\":{}}}",
+                e.producer, e.from_host, e.frames, e.tuples, e.bytes, e.retries,
             );
         }
         out.push_str("],\"gauges\":{");
@@ -355,6 +358,16 @@ impl MetricsRegistry {
                 "Measured encoded bytes received, including frame headers",
                 |h| h.frame_bytes_rx,
             ),
+            (
+                "qap_host_failures",
+                "Failure records attributed to this host (panics, decode faults, timeouts)",
+                |h| h.failures,
+            ),
+            (
+                "qap_frames_corrupt_dropped",
+                "Corrupt boundary frames this host detected and discarded",
+                |h| h.frames_corrupt_dropped,
+            ),
         ];
         for (name, help, get) in host_u64 {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -393,6 +406,11 @@ impl MetricsRegistry {
                 "qap_edge_bytes",
                 "Encoded payload bytes carried over this boundary edge",
                 |e| e.bytes,
+            ),
+            (
+                "qap_edge_retries",
+                "Bounded-backoff retries against a full channel on this boundary edge",
+                |e| e.retries,
             ),
         ];
         for (name, help, get) in edge_u64 {
@@ -457,12 +475,15 @@ mod tests {
         r.host_mut(0).frame_bytes_tx = 404;
         r.host_mut(1).frames_rx = 3;
         r.host_mut(1).frame_bytes_rx = 404;
+        r.host_mut(1).failures = 1;
+        r.host_mut(1).frames_corrupt_dropped = 2;
         r.record_edge(EdgeEntry {
             producer: 0,
             from_host: 0,
             frames: 3,
             tuples: 10,
             bytes: 380,
+            retries: 4,
         });
         r.set_gauge("duration_secs", 2.5);
         r
@@ -487,8 +508,11 @@ mod tests {
         assert!(a.contains("\"frame_bytes_rx\":404"));
         assert!(a.contains(
             "\"edges\":[{\"producer\":0,\"from_host\":0,\"frames\":3,\
-             \"tuples\":10,\"bytes\":380}]"
+             \"tuples\":10,\"bytes\":380,\"retries\":4}]"
         ));
+        // Fault-tolerance counters appear per host.
+        assert!(a.contains("\"failures\":1"));
+        assert!(a.contains("\"frames_corrupt_dropped\":2"));
     }
 
     #[test]
@@ -515,6 +539,10 @@ mod tests {
         assert!(p.contains("qap_host_frame_bytes_rx{host=\"1\"} 404"));
         assert!(p.contains("# TYPE qap_edge_frames counter"));
         assert!(p.contains("qap_edge_tuples{node=\"0\",host=\"0\"} 10"));
+        assert!(p.contains("qap_edge_retries{node=\"0\",host=\"0\"} 4"));
+        assert!(p.contains("qap_host_failures{host=\"0\"} 0"));
+        assert!(p.contains("qap_host_failures{host=\"1\"} 1"));
+        assert!(p.contains("qap_frames_corrupt_dropped{host=\"1\"} 2"));
         assert!(p.contains("qap_run_duration_secs 2.5"));
         // Every line is either a comment or `name{labels} value` / `name value`.
         for line in p.lines() {

@@ -112,6 +112,13 @@ pub struct HostMetrics {
     /// Measured encoded bytes received by this host, including frame
     /// headers.
     pub frame_bytes_rx: u64,
+    /// Failure records attributed to this host (worker panics, decode
+    /// faults on frames it produced, timeouts it observed). Always 0 on
+    /// the clean path.
+    pub failures: u64,
+    /// Corrupt boundary frames this host detected, recorded, and
+    /// discarded (partial-results mode). Always 0 on the clean path.
+    pub frames_corrupt_dropped: u64,
     /// Accounted work units.
     pub work_units: f64,
     /// CPU load percentage.
@@ -132,6 +139,9 @@ pub struct EdgeEntry {
     pub tuples: u64,
     /// Encoded payload bytes carried (excluding frame headers).
     pub bytes: u64,
+    /// Bounded-backoff retries the producer performed against a full
+    /// channel on this edge.
+    pub retries: u64,
 }
 
 /// A completed snapshot of one run: per-operator rows, per-host gauges

@@ -48,6 +48,18 @@ pub enum TypeError {
         /// Bytes actually following the header.
         actual: usize,
     },
+    /// An encoder was asked to emit a frame whose payload exceeds what
+    /// the `u32` header fields can describe. Emitting it anyway would
+    /// silently truncate the length word and put a corrupt frame on the
+    /// wire; the encoder refuses instead.
+    FrameTooLarge {
+        /// What was being encoded (`"frame payload"`, `"tuple count"`).
+        context: &'static str,
+        /// The size that overflowed the header field.
+        size: usize,
+        /// The largest size the header field can carry.
+        limit: usize,
+    },
     /// Wire decoding met a value tag outside the known set.
     BadTag(u8),
 }
@@ -80,6 +92,16 @@ impl fmt::Display for TypeError {
                 write!(
                     f,
                     "frame length mismatch: header declares {declared} payload bytes, {actual} present"
+                )
+            }
+            TypeError::FrameTooLarge {
+                context,
+                size,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "frame too large: {context} is {size}, wire header caps it at {limit}"
                 )
             }
             TypeError::BadTag(tag) => write!(f, "unknown wire value tag {tag}"),

@@ -45,6 +45,35 @@ pub const FRAME_HEADER_LEN: usize = 8;
 /// rather than misparsing; [`decode_frame_into`] dispatches on the bit.
 pub const COLUMNAR_FLAG: u32 = 1 << 31;
 
+/// Largest payload a frame header's `u32` length word can describe.
+/// Encoders refuse ([`TypeError::FrameTooLarge`]) rather than emit a
+/// silently truncated length and a corrupt frame.
+pub const MAX_FRAME_PAYLOAD: usize = u32::MAX as usize;
+
+/// Largest tuple/row count a frame header can carry: the count word's
+/// high bit is the [`COLUMNAR_FLAG`], so counts stop one short of 2³¹.
+pub const MAX_FRAME_COUNT: usize = (COLUMNAR_FLAG - 1) as usize;
+
+/// Validates that a frame of `count` tuples and `payload` bytes fits
+/// the `u32` header fields.
+fn check_frame_limits(count: usize, payload: usize) -> TypeResult<()> {
+    if count > MAX_FRAME_COUNT {
+        return Err(TypeError::FrameTooLarge {
+            context: "tuple count",
+            size: count,
+            limit: MAX_FRAME_COUNT,
+        });
+    }
+    if payload > MAX_FRAME_PAYLOAD {
+        return Err(TypeError::FrameTooLarge {
+            context: "frame payload",
+            size: payload,
+            limit: MAX_FRAME_PAYLOAD,
+        });
+    }
+    Ok(())
+}
+
 /// Appends one tuple's encoding to a growing buffer.
 fn encode_tuple_into(tuple: &Tuple, buf: &mut BytesMut) {
     buf.put_u16(tuple.arity() as u16);
@@ -75,9 +104,25 @@ pub fn encoded_batch_len(batch: &[Tuple]) -> usize {
 /// being the concatenation of [`encode_tuple`] encodings. The returned
 /// [`Bytes`] is self-contained; `scratch` is left empty with its
 /// capacity intact.
-pub fn encode_batch(batch: &[Tuple], scratch: &mut BytesMut) -> Bytes {
+///
+/// Batches whose payload or tuple count overflow the `u32` header
+/// fields — or whose tuples overflow the `u16` per-tuple arity header —
+/// are rejected with [`TypeError::FrameTooLarge`] *before* any bytes
+/// are staged; a silently length-truncated (corrupt) frame is never
+/// produced.
+pub fn encode_batch(batch: &[Tuple], scratch: &mut BytesMut) -> TypeResult<Bytes> {
     scratch.clear();
     let payload = encoded_batch_len(batch);
+    check_frame_limits(batch.len(), payload)?;
+    for t in batch {
+        if t.arity() > u16::MAX as usize {
+            return Err(TypeError::FrameTooLarge {
+                context: "tuple arity",
+                size: t.arity(),
+                limit: u16::MAX as usize,
+            });
+        }
+    }
     scratch.reserve(FRAME_HEADER_LEN + payload);
     scratch.put_u32(payload as u32);
     scratch.put_u32(batch.len() as u32);
@@ -85,7 +130,7 @@ pub fn encode_batch(batch: &[Tuple], scratch: &mut BytesMut) -> Bytes {
         encode_tuple_into(t, scratch);
     }
     debug_assert_eq!(scratch.len(), FRAME_HEADER_LEN + payload);
-    scratch.split().freeze()
+    Ok(scratch.split().freeze())
 }
 
 /// Decodes a frame produced by [`encode_batch`] into a fresh vector.
@@ -192,9 +237,23 @@ pub fn encoded_column_batch_len(batch: &ColumnBatch) -> usize {
 /// all). Decoding a columnar frame yields exactly the tuples the row
 /// frame of the same batch would — the two encodings are
 /// interchangeable on the wire.
-pub fn encode_column_batch(batch: &ColumnBatch, scratch: &mut BytesMut) -> Bytes {
+///
+/// The same size discipline as [`encode_batch`]: payloads, row counts
+/// or arities that overflow their header fields (`u32`/`u32`/`u16`)
+/// report [`TypeError::FrameTooLarge`] instead of emitting a corrupt
+/// frame. Per-string `u32` length prefixes cannot overflow once the
+/// whole payload fits (each string costs `4 + len` payload bytes).
+pub fn encode_column_batch(batch: &ColumnBatch, scratch: &mut BytesMut) -> TypeResult<Bytes> {
     scratch.clear();
     let payload = encoded_column_batch_len(batch);
+    check_frame_limits(batch.rows(), payload)?;
+    if batch.arity() > u16::MAX as usize {
+        return Err(TypeError::FrameTooLarge {
+            context: "column batch arity",
+            size: batch.arity(),
+            limit: u16::MAX as usize,
+        });
+    }
     scratch.reserve(FRAME_HEADER_LEN + payload);
     scratch.put_u32(payload as u32);
     scratch.put_u32(batch.rows() as u32 | COLUMNAR_FLAG);
@@ -246,7 +305,7 @@ pub fn encode_column_batch(batch: &ColumnBatch, scratch: &mut BytesMut) -> Bytes
         }
     }
     debug_assert_eq!(scratch.len(), FRAME_HEADER_LEN + payload);
-    scratch.split().freeze()
+    Ok(scratch.split().freeze())
 }
 
 /// Appends one tagged value encoding (the unit of both the row tuple
@@ -301,6 +360,12 @@ pub fn decode_column_batch(mut frame: Bytes) -> TypeResult<ColumnBatch> {
     }
     want(&frame, "columnar arity", 2)?;
     let arity = frame.get_u16() as usize;
+    // Every column costs at least its 2-byte lane header; an arity the
+    // payload cannot fit is corrupt (and must not drive a pre-sized
+    // allocation off a wire-controlled count).
+    if arity * 2 > frame.remaining() {
+        return Err(TypeError::Corrupt("column count exceeds frame payload"));
+    }
     let mut columns = Vec::with_capacity(arity);
     for _ in 0..arity {
         columns.push(decode_column_from(&mut frame, rows)?);
@@ -358,6 +423,10 @@ fn decode_column_from(buf: &mut Bytes, rows: usize) -> TypeResult<Column> {
             ColumnData::Bool(l)
         }
         TAG_STR => {
+            // Each string costs at least its 4-byte length prefix:
+            // bound the pre-sized allocation by the bytes actually
+            // present before trusting the wire-supplied row count.
+            want(buf, "string lane", 4 * rows)?;
             let mut l = Vec::with_capacity(rows);
             for _ in 0..rows {
                 want(buf, "string length", 4)?;
@@ -371,6 +440,8 @@ fn decode_column_from(buf: &mut Bytes, rows: usize) -> TypeResult<Column> {
             ColumnData::Str(l)
         }
         LANE_MIXED => {
+            // Each mixed entry costs at least its 1-byte value tag.
+            want(buf, "mixed lane", rows)?;
             let mut l = Vec::with_capacity(rows);
             for _ in 0..rows {
                 l.push(decode_value_from(buf)?);
@@ -448,6 +519,9 @@ fn want(buf: &Bytes, context: &'static str, need: usize) -> TypeResult<()> {
 fn decode_tuple_from(buf: &mut Bytes) -> TypeResult<Tuple> {
     want(buf, "arity header", 2)?;
     let arity = buf.get_u16() as usize;
+    // Each value costs at least its 1-byte tag: bound the pre-sized
+    // allocation by the bytes actually present.
+    want(buf, "tuple values", arity)?;
     let mut tuple = Tuple::with_capacity(arity);
     for _ in 0..arity {
         tuple.push(decode_value_from(buf)?);
@@ -563,7 +637,7 @@ mod tests {
             Tuple::default(),
         ];
         let mut scratch = BytesMut::new();
-        let frame = encode_batch(&batch, &mut scratch);
+        let frame = encode_batch(&batch, &mut scratch).unwrap();
         assert_eq!(frame.len(), FRAME_HEADER_LEN + encoded_batch_len(&batch));
         assert_eq!(
             encoded_batch_len(&batch),
@@ -577,7 +651,7 @@ mod tests {
     #[test]
     fn empty_batch_round_trips() {
         let mut scratch = BytesMut::new();
-        let frame = encode_batch(&[], &mut scratch);
+        let frame = encode_batch(&[], &mut scratch).unwrap();
         assert_eq!(frame.len(), FRAME_HEADER_LEN);
         assert_eq!(decode_batch(frame).unwrap(), Vec::<Tuple>::new());
     }
@@ -587,8 +661,8 @@ mod tests {
         let mut scratch = BytesMut::new();
         let a = vec![tuple![7u64]];
         let b = vec![tuple![8u64, 9u64], tuple![10u64]];
-        let fa = encode_batch(&a, &mut scratch);
-        let fb = encode_batch(&b, &mut scratch);
+        let fa = encode_batch(&a, &mut scratch).unwrap();
+        let fb = encode_batch(&b, &mut scratch).unwrap();
         assert_eq!(decode_batch(fa).unwrap(), a);
         assert_eq!(decode_batch(fb).unwrap(), b);
     }
@@ -596,7 +670,7 @@ mod tests {
     #[test]
     fn frame_length_mismatch_is_rejected() {
         let mut scratch = BytesMut::new();
-        let frame = encode_batch(&[tuple![1u64]], &mut scratch);
+        let frame = encode_batch(&[tuple![1u64]], &mut scratch).unwrap();
         let short = frame.slice(0..frame.len() - 1);
         assert!(matches!(
             decode_batch(short).unwrap_err(),
@@ -607,12 +681,101 @@ mod tests {
     #[test]
     fn truncated_frame_header_is_rejected() {
         let mut scratch = BytesMut::new();
-        let frame = encode_batch(&[tuple![1u64]], &mut scratch);
+        let frame = encode_batch(&[tuple![1u64]], &mut scratch).unwrap();
         let stub = frame.slice(0..FRAME_HEADER_LEN - 1);
         assert!(matches!(
             decode_batch(stub).unwrap_err(),
             TypeError::Truncated {
                 context: "frame header",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn oversize_payload_is_rejected_before_staging() {
+        // 68 tuples sharing one 64 MiB Arc<str> describe a ~4.25 GiB
+        // payload while occupying ~64 MiB of memory: the encoder must
+        // refuse before reserving anything, instead of emitting a frame
+        // whose u32 length word silently truncated.
+        let big: Value = Value::from("x".repeat(64 << 20).as_str());
+        let batch: Vec<Tuple> = (0..68).map(|_| Tuple::new(vec![big.clone()])).collect();
+        assert!(encoded_batch_len(&batch) > MAX_FRAME_PAYLOAD);
+        let mut scratch = BytesMut::new();
+        let err = encode_batch(&batch, &mut scratch).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TypeError::FrameTooLarge {
+                    context: "frame payload",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(scratch.is_empty(), "refused before staging any bytes");
+        let cols = ColumnBatch::from_rows(&batch);
+        assert!(matches!(
+            encode_column_batch(&cols, &mut scratch).unwrap_err(),
+            TypeError::FrameTooLarge {
+                context: "frame payload",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn oversize_tuple_arity_is_rejected() {
+        let wide = Tuple::new(vec![Value::Null; (u16::MAX as usize) + 1]);
+        let mut scratch = BytesMut::new();
+        assert!(matches!(
+            encode_batch(std::slice::from_ref(&wide), &mut scratch).unwrap_err(),
+            TypeError::FrameTooLarge {
+                context: "tuple arity",
+                ..
+            }
+        ));
+        let cols = ColumnBatch::from_rows(&[wide]);
+        assert!(matches!(
+            encode_column_batch(&cols, &mut scratch).unwrap_err(),
+            TypeError::FrameTooLarge {
+                context: "column batch arity",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn absurd_column_count_is_rejected_before_reserve() {
+        // Columnar frame claiming 65535 columns in a 4-byte payload.
+        let mut raw = BytesMut::new();
+        raw.put_u32(4);
+        raw.put_u32(1 | COLUMNAR_FLAG);
+        raw.put_u16(u16::MAX);
+        raw.put_u16(0);
+        assert!(matches!(
+            decode_column_batch(raw.freeze()).unwrap_err(),
+            TypeError::Corrupt("column count exceeds frame payload")
+        ));
+    }
+
+    #[test]
+    fn absurd_string_lane_row_count_is_rejected_before_reserve() {
+        // A columnar frame whose (masked) row count is enormous but
+        // whose string lane holds almost nothing: the decoder must
+        // reject on remaining bytes before pre-sizing the lane.
+        let rows: u32 = 1 << 30;
+        let mut raw = BytesMut::new();
+        raw.put_u32(2 + 2 + 4); // arity word + lane header + one length prefix
+        raw.put_u32(rows | COLUMNAR_FLAG);
+        raw.put_u16(1);
+        raw.put_u8(4); // TAG_STR lane
+        raw.put_u8(0); // no mask
+        raw.put_u32(0); // a single empty-string prefix
+        assert!(matches!(
+            decode_column_batch(raw.freeze()).unwrap_err(),
+            TypeError::Truncated {
+                context: "string lane",
                 ..
             }
         ));
@@ -634,9 +797,9 @@ mod tests {
     /// of the same batch decodes to.
     fn assert_interchangeable(rows: Vec<Tuple>) {
         let mut scratch = BytesMut::new();
-        let row_frame = encode_batch(&rows, &mut scratch);
+        let row_frame = encode_batch(&rows, &mut scratch).unwrap();
         let batch = ColumnBatch::from_rows(&rows);
-        let col_frame = encode_column_batch(&batch, &mut scratch);
+        let col_frame = encode_column_batch(&batch, &mut scratch).unwrap();
         assert!(!frame_is_columnar(&row_frame));
         assert!(frame_is_columnar(&col_frame));
         assert_eq!(
@@ -720,7 +883,7 @@ mod tests {
     fn row_decoder_rejects_columnar_frame() {
         let batch = ColumnBatch::from_rows(&[tuple![1u64]]);
         let mut scratch = BytesMut::new();
-        let frame = encode_column_batch(&batch, &mut scratch);
+        let frame = encode_column_batch(&batch, &mut scratch).unwrap();
         // The flagged count word is absurd as a row count; the row
         // decoder must fail typed, never misparse.
         assert!(decode_batch(frame).is_err());
@@ -729,7 +892,7 @@ mod tests {
     #[test]
     fn columnar_decoder_rejects_row_frame() {
         let mut scratch = BytesMut::new();
-        let frame = encode_batch(&[tuple![1u64]], &mut scratch);
+        let frame = encode_batch(&[tuple![1u64]], &mut scratch).unwrap();
         assert!(matches!(
             decode_column_batch(frame).unwrap_err(),
             TypeError::Corrupt(_)
@@ -744,7 +907,7 @@ mod tests {
         ];
         let batch = ColumnBatch::from_rows(&rows);
         let mut scratch = BytesMut::new();
-        let frame = encode_column_batch(&batch, &mut scratch);
+        let frame = encode_column_batch(&batch, &mut scratch).unwrap();
         for cut in 0..frame.len() {
             let err = decode_column_batch(frame.slice(0..cut)).unwrap_err();
             assert!(
@@ -793,8 +956,8 @@ mod tests {
         let mut scratch = BytesMut::new();
         let a = ColumnBatch::from_rows(&[tuple![7u64]]);
         let b = ColumnBatch::from_rows(&[tuple![8u64, "s"], tuple![9u64, "t"]]);
-        let fa = encode_column_batch(&a, &mut scratch);
-        let fb = encode_column_batch(&b, &mut scratch);
+        let fa = encode_column_batch(&a, &mut scratch).unwrap();
+        let fb = encode_column_batch(&b, &mut scratch).unwrap();
         assert_eq!(decode_column_batch(fa).unwrap().to_rows(), a.to_rows());
         assert_eq!(decode_column_batch(fb).unwrap().to_rows(), b.to_rows());
         assert!(scratch.is_empty());

@@ -109,7 +109,8 @@ fn column_round_trip_preserves_partition_routing() {
         let splitter = HashPartitioner::new(&set, &schema, 8).unwrap();
         let batch = ColumnBatch::from_rows(&trace);
         let mut scratch = BytesMut::new();
-        let decoded = decode_column_batch(encode_column_batch(&batch, &mut scratch)).unwrap();
+        let decoded =
+            decode_column_batch(encode_column_batch(&batch, &mut scratch).unwrap()).unwrap();
         assert_eq!(decoded.rows(), trace.len());
         for (i, t) in trace.iter().enumerate() {
             assert_eq!(

@@ -90,6 +90,7 @@ fn sample_registry() -> MetricsRegistry {
         frames: 5,
         tuples: 40,
         bytes: 1_520,
+        retries: 2,
     });
     r.set_gauge("duration_secs", 120.0);
     r.set_gauge("hosts", 2.0);

@@ -347,7 +347,7 @@ proptest! {
             decode_batch, encode_batch, encoded_batch_len, BytesMut, FRAME_HEADER_LEN,
         };
         let mut scratch = BytesMut::new();
-        let frame = encode_batch(&batch, &mut scratch);
+        let frame = encode_batch(&batch, &mut scratch).unwrap();
         let payload: usize = batch.iter().map(qap::types::encoded_len).sum();
         prop_assert_eq!(frame.len(), FRAME_HEADER_LEN + payload);
         prop_assert_eq!(encoded_batch_len(&batch), payload);
@@ -355,8 +355,8 @@ proptest! {
         prop_assert_eq!(decoded, batch);
         // The scratch buffer is reusable: a second encode of the same
         // batch through the same scratch produces an identical frame.
-        let again = encode_batch(&batch, &mut scratch);
-        prop_assert_eq!(again, encode_batch(&batch, &mut BytesMut::new()));
+        let again = encode_batch(&batch, &mut scratch).unwrap();
+        prop_assert_eq!(again, encode_batch(&batch, &mut BytesMut::new()).unwrap());
     }
 
     /// Truncating a well-formed frame at any interior point yields a
@@ -367,11 +367,141 @@ proptest! {
         cut_pct in 0usize..100
     ) {
         use qap::types::{decode_batch, encode_batch, Bytes, BytesMut};
-        let frame = encode_batch(&batch, &mut BytesMut::new());
+        let frame = encode_batch(&batch, &mut BytesMut::new()).unwrap();
         let cut = frame.len() * cut_pct / 100;
         if cut < frame.len() {
             let truncated = Bytes::from(frame.as_ref()[..cut].to_vec());
             prop_assert!(decode_batch(truncated).is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// wire mutation: decoders survive arbitrary damage
+// ---------------------------------------------------------------------
+
+/// Uniform-arity batches (what the columnar encoder requires — a
+/// [`qap::types::ColumnBatch`] is rectangular by construction): a flat
+/// value pool chunked into rows of one drawn arity.
+fn arb_uniform_batch() -> impl Strategy<Value = Vec<Tuple>> {
+    (
+        1usize..6,
+        proptest::collection::vec(arb_wire_value(), 0..40),
+    )
+        .prop_map(|(arity, vals)| {
+            vals.chunks_exact(arity)
+                .map(|c| Tuple::new(c.to_vec()))
+                .collect()
+        })
+}
+
+/// Applies one wire mutation to a valid frame: flip one bit anywhere
+/// (header or payload), cut at an arbitrary point, or append junk
+/// bytes. These model the three damage classes a boundary frame can
+/// suffer: corruption, truncation, and trailing garbage.
+fn mutate_frame(frame: &[u8], kind: u64, pos: usize, junk: u8) -> Vec<u8> {
+    let mut bytes = frame.to_vec();
+    match kind % 3 {
+        0 => {
+            if !bytes.is_empty() {
+                let i = pos % bytes.len();
+                bytes[i] ^= 1 << (junk % 8);
+            }
+        }
+        1 => {
+            let cut = pos % (bytes.len() + 1);
+            bytes.truncate(cut);
+        }
+        _ => {
+            let extra = (pos % 9) + 1;
+            bytes.extend(vec![junk; extra]);
+        }
+    }
+    bytes
+}
+
+proptest! {
+    /// Damaged row frames never panic the decoder: every mutation
+    /// yields either a typed error or a batch that re-encodes cleanly
+    /// (a bit flip inside a value payload can decode to a *different*
+    /// but perfectly well-formed batch — that is acceptable; an
+    /// allocation blowup, panic, or wedged decode is not).
+    #[test]
+    fn mutated_row_frames_decode_to_error_or_valid_batch(
+        batch in proptest::collection::vec(arb_wire_tuple(), 0..8),
+        kind in 0u64..3,
+        pos in 0usize..4096,
+        junk in 0u64..256
+    ) {
+        let junk = junk as u8;
+        use qap::types::{decode_batch, encode_batch, Bytes, BytesMut};
+        let frame = encode_batch(&batch, &mut BytesMut::new()).unwrap();
+        let mutated = Bytes::from(mutate_frame(&frame, kind, pos, junk));
+        if let Ok(decoded) = decode_batch(mutated) {
+            prop_assert!(encode_batch(&decoded, &mut BytesMut::new()).is_ok());
+        }
+    }
+
+    /// The same discipline for columnar (SoA) frames, whose headers
+    /// carry row counts, lane tags, and per-lane lengths — all of which
+    /// the decoder must validate against the remaining payload before
+    /// allocating.
+    #[test]
+    fn mutated_columnar_frames_decode_to_error_or_valid_batch(
+        batch in arb_uniform_batch(),
+        kind in 0u64..3,
+        pos in 0usize..4096,
+        junk in 0u64..256
+    ) {
+        let junk = junk as u8;
+        use qap::types::{decode_column_batch, encode_column_batch, Bytes, BytesMut, ColumnBatch};
+        let arity = batch.first().map_or(0, |t| t.arity());
+        let mut cols = ColumnBatch::new(arity);
+        cols.extend_rows(&batch);
+        let frame = encode_column_batch(&cols, &mut BytesMut::new()).unwrap();
+        let mutated = Bytes::from(mutate_frame(&frame, kind, pos, junk));
+        if let Ok(decoded) = decode_column_batch(mutated) {
+            prop_assert!(encode_column_batch(&decoded, &mut BytesMut::new()).is_ok());
+        }
+    }
+
+    /// The representation-dispatching entry point ([`qap::types::
+    /// decode_frame_into`]) survives mutations that flip the columnar
+    /// flag itself — a row frame mis-routed to the columnar decoder (or
+    /// vice versa) must still produce a typed error or a re-encodable
+    /// batch, never a panic.
+    #[test]
+    fn mutated_frames_survive_representation_dispatch(
+        batch in arb_uniform_batch(),
+        columnar in any::<bool>(),
+        kind in 0u64..3,
+        pos in 0usize..4096,
+        junk in 0u64..256
+    ) {
+        let junk = junk as u8;
+        use qap::types::{
+            decode_frame_into, encode_batch, encode_column_batch, Bytes, BytesMut, ColumnBatch,
+            DecodedFrame,
+        };
+        let frame = if columnar {
+            let arity = batch.first().map_or(0, |t| t.arity());
+            let mut cols = ColumnBatch::new(arity);
+            cols.extend_rows(&batch);
+            encode_column_batch(&cols, &mut BytesMut::new()).unwrap()
+        } else {
+            encode_batch(&batch, &mut BytesMut::new()).unwrap()
+        };
+        let mutated = Bytes::from(mutate_frame(&frame, kind, pos, junk));
+        let mut rows = Vec::new();
+        let mut cols = ColumnBatch::new(0);
+        match decode_frame_into(mutated, &mut rows, &mut cols) {
+            Ok(DecodedFrame::Rows) => {
+                prop_assert!(encode_batch(&rows, &mut BytesMut::new()).is_ok());
+            }
+            Ok(DecodedFrame::Columns) => {
+                prop_assert!(encode_column_batch(&cols, &mut BytesMut::new()).is_ok());
+            }
+            Err(_) => {} // typed error — the contract
         }
     }
 }
@@ -643,7 +773,7 @@ proptest! {
     fn columnar_wire_round_trip(rows in arb_rows()) {
         let b = ColumnBatch::from_rows(&rows);
         let mut scratch = BytesMut::new();
-        let frame = encode_column_batch(&b, &mut scratch);
+        let frame = encode_column_batch(&b, &mut scratch).unwrap();
         let decoded = decode_column_batch(frame).unwrap();
         prop_assert_eq!(decoded.rows(), rows.len());
         prop_assert_eq!(decoded.to_rows(), rows);

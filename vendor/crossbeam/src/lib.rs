@@ -11,6 +11,7 @@ pub mod channel {
     //! Multi-producer channels (subset of `crossbeam-channel`).
 
     use std::sync::mpsc;
+    use std::time::Duration;
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +30,17 @@ pub mod channel {
     /// and empty.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline; senders are still
+        /// connected — the peer may be hung or merely slow.
+        Timeout,
+        /// The channel is closed and drained; no message will ever
+        /// arrive.
+        Disconnected,
+    }
 
     enum Tx<T> {
         Unbounded(mpsc::Sender<T>),
@@ -93,6 +105,17 @@ pub mod channel {
         /// Non-blocking receive of an already-buffered message.
         pub fn try_recv(&self) -> Result<T, RecvError> {
             self.inner.try_recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks for the next message up to `timeout`, distinguishing
+        /// a quiet-but-live channel ([`RecvTimeoutError::Timeout`] — a
+        /// hung or stalled peer) from an orderly shutdown
+        /// ([`RecvTimeoutError::Disconnected`]).
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 
@@ -168,6 +191,22 @@ pub mod channel {
                 assert_eq!(rx.recv(), Ok(2));
                 assert_eq!(rx.recv(), Err(RecvError));
             });
+        }
+
+        #[test]
+        fn recv_timeout_distinguishes_quiet_from_closed() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
