@@ -8,11 +8,24 @@
 //! print both sides with the per-host relative error
 //! (`qap_cluster::validate_cost_model`).
 //!
-//! Usage: `cargo run --release -p qap-bench --bin cost_check`
+//! Usage: `cargo run --release -p qap-bench --bin cost_check [--json PATH]`
+//! (`--json` additionally writes the full table as machine-readable
+//! JSON, one record per scenario/host pair).
+
+use std::fmt::Write as _;
 
 use qap::prelude::*;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_path = Some(it.next().expect("--json requires a path").clone()),
+            other => panic!("unknown argument '{other}' (expected --json PATH)"),
+        }
+    }
     let trace = generate(&TraceConfig {
         epochs: 4,
         flows_per_epoch: 1_500,
@@ -36,7 +49,8 @@ fn main() {
         (Scenario::Complex, "Partitioned (full)", 4),
         (Scenario::Complex, "Partitioned (partial)", 4),
     ];
-    for &(scenario, config, hosts) in cases {
+    let mut records = String::new();
+    for (i, &(scenario, config, hosts)) in cases.iter().enumerate() {
         let dag = scenario.dag();
         let (partitioning, _) = scenario.deployment(config, hosts);
         let v = validate_cost_model(
@@ -59,5 +73,30 @@ fn main() {
         );
         print!("{}", v.to_table());
         println!();
+        let fmt_vec = |xs: &[f64]| {
+            xs.iter()
+                .map(|x| format!("{x:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(
+            records,
+            "    {{\"scenario\": \"{}\", \"config\": \"{config}\", \"hosts\": {hosts}, \
+             \"max_rel_error\": {:.6}, \"within_tolerance\": {}, \
+             \"predicted_bytes_per_sec\": [{}], \"measured_bytes_per_sec\": [{}]}}{}",
+            scenario.name(),
+            v.max_rel_error,
+            v.within_tolerance(),
+            fmt_vec(&v.predicted_bytes_per_sec),
+            fmt_vec(&v.measured_bytes_per_sec),
+            if i + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"bench\": \"cost_check\",\n  \"tolerance\": {DEFAULT_TOLERANCE},\n  \"cases\": [\n{records}  ]\n}}\n"
+        );
+        std::fs::write(&path, json).expect("write --json output");
+        println!("wrote {path}");
     }
 }

@@ -1,0 +1,152 @@
+//! Planner benchmark: planning time and extracted-plan predicted cost
+//! for every Section 6 deployment, e-graph backend vs. legacy rewriters,
+//! written as machine-readable `BENCH_planner.json`.
+//!
+//! For each scenario/configuration pair the harness runs both backends
+//! through `optimize_explained` (planning + emission, the `qapctl`
+//! path), times the call, and prices the extracted physical plan with
+//! the plan-based predictor. The process exits non-zero if the e-graph
+//! backend's predicted cost exceeds the legacy backend's on any
+//! deployment — CI runs this as a regression gate.
+//!
+//! Usage: `cargo run --release -p qap-bench --bin planner_bench [OUT.json]`
+//! (default output path `BENCH_planner.json` in the working directory).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use qap::prelude::*;
+
+/// One measured (scenario, configuration, backend) cell.
+struct Case {
+    scenario: &'static str,
+    config: &'static str,
+    hosts: usize,
+    backend: &'static str,
+    plan_micros: f64,
+    predicted_total_bytes_per_sec: f64,
+    predicted_aggregator_bytes_per_sec: f64,
+    physical_nodes: usize,
+}
+
+fn measure(
+    dag: &QueryDag,
+    partitioning: &Partitioning,
+    config: &OptimizerConfig,
+) -> (DistributedPlan, f64) {
+    // Warm-up, then the median of a small odd sample: planning is
+    // micro-scale, one timing would be all noise.
+    let _ = optimize_explained(dag, partitioning, config).expect("planning succeeds");
+    let mut times: Vec<f64> = Vec::new();
+    let mut plan = None;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let (p, _) = optimize_explained(dag, partitioning, config).expect("planning succeeds");
+        times.push(t0.elapsed().as_secs_f64() * 1e6);
+        plan = Some(p);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (
+        plan.expect("measured at least once"),
+        times[times.len() / 2],
+    )
+}
+
+fn main() -> ExitCode {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_planner.json".to_string());
+
+    let deployments: &[(Scenario, &str, usize)] = &[
+        (Scenario::SimpleAgg, "Partitioned", 4),
+        (Scenario::SimpleAgg, "Naive", 4),
+        (Scenario::QuerySet, "Partitioned (optimal)", 4),
+        (Scenario::QuerySet, "Partitioned (suboptimal)", 4),
+        (Scenario::Complex, "Partitioned (full)", 4),
+        (Scenario::Complex, "Partitioned (partial)", 4),
+    ];
+
+    let stats = UniformStats::default();
+    let model = CostModel::default();
+    let mut cases: Vec<Case> = Vec::new();
+    let mut regressions: Vec<String> = Vec::new();
+
+    for &(scenario, config_name, hosts) in deployments {
+        let dag = scenario.dag();
+        let (partitioning, base_cfg) = scenario.deployment(config_name, hosts);
+        let mut per_backend = Vec::new();
+        for (backend, backend_name) in [
+            (PlannerBackend::EGraph, "egraph"),
+            (PlannerBackend::Legacy, "legacy"),
+        ] {
+            let cfg = OptimizerConfig {
+                backend,
+                ..base_cfg
+            };
+            let (plan, micros) = measure(&dag, &partitioning, &cfg);
+            let load = predict_host_load_for_plan(&plan, &dag, &stats, &model);
+            let total: f64 = load.iter().sum();
+            let agg = load[plan.partitioning.aggregator_host];
+            per_backend.push(total);
+            cases.push(Case {
+                scenario: scenario.name(),
+                config: config_name,
+                hosts,
+                backend: backend_name,
+                plan_micros: micros,
+                predicted_total_bytes_per_sec: total,
+                predicted_aggregator_bytes_per_sec: agg,
+                physical_nodes: plan.dag.len(),
+            });
+            println!(
+                "{} / {config_name} / {backend_name}: {micros:.0} us, predicted {total:.0} B/s ({} physical nodes)",
+                scenario.name(),
+                plan.dag.len(),
+            );
+        }
+        // The e-graph planner extracts the cheapest realization; it must
+        // never cost more than the rewriters it replaced.
+        let (egraph_cost, legacy_cost) = (per_backend[0], per_backend[1]);
+        if egraph_cost > legacy_cost * (1.0 + 1e-9) {
+            regressions.push(format!(
+                "{} / {config_name}: egraph {egraph_cost:.0} B/s > legacy {legacy_cost:.0} B/s",
+                scenario.name()
+            ));
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"planner\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"scenario\": \"{}\", \"config\": \"{}\", \"hosts\": {}, \"backend\": \"{}\", \
+             \"plan_micros\": {:.1}, \"predicted_total_bytes_per_sec\": {:.1}, \
+             \"predicted_aggregator_bytes_per_sec\": {:.1}, \"physical_nodes\": {}}}{}",
+            c.scenario,
+            c.config,
+            c.hosts,
+            c.backend,
+            c.plan_micros,
+            c.predicted_total_bytes_per_sec,
+            c.predicted_aggregator_bytes_per_sec,
+            c.physical_nodes,
+            if i + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("planner_bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out_path} ({} cases)", cases.len());
+
+    if !regressions.is_empty() {
+        eprintln!("\nPLANNER COST REGRESSIONS:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -43,7 +43,10 @@ pub use threaded::run_distributed_threaded;
 pub use transport::{
     EdgeTransport, FaultPlan, TransportConfig, TransportMetrics, DEFAULT_SEND_TIMEOUT_MS,
 };
-pub use validate::{validate_cost_model, CostValidation, DEFAULT_TOLERANCE};
+pub use validate::{
+    predict_host_load, predict_host_load_for_plan, validate_cost_model, CostValidation,
+    DEFAULT_TOLERANCE,
+};
 
 // Re-exported so downstream users can export snapshots without naming
 // `qap-obs` directly.

@@ -29,10 +29,12 @@
 //! the network (partials instead of raw tuples), which the Section 4.2.1
 //! model does not describe.
 
+use std::collections::HashSet;
+
 use qap_exec::{ExecError, ExecResult};
-use qap_optimizer::{optimize, OptimizerConfig, Partitioning};
+use qap_optimizer::{optimize, DistributedPlan, OptimizerConfig, Partitioning};
 use qap_partition::{
-    node_compatibilities_with, plan_cost, CostModel, CostObjective, StatsProvider,
+    node_compatibilities_with, node_rates, plan_cost, CostModel, CostObjective, StatsProvider,
 };
 use qap_plan::{LogicalNode, QueryDag};
 use qap_types::Tuple;
@@ -132,6 +134,48 @@ pub fn predict_host_load(
     predicted
 }
 
+/// Predicts per-host network receive load from the *extracted physical
+/// plan* rather than the logical frontier: every central node charges,
+/// to its executing host, the output rate of each **distinct logical
+/// origin** among its partitioned-tier children (the lowering shares one
+/// collecting merge per pushed producer, so distinct-origin counting is
+/// exactly once-per-crossing). This prices what the planner actually
+/// emitted — if the planner and the emitter ever disagreed about the
+/// frontier, this prediction would diverge from [`predict_host_load`]
+/// and the regression suite would catch it.
+///
+/// Like the Section 4.2.1 model, this does not describe the sub/super
+/// partial-aggregation rewrite (partials cross at a different width);
+/// callers disable partial aggregation before comparing.
+pub fn predict_host_load_for_plan(
+    plan: &DistributedPlan,
+    logical: &QueryDag,
+    stats: &dyn StatsProvider,
+    model: &CostModel,
+) -> Vec<f64> {
+    let rates = node_rates(logical, stats, model);
+    let mut predicted = vec![0.0f64; plan.partitioning.hosts];
+    let mut charged: HashSet<usize> = HashSet::new();
+    for id in plan.dag.topo_order() {
+        if !plan.central[id] {
+            continue;
+        }
+        for c in plan.dag.node(id).children() {
+            if plan.central[c] {
+                continue;
+            }
+            let origin = plan
+                .dag
+                .origin(c)
+                .expect("lowering stamps an origin on every physical node");
+            if charged.insert(origin) {
+                predicted[plan.host[id]] += rates.out_bytes[origin];
+            }
+        }
+    }
+    predicted
+}
+
 /// Runs the full validation loop for one plan and partitioning:
 /// measure selectivities on the trace, predict per-host load, execute
 /// the lowered plan threaded, and compare. See the module docs for the
@@ -171,11 +215,9 @@ pub fn validate_cost_model(
         objective: CostObjective::MaxPerNode,
     };
 
-    // 3. Predict.
-    let predicted = predict_host_load(dag, partitioning, &stats, &model, analysis);
-
-    // 4. Execute the same deployment for real (partial aggregation off:
-    //    the model does not describe the sub/super rewrite).
+    // 3. Lower first, predict from the extracted plan (partial
+    //    aggregation off: the model does not describe the sub/super
+    //    rewrite).
     let opt_cfg = OptimizerConfig {
         partial_aggregation: false,
         analysis,
@@ -183,6 +225,9 @@ pub fn validate_cost_model(
     };
     let plan = optimize(dag, partitioning, &opt_cfg)
         .map_err(|e| ExecError::BadPlan(format!("lowering failed: {e}")))?;
+    let predicted = predict_host_load_for_plan(&plan, dag, &stats, &model);
+
+    // 4. Execute the same deployment for real.
     let result = run_distributed_threaded(&plan, trace, cfg)?;
     let measured = result.metrics.host_rx_bytes_per_sec.clone();
 
@@ -238,5 +283,53 @@ mod tests {
         );
         // The aggregator actually receives something.
         assert!(v.measured_bytes_per_sec[0] > 0.0);
+    }
+
+    #[test]
+    fn plan_based_and_frontier_predictions_agree() {
+        // The physical-plan predictor walks the extracted plan's
+        // origins; the frontier predictor re-derives the crossing set
+        // from the logical DAG. One shared emitter means they must
+        // price the same bytes — for every backend.
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP",
+        )
+        .unwrap();
+        b.add_query(
+            "heavy",
+            "SELECT tb, srcIP, MAX(cnt) as mx FROM flows GROUP BY tb, srcIP",
+        )
+        .unwrap();
+        let dag = b.build();
+        let stats = qap_partition::UniformStats::default();
+        let model = CostModel::default();
+        let analysis = qap_partition::AnalysisOptions::default();
+        for set in [
+            PartitionSet::from_columns(["srcIP"]),
+            PartitionSet::from_columns(["srcIP", "destIP"]),
+            PartitionSet::empty(),
+        ] {
+            let partitioning = Partitioning::hash(set, 3);
+            for backend in [
+                qap_optimizer::PlannerBackend::EGraph,
+                qap_optimizer::PlannerBackend::Legacy,
+            ] {
+                let cfg = OptimizerConfig {
+                    partial_aggregation: false,
+                    analysis,
+                    backend,
+                    ..OptimizerConfig::full()
+                };
+                let plan = optimize(&dag, &partitioning, &cfg).unwrap();
+                let by_plan = predict_host_load_for_plan(&plan, &dag, &stats, &model);
+                let by_frontier = predict_host_load(&dag, &partitioning, &stats, &model, analysis);
+                for (a, b) in by_plan.iter().zip(&by_frontier) {
+                    assert!((a - b).abs() < 1e-6, "{by_plan:?} vs {by_frontier:?}");
+                }
+            }
+        }
     }
 }

@@ -5,6 +5,7 @@
 //! qapctl analyze <script.gsql> [--strict-joins]
 //! qapctl plan    <script.gsql> --hosts N [--set "srcIP, destIP & 0xFFF0"]
 //!                              [--round-robin] [--naive] [--agnostic]
+//!                              [--planner egraph|legacy] [--explain]
 //! qapctl run     <script.gsql> --hosts N [--set ...] [--round-robin]
 //!                              [--seed S] [--epochs E] [--flows F]
 //!                              [--trace file.qtr] [--threaded] [--limit K]
@@ -39,7 +40,14 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   qapctl analyze   <script.gsql> [--strict-joins]
   qapctl plan      <script.gsql> --hosts N [--set \"expr, expr\"] [--round-robin] [--naive] [--agnostic]
+                   [--planner egraph|legacy] (placement decisions via the e-graph planner — default —
+                                              or the historical rewriters)
+                   [--explain]               (print the planner's costed account: every realization
+                                              alternative per node with the rewrite that produced it,
+                                              the partitioning each plan edge carries, and the
+                                              predicted per-host receive load)
   qapctl run       <script.gsql> --hosts N [--set \"expr, expr\"] [--round-robin]
+                   [--planner egraph|legacy] [--explain]
                    [--seed S] [--epochs E] [--flows F] [--trace file.qtr] [--threaded] [--limit K]
                    [--batch-size B]   (engine batch size; results are batch-size-invariant)
                    [--metrics[=PATH]] (export run metrics; .prom = Prometheus text, else JSON;
@@ -74,6 +82,8 @@ struct Opts {
     limit: usize,
     trace_file: Option<String>,
     batch_size: usize,
+    backend: PlannerBackend,
+    explain: bool,
     transport: TransportConfig,
     /// `None` = no export, `Some(None)` = JSON to stdout,
     /// `Some(Some(path))` = write to `path` (`.prom` selects Prometheus
@@ -97,6 +107,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         limit: 10,
         trace_file: None,
         batch_size: BatchConfig::default().max_batch,
+        backend: PlannerBackend::default(),
+        explain: false,
         transport: TransportConfig::default(),
         metrics: None,
     };
@@ -186,6 +198,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     bad => return Err(format!("--columnar: expected on|off, got '{bad}'")),
                 };
             }
+            "--planner" => opts.backend = parse_backend(&value("--planner")?)?,
+            other if other.starts_with("--planner=") => {
+                opts.backend = parse_backend(&other["--planner=".len()..])?;
+            }
+            "--explain" => opts.explain = true,
             "--trace" => opts.trace_file = Some(value("--trace")?),
             "--round-robin" => opts.round_robin = true,
             "--naive" => opts.naive = true,
@@ -264,6 +281,14 @@ fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
     Ok(plan)
 }
 
+fn parse_backend(raw: &str) -> Result<PlannerBackend, String> {
+    match raw {
+        "egraph" => Ok(PlannerBackend::EGraph),
+        "legacy" => Ok(PlannerBackend::Legacy),
+        bad => Err(format!("--planner: expected egraph|legacy, got '{bad}'")),
+    }
+}
+
 fn load_dag(path: &str) -> Result<QueryDag, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let mut builder = QuerySetBuilder::new(Catalog::with_network_schemas());
@@ -288,7 +313,14 @@ fn run(args: &[String]) -> Result<(), String> {
     let dag = load_dag(&opts.script)?;
     match cmd.as_str() {
         "analyze" => analyze(&dag, &opts),
-        "plan" => plan(&dag, &opts).map(|p| println!("{}", p.render_by_host())),
+        "plan" => {
+            let (p, explanation) = plan(&dag, &opts)?;
+            if opts.explain {
+                println!("{}", explain_report(&dag, &p, &explanation));
+            }
+            println!("{}", p.render_by_host());
+            Ok(())
+        }
         "run" => execute(&dag, &opts),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -346,7 +378,7 @@ fn deployment(dag: &QueryDag, opts: &Opts) -> Result<(Partitioning, OptimizerCon
         };
         Partitioning::hash(set, opts.hosts)
     };
-    let config = if opts.agnostic {
+    let mut config = if opts.agnostic {
         OptimizerConfig {
             agnostic: true,
             ..OptimizerConfig::default()
@@ -361,12 +393,58 @@ fn deployment(dag: &QueryDag, opts: &Opts) -> Result<(Partitioning, OptimizerCon
             ..OptimizerConfig::full()
         }
     };
+    config.backend = opts.backend;
     Ok((partitioning, config))
 }
 
-fn plan(dag: &QueryDag, opts: &Opts) -> Result<DistributedPlan, String> {
+fn plan(dag: &QueryDag, opts: &Opts) -> Result<(DistributedPlan, PlanExplanation), String> {
     let (partitioning, config) = deployment(dag, opts)?;
-    optimize(dag, &partitioning, &config).map_err(|e| format!("optimizer: {e}"))
+    optimize_explained(dag, &partitioning, &config).map_err(|e| format!("optimizer: {e}"))
+}
+
+/// The `--explain` report: the planner's costed account of every
+/// realization alternative, the partitioning each logical edge carries
+/// in the chosen plan, and the predicted per-host receive load of the
+/// extracted physical plan. Works for both backends (the legacy one
+/// reports decisions without alternatives — it never enumerates any).
+fn explain_report(dag: &QueryDag, plan: &DistributedPlan, explanation: &PlanExplanation) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str(&explanation.render());
+
+    let mut decision: Vec<Option<NodeDecision>> = vec![None; dag.len()];
+    for n in &explanation.nodes {
+        decision[n.node] = Some(n.decision);
+    }
+    let deployed = &explanation.deployed;
+    let _ = writeln!(out, "\nLogical plan (partitioning carried on each edge):");
+    out.push_str(&render_dag_annotated(dag, &|id| {
+        Some(match decision[id] {
+            // Sources are split by the deployed set by construction.
+            None | Some(NodeDecision::Push) => format!("carries {deployed}"),
+            Some(NodeDecision::SubSuper) => format!("partials by {deployed} -> central"),
+            Some(NodeDecision::Central) => "central".to_string(),
+        })
+    }));
+
+    let predicted =
+        predict_host_load_for_plan(plan, dag, &UniformStats::default(), &CostModel::default());
+    let _ = writeln!(
+        out,
+        "\nPredicted per-host receive load (B/s, uniform stats):"
+    );
+    for (h, p) in predicted.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  host {h}: {p:.0}{}",
+            if h == plan.partitioning.aggregator_host {
+                "  (aggregator)"
+            } else {
+                ""
+            }
+        );
+    }
+    out
 }
 
 fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
@@ -380,7 +458,10 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
             }
         }
     }
-    let plan = plan(dag, opts)?;
+    let (plan, explanation) = plan(dag, opts)?;
+    if opts.explain {
+        println!("{}", explain_report(dag, &plan, &explanation));
+    }
     let trace = match &opts.trace_file {
         Some(path) => read_trace(path).map_err(|e| e.to_string())?,
         None => generate(&TraceConfig {

@@ -63,7 +63,8 @@
 //! | [`sql`] | `qap-sql` | GSQL parser → logical query DAGs |
 //! | [`plan`] | `qap-plan` | plan DAG, schema inference, provenance |
 //! | [`partition`] | `qap-partition` | compatibility, reconciliation, cost model, search |
-//! | [`optimizer`] | `qap-optimizer` | partition-aware distributed lowering |
+//! | [`planner`] | `qap-planner` | e-graph planner: saturate + cost extraction |
+//! | [`optimizer`] | `qap-optimizer` | decision-driven distributed lowering |
 //! | [`exec`] | `qap-exec` | tumbling-window streaming engine |
 //! | [`obs`] | `qap-obs` | metrics registry, histograms, exporters |
 //! | [`trace`] | `qap-trace` | synthetic packet traces |
@@ -76,6 +77,7 @@ pub use qap_obs as obs;
 pub use qap_optimizer as optimizer;
 pub use qap_partition as partition;
 pub use qap_plan as plan;
+pub use qap_planner as planner;
 pub use qap_sql as sql;
 pub use qap_trace as trace;
 pub use qap_types as types;
@@ -86,25 +88,28 @@ pub mod prelude {
         calibrate_budget, run_point, run_series, ExperimentPoint, Scenario,
     };
     pub use qap_cluster::{
-        measure_stats, metrics_registry, run_distributed, run_distributed_multi,
-        run_distributed_threaded, validate_cost_model, ClusterMetrics, CostConstants,
-        CostValidation, FailureCause, FaultPlan, HostFailure, MetricsRegistry, SimConfig,
-        SimResult, TransportConfig, TransportMetrics, DEFAULT_SEND_TIMEOUT_MS, DEFAULT_TOLERANCE,
+        measure_stats, metrics_registry, predict_host_load, predict_host_load_for_plan,
+        run_distributed, run_distributed_multi, run_distributed_threaded, validate_cost_model,
+        ClusterMetrics, CostConstants, CostValidation, FailureCause, FaultPlan, HostFailure,
+        MetricsRegistry, SimConfig, SimResult, TransportConfig, TransportMetrics,
+        DEFAULT_SEND_TIMEOUT_MS, DEFAULT_TOLERANCE,
     };
     pub use qap_exec::{
         run_logical, run_logical_with, BatchConfig, Engine, OpCounters, PaneAggregator, PaneSpec,
     };
     pub use qap_expr::{AggKind, ColumnTransform, ScalarExpr};
     pub use qap_optimizer::{
-        agnostic_plan, optimize, plan_partitioning, DistributedPlan, OptimizerConfig,
-        PartialAggScope, Partitioning, PlacementStrategy, SplitStrategy,
+        agnostic_plan, optimize, optimize_explained, plan_partitioning, DistributedPlan,
+        NodeDecision, OptimizerConfig, PartialAggScope, Partitioning, PlacementStrategy,
+        PlanExplanation, PlannerBackend, SplitStrategy,
     };
     pub use qap_partition::{
         choose_partitioning, choose_partitioning_with, compatible_set, node_compatibilities,
         plan_cost, reconcile_partition_sets, AnalysisOptions, Compatibility, CostModel,
         CostObjective, HashPartitioner, PartitionAnalysis, PartitionSet, UniformStats,
     };
-    pub use qap_plan::{render_dag, LogicalNode, QueryDag};
+    pub use qap_plan::{render_dag, render_dag_annotated, LogicalNode, QueryDag};
+    pub use qap_planner::{choose_partitioning_egraph, plan_with, PlannerInput, PlannerOutcome};
     pub use qap_sql::QuerySetBuilder;
     pub use qap_trace::{
         generate, read_trace, stats, write_trace, TraceConfig, TraceStats, SUSPICIOUS_PATTERN,

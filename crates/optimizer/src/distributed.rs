@@ -1,13 +1,26 @@
-//! Bottom-up lowering of logical DAGs into host-annotated physical plans.
+//! Decision-driven lowering of logical DAGs into host-annotated
+//! physical plans.
+//!
+//! Since the unified-planner refactor this module no longer decides
+//! *where* operators run — that is the planner's job
+//! ([`qap_planner::plan`] for the e-graph backend,
+//! [`legacy_decisions`] for the historical rewriters). It only *emits*:
+//! one shared bottom-up pass turns a [`qap_planner::NodeDecision`] per
+//! logical node into physical nodes with host assignments, so equal
+//! decisions produce bit-identical plans regardless of backend.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use qap_expr::{AggCall, ScalarExpr};
-use qap_partition::compatible_set_with;
+use qap_expr::ScalarExpr;
+use qap_partition::{compatible_set_with, node_compatibilities_with, PartitionSet};
 use qap_plan::{LogicalNode, NamedAgg, NamedExpr, NodeId, QueryDag};
+use qap_planner::{
+    legacy_explanation, partial, NodeDecision, PlanExplanation, PlannerBackend, PlannerInput,
+    SubScope,
+};
 
-use crate::{OptResult, OptimizerConfig, PartialAggScope, Partitioning};
+use crate::{OptError, OptResult, OptimizerConfig, PartialAggScope, Partitioning};
 
 /// One consumable result stream of a distributed plan.
 #[derive(Debug, Clone)]
@@ -24,7 +37,8 @@ pub struct PlanOutput {
 /// per-partition scans, plus the host executing every node.
 #[derive(Debug, Clone)]
 pub struct DistributedPlan {
-    /// The physical DAG.
+    /// The physical DAG. Every physical node records the logical node
+    /// it implements via [`QueryDag::origin`].
     pub dag: QueryDag,
     /// Executing host of each physical node (parallel to `dag`).
     pub host: Vec<usize>,
@@ -110,11 +124,18 @@ struct Lowering<'a> {
 }
 
 impl Lowering<'_> {
-    fn add(&mut self, node: LogicalNode, host: usize, central: bool) -> OptResult<NodeId> {
+    fn add(
+        &mut self,
+        node: LogicalNode,
+        host: usize,
+        central: bool,
+        origin: NodeId,
+    ) -> OptResult<NodeId> {
         let id = self.dag.add_node(node)?;
         debug_assert_eq!(id, self.host.len());
         self.host.push(host);
         self.central.push(central);
+        self.dag.set_origin(id, origin);
         Ok(id)
     }
 
@@ -133,6 +154,7 @@ impl Lowering<'_> {
                     LogicalNode::Merge { inputs: replicas },
                     self.part.aggregator_host,
                     true,
+                    logical_id,
                 )?;
                 self.collected.insert(logical_id, m);
                 Ok(m)
@@ -141,26 +163,147 @@ impl Lowering<'_> {
     }
 }
 
-/// Lowers a logical DAG onto a deployed partitioning. See the crate
-/// docs for the rule set.
+/// Lowers a logical DAG onto a deployed partitioning, using the
+/// configured [`PlannerBackend`] to decide operator placement. See the
+/// crate docs for the rule set.
 pub fn optimize(
     logical: &QueryDag,
     partitioning: &Partitioning,
     config: &OptimizerConfig,
 ) -> OptResult<DistributedPlan> {
+    Ok(optimize_explained(logical, partitioning, config)?.0)
+}
+
+/// [`optimize`] plus the planner's costed account of how it decided —
+/// the payload behind `qapctl --explain`.
+pub fn optimize_explained(
+    logical: &QueryDag,
+    partitioning: &Partitioning,
+    config: &OptimizerConfig,
+) -> OptResult<(DistributedPlan, PlanExplanation)> {
     partitioning.validate()?;
     let set = partitioning.strategy.effective_set();
-    let agg_host = partitioning.aggregator_host;
 
-    // Per-node compatibility with the *deployed* set (not the
-    // recommendation). The agnostic configuration pushes nothing.
-    let compatible: Vec<bool> = logical
-        .topo_order()
-        .map(|id| {
-            !config.agnostic && compatible_set_with(logical, id, config.analysis).allows(&set)
-        })
-        .collect();
+    let (decisions, explanation) = match config.backend {
+        PlannerBackend::EGraph => {
+            let outcome = qap_planner::plan(&PlannerInput {
+                dag: logical,
+                deployed: &set,
+                agnostic: config.agnostic,
+                partial_aggregation: config.partial_aggregation,
+                scope: sub_scope(config.partial_agg_scope),
+                analysis: config.analysis,
+            })
+            .map_err(|e| OptError::Planner(e.to_string()))?;
+            (outcome.decisions, outcome.explanation)
+        }
+        PlannerBackend::Legacy => {
+            let decisions = legacy_decisions(logical, config, &set);
+            let compat = node_compatibilities_with(logical, config.analysis);
+            let explanation = legacy_explanation(logical, &compat, &decisions, set.to_string());
+            (decisions, explanation)
+        }
+    };
 
+    let plan = emit(logical, partitioning, config, &decisions)?;
+    Ok((plan, explanation))
+}
+
+/// The partition-agnostic plan of Section 5.1 / Figure 3: per-partition
+/// scans merged centrally, all query processing on the aggregator.
+pub fn agnostic_plan(
+    logical: &QueryDag,
+    partitioning: &Partitioning,
+) -> OptResult<DistributedPlan> {
+    let cfg = OptimizerConfig {
+        agnostic: true,
+        ..OptimizerConfig::default()
+    };
+    optimize(logical, partitioning, &cfg)
+}
+
+fn sub_scope(scope: PartialAggScope) -> SubScope {
+    match scope {
+        PartialAggScope::PerPartition => SubScope::PerPartition,
+        PartialAggScope::PerHost => SubScope::PerHost,
+    }
+}
+
+/// The historical bespoke rewriters, expressed as per-node decisions:
+/// push whenever the node is compatible with the deployed set and its
+/// inputs are partitioned; sub/super-split incompatible splittable
+/// aggregations when partial aggregation is on; centralize otherwise.
+/// Reachable only through [`PlannerBackend::Legacy`].
+pub fn legacy_decisions(
+    logical: &QueryDag,
+    config: &OptimizerConfig,
+    set: &PartitionSet,
+) -> Vec<NodeDecision> {
+    let mut out = vec![NodeDecision::Central; logical.len()];
+    for id in logical.topo_order() {
+        let compatible =
+            !config.agnostic && compatible_set_with(logical, id, config.analysis).allows(set);
+        out[id] = match logical.node(id) {
+            LogicalNode::Source { .. } => NodeDecision::Push,
+            LogicalNode::SelectProject { input, .. } => {
+                if out[*input] == NodeDecision::Push && compatible {
+                    NodeDecision::Push
+                } else {
+                    NodeDecision::Central
+                }
+            }
+            LogicalNode::Aggregate {
+                input, aggregates, ..
+            } => {
+                if out[*input] == NodeDecision::Push && compatible {
+                    NodeDecision::Push
+                } else if out[*input] == NodeDecision::Push
+                    && !config.agnostic
+                    && config.partial_aggregation
+                    && partial::all_splittable(logical, aggregates)
+                {
+                    NodeDecision::SubSuper
+                } else {
+                    NodeDecision::Central
+                }
+            }
+            LogicalNode::Join { left, right, .. } => {
+                if out[*left] == NodeDecision::Push
+                    && out[*right] == NodeDecision::Push
+                    && compatible
+                {
+                    NodeDecision::Push
+                } else {
+                    NodeDecision::Central
+                }
+            }
+            LogicalNode::Merge { inputs } => {
+                if !inputs.is_empty()
+                    && inputs.iter().all(|&i| out[i] == NodeDecision::Push)
+                    && compatible
+                {
+                    NodeDecision::Push
+                } else {
+                    NodeDecision::Central
+                }
+            }
+        };
+    }
+    out
+}
+
+/// The shared emitter: turns per-node decisions into physical nodes.
+/// Both backends flow through here, so equal decisions produce
+/// bit-identical plans. A `Push`/`SubSuper` decision over a child that
+/// was lowered centrally falls back to the central form (the planner
+/// never produces such decisions for well-formed DAGs; the fallback
+/// keeps arbitrary decision vectors safe to emit).
+fn emit(
+    logical: &QueryDag,
+    partitioning: &Partitioning,
+    config: &OptimizerConfig,
+    decisions: &[NodeDecision],
+) -> OptResult<DistributedPlan> {
     let mut lw = Lowering {
         logical,
         cfg: config,
@@ -173,7 +316,7 @@ pub fn optimize(
     };
 
     for id in logical.topo_order() {
-        let repr = lower_node(&mut lw, id, compatible[id])?;
+        let repr = lower_node(&mut lw, id, decisions[id])?;
         lw.repr[id] = Some(repr);
     }
 
@@ -192,7 +335,6 @@ pub fn optimize(
             node,
         });
     }
-    let _ = agg_host;
 
     Ok(DistributedPlan {
         dag: lw.dag,
@@ -203,20 +345,15 @@ pub fn optimize(
     })
 }
 
-/// The partition-agnostic plan of Section 5.1 / Figure 3: per-partition
-/// scans merged centrally, all query processing on the aggregator.
-pub fn agnostic_plan(
-    logical: &QueryDag,
-    partitioning: &Partitioning,
-) -> OptResult<DistributedPlan> {
-    let cfg = OptimizerConfig {
-        agnostic: true,
-        ..OptimizerConfig::default()
-    };
-    optimize(logical, partitioning, &cfg)
+/// The partitioned replicas of a child, when its decision pushed it.
+fn partitioned(lw: &Lowering<'_>, child: NodeId) -> Option<Vec<NodeId>> {
+    match lw.repr[child].as_ref().expect("child lowered") {
+        Repr::Partitioned(v) => Some(v.clone()),
+        Repr::Central(_) => None,
+    }
 }
 
-fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<Repr> {
+fn lower_node(lw: &mut Lowering<'_>, id: NodeId, decision: NodeDecision) -> OptResult<Repr> {
     let agg_host = lw.part.aggregator_host;
     match lw.logical.node(id).clone() {
         LogicalNode::Source { stream, .. } => {
@@ -226,6 +363,7 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
                 debug_assert_eq!(scan, lw.host.len());
                 lw.host.push(lw.part.host_of_partition(p));
                 lw.central.push(false);
+                lw.dag.set_origin(scan, id);
                 scans.push(scan);
             }
             Ok(Repr::Partitioned(scans))
@@ -236,11 +374,10 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
             predicate,
             projections,
         } => {
-            // σ/π is always compatible (Section 5.4); replicate whenever
-            // the child is partitioned, unless we are building the
-            // agnostic plan.
-            match lw.repr[input].clone().expect("child lowered") {
-                Repr::Partitioned(replicas) if compatible => {
+            // Figure 4 shape for σ/π (Section 5.4): replicate below the
+            // merge when the planner pushed it.
+            match partitioned(lw, input) {
+                Some(replicas) if decision == NodeDecision::Push => {
                     let mut out = Vec::with_capacity(replicas.len());
                     for (p, &r) in replicas.iter().enumerate() {
                         let n = lw.add(
@@ -251,6 +388,7 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
                             },
                             lw.part.host_of_partition(p),
                             false,
+                            id,
                         )?;
                         out.push(n);
                     }
@@ -266,6 +404,7 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
                         },
                         agg_host,
                         true,
+                        id,
                     )?;
                     Ok(Repr::Central(n))
                 }
@@ -279,11 +418,10 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
             aggregates,
             having,
         } => {
-            let child = lw.repr[input].clone().expect("child lowered");
-            match child {
-                // Figure 4: compatible aggregation pushes below the merge
-                // and runs complete per partition.
-                Repr::Partitioned(replicas) if compatible => {
+            match (decision, partitioned(lw, input)) {
+                // Figure 4: compatible aggregation pushed below the merge
+                // runs complete per partition.
+                (NodeDecision::Push, Some(replicas)) => {
                     let mut out = Vec::with_capacity(replicas.len());
                     for (p, &r) in replicas.iter().enumerate() {
                         let n = lw.add(
@@ -296,24 +434,18 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
                             },
                             lw.part.host_of_partition(p),
                             false,
+                            id,
                         )?;
                         out.push(n);
                     }
                     Ok(Repr::Partitioned(out))
                 }
-                // Figure 5: incompatible aggregation splits into
-                // sub-aggregates feeding a central super-aggregate —
-                // possible only when every aggregate is splittable
-                // (built-ins always are; UDAFs declare it).
-                Repr::Partitioned(replicas)
-                    if !lw.cfg.agnostic
-                        && lw.cfg.partial_aggregation
-                        && all_splittable(lw.logical, &aggregates) =>
-                {
-                    lower_partial_agg(lw, &replicas, predicate, &group_by, &aggregates, having)
+                // Figure 5: sub-aggregates feeding a central
+                // super-aggregate.
+                (NodeDecision::SubSuper, Some(replicas)) => {
+                    lower_partial_agg(lw, id, &replicas, predicate, &group_by, &aggregates, having)
                 }
-                // No optimization possible: complete aggregate over the
-                // centrally merged input.
+                // Complete aggregate over the centrally merged input.
                 _ => {
                     let c = lw.central(input)?;
                     let n = lw.add(
@@ -326,6 +458,7 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
                         },
                         agg_host,
                         true,
+                        id,
                     )?;
                     Ok(Repr::Central(n))
                 }
@@ -343,18 +476,16 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
             residual,
             projections,
         } => {
-            let lrep = lw.repr[left].clone().expect("child lowered");
-            let rrep = lw.repr[right].clone().expect("child lowered");
-            match (&lrep, &rrep) {
+            let lrep = partitioned(lw, left);
+            let rrep = partitioned(lw, right);
+            match (decision, lrep, rrep) {
                 // Figure 7: pairwise per-partition joins. Both inputs
                 // carry the same partitioning, so partition i on the left
                 // matches exactly partition i on the right — the paper's
                 // unmatched-partition NULL-padding path only arises for
                 // unequal partition counts, which a single splitter never
                 // produces.
-                (Repr::Partitioned(ls), Repr::Partitioned(rs))
-                    if compatible && ls.len() == rs.len() =>
-                {
+                (NodeDecision::Push, Some(ls), Some(rs)) if ls.len() == rs.len() => {
                     let mut out = Vec::with_capacity(ls.len());
                     for p in 0..ls.len() {
                         let n = lw.add(
@@ -371,6 +502,7 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
                             },
                             lw.part.host_of_partition(p),
                             false,
+                            id,
                         )?;
                         out.push(n);
                     }
@@ -393,6 +525,7 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
                         },
                         agg_host,
                         true,
+                        id,
                     )?;
                     Ok(Repr::Central(n))
                 }
@@ -400,25 +533,13 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
         }
 
         LogicalNode::Merge { inputs } => {
-            // A user-written union stays partitioned when every input is
-            // partitioned with the same fan-out (partition i unions the
-            // inputs' partition i).
-            let reprs: Vec<Repr> = inputs
-                .iter()
-                .map(|&i| lw.repr[i].clone().expect("child lowered"))
-                .collect();
-            let all_partitioned: Option<Vec<&Vec<NodeId>>> = reprs
-                .iter()
-                .map(|r| match r {
-                    Repr::Partitioned(v) => Some(v),
-                    Repr::Central(_) => None,
-                })
-                .collect();
-            match all_partitioned {
-                Some(vecs)
-                    if compatible
-                        && !vecs.is_empty()
-                        && vecs.iter().all(|v| v.len() == lw.part.partitions) =>
+            // A pushed union stays partitioned: partition i unions the
+            // inputs' partition i.
+            let vecs: Option<Vec<Vec<NodeId>>> =
+                inputs.iter().map(|&i| partitioned(lw, i)).collect();
+            match (decision, vecs) {
+                (NodeDecision::Push, Some(vecs))
+                    if !vecs.is_empty() && vecs.iter().all(|v| v.len() == lw.part.partitions) =>
                 {
                     let mut out = Vec::with_capacity(lw.part.partitions);
                     for p in 0..lw.part.partitions {
@@ -427,6 +548,7 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
                             LogicalNode::Merge { inputs: slice },
                             lw.part.host_of_partition(p),
                             false,
+                            id,
                         )?;
                         out.push(n);
                     }
@@ -443,6 +565,7 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
                         },
                         agg_host,
                         true,
+                        id,
                     )?;
                     Ok(Repr::Central(n))
                 }
@@ -451,25 +574,16 @@ fn lower_node(lw: &mut Lowering<'_>, id: NodeId, compatible: bool) -> OptResult<
     }
 }
 
-/// Whether every aggregate of the list decomposes into sub/super parts.
-fn all_splittable(logical: &QueryDag, aggregates: &[NamedAgg]) -> bool {
-    aggregates.iter().all(|a| match &a.call.func {
-        qap_expr::AggFunc::Builtin(_) => true,
-        qap_expr::AggFunc::Udaf(name) => logical
-            .catalog()
-            .udafs()
-            .get(name)
-            .is_some_and(|u| u.splittable()),
-    })
-}
-
 /// The Section 5.2.2 transformation: sub-aggregates (per partition or
 /// per host) feeding a central super-aggregate. WHERE is pushed into the
 /// subs; HAVING stays at the super (it "needs complete aggregate
 /// values"); AVG decomposes into SUM and COUNT partials recombined by a
-/// finishing projection.
+/// finishing projection. The decomposition itself lives in
+/// [`qap_planner::partial`] — the same slots the planner's cost
+/// extraction priced.
 fn lower_partial_agg(
     lw: &mut Lowering<'_>,
+    id: NodeId,
     replicas: &[NodeId],
     predicate: Option<ScalarExpr>,
     group_by: &[NamedExpr],
@@ -478,82 +592,8 @@ fn lower_partial_agg(
 ) -> OptResult<Repr> {
     let agg_host = lw.part.aggregator_host;
 
-    // Decompose each aggregate into partial slots.
-    struct Slot {
-        /// Output name of the original aggregate.
-        name: String,
-        /// Partial columns: (column name, sub call, super call).
-        partials: Vec<(String, AggCall, AggCall)>,
-        /// Finishing rule.
-        finish: qap_expr::FinishOp,
-    }
-    let slots: Vec<Slot> = aggregates
-        .iter()
-        .map(|a| match &a.call.func {
-            qap_expr::AggFunc::Builtin(kind) => {
-                let spec = qap_expr::split_agg(*kind);
-                let partial = |col: &str, sub: qap_expr::AggKind, sup: qap_expr::AggKind| {
-                    (
-                        col.to_string(),
-                        AggCall {
-                            func: qap_expr::AggFunc::Builtin(sub),
-                            arg: a.call.arg.clone(),
-                            merge: false,
-                            emit_partial: false,
-                        },
-                        // Built-in supers fold partial columns with a
-                        // rewritten kind whose update equals merge
-                        // (COUNT partials SUM together, etc.).
-                        AggCall::new(sup, ScalarExpr::col(col)),
-                    )
-                };
-                let partials = if spec.sub.len() == 1 {
-                    vec![partial(&a.name, spec.sub[0], spec.sup[0])]
-                } else {
-                    vec![
-                        partial(&format!("{}__sum", a.name), spec.sub[0], spec.sup[0]),
-                        partial(&format!("{}__cnt", a.name), spec.sub[1], spec.sup[1]),
-                    ]
-                };
-                Slot {
-                    name: a.name.clone(),
-                    partials,
-                    finish: spec.finish,
-                }
-            }
-            qap_expr::AggFunc::Udaf(name) => {
-                // A splittable UDAF: the sub runs it over raw values, the
-                // super re-runs it over the partials in merge mode
-                // (callers check splittability before reaching here).
-                let sub = AggCall {
-                    func: a.call.func.clone(),
-                    arg: a.call.arg.clone(),
-                    merge: false,
-                    emit_partial: true,
-                };
-                let sup = AggCall {
-                    func: qap_expr::AggFunc::Udaf(name.clone()),
-                    arg: Some(ScalarExpr::col(a.name.clone())),
-                    merge: true,
-                    emit_partial: false,
-                };
-                Slot {
-                    name: a.name.clone(),
-                    partials: vec![(a.name.clone(), sub, sup)],
-                    finish: qap_expr::FinishOp::First,
-                }
-            }
-        })
-        .collect();
-
-    let sub_aggs: Vec<NamedAgg> = slots
-        .iter()
-        .flat_map(|s| {
-            s.partials
-                .iter()
-                .map(|(col, sub, _)| NamedAgg::new(col.clone(), sub.clone()))
-        })
-        .collect();
+    let slots = partial::split_aggregates(aggregates);
+    let sub_aggs = partial::sub_agg_list(&slots);
 
     // Inputs of the sub-aggregates, per the configured scope.
     let sub_inputs: Vec<(NodeId, usize)> = match lw.cfg.partial_agg_scope {
@@ -577,7 +617,7 @@ fn lower_partial_agg(
                 let input = if mine.len() == 1 {
                     mine[0]
                 } else {
-                    lw.add(LogicalNode::Merge { inputs: mine }, h, false)?
+                    lw.add(LogicalNode::Merge { inputs: mine }, h, false, id)?
                 };
                 per_host.push((input, h));
             }
@@ -597,28 +637,20 @@ fn lower_partial_agg(
             },
             host,
             false,
+            id,
         )?;
         subs.push(n);
     }
 
     // Central merge of partials, then the super-aggregate.
-    let merged = lw.add(LogicalNode::Merge { inputs: subs }, agg_host, true)?;
+    let merged = lw.add(LogicalNode::Merge { inputs: subs }, agg_host, true, id)?;
     let super_group: Vec<NamedExpr> = group_by
         .iter()
         .map(|g| NamedExpr::passthrough(g.name.clone()))
         .collect();
-    let super_aggs: Vec<NamedAgg> = slots
-        .iter()
-        .flat_map(|s| {
-            s.partials
-                .iter()
-                .map(|(col, _, sup)| NamedAgg::new(col.clone(), sup.clone()))
-        })
-        .collect();
+    let super_aggs = partial::super_agg_list(&slots);
 
-    let needs_finish = slots
-        .iter()
-        .any(|s| s.finish == qap_expr::FinishOp::DivSumCount);
+    let needs_finish = partial::needs_finish(&slots);
     let super_having = if needs_finish { None } else { having.clone() };
     let mut node = lw.add(
         LogicalNode::Aggregate {
@@ -630,6 +662,7 @@ fn lower_partial_agg(
         },
         agg_host,
         true,
+        id,
     )?;
 
     if needs_finish {
@@ -641,14 +674,14 @@ fn lower_partial_agg(
         for s in &slots {
             match s.finish {
                 qap_expr::FinishOp::First => {
-                    projections.push(NamedExpr::passthrough(s.partials[0].0.clone()));
+                    projections.push(NamedExpr::passthrough(s.partials[0].name.clone()));
                 }
                 qap_expr::FinishOp::DivSumCount => {
                     projections.push(NamedExpr::new(
                         s.name.clone(),
-                        ScalarExpr::col(s.partials[0].0.clone()).binary(
+                        ScalarExpr::col(s.partials[0].name.clone()).binary(
                             qap_expr::BinOp::Div,
-                            ScalarExpr::col(s.partials[1].0.clone()),
+                            ScalarExpr::col(s.partials[1].name.clone()),
                         ),
                     ));
                 }
@@ -662,6 +695,7 @@ fn lower_partial_agg(
             },
             agg_host,
             true,
+            id,
         )?;
         if let Some(h) = having {
             let all: Vec<NamedExpr> = lw
@@ -679,6 +713,7 @@ fn lower_partial_agg(
                 },
                 agg_host,
                 true,
+                id,
             )?;
         }
     }

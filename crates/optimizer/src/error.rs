@@ -12,6 +12,8 @@ pub enum OptError {
     Plan(PlanError),
     /// Invalid partitioning description.
     BadPartitioning(String),
+    /// The planner failed to produce decisions for the DAG.
+    Planner(String),
 }
 
 impl fmt::Display for OptError {
@@ -19,6 +21,7 @@ impl fmt::Display for OptError {
         match self {
             OptError::Plan(e) => write!(f, "physical plan construction failed: {e}"),
             OptError::BadPartitioning(msg) => write!(f, "bad partitioning: {msg}"),
+            OptError::Planner(msg) => write!(f, "planner failed: {msg}"),
         }
     }
 }

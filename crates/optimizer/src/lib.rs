@@ -34,7 +34,10 @@ mod plan_partition;
 #[cfg(test)]
 mod tests;
 
-pub use distributed::{agnostic_plan, optimize, DistributedPlan, PlanOutput};
+pub use distributed::{
+    agnostic_plan, legacy_decisions, optimize, optimize_explained, DistributedPlan, PlanOutput,
+};
 pub use error::{OptError, OptResult};
 pub use partitioning::{OptimizerConfig, PartialAggScope, Partitioning, SplitStrategy};
 pub use plan_partition::{plan_partitioning, PlacementStrategy};
+pub use qap_planner::{NodeDecision, PlanExplanation, PlannerBackend};

@@ -1,6 +1,7 @@
 //! Descriptions of the deployed partitioning and optimizer knobs.
 
 use qap_partition::{AnalysisOptions, PartitionSet};
+use qap_planner::PlannerBackend;
 
 use crate::{OptError, OptResult};
 
@@ -126,6 +127,10 @@ pub struct OptimizerConfig {
     pub partial_agg_scope: PartialAggScope,
     /// Compatibility-analysis options (e.g. strict join rule).
     pub analysis: AnalysisOptions,
+    /// Which planner decides operator placement. Defaults to the
+    /// e-graph planner; the historical rewriters stay reachable only
+    /// through [`PlannerBackend::Legacy`].
+    pub backend: PlannerBackend,
 }
 
 impl OptimizerConfig {
@@ -137,6 +142,7 @@ impl OptimizerConfig {
             partial_aggregation: true,
             partial_agg_scope: PartialAggScope::PerHost,
             analysis: AnalysisOptions::default(),
+            backend: PlannerBackend::default(),
         }
     }
 
@@ -149,6 +155,7 @@ impl OptimizerConfig {
             partial_aggregation: true,
             partial_agg_scope: PartialAggScope::PerPartition,
             analysis: AnalysisOptions::default(),
+            backend: PlannerBackend::default(),
         }
     }
 }

@@ -19,6 +19,46 @@ use crate::{
     CostModel, CostReport, PartitionSet, StatsProvider,
 };
 
+/// A fixed-capacity bitset over node ids, as `u64` words. The candidate
+/// search keys its memo table on member sets; word arrays keep that
+/// correct past 64 nodes (a single `u64` mask would overflow).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn single(capacity: usize, id: NodeId) -> Self {
+        let mut s = BitSet {
+            words: vec![0; capacity.div_ceil(64).max(1)],
+        };
+        s.insert(id);
+        s
+    }
+
+    fn insert(&mut self, id: NodeId) {
+        self.words[id / 64] |= 1u64 << (id % 64);
+    }
+
+    fn contains(&self, id: NodeId) -> bool {
+        (self.words[id / 64] >> (id % 64)) & 1 == 1
+    }
+
+    fn with(&self, id: NodeId) -> Self {
+        let mut s = self.clone();
+        s.insert(id);
+        s
+    }
+
+    fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| (word >> b) & 1 == 1)
+                .map(move |b| w * 64 + b)
+        })
+    }
+}
+
 /// Result of the partitioning analysis over a query set.
 #[derive(Debug, Clone)]
 pub struct PartitionAnalysis {
@@ -165,54 +205,47 @@ pub fn choose_partitioning_with(
         leafs.clone()
     };
 
-    // The memoized subset search uses a u64 member bitmask. Monitoring
-    // DAGs beyond 64 nodes fall back to a linear pass: cost each seed's
-    // own set plus the all-nodes reconciliation chain, keeping the best.
-    if dag.len() > 64 {
-        let mut chain: Option<PartitionSet> = None;
-        for &id in &constrained {
-            let Some(s) = per_node[id].as_set() else {
-                continue;
-            };
-            considered += 1;
-            let report = cost_of(s);
-            if improves(&report, &best_report) {
-                best_report = report;
-                best_set = s.clone();
-            }
-            chain = Some(match chain {
+    // The all-constrained reconciliation chain is always a candidate:
+    // it is the set satisfying the most nodes simultaneously (when
+    // non-empty), and costing it up front keeps quality when the subset
+    // search below hits its budget on very wide query sets.
+    let chain = constrained
+        .iter()
+        .filter_map(|&id| per_node[id].as_set())
+        .fold(None::<PartitionSet>, |acc, s| {
+            Some(match acc {
                 None => s.clone(),
                 Some(acc) => reconcile_partition_sets(&acc, s),
-            });
+            })
+        });
+    if let Some(chain) = chain.filter(|c| !c.is_empty()) {
+        considered += 1;
+        let report = cost_of(&chain);
+        if improves(&report, &best_report) {
+            best_report = report;
+            best_set = chain;
         }
-        if let Some(chain) = chain.filter(|c| !c.is_empty()) {
-            considered += 1;
-            let report = cost_of(&chain);
-            if improves(&report, &best_report) {
-                best_report = report;
-                best_set = chain;
-            }
-        }
-        return PartitionAnalysis {
-            per_node,
-            recommended: best_set,
-            report: best_report,
-            candidates_considered: considered,
-        };
     }
 
+    // Memoized subset search over candidate member sets. Member sets are
+    // word-array bitsets, so DAGs of any size take the same path (a u64
+    // mask would shift-overflow at 64 nodes). Wide query sets with many
+    // reconcilable leaves grow exponentially many subsets, so expansion
+    // stops once enough candidates were examined — the seeds and the
+    // chain above are always covered.
+    const CANDIDATE_BUDGET: usize = 20_000;
     struct Candidate {
-        members: u64,
+        members: BitSet,
         set: PartitionSet,
     }
     let mut frontier: Vec<Candidate> = Vec::new();
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: HashSet<BitSet> = HashSet::new();
     for &id in &seeds {
         let Some(s) = per_node[id].as_set() else {
             continue;
         };
-        let members = 1u64 << id;
-        if seen.insert(members) {
+        let members = BitSet::single(dag.len(), id);
+        if seen.insert(members.clone()) {
             frontier.push(Candidate {
                 members,
                 set: s.clone(),
@@ -229,17 +262,18 @@ pub fn choose_partitioning_with(
                 best_report = report;
                 best_set = cand.set.clone();
             }
+            if seen.len() >= CANDIDATE_BUDGET {
+                continue;
+            }
             // Expansion (heuristic 2): immediate parents of members, or
             // other leaf query nodes.
             let mut expansions: Vec<NodeId> = Vec::new();
-            for id in 0..dag.len() {
-                if cand.members & (1 << id) != 0 {
-                    expansions.extend(dag.parents(id));
-                }
+            for id in cand.members.iter() {
+                expansions.extend(dag.parents(id));
             }
             expansions.extend(leafs.iter().copied());
             for j in expansions {
-                if cand.members & (1 << j) != 0 {
+                if cand.members.contains(j) {
                     continue;
                 }
                 let Some(sj) = per_node[j].as_set() else {
@@ -252,8 +286,8 @@ pub fn choose_partitioning_with(
                 if merged.is_empty() {
                     continue;
                 }
-                let members = cand.members | (1 << j);
-                if seen.insert(members) {
+                let members = cand.members.with(j);
+                if seen.insert(members.clone()) {
                     next.push(Candidate {
                         members,
                         set: merged,
@@ -446,7 +480,10 @@ mod tests {
     }
 
     #[test]
-    fn huge_dag_falls_back_without_panicking() {
+    fn huge_dag_searches_without_panicking() {
+        // 70 identical aggregations: the subset search runs past the
+        // 64-node mark (the old u64 member mask would overflow) and the
+        // candidate budget keeps the exponential leaf lattice bounded.
         let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
         for i in 0..70 {
             b.add_query(
@@ -459,6 +496,41 @@ mod tests {
         assert!(dag.len() > 64);
         let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
         assert_eq!(analysis.recommended, PartitionSet::from_columns(["srcIP"]));
+    }
+
+    #[test]
+    fn reconciliation_works_above_node_id_64() {
+        // Pad the DAG with unconstrained σ/π views so the two
+        // constrained aggregations land at node ids > 64, then check the
+        // search still reconciles them — with a `1u64 << id` mask this
+        // would shift-overflow (debug) or alias subsets (release).
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        for i in 0..70 {
+            b.add_query(
+                &format!("view{i}"),
+                "SELECT time, srcIP, destIP, len FROM TCP WHERE destPort = 80",
+            )
+            .unwrap();
+        }
+        b.add_query(
+            "tcp_flows",
+            "SELECT tb, srcIP, destIP, srcPort, destPort, COUNT(*) as cnt \
+             FROM TCP GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort",
+        )
+        .unwrap();
+        b.add_query(
+            "flow_cnt",
+            "SELECT tb, srcIP, destIP, COUNT(*) as n FROM tcp_flows GROUP BY tb, srcIP, destIP",
+        )
+        .unwrap();
+        let dag = b.build();
+        let flow_cnt = dag.query_node("flow_cnt").unwrap();
+        assert!(flow_cnt > 64, "flow_cnt must sit above the u64 boundary");
+        let analysis = choose_partitioning(&dag, &UniformStats::default(), &CostModel::default());
+        assert_eq!(
+            analysis.recommended,
+            PartitionSet::from_columns(["srcIP", "destIP"])
+        );
     }
 
     #[test]

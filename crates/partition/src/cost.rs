@@ -101,8 +101,43 @@ impl UniformStats {
 /// Estimated wire size of one tuple of `arity` fields (mirrors
 /// `qap_types::encoded_len` for numeric fields: 2-byte header plus
 /// 1 tag + 8 payload bytes per field).
-pub(crate) fn estimated_tuple_size(arity: usize) -> f64 {
+pub fn estimated_tuple_size(arity: usize) -> f64 {
     2.0 + 9.0 * arity as f64
+}
+
+/// Per-node steady-state rates, independent of any partitioning choice:
+/// the pure ingredient both [`plan_cost`] and external planners (the
+/// e-graph extractor in `qap-planner`) charge network transfers from.
+#[derive(Debug, Clone)]
+pub struct NodeRates {
+    /// Per node: estimated output rate in tuples/sec.
+    pub out_tuples: Vec<f64>,
+    /// Per node: estimated output rate in bytes/sec
+    /// (`out_tuples × out_tuple_size`).
+    pub out_bytes: Vec<f64>,
+}
+
+/// Computes every node's output rate bottom-up from the source rate and
+/// per-node selectivities. Purely a function of `(dag, stats, model)` —
+/// no compatibility or placement information enters.
+pub fn node_rates(dag: &QueryDag, stats: &dyn StatsProvider, model: &CostModel) -> NodeRates {
+    let n = dag.len();
+    let mut out_tuples = vec![0.0f64; n];
+    let mut out_bytes = vec![0.0f64; n];
+    for id in dag.topo_order() {
+        let s = stats.stats(dag, id);
+        let node = dag.node(id);
+        let in_tuples: f64 = match node {
+            LogicalNode::Source { .. } => model.source_rate,
+            _ => node.children().iter().map(|&c| out_tuples[c]).sum(),
+        };
+        out_tuples[id] = in_tuples * s.selectivity;
+        out_bytes[id] = out_tuples[id] * s.out_tuple_size;
+    }
+    NodeRates {
+        out_tuples,
+        out_bytes,
+    }
 }
 
 impl StatsProvider for UniformStats {
@@ -212,21 +247,16 @@ pub fn plan_cost(
     let n = dag.len();
     assert_eq!(compat.len(), n, "compatibility vector must cover the DAG");
 
-    let mut out_tuples = vec![0.0f64; n];
-    let mut out_bytes = vec![0.0f64; n];
+    let rates = node_rates(dag, stats, model);
+    let NodeRates {
+        out_tuples,
+        out_bytes,
+    } = rates;
     let mut compatible = vec![false; n];
     let mut pushed = vec![false; n];
 
     for id in dag.topo_order() {
-        let s = stats.stats(dag, id);
         let node = dag.node(id);
-        let in_tuples: f64 = match node {
-            LogicalNode::Source { .. } => model.source_rate,
-            _ => node.children().iter().map(|&c| out_tuples[c]).sum(),
-        };
-        out_tuples[id] = in_tuples * s.selectivity;
-        out_bytes[id] = out_tuples[id] * s.out_tuple_size;
-
         compatible[id] = compat[id].allows(ps);
         pushed[id] = match node {
             // The splitter partitions raw sources by construction.

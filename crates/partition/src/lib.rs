@@ -35,7 +35,8 @@ pub use compat::{
     AnalysisOptions, Compatibility,
 };
 pub use cost::{
-    plan_cost, CostModel, CostObjective, CostReport, NodeStats, StatsProvider, UniformStats,
+    estimated_tuple_size, node_rates, plan_cost, CostModel, CostObjective, CostReport, NodeRates,
+    NodeStats, StatsProvider, UniformStats,
 };
 pub use hash::{fnv1a_hash, HashPartitioner};
 pub use set::{reconcile_partition_sets, PartitionSet};

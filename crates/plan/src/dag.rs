@@ -27,6 +27,11 @@ pub struct QueryDag {
     parents: Vec<Vec<NodeId>>,
     names: HashMap<String, NodeId>,
     source_ids: HashMap<String, NodeId>,
+    /// Per-node provenance: which node of an *originating* DAG this node
+    /// implements. Physical plans record the logical node each replica,
+    /// sub-aggregate, or central operator realizes; purely synthetic
+    /// nodes (collecting merges, finishing projections) carry `None`.
+    origins: Vec<Option<NodeId>>,
 }
 
 impl QueryDag {
@@ -39,6 +44,7 @@ impl QueryDag {
             parents: Vec::new(),
             names: HashMap::new(),
             source_ids: HashMap::new(),
+            origins: Vec::new(),
         }
     }
 
@@ -95,6 +101,20 @@ impl QueryDag {
     /// when it reads the child on both join ports).
     pub fn parents(&self, id: NodeId) -> Vec<NodeId> {
         self.parents[id].clone()
+    }
+
+    /// Records that node `id` implements node `origin` of the logical
+    /// DAG this plan was lowered from. Stable across [`Clone`], so
+    /// provenance round-trips with the plan.
+    pub fn set_origin(&mut self, id: NodeId, origin: NodeId) {
+        assert!(id < self.nodes.len(), "origin target out of range");
+        self.origins[id] = Some(origin);
+    }
+
+    /// The logical node `id` implements, when recorded (see
+    /// [`QueryDag::set_origin`]).
+    pub fn origin(&self, id: NodeId) -> Option<NodeId> {
+        self.origins[id]
     }
 
     /// Resolves a named query to its node.
@@ -186,6 +206,7 @@ impl QueryDag {
         self.nodes.push(node);
         self.schemas.push(schema);
         self.parents.push(Vec::new());
+        self.origins.push(None);
         id
     }
 
@@ -732,6 +753,18 @@ mod tests {
             having: Some(ScalarExpr::col("orflag").eq(ScalarExpr::lit(0x29u64))),
         });
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn origins_default_none_and_round_trip() {
+        let mut d = dag();
+        let flows = add_flows(&mut d);
+        assert_eq!(d.origin(flows), None);
+        d.set_origin(flows, 3);
+        // Provenance survives cloning (plans carry it end to end).
+        let copy = d.clone();
+        assert_eq!(copy.origin(flows), Some(3));
+        assert_eq!(copy.origin(0), None);
     }
 
     #[test]

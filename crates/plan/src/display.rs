@@ -10,6 +10,13 @@ use crate::{LogicalNode, NodeId, QueryDag};
 /// subtrees (DAG nodes with multiple parents) are expanded once and then
 /// referenced by name.
 pub fn render_dag(dag: &QueryDag) -> String {
+    render_dag_annotated(dag, &|_| None)
+}
+
+/// [`render_dag`] with a per-node annotation callback — plan reports use
+/// it to attach placement/partitioning facts (host, partitioning set of
+/// the incoming edge) to every line.
+pub fn render_dag_annotated(dag: &QueryDag, annotate: &dyn Fn(NodeId) -> Option<String>) -> String {
     let mut out = String::new();
     let names: HashMap<NodeId, &str> = dag
         .named_queries()
@@ -18,7 +25,7 @@ pub fn render_dag(dag: &QueryDag) -> String {
         .collect();
     let mut expanded: Vec<bool> = vec![false; dag.len()];
     for root in dag.roots() {
-        render_node(dag, root, 0, &names, &mut expanded, &mut out);
+        render_node(dag, root, 0, &names, annotate, &mut expanded, &mut out);
     }
     out
 }
@@ -28,6 +35,7 @@ fn render_node(
     id: NodeId,
     depth: usize,
     names: &HashMap<NodeId, &str>,
+    annotate: &dyn Fn(NodeId) -> Option<String>,
     expanded: &mut Vec<bool>,
     out: &mut String,
 ) {
@@ -42,9 +50,12 @@ fn render_node(
     }
     expanded[id] = true;
     let detail = describe(dag, id);
-    let _ = writeln!(out, "{indent}{}{name} {detail}", dag.node(id).label());
+    let note = annotate(id)
+        .map(|a| format!("  -- {a}"))
+        .unwrap_or_default();
+    let _ = writeln!(out, "{indent}{}{name} {detail}{note}", dag.node(id).label());
     for child in dag.node(id).children() {
-        render_node(dag, child, depth + 1, names, expanded, out);
+        render_node(dag, child, depth + 1, names, annotate, expanded, out);
     }
 }
 
@@ -124,6 +135,22 @@ mod tests {
         assert!(rendered.contains("γ [flows]"), "{rendered}");
         assert!(rendered.contains("SOURCE TCP"), "{rendered}");
         assert!(rendered.contains("time / 60 as tb"), "{rendered}");
+    }
+
+    #[test]
+    fn annotated_rendering_attaches_notes() {
+        let mut d = QueryDag::new(Catalog::with_network_schemas());
+        let src = d.add_source("TCP").unwrap();
+        let q = d
+            .add_node(LogicalNode::SelectProject {
+                input: src,
+                predicate: None,
+                projections: vec![NamedExpr::passthrough("srcIP")],
+            })
+            .unwrap();
+        let rendered = render_dag_annotated(&d, &|id| (id == q).then(|| "host 1".to_string()));
+        assert!(rendered.contains("-- host 1"), "{rendered}");
+        assert_eq!(rendered.matches("--").count(), 1, "{rendered}");
     }
 
     #[test]

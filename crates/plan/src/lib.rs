@@ -22,7 +22,7 @@ mod node;
 mod provenance;
 
 pub use dag::{NodeId, QueryDag};
-pub use display::render_dag;
+pub use display::{render_dag, render_dag_annotated};
 pub use error::{PlanError, PlanResult};
 pub use node::{JoinType, LogicalNode, NamedAgg, NamedExpr, TemporalJoin};
 pub use provenance::{source_expr, source_exprs_for_node};

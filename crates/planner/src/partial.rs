@@ -1,0 +1,190 @@
+//! Sub/super decomposition of aggregate lists (Section 5.2.2 /
+//! Figure 5).
+//!
+//! This is the single source of truth for how an aggregate splits into
+//! partial columns: the optimizer's physical lowering emits exactly
+//! these sub/super lists, and the planner's cost extraction charges the
+//! partial-tuple width computed from them.
+
+use qap_expr::{AggCall, AggFunc, FinishOp, ScalarExpr};
+use qap_plan::{NamedAgg, QueryDag};
+
+/// One partial column of a split aggregate.
+#[derive(Debug, Clone)]
+pub struct PartialCol {
+    /// Column name carried between sub and super.
+    pub name: String,
+    /// The sub-aggregate call (runs over raw input values).
+    pub sub: AggCall,
+    /// The super-aggregate call (folds partials centrally).
+    pub sup: AggCall,
+}
+
+/// The decomposition of one named aggregate.
+#[derive(Debug, Clone)]
+pub struct PartialSlot {
+    /// Output name of the original aggregate.
+    pub name: String,
+    /// Partial columns (one, or two for AVG's SUM/COUNT pair).
+    pub partials: Vec<PartialCol>,
+    /// How the finishing projection recombines the partials.
+    pub finish: FinishOp,
+}
+
+/// Splits each aggregate into its partial slots. Built-ins follow
+/// `qap_expr::split_agg` (AVG becomes `{name}__sum` / `{name}__cnt`
+/// recombined by [`FinishOp::DivSumCount`]); splittable UDAFs emit
+/// partial state re-folded in merge mode.
+pub fn split_aggregates(aggregates: &[NamedAgg]) -> Vec<PartialSlot> {
+    aggregates
+        .iter()
+        .map(|a| match &a.call.func {
+            AggFunc::Builtin(kind) => {
+                let spec = qap_expr::split_agg(*kind);
+                let partial = |col: &str, sub: qap_expr::AggKind, sup: qap_expr::AggKind| {
+                    PartialCol {
+                        name: col.to_string(),
+                        sub: AggCall {
+                            func: AggFunc::Builtin(sub),
+                            arg: a.call.arg.clone(),
+                            merge: false,
+                            emit_partial: false,
+                        },
+                        // Built-in supers fold partial columns with a
+                        // rewritten kind whose update equals merge
+                        // (COUNT partials SUM together, etc.).
+                        sup: AggCall::new(sup, ScalarExpr::col(col)),
+                    }
+                };
+                let partials = if spec.sub.len() == 1 {
+                    vec![partial(&a.name, spec.sub[0], spec.sup[0])]
+                } else {
+                    vec![
+                        partial(&format!("{}__sum", a.name), spec.sub[0], spec.sup[0]),
+                        partial(&format!("{}__cnt", a.name), spec.sub[1], spec.sup[1]),
+                    ]
+                };
+                PartialSlot {
+                    name: a.name.clone(),
+                    partials,
+                    finish: spec.finish,
+                }
+            }
+            AggFunc::Udaf(name) => {
+                // A splittable UDAF: the sub runs it over raw values, the
+                // super re-runs it over the partials in merge mode
+                // (callers check splittability before reaching here).
+                let sub = AggCall {
+                    func: a.call.func.clone(),
+                    arg: a.call.arg.clone(),
+                    merge: false,
+                    emit_partial: true,
+                };
+                let sup = AggCall {
+                    func: AggFunc::Udaf(name.clone()),
+                    arg: Some(ScalarExpr::col(a.name.clone())),
+                    merge: true,
+                    emit_partial: false,
+                };
+                PartialSlot {
+                    name: a.name.clone(),
+                    partials: vec![PartialCol {
+                        name: a.name.clone(),
+                        sub,
+                        sup,
+                    }],
+                    finish: FinishOp::First,
+                }
+            }
+        })
+        .collect()
+}
+
+/// The sub-aggregate list (pushed tier) of a slot decomposition.
+pub fn sub_agg_list(slots: &[PartialSlot]) -> Vec<NamedAgg> {
+    slots
+        .iter()
+        .flat_map(|s| {
+            s.partials
+                .iter()
+                .map(|p| NamedAgg::new(p.name.clone(), p.sub.clone()))
+        })
+        .collect()
+}
+
+/// The super-aggregate list (central tier).
+pub fn super_agg_list(slots: &[PartialSlot]) -> Vec<NamedAgg> {
+    slots
+        .iter()
+        .flat_map(|s| {
+            s.partials
+                .iter()
+                .map(|p| NamedAgg::new(p.name.clone(), p.sup.clone()))
+        })
+        .collect()
+}
+
+/// Whether any slot needs a finishing projection (AVG recombination).
+pub fn needs_finish(slots: &[PartialSlot]) -> bool {
+    slots.iter().any(|s| s.finish == FinishOp::DivSumCount)
+}
+
+/// Wire arity of one sub-aggregate output tuple: group columns plus all
+/// partial columns. The extractor charges the collected-partials
+/// transfer at this width.
+pub fn partial_arity(group_by_len: usize, aggregates: &[NamedAgg]) -> usize {
+    let partial_cols: usize = aggregates
+        .iter()
+        .map(|a| match &a.call.func {
+            AggFunc::Builtin(kind) => qap_expr::split_agg(*kind).sub.len(),
+            AggFunc::Udaf(_) => 1,
+        })
+        .sum();
+    group_by_len + partial_cols
+}
+
+/// Whether every aggregate of the list decomposes into sub/super parts
+/// (built-ins always do; UDAFs declare it in the catalog).
+pub fn all_splittable(dag: &QueryDag, aggregates: &[NamedAgg]) -> bool {
+    aggregates.iter().all(|a| match &a.call.func {
+        AggFunc::Builtin(_) => true,
+        AggFunc::Udaf(name) => dag
+            .catalog()
+            .udafs()
+            .get(name)
+            .is_some_and(|u| u.splittable()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qap_expr::AggKind;
+
+    #[test]
+    fn avg_splits_into_sum_and_count() {
+        let aggs = vec![NamedAgg::new(
+            "mean_len",
+            AggCall::new(AggKind::Avg, ScalarExpr::col("len")),
+        )];
+        let slots = split_aggregates(&aggs);
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].partials.len(), 2);
+        assert_eq!(slots[0].partials[0].name, "mean_len__sum");
+        assert_eq!(slots[0].partials[1].name, "mean_len__cnt");
+        assert!(needs_finish(&slots));
+        assert_eq!(sub_agg_list(&slots).len(), 2);
+        assert_eq!(super_agg_list(&slots).len(), 2);
+        // Group-by of 2 + 2 partial columns.
+        assert_eq!(partial_arity(2, &aggs), 4);
+    }
+
+    #[test]
+    fn count_keeps_one_partial() {
+        let aggs = vec![NamedAgg::new("cnt", AggCall::count_star())];
+        let slots = split_aggregates(&aggs);
+        assert_eq!(slots[0].partials.len(), 1);
+        assert!(!needs_finish(&slots));
+        assert_eq!(partial_arity(1, &aggs), 2);
+    }
+}

@@ -1,0 +1,402 @@
+//! The rewrite catalog: Section 5.1–5.4 plan transforms and the
+//! Section 4.1 `Reconcile_Partn_Sets` closure, as e-graph rules over
+//! [`PlanExpr`].
+//!
+//! Every rule matches a *central* realization `Central(op, …)` whose
+//! children admit a `Collect(x)` form, and proposes an equivalent
+//! central term that pushes `op` below the collecting merge:
+//!
+//! ```text
+//! Central(op, Collect(x), …)  ≡  Collect(Lift(op, x, …))      (push)
+//! Central(γ, Collect(x))      ≡  Super(γ, Collect(Sub(γ, x)))  (split)
+//! ```
+//!
+//! Compatibility guards come from the `qap-partition` lattice
+//! ([`Compatibility::allows`]); the rules never union two partitioned
+//! terms, so the term sorts of [`crate::term`] are preserved.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use egg::{EGraph, Id, Match, Rewrite, Template};
+use qap_partition::{reconcile_partition_sets, Compatibility, PartitionSet};
+use qap_plan::{LogicalNode, QueryDag};
+
+use crate::term::{OpId, PlanExpr, SubScope};
+
+/// Rule names double as provenance labels in `--explain` output; keep
+/// the paper cross-references in them.
+pub const RULE_PUSH_SELECT: &str = "sigma-pi-push (Section 5.4)";
+/// Figure 4 compatible aggregation push-down.
+pub const RULE_PUSH_AGG: &str = "compatible-push-down (Figure 4)";
+/// Figure 7 pairwise per-partition join.
+pub const RULE_PAIRWISE_JOIN: &str = "pairwise-join (Figure 7)";
+/// Compatible union push-down (a union of partitioned streams stays
+/// partitioned).
+pub const RULE_PUSH_MERGE: &str = "merge-push-down (Section 5.1)";
+/// Figure 5 sub/super aggregate split.
+pub const RULE_SUB_SUPER: &str = "sub-super-split (Figure 5)";
+/// Section 4.1 partition-set reconciliation.
+pub const RULE_RECONCILE: &str = "reconcile-partn-sets (Section 4.1)";
+
+/// Shared, immutable-during-search context for every rule.
+pub struct RuleCtx<'a> {
+    /// The logical DAG being planned.
+    pub dag: &'a QueryDag,
+    /// Per-node compatibility (indexed by logical node id).
+    pub compat: &'a [Compatibility],
+    /// Per-node: whether all its aggregates split into sub/super parts.
+    pub splittable: &'a [bool],
+    /// Whether the Figure 5 split is enabled.
+    pub partial_aggregation: bool,
+    /// Where sub-aggregates run.
+    pub scope: SubScope,
+    /// The partition-set table `Part::ps` indexes. Grows during
+    /// reconciliation (interior mutability: search is otherwise
+    /// immutable).
+    pub ps_table: RefCell<Vec<PartitionSet>>,
+    /// Central-stream class of every logical node (set at build time;
+    /// read through `EGraph::find` since unions move canonicals).
+    pub central_class: Vec<Id>,
+    /// Logical source node ids (reconciliation seeds new `Part` terms
+    /// for every source).
+    pub sources: Vec<OpId>,
+    /// Cap on the partition-set table (keeps the reconcile closure
+    /// finite on adversarial inputs).
+    pub max_partition_sets: usize,
+}
+
+impl RuleCtx<'_> {
+    /// The partition-set table index a partitioned class is split by,
+    /// resolved structurally: every partitioned term bottoms out in a
+    /// `Part` leaf, and rewrites never union terms with different sets.
+    pub fn ps_of(&self, eg: &EGraph<PlanExpr>, class: Id) -> Option<u32> {
+        let mut seen = HashSet::new();
+        self.ps_of_inner(eg, class, &mut seen)
+    }
+
+    fn ps_of_inner(&self, eg: &EGraph<PlanExpr>, class: Id, seen: &mut HashSet<Id>) -> Option<u32> {
+        let class = eg.find(class);
+        if !seen.insert(class) {
+            return None;
+        }
+        for node in &eg.class(class).nodes {
+            match node {
+                PlanExpr::Part { ps, .. } => return Some(*ps),
+                PlanExpr::Lift { children, .. } => {
+                    if let Some(ps) = self.ps_of_inner(eg, children[0], seen) {
+                        return Some(ps);
+                    }
+                }
+                PlanExpr::Sub { child, .. } => {
+                    if let Some(ps) = self.ps_of_inner(eg, child[0], seen) {
+                        return Some(ps);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Whether logical node `op` tolerates partition-set table entry
+    /// `ps` (the compat-lattice rewrite guard).
+    pub fn allows(&self, op: OpId, ps: u32) -> bool {
+        let table = self.ps_table.borrow();
+        self.compat[op as usize].allows(&table[ps as usize])
+    }
+}
+
+/// The partitioned realizations (`x` of `Collect(x)`) available in a
+/// central-stream class, with their partition-set index.
+fn collected_children(ctx: &RuleCtx<'_>, eg: &EGraph<PlanExpr>, class: Id) -> Vec<(Id, u32)> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for node in &eg.class(eg.find(class)).nodes {
+        if let PlanExpr::Collect { child } = node {
+            let x = eg.find(child[0]);
+            if !seen.insert(x) {
+                continue;
+            }
+            if let Some(ps) = ctx.ps_of(eg, x) {
+                out.push((x, ps));
+            }
+        }
+    }
+    out
+}
+
+/// Matches `Central(op, …)` nodes of one logical kind, handing each to
+/// `f` along with its canonical class.
+fn for_each_central<F>(eg: &EGraph<PlanExpr>, mut f: F)
+where
+    F: FnMut(Id, OpId, &[Id]),
+{
+    for class in eg.classes() {
+        for node in &class.nodes {
+            if let PlanExpr::Central { op, children } = node {
+                f(class.id, *op, children);
+            }
+        }
+    }
+}
+
+/// σ/π push-down (Section 5.4): selections and projections are
+/// compatible with any partitioning, so they always admit a per-
+/// partition replica below the merge.
+pub struct PushSelect<'a>(pub &'a RuleCtx<'a>);
+
+impl Rewrite<PlanExpr> for PushSelect<'_> {
+    fn name(&self) -> &'static str {
+        RULE_PUSH_SELECT
+    }
+
+    fn search(&self, eg: &EGraph<PlanExpr>) -> Vec<Match<PlanExpr>> {
+        let ctx = self.0;
+        let mut out = Vec::new();
+        for_each_central(eg, |class, op, children| {
+            if !matches!(ctx.dag.node(op as usize), LogicalNode::SelectProject { .. }) {
+                return;
+            }
+            for (x, _ps) in collected_children(ctx, eg, children[0]) {
+                let mut t = Template::new();
+                let xi = t.class(x);
+                let l = t.node(PlanExpr::Lift {
+                    op,
+                    children: vec![xi],
+                });
+                t.node(PlanExpr::Collect { child: [l] });
+                out.push(Match { class, template: t });
+            }
+        });
+        out
+    }
+}
+
+/// Figure 4: an aggregation compatible with the deployed set runs
+/// complete per partition, below the collecting merge.
+pub struct PushAggregate<'a>(pub &'a RuleCtx<'a>);
+
+impl Rewrite<PlanExpr> for PushAggregate<'_> {
+    fn name(&self) -> &'static str {
+        RULE_PUSH_AGG
+    }
+
+    fn search(&self, eg: &EGraph<PlanExpr>) -> Vec<Match<PlanExpr>> {
+        let ctx = self.0;
+        let mut out = Vec::new();
+        for_each_central(eg, |class, op, children| {
+            if !matches!(ctx.dag.node(op as usize), LogicalNode::Aggregate { .. }) {
+                return;
+            }
+            for (x, ps) in collected_children(ctx, eg, children[0]) {
+                if !ctx.allows(op, ps) {
+                    continue;
+                }
+                let mut t = Template::new();
+                let xi = t.class(x);
+                let l = t.node(PlanExpr::Lift {
+                    op,
+                    children: vec![xi],
+                });
+                t.node(PlanExpr::Collect { child: [l] });
+                out.push(Match { class, template: t });
+            }
+        });
+        out
+    }
+}
+
+/// Figure 5: an aggregation whose aggregates all split runs partial
+/// sub-aggregates per partition (or per host) and a central super-
+/// aggregate over the collected partials. No compatibility guard: the
+/// split is always sound; extraction decides whether it beats
+/// centralization or a full push.
+pub struct SubSuperSplit<'a>(pub &'a RuleCtx<'a>);
+
+impl Rewrite<PlanExpr> for SubSuperSplit<'_> {
+    fn name(&self) -> &'static str {
+        RULE_SUB_SUPER
+    }
+
+    fn search(&self, eg: &EGraph<PlanExpr>) -> Vec<Match<PlanExpr>> {
+        let ctx = self.0;
+        if !ctx.partial_aggregation {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for_each_central(eg, |class, op, children| {
+            if !matches!(ctx.dag.node(op as usize), LogicalNode::Aggregate { .. })
+                || !ctx.splittable[op as usize]
+            {
+                return;
+            }
+            for (x, _ps) in collected_children(ctx, eg, children[0]) {
+                let mut t = Template::new();
+                let xi = t.class(x);
+                let sub = t.node(PlanExpr::Sub {
+                    op,
+                    scope: ctx.scope,
+                    child: [xi],
+                });
+                let coll = t.node(PlanExpr::Collect { child: [sub] });
+                t.node(PlanExpr::Super { op, child: [coll] });
+                out.push(Match { class, template: t });
+            }
+        });
+        out
+    }
+}
+
+/// Figure 7: a join whose key set tolerates the deployed partitioning
+/// runs pairwise per partition — partition `i` of the left joins
+/// partition `i` of the right, both split by the *same* set.
+pub struct PairwiseJoin<'a>(pub &'a RuleCtx<'a>);
+
+impl Rewrite<PlanExpr> for PairwiseJoin<'_> {
+    fn name(&self) -> &'static str {
+        RULE_PAIRWISE_JOIN
+    }
+
+    fn search(&self, eg: &EGraph<PlanExpr>) -> Vec<Match<PlanExpr>> {
+        let ctx = self.0;
+        let mut out = Vec::new();
+        for_each_central(eg, |class, op, children| {
+            if !matches!(ctx.dag.node(op as usize), LogicalNode::Join { .. }) {
+                return;
+            }
+            let ls = collected_children(ctx, eg, children[0]);
+            let rs = collected_children(ctx, eg, children[1]);
+            for &(lx, lps) in &ls {
+                for &(rx, rps) in &rs {
+                    if lps != rps || !ctx.allows(op, lps) {
+                        continue;
+                    }
+                    let mut t = Template::new();
+                    let li = t.class(lx);
+                    let ri = t.class(rx);
+                    let l = t.node(PlanExpr::Lift {
+                        op,
+                        children: vec![li, ri],
+                    });
+                    t.node(PlanExpr::Collect { child: [l] });
+                    out.push(Match { class, template: t });
+                }
+            }
+        });
+        out
+    }
+}
+
+/// Union push-down: a merge whose inputs are all partitioned by the
+/// same set merges partition-wise and stays partitioned.
+pub struct PushMerge<'a>(pub &'a RuleCtx<'a>);
+
+impl Rewrite<PlanExpr> for PushMerge<'_> {
+    fn name(&self) -> &'static str {
+        RULE_PUSH_MERGE
+    }
+
+    fn search(&self, eg: &EGraph<PlanExpr>) -> Vec<Match<PlanExpr>> {
+        let ctx = self.0;
+        let mut out = Vec::new();
+        for_each_central(eg, |class, op, children| {
+            if !matches!(ctx.dag.node(op as usize), LogicalNode::Merge { .. }) {
+                return;
+            }
+            let Some(first) = children.first() else {
+                return;
+            };
+            // Candidate sets come from the first input; every other
+            // input must offer a partitioned realization under the same
+            // set.
+            for (x0, ps) in collected_children(ctx, eg, *first) {
+                let mut picks = vec![x0];
+                let mut ok = true;
+                for &c in &children[1..] {
+                    match collected_children(ctx, eg, c)
+                        .into_iter()
+                        .find(|&(_, p)| p == ps)
+                    {
+                        Some((x, _)) => picks.push(x),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let mut t = Template::new();
+                let idx: Vec<Id> = picks.iter().map(|&x| t.class(x)).collect();
+                let l = t.node(PlanExpr::Lift { op, children: idx });
+                t.node(PlanExpr::Collect { child: [l] });
+                out.push(Match { class, template: t });
+            }
+        });
+        out
+    }
+}
+
+/// `Reconcile_Partn_Sets` (Section 4.1) as a rewrite: whenever two
+/// distinct partition sets are live in the graph, their reconciliation
+/// (when non-empty and novel) becomes a new way to split every source —
+/// `Collect(Part(src, r)) ≡ central stream of src`. The closure of this
+/// rule enumerates exactly the candidate sets `Choose_Partitioning`
+/// considers.
+pub struct ReconcileSets<'a>(pub &'a RuleCtx<'a>);
+
+impl Rewrite<PlanExpr> for ReconcileSets<'_> {
+    fn name(&self) -> &'static str {
+        RULE_RECONCILE
+    }
+
+    fn search(&self, eg: &EGraph<PlanExpr>) -> Vec<Match<PlanExpr>> {
+        let ctx = self.0;
+        // Live sets: those some Part term actually uses.
+        let mut live: BTreeSet<u32> = BTreeSet::new();
+        for class in eg.classes() {
+            for node in &class.nodes {
+                if let PlanExpr::Part { ps, .. } = node {
+                    live.insert(*ps);
+                }
+            }
+        }
+        // New sets from pairwise reconciliation, deduped against the
+        // table by value.
+        let mut fresh: BTreeMap<u32, PartitionSet> = BTreeMap::new();
+        {
+            let mut table = ctx.ps_table.borrow_mut();
+            let live: Vec<u32> = live.iter().copied().collect();
+            for (i, &a) in live.iter().enumerate() {
+                for &b in &live[i + 1..] {
+                    if table.len() >= ctx.max_partition_sets {
+                        break;
+                    }
+                    let r = reconcile_partition_sets(&table[a as usize], &table[b as usize]);
+                    if r.is_empty() || table.contains(&r) {
+                        continue;
+                    }
+                    let idx = table.len() as u32;
+                    table.push(r.clone());
+                    fresh.insert(idx, r);
+                }
+            }
+        }
+        // Every fresh set splits every source.
+        let mut out = Vec::new();
+        for &idx in fresh.keys() {
+            for &src in &ctx.sources {
+                let mut t = Template::new();
+                let p = t.node(PlanExpr::Part { op: src, ps: idx });
+                t.node(PlanExpr::Collect { child: [p] });
+                out.push(Match {
+                    class: eg.find(ctx.central_class[src as usize]),
+                    template: t,
+                });
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,258 @@
+//! Backend equivalence: the e-graph planner must be a drop-in
+//! replacement for the legacy rewriters.
+//!
+//! Two properties, per Section 6 scenario and deployment:
+//!
+//! 1. **Bit-identical results** — both backends' plans, executed through
+//!    the simulated *and* the threaded runner, produce exactly the same
+//!    rows for every root query (order-insensitive).
+//! 2. **Never worse** — the e-graph plan's predicted network cost is at
+//!    most the legacy plan's (extraction picks the cheapest realization;
+//!    the rewriters are one realization).
+//!
+//! Plus a property test: random valid query DAGs never panic the
+//! planner, and every extracted plan is accepted by the executor.
+
+use proptest::prelude::*;
+use qap::prelude::*;
+
+fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            let ord = x.total_cmp(y);
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+fn sorted_outputs(outputs: &[(String, Vec<Tuple>)]) -> Vec<(String, Vec<Tuple>)> {
+    let mut out: Vec<(String, Vec<Tuple>)> = outputs
+        .iter()
+        .map(|(n, rows)| (n.clone(), sorted(rows.clone())))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn with_backend(cfg: &OptimizerConfig, backend: PlannerBackend) -> OptimizerConfig {
+    OptimizerConfig { backend, ..*cfg }
+}
+
+#[test]
+fn section_6_deployments_agree_bit_identically_and_egraph_never_costs_more() {
+    let cases: &[(Scenario, &str)] = &[
+        (Scenario::SimpleAgg, "Partitioned"),
+        (Scenario::SimpleAgg, "Naive"),
+        (Scenario::QuerySet, "Partitioned (optimal)"),
+        (Scenario::QuerySet, "Partitioned (suboptimal)"),
+        (Scenario::Complex, "Partitioned (full)"),
+        (Scenario::Complex, "Partitioned (partial)"),
+    ];
+    let stats = UniformStats::default();
+    let model = CostModel::default();
+    let trace = generate(&TraceConfig::tiny(4242));
+    let sim = SimConfig::default();
+
+    for &(scenario, config) in cases {
+        let dag = scenario.dag();
+        for hosts in 2..=4usize {
+            let (partitioning, base_cfg) = scenario.deployment(config, hosts);
+            let egraph_plan = optimize(
+                &dag,
+                &partitioning,
+                &with_backend(&base_cfg, PlannerBackend::EGraph),
+            )
+            .unwrap();
+            let legacy_plan = optimize(
+                &dag,
+                &partitioning,
+                &with_backend(&base_cfg, PlannerBackend::Legacy),
+            )
+            .unwrap();
+
+            // Never worse: extraction minimizes the same network charge
+            // the rewriters implicitly paid.
+            let egraph_cost: f64 = predict_host_load_for_plan(&egraph_plan, &dag, &stats, &model)
+                .iter()
+                .sum();
+            let legacy_cost: f64 = predict_host_load_for_plan(&legacy_plan, &dag, &stats, &model)
+                .iter()
+                .sum();
+            assert!(
+                egraph_cost <= legacy_cost + 1e-6,
+                "{} / {config} / {hosts} hosts: egraph {egraph_cost} > legacy {legacy_cost}",
+                scenario.name()
+            );
+
+            // Bit-identical results through both runners.
+            let eg_sim = run_distributed(&egraph_plan, &trace, &sim).unwrap();
+            let lg_sim = run_distributed(&legacy_plan, &trace, &sim).unwrap();
+            assert_eq!(
+                sorted_outputs(&eg_sim.outputs),
+                sorted_outputs(&lg_sim.outputs),
+                "{} / {config} / {hosts} hosts diverged (simulated)",
+                scenario.name()
+            );
+            let eg_thr = run_distributed_threaded(&egraph_plan, &trace, &sim).unwrap();
+            let lg_thr = run_distributed_threaded(&legacy_plan, &trace, &sim).unwrap();
+            assert_eq!(
+                sorted_outputs(&eg_thr.outputs),
+                sorted_outputs(&lg_thr.outputs),
+                "{} / {config} / {hosts} hosts diverged (threaded)",
+                scenario.name()
+            );
+            assert_eq!(
+                sorted_outputs(&eg_sim.outputs),
+                sorted_outputs(&eg_thr.outputs),
+                "{} / {config} / {hosts} hosts: runners diverged",
+                scenario.name()
+            );
+        }
+    }
+}
+
+/// One random pipeline layer: aggregate (with a column subset and an
+/// aggregate kind) or select (with a predicate choice).
+#[derive(Debug, Clone, Copy)]
+struct Layer {
+    is_agg: bool,
+    bits: u8,
+    kind: u8,
+}
+
+/// Builds a random-but-valid GSQL pipeline over TCP: a chain of
+/// aggregates and selections whose column sets stay consistent by
+/// construction.
+fn build_random(layers: &[Layer]) -> QueryDag {
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    let mut prev = "TCP".to_string();
+    // Groupable columns and the numeric column feeding SUM/MAX/AVG.
+    let mut cols: Vec<String> = ["srcIP", "destIP", "srcPort"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut val = "len".to_string();
+    let mut has_tb = false;
+    for (i, layer) in layers.iter().enumerate() {
+        let name = format!("q{i}");
+        let sql = if layer.is_agg {
+            let mut subset: Vec<String> = cols
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| layer.bits & (1 << j) != 0)
+                .map(|(_, c)| c.clone())
+                .collect();
+            if subset.is_empty() {
+                subset.push(cols[0].clone());
+            }
+            let tb_expr = if has_tb { "tb" } else { "time/60 as tb" };
+            let agg = match layer.kind % 4 {
+                0 => "COUNT(*) as v".to_string(),
+                1 => format!("SUM({val}) as v"),
+                2 => format!("MAX({val}) as v"),
+                _ => format!("AVG({val}) as v"),
+            };
+            let group_cols = subset.join(", ");
+            let sql = format!(
+                "SELECT tb, {group_cols}, {agg} FROM {prev} GROUP BY {tb_expr}, {group_cols}"
+            );
+            cols = subset;
+            val = "v".to_string();
+            has_tb = true;
+            sql
+        } else {
+            let pred_col = &cols[(layer.bits as usize) % cols.len()];
+            let pred = match layer.kind % 3 {
+                0 => format!("{val} > 0"),
+                1 => format!("{pred_col} > 1000"),
+                _ => format!("{val} > 2"),
+            };
+            let mut projected: Vec<String> = Vec::new();
+            if has_tb {
+                projected.push("tb".to_string());
+            } else {
+                projected.push("time".to_string());
+            }
+            projected.extend(cols.iter().cloned());
+            projected.push(val.clone());
+            format!("SELECT {} FROM {prev} WHERE {pred}", projected.join(", "))
+        };
+        b.add_query(&name, &sql).unwrap();
+        prev = name;
+    }
+    b.build()
+}
+
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    (any::<bool>(), 0u8..=255, 0u8..=255).prop_map(|(is_agg, bits, kind)| Layer {
+        is_agg,
+        bits,
+        kind,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random valid DAGs never panic the planner, extraction always
+    /// yields a plan the executor accepts, and both backends stay
+    /// result-equivalent on whatever the generator produced.
+    #[test]
+    fn random_dags_plan_and_execute(
+        layers in proptest::collection::vec(arb_layer(), 1..4),
+        set_bits in 0u8..8,
+        partial in any::<bool>(),
+        agnostic in any::<bool>(),
+    ) {
+        let dag = build_random(&layers);
+
+        let all_cols = ["srcIP", "destIP", "srcPort"];
+        let set_cols: Vec<&str> = all_cols
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| set_bits & (1 << j) != 0)
+            .map(|(_, c)| *c)
+            .collect();
+        let set = PartitionSet::from_columns(set_cols.iter().copied());
+        let partitioning = if set.is_empty() {
+            Partitioning::round_robin(2)
+        } else {
+            Partitioning::hash(set.clone(), 2)
+        };
+
+        // The planner itself never panics and never fails on a valid DAG.
+        let outcome = qap::planner::plan(&qap::planner::PlannerInput {
+            dag: &dag,
+            deployed: &set,
+            agnostic,
+            partial_aggregation: partial,
+            scope: qap::planner::SubScope::PerPartition,
+            analysis: AnalysisOptions::default(),
+        });
+        prop_assert!(outcome.is_ok(), "planner failed: {:?}", outcome.err());
+        prop_assert!(outcome.unwrap().extracted_net.is_finite());
+
+        // Every extracted plan is executor-accepted, on both backends,
+        // with identical results.
+        let trace = generate(&TraceConfig::tiny(7));
+        let mut results = Vec::new();
+        for backend in [PlannerBackend::EGraph, PlannerBackend::Legacy] {
+            let cfg = OptimizerConfig {
+                agnostic,
+                partial_aggregation: partial,
+                backend,
+                ..OptimizerConfig::naive()
+            };
+            let plan = optimize(&dag, &partitioning, &cfg);
+            prop_assert!(plan.is_ok(), "lowering failed: {:?}", plan.err());
+            let run = run_distributed(&plan.unwrap(), &trace, &SimConfig::default());
+            prop_assert!(run.is_ok(), "execution rejected the plan: {:?}", run.err());
+            results.push(sorted_outputs(&run.unwrap().outputs));
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+    }
+}

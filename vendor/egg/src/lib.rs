@@ -1,0 +1,764 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `egg` e-graph library.
+//!
+//! Carries exactly the surface the workspace uses (see DESIGN.md
+//! "Dependency policy"): a [`Language`] trait, an [`EGraph`] with
+//! hash-consing, union-find, and congruence-closure [`EGraph::rebuild`],
+//! dynamic [`Rewrite`] rules applied by a [`Runner`], and a cost-based
+//! [`Extractor`]. Unlike upstream egg there is no pattern DSL — rules
+//! search the e-graph programmatically and describe their replacement
+//! term as a [`Template`] — and no e-class analyses.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// An e-class id (also used as a node index inside [`RecExpr`] and
+/// [`Template`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Id(u32);
+
+impl From<usize> for Id {
+    fn from(v: usize) -> Self {
+        Id(v as u32)
+    }
+}
+
+impl From<Id> for usize {
+    fn from(id: Id) -> usize {
+        id.0 as usize
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A term language over e-class ids. Implementations are plain enums
+/// whose variants expose their child ids as a slice.
+pub trait Language: fmt::Debug + Clone + Eq + Hash {
+    /// Child e-class ids, in argument order.
+    fn children(&self) -> &[Id];
+    /// Mutable child ids (used for canonicalization).
+    fn children_mut(&mut self) -> &mut [Id];
+}
+
+/// A term as a flat post-order node array: children of node `i` are
+/// indices `< i`; the last node is the root.
+#[derive(Debug, Clone)]
+pub struct RecExpr<L> {
+    nodes: Vec<L>,
+}
+
+impl<L> Default for RecExpr<L> {
+    fn default() -> Self {
+        RecExpr { nodes: Vec::new() }
+    }
+}
+
+impl<L: Language> RecExpr<L> {
+    /// Appends a node whose children index earlier nodes; returns its
+    /// index.
+    pub fn add(&mut self, node: L) -> Id {
+        debug_assert!(
+            node.children()
+                .iter()
+                .all(|&c| usize::from(c) < self.nodes.len()),
+            "RecExpr children must be added before parents"
+        );
+        self.nodes.push(node);
+        Id::from(self.nodes.len() - 1)
+    }
+
+    /// The root node index (the last added node).
+    pub fn root(&self) -> Id {
+        assert!(!self.nodes.is_empty(), "empty RecExpr has no root");
+        Id::from(self.nodes.len() - 1)
+    }
+
+    /// The node array.
+    #[allow(clippy::should_implement_trait)]
+    pub fn as_ref(&self) -> &[L] {
+        &self.nodes
+    }
+
+    /// Whether no nodes were added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node by index.
+    pub fn node(&self, id: Id) -> &L {
+        &self.nodes[usize::from(id)]
+    }
+}
+
+/// One equivalence class of e-nodes.
+#[derive(Debug, Clone)]
+pub struct EClass<L> {
+    /// Canonical id of the class.
+    pub id: Id,
+    /// The e-nodes in the class (children canonical as of the last
+    /// [`EGraph::rebuild`]).
+    pub nodes: Vec<L>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct UnionFind {
+    parents: Vec<u32>,
+}
+
+impl UnionFind {
+    fn make_set(&mut self) -> Id {
+        let id = self.parents.len() as u32;
+        self.parents.push(id);
+        Id(id)
+    }
+
+    fn find(&self, mut id: Id) -> Id {
+        while self.parents[id.0 as usize] != id.0 {
+            id = Id(self.parents[id.0 as usize]);
+        }
+        id
+    }
+
+    fn find_mut(&mut self, id: Id) -> Id {
+        let root = self.find(id);
+        // Path compression.
+        let mut cur = id.0;
+        while self.parents[cur as usize] != root.0 {
+            let next = self.parents[cur as usize];
+            self.parents[cur as usize] = root.0;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges `b` into `a`'s root; returns the surviving root.
+    fn union(&mut self, a: Id, b: Id) -> Id {
+        let a = self.find_mut(a);
+        let b = self.find_mut(b);
+        self.parents[b.0 as usize] = a.0;
+        a
+    }
+}
+
+/// An e-graph: a set of terms factored into equivalence classes with
+/// maximal sharing.
+#[derive(Debug, Clone, Default)]
+pub struct EGraph<L: Language> {
+    uf: UnionFind,
+    /// Hash-cons: canonical e-node → class id (possibly stale until
+    /// [`EGraph::rebuild`]; reads go through `find`).
+    memo: HashMap<L, Id>,
+    classes: HashMap<Id, EClass<L>>,
+    /// Which named rewrite introduced an e-node (for plan explanation).
+    reasons: HashMap<L, &'static str>,
+}
+
+impl<L: Language> EGraph<L> {
+    /// An empty e-graph.
+    pub fn new() -> Self {
+        EGraph {
+            uf: UnionFind::default(),
+            memo: HashMap::new(),
+            classes: HashMap::new(),
+            reasons: HashMap::new(),
+        }
+    }
+
+    /// Canonical id of `id`'s class.
+    pub fn find(&self, id: Id) -> Id {
+        self.uf.find(id)
+    }
+
+    fn canonicalize(&self, node: &mut L) {
+        for c in node.children_mut() {
+            *c = self.uf.find(*c);
+        }
+    }
+
+    /// Adds an e-node, returning its class (hash-consed: re-adding an
+    /// existing node returns the existing class).
+    pub fn add(&mut self, mut node: L) -> Id {
+        self.canonicalize(&mut node);
+        if let Some(&id) = self.memo.get(&node) {
+            return self.uf.find_mut(id);
+        }
+        let id = self.uf.make_set();
+        self.classes.insert(
+            id,
+            EClass {
+                id,
+                nodes: vec![node.clone()],
+            },
+        );
+        self.memo.insert(node, id);
+        id
+    }
+
+    /// Adds every node of a [`RecExpr`], returning the root's class.
+    pub fn add_expr(&mut self, expr: &RecExpr<L>) -> Id {
+        let mut map: Vec<Id> = Vec::with_capacity(expr.as_ref().len());
+        for node in expr.as_ref() {
+            let mut n = node.clone();
+            for c in n.children_mut() {
+                *c = map[usize::from(*c)];
+            }
+            map.push(self.add(n));
+        }
+        *map.last().expect("non-empty expr")
+    }
+
+    /// Looks up the class of an e-node without inserting.
+    pub fn lookup(&self, mut node: L) -> Option<Id> {
+        self.canonicalize(&mut node);
+        self.memo.get(&node).map(|&id| self.uf.find(id))
+    }
+
+    /// Asserts `a ≡ b`. Returns whether the classes were distinct.
+    /// Callers must [`EGraph::rebuild`] before relying on congruence.
+    pub fn union(&mut self, a: Id, b: Id) -> bool {
+        let a = self.uf.find_mut(a);
+        let b = self.uf.find_mut(b);
+        if a == b {
+            return false;
+        }
+        let root = self.uf.union(a, b);
+        let other = if root == a { b } else { a };
+        let merged = self.classes.remove(&other).expect("class exists");
+        let keep = self.classes.get_mut(&root).expect("class exists");
+        keep.nodes.extend(merged.nodes);
+        true
+    }
+
+    /// Restores the e-graph invariants after unions: re-canonicalizes
+    /// the hash-cons (union-ing congruent classes to a fixpoint) and
+    /// regroups class node lists. Returns the number of congruence
+    /// unions performed.
+    pub fn rebuild(&mut self) -> usize {
+        let mut total = 0;
+        loop {
+            let old: Vec<(L, Id)> = self.memo.drain().collect();
+            let mut unions = 0;
+            for (mut node, id) in old {
+                let reason = self.reasons.remove(&node);
+                self.canonicalize(&mut node);
+                let id = self.uf.find_mut(id);
+                if let Some(r) = reason {
+                    self.reasons.entry(node.clone()).or_insert(r);
+                }
+                match self.memo.entry(node) {
+                    Entry::Occupied(e) => {
+                        // Congruent: same canonical node in two classes.
+                        let other = *e.get();
+                        if self.uf.find(other) != id {
+                            self.uf.union(other, id);
+                            unions += 1;
+                        }
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(id);
+                    }
+                }
+            }
+            total += unions;
+            if unions == 0 {
+                break;
+            }
+        }
+        // Regroup classes from the canonical memo.
+        let mut classes: HashMap<Id, EClass<L>> = HashMap::new();
+        for (node, id) in &self.memo {
+            let id = self.uf.find(*id);
+            classes
+                .entry(id)
+                .or_insert_with(|| EClass {
+                    id,
+                    nodes: Vec::new(),
+                })
+                .nodes
+                .push(node.clone());
+        }
+        self.classes = classes;
+        total
+    }
+
+    /// Iterates the classes (canonical as of the last rebuild).
+    pub fn classes(&self) -> impl Iterator<Item = &EClass<L>> {
+        self.classes.values()
+    }
+
+    /// Class by canonical id.
+    pub fn class(&self, id: Id) -> &EClass<L> {
+        &self.classes[&self.uf.find(id)]
+    }
+
+    /// Number of distinct e-nodes.
+    pub fn total_nodes(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Number of e-classes.
+    pub fn number_of_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Records which rewrite introduced `node` (first writer wins, so
+    /// original terms keep no reason).
+    pub fn set_reason(&mut self, mut node: L, rule: &'static str) {
+        self.canonicalize(&mut node);
+        self.reasons.entry(node).or_insert(rule);
+    }
+
+    /// The rewrite that introduced `node`, if any.
+    pub fn reason(&self, mut node: L) -> Option<&'static str> {
+        self.canonicalize(&mut node);
+        self.reasons.get(&node).copied()
+    }
+}
+
+/// One node of a [`Template`]: a reference to an existing class, or a
+/// new e-node whose children are template-local indices.
+#[derive(Debug, Clone)]
+pub enum TemplateNode<L> {
+    /// An existing e-class.
+    Class(Id),
+    /// A new node; its child `Id`s index the template's node list.
+    Node(L),
+}
+
+/// The replacement term of a rewrite: a small expression whose leaves
+/// may reference existing e-classes. The last node is the root.
+#[derive(Debug, Clone)]
+pub struct Template<L> {
+    nodes: Vec<TemplateNode<L>>,
+}
+
+impl<L> Default for Template<L> {
+    fn default() -> Self {
+        Template { nodes: Vec::new() }
+    }
+}
+
+impl<L: Language> Template<L> {
+    /// An empty template.
+    pub fn new() -> Self {
+        Template { nodes: Vec::new() }
+    }
+
+    /// References an existing e-class; returns the template index.
+    pub fn class(&mut self, id: Id) -> Id {
+        self.nodes.push(TemplateNode::Class(id));
+        Id::from(self.nodes.len() - 1)
+    }
+
+    /// Adds a new node (children are template indices); returns its
+    /// template index.
+    pub fn node(&mut self, node: L) -> Id {
+        debug_assert!(
+            node.children()
+                .iter()
+                .all(|&c| usize::from(c) < self.nodes.len()),
+            "template children must be added before parents"
+        );
+        self.nodes.push(TemplateNode::Node(node));
+        Id::from(self.nodes.len() - 1)
+    }
+
+    /// Instantiates the template into the e-graph, returning the root
+    /// class and the root e-node (canonicalized).
+    pub fn instantiate(&self, egraph: &mut EGraph<L>) -> (Id, L) {
+        let mut map: Vec<Id> = Vec::with_capacity(self.nodes.len());
+        let mut root_node: Option<L> = None;
+        for tn in &self.nodes {
+            let id = match tn {
+                TemplateNode::Class(c) => egraph.find(*c),
+                TemplateNode::Node(n) => {
+                    let mut n = n.clone();
+                    for c in n.children_mut() {
+                        *c = map[usize::from(*c)];
+                    }
+                    root_node = Some(n.clone());
+                    egraph.add(n)
+                }
+            };
+            map.push(id);
+        }
+        let root = *map.last().expect("non-empty template");
+        (root, root_node.expect("template root must be a new node"))
+    }
+}
+
+/// A match found by a rewrite: union `class` with the instantiated
+/// `template`.
+#[derive(Debug, Clone)]
+pub struct Match<L> {
+    /// The existing class the replacement is equal to.
+    pub class: Id,
+    /// The replacement term.
+    pub template: Template<L>,
+}
+
+/// A rewrite rule: a named searcher producing replacement templates.
+/// Search runs over an immutable e-graph; the [`Runner`] applies all
+/// matches afterwards (two-phase, so rules never observe their own
+/// partial effects within an iteration).
+pub trait Rewrite<L: Language> {
+    /// Rule name (recorded as the introduction reason of new e-nodes).
+    fn name(&self) -> &'static str;
+    /// All matches in the current e-graph.
+    fn search(&self, egraph: &EGraph<L>) -> Vec<Match<L>>;
+}
+
+/// Outcome of a [`Runner`] saturation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether a fixpoint was reached (no rule produced new facts).
+    pub saturated: bool,
+    /// Total unions performed (including congruence unions).
+    pub unions: usize,
+}
+
+/// Applies rewrites to a fixpoint (or until the iteration/node limit).
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    /// Maximum iterations.
+    pub iter_limit: usize,
+    /// Stop growing past this many e-nodes.
+    pub node_limit: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner {
+            iter_limit: 64,
+            node_limit: 100_000,
+        }
+    }
+}
+
+impl Runner {
+    /// Runs `rules` on `egraph` until saturation or a limit.
+    pub fn run<L: Language>(&self, egraph: &mut EGraph<L>, rules: &[&dyn Rewrite<L>]) -> RunReport {
+        let mut report = RunReport {
+            iterations: 0,
+            saturated: false,
+            unions: 0,
+        };
+        while report.iterations < self.iter_limit {
+            report.iterations += 1;
+            let nodes_before = egraph.total_nodes();
+            let mut matches: Vec<(&'static str, Match<L>)> = Vec::new();
+            for rule in rules {
+                for m in rule.search(egraph) {
+                    matches.push((rule.name(), m));
+                }
+            }
+            let mut unions = 0;
+            for (name, m) in matches {
+                let (root, root_node) = m.template.instantiate(egraph);
+                egraph.set_reason(root_node, name);
+                if egraph.union(m.class, root) {
+                    unions += 1;
+                }
+            }
+            unions += egraph.rebuild();
+            report.unions += unions;
+            let grew = egraph.total_nodes() > nodes_before;
+            if unions == 0 && !grew {
+                report.saturated = true;
+                break;
+            }
+            if egraph.total_nodes() > self.node_limit {
+                break;
+            }
+        }
+        report
+    }
+}
+
+/// A per-e-node cost function driving extraction. `Cost` needs only a
+/// partial order; incomparable or infinite costs mark infeasible terms.
+pub trait CostFunction<L: Language> {
+    /// The cost domain.
+    type Cost: PartialOrd + Clone + fmt::Debug;
+    /// Cost of `enode` given the best cost of each child class.
+    fn cost(&mut self, enode: &L, costs: &mut dyn FnMut(Id) -> Self::Cost) -> Self::Cost;
+}
+
+/// Extracts the cheapest represented term per class under a
+/// [`CostFunction`], by fixpoint over the class graph.
+pub struct Extractor<'a, L: Language, CF: CostFunction<L>> {
+    egraph: &'a EGraph<L>,
+    costfn: CF,
+    costs: HashMap<Id, (CF::Cost, L)>,
+}
+
+impl<'a, L: Language, CF: CostFunction<L>> Extractor<'a, L, CF> {
+    /// Computes best costs for every class (call after
+    /// [`EGraph::rebuild`]).
+    pub fn new(egraph: &'a EGraph<L>, costfn: CF) -> Self {
+        let mut ex = Extractor {
+            egraph,
+            costfn,
+            costs: HashMap::new(),
+        };
+        loop {
+            let mut changed = false;
+            for class in egraph.classes() {
+                let cid = egraph.find(class.id);
+                for node in &class.nodes {
+                    let Some(cost) = ex.node_cost(node) else {
+                        continue;
+                    };
+                    let better = match ex.costs.get(&cid) {
+                        Some((best, _)) => cost.partial_cmp(best) == Some(std::cmp::Ordering::Less),
+                        None => true,
+                    };
+                    if better {
+                        ex.costs.insert(cid, (cost, node.clone()));
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        ex
+    }
+
+    /// Cost of one e-node, when all children already have best costs.
+    fn node_cost(&mut self, node: &L) -> Option<CF::Cost> {
+        let all = node
+            .children()
+            .iter()
+            .all(|&c| self.costs.contains_key(&self.egraph.find(c)));
+        if !all {
+            return None;
+        }
+        let costs = &self.costs;
+        let eg = self.egraph;
+        Some(
+            self.costfn
+                .cost(node, &mut |id| costs[&eg.find(id)].0.clone()),
+        )
+    }
+
+    /// Best cost of a class, if any term is extractable.
+    pub fn best_cost(&self, class: Id) -> Option<CF::Cost> {
+        self.costs
+            .get(&self.egraph.find(class))
+            .map(|(c, _)| c.clone())
+    }
+
+    /// Best e-node of a class.
+    pub fn best_node(&self, class: Id) -> Option<&L> {
+        self.costs.get(&self.egraph.find(class)).map(|(_, n)| n)
+    }
+
+    /// Every e-node of the class with its cost (when computable) — the
+    /// per-alternative account used by plan explanation.
+    pub fn alternatives(&mut self, class: Id) -> Vec<(L, Option<CF::Cost>)> {
+        let nodes = self.egraph.class(class).nodes.clone();
+        nodes
+            .into_iter()
+            .map(|n| {
+                let c = self.node_cost(&n);
+                (n, c)
+            })
+            .collect()
+    }
+
+    /// The cheapest term rooted at `root`, as a [`RecExpr`] with shared
+    /// classes expanded once. Returns `None` when no term is
+    /// extractable (e.g. every alternative was costed infeasible —
+    /// callers using an unbounded cost domain like `f64` should treat
+    /// `INFINITY` roots the same way).
+    pub fn find_best(&self, root: Id) -> Option<(CF::Cost, RecExpr<L>)> {
+        let root = self.egraph.find(root);
+        let (cost, _) = self.costs.get(&root)?;
+        let mut expr = RecExpr::default();
+        let mut built: HashMap<Id, Id> = HashMap::new();
+        let idx = self.build(root, &mut expr, &mut built);
+        debug_assert_eq!(idx, expr.root());
+        Some((cost.clone(), expr))
+    }
+
+    fn build(&self, class: Id, expr: &mut RecExpr<L>, built: &mut HashMap<Id, Id>) -> Id {
+        let class = self.egraph.find(class);
+        if let Some(&i) = built.get(&class) {
+            return i;
+        }
+        let (_, node) = &self.costs[&class];
+        let mut n = node.clone();
+        for c in n.children_mut() {
+            *c = self.build(*c, expr, built);
+        }
+        let i = expr.add(n);
+        built.insert(class, i);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Expr {
+        Num(i64),
+        Var(&'static str),
+        Add([Id; 2]),
+        Mul([Id; 2]),
+    }
+
+    impl Language for Expr {
+        fn children(&self) -> &[Id] {
+            match self {
+                Expr::Num(_) | Expr::Var(_) => &[],
+                Expr::Add(c) | Expr::Mul(c) => c,
+            }
+        }
+        fn children_mut(&mut self) -> &mut [Id] {
+            match self {
+                Expr::Num(_) | Expr::Var(_) => &mut [],
+                Expr::Add(c) | Expr::Mul(c) => c,
+            }
+        }
+    }
+
+    #[test]
+    fn hashcons_dedupes() {
+        let mut eg = EGraph::new();
+        let x = eg.add(Expr::Var("x"));
+        let y = eg.add(Expr::Var("x"));
+        assert_eq!(x, y);
+        let a = eg.add(Expr::Add([x, y]));
+        let b = eg.add(Expr::Add([x, y]));
+        assert_eq!(a, b);
+        assert_eq!(eg.total_nodes(), 2);
+    }
+
+    #[test]
+    fn congruence_after_union() {
+        let mut eg = EGraph::new();
+        let x = eg.add(Expr::Var("x"));
+        let y = eg.add(Expr::Var("y"));
+        let fx = eg.add(Expr::Add([x, x]));
+        let fy = eg.add(Expr::Add([y, y]));
+        assert_ne!(eg.find(fx), eg.find(fy));
+        eg.union(x, y);
+        eg.rebuild();
+        // x ≡ y ⇒ x+x ≡ y+y by congruence.
+        assert_eq!(eg.find(fx), eg.find(fy));
+    }
+
+    struct MulToAdd;
+    impl Rewrite<Expr> for MulToAdd {
+        fn name(&self) -> &'static str {
+            "mul2-to-add"
+        }
+        fn search(&self, eg: &EGraph<Expr>) -> Vec<Match<Expr>> {
+            let mut out = Vec::new();
+            for class in eg.classes() {
+                for node in &class.nodes {
+                    let Expr::Mul([a, b]) = node else { continue };
+                    let two_is = |id: &Id| {
+                        eg.class(*id)
+                            .nodes
+                            .iter()
+                            .any(|n| matches!(n, Expr::Num(2)))
+                    };
+                    let other = if two_is(b) {
+                        *a
+                    } else if two_is(a) {
+                        *b
+                    } else {
+                        continue;
+                    };
+                    let mut t = Template::new();
+                    let o = t.class(other);
+                    let o2 = t.class(other);
+                    t.node(Expr::Add([o, o2]));
+                    out.push(Match {
+                        class: class.id,
+                        template: t,
+                    });
+                }
+            }
+            out
+        }
+    }
+
+    struct AddCheaper;
+    impl CostFunction<Expr> for AddCheaper {
+        type Cost = f64;
+        fn cost(&mut self, enode: &Expr, costs: &mut dyn FnMut(Id) -> f64) -> f64 {
+            let own = match enode {
+                Expr::Num(_) | Expr::Var(_) => 0.0,
+                Expr::Add(_) => 1.0,
+                Expr::Mul(_) => 10.0,
+            };
+            own + enode.children().iter().map(|&c| costs(c)).sum::<f64>()
+        }
+    }
+
+    #[test]
+    fn rewrite_and_extract() {
+        let mut eg = EGraph::new();
+        let x = eg.add(Expr::Var("x"));
+        let two = eg.add(Expr::Num(2));
+        let root = eg.add(Expr::Mul([x, two]));
+        let report = Runner::default().run(&mut eg, &[&MulToAdd]);
+        assert!(report.saturated);
+        let ex = Extractor::new(&eg, AddCheaper);
+        let (cost, expr) = ex.find_best(root).unwrap();
+        assert_eq!(cost, 1.0);
+        assert!(matches!(expr.node(expr.root()), Expr::Add(_)));
+        // Provenance: the winning node was introduced by the rule.
+        let best = ex.best_node(root).unwrap().clone();
+        assert_eq!(eg.reason(best), Some("mul2-to-add"));
+    }
+
+    #[test]
+    fn runner_saturates_without_rules() {
+        let mut eg = EGraph::new();
+        let x = eg.add(Expr::Var("x"));
+        let _ = eg.add(Expr::Add([x, x]));
+        let report = Runner::default().run(&mut eg, &[]);
+        assert!(report.saturated);
+        assert_eq!(report.unions, 0);
+    }
+
+    #[test]
+    fn extraction_skips_infeasible_alternatives() {
+        struct BanVarY;
+        impl CostFunction<Expr> for BanVarY {
+            type Cost = f64;
+            fn cost(&mut self, enode: &Expr, costs: &mut dyn FnMut(Id) -> f64) -> f64 {
+                let own = match enode {
+                    Expr::Var("y") => f64::INFINITY,
+                    _ => 1.0,
+                };
+                own + enode.children().iter().map(|&c| costs(c)).sum::<f64>()
+            }
+        }
+        let mut eg = EGraph::new();
+        let x = eg.add(Expr::Var("x"));
+        let y = eg.add(Expr::Var("y"));
+        eg.union(x, y);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, BanVarY);
+        // The class holds both x and y; extraction must pick x.
+        assert_eq!(ex.best_node(x), Some(&Expr::Var("x")));
+        assert_eq!(ex.best_cost(x), Some(1.0));
+    }
+}
