@@ -62,6 +62,67 @@ fn measure(
     (m, result)
 }
 
+/// Like [`measure`], but over the process-level transport: one socket
+/// acceptor per leaf unit (in-process `serve_host` threads over real
+/// TCP or Unix-domain sockets, so the framing, syscalls and copies are
+/// the production path while the benchmark stays self-contained).
+/// Listener setup happens outside the timed region; connect, handshake,
+/// deploy, feed and collect are all inside it, as they would be for a
+/// real epoch-bounded deployment.
+fn measure_remote(
+    label: &'static str,
+    plan: &DistributedPlan,
+    trace: &[Tuple],
+    transport: TransportConfig,
+    kind: &str,
+    reps: usize,
+) -> Measurement {
+    let sim = SimConfig {
+        batch: BatchConfig::new(1024),
+        transport,
+        ..SimConfig::default()
+    };
+    let hosts = remote_host_count(plan, &sim);
+    let mut total_ns = 0u128;
+    let mut last = None;
+    for rep in 0..reps + 1 {
+        let mut addrs = Vec::with_capacity(hosts);
+        let mut servers = Vec::with_capacity(hosts);
+        for i in 0..hosts {
+            let addr = match kind {
+                "tcp" => HostAddr::Tcp("127.0.0.1:0".into()),
+                "unix" => HostAddr::Unix(
+                    std::env::temp_dir()
+                        .join(format!("qap-ts-{}-{rep}-{i}.sock", std::process::id())),
+                ),
+                other => panic!("unknown transport {other}"),
+            };
+            let listener = HostListener::bind(&addr).expect("bind");
+            addrs.push(listener.local_addr().expect("local addr"));
+            servers.push(std::thread::spawn(move || {
+                let _ = serve_host(&listener, &HostServerConfig { once: true });
+            }));
+        }
+        let start = Instant::now();
+        let r = run_distributed_remote(plan, trace, &sim, &addrs).expect("runs");
+        let elapsed = start.elapsed().as_nanos();
+        for s in servers {
+            s.join().expect("server thread");
+        }
+        if rep > 0 {
+            // Rep 0 is the warmup.
+            total_ns += elapsed;
+            last = Some(r);
+        }
+    }
+    let result = last.expect("ran");
+    Measurement {
+        label,
+        ns_per_tuple: total_ns as f64 / (reps * trace.len()) as f64,
+        transport: result.metrics.transport.clone(),
+    }
+}
+
 fn report(m: &Measurement, base_ns: f64) {
     let t = &m.transport;
     println!(
@@ -173,6 +234,46 @@ fn main() {
     println!(
         "framing speedup: {naive_speedup:.2}x transport-bound (Naive), \
          {speedup:.2}x engine-bound (Partitioned); {threads} hardware thread(s)"
+    );
+
+    // Process-level transports: the same host-serial deployment over
+    // bounded channels, TCP loopback, and Unix-domain sockets. The
+    // delta between the channel row and the socket rows is the cost of
+    // crossing a process boundary (syscalls + copies + kernel buffers)
+    // per tuple; tcp-vs-unix isolates the loopback TCP stack.
+    println!();
+    println!("§6.1 simple-agg (Partitioned, 4 hosts), host-serial, by transport:");
+    let socket_reps = if smoke { 1 } else { 5 };
+    let (chan, _) = measure(
+        "channel (in-process)",
+        &plan,
+        &trace,
+        TransportConfig::default().host_serial(),
+        reps,
+    );
+    report(&chan, chan.ns_per_tuple);
+    let tcp = measure_remote(
+        "tcp (loopback)",
+        &plan,
+        &trace,
+        TransportConfig::default().host_serial(),
+        "tcp",
+        socket_reps,
+    );
+    report(&tcp, chan.ns_per_tuple);
+    let unix = measure_remote(
+        "unix socket",
+        &plan,
+        &trace,
+        TransportConfig::default().host_serial(),
+        "unix",
+        socket_reps,
+    );
+    report(&unix, chan.ns_per_tuple);
+    println!(
+        "  process-boundary cost: tcp {:.2}x, unix {:.2}x of channel ns/tuple",
+        tcp.ns_per_tuple / chan.ns_per_tuple,
+        unix.ns_per_tuple / chan.ns_per_tuple,
     );
 
     // Backpressure probe: a capacity-1 channel with tiny frames forces

@@ -26,22 +26,28 @@
 //! Section 6 with their system configurations (Naive / Optimized /
 //! Partitioned variants).
 
+mod deploy;
 pub mod experiments;
+pub mod link;
 mod measure;
 mod obs_export;
+mod remote;
 mod sim;
 mod threaded;
 mod transport;
 mod validate;
 
+pub use link::{connect_with_backoff, HostAddr, HostListener};
 pub use measure::measure_stats;
 pub use obs_export::{metrics_registry, op_kind};
+pub use remote::{remote_host_count, run_distributed_remote, serve_host, HostServerConfig};
 pub use sim::{
     run_distributed, run_distributed_multi, ClusterMetrics, CostConstants, SimConfig, SimResult,
 };
 pub use threaded::run_distributed_threaded;
 pub use transport::{
-    EdgeTransport, FaultPlan, TransportConfig, TransportMetrics, DEFAULT_SEND_TIMEOUT_MS,
+    EdgeTransport, FaultPlan, TransportConfig, TransportKind, TransportMetrics,
+    DEFAULT_SEND_TIMEOUT_MS,
 };
 pub use validate::{
     predict_host_load, predict_host_load_for_plan, validate_cost_model, CostValidation,

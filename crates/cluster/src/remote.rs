@@ -1,0 +1,1050 @@
+//! Process-level cluster execution: a socket coordinator and the
+//! `qapctl host --listen` server loop.
+//!
+//! [`run_distributed_threaded`](crate::run_distributed_threaded) keeps
+//! every execution unit in one process; this module puts each leaf
+//! host in its *own* OS process and drives it over a TCP or
+//! Unix-domain socket:
+//!
+//! 1. the coordinator slices the plan host-serially (exactly the
+//!    threaded runner's decomposition), connects to each host with
+//!    bounded backoff, and performs the versioned handshake
+//!    (`Hello`/`Welcome`, [`qap_types::PROTOCOL_VERSION`]);
+//! 2. each leaf unit ships as a serialized [`Deploy`] payload
+//!    ([`crate::deploy`]); the host rebuilds the sliced DAG by
+//!    replaying its build script, so schema inference and local node
+//!    ids reproduce exactly;
+//! 3. a per-host **writer** thread streams the splitter's feed batches
+//!    as `Data` frames (one wire frame per splitter batch — the same
+//!    batch boundaries the in-process engines see) and a per-host
+//!    **reader pump** forwards the host's boundary `Data` frames into
+//!    the same bounded channel the threaded central unit consumes, so
+//!    [`run_central_unit`](crate::threaded) runs *unchanged*;
+//! 4. the host streams back its boundary frames and, after `Eos`, a
+//!    serialized [`UnitOutcome`] — per-node counters, metrics,
+//!    outputs, measured edge transport — which the coordinator
+//!    stitches into the run's [`SimResult`] exactly as it stitches
+//!    in-process worker results.
+//!
+//! Backpressure composes across the boundary: a slow central consumer
+//! blocks the pump, the socket buffer fills, and the host's frame
+//! writes block — the socket counterpart of a full bounded channel.
+//!
+//! Link faults (refused/reset connections, a peer killed mid-frame,
+//! handshake rejections, failures a host reports before dying) surface
+//! as typed [`FailureCause::Link`] records; corrupt *inner* wire
+//! frames keep their in-process attribution
+//! ([`FailureCause::Decode`] against the producing host) because the
+//! pump forwards payloads untouched. `--partial-results` semantics are
+//! identical to the in-process runner's.
+//!
+//! [`Deploy`]: qap_types::ControlFrame::Deploy
+
+use std::io::BufWriter;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use qap_exec::{
+    BatchConfig, Engine, ExecError, ExecResult, FailureCause, HostFailure, OpCounters, OpMetrics,
+};
+use qap_obs::SharedGauge;
+use qap_optimizer::DistributedPlan;
+use qap_plan::{LogicalNode, NodeId, QueryDag};
+use qap_types::{
+    encode_batch, encode_column_batch, Bytes, BytesMut, Catalog, ColumnBatch, ControlFrame, Tuple,
+    ERROR_DEPLOY, ERROR_EXEC, ERROR_VERSION, FRAME_HEADER_LEN, PROTOCOL_VERSION,
+};
+
+use crate::deploy::{
+    decode_remote_unit, decode_unit_outcome, encode_remote_unit, encode_unit_outcome, RemoteUnit,
+    UnitOutcome,
+};
+use crate::link::{
+    read_control, write_control, ChannelTransport, DuplexStream, FrameSink, HostAddr, HostListener,
+    LinkError, StreamSink, Transport,
+};
+use crate::sim::{account, trace_duration, SimConfig, SimResult};
+use crate::threaded::{
+    compute_units, forward_boundary, panic_message, run_central_unit, slice_unit, split_trace,
+    EdgeStage, SplitterFeed, TxShared, UnitPlan,
+};
+use crate::transport::{EdgeTransport, TransportMetrics};
+
+/// How long a handshake step may block before the coordinator declares
+/// the peer dead (used when `send_timeout_ms` is 0).
+const HANDSHAKE_FALLBACK_MS: u64 = 10_000;
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+/// Builds the deployment payload for one leaf slice.
+fn remote_unit_of(
+    plan: &DistributedPlan,
+    slice: &UnitPlan,
+    cfg: &SimConfig,
+) -> ExecResult<RemoteUnit> {
+    let transport = cfg.transport;
+    let mut schemas: Vec<_> = plan.dag.catalog().schemas().cloned().collect();
+    schemas.sort_by(|a, b| {
+        a.name()
+            .to_ascii_lowercase()
+            .cmp(&b.name().to_ascii_lowercase())
+    });
+    let nodes: Vec<LogicalNode> = {
+        // Local dag nodes in id order: replaying this list reproduces
+        // the dag (ids are assigned sequentially by insertion).
+        let dag = &slice.dag;
+        (0..dag.len()).map(|id| dag.node(id).clone()).collect()
+    };
+    let mut scans: Vec<(u32, u32)> = slice
+        .local
+        .iter()
+        .filter(|(&g, _)| plan.dag.node(g).is_source())
+        .map(|(&g, &l)| (g as u32, l as u32))
+        .collect();
+    scans.sort_unstable();
+    let boundary = slice
+        .boundary
+        .iter()
+        .map(|&g| (g as u32, slice.local[&g] as u32))
+        .collect();
+    let outputs = slice
+        .outputs
+        .iter()
+        .map(|&(idx, g)| (idx as u32, slice.local[&g] as u32))
+        .collect();
+    Ok(RemoteUnit {
+        host: slice.host as u32,
+        schemas,
+        nodes,
+        scans,
+        boundary,
+        outputs,
+        max_batch: cfg.batch.max_batch as u32,
+        frame_batch: transport.frame_batch.max(1) as u32,
+        columnar: transport.columnar,
+        send_timeout_ms: transport.send_timeout_ms,
+        fault: transport.fault,
+    })
+}
+
+/// One connected, deployed host session on the coordinator side.
+struct HostSession {
+    /// Index into `slices` (≥ 1; 0 is the central unit).
+    unit: usize,
+    /// Cluster host id.
+    host: usize,
+    stream: DuplexStream,
+}
+
+fn link_failure(host: usize, tuples: u64, msg: String) -> HostFailure {
+    HostFailure {
+        host,
+        cause: FailureCause::Link(msg),
+        tuples_processed: tuples,
+    }
+}
+
+/// Connects, handshakes and deploys one leaf unit. Every failure mode
+/// — refused/reset connection, handshake rejection (version mismatch),
+/// deployment rejection — comes back as a typed Link failure.
+fn deploy_host(
+    addr: &HostAddr,
+    unit: usize,
+    slice_host: usize,
+    payload: Bytes,
+    timeout_ms: u64,
+) -> Result<HostSession, HostFailure> {
+    let fail = |msg: String| link_failure(slice_host, 0, msg);
+    let stream = crate::link::connect_with_backoff(addr, timeout_ms).map_err(&fail)?;
+    let handshake_ms = if timeout_ms == 0 {
+        HANDSHAKE_FALLBACK_MS
+    } else {
+        timeout_ms
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_millis(handshake_ms)))
+        .map_err(&fail)?;
+    stream
+        .set_write_timeout(Some(Duration::from_millis(handshake_ms)))
+        .map_err(&fail)?;
+    let mut write_half = stream.try_clone().map_err(&fail)?;
+    let mut scratch = BytesMut::new();
+    let expect = |half: &mut DuplexStream, what: &str| -> Result<ControlFrame, HostFailure> {
+        match read_control(half) {
+            Ok(Some(frame)) => Ok(frame),
+            Ok(None) => Err(fail(format!("{addr}: connection closed awaiting {what}"))),
+            Err(e) => Err(fail(format!("{addr}: {e} (awaiting {what})"))),
+        }
+    };
+    write_control(
+        &mut write_half,
+        &ControlFrame::Hello {
+            version: PROTOCOL_VERSION,
+            host: slice_host as u32,
+        },
+        &mut scratch,
+    )
+    .map_err(&fail)?;
+    let mut read_half = stream.try_clone().map_err(&fail)?;
+    match expect(&mut read_half, "Welcome")? {
+        ControlFrame::Welcome { version } if version == PROTOCOL_VERSION => {}
+        ControlFrame::Welcome { version } => {
+            return Err(fail(format!(
+                "{addr}: protocol version mismatch (ours {PROTOCOL_VERSION}, theirs {version})"
+            )))
+        }
+        ControlFrame::Error { kind, message } => {
+            return Err(fail(format!(
+                "{addr}: host rejected handshake ({kind}): {message}"
+            )))
+        }
+        other => return Err(fail(format!("{addr}: protocol violation: {other:?}"))),
+    }
+    write_control(
+        &mut write_half,
+        &ControlFrame::Deploy(payload),
+        &mut scratch,
+    )
+    .map_err(&fail)?;
+    match expect(&mut read_half, "DeployAck")? {
+        ControlFrame::DeployAck => {}
+        ControlFrame::Error { kind, message } => {
+            return Err(fail(format!(
+                "{addr}: host rejected deployment ({kind}): {message}"
+            )))
+        }
+        other => return Err(fail(format!("{addr}: protocol violation: {other:?}"))),
+    }
+    // Reads block until the host produces; the central unit's receive
+    // timeout — not a per-read socket bound — decides when a quiet
+    // boundary means a hung peer.
+    stream.set_read_timeout(None).map_err(&fail)?;
+    if timeout_ms > 0 {
+        stream
+            .set_write_timeout(Some(Duration::from_millis(timeout_ms)))
+            .map_err(&fail)?;
+    } else {
+        stream.set_write_timeout(None).map_err(&fail)?;
+    }
+    Ok(HostSession {
+        unit,
+        host: slice_host,
+        stream,
+    })
+}
+
+/// Encodes one splitter feed batch as a single wire frame in the run's
+/// configured representation — the same batch boundaries (and thus the
+/// same engine-visible feed) as the in-process runner.
+fn encode_feed_frame(
+    batch: &[Tuple],
+    columnar: bool,
+    stage: &mut ColumnBatch,
+    scratch: &mut BytesMut,
+) -> ExecResult<Bytes> {
+    if columnar && !batch.is_empty() {
+        let arity = batch[0].arity();
+        if stage.arity() != arity {
+            *stage = ColumnBatch::new(arity);
+        } else {
+            stage.clear();
+        }
+        stage.extend_rows(batch);
+        Ok(encode_column_batch(stage, scratch)?)
+    } else {
+        Ok(encode_batch(batch, scratch)?)
+    }
+}
+
+/// Number of leaf host processes (and thus addresses) a plan needs
+/// under the remote decomposition: one per non-aggregator host with
+/// work, independent of the in-process parallelism knob.
+pub fn remote_host_count(plan: &DistributedPlan, cfg: &SimConfig) -> usize {
+    compute_units(
+        plan,
+        plan.partitioning.aggregator_host,
+        &cfg.transport.host_serial(),
+    )
+    .len()
+        - 1
+}
+
+/// Executes a distributed plan with each leaf host running as its own
+/// OS process behind `hosts[i]` (one address per leaf unit, in unit
+/// order — ascending host id under the host-serial decomposition).
+/// Semantically identical to
+/// [`crate::run_distributed_threaded`] with
+/// [`TransportConfig::host_serial`](crate::TransportConfig::host_serial):
+/// same splitter routing, same central engine, same strict /
+/// partial-results semantics, bit-identical outputs.
+pub fn run_distributed_remote(
+    plan: &DistributedPlan,
+    trace: &[Tuple],
+    cfg: &SimConfig,
+    hosts: &[HostAddr],
+) -> ExecResult<SimResult> {
+    let agg = plan.partitioning.aggregator_host;
+    // One process per host: the decomposition is host-serial by
+    // construction, whatever the in-process parallelism knob says.
+    let transport = cfg.transport.host_serial();
+
+    let unit_nodes = compute_units(plan, agg, &transport);
+    let SplitterFeed {
+        schema,
+        per_unit: mut per_unit_feed,
+    } = split_trace(plan, trace, cfg.batch.max_batch, &unit_nodes)?;
+    let slices: Vec<UnitPlan> = unit_nodes
+        .iter()
+        .map(|nodes| slice_unit(plan, nodes))
+        .collect::<ExecResult<Vec<_>>>()?;
+    for (u, s) in slices.iter().enumerate() {
+        if u != 0 && !s.remote_in.is_empty() {
+            return Err(ExecError::BadPlan(format!(
+                "leaf unit on host {} unexpectedly consumes remote streams",
+                s.host
+            )));
+        }
+    }
+    if !slices[0].boundary.is_empty() {
+        return Err(ExecError::BadPlan(
+            "central unit unexpectedly ships boundary output".into(),
+        ));
+    }
+    if hosts.len() != slices.len() - 1 {
+        return Err(ExecError::BadPlan(format!(
+            "plan needs {} leaf host processes, got {} addresses",
+            slices.len() - 1,
+            hosts.len()
+        )));
+    }
+
+    // Connect + handshake + deploy every leaf host up front, so a
+    // refused or mismatched host fails fast (strict) or is recorded and
+    // excluded (partial) before any data moves.
+    let mut scratch = BytesMut::new();
+    let mut sessions: Vec<HostSession> = Vec::new();
+    let mut failures: Vec<HostFailure> = Vec::new();
+    for (i, addr) in hosts.iter().enumerate() {
+        let u = i + 1;
+        let payload = encode_remote_unit(&remote_unit_of(plan, &slices[u], cfg)?, &mut scratch)?;
+        match deploy_host(addr, u, slices[u].host, payload, transport.send_timeout_ms) {
+            Ok(session) => sessions.push(session),
+            Err(failure) => {
+                if !transport.partial_results {
+                    return Err(failure.into());
+                }
+                failures.push(failure);
+            }
+        }
+    }
+
+    let (tx, rx) = ChannelTransport.pair(transport.channel_capacity.max(1));
+    let depth = SharedGauge::new();
+    let batch_cfg = cfg.batch;
+    let columnar = transport.columnar;
+
+    // Per-session shared state: outcome slot, coordinator-side fed
+    // counter (failure attribution), and the shutdown handle.
+    let outcomes: Vec<Mutex<Option<UnitOutcome>>> =
+        sessions.iter().map(|_| Mutex::new(None)).collect();
+    let fed: Vec<AtomicU64> = sessions.iter().map(|_| AtomicU64::new(0)).collect();
+    let shared_failures: Mutex<Vec<HostFailure>> = Mutex::new(Vec::new());
+    let shutdown_handles: Vec<DuplexStream> = sessions
+        .iter()
+        .map(|s| s.stream.try_clone())
+        .collect::<Result<_, _>>()
+        .map_err(|e| link_failure(agg, 0, e))?;
+
+    let central = std::thread::scope(|scope| {
+        for (i, session) in sessions.iter().enumerate() {
+            // Writer: stream this host's splitter feed as Data frames,
+            // then Eos. One wire frame per splitter batch.
+            let feed = std::mem::take(&mut per_unit_feed[session.unit]);
+            let write_stream = match session.stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    shared_failures
+                        .lock()
+                        .unwrap()
+                        .push(link_failure(session.host, 0, e));
+                    continue;
+                }
+            };
+            let fed_i = &fed[i];
+            let host = session.host;
+            let shared_failures = &shared_failures;
+            scope.spawn(move || {
+                let mut writer = BufWriter::new(write_stream);
+                let mut stage = ColumnBatch::new(0);
+                let mut enc_scratch = BytesMut::new();
+                let mut ctl_scratch = BytesMut::new();
+                let mut sent: u64 = 0;
+                let outcome: Result<(), String> = (|| {
+                    for (scan, batch) in &feed {
+                        let frame =
+                            encode_feed_frame(batch, columnar, &mut stage, &mut enc_scratch)
+                                .map_err(|e| e.to_string())?;
+                        write_control(
+                            &mut writer,
+                            &ControlFrame::Data {
+                                producer: *scan as u32,
+                                frame,
+                            },
+                            &mut ctl_scratch,
+                        )?;
+                        sent += batch.len() as u64;
+                        fed_i.store(sent, Ordering::Relaxed);
+                    }
+                    write_control(&mut writer, &ControlFrame::Eos, &mut ctl_scratch)
+                })();
+                if let Err(msg) = outcome {
+                    shared_failures
+                        .lock()
+                        .unwrap()
+                        .push(link_failure(host, sent, msg));
+                }
+            });
+
+            // Reader pump: forward boundary Data frames into the
+            // central channel; stash the terminal Result; surface
+            // everything else as a typed Link failure.
+            let read_stream = match session.stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    shared_failures
+                        .lock()
+                        .unwrap()
+                        .push(link_failure(session.host, 0, e));
+                    continue;
+                }
+            };
+            let mut sink = tx.clone();
+            let depth = &depth;
+            let outcome_slot = &outcomes[i];
+            let fed_i = &fed[i];
+            scope.spawn(move || {
+                let mut stream = read_stream;
+                let mut got_result = false;
+                let failure = loop {
+                    match read_control(&mut stream) {
+                        Ok(Some(ControlFrame::Data { producer, frame })) => {
+                            depth.inc();
+                            match sink.send((producer as NodeId, frame)) {
+                                // Central gone (strict-mode abort):
+                                // stop pumping; sockets are shut down
+                                // by the driver.
+                                Ok(crate::link::SendOutcome::Closed) | Err(_) => break None,
+                                _ => {}
+                            }
+                        }
+                        Ok(Some(ControlFrame::Result(payload))) => {
+                            match decode_unit_outcome(payload) {
+                                Ok(outcome) => {
+                                    *outcome_slot.lock().unwrap() = Some(outcome);
+                                    got_result = true;
+                                    break None;
+                                }
+                                Err(e) => break Some(format!("result payload corrupt: {e}")),
+                            }
+                        }
+                        Ok(Some(ControlFrame::Error { kind, message })) => {
+                            break Some(format!("host reported failure ({kind}): {message}"))
+                        }
+                        Ok(Some(ControlFrame::Eos)) => continue,
+                        Ok(Some(other)) => break Some(format!("protocol violation: {other:?}")),
+                        Ok(None) => break Some("connection closed before result".into()),
+                        Err(e @ LinkError::MidFrame { .. }) => break Some(e.to_string()),
+                        Err(e) => break Some(e.to_string()),
+                    }
+                };
+                let _ = got_result;
+                if let Some(msg) = failure {
+                    shared_failures.lock().unwrap().push(link_failure(
+                        host,
+                        fed_i.load(Ordering::Relaxed),
+                        msg,
+                    ));
+                }
+            });
+        }
+        drop(tx);
+
+        let central_feed = std::mem::take(&mut per_unit_feed[0]);
+        let central = run_central_unit(
+            &slices[0],
+            central_feed,
+            batch_cfg,
+            columnar,
+            rx,
+            &depth,
+            &plan.host,
+            &transport,
+            agg,
+        );
+        // Unblock any writer or pump still parked on a socket — a
+        // strict-mode abort must not leave threads behind (the scope
+        // would otherwise never join).
+        for s in &shutdown_handles {
+            s.shutdown();
+        }
+        central
+    });
+
+    let central = central?;
+    failures.extend(shared_failures.into_inner().unwrap());
+
+    // Stitch: central results in-process, leaf results from the
+    // decoded outcomes — exactly the threaded driver's merge, with
+    // global ids recovered through each slice's local map.
+    let mut global_counters: Vec<OpCounters> = vec![OpCounters::default(); plan.dag.len()];
+    let mut global_metrics: Vec<OpMetrics> = vec![OpMetrics::default(); plan.dag.len()];
+    let mut outputs: Vec<(String, Vec<Tuple>)> = plan
+        .outputs
+        .iter()
+        .map(|o| {
+            (
+                o.name
+                    .clone()
+                    .unwrap_or_else(|| format!("query{}", o.logical)),
+                Vec::new(),
+            )
+        })
+        .collect();
+    for (&global, &local) in &slices[0].local {
+        global_counters[global] = central.run.counters[local];
+        global_metrics[global] = central.run.node_metrics[local].clone();
+    }
+    for (idx, rows) in central.run.outputs {
+        outputs[idx].1 = rows;
+    }
+    failures.extend(central.failures);
+
+    let mut edges: Vec<EdgeTransport> = Vec::new();
+    let mut stalls: u64 = 0;
+    let mut dropped: u64 = 0;
+    for (i, session) in sessions.iter().enumerate() {
+        let outcome = outcomes[i].lock().unwrap().take();
+        let Some(outcome) = outcome else {
+            // Failure already recorded by the pump; nothing to stitch.
+            continue;
+        };
+        let slice = &slices[session.unit];
+        for (&global, &local) in &slice.local {
+            global_counters[global] = outcome.counters[local];
+            global_metrics[global] = outcome.node_metrics[local].clone();
+        }
+        for (idx, rows) in outcome.outputs {
+            outputs[idx as usize].1 = rows;
+        }
+        edges.extend(outcome.edges);
+        stalls += outcome.stalls;
+        dropped += outcome.dropped;
+    }
+
+    if !transport.partial_results {
+        if let Some(first) = failures.into_iter().next() {
+            return Err(first.into());
+        }
+        failures = Vec::new();
+    }
+
+    edges.sort_unstable_by_key(|e| e.producer);
+    let frames: u64 = edges.iter().map(|e| e.frames).sum();
+    let payload: u64 = edges.iter().map(|e| e.bytes).sum();
+    let retries: u64 = edges.iter().map(|e| e.retries).sum();
+    let transport_metrics = TransportMetrics {
+        edges,
+        frames,
+        frame_bytes: payload + frames * FRAME_HEADER_LEN as u64,
+        backpressure_stalls: stalls,
+        queue_peak: depth.peak(),
+        retries,
+        frames_dropped: dropped,
+        frames_corrupt_dropped: central.corrupt_dropped,
+        channel_capacity: transport.channel_capacity.max(1),
+        frame_batch: transport.frame_batch.max(1),
+    };
+
+    let duration = trace_duration(&schema, trace);
+    let mut metrics = account(plan, &global_counters, duration, cfg);
+    metrics.boundary_queue_peak = transport_metrics.queue_peak;
+    metrics.transport = transport_metrics;
+    Ok(SimResult {
+        metrics,
+        outputs,
+        counters: global_counters,
+        node_metrics: global_metrics,
+        failures,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Host server
+// ---------------------------------------------------------------------
+
+/// Knobs for [`serve_host`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostServerConfig {
+    /// Serve exactly one coordinator session, then return (tests and
+    /// one-shot child processes); `false` accepts sessions forever.
+    pub once: bool,
+}
+
+/// Rebuilds the deployed unit's DAG by replaying its build script over
+/// a fresh catalog — the exact construction [`slice_unit`] performed on
+/// the coordinator, so node ids and inferred schemas reproduce.
+fn rebuild_dag(unit: &RemoteUnit) -> ExecResult<QueryDag> {
+    let mut catalog = Catalog::new();
+    for s in &unit.schemas {
+        catalog
+            .register(s.clone())
+            .map_err(|e| ExecError::BadPlan(format!("deployed catalog: {e}")))?;
+    }
+    let mut dag = QueryDag::new(catalog);
+    for node in &unit.nodes {
+        match node {
+            LogicalNode::Source { stream, partition } => {
+                let p = partition.ok_or_else(|| {
+                    ExecError::BadPlan("deployed scan is missing its partition".into())
+                })?;
+                dag.add_partition_source(stream, p)
+                    .map_err(|e| ExecError::BadPlan(format!("deployed scan: {e}")))?;
+            }
+            other => {
+                dag.add_node(other.clone())
+                    .map_err(|e| ExecError::BadPlan(format!("deployed node: {e}")))?;
+            }
+        }
+    }
+    Ok(dag)
+}
+
+/// Executes one deployed unit against a stream of `Data` frames,
+/// shipping boundary frames back through `sink` as they materialize
+/// and returning the final outcome after `Eos`.
+fn run_deployed_unit(
+    unit: &RemoteUnit,
+    dag: &QueryDag,
+    stream: &mut DuplexStream,
+    sink: &mut StreamSink<DuplexStream>,
+) -> ExecResult<UnitOutcome> {
+    let host = unit.host as usize;
+    let fault = unit.fault;
+    // Injected hang: same placement as the in-process worker — once,
+    // before the first frame.
+    if fault.hang_host == Some(host) && fault.hang_millis > 0 {
+        std::thread::sleep(Duration::from_millis(fault.hang_millis));
+    }
+    let panic_at = (fault.panic_host == Some(host)).then_some(fault.panic_after_tuples);
+
+    let mut sinks: Vec<NodeId> = unit.boundary.iter().map(|&(_, l)| l as NodeId).collect();
+    for &(_, l) in &unit.outputs {
+        let l = l as NodeId;
+        if !sinks.contains(&l) {
+            sinks.push(l);
+        }
+    }
+    let mut engine = Engine::with_sinks(dag, &sinks)?;
+    engine.set_batch_config(BatchConfig::new(unit.max_batch as usize));
+
+    let depth = SharedGauge::new();
+    let stalls = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
+    let tuples = AtomicU64::new(0);
+    let mut shared = TxShared {
+        sink: ForwardSink(sink),
+        depth: &depth,
+        stalls: &stalls,
+        dropped: &dropped,
+        tuples: &tuples,
+        fault,
+        send_timeout_ms: unit.send_timeout_ms,
+        host,
+    };
+    let mut edges: Vec<EdgeStage> = unit
+        .boundary
+        .iter()
+        .map(|&(g, l)| EdgeStage {
+            producer: g as NodeId,
+            local: l as NodeId,
+            pending: Vec::new(),
+            col_stage: ColumnBatch::new(dag.schema(l as NodeId).arity()),
+            seq: 0,
+            stats: EdgeTransport {
+                producer: g as usize,
+                from_host: host,
+                ..EdgeTransport::default()
+            },
+        })
+        .collect();
+    let scan_local: std::collections::HashMap<u32, NodeId> =
+        unit.scans.iter().map(|&(g, l)| (g, l as NodeId)).collect();
+
+    let mut scratch = BytesMut::new();
+    let mut fed: u64 = 0;
+    let frame_batch = unit.frame_batch.max(1) as usize;
+    loop {
+        match read_control(stream).map_err(|e| ExecError::BadPlan(format!("feed link: {e}")))? {
+            Some(ControlFrame::Data { producer, frame }) => {
+                let local = *scan_local.get(&producer).ok_or_else(|| {
+                    ExecError::BadPlan(format!("feed for unknown scan node {producer}"))
+                })?;
+                fed += engine.push_frame(local, frame)? as u64;
+                tuples.store(fed, Ordering::Relaxed);
+                if let Some(at) = panic_at {
+                    if fed >= at {
+                        panic!("injected worker fault after {fed} tuples (plan: panic at {at})");
+                    }
+                }
+                forward_boundary(
+                    &mut engine,
+                    &mut edges,
+                    frame_batch,
+                    unit.columnar,
+                    false,
+                    &mut scratch,
+                    &mut shared,
+                )?;
+            }
+            Some(ControlFrame::Eos) => break,
+            Some(other) => {
+                return Err(ExecError::BadPlan(format!(
+                    "protocol violation mid-feed: {other:?}"
+                )))
+            }
+            None => {
+                return Err(ExecError::BadPlan(
+                    "coordinator closed the feed before Eos".into(),
+                ))
+            }
+        }
+    }
+    engine.finish()?;
+    forward_boundary(
+        &mut engine,
+        &mut edges,
+        frame_batch,
+        unit.columnar,
+        true,
+        &mut scratch,
+        &mut shared,
+    )?;
+
+    let outputs = unit
+        .outputs
+        .iter()
+        .map(|&(idx, l)| (idx, engine.output(l as NodeId)))
+        .collect();
+    Ok(UnitOutcome {
+        counters: engine.counters().to_vec(),
+        node_metrics: engine.metrics(),
+        outputs,
+        edges: edges.into_iter().map(|e| e.stats).collect(),
+        stalls: stalls.load(Ordering::Relaxed),
+        dropped: dropped.load(Ordering::Relaxed),
+        tuples_fed: fed,
+    })
+}
+
+/// A [`FrameSink`] borrowing the session's [`StreamSink`], so the unit
+/// can interleave boundary `Data` frames with the terminal `Result` on
+/// one ordered stream.
+struct ForwardSink<'a>(&'a mut StreamSink<DuplexStream>);
+
+impl FrameSink for ForwardSink<'_> {
+    fn try_send(&mut self, frame: crate::link::Frame) -> Result<crate::link::SendOutcome, String> {
+        self.0.try_send(frame)
+    }
+
+    fn send(&mut self, frame: crate::link::Frame) -> Result<crate::link::SendOutcome, String> {
+        self.0.send(frame)
+    }
+}
+
+/// Handles one coordinator session on an accepted stream: versioned
+/// handshake, deployment, execution, result. Protocol and execution
+/// failures are reported to the coordinator as typed `Error` frames;
+/// only transport-level failures (the session socket itself dying)
+/// surface as `Err`.
+fn serve_session(mut stream: DuplexStream) -> Result<(), String> {
+    let mut scratch = BytesMut::new();
+    let hello = match read_control(&mut stream) {
+        Ok(Some(ControlFrame::Hello { version, host })) => (version, host),
+        Ok(Some(other)) => {
+            return Err(format!("protocol violation: expected Hello, got {other:?}"))
+        }
+        Ok(None) => return Err("connection closed before Hello".into()),
+        Err(e) => return Err(e.to_string()),
+    };
+    let (version, _host) = hello;
+    if version != PROTOCOL_VERSION {
+        let reject = ControlFrame::Error {
+            kind: ERROR_VERSION,
+            message: format!(
+                "protocol version mismatch: host speaks {PROTOCOL_VERSION}, coordinator sent {version}"
+            ),
+        };
+        write_control(&mut stream, &reject, &mut scratch)?;
+        return Ok(());
+    }
+    write_control(
+        &mut stream,
+        &ControlFrame::Welcome {
+            version: PROTOCOL_VERSION,
+        },
+        &mut scratch,
+    )?;
+
+    let payload = match read_control(&mut stream) {
+        Ok(Some(ControlFrame::Deploy(payload))) => payload,
+        Ok(Some(other)) => {
+            return Err(format!(
+                "protocol violation: expected Deploy, got {other:?}"
+            ))
+        }
+        Ok(None) => return Err("connection closed before Deploy".into()),
+        Err(e) => return Err(e.to_string()),
+    };
+    let unit = match decode_remote_unit(payload) {
+        Ok(unit) => unit,
+        Err(e) => {
+            let reject = ControlFrame::Error {
+                kind: ERROR_DEPLOY,
+                message: format!("deployment payload corrupt: {e}"),
+            };
+            write_control(&mut stream, &reject, &mut scratch)?;
+            return Ok(());
+        }
+    };
+    let dag = match rebuild_dag(&unit) {
+        Ok(dag) => dag,
+        Err(e) => {
+            let reject = ControlFrame::Error {
+                kind: ERROR_DEPLOY,
+                message: format!("deployment rejected: {e}"),
+            };
+            write_control(&mut stream, &reject, &mut scratch)?;
+            return Ok(());
+        }
+    };
+    write_control(&mut stream, &ControlFrame::DeployAck, &mut scratch)?;
+
+    let write_half = stream.try_clone()?;
+    let mut sink = StreamSink::new(write_half);
+    // A panic (organic or injected by the shipped fault plan) must not
+    // tear down the acceptor silently: catch it and report a typed
+    // execution error before ending the session.
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        run_deployed_unit(&unit, &dag, &mut stream, &mut sink)
+    }));
+    match ran {
+        Ok(Ok(outcome)) => {
+            let payload = encode_unit_outcome(&outcome, &mut scratch)
+                .map_err(|e| format!("encode outcome: {e}"))?;
+            sink.write_control(&ControlFrame::Result(payload))?;
+            Ok(())
+        }
+        Ok(Err(e)) => {
+            let report = ControlFrame::Error {
+                kind: ERROR_EXEC,
+                message: e.to_string(),
+            };
+            sink.write_control(&report)?;
+            Ok(())
+        }
+        Err(panic) => {
+            let report = ControlFrame::Error {
+                kind: ERROR_EXEC,
+                message: format!("host worker panicked: {}", panic_message(panic)),
+            };
+            sink.write_control(&report)?;
+            Ok(())
+        }
+    }
+}
+
+/// Runs a cluster host process: accepts coordinator sessions on
+/// `listener` and executes each deployed unit to completion. With
+/// [`HostServerConfig::once`] the first session (successful or not)
+/// ends the loop — the mode `qapctl run --transport` children and the
+/// socket test suites use.
+pub fn serve_host(listener: &HostListener, cfg: &HostServerConfig) -> Result<(), String> {
+    loop {
+        let stream = listener.accept()?;
+        let outcome = serve_session(stream);
+        if cfg.once {
+            return outcome;
+        }
+        if let Err(msg) = outcome {
+            eprintln!("qapctl host: session failed: {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qap_optimizer::{optimize, OptimizerConfig, Partitioning};
+    use qap_partition::PartitionSet;
+    use qap_sql::QuerySetBuilder;
+    use qap_trace::{generate, TraceConfig};
+    use qap_types::decode_control;
+
+    use crate::link::connect_with_backoff;
+    use crate::run_distributed_threaded;
+    use crate::transport::TransportConfig;
+
+    fn flows_dag() -> qap_plan::QueryDag {
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, COUNT(*) as cnt FROM TCP GROUP BY time/60 as tb, srcIP",
+        )
+        .unwrap();
+        b.build()
+    }
+
+    fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+        rows.sort_by(|a, b| {
+            for (x, y) in a.values().iter().zip(b.values()) {
+                let ord = x.total_cmp(y);
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows
+    }
+
+    /// Spawns in-process `serve_host` acceptors (one per leaf unit) on
+    /// ephemeral TCP ports and returns their addresses.
+    fn spawn_hosts(n: usize) -> Vec<HostAddr> {
+        let mut addrs = Vec::new();
+        for _ in 0..n {
+            let listener = HostListener::bind(&HostAddr::Tcp("127.0.0.1:0".into())).expect("bind");
+            addrs.push(listener.local_addr().expect("local addr"));
+            std::thread::spawn(move || {
+                let _ = serve_host(&listener, &HostServerConfig { once: true });
+            });
+        }
+        addrs
+    }
+
+    #[test]
+    fn tcp_run_matches_threaded_runner() {
+        let dag = flows_dag();
+        let trace = generate(&TraceConfig::tiny(33));
+        let plan = optimize(
+            &dag,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 3),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let cfg = SimConfig {
+            transport: TransportConfig::default().host_serial(),
+            ..SimConfig::default()
+        };
+        let threaded = run_distributed_threaded(&plan, &trace, &cfg).unwrap();
+
+        let units = compute_units(&plan, plan.partitioning.aggregator_host, &cfg.transport);
+        let addrs = spawn_hosts(units.len() - 1);
+        let remote = run_distributed_remote(&plan, &trace, &cfg, &addrs).unwrap();
+
+        assert!(remote.failures.is_empty(), "{:?}", remote.failures);
+        assert_eq!(threaded.outputs.len(), remote.outputs.len());
+        for (t, r) in threaded.outputs.iter().zip(remote.outputs.iter()) {
+            assert_eq!(t.0, r.0);
+            assert_eq!(sorted(t.1.clone()), sorted(r.1.clone()), "output {}", t.0);
+        }
+        assert_eq!(threaded.counters, remote.counters);
+        assert_eq!(
+            threaded.metrics.transport.tuples(),
+            remote.metrics.transport.tuples()
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_typed_error() {
+        let listener = HostListener::bind(&HostAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server =
+            std::thread::spawn(move || serve_host(&listener, &HostServerConfig { once: true }));
+
+        let mut stream = connect_with_backoff(&addr, 2_000).unwrap();
+        let mut scratch = BytesMut::new();
+        write_control(
+            &mut stream,
+            &ControlFrame::Hello {
+                version: PROTOCOL_VERSION + 1,
+                host: 0,
+            },
+            &mut scratch,
+        )
+        .unwrap();
+        match read_control(&mut stream).unwrap() {
+            Some(ControlFrame::Error { kind, message }) => {
+                assert_eq!(kind, ERROR_VERSION);
+                assert!(message.contains("version"), "{message}");
+            }
+            other => panic!("expected version rejection, got {other:?}"),
+        }
+        server.join().unwrap().unwrap();
+        // And the codec agrees end to end: a re-encoded rejection still
+        // decodes to the same kind.
+        let bytes = qap_types::encode_control(
+            &ControlFrame::Error {
+                kind: ERROR_VERSION,
+                message: "version 1 != 2".into(),
+            },
+            &mut scratch,
+        )
+        .unwrap();
+        assert!(matches!(
+            decode_control(bytes).unwrap(),
+            ControlFrame::Error {
+                kind: ERROR_VERSION,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn corrupt_deploy_payload_is_rejected_not_panicked() {
+        let listener = HostListener::bind(&HostAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server =
+            std::thread::spawn(move || serve_host(&listener, &HostServerConfig { once: true }));
+
+        let mut stream = connect_with_backoff(&addr, 2_000).unwrap();
+        let mut scratch = BytesMut::new();
+        write_control(
+            &mut stream,
+            &ControlFrame::Hello {
+                version: PROTOCOL_VERSION,
+                host: 1,
+            },
+            &mut scratch,
+        )
+        .unwrap();
+        assert!(matches!(
+            read_control(&mut stream).unwrap(),
+            Some(ControlFrame::Welcome { .. })
+        ));
+        write_control(
+            &mut stream,
+            &ControlFrame::Deploy(Bytes::from(vec![0xde, 0xad, 0xbe, 0xef])),
+            &mut scratch,
+        )
+        .unwrap();
+        match read_control(&mut stream).unwrap() {
+            Some(ControlFrame::Error { kind, .. }) => assert_eq!(kind, ERROR_DEPLOY),
+            other => panic!("expected deploy rejection, got {other:?}"),
+        }
+        server.join().unwrap().unwrap();
+    }
+}

@@ -59,8 +59,6 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-
 use qap_exec::{
     BatchConfig, Engine, ExecError, ExecResult, FailureCause, HostFailure, OpCounters, OpMetrics,
 };
@@ -69,32 +67,34 @@ use qap_optimizer::{DistributedPlan, SplitStrategy};
 use qap_partition::HashPartitioner;
 use qap_plan::{LogicalNode, NodeId, QueryDag};
 use qap_types::{
-    encode_batch, encode_column_batch, Bytes, BytesMut, ColumnBatch, Tuple, FRAME_HEADER_LEN,
+    encode_batch, encode_column_batch, Bytes, BytesMut, ColumnBatch, Schema, Tuple,
+    FRAME_HEADER_LEN,
 };
 
+use crate::link::{ChannelTransport, FrameSink, FrameSource, RecvOutcome, SendOutcome, Transport};
 use crate::sim::{account, trace_duration, SimConfig, SimResult};
 use crate::transport::{EdgeTransport, FaultPlan, TransportConfig, TransportMetrics};
 
 /// One execution unit's slice of the plan.
 #[derive(Debug)]
-struct UnitPlan {
+pub(crate) struct UnitPlan {
     /// Executing host (for transport attribution).
-    host: usize,
-    dag: QueryDag,
+    pub(crate) host: usize,
+    pub(crate) dag: QueryDag,
     /// global node id → local node id.
-    local: HashMap<NodeId, NodeId>,
+    pub(crate) local: HashMap<NodeId, NodeId>,
     /// global producer id → local pseudo-source id (remote inputs).
-    remote_in: HashMap<NodeId, NodeId>,
+    pub(crate) remote_in: HashMap<NodeId, NodeId>,
     /// Global ids (in this unit) whose output crosses to another unit.
-    boundary: Vec<NodeId>,
+    pub(crate) boundary: Vec<NodeId>,
     /// Plan outputs hosted here: (output index, global node id).
-    outputs: Vec<(usize, NodeId)>,
+    pub(crate) outputs: Vec<(usize, NodeId)>,
 }
 
 /// Clones the sub-plan induced by `nodes` (a deterministic, topo-ordered
 /// subset), registering a pseudo-source for every edge arriving from
 /// outside the unit.
-fn slice_unit(plan: &DistributedPlan, nodes: &[NodeId]) -> ExecResult<UnitPlan> {
+pub(crate) fn slice_unit(plan: &DistributedPlan, nodes: &[NodeId]) -> ExecResult<UnitPlan> {
     let mut in_unit = vec![false; plan.dag.len()];
     for &id in nodes {
         in_unit[id] = true;
@@ -249,7 +249,7 @@ fn slice_unit(plan: &DistributedPlan, nodes: &[NodeId]) -> ExecResult<UnitPlan> 
 /// partition-parallel decomposition is not applicable (no central tier,
 /// central nodes off the aggregator host, or leaf pipelines that span
 /// hosts or consume central output).
-fn compute_units(
+pub(crate) fn compute_units(
     plan: &DistributedPlan,
     agg: usize,
     transport: &TransportConfig,
@@ -329,31 +329,29 @@ fn compute_units(
     }
 }
 
-/// A boundary frame in flight: (global producer node id, encoded frame).
-type Frame = (NodeId, Bytes);
-
 /// Everything a leaf worker's send path shares with the driver: the
-/// boundary channel plus telemetry counters, the fault plan, and the
-/// retry bound. One per worker (the channel sender is cloned, the
-/// counters are shared references into driver-owned atomics).
-struct TxShared<'a> {
-    tx: Sender<Frame>,
-    /// Live boundary-channel depth (in-flight frames).
-    depth: &'a SharedGauge,
+/// boundary frame sink plus telemetry counters, the fault plan, and the
+/// retry bound. One per worker (a channel sink is a cheap sender clone,
+/// a socket sink owns its stream's write half; the counters are shared
+/// references into driver-owned atomics).
+pub(crate) struct TxShared<'a, S: FrameSink> {
+    pub(crate) sink: S,
+    /// Live boundary-buffer depth (in-flight frames).
+    pub(crate) depth: &'a SharedGauge,
     /// First-refusal backpressure stalls, run-wide.
-    stalls: &'a AtomicU64,
+    pub(crate) stalls: &'a AtomicU64,
     /// Frames discarded by the fault plan's `drop_every` knob, run-wide.
-    dropped: &'a AtomicU64,
+    pub(crate) dropped: &'a AtomicU64,
     /// Tuples this worker has fed its engine — advanced batch by batch
     /// so a panic or fault mid-run reports the last consistent count in
     /// its [`HostFailure`].
-    tuples: &'a AtomicU64,
-    fault: FaultPlan,
-    /// Bound on the full-channel retry loop, in milliseconds (0 =
+    pub(crate) tuples: &'a AtomicU64,
+    pub(crate) fault: FaultPlan,
+    /// Bound on the full-buffer retry loop, in milliseconds (0 =
     /// unbounded blocking send, the pre-fault-tolerance behavior).
-    send_timeout_ms: u64,
+    pub(crate) send_timeout_ms: u64,
     /// Host this worker executes on (fault targeting + attribution).
-    host: usize,
+    pub(crate) host: usize,
 }
 
 /// Applies the per-frame fault knobs to an encoded frame about to be
@@ -390,7 +388,7 @@ fn inject_frame_fault(fault: &FaultPlan, seq: u64, frame: Bytes) -> Option<Bytes
 }
 
 /// Renders a caught panic payload as the `FailureCause::Panic` message.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -401,27 +399,35 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// One unit's results: stitched back into global vectors by the driver.
-struct UnitRun {
-    counters: Vec<OpCounters>,
-    node_metrics: Vec<OpMetrics>,
-    outputs: Vec<(usize, Vec<Tuple>)>,
-    edges: Vec<EdgeTransport>,
+pub(crate) struct UnitRun {
+    pub(crate) counters: Vec<OpCounters>,
+    pub(crate) node_metrics: Vec<OpMetrics>,
+    pub(crate) outputs: Vec<(usize, Vec<Tuple>)>,
+    pub(crate) edges: Vec<EdgeTransport>,
 }
 
-/// Executes a distributed plan with partition-parallel worker threads
-/// and framed, bounded boundary transport. Semantically identical to
-/// [`crate::run_distributed`]; metrics are computed from the merged
-/// per-unit counters with the same accounting, plus the *measured*
-/// [`TransportMetrics`] from the frame path.
-pub fn run_distributed_threaded(
+/// The splitter's routing of the raw trace: each unit's feed is a
+/// sequence of per-scan batches in arrival order. Shared by the
+/// in-process runner and the socket coordinator so every transport sees
+/// byte-identical feed batching.
+pub(crate) struct SplitterFeed {
+    /// The base stream's schema (for trace-duration accounting).
+    pub(crate) schema: Schema,
+    /// Per-unit feed, indexed like `unit_nodes`.
+    pub(crate) per_unit: Vec<Vec<(NodeId, Vec<Tuple>)>>,
+}
+
+/// Routes trace tuples to execution units via the splitter: hash or
+/// round-robin partitioning into `max_batch`-tuple staged batches, with
+/// the partial tails flushed in ascending scan-node order for
+/// determinism. Tuples are cloned exactly once (out of the shared
+/// trace, into a staging buffer).
+pub(crate) fn split_trace(
     plan: &DistributedPlan,
     trace: &[Tuple],
-    cfg: &SimConfig,
-) -> ExecResult<SimResult> {
-    let agg = plan.partitioning.aggregator_host;
-    let transport = cfg.transport;
-
-    // Route trace tuples to units via the splitter.
+    max_batch: usize,
+    unit_nodes: &[Vec<NodeId>],
+) -> ExecResult<SplitterFeed> {
     let mut scan_of_partition: HashMap<u32, NodeId> = HashMap::new();
     let mut stream_name = None;
     for id in plan.dag.topo_order() {
@@ -447,7 +453,6 @@ pub fn run_distributed_threaded(
         ),
     };
 
-    let unit_nodes = compute_units(plan, agg, &transport);
     let mut unit_of: Vec<usize> = vec![0; plan.dag.len()];
     for (u, nodes) in unit_nodes.iter().enumerate() {
         for &id in nodes {
@@ -455,12 +460,8 @@ pub fn run_distributed_threaded(
         }
     }
 
-    // Each unit's feed is a sequence of per-scan batches. Tuples are
-    // cloned exactly once (out of the shared trace, into a staging
-    // buffer); from there batches move — into the feed, then into the
-    // unit engine — with no further materialization.
-    let max = cfg.batch.max_batch;
-    let mut per_unit_feed: Vec<Vec<(NodeId, Vec<Tuple>)>> = vec![Vec::new(); unit_nodes.len()];
+    let max = max_batch.max(1);
+    let mut per_unit: Vec<Vec<(NodeId, Vec<Tuple>)>> = vec![Vec::new(); unit_nodes.len()];
     let mut stage: Vec<Vec<Tuple>> = vec![Vec::new(); m];
     let mut rr = 0usize;
     for t in trace {
@@ -475,7 +476,7 @@ pub fn run_distributed_threaded(
         stage[p].push(t.clone());
         if stage[p].len() >= max {
             let scan = scan_of_partition[&(p as u32)];
-            per_unit_feed[unit_of[scan]].push((scan, std::mem::take(&mut stage[p])));
+            per_unit[unit_of[scan]].push((scan, std::mem::take(&mut stage[p])));
         }
     }
     // Tail flush in ascending scan-node order, for determinism.
@@ -485,8 +486,32 @@ pub fn run_distributed_threaded(
         .collect();
     tail.sort_unstable();
     for (scan, p) in tail {
-        per_unit_feed[unit_of[scan]].push((scan, std::mem::take(&mut stage[p])));
+        per_unit[unit_of[scan]].push((scan, std::mem::take(&mut stage[p])));
     }
+    Ok(SplitterFeed { schema, per_unit })
+}
+
+/// Executes a distributed plan with partition-parallel worker threads
+/// and framed, bounded boundary transport. Semantically identical to
+/// [`crate::run_distributed`]; metrics are computed from the merged
+/// per-unit counters with the same accounting, plus the *measured*
+/// [`TransportMetrics`] from the frame path.
+pub fn run_distributed_threaded(
+    plan: &DistributedPlan,
+    trace: &[Tuple],
+    cfg: &SimConfig,
+) -> ExecResult<SimResult> {
+    let agg = plan.partitioning.aggregator_host;
+    let transport = cfg.transport;
+
+    let unit_nodes = compute_units(plan, agg, &transport);
+    // Each unit's feed is a sequence of per-scan batches; from the
+    // splitter's staging buffer batches move — into the feed, then into
+    // the unit engine — with no further materialization.
+    let SplitterFeed {
+        schema,
+        per_unit: mut per_unit_feed,
+    } = split_trace(plan, trace, cfg.batch.max_batch, &unit_nodes)?;
 
     let slices: Vec<UnitPlan> = unit_nodes
         .iter()
@@ -515,7 +540,7 @@ pub fn run_distributed_threaded(
     // The boundary data path: one bounded frame channel fanning into
     // the central unit. No unbounded buffering anywhere — producers
     // block when `channel_capacity` frames are in flight.
-    let (tx, rx): (Sender<Frame>, Receiver<Frame>) = bounded(transport.channel_capacity.max(1));
+    let (tx, rx) = ChannelTransport.pair(transport.channel_capacity.max(1));
     // Live depth of the boundary channel (in-flight frames).
     let depth = SharedGauge::new();
     // Blocking sends observed by producers (backpressure stalls).
@@ -553,7 +578,7 @@ pub fn run_distributed_threaded(
             // materialized once at the splitter and never copied again.
             let feed = std::mem::take(&mut per_unit_feed[u]);
             let shared = TxShared {
-                tx: tx.clone(),
+                sink: tx.clone(),
                 depth: &depth,
                 stalls: &stalls,
                 dropped: &dropped,
@@ -670,23 +695,41 @@ pub fn run_distributed_threaded(
 }
 
 /// Per-boundary-producer framing state within one leaf unit.
-struct EdgeStage {
+pub(crate) struct EdgeStage {
     /// Global producer node id.
-    producer: NodeId,
+    pub(crate) producer: NodeId,
     /// Local sink id inside the unit's engine.
-    local: NodeId,
+    pub(crate) local: NodeId,
     /// Tuples drained but not yet framed.
-    pending: Vec<Tuple>,
+    pub(crate) pending: Vec<Tuple>,
     /// Reused columnar staging batch (columnar transport only): each
     /// frame's tuples transpose into these lanes before encoding, so
     /// steady-state framing reuses the lane allocations.
-    col_stage: ColumnBatch,
+    pub(crate) col_stage: ColumnBatch,
     /// 1-based frame sequence number for deterministic fault selection;
     /// advances even for frames the fault plan drops (unlike
     /// `stats.frames`, which counts only shipped frames).
-    seq: u64,
+    pub(crate) seq: u64,
     /// Measured transport for this edge.
-    stats: EdgeTransport,
+    pub(crate) stats: EdgeTransport,
+}
+
+impl EdgeStage {
+    /// Fresh framing state for one boundary edge of `slice`.
+    pub(crate) fn new(slice: &UnitPlan, global: NodeId) -> EdgeStage {
+        EdgeStage {
+            producer: global,
+            local: slice.local[&global],
+            pending: Vec::new(),
+            col_stage: ColumnBatch::new(slice.dag.schema(slice.local[&global]).arity()),
+            seq: 0,
+            stats: EdgeTransport {
+                producer: global,
+                from_host: slice.host,
+                ..EdgeTransport::default()
+            },
+        }
+    }
 }
 
 /// Feeds one splitter batch to a unit engine in the configured
@@ -694,7 +737,7 @@ struct EdgeStage {
 /// (re-armed when a [`qap_exec::Engine::push_columns`] swap handed back
 /// a pooled batch of another arity) and enters the engine's vectorized
 /// path; row mode pushes the batch as-is.
-fn feed_engine(
+pub(crate) fn feed_engine(
     engine: &mut Engine,
     local: NodeId,
     batch: &mut Vec<Tuple>,
@@ -715,13 +758,13 @@ fn feed_engine(
     engine.push_columns(local, stage)
 }
 
-fn run_leaf_unit(
+pub(crate) fn run_leaf_unit<S: FrameSink>(
     slice: &UnitPlan,
     feed: Vec<(NodeId, Vec<Tuple>)>,
     batch_cfg: BatchConfig,
     frame_batch: usize,
     columnar: bool,
-    shared: TxShared<'_>,
+    mut shared: TxShared<'_, S>,
 ) -> ExecResult<UnitRun> {
     // Injected hang: stall once, before the first frame, long enough
     // for the consumer's receive timeout to notice. Finite by
@@ -745,18 +788,7 @@ fn run_leaf_unit(
     let mut edges: Vec<EdgeStage> = slice
         .boundary
         .iter()
-        .map(|&g| EdgeStage {
-            producer: g,
-            local: slice.local[&g],
-            pending: Vec::new(),
-            col_stage: ColumnBatch::new(slice.dag.schema(slice.local[&g]).arity()),
-            seq: 0,
-            stats: EdgeTransport {
-                producer: g,
-                from_host: slice.host,
-                ..EdgeTransport::default()
-            },
-        })
+        .map(|&g| EdgeStage::new(slice, g))
         .collect();
     let mut scratch = BytesMut::new();
     let mut feed_stage = ColumnBatch::new(0);
@@ -785,7 +817,7 @@ fn run_leaf_unit(
             columnar,
             false,
             &mut scratch,
-            &shared,
+            &mut shared,
         )?;
     }
     engine.finish()?;
@@ -796,7 +828,7 @@ fn run_leaf_unit(
         columnar,
         true,
         &mut scratch,
-        &shared,
+        &mut shared,
     )?;
 
     let counters = engine.counters().to_vec();
@@ -819,14 +851,14 @@ fn run_leaf_unit(
 /// tail frame). Frames per edge are deterministic: the producer's
 /// output sequence is fixed by the plan and trace, and chunking is
 /// positional.
-fn forward_boundary(
+pub(crate) fn forward_boundary<S: FrameSink>(
     engine: &mut Engine,
     edges: &mut [EdgeStage],
     frame_batch: usize,
     columnar: bool,
     final_flush: bool,
     scratch: &mut BytesMut,
-    shared: &TxShared<'_>,
+    shared: &mut TxShared<'_, S>,
 ) -> ExecResult<()> {
     for edge in edges.iter_mut() {
         let mut drained = engine.drain_output(edge.local);
@@ -856,19 +888,21 @@ fn forward_boundary(
 
 /// Encodes one frame — column-contiguous through the edge's reused
 /// staging batch when `columnar`, row-major otherwise — applies the
-/// fault plan, and sends it over the bounded channel: a non-blocking
-/// attempt first, and on a full buffer one counted backpressure stall
-/// followed by a bounded retry-with-backoff loop (or, with
-/// `send_timeout_ms == 0`, the pre-fault-tolerance blocking send).
-/// Exhausting the retry bound surfaces as a typed
+/// fault plan, and sends it through the unit's [`FrameSink`]: a
+/// non-blocking attempt first, and on a full buffer one counted
+/// backpressure stall followed by a bounded retry-with-backoff loop
+/// (or, with `send_timeout_ms == 0`, the pre-fault-tolerance blocking
+/// send). Exhausting the retry bound surfaces as a typed
 /// [`FailureCause::Timeout`] instead of wedging the worker. A dropped
-/// receiver (central error path) discards the frame — never a deadlock.
-fn ship(
+/// receiver (central error path) discards the frame — never a
+/// deadlock. A sink whose *link* breaks (socket transports only)
+/// surfaces as a typed [`FailureCause::Link`].
+fn ship<S: FrameSink>(
     edge: &mut EdgeStage,
     range: std::ops::Range<usize>,
     columnar: bool,
     scratch: &mut BytesMut,
-    shared: &TxShared<'_>,
+    shared: &mut TxShared<'_, S>,
 ) -> ExecResult<()> {
     let chunk = &edge.pending[range];
     let frame = if columnar {
@@ -896,13 +930,30 @@ fn ship(
     edge.stats.tuples += chunk.len() as u64;
     edge.stats.bytes += (frame_len - FRAME_HEADER_LEN) as u64;
     shared.depth.inc();
-    match shared.tx.try_send((edge.producer, frame)) {
-        Ok(()) => Ok(()),
-        Err(TrySendError::Full(mut msg)) => {
+    let link_failure = |shared: &TxShared<'_, S>, msg: String| -> ExecError {
+        HostFailure {
+            host: shared.host,
+            cause: FailureCause::Link(msg),
+            tuples_processed: shared.tuples.load(Ordering::Relaxed),
+        }
+        .into()
+    };
+    let first = shared
+        .sink
+        .try_send((edge.producer, frame))
+        .map_err(|e| link_failure(shared, e))?;
+    match first {
+        SendOutcome::Sent => Ok(()),
+        SendOutcome::Closed => {
+            shared.depth.dec();
+            Ok(())
+        }
+        SendOutcome::Full(mut msg) => {
             shared.stalls.fetch_add(1, Ordering::Relaxed);
             if shared.send_timeout_ms == 0 {
                 // Unbounded mode: plain blocking send, as before.
-                if shared.tx.send(msg).is_err() {
+                let outcome = shared.sink.send(msg).map_err(|e| link_failure(shared, e))?;
+                if let SendOutcome::Closed = outcome {
                     shared.depth.dec();
                 }
                 return Ok(());
@@ -914,13 +965,17 @@ fn ship(
             let started = Instant::now();
             let mut backoff = Duration::from_micros(100);
             loop {
-                match shared.tx.try_send(msg) {
-                    Ok(()) => return Ok(()),
-                    Err(TrySendError::Disconnected(_)) => {
+                match shared
+                    .sink
+                    .try_send(msg)
+                    .map_err(|e| link_failure(shared, e))?
+                {
+                    SendOutcome::Sent => return Ok(()),
+                    SendOutcome::Closed => {
                         shared.depth.dec();
                         return Ok(());
                     }
-                    Err(TrySendError::Full(m)) => {
+                    SendOutcome::Full(m) => {
                         msg = m;
                         edge.stats.retries += 1;
                         let waited = started.elapsed();
@@ -941,30 +996,26 @@ fn ship(
                 }
             }
         }
-        Err(TrySendError::Disconnected(_)) => {
-            shared.depth.dec();
-            Ok(())
-        }
     }
 }
 
 /// The central unit's outcome: its engine results plus the failure
 /// records it observed on the receive side (always empty in strict
 /// mode, where the first such failure aborts instead).
-struct CentralOutcome {
-    run: UnitRun,
-    failures: Vec<HostFailure>,
+pub(crate) struct CentralOutcome {
+    pub(crate) run: UnitRun,
+    pub(crate) failures: Vec<HostFailure>,
     /// Corrupt frames detected, recorded, and discarded (partial mode).
-    corrupt_dropped: u64,
+    pub(crate) corrupt_dropped: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_central_unit(
+pub(crate) fn run_central_unit<R: FrameSource>(
     slice: &UnitPlan,
     feed: Vec<(NodeId, Vec<Tuple>)>,
     batch_cfg: BatchConfig,
     columnar: bool,
-    rx: Receiver<Frame>,
+    mut rx: R,
     depth: &SharedGauge,
     host_of: &[usize],
     transport: &TransportConfig,
@@ -1002,32 +1053,45 @@ fn run_central_unit(
     let mut rx_tuples: u64 = 0;
     let timeout = Duration::from_millis(transport.send_timeout_ms);
     loop {
-        let (producer, frame) = if transport.send_timeout_ms == 0 {
-            match rx.recv() {
-                Ok(msg) => msg,
-                Err(_) => break,
-            }
+        let outcome = if transport.send_timeout_ms == 0 {
+            rx.recv()
         } else {
-            match rx.recv_timeout(timeout) {
-                Ok(msg) => msg,
-                Err(RecvTimeoutError::Disconnected) => break,
-                Err(RecvTimeoutError::Timeout) => {
-                    let failure = HostFailure {
-                        host: agg,
-                        cause: FailureCause::Timeout {
-                            waited_ms: transport.send_timeout_ms,
-                        },
-                        tuples_processed: rx_tuples,
-                    };
-                    if transport.partial_results {
-                        // Give up on the quiet boundary but keep what
-                        // arrived: record the failure and finish the
-                        // surviving epochs.
-                        failures.push(failure);
-                        break;
-                    }
-                    return Err(failure.into());
+            rx.recv_timeout(timeout)
+        };
+        let (producer, frame) = match outcome {
+            Ok(RecvOutcome::Frame(msg)) => msg,
+            Ok(RecvOutcome::Closed) => break,
+            Ok(RecvOutcome::Timeout) => {
+                let failure = HostFailure {
+                    host: agg,
+                    cause: FailureCause::Timeout {
+                        waited_ms: transport.send_timeout_ms,
+                    },
+                    tuples_processed: rx_tuples,
+                };
+                if transport.partial_results {
+                    // Give up on the quiet boundary but keep what
+                    // arrived: record the failure and finish the
+                    // surviving epochs.
+                    failures.push(failure);
+                    break;
                 }
+                return Err(failure.into());
+            }
+            Err(msg) => {
+                // The receive side's link itself broke (socket
+                // transports only; channels cannot fail). Attribute to
+                // the observing aggregator host.
+                let failure = HostFailure {
+                    host: agg,
+                    cause: FailureCause::Link(msg),
+                    tuples_processed: rx_tuples,
+                };
+                if transport.partial_results {
+                    failures.push(failure);
+                    break;
+                }
+                return Err(failure.into());
             }
         };
         depth.dec();

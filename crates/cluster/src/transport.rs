@@ -202,6 +202,40 @@ impl Default for TransportConfig {
 /// genuinely hung peer surfaces in seconds rather than wedging CI.
 pub const DEFAULT_SEND_TIMEOUT_MS: u64 = 30_000;
 
+/// Which backend moves boundary frames between execution units.
+///
+/// Pure plumbing: every backend carries the same wire frames with the
+/// same sequence numbers, retry bounds and typed failure surface, so
+/// results are bit-identical across kinds (the socket equivalence suite
+/// sweeps all three). `Channel` keeps the run in one process;
+/// `Tcp`/`Unix` put each leaf host in its own OS process (`qapctl host
+/// --listen`) behind a versioned handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum TransportKind {
+    /// In-process bounded crossbeam channel (the default).
+    #[default]
+    Channel,
+    /// TCP sockets to `qapctl host --listen ip:port` processes.
+    Tcp,
+    /// Unix-domain sockets to `qapctl host --listen unix:/path`
+    /// processes.
+    Unix,
+}
+
+impl TransportKind {
+    /// Parses a `--transport` flag value.
+    pub fn parse(s: &str) -> Result<TransportKind, String> {
+        match s {
+            "channel" => Ok(TransportKind::Channel),
+            "tcp" => Ok(TransportKind::Tcp),
+            "unix" => Ok(TransportKind::Unix),
+            other => Err(format!(
+                "unknown transport '{other}' (expected channel, tcp or unix)"
+            )),
+        }
+    }
+}
+
 impl TransportConfig {
     /// Config with the given capacity and frame size (each clamped to
     /// at least 1), partition-parallel on.

@@ -12,6 +12,7 @@
 //!                              [--batch-size B] [--metrics[=PATH]] [--columnar[=on|off]]
 //!                              [--channel-capacity C] [--frame-batch F] [--host-serial]
 //! qapctl gen-trace <out.qtr>   [--seed S] [--epochs E] [--flows F]
+//! qapctl host      --listen <addr> [--once]
 //! ```
 //!
 //! A script is a sequence of `STREAM name(...);` definitions and
@@ -65,7 +66,18 @@ const USAGE: &str = "usage:
                                            of failing the run on the first fault)
                    [--send-timeout MS]    (bound on send retries / receive waits before a hung peer
                                            surfaces as a timeout failure; 0 = unbounded; default 30000)
-  qapctl gen-trace <out.qtr> [--seed S] [--epochs E] [--flows F]";
+                   [--transport channel|tcp|unix] (boundary transport: in-process bounded channels —
+                                           default — or one OS process per leaf host behind TCP /
+                                           Unix-domain sockets; results are transport-invariant)
+                   [--workers a,b,c]      (with --transport tcp|unix: connect to already-running
+                                           `qapctl host` processes at these addresses instead of
+                                           spawning child processes; one address per leaf host)
+  qapctl gen-trace <out.qtr> [--seed S] [--epochs E] [--flows F]
+  qapctl host      --listen <addr> [--once]
+                   (run a cluster host process: accept coordinator sessions, execute deployed
+                    units; <addr> is host:port, tcp:host:port, or unix:/path; port 0 binds an
+                    ephemeral port; prints `LISTENING <addr>` once ready; --once exits after
+                    the first session)";
 
 struct Opts {
     script: String,
@@ -85,6 +97,14 @@ struct Opts {
     backend: PlannerBackend,
     explain: bool,
     transport: TransportConfig,
+    transport_kind: TransportKind,
+    /// `run --transport tcp|unix`: pre-started `qapctl host` addresses
+    /// (otherwise the coordinator spawns its own child processes).
+    workers: Option<String>,
+    /// `host`: the listen address.
+    listen: Option<String>,
+    /// `host`: exit after the first coordinator session.
+    once: bool,
     /// `None` = no export, `Some(None)` = JSON to stdout,
     /// `Some(Some(path))` = write to `path` (`.prom` selects Prometheus
     /// text, anything else JSON).
@@ -110,6 +130,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         backend: PlannerBackend::default(),
         explain: false,
         transport: TransportConfig::default(),
+        transport_kind: TransportKind::default(),
+        workers: None,
+        listen: None,
+        once: false,
         metrics: None,
     };
     let mut it = args.iter();
@@ -185,6 +209,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.transport.fault = parse_fault_plan(&value("--fault-plan")?)?;
             }
             "--partial-results" => opts.transport.partial_results = true,
+            "--transport" => opts.transport_kind = TransportKind::parse(&value("--transport")?)?,
+            other if other.starts_with("--transport=") => {
+                opts.transport_kind = TransportKind::parse(&other["--transport=".len()..])?;
+            }
+            "--workers" => opts.workers = Some(value("--workers")?),
+            "--listen" => opts.listen = Some(value("--listen")?),
+            "--once" => opts.once = true,
             "--send-timeout" => {
                 opts.transport.send_timeout_ms = value("--send-timeout")?
                     .parse()
@@ -223,7 +254,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     }
     match positional.as_slice() {
         [script] => opts.script = script.clone(),
-        [] => return Err("missing script file".into()),
+        // `host` takes no script; the other commands check below.
+        [] => {}
         more => return Err(format!("unexpected arguments: {more:?}")),
     }
     Ok(opts)
@@ -307,6 +339,12 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing command".into());
     };
     let opts = parse_opts(rest)?;
+    if cmd == "host" {
+        return host_serve(&opts);
+    }
+    if opts.script.is_empty() {
+        return Err("missing script file".into());
+    }
     if cmd == "gen-trace" {
         return gen_trace(&opts);
     }
@@ -324,6 +362,117 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => execute(&dag, &opts),
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// `qapctl host`: run a cluster host process. Prints `LISTENING <addr>`
+/// (with any ephemeral port resolved) once the socket is bound, so a
+/// parent coordinator can scrape the address from stdout.
+fn host_serve(opts: &Opts) -> Result<(), String> {
+    use std::io::Write as _;
+    let raw = opts
+        .listen
+        .as_ref()
+        .ok_or("host requires --listen <addr>")?;
+    let listener = HostListener::bind(&HostAddr::parse(raw)?)?;
+    println!("LISTENING {}", listener.local_addr()?);
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    serve_host(&listener, &HostServerConfig { once: opts.once })
+}
+
+/// Spawned child host process plus the address it reported.
+struct ChildHost {
+    child: std::process::Child,
+    addr: HostAddr,
+}
+
+impl Drop for ChildHost {
+    fn drop(&mut self) {
+        // `--once` children exit on their own after the session; this
+        // is the abnormal-path backstop.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_child_host(kind: TransportKind, ordinal: usize) -> Result<ChildHost, String> {
+    use std::io::BufRead as _;
+    let listen = match kind {
+        TransportKind::Tcp => "tcp:127.0.0.1:0".to_string(),
+        TransportKind::Unix => {
+            let dir = std::env::temp_dir();
+            format!(
+                "unix:{}/qapctl-host-{}-{ordinal}.sock",
+                dir.display(),
+                std::process::id()
+            )
+        }
+        TransportKind::Channel => unreachable!("channel transport spawns no processes"),
+    };
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate qapctl: {e}"))?;
+    let mut child = std::process::Command::new(exe)
+        .args(["host", "--listen", &listen, "--once"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn host process: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("host process produced no address: {e}"))?;
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .ok_or_else(|| {
+            format!(
+                "host process said '{}', expected LISTENING <addr>",
+                line.trim()
+            )
+        })
+        .and_then(HostAddr::parse)?;
+    Ok(ChildHost { child, addr })
+}
+
+/// `run --transport tcp|unix`: execute with each leaf host as its own
+/// OS process — pre-started (`--workers`) or spawned here as `qapctl
+/// host --listen ... --once` children.
+fn run_remote(
+    plan: &DistributedPlan,
+    trace: &[Tuple],
+    sim: &SimConfig,
+    opts: &Opts,
+) -> Result<SimResult, String> {
+    let needed = remote_host_count(plan, sim);
+    let mut children: Vec<ChildHost> = Vec::new();
+    let addrs: Vec<HostAddr> = match &opts.workers {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| HostAddr::parse(s.trim()))
+            .collect::<Result<_, _>>()?,
+        None => {
+            for i in 0..needed {
+                children.push(spawn_child_host(opts.transport_kind, i)?);
+            }
+            children.iter().map(|c| c.addr.clone()).collect()
+        }
+    };
+    if addrs.len() != needed {
+        return Err(format!(
+            "plan needs {needed} leaf host processes, got {} addresses",
+            addrs.len()
+        ));
+    }
+    eprintln!(
+        "(coordinating {} host process{} over {:?})",
+        addrs.len(),
+        if addrs.len() == 1 { "" } else { "es" },
+        opts.transport_kind
+    );
+    let result =
+        run_distributed_remote(plan, trace, sim, &addrs).map_err(|e| format!("execution: {e}"));
+    for mut c in children.drain(..) {
+        let _ = c.child.wait();
+    }
+    result
 }
 
 fn gen_trace(opts: &Opts) -> Result<(), String> {
@@ -484,10 +633,11 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
     };
     println!(
         "Engine: {} runner, batch {}, {} representation\n",
-        if opts.threaded {
-            "threaded"
-        } else {
-            "simulated"
+        match opts.transport_kind {
+            TransportKind::Tcp => "tcp process",
+            TransportKind::Unix => "unix-socket process",
+            TransportKind::Channel if opts.threaded => "threaded",
+            TransportKind::Channel => "simulated",
         },
         opts.batch_size,
         if opts.transport.columnar {
@@ -496,12 +646,15 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
             "row"
         }
     );
-    let result = if opts.threaded {
-        run_distributed_threaded(&plan, &trace, &sim)
-    } else {
-        run_distributed(&plan, &trace, &sim)
-    }
-    .map_err(|e| format!("execution: {e}"))?;
+    let result = match opts.transport_kind {
+        TransportKind::Tcp | TransportKind::Unix => run_remote(&plan, &trace, &sim, opts)?,
+        TransportKind::Channel if opts.threaded => {
+            run_distributed_threaded(&plan, &trace, &sim).map_err(|e| format!("execution: {e}"))?
+        }
+        TransportKind::Channel => {
+            run_distributed(&plan, &trace, &sim).map_err(|e| format!("execution: {e}"))?
+        }
+    };
 
     for (name, rows) in &result.outputs {
         println!(

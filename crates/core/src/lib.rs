@@ -88,11 +88,13 @@ pub mod prelude {
         calibrate_budget, run_point, run_series, ExperimentPoint, Scenario,
     };
     pub use qap_cluster::{
-        measure_stats, metrics_registry, predict_host_load, predict_host_load_for_plan,
-        run_distributed, run_distributed_multi, run_distributed_threaded, validate_cost_model,
-        ClusterMetrics, CostConstants, CostValidation, FailureCause, FaultPlan, HostFailure,
-        MetricsRegistry, SimConfig, SimResult, TransportConfig, TransportMetrics,
-        DEFAULT_SEND_TIMEOUT_MS, DEFAULT_TOLERANCE,
+        connect_with_backoff, measure_stats, metrics_registry, predict_host_load,
+        predict_host_load_for_plan, remote_host_count, run_distributed, run_distributed_multi,
+        run_distributed_remote, run_distributed_threaded, serve_host, validate_cost_model,
+        ClusterMetrics, CostConstants, CostValidation, FailureCause, FaultPlan, HostAddr,
+        HostFailure, HostListener, HostServerConfig, MetricsRegistry, SimConfig, SimResult,
+        TransportConfig, TransportKind, TransportMetrics, DEFAULT_SEND_TIMEOUT_MS,
+        DEFAULT_TOLERANCE,
     };
     pub use qap_exec::{
         run_logical, run_logical_with, BatchConfig, Engine, OpCounters, PaneAggregator, PaneSpec,

@@ -46,6 +46,12 @@ pub enum FailureCause {
         /// milliseconds.
         waited_ms: u64,
     },
+    /// The transport link to the host failed: connection refused or
+    /// reset, a socket closed mid-frame, a handshake rejection, or a
+    /// failure the remote process reported before dying. Only
+    /// process-level transports (TCP / Unix sockets) produce this —
+    /// in-process channels cannot lose a link.
+    Link(String),
 }
 
 impl fmt::Display for FailureCause {
@@ -57,6 +63,7 @@ impl fmt::Display for FailureCause {
             FailureCause::Timeout { waited_ms } => {
                 write!(f, "peer unresponsive for {waited_ms} ms")
             }
+            FailureCause::Link(msg) => write!(f, "transport link failed: {msg}"),
         }
     }
 }

@@ -87,6 +87,22 @@ impl Histogram {
         &self.counts
     }
 
+    /// Reassembles a histogram from its observable parts — the inverse
+    /// of ([`Histogram::bucket_counts`], [`Histogram::sum`],
+    /// [`Histogram::max`]). The sample count is the bucket-count total
+    /// (every [`Histogram::record`] increments exactly one bucket), so
+    /// a snapshot shipped across a process boundary reconstructs
+    /// exactly.
+    pub fn from_parts(counts: [u64; HISTOGRAM_BUCKETS], sum: u64, max: u64) -> Self {
+        let count = counts.iter().sum();
+        Histogram {
+            counts,
+            count,
+            sum,
+            max,
+        }
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {

@@ -15,6 +15,7 @@
 
 mod catalog;
 mod column;
+mod control;
 mod error;
 mod schema;
 mod tuple;
@@ -24,6 +25,10 @@ mod wire;
 
 pub use catalog::{pkt_schema, tcp_schema, Catalog};
 pub use column::{Column, ColumnBatch, ColumnData, SelectionVector};
+pub use control::{
+    decode_control, encode_control, ControlFrame, CONTROL_HEADER_LEN, ERROR_DEPLOY, ERROR_EXEC,
+    ERROR_LINK, ERROR_VERSION, MAX_CONTROL_PAYLOAD, PROTOCOL_VERSION,
+};
 pub use error::{TypeError, TypeResult};
 pub use schema::{DataType, Field, Schema, Temporality};
 pub use tuple::Tuple;

@@ -657,6 +657,59 @@ mod tests {
     }
 
     #[test]
+    fn zero_arity_batch_round_trips() {
+        // A batch of arity-0 tuples is all headers and no bodies: each
+        // tuple costs exactly its 2-byte arity header, which sits right
+        // on the `count * 2 <= payload` sanity boundary.
+        let batch = vec![Tuple::default(); 5];
+        let mut scratch = BytesMut::new();
+        let frame = encode_batch(&batch, &mut scratch).unwrap();
+        assert_eq!(frame.len(), FRAME_HEADER_LEN + 2 * batch.len());
+        assert_eq!(decode_batch(frame).unwrap(), batch);
+    }
+
+    #[test]
+    fn zero_length_frame_is_truncated_not_panic() {
+        assert!(matches!(
+            decode_batch(Bytes::new()).unwrap_err(),
+            TypeError::Truncated {
+                context: "frame header",
+                need: FRAME_HEADER_LEN,
+                have: 0,
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_payload_with_nonzero_count_is_rejected() {
+        // Header claims tuples but carries no payload for even their
+        // arity headers: must be a typed corruption, not a bad decode.
+        let mut raw = BytesMut::new();
+        raw.put_u32(0); // payload_len
+        raw.put_u32(3); // tuple_count
+        assert!(matches!(
+            decode_batch(raw.freeze()).unwrap_err(),
+            TypeError::Corrupt("tuple count exceeds frame payload")
+        ));
+    }
+
+    #[test]
+    fn empty_frame_prefixes_are_typed_errors() {
+        // Every proper prefix of the canonical empty frame (header
+        // only) fails typed; the full frame decodes to zero tuples.
+        let mut scratch = BytesMut::new();
+        let frame = encode_batch(&[], &mut scratch).unwrap();
+        for cut in 0..frame.len() {
+            let err = decode_batch(frame.slice(0..cut)).unwrap_err();
+            assert!(
+                matches!(err, TypeError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+        assert!(decode_batch(frame).unwrap().is_empty());
+    }
+
+    #[test]
     fn scratch_reuse_is_stable_across_frames() {
         let mut scratch = BytesMut::new();
         let a = vec![tuple![7u64]];

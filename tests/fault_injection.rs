@@ -357,6 +357,263 @@ fn worker_panic_in_partial_mode_keeps_surviving_hosts() {
 }
 
 // ---------------------------------------------------------------------
+// socket chaos: process-level faults surface as typed Link failures
+// ---------------------------------------------------------------------
+
+mod socket_chaos {
+    use super::*;
+    use std::io::{BufRead as _, Write as _};
+    use std::process::{Child, Command, Stdio};
+
+    use qap::cluster::link::{read_control, write_control};
+    use qap::types::{BytesMut, ControlFrame, PROTOCOL_VERSION};
+
+    fn remote_cfg(transport: TransportConfig) -> SimConfig {
+        SimConfig {
+            transport,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Spawns one real `qapctl host` child on an ephemeral TCP port.
+    fn spawn_host() -> (Child, HostAddr) {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_qapctl"))
+            .args(["host", "--listen", "tcp:127.0.0.1:0", "--once"])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn qapctl host");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("host announces its address");
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .expect("LISTENING banner");
+        let addr = HostAddr::parse(addr).expect("address parses");
+        (child, addr)
+    }
+
+    /// The lowest non-aggregator host id: leaf units are deployed in
+    /// ascending host order, so this is always the first spawned child.
+    fn first_leaf_host(plan: &DistributedPlan) -> usize {
+        (0..plan.partitioning.hosts)
+            .find(|&h| h != plan.partitioning.aggregator_host)
+            .unwrap()
+    }
+
+    #[test]
+    fn killed_host_process_is_a_typed_link_failure() {
+        let trace = generate(&TraceConfig::tiny(21));
+        let plan = plan_for(3);
+        let victim = first_leaf_host(&plan);
+        // Hang the victim (the fault plan ships with the deployed
+        // unit, so the sleep runs inside the child process) so it is
+        // guaranteed mid-epoch when SIGKILL lands: the coordinator
+        // cannot finish without its Result frame.
+        let transport = TransportConfig::default()
+            .host_serial()
+            .with_fault(FaultPlan::seeded(31).hang(victim, 60_000));
+        let cfg = remote_cfg(transport);
+        let needed = remote_host_count(&plan, &cfg);
+        let hosts: Vec<(Child, HostAddr)> = (0..needed).map(|_| spawn_host()).collect();
+        let addrs: Vec<HostAddr> = hosts.iter().map(|(_, a)| a.clone()).collect();
+
+        let victim_pid = hosts[0].0.id();
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            let _ = Command::new("kill")
+                .args(["-9", &victim_pid.to_string()])
+                .status();
+        });
+        let err = run_distributed_remote(&plan, &trace, &cfg, &addrs).unwrap_err();
+        killer.join().unwrap();
+        for (mut c, _) in hosts {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        match err {
+            ExecError::Host(f) => {
+                assert!(
+                    matches!(f.cause, FailureCause::Link(_)),
+                    "expected link cause, got {f}"
+                );
+                assert_eq!(f.host, victim, "attributed to the killed host");
+            }
+            other => panic!("expected ExecError::Host, got {other}"),
+        }
+    }
+
+    #[test]
+    fn killed_host_in_partial_mode_keeps_surviving_processes() {
+        let trace = generate(&TraceConfig::tiny(23));
+        let plan = plan_for(3);
+        let victim = first_leaf_host(&plan);
+        let transport = TransportConfig::default()
+            .host_serial()
+            .with_fault(FaultPlan::seeded(33).hang(victim, 60_000))
+            .with_partial_results(true)
+            .with_send_timeout_ms(2_000);
+        let cfg = remote_cfg(transport);
+        let needed = remote_host_count(&plan, &cfg);
+        let hosts: Vec<(Child, HostAddr)> = (0..needed).map(|_| spawn_host()).collect();
+        let addrs: Vec<HostAddr> = hosts.iter().map(|(_, a)| a.clone()).collect();
+
+        let victim_pid = hosts[0].0.id();
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            let _ = Command::new("kill")
+                .args(["-9", &victim_pid.to_string()])
+                .status();
+        });
+        let r = run_distributed_remote(&plan, &trace, &cfg, &addrs).unwrap();
+        killer.join().unwrap();
+        for (mut c, _) in hosts {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| matches!(f.cause, FailureCause::Link(_))),
+            "no link record in {:?}",
+            r.failures
+        );
+        // Surviving host processes still delivered their scans.
+        let survivor_scans: u64 = r
+            .counters
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| plan.host[id] != victim && plan.dag.node(id).children().is_empty())
+            .map(|(_, c)| c.tuples_in)
+            .sum();
+        assert!(survivor_scans > 0, "survivors made no progress");
+    }
+
+    #[test]
+    fn refused_connection_is_a_typed_link_failure() {
+        let trace = generate(&TraceConfig::tiny(25));
+        let plan = plan_for(2);
+        // Bind an ephemeral port, then free it: connecting gets RST.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            HostAddr::parse(&l.local_addr().unwrap().to_string()).unwrap()
+        };
+        let transport = TransportConfig::default()
+            .host_serial()
+            .with_send_timeout_ms(400);
+        let cfg = remote_cfg(transport);
+        let needed = remote_host_count(&plan, &cfg);
+        let addrs = vec![dead; needed];
+        let err = run_distributed_remote(&plan, &trace, &cfg, &addrs).unwrap_err();
+        match err {
+            ExecError::Host(f) => {
+                assert!(
+                    matches!(f.cause, FailureCause::Link(_)),
+                    "expected link cause, got {f}"
+                );
+            }
+            other => panic!("expected ExecError::Host, got {other}"),
+        }
+    }
+
+    #[test]
+    fn refused_connection_in_partial_mode_completes() {
+        let trace = generate(&TraceConfig::tiny(25));
+        let plan = plan_for(2);
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            HostAddr::parse(&l.local_addr().unwrap().to_string()).unwrap()
+        };
+        let transport = TransportConfig::default()
+            .host_serial()
+            .with_send_timeout_ms(400)
+            .with_partial_results(true);
+        let cfg = remote_cfg(transport);
+        let needed = remote_host_count(&plan, &cfg);
+        let addrs = vec![dead; needed];
+        let r = run_distributed_remote(&plan, &trace, &cfg, &addrs).unwrap();
+        assert_eq!(
+            r.failures.len(),
+            needed,
+            "every unreachable host recorded: {:?}",
+            r.failures
+        );
+        for f in &r.failures {
+            assert!(matches!(f.cause, FailureCause::Link(_)), "{f}");
+        }
+        // The central unit still closed its epochs over its own feed.
+        let agg = plan.partitioning.aggregator_host;
+        let central_scans: u64 = r
+            .counters
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| plan.host[id] == agg && plan.dag.node(id).children().is_empty())
+            .map(|(_, c)| c.tuples_in)
+            .sum();
+        assert!(central_scans > 0, "central made no progress");
+    }
+
+    #[test]
+    fn mid_frame_close_is_a_typed_link_failure() {
+        let trace = generate(&TraceConfig::tiny(27));
+        let plan = plan_for(2);
+        // A rogue host: handshakes and acks deployment correctly, then
+        // emits a truncated Data frame (header promises 64 bytes,
+        // stream dies after 5) — the socket analogue of frame
+        // truncation, which must surface as a typed mid-frame link
+        // fault, not a hang or a panic.
+        let listener = HostListener::bind(&HostAddr::parse("127.0.0.1:0").unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rogue = std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            let mut scratch = BytesMut::new();
+            match read_control(&mut s).unwrap() {
+                Some(ControlFrame::Hello { version, .. }) => {
+                    assert_eq!(version, PROTOCOL_VERSION)
+                }
+                other => panic!("expected Hello, got {other:?}"),
+            }
+            write_control(
+                &mut s,
+                &ControlFrame::Welcome {
+                    version: PROTOCOL_VERSION,
+                },
+                &mut scratch,
+            )
+            .unwrap();
+            match read_control(&mut s).unwrap() {
+                Some(ControlFrame::Deploy(_)) => {}
+                other => panic!("expected Deploy, got {other:?}"),
+            }
+            write_control(&mut s, &ControlFrame::DeployAck, &mut scratch).unwrap();
+            // Consume one feed frame so the run is demonstrably mid-
+            // epoch, then die inside a frame.
+            let _ = read_control(&mut s);
+            s.write_all(&[0, 0, 0, 64, 5]).unwrap();
+            s.flush().unwrap();
+            s.shutdown();
+        });
+        let transport = TransportConfig::default().host_serial();
+        let cfg = remote_cfg(transport);
+        let needed = remote_host_count(&plan, &cfg);
+        assert_eq!(needed, 1, "2-host plan has one leaf unit");
+        let err = run_distributed_remote(&plan, &trace, &cfg, &[addr]).unwrap_err();
+        rogue.join().unwrap();
+        match err {
+            ExecError::Host(f) => match &f.cause {
+                FailureCause::Link(msg) => {
+                    assert!(msg.contains("mid-frame"), "message: {msg}")
+                }
+                other => panic!("expected link cause, got {other}"),
+            },
+            other => panic!("expected ExecError::Host, got {other}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // observability: failures reach the exported registry
 // ---------------------------------------------------------------------
 

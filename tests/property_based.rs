@@ -507,6 +507,82 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// control-plane codec: handshake / deploy / data envelope frames
+// ---------------------------------------------------------------------
+
+/// Every control frame the process-level transport speaks: handshake
+/// (`Hello`/`Welcome`), deployment (`Deploy`/`DeployAck`), the data
+/// envelope, stream end, results, and typed error reports.
+fn arb_control_frame() -> impl Strategy<Value = qap::types::ControlFrame> {
+    use qap::types::{Bytes, ControlFrame};
+    let arb_payload = proptest::collection::vec(0u8..=u8::MAX, 0..64)
+        .prop_map(Bytes::from)
+        .boxed();
+    let arb_message = proptest::collection::vec(b' '..=b'~', 0..48)
+        .prop_map(|b| String::from_utf8(b).expect("printable ASCII"));
+    prop_oneof![
+        (0u32..=u32::MAX, 0u32..=u32::MAX)
+            .prop_map(|(version, host)| ControlFrame::Hello { version, host }),
+        (0u32..=u32::MAX).prop_map(|version| ControlFrame::Welcome { version }),
+        arb_payload.clone().prop_map(ControlFrame::Deploy),
+        Just(ControlFrame::DeployAck),
+        (0u32..=u32::MAX, arb_payload.clone())
+            .prop_map(|(producer, frame)| ControlFrame::Data { producer, frame }),
+        Just(ControlFrame::Eos),
+        arb_payload.prop_map(ControlFrame::Result),
+        (0u8..=u8::MAX, arb_message)
+            .prop_map(|(kind, message)| ControlFrame::Error { kind, message }),
+    ]
+}
+
+proptest! {
+    /// Round-trip identity: every control frame decodes back to itself
+    /// (encode is injective over the frame space, so coordinator and
+    /// host agree on every handshake and envelope).
+    #[test]
+    fn control_frames_round_trip(frame in arb_control_frame()) {
+        use qap::types::{decode_control, encode_control, BytesMut};
+        let bytes = encode_control(&frame, &mut BytesMut::new()).unwrap();
+        prop_assert_eq!(decode_control(bytes).unwrap(), frame);
+    }
+
+    /// Damaged control frames never panic the decoder: a bit flip,
+    /// truncation, or trailing junk yields either a typed error or a
+    /// frame that re-encodes cleanly (a flip inside a payload byte can
+    /// decode to a *different* valid frame — acceptable; a panic or
+    /// allocation blowup is not). This is the hostile-network face of
+    /// the handshake: whatever bytes arrive, the host stays up.
+    #[test]
+    fn mutated_control_frames_decode_to_error_or_valid_frame(
+        frame in arb_control_frame(),
+        kind in 0u64..3,
+        pos in 0usize..4096,
+        junk in 0u64..256
+    ) {
+        let junk = junk as u8;
+        use qap::types::{decode_control, encode_control, Bytes, BytesMut};
+        let bytes = encode_control(&frame, &mut BytesMut::new()).unwrap();
+        let mutated = Bytes::from(mutate_frame(&bytes, kind, pos, junk));
+        if let Ok(decoded) = decode_control(mutated) {
+            prop_assert!(encode_control(&decoded, &mut BytesMut::new()).is_ok());
+        }
+    }
+
+    /// Raw garbage (not derived from a valid frame) also lands on a
+    /// typed error or a re-encodable frame — the decoder's length and
+    /// tag validation runs before any allocation sized from the wire.
+    #[test]
+    fn arbitrary_bytes_never_panic_control_decoder(
+        raw in proptest::collection::vec(0u8..=u8::MAX, 0..96)
+    ) {
+        use qap::types::{decode_control, encode_control, Bytes, BytesMut};
+        if let Ok(decoded) = decode_control(Bytes::from(raw)) {
+            prop_assert!(encode_control(&decoded, &mut BytesMut::new()).is_ok());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // distributed == centralized, randomized
 // ---------------------------------------------------------------------
 
