@@ -125,7 +125,6 @@ fn bench_batch_sweep(c: &mut Criterion) {
 /// `iter_batched` setup, outside the timed region.
 fn bench_columnar_core(c: &mut Criterion) {
     let trace = small_trace();
-    let batch = 1024usize;
     for (group_name, sql) in [
         (
             "columnar_selection",
@@ -136,40 +135,121 @@ fn bench_columnar_core(c: &mut Criterion) {
             "SELECT tb, srcIP, destIP, COUNT(*) as cnt, SUM(len) as bytes FROM TCP \
              GROUP BY time/60 as tb, srcIP, destIP",
         ),
+        (
+            "high_cardinality_agg",
+            "SELECT tb, srcIP, destIP, srcPort, destPort, COUNT(*) as cnt FROM TCP \
+             GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort",
+        ),
     ] {
         let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
         b.add_query("q", sql).expect("parses");
-        let dag = b.build();
-        let root = dag.roots()[0];
-        let mut group = c.benchmark_group(group_name);
-        group.throughput(Throughput::Elements(trace.len() as u64));
-        group.bench_function(format!("row/batch_{batch}"), |b| {
-            b.iter_batched(
-                || trace.clone(),
-                |input| run_logical_with(&dag, input, BatchConfig::new(batch)).expect("runs"),
-                BatchSize::LargeInput,
-            )
-        });
-        let col_chunks: Vec<ColumnBatch> =
-            trace.chunks(batch).map(ColumnBatch::from_rows).collect();
-        group.bench_function(format!("columnar/batch_{batch}"), |b| {
-            b.iter_batched(
-                || col_chunks.clone(),
-                |mut chunks| {
-                    let mut engine = Engine::new(&dag).expect("engine builds");
-                    engine.set_batch_config(BatchConfig::new(batch));
-                    let source = engine.source_nodes()[0];
-                    for cols in &mut chunks {
-                        engine.push_columns(source, cols).expect("push");
-                    }
-                    engine.finish().expect("finish");
-                    engine.output(root)
-                },
-                BatchSize::LargeInput,
-            )
-        });
-        group.finish();
+        columnar_group(c, group_name, &b.build(), &trace);
     }
+}
+
+/// String-predicate filter over a flow stream with a string-typed
+/// protocol column — the dictionary lane's home workload. The protocol
+/// names recur per flow, so per-batch dictionaries stay tiny and the
+/// predicate runs as one compare per *distinct* value plus an integer
+/// code scan.
+fn bench_columnar_str_filter(c: &mut Criterion) {
+    use qap::types::{DataType, Field, Schema, Temporality};
+    const PROTOS: [&str; 6] = ["tcp", "udp", "icmp", "gre", "esp", "sctp"];
+    let flows: Vec<Tuple> = small_trace()
+        .iter()
+        .map(|t| {
+            let proto = PROTOS[(t.values()[5].as_u64().unwrap_or(0) as usize) % PROTOS.len()];
+            Tuple::new(vec![
+                t.values()[0].clone(),
+                t.values()[2].clone(),
+                Value::from(proto),
+                t.values()[8].clone(),
+            ])
+        })
+        .collect();
+    let mut catalog = Catalog::new();
+    catalog
+        .register(
+            Schema::new(
+                "FLOW",
+                vec![
+                    Field::temporal("time", DataType::UInt, Temporality::Increasing),
+                    Field::new("srcIP", DataType::UInt),
+                    Field::new("proto", DataType::Str),
+                    Field::new("len", DataType::UInt),
+                ],
+            )
+            .expect("static schema"),
+        )
+        .expect("static schema");
+    let mut b = QuerySetBuilder::new(catalog);
+    b.add_query("q", "SELECT time, srcIP, len FROM FLOW WHERE proto = 'tcp'")
+        .expect("parses");
+    columnar_group(c, "columnar_str_filter", &b.build(), &flows);
+}
+
+/// Benches one query group row-vs-columnar at the default 1024-tuple
+/// batch, then prints the columnar run's per-lane kernel telemetry
+/// (hits and fallbacks by lane type) so every report carries the
+/// kernel-fallback rate next to the tuple rate.
+fn columnar_group(c: &mut Criterion, group_name: &str, dag: &QueryDag, trace: &[Tuple]) {
+    use qap::obs::{OpMetrics, KERNEL_LANE_LABELS};
+    let batch = 1024usize;
+    let root = dag.roots()[0];
+    let mut group = c.benchmark_group(group_name);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function(format!("row/batch_{batch}"), |b| {
+        b.iter_batched(
+            || trace.to_vec(),
+            |input| run_logical_with(dag, input, BatchConfig::new(batch)).expect("runs"),
+            BatchSize::LargeInput,
+        )
+    });
+    let col_chunks: Vec<ColumnBatch> = trace.chunks(batch).map(ColumnBatch::from_rows).collect();
+    let run_columnar = |chunks: &mut Vec<ColumnBatch>| {
+        let mut engine = Engine::new(dag).expect("engine builds");
+        engine.set_batch_config(BatchConfig::new(batch));
+        let source = engine.source_nodes()[0];
+        for cols in chunks.iter_mut() {
+            engine.push_columns(source, cols).expect("push");
+        }
+        engine.finish().expect("finish");
+        engine
+    };
+    group.bench_function(format!("columnar/batch_{batch}"), |b| {
+        b.iter_batched(
+            || col_chunks.clone(),
+            |mut chunks| {
+                let mut engine = run_columnar(&mut chunks);
+                engine.output(root)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+    // One untimed run harvests the lane telemetry (deterministic
+    // across runs) for the fallback-rate report.
+    let engine = run_columnar(&mut col_chunks.clone());
+    let mut total = OpMetrics::default();
+    for m in engine.metrics() {
+        total.merge(&m);
+    }
+    let fmt_lanes = |arr: &[u64]| {
+        KERNEL_LANE_LABELS
+            .iter()
+            .zip(arr)
+            .filter(|(_, &v)| v > 0)
+            .map(|(l, v)| format!("{l}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!(
+        "{group_name}: kernel {} hit / {} fallback; lane hits [{}]; lane fallbacks [{}]",
+        total.kernel_hits,
+        total.kernel_fallbacks,
+        fmt_lanes(&total.kernel_lane_hits),
+        fmt_lanes(&total.kernel_lane_fallbacks),
+    );
 }
 
 /// Metrics accounting on vs off over the Section 6.1 simple-aggregation
@@ -226,6 +306,7 @@ criterion_group!(
     bench_selection,
     bench_batch_sweep,
     bench_columnar_core,
+    bench_columnar_str_filter,
     bench_metrics_overhead,
     bench_trace_generation
 );

@@ -219,6 +219,37 @@ fn main() {
         threaded.metrics.boundary_queue_peak
     );
 
+    // Kernel coverage by lane type under the columnar transport: how
+    // many kernel executions each typed lane served, and the fallback
+    // rate per lane — zero everywhere on the all-unsigned §6 shapes.
+    println!();
+    println!("kernel lane coverage (simulator, columnar transport, batch 1024):");
+    let col_sim = SimConfig {
+        batch: BatchConfig::new(1024),
+        transport: TransportConfig::default().with_columnar(true),
+        ..SimConfig::default()
+    };
+    let col = run_distributed(&plan, &trace, &col_sim).expect("runs");
+    let mut total = qap::obs::OpMetrics::default();
+    for m in &col.node_metrics {
+        total.merge(m);
+    }
+    for (i, label) in qap::obs::KERNEL_LANE_LABELS.iter().enumerate() {
+        let (h, f) = (total.kernel_lane_hits[i], total.kernel_lane_fallbacks[i]);
+        if h + f == 0 {
+            continue;
+        }
+        println!(
+            "  {label:<6} {h:>6} hits / {f:>3} fallbacks ({rate:.1}% fallback)",
+            rate = 100.0 * f as f64 / (h + f) as f64,
+        );
+    }
+    println!(
+        "  total  {h:>6} hits / {f:>3} fallbacks",
+        h = total.kernel_hits,
+        f = total.kernel_fallbacks,
+    );
+
     // Transport sweep: channel capacity × frame batch through the
     // framed threaded runner. Tight capacities force backpressure
     // stalls; tiny frames pay the per-frame encode/ship overhead.

@@ -1,0 +1,267 @@
+//! Kernel-path benchmark: columnar engine ns/tuple per workload group
+//! plus per-lane kernel hit/fallback telemetry, written as
+//! machine-readable `BENCH_kernels.json`.
+//!
+//! Each group stages a trace as SoA [`ColumnBatch`] chunks (outside the
+//! timed region), drives a fresh engine through `push_columns`, and
+//! reports the *minimum* wall time over several iterations — the right
+//! statistic on a shared machine, where every disturbance only adds
+//! time. After timing, one extra run harvests the engine's metrics
+//! snapshot: kernel hits and fallbacks (total and per lane type),
+//! group-table inserts and flush latency.
+//!
+//! The process exits non-zero if any all-unsigned group — the shape of
+//! every Section 6 query — reports a kernel fallback: on those
+//! workloads the typed-lane compiler must cover the whole plan, and a
+//! bailout is a regression. CI runs this as the fallback-zero gate.
+//!
+//! Usage: `cargo run --release -p qap-bench --bin bench_kernels [OUT.json]`
+//! (default output path `BENCH_kernels.json` in the working directory).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use qap::obs::{OpMetrics, KERNEL_LANE_LABELS};
+use qap::prelude::*;
+use qap::types::{ColumnBatch, DataType, Field, Temporality};
+use qap_bench::small_trace;
+
+const BATCH: usize = 1024;
+const ITERS: usize = 101;
+
+/// One measured workload group.
+struct Case {
+    group: &'static str,
+    tuples: usize,
+    ns_per_tuple: f64,
+    /// Whether the fallback-zero gate applies (all-unsigned §6 shape).
+    gate: bool,
+    metrics: OpMetrics,
+}
+
+/// Sums the kernel/group counters across all operators of one engine
+/// run into a single [`OpMetrics`] record.
+fn summed_metrics(engine: &Engine) -> OpMetrics {
+    let mut total = OpMetrics::default();
+    for m in engine.metrics() {
+        total.merge(&m);
+    }
+    total
+}
+
+/// Times `dag` over pre-staged columnar chunks: warm-up, then the
+/// minimum of [`ITERS`] full runs (engine construction included,
+/// matching the `micro_engine` criterion groups).
+fn measure(dag: &QueryDag, chunks: &[ColumnBatch], tuples: usize) -> (f64, OpMetrics) {
+    let root = dag.roots()[0];
+    let run = || {
+        let mut engine = Engine::new(dag).expect("engine builds");
+        engine.set_batch_config(BatchConfig::new(BATCH));
+        let source = engine.source_nodes()[0];
+        for cols in chunks {
+            let mut cols = cols.clone();
+            engine.push_columns(source, &mut cols).expect("push");
+        }
+        engine.finish().expect("finish");
+        (engine.output(root).len(), engine)
+    };
+    let (warm_rows, _) = run();
+    let mut best = f64::INFINITY;
+    let mut metrics = OpMetrics::default();
+    for it in 0..ITERS {
+        let staged: Vec<ColumnBatch> = chunks.to_vec();
+        let t0 = Instant::now();
+        let mut engine = Engine::new(dag).expect("engine builds");
+        engine.set_batch_config(BatchConfig::new(BATCH));
+        let source = engine.source_nodes()[0];
+        for mut cols in staged {
+            engine.push_columns(source, &mut cols).expect("push");
+        }
+        engine.finish().expect("finish");
+        let out = engine.output(root);
+        let ns = t0.elapsed().as_nanos() as f64;
+        assert_eq!(out.len(), warm_rows, "nondeterministic output");
+        best = best.min(ns);
+        // Counters are deterministic across runs; flush_ns is wall
+        // time, so harvest it from a warm timed run, not the cold one.
+        if it + 1 == ITERS {
+            metrics = summed_metrics(&engine);
+        }
+    }
+    (best / tuples as f64, metrics)
+}
+
+fn tcp_dag(sql: &str) -> QueryDag {
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.add_query("q", sql).expect("parses");
+    b.build()
+}
+
+/// A flow-record stream with a string-typed protocol column, derived
+/// from the TCP trace: `FLOW(time, srcIP, proto string, len)`. The
+/// protocol names recur per flow, so per-batch dictionaries stay small
+/// — the shape the dictionary lane is built for.
+fn flow_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(
+        Schema::new(
+            "FLOW",
+            vec![
+                Field::temporal("time", DataType::UInt, Temporality::Increasing),
+                Field::new("srcIP", DataType::UInt),
+                Field::new("proto", DataType::Str),
+                Field::new("len", DataType::UInt),
+            ],
+        )
+        .expect("static schema"),
+    )
+    .expect("static schema");
+    c
+}
+
+const PROTOS: [&str; 6] = ["tcp", "udp", "icmp", "gre", "esp", "sctp"];
+
+fn flow_trace(tcp: &[Tuple]) -> Vec<Tuple> {
+    tcp.iter()
+        .map(|t| {
+            let proto = PROTOS[(t.values()[5].as_u64().unwrap_or(0) as usize) % PROTOS.len()];
+            Tuple::new(vec![
+                t.values()[0].clone(),
+                t.values()[2].clone(),
+                Value::from(proto),
+                t.values()[8].clone(),
+            ])
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    let tcp_trace = small_trace();
+    let tcp_chunks: Vec<ColumnBatch> = tcp_trace
+        .chunks(BATCH)
+        .map(ColumnBatch::from_rows)
+        .collect();
+    let flows = flow_trace(&tcp_trace);
+    let flow_chunks: Vec<ColumnBatch> = flows.chunks(BATCH).map(ColumnBatch::from_rows).collect();
+
+    let mut cases: Vec<Case> = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+
+    let groups: Vec<(&'static str, QueryDag, &[ColumnBatch], bool)> = vec![
+        (
+            "columnar_simple_agg",
+            tcp_dag(
+                "SELECT tb, srcIP, destIP, COUNT(*) as cnt, SUM(len) as bytes FROM TCP \
+                 GROUP BY time/60 as tb, srcIP, destIP",
+            ),
+            &tcp_chunks,
+            true,
+        ),
+        (
+            "columnar_selection",
+            tcp_dag("SELECT time, srcIP, len FROM TCP WHERE destPort = 80"),
+            &tcp_chunks,
+            true,
+        ),
+        (
+            "high_cardinality_agg",
+            tcp_dag(
+                "SELECT tb, srcIP, destIP, srcPort, destPort, COUNT(*) as cnt FROM TCP \
+                 GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort",
+            ),
+            &tcp_chunks,
+            true,
+        ),
+        (
+            "columnar_str_filter",
+            {
+                let mut b = QuerySetBuilder::new(flow_catalog());
+                b.add_query("q", "SELECT time, srcIP, len FROM FLOW WHERE proto = 'tcp'")
+                    .expect("parses");
+                b.build()
+            },
+            &flow_chunks,
+            false,
+        ),
+    ];
+
+    for (group, dag, chunks, gate) in &groups {
+        let tuples = chunks.iter().map(ColumnBatch::rows).sum::<usize>();
+        let (ns_per_tuple, metrics) = measure(dag, chunks, tuples);
+        println!(
+            "{group}: {ns_per_tuple:.1} ns/tuple ({:.2} Mt/s), kernel {} hit / {} fallback, \
+             {} group inserts",
+            1e3 / ns_per_tuple,
+            metrics.kernel_hits,
+            metrics.kernel_fallbacks,
+            metrics.group_inserts,
+        );
+        if *gate && metrics.kernel_fallbacks > 0 {
+            gate_failures.push(format!(
+                "{group}: {} kernel fallbacks on an all-unsigned workload",
+                metrics.kernel_fallbacks
+            ));
+        }
+        cases.push(Case {
+            group,
+            tuples,
+            ns_per_tuple,
+            gate: *gate,
+            metrics,
+        });
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"kernels\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let lanes = |arr: &[u64]| {
+            let mut s = String::from("{");
+            for (j, (label, v)) in KERNEL_LANE_LABELS.iter().zip(arr.iter()).enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "\"{label}\": {v}");
+            }
+            s.push('}');
+            s
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"group\": \"{}\", \"tuples\": {}, \"ns_per_tuple\": {:.2}, \
+             \"mtuples_per_sec\": {:.2}, \"gated\": {}, \"kernel_hits\": {}, \
+             \"kernel_fallbacks\": {}, \"kernel_lane_hits\": {}, \
+             \"kernel_lane_fallbacks\": {}, \"group_inserts\": {}, \"flush_ns\": {}}}{}",
+            c.group,
+            c.tuples,
+            c.ns_per_tuple,
+            1e3 / c.ns_per_tuple,
+            c.gate,
+            c.metrics.kernel_hits,
+            c.metrics.kernel_fallbacks,
+            lanes(&c.metrics.kernel_lane_hits),
+            lanes(&c.metrics.kernel_lane_fallbacks),
+            c.metrics.group_inserts,
+            c.metrics.flush_ns,
+            if i + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_kernels: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out_path} ({} cases)", cases.len());
+
+    if !gate_failures.is_empty() {
+        eprintln!("\nKERNEL FALLBACK REGRESSIONS:");
+        for f in &gate_failures {
+            eprintln!("  {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

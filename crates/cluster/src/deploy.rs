@@ -746,11 +746,25 @@ fn put_op_metrics(buf: &mut BytesMut, m: &OpMetrics) {
     put_histogram(buf, &m.col_batch_occupancy);
     buf.put_u64(m.kernel_hits);
     buf.put_u64(m.kernel_fallbacks);
+    for v in m.kernel_lane_hits {
+        buf.put_u64(v);
+    }
+    for v in m.kernel_lane_fallbacks {
+        buf.put_u64(v);
+    }
     buf.put_u64(m.flushes);
     buf.put_u64(m.flush_ns);
     buf.put_u64(m.group_slots);
     buf.put_u64(m.group_probes);
     buf.put_u64(m.group_inserts);
+}
+
+fn read_lane_counters(r: &mut Reader) -> TypeResult<[u64; qap_obs::KERNEL_LANES]> {
+    let mut arr = [0u64; qap_obs::KERNEL_LANES];
+    for v in arr.iter_mut() {
+        *v = r.u64()?;
+    }
+    Ok(arr)
 }
 
 fn read_op_metrics(r: &mut Reader) -> TypeResult<OpMetrics> {
@@ -767,6 +781,8 @@ fn read_op_metrics(r: &mut Reader) -> TypeResult<OpMetrics> {
         col_batch_occupancy: read_histogram(r)?,
         kernel_hits: r.u64()?,
         kernel_fallbacks: r.u64()?,
+        kernel_lane_hits: read_lane_counters(r)?,
+        kernel_lane_fallbacks: read_lane_counters(r)?,
         flushes: r.u64()?,
         flush_ns: r.u64()?,
         group_slots: r.u64()?,
@@ -1077,6 +1093,8 @@ mod tests {
             col_batch_occupancy: h,
             kernel_hits: 5,
             kernel_fallbacks: 1,
+            kernel_lane_hits: [5, 0, 1, 0, 2, 0],
+            kernel_lane_fallbacks: [0, 1, 0, 0, 0, 3],
             flushes: 2,
             flush_ns: 12_345,
             group_slots: 16,

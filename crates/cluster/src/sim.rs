@@ -255,9 +255,13 @@ pub fn run_distributed_multi(
         };
         // Partition → scan node, resolved once per feed; the split loop
         // then stages tuples into per-partition buffers and feeds each
-        // scan a batch at a time. Routing always hashes the *row*
-        // tuple, so the partition a tuple lands on is independent of
-        // the staging representation.
+        // scan a batch at a time. Partition assignment is hoisted to
+        // chunk granularity: each chunk transposes once and the lane
+        // fold assigns every row in one sweep (string lanes
+        // dictionary-encode, so each distinct value hashes once).
+        // Assignments are bit-identical to per-row hashing, and the
+        // staging/flush schedule below is untouched — downstream
+        // arrival order is exactly the row splitter's.
         let scan_of: Vec<usize> = (0..m).map(|p| scans[&(key.clone(), p as u32)]).collect();
         let max = cfg.batch.max_batch;
         let columnar = cfg.transport.columnar;
@@ -274,27 +278,46 @@ pub fn run_distributed_multi(
             Vec::new()
         };
         let mut rr = 0usize;
-        for tuple in *trace {
-            let p = match &hash {
-                Some(h) => h.partition(tuple),
-                None => {
-                    let p = rr;
-                    rr = (rr + 1) % m;
-                    p
+        let mut parts: Vec<u32> = Vec::new();
+        for chunk in trace.chunks(max.max(1)) {
+            let lane_ok = match &hash {
+                Some(h) => {
+                    let mut cols = ColumnBatch::from_rows(chunk);
+                    cols.dict_encode_strings();
+                    h.partition_columns(&cols, &mut parts)
                 }
+                None => false,
             };
-            if columnar {
-                cbufs[p].push_row(tuple);
-                if cbufs[p].rows() >= max {
-                    engine.push_columns(scan_of[p], &mut cbufs[p])?;
-                    if cbufs[p].arity() != arity {
-                        cbufs[p] = ColumnBatch::new(arity);
+            for (i, tuple) in chunk.iter().enumerate() {
+                let p = if lane_ok {
+                    parts[i] as usize
+                } else {
+                    match &hash {
+                        Some(h) => h.partition(tuple),
+                        None => {
+                            let p = rr;
+                            rr = (rr + 1) % m;
+                            p
+                        }
                     }
-                }
-            } else {
-                bufs[p].push(tuple.clone());
-                if bufs[p].len() >= max {
-                    engine.push_batch(scan_of[p], &mut bufs[p])?;
+                };
+                if columnar {
+                    cbufs[p].push_row(tuple);
+                    if cbufs[p].rows() >= max {
+                        // Ship encoded lanes: string columns go over
+                        // the wire as dictionary codes, and the engine
+                        // inherits the encoding.
+                        cbufs[p].dict_encode_strings();
+                        engine.push_columns(scan_of[p], &mut cbufs[p])?;
+                        if cbufs[p].arity() != arity {
+                            cbufs[p] = ColumnBatch::new(arity);
+                        }
+                    }
+                } else {
+                    bufs[p].push(tuple.clone());
+                    if bufs[p].len() >= max {
+                        engine.push_batch(scan_of[p], &mut bufs[p])?;
+                    }
                 }
             }
         }
@@ -305,6 +328,7 @@ pub fn run_distributed_multi(
         for p in order {
             if columnar {
                 if cbufs[p].rows() > 0 {
+                    cbufs[p].dict_encode_strings();
                     engine.push_columns(scan_of[p], &mut cbufs[p])?;
                 }
             } else if !bufs[p].is_empty() {

@@ -464,19 +464,39 @@ pub(crate) fn split_trace(
     let mut per_unit: Vec<Vec<(NodeId, Vec<Tuple>)>> = vec![Vec::new(); unit_nodes.len()];
     let mut stage: Vec<Vec<Tuple>> = vec![Vec::new(); m];
     let mut rr = 0usize;
-    for t in trace {
-        let p = match &hash {
-            Some(h) => h.partition(t),
-            None => {
-                let p = rr;
-                rr = (rr + 1) % m;
-                p
+    // Partition assignment is chunked through the lane fold: each chunk
+    // transposes once and hashes column-at-a-time (string lanes
+    // dictionary-encode, so distinct values hash once). Assignments are
+    // bit-identical to per-row hashing, and the staging/flush schedule
+    // is untouched, so every unit sees the row splitter's exact feed.
+    let mut parts: Vec<u32> = Vec::new();
+    for chunk in trace.chunks(max) {
+        let lane_ok = match &hash {
+            Some(h) => {
+                let mut cols = ColumnBatch::from_rows(chunk);
+                cols.dict_encode_strings();
+                h.partition_columns(&cols, &mut parts)
             }
+            None => false,
         };
-        stage[p].push(t.clone());
-        if stage[p].len() >= max {
-            let scan = scan_of_partition[&(p as u32)];
-            per_unit[unit_of[scan]].push((scan, std::mem::take(&mut stage[p])));
+        for (i, t) in chunk.iter().enumerate() {
+            let p = if lane_ok {
+                parts[i] as usize
+            } else {
+                match &hash {
+                    Some(h) => h.partition(t),
+                    None => {
+                        let p = rr;
+                        rr = (rr + 1) % m;
+                        p
+                    }
+                }
+            };
+            stage[p].push(t.clone());
+            if stage[p].len() >= max {
+                let scan = scan_of_partition[&(p as u32)];
+                per_unit[unit_of[scan]].push((scan, std::mem::take(&mut stage[p])));
+            }
         }
     }
     // Tail flush in ascending scan-node order, for determinism.

@@ -134,6 +134,44 @@ const TAG_INT: u64 = 0xc2b2_ae3d_27d4_eb4f;
 const TAG_BOOL: u64 = 0x1656_67b1_9e37_79f9;
 const TAG_STR: u64 = 0x27d4_eb2f_1656_67c5;
 
+/// The word [`ValueHash::add`] folds for `Value::Null` — exposed (with
+/// [`int_word`], [`bool_word`] and [`str_value_words`]) so the columnar
+/// aggregation path can hash typed key lanes in exact agreement with
+/// the row path's incremental hasher.
+pub(crate) const NULL_WORD: u64 = TAG_NULL;
+
+/// The word [`ValueHash::add`] folds for `Value::Int(x)`.
+#[inline]
+pub(crate) fn int_word(x: i64) -> u64 {
+    (x as u64) ^ TAG_INT
+}
+
+/// The word [`ValueHash::add`] folds for `Value::Bool(b)`.
+#[inline]
+pub(crate) fn bool_word(b: bool) -> u64 {
+    u64::from(b) ^ TAG_BOOL
+}
+
+/// Appends the exact fold-word sequence [`ValueHash::add`] performs for
+/// `Value::Str(s)`: the tag word, then the byte stream in 8-byte
+/// little-endian chunks with a zero-padded tail (mirroring
+/// [`FxHasher::write`]). A dictionary lane uses this to flatten each
+/// *distinct* string to words once, then replays the words per row.
+pub(crate) fn str_value_words(s: &str, out: &mut Vec<u64>) {
+    out.push(TAG_STR);
+    let bytes = s.as_bytes();
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        out.push(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        out.push(u64::from_le_bytes(buf));
+    }
+}
+
 impl ValueHash {
     #[inline]
     pub(crate) fn new() -> Self {
@@ -212,6 +250,43 @@ mod tests {
                 h = fold_word(h, x);
             }
             assert_eq!(vh.finish(), h, "key {key:?}");
+        }
+    }
+
+    /// Every per-lane word helper must reproduce [`ValueHash::add`]'s
+    /// fold sequence exactly — the agreement that lets column-hashed
+    /// and row-hashed group keys probe the same table slots for every
+    /// value kind, not just unsigned.
+    #[test]
+    fn lane_words_match_value_hash_on_all_kinds() {
+        let vals = [
+            Value::Null,
+            Value::Int(-5),
+            Value::Int(i64::MAX),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Str("proto-name!".into()), // 8-byte chunk + tail
+            Value::Str("".into()),            // tag word only
+            Value::Str("exactly8".into()),    // chunk, no tail
+            Value::UInt(9),
+        ];
+        let mut vh = ValueHash::new();
+        let mut h = 0u64;
+        let mut words = Vec::new();
+        for v in &vals {
+            vh.add(v);
+            words.clear();
+            match v {
+                Value::Null => words.push(NULL_WORD),
+                Value::UInt(x) => words.push(*x),
+                Value::Int(x) => words.push(int_word(*x)),
+                Value::Bool(b) => words.push(bool_word(*b)),
+                Value::Str(s) => str_value_words(s, &mut words),
+            }
+            for &w in &words {
+                h = fold_word(h, w);
+            }
+            assert_eq!(vh.finish(), h, "diverged at {v:?}");
         }
     }
 

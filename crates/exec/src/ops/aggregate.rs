@@ -3,10 +3,10 @@
 use std::sync::Arc;
 
 use qap_expr::{
-    make_accumulator, Accumulator, AggKind, BinOp, BoundExpr, KernelScratch, PredicateKernel, Udaf,
-    UdafState,
+    make_accumulator, Accumulator, AggKind, BinOp, BoundExpr, KernelScratch, LaneKind,
+    PredicateKernel, Udaf, UdafState, LANE_KINDS,
 };
-use qap_types::{ColumnBatch, SelectionVector, Tuple, Value};
+use qap_types::{ColumnBatch, ColumnData, DictLane, SelectionVector, Tuple, Value, DICT_NULL_CODE};
 
 use crate::fx;
 use crate::ExecResult;
@@ -285,6 +285,31 @@ pub(crate) struct AggregateOp {
     /// Reused row materialization for columnar fallbacks (interpreter
     /// predicates, `General` slot folds).
     row_scratch: Tuple,
+    /// Recycled surviving-row indices for the interpreter predicate
+    /// fallback, so a kernel bailout does not reallocate two index
+    /// buffers per batch.
+    fallback_keep: Vec<u32>,
+    /// Row-major key words for the all-unsigned columnar path (`arity`
+    /// words per row, window quotients computed in place). One buffer,
+    /// four uses: hash input, probe key ([`GroupTable::upsert_u64`]),
+    /// window-bucket source and insert key.
+    ukeys_flat: Vec<u64>,
+    /// `(group entry << 32) | row` per surviving row of the current
+    /// window segment (late rows absent), filled by the probe pass and
+    /// consumed by the slot-major fold pass of the all-unsigned
+    /// columnar path.
+    entry_scratch: Vec<u64>,
+    /// Columnar batches whose classified key lanes completed, tallied
+    /// by lane type (one batch credits every lane type it read).
+    lane_hits: [u64; LANE_KINDS],
+    /// Columnar batches bounced to the row path, tallied by the lane
+    /// type that forced the bounce.
+    lane_fallbacks: [u64; LANE_KINDS],
+    /// Flattened fold-word sequences of a dictionary key lane's
+    /// distinct strings (reused across batches), with
+    /// `str_offs[c]..str_offs[c+1]` delimiting code `c`'s words.
+    str_words: Vec<u64>,
+    str_offs: Vec<u32>,
     kernel_hits: u64,
     kernel_fallbacks: u64,
 }
@@ -347,6 +372,13 @@ impl AggregateOp {
             hash_scratch: Vec::new(),
             q_lanes: Vec::new(),
             row_scratch: Tuple::default(),
+            fallback_keep: Vec::new(),
+            ukeys_flat: Vec::new(),
+            entry_scratch: Vec::new(),
+            lane_hits: [0; LANE_KINDS],
+            lane_fallbacks: [0; LANE_KINDS],
+            str_words: Vec::new(),
+            str_offs: Vec::new(),
             kernel_hits: 0,
             kernel_fallbacks: 0,
             slots,
@@ -418,20 +450,22 @@ impl AggregateOp {
         let mut vals = keys.drain(..);
         for e in 0..n {
             let accs = &accs_arena[e * width..(e + 1) * width];
-            let mut t = match self.spare.pop() {
-                Some(buf) => Tuple::new(buf),
-                None => Tuple::with_capacity(arity + width),
-            };
-            for v in vals.by_ref().take(arity) {
-                t.push(v);
-            }
+            let mut buf = self
+                .spare
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(arity + width));
+            // `take(arity)` off a drain is exact-size, so this extend
+            // is one reservation plus straight moves — no per-value
+            // capacity check like a push loop.
+            buf.extend(vals.by_ref().take(arity));
             for (slot, acc) in self.slots.iter().zip(accs) {
-                t.push(if slot.emit_partial {
+                buf.push(if slot.emit_partial {
                     acc.partial()
                 } else {
                     acc.finalize()
                 });
             }
+            let t = Tuple::new(buf);
             if let Some(h) = &self.having {
                 if !h.eval_predicate(&t)? {
                     continue;
@@ -529,26 +563,11 @@ impl AggregateOp {
         Ok(())
     }
 
-    /// Whether the batch's key lanes admit the vectorized key pass:
-    /// every fast key eval must read a non-null unsigned lane, so the
-    /// columnar hash fold ([`fx::fold_word`]) and the in-place probe
-    /// comparison agree bit-for-bit with [`fx::ValueHash`] and the
-    /// materialized-key comparison of the row path.
-    fn keys_columnar(&self, batch: &ColumnBatch) -> bool {
-        self.fast_keys
-            && self.key_evals.iter().all(|ev| {
-                let col = match ev {
-                    KeyEval::Col(i) => *i,
-                    KeyEval::DivConst { col, .. } => *col,
-                    KeyEval::General => return false,
-                };
-                let c = batch.column(col);
-                c.uints().is_some() && !c.has_nulls()
-            })
-    }
-
     /// Refines `self.sel` to the rows the predicate keeps — compiled
-    /// kernel when it applies, per-tuple interpreter otherwise.
+    /// kernel when it applies, per-tuple interpreter otherwise. The
+    /// fallback swaps the selection through a recycled index buffer, so
+    /// a kernel that bails every batch still allocates nothing in
+    /// steady state.
     fn filter_columns(&mut self, batch: &ColumnBatch) -> ExecResult<()> {
         let Some(p) = &self.predicate else {
             return Ok(());
@@ -560,9 +579,9 @@ impl AggregateOp {
             }
         }
         self.kernel_fallbacks += 1;
-        let kept = std::mem::take(self.sel.raw_mut());
+        std::mem::swap(self.sel.raw_mut(), &mut self.fallback_keep);
         self.sel.clear();
-        for i in kept {
+        for &i in &self.fallback_keep {
             batch.write_row_into(i as usize, &mut self.row_scratch);
             if p.eval_predicate(&self.row_scratch)? {
                 self.sel.push(i);
@@ -571,114 +590,548 @@ impl AggregateOp {
         Ok(())
     }
 
-    /// The vectorized key pass: one fold per key lane into the per-row
-    /// hash vector, quotient lanes computed in the same sweep. The hash
-    /// agrees bit-for-bit with the row path's [`fx::ValueHash`] over
-    /// the same key values, so row-pushed and column-pushed tuples
-    /// probe identical table slots.
-    fn hash_keys_columnar(&mut self, batch: &ColumnBatch) {
-        let rows = batch.rows();
-        self.hash_scratch.clear();
-        self.hash_scratch.resize(rows, 0);
-        let n_divs = self
-            .key_evals
-            .iter()
-            .filter(|e| matches!(e, KeyEval::DivConst { .. }))
-            .count();
-        self.q_lanes.resize_with(n_divs, Vec::new);
-        let mut d = 0;
-        for ev in &self.key_evals {
-            match ev {
-                KeyEval::Col(i) => {
-                    let lane = batch.column(*i).uints().expect("eligibility checked");
-                    for (h, &x) in self.hash_scratch.iter_mut().zip(lane) {
-                        *h = fx::fold_word(*h, x);
-                    }
-                }
-                KeyEval::DivConst { col, div, magic } => {
-                    let lane = batch.column(*col).uints().expect("eligibility checked");
-                    let q = &mut self.q_lanes[d];
-                    d += 1;
-                    q.clear();
-                    q.extend(lane.iter().map(|&x| div_q(x, *div, *magic)));
-                    for (h, &qv) in self.hash_scratch.iter_mut().zip(q.iter()) {
-                        *h = fx::fold_word(*h, qv);
-                    }
-                }
-                KeyEval::General => debug_assert!(false, "columnar keys exclude General evals"),
-            }
-        }
-    }
-
-    /// Builds the owned group key in `key_scratch` for row `r` of a
-    /// columnar batch — the lane-reading analogue of
-    /// [`AggregateOp::materialize_key`]. Runs only when a new group
-    /// inserts.
-    fn materialize_key_cols(&mut self, batch: &ColumnBatch, r: usize) {
-        self.key_scratch.clear();
-        let mut d = 0;
-        for ev in &self.key_evals {
-            match ev {
-                KeyEval::Col(i) => {
-                    let lane = batch.column(*i).uints().expect("eligibility checked");
-                    self.key_scratch.push(Value::UInt(lane[r]));
-                }
-                KeyEval::DivConst { .. } => {
-                    self.key_scratch.push(Value::UInt(self.q_lanes[d][r]));
-                    d += 1;
-                }
-                KeyEval::General => debug_assert!(false, "columnar keys exclude General evals"),
-            }
-        }
-    }
-
-    /// Folds row `r` of a columnar batch into a group's accumulators,
-    /// mirroring [`AggregateOp::fold`] arm for arm: `CountStar`
-    /// increments, `SumCol` widen-adds straight off an unsigned lane
-    /// (falling back to the generic update for NULLs and other lane
-    /// shapes exactly as the row path does for non-`UInt` values), and
-    /// `General` slots evaluate against `row` — the caller's
-    /// materialization of row `r`.
-    fn fold_cols(
+    /// Folds row `r` into a group's accumulators, mirroring
+    /// [`AggregateOp::fold`] arm for arm. The per-batch
+    /// [`SlotLane`] classification hoists the lane resolution out of
+    /// the row loop: `Count` increments, `SumU` widen-adds straight off
+    /// its captured unsigned lane, and everything else takes the exact
+    /// per-row arm (`General` slots evaluate against `row` — the
+    /// caller's materialization of row `r`).
+    fn fold_lanes(
         slots: &[AggSlot],
         slot_evals: &[SlotEval],
+        slot_lanes: &[SlotLane<'_>],
         accs: &mut [AnyAcc],
         batch: &ColumnBatch,
         r: usize,
         row: &Tuple,
     ) -> ExecResult<()> {
-        for ((slot, ev), acc) in slots.iter().zip(slot_evals).zip(accs.iter_mut()) {
-            match ev {
-                SlotEval::CountStar => match acc {
+        for (((slot, ev), lane), acc) in slots
+            .iter()
+            .zip(slot_evals)
+            .zip(slot_lanes)
+            .zip(accs.iter_mut())
+        {
+            match lane {
+                SlotLane::Count => match acc {
                     AnyAcc::Builtin(Accumulator::Count(n)) => *n += 1,
                     other => other.update(&Value::Bool(true)),
                 },
-                SlotEval::SumCol(i) => {
-                    let c = batch.column(*i);
-                    match (&mut *acc, c.uints()) {
-                        (AnyAcc::Builtin(Accumulator::Sum(s)), Some(lane)) if !c.is_null(r) => {
-                            *s = Some(s.unwrap_or(0) + i128::from(lane[r]));
+                SlotLane::SumU(l) => match &mut *acc {
+                    AnyAcc::Builtin(Accumulator::Sum(s)) => {
+                        *s = Some(s.unwrap_or(0) + i128::from(l[r]));
+                    }
+                    acc => acc.update(&Value::UInt(l[r])),
+                },
+                SlotLane::Row => match ev {
+                    SlotEval::CountStar => match acc {
+                        AnyAcc::Builtin(Accumulator::Count(n)) => *n += 1,
+                        other => other.update(&Value::Bool(true)),
+                    },
+                    SlotEval::SumCol(i) => {
+                        let c = batch.column(*i);
+                        match (&mut *acc, c.uints()) {
+                            (AnyAcc::Builtin(Accumulator::Sum(s)), Some(lane)) if !c.is_null(r) => {
+                                *s = Some(s.unwrap_or(0) + i128::from(lane[r]));
+                            }
+                            (acc, _) => acc.update(&c.value(r)),
                         }
-                        (acc, _) => acc.update(&c.value(r)),
+                    }
+                    SlotEval::Col(i) => acc.update(&batch.column(*i).value(r)),
+                    SlotEval::General => {
+                        let v = match &slot.arg {
+                            Some(e) => e.eval(row)?,
+                            // COUNT(*): every tuple counts.
+                            None => Value::Bool(true),
+                        };
+                        if slot.merge {
+                            acc.merge(&v);
+                        } else {
+                            acc.update(&v);
+                        }
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    /// Slot-major fold over one window segment of the all-unsigned fast
+    /// path: each `ents` word packs `(group entry << 32) | row` (late
+    /// rows absent). Where [`AggregateOp::fold_lanes`] dispatches per
+    /// slot per row, this runs one tight loop per slot — the lane match
+    /// happens `width` times per segment, not per row — and each
+    /// accumulator still sees its rows in row order, so any
+    /// order-sensitive UDAF state observes the same update sequence the
+    /// row path produces.
+    fn fold_segment(
+        slots: &[AggSlot],
+        slot_evals: &[SlotEval],
+        slot_lanes: &[SlotLane<'_>],
+        payloads: &mut [AnyAcc],
+        ents: &[u64],
+        batch: &ColumnBatch,
+        row_scratch: &mut Tuple,
+    ) -> ExecResult<()> {
+        let width = slots.len();
+        // The Section 6.1 shape — `COUNT(*), SUM(col)` — gets a fused
+        // pass: a group's two accumulators share a cache line, so one
+        // entry-major walk touches each group once where the slot-major
+        // loops below would take two random passes over the arena.
+        if let [SlotLane::Count, SlotLane::SumU(l)] = slot_lanes {
+            for &er in ents {
+                let e = (er >> 32) as usize;
+                let x = i128::from(l[er as u32 as usize]);
+                let [c, s] = &mut payloads[e * 2..e * 2 + 2] else {
+                    unreachable!("entry payloads are exactly `width` slots");
+                };
+                match (c, s) {
+                    (
+                        AnyAcc::Builtin(Accumulator::Count(n)),
+                        AnyAcc::Builtin(Accumulator::Sum(s)),
+                    ) => {
+                        *n += 1;
+                        *s = Some(s.unwrap_or(0) + x);
+                    }
+                    (c, s) => {
+                        c.update(&Value::Bool(true));
+                        s.update(&Value::UInt(l[er as u32 as usize]));
                     }
                 }
-                SlotEval::Col(i) => acc.update(&batch.column(*i).value(r)),
-                SlotEval::General => {
-                    let v = match &slot.arg {
-                        Some(e) => e.eval(row)?,
-                        // COUNT(*): every tuple counts.
-                        None => Value::Bool(true),
-                    };
-                    if slot.merge {
-                        acc.merge(&v);
-                    } else {
-                        acc.update(&v);
+            }
+            return Ok(());
+        }
+        for (k, ((slot, ev), lane)) in slots.iter().zip(slot_evals).zip(slot_lanes).enumerate() {
+            match lane {
+                SlotLane::Count => {
+                    for &er in ents {
+                        match &mut payloads[(er >> 32) as usize * width + k] {
+                            AnyAcc::Builtin(Accumulator::Count(n)) => *n += 1,
+                            other => other.update(&Value::Bool(true)),
+                        }
+                    }
+                }
+                SlotLane::SumU(l) => {
+                    for &er in ents {
+                        match &mut payloads[(er >> 32) as usize * width + k] {
+                            AnyAcc::Builtin(Accumulator::Sum(s)) => {
+                                *s = Some(s.unwrap_or(0) + i128::from(l[er as u32 as usize]));
+                            }
+                            acc => acc.update(&Value::UInt(l[er as u32 as usize])),
+                        }
+                    }
+                }
+                SlotLane::Row => {
+                    for &er in ents {
+                        let r = er as u32 as usize;
+                        let acc = &mut payloads[(er >> 32) as usize * width + k];
+                        match ev {
+                            SlotEval::CountStar => match acc {
+                                AnyAcc::Builtin(Accumulator::Count(n)) => *n += 1,
+                                other => other.update(&Value::Bool(true)),
+                            },
+                            SlotEval::SumCol(i) => {
+                                let c = batch.column(*i);
+                                match (&mut *acc, c.uints()) {
+                                    (AnyAcc::Builtin(Accumulator::Sum(s)), Some(lane))
+                                        if !c.is_null(r) =>
+                                    {
+                                        *s = Some(s.unwrap_or(0) + i128::from(lane[r]));
+                                    }
+                                    (acc, _) => acc.update(&c.value(r)),
+                                }
+                            }
+                            SlotEval::Col(i) => acc.update(&batch.column(*i).value(r)),
+                            SlotEval::General => {
+                                batch.write_row_into(r, row_scratch);
+                                let v = match &slot.arg {
+                                    Some(e) => e.eval(row_scratch)?,
+                                    None => Value::Bool(true),
+                                };
+                                if slot.merge {
+                                    acc.merge(&v);
+                                } else {
+                                    acc.update(&v);
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
         Ok(())
     }
+}
+
+/// One group-key expression's source for the current batch, classified
+/// once per batch so the per-row loop (hash, probe, materialize) reads
+/// raw lanes — no `Column` dispatch per row per probe.
+enum KeyLane<'a> {
+    /// Non-null unsigned lane.
+    U(&'a [u64]),
+    /// Unsigned lane with a null mask.
+    UNull(&'a [u64], &'a [bool]),
+    /// Signed lane (empty mask = no NULLs).
+    I(&'a [i64], &'a [bool]),
+    /// Boolean lane (empty mask = no NULLs).
+    B(&'a [bool], &'a [bool]),
+    /// Dictionary-encoded strings; NULL rows carry [`DICT_NULL_CODE`].
+    D(&'a DictLane),
+    /// Untyped all-NULL column.
+    AllNull,
+    /// Window quotient: the divisor's source lane, materialized into
+    /// `q_lanes[idx]` by the hash pass.
+    Q {
+        src: &'a [u64],
+        div: u64,
+        magic: u64,
+        idx: usize,
+    },
+}
+
+/// Whether row `r` is NULL under a possibly-empty null mask.
+#[inline]
+fn masked(m: &[bool], r: usize) -> bool {
+    !m.is_empty() && m[r]
+}
+
+/// The lane type a column's data would execute as — the label the
+/// per-lane kernel counters tally under.
+fn column_lane_kind(c: &qap_types::Column) -> LaneKind {
+    match c.data() {
+        Some(ColumnData::UInt(_)) | None => LaneKind::Uint,
+        Some(ColumnData::Int(_)) => LaneKind::Int,
+        Some(ColumnData::Bool(_)) => LaneKind::Bool,
+        Some(ColumnData::Str(_)) => LaneKind::Str,
+        Some(ColumnData::Dict(_)) => LaneKind::Dict,
+        Some(ColumnData::Mixed(_)) => LaneKind::Mixed,
+    }
+}
+
+/// The lane type a classified key lane reads — `None` for the untyped
+/// all-NULL lane, which belongs to no tally.
+fn key_lane_kind(lane: &KeyLane<'_>) -> Option<LaneKind> {
+    Some(match lane {
+        KeyLane::U(_) | KeyLane::UNull(..) | KeyLane::Q { .. } => LaneKind::Uint,
+        KeyLane::I(..) => LaneKind::Int,
+        KeyLane::B(..) => LaneKind::Bool,
+        KeyLane::D(_) => LaneKind::Dict,
+        KeyLane::AllNull => return None,
+    })
+}
+
+/// Classifies every key eval's source lane, or the blocking lane type
+/// when some shape keeps the batch off the columnar path: a `Mixed` or
+/// plain-`Str` lane (entry normalization dictionary-encodes strings, so
+/// plain `Str` means a demoted recycle), a `General` eval (tallied as
+/// `Mixed` — no single lane to blame), a window divisor over anything
+/// but a non-null unsigned lane, or a temporal lane that is not
+/// non-null unsigned — NULL windows and kind-ranked buckets stay on the
+/// exact row path.
+fn classify_key_lanes<'a>(
+    key_evals: &[KeyEval],
+    temporal_idx: usize,
+    batch: &'a ColumnBatch,
+) -> Result<Vec<KeyLane<'a>>, LaneKind> {
+    let mut lanes = Vec::with_capacity(key_evals.len());
+    let mut n_divs = 0;
+    for ev in key_evals {
+        lanes.push(match ev {
+            KeyEval::Col(i) => {
+                let c = batch.column(*i);
+                let m = c.null_mask();
+                match c.data() {
+                    Some(ColumnData::UInt(l)) if m.is_empty() => KeyLane::U(l),
+                    Some(ColumnData::UInt(l)) => KeyLane::UNull(l, m),
+                    Some(ColumnData::Int(l)) => KeyLane::I(l, m),
+                    Some(ColumnData::Bool(l)) => KeyLane::B(l, m),
+                    Some(ColumnData::Dict(d)) => KeyLane::D(d),
+                    None => KeyLane::AllNull,
+                    Some(ColumnData::Str(_)) => return Err(LaneKind::Str),
+                    Some(ColumnData::Mixed(_)) => return Err(LaneKind::Mixed),
+                }
+            }
+            KeyEval::DivConst { col, div, magic } => {
+                let c = batch.column(*col);
+                let (Some(src), false) = (c.uints(), c.has_nulls()) else {
+                    return Err(column_lane_kind(c));
+                };
+                let idx = n_divs;
+                n_divs += 1;
+                KeyLane::Q {
+                    src,
+                    div: *div,
+                    magic: *magic,
+                    idx,
+                }
+            }
+            KeyEval::General => return Err(LaneKind::Mixed),
+        });
+    }
+    match lanes[temporal_idx] {
+        KeyLane::U(_) | KeyLane::Q { .. } => Ok(lanes),
+        ref l => Err(key_lane_kind(l).unwrap_or(LaneKind::Mixed)),
+    }
+}
+
+/// Builds the row-major key-word buffer for the all-unsigned fast path
+/// — `arity` words per row, filled lane-at-a-time (plain lanes copy,
+/// window quotients compute in place) — folding each word into the
+/// per-row hash in the same sweep. Each row's word slice *is* its
+/// group key: the words equal the `Value::UInt` payloads the row path
+/// would materialize, and because lanes fill in key order, the hash
+/// folds words in row order and reproduces [`fx::ValueHash`] exactly
+/// (the `UInt` tag is zero).
+fn build_flat_words(
+    lanes: &[KeyLane<'_>],
+    rows: usize,
+    flat: &mut Vec<u64>,
+    hashes: &mut Vec<u64>,
+) {
+    let arity = lanes.len();
+    flat.clear();
+    flat.resize(rows * arity, 0);
+    for (k, lane) in lanes.iter().enumerate() {
+        match lane {
+            KeyLane::U(l) => {
+                for (row, &x) in flat.chunks_exact_mut(arity).zip(*l) {
+                    row[k] = x;
+                }
+            }
+            KeyLane::Q {
+                src, div, magic, ..
+            } => {
+                for (row, &x) in flat.chunks_exact_mut(arity).zip(*src) {
+                    row[k] = div_q(x, *div, *magic);
+                }
+            }
+            _ => unreachable!("caller gates on all-unsigned lanes"),
+        }
+    }
+    hashes.clear();
+    hashes.extend(
+        flat.chunks_exact(arity)
+            .map(|key| key.iter().fold(0u64, |h, &w| fx::fold_word(h, w))),
+    );
+}
+
+/// The vectorized key pass: one fold per key lane per row into the
+/// per-row hash vector, quotient lanes computed in the same sweep. The
+/// hash agrees bit-for-bit with the row path's [`fx::ValueHash`] over
+/// the same key values — every lane kind folds exactly the word(s)
+/// `ValueHash::add` would — so row-pushed and column-pushed tuples
+/// probe identical table slots. Dictionary lanes flatten each
+/// *distinct* string to its word sequence once (into
+/// `str_words`/`str_offs`) and replay the words per row.
+fn hash_key_lanes(
+    lanes: &[KeyLane<'_>],
+    rows: usize,
+    hashes: &mut Vec<u64>,
+    q_lanes: &mut Vec<Vec<u64>>,
+    str_words: &mut Vec<u64>,
+    str_offs: &mut Vec<u32>,
+) {
+    hashes.clear();
+    hashes.resize(rows, 0);
+    let n_divs = lanes
+        .iter()
+        .filter(|l| matches!(l, KeyLane::Q { .. }))
+        .count();
+    q_lanes.resize_with(n_divs, Vec::new);
+    for lane in lanes {
+        match lane {
+            KeyLane::U(l) => {
+                for (h, &x) in hashes.iter_mut().zip(*l) {
+                    *h = fx::fold_word(*h, x);
+                }
+            }
+            KeyLane::UNull(l, m) => {
+                for ((h, &x), &n) in hashes.iter_mut().zip(*l).zip(*m) {
+                    *h = fx::fold_word(*h, if n { fx::NULL_WORD } else { x });
+                }
+            }
+            KeyLane::I(l, m) => {
+                for (r, (h, &x)) in hashes.iter_mut().zip(*l).enumerate() {
+                    let w = if masked(m, r) {
+                        fx::NULL_WORD
+                    } else {
+                        fx::int_word(x)
+                    };
+                    *h = fx::fold_word(*h, w);
+                }
+            }
+            KeyLane::B(l, m) => {
+                for (r, (h, &b)) in hashes.iter_mut().zip(*l).enumerate() {
+                    let w = if masked(m, r) {
+                        fx::NULL_WORD
+                    } else {
+                        fx::bool_word(b)
+                    };
+                    *h = fx::fold_word(*h, w);
+                }
+            }
+            KeyLane::AllNull => {
+                for h in hashes.iter_mut() {
+                    *h = fx::fold_word(*h, fx::NULL_WORD);
+                }
+            }
+            KeyLane::D(d) => {
+                str_words.clear();
+                str_offs.clear();
+                str_offs.push(0);
+                for v in d.values() {
+                    fx::str_value_words(v, str_words);
+                    str_offs.push(str_words.len() as u32);
+                }
+                for (h, &c) in hashes.iter_mut().zip(d.codes()) {
+                    if c == DICT_NULL_CODE {
+                        *h = fx::fold_word(*h, fx::NULL_WORD);
+                    } else {
+                        let span = str_offs[c as usize] as usize..str_offs[c as usize + 1] as usize;
+                        for &w in &str_words[span] {
+                            *h = fx::fold_word(*h, w);
+                        }
+                    }
+                }
+            }
+            KeyLane::Q {
+                src,
+                div,
+                magic,
+                idx,
+            } => {
+                let q = &mut q_lanes[*idx];
+                q.clear();
+                q.extend(src.iter().map(|&x| div_q(x, *div, *magic)));
+                for (h, &qv) in hashes.iter_mut().zip(q.iter()) {
+                    *h = fx::fold_word(*h, qv);
+                }
+            }
+        }
+    }
+}
+
+/// Compares a stored group key against row `r`'s key without
+/// materializing the latter, lane-at-a-time. Equality agrees exactly
+/// with the `[Value]` comparison (structural: `UInt(5) ≠ Int(5)`)
+/// because each arm matches only its lane's exact `Value` kind;
+/// dictionary rows short-circuit on pointer equality within a batch and
+/// fall back to content comparison across batches.
+#[inline]
+fn key_matches_lanes(lanes: &[KeyLane<'_>], q_lanes: &[Vec<u64>], r: usize, key: &[Value]) -> bool {
+    lanes.iter().zip(key).all(|(lane, kv)| match lane {
+        KeyLane::U(l) => matches!(kv, Value::UInt(x) if *x == l[r]),
+        KeyLane::UNull(l, m) => {
+            if m[r] {
+                kv.is_null()
+            } else {
+                matches!(kv, Value::UInt(x) if *x == l[r])
+            }
+        }
+        KeyLane::I(l, m) => {
+            if masked(m, r) {
+                kv.is_null()
+            } else {
+                matches!(kv, Value::Int(x) if *x == l[r])
+            }
+        }
+        KeyLane::B(l, m) => {
+            if masked(m, r) {
+                kv.is_null()
+            } else {
+                matches!(kv, Value::Bool(x) if *x == l[r])
+            }
+        }
+        KeyLane::D(d) => {
+            if d.codes()[r] == DICT_NULL_CODE {
+                kv.is_null()
+            } else {
+                matches!(kv, Value::Str(s) if {
+                    let v = d.get(r);
+                    Arc::ptr_eq(s, v) || s == v
+                })
+            }
+        }
+        KeyLane::AllNull => kv.is_null(),
+        KeyLane::Q { idx, .. } => matches!(kv, Value::UInt(x) if *x == q_lanes[*idx][r]),
+    })
+}
+
+/// Builds the owned group key for row `r` from classified lanes — the
+/// lane-reading analogue of [`AggregateOp::materialize_key`]. Runs only
+/// when a new group inserts.
+fn materialize_key_lanes(
+    lanes: &[KeyLane<'_>],
+    q_lanes: &[Vec<u64>],
+    r: usize,
+    out: &mut Vec<Value>,
+) {
+    out.clear();
+    for lane in lanes {
+        out.push(match lane {
+            KeyLane::U(l) => Value::UInt(l[r]),
+            KeyLane::UNull(l, m) => {
+                if m[r] {
+                    Value::Null
+                } else {
+                    Value::UInt(l[r])
+                }
+            }
+            KeyLane::I(l, m) => {
+                if masked(m, r) {
+                    Value::Null
+                } else {
+                    Value::Int(l[r])
+                }
+            }
+            KeyLane::B(l, m) => {
+                if masked(m, r) {
+                    Value::Null
+                } else {
+                    Value::Bool(l[r])
+                }
+            }
+            KeyLane::D(d) => {
+                if d.codes()[r] == DICT_NULL_CODE {
+                    Value::Null
+                } else {
+                    Value::Str(Arc::clone(d.get(r)))
+                }
+            }
+            KeyLane::AllNull => Value::Null,
+            KeyLane::Q { idx, .. } => Value::UInt(q_lanes[*idx][r]),
+        });
+    }
+}
+
+/// One aggregate slot's per-batch fold source: the lane-resolved
+/// refinement of [`SlotEval`], classified once per batch.
+enum SlotLane<'a> {
+    /// `COUNT(*)`: unconditional increment.
+    Count,
+    /// Built-in `SUM` over a non-null unsigned lane: widen-add off the
+    /// captured lane.
+    SumU(&'a [u64]),
+    /// Everything else: the exact per-row arm of the matching
+    /// [`SlotEval`].
+    Row,
+}
+
+fn classify_slot_lanes<'a>(slot_evals: &[SlotEval], batch: &'a ColumnBatch) -> Vec<SlotLane<'a>> {
+    slot_evals
+        .iter()
+        .map(|ev| match ev {
+            SlotEval::CountStar => SlotLane::Count,
+            SlotEval::SumCol(i) => {
+                let c = batch.column(*i);
+                match (c.uints(), c.has_nulls()) {
+                    (Some(l), false) => SlotLane::SumU(l),
+                    _ => SlotLane::Row,
+                }
+            }
+            _ => SlotLane::Row,
+        })
+        .collect()
 }
 
 impl Operator for AggregateOp {
@@ -806,47 +1259,155 @@ impl Operator for AggregateOp {
             batch.clear();
             return Ok(());
         }
-        // Key-lane eligibility gates the whole batch: the vectorized
-        // pass requires non-null unsigned key lanes (anything else
-        // hashes differently from `ValueHash`), so other shapes
+        // Entry normalization: plain string lanes dictionary-encode so
+        // string predicates and group keys run as integer compares
+        // (no-op for already-typed lanes).
+        batch.dict_encode_strings();
+        // Key-lane eligibility gates the whole batch: ineligible shapes
+        // (Mixed lanes, General evals, non-unsigned window attributes)
         // materialize and take the exact row path — predicate included.
-        if !self.keys_columnar(batch) {
+        if let Err(kind) = classify_key_lanes(&self.key_evals, self.temporal_idx, batch) {
             self.kernel_fallbacks += 1;
+            self.lane_fallbacks[kind as usize] += 1;
             let mut rows = Vec::with_capacity(batch.rows());
             batch.append_rows_to(&mut rows);
             batch.clear();
             return self.push_batch(port, &mut rows, rows_out);
         }
-        // σ: refine the selection, then compact onto the survivors.
-        self.sel.fill_identity(batch.rows());
-        self.filter_columns(batch)?;
-        if self.sel.is_empty() {
-            batch.clear();
-            return Ok(());
+        // σ: refine the selection, then compact onto the survivors
+        // (skipped entirely when the plan has no predicate).
+        if self.predicate.is_some() {
+            self.sel.fill_identity(batch.rows());
+            self.filter_columns(batch)?;
+            if self.sel.is_empty() {
+                batch.clear();
+                return Ok(());
+            }
+            batch.compact(&self.sel);
         }
-        batch.compact(&self.sel);
-        // Vectorized key pass: hash every row's group key lane-at-a-
-        // time, computing window quotients in the same sweep.
-        self.hash_keys_columnar(batch);
+        // Re-classify against the compacted lanes (compaction only
+        // preserves or upgrades shapes — a null mask can drop, a lane
+        // type never changes).
+        let lanes = classify_key_lanes(&self.key_evals, self.temporal_idx, batch)
+            .expect("compaction preserves key-lane shapes");
         self.kernel_hits += 1;
+        for lane in &lanes {
+            if let Some(k) = key_lane_kind(lane) {
+                self.lane_hits[k as usize] += 1;
+            }
+        }
         let arity = self.group_exprs.len();
+        let rows = batch.rows();
         let any_general = self
             .slot_evals
             .iter()
             .any(|e| matches!(e, SlotEval::General));
+        let slot_lanes = classify_slot_lanes(&self.slot_evals, batch);
+        // All-unsigned keys — the shape of every §6 query — take the
+        // word fast path: one row-major word buffer per batch serves as
+        // hash input, probe key, window-bucket source, and insert key,
+        // so the per-row loop touches no `Value` at all. The table's
+        // word arena stays valid throughout: every key this path
+        // inserts is all-`UInt`.
+        if self.groups.u64_keys_ok()
+            && lanes
+                .iter()
+                .all(|l| matches!(l, KeyLane::U(_) | KeyLane::Q { .. }))
+        {
+            let mut flat = std::mem::take(&mut self.ukeys_flat);
+            let mut hashes = std::mem::take(&mut self.hash_scratch);
+            build_flat_words(&lanes, rows, &mut flat, &mut hashes);
+            let t_off = self.temporal_idx;
+            // Probe pass: one counted walk per row finds-or-inserts the
+            // group and records `(entry, row)` packed in one word.
+            // Folding is deferred to a slot-major segment pass (one
+            // tight loop per aggregate slot, dispatch hoisted out of
+            // the row loop), run before every window flush so bucket
+            // transitions observe exactly the state the row path would.
+            let mut ents = std::mem::take(&mut self.entry_scratch);
+            ents.clear();
+            // Probe tally lives in a register for the whole batch — a
+            // per-row `Cell` update would chain the iterations through
+            // memory (see `upsert_u64`).
+            let mut walked = 0u64;
+            for (r, (key, &hash)) in flat.chunks_exact(arity).zip(hashes.iter()).enumerate() {
+                let bucket = i128::from(key[t_off]);
+                match self.current_bucket {
+                    Some(cur) if bucket > cur => {
+                        Self::fold_segment(
+                            &self.slots,
+                            &self.slot_evals,
+                            &slot_lanes,
+                            self.groups.payloads_mut(),
+                            &ents,
+                            batch,
+                            &mut self.row_scratch,
+                        )?;
+                        ents.clear();
+                        self.flush(rows_out)?;
+                        self.current_bucket = Some(bucket);
+                    }
+                    Some(cur) if bucket < cur => {
+                        self.late += 1;
+                        continue;
+                    }
+                    Some(_) => {}
+                    None => self.current_bucket = Some(bucket),
+                }
+                let e = self.groups.upsert_u64(
+                    hash,
+                    key,
+                    &mut walked,
+                    self.slots.iter().map(AggSlot::fresh),
+                );
+                ents.push((e as u64) << 32 | r as u64);
+            }
+            self.groups.add_probes(walked);
+            Self::fold_segment(
+                &self.slots,
+                &self.slot_evals,
+                &slot_lanes,
+                self.groups.payloads_mut(),
+                &ents,
+                batch,
+                &mut self.row_scratch,
+            )?;
+            self.entry_scratch = ents;
+            self.ukeys_flat = flat;
+            self.hash_scratch = hashes;
+            batch.clear();
+            return Ok(());
+        }
+        // Vectorized key pass: hash every row's group key lane-at-a-
+        // time, computing window quotients in the same sweep.
+        hash_key_lanes(
+            &lanes,
+            rows,
+            &mut self.hash_scratch,
+            &mut self.q_lanes,
+            &mut self.str_words,
+            &mut self.str_offs,
+        );
+        // Temporal source resolved to a raw lane read (the gate
+        // guarantees a non-null unsigned temporal lane).
+        enum TSrc<'a> {
+            U(&'a [u64]),
+            Q(usize),
+        }
+        let tsrc = match &lanes[self.temporal_idx] {
+            KeyLane::U(l) => TSrc::U(l),
+            KeyLane::Q { idx, .. } => TSrc::Q(*idx),
+            _ => unreachable!("gate requires an unsigned temporal lane"),
+        };
         // Bulk upsert: per row, probe with an in-place lane comparison
         // (no key materialization on a hit) and fold straight off the
         // lanes. Window flush/late logic runs in row order, so bucket
         // transitions land exactly where the row path puts them.
-        for r in 0..batch.rows() {
+        for r in 0..rows {
             let hash = self.hash_scratch[r];
-            // Key lanes are non-null unsigned: the temporal attribute
-            // is never NULL on this path.
-            let bucket: i128 = match self.temporal_src {
-                TemporalSrc::Col(i) => {
-                    i128::from(batch.column(i).uints().expect("eligibility checked")[r])
-                }
-                TemporalSrc::Div(d) => i128::from(self.q_lanes[d][r]),
+            let bucket: i128 = match tsrc {
+                TSrc::U(l) => i128::from(l[r]),
+                TSrc::Q(d) => i128::from(self.q_lanes[d][r]),
             };
             match self.current_bucket {
                 Some(cur) if bucket > cur => {
@@ -861,25 +1422,9 @@ impl Operator for AggregateOp {
                 None => self.current_bucket = Some(bucket),
             }
             let found = {
-                let evals = &self.key_evals;
                 let q_lanes = &self.q_lanes;
                 self.groups.find_with(hash, arity, |key| {
-                    let mut d = 0;
-                    evals.iter().zip(key).all(|(ev, kv)| match ev {
-                        KeyEval::Col(i) => {
-                            let lane = batch.column(*i).uints().expect("eligibility checked");
-                            matches!(kv, Value::UInt(x) if *x == lane[r])
-                        }
-                        KeyEval::DivConst { .. } => {
-                            let qv = q_lanes[d][r];
-                            d += 1;
-                            matches!(kv, Value::UInt(x) if *x == qv)
-                        }
-                        KeyEval::General => {
-                            debug_assert!(false, "columnar keys exclude General evals");
-                            false
-                        }
-                    })
+                    key_matches_lanes(&lanes, q_lanes, r, key)
                 })
             };
             if any_general {
@@ -888,7 +1433,7 @@ impl Operator for AggregateOp {
             let accs = match found {
                 Some(e) => self.groups.payload_mut(e),
                 None => {
-                    self.materialize_key_cols(batch, r);
+                    materialize_key_lanes(&lanes, &self.q_lanes, r, &mut self.key_scratch);
                     self.groups.insert_new(
                         hash,
                         &mut self.key_scratch,
@@ -896,9 +1441,10 @@ impl Operator for AggregateOp {
                     )
                 }
             };
-            Self::fold_cols(
+            Self::fold_lanes(
                 &self.slots,
                 &self.slot_evals,
+                &slot_lanes,
                 accs,
                 batch,
                 r,
@@ -937,8 +1483,20 @@ impl Operator for AggregateOp {
             group_inserts: self.groups.insert_count() + self.null_groups.insert_count(),
             kernel_hits: self.kernel_hits,
             kernel_fallbacks: self.kernel_fallbacks,
+            kernel_lane_hits: merge_lanes(self.kscratch.lane_hits(), self.lane_hits),
+            kernel_lane_fallbacks: merge_lanes(self.kscratch.lane_fallbacks(), self.lane_fallbacks),
         }
     }
+}
+
+/// Element-wise sum of two per-lane counter arrays: the predicate
+/// kernel's tallies plus the operator's own key-lane tallies.
+fn merge_lanes(a: [u64; LANE_KINDS], b: [u64; LANE_KINDS]) -> [u64; LANE_KINDS] {
+    let mut out = a;
+    for (o, v) in out.iter_mut().zip(b) {
+        *o += v;
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,4 +1,5 @@
-//! Insertion-ordered hash table for per-window operator state.
+//! Insertion-ordered, two-level hash table for per-window operator
+//! state.
 //!
 //! The aggregation inner loop probes a value-keyed map on every tuple.
 //! A `std::collections::HashMap` makes that loop pay for SipHash on the
@@ -7,14 +8,27 @@
 //! flushes via `remove`. This table collapses all of that:
 //!
 //! - keys hash once per tuple with the Fx hasher ([`crate::fx`]);
-//! - the index is open-addressed with the cached hash stored *in* the
-//!   slot: a probe loads one 16-byte slot (hash + entry id), rejects on
-//!   hash mismatch without touching the key arena, and walks linearly —
-//!   no collision-chain pointer chasing across side arrays;
-//! - key values live in one flat arena (`arity` values per entry), so a
-//!   hash-confirmed probe compares against contiguous memory instead of
-//!   chasing a per-key heap pointer, and inserting a key is an `append`
-//!   from the caller's scratch — no allocation per group;
+//! - the index is **two-level**: the hash's top bits select one of
+//!   [`PARTITIONS`] independently sized partitions, the low bits an
+//!   open-addressed slot within it. Partitions grow independently, so a
+//!   skewed key distribution re-places only the hot partition's slots
+//!   (not the whole index), each partition's slot array stays small
+//!   enough to live in cache while it is hot, and the layout matches
+//!   the paper's per-partition → global aggregation structure
+//!   (Section 5.2.2: sub-aggregates per partition, one global arena);
+//! - a probe loads one 16-byte slot (cached hash + entry id), rejects
+//!   on hash mismatch without touching the key arena, and walks
+//!   linearly — no collision-chain pointer chasing across side arrays;
+//! - key values live in one **global** flat arena (`arity` values per
+//!   entry) shared by all partitions, so entries stay in insertion
+//!   order regardless of which partition indexes them and a
+//!   hash-confirmed probe compares against contiguous memory;
+//! - while every key inserted this window is all-unsigned (the network
+//!   schema case), a parallel `u64` **word arena** mirrors the keys, and
+//!   [`GroupTable::upsert_u64`] probes with plain word compares — no
+//!   `Value` enum dispatch in the columnar upsert loop. The first
+//!   non-unsigned key poisons the word arena for the window (the
+//!   `Value` probe is always available and always exact);
 //! - payloads live in a second flat arena (`width` slots per entry), so
 //!   the per-tuple fold updates contiguous accumulator state instead of
 //!   dereferencing a per-group heap `Vec`, and creating a group extends
@@ -26,6 +40,12 @@
 //! Determinism: iteration order is exactly insertion order, so operator
 //! output is independent of the hash function and identical across
 //! batch sizes — the property the equivalence suite pins down.
+//!
+//! `u64`-probe exactness: group-key equality is *structural* (`Value`'s
+//! derived `PartialEq`: `UInt(5) ≠ Int(5)`), so raw word comparison is
+//! exact precisely when both the stored key and the probe key are
+//! all-`UInt` — which is what `ukeys_ok` tracks for the stored side and
+//! the caller's lane gate guarantees for the probe side.
 
 use std::cell::Cell;
 
@@ -35,21 +55,66 @@ use qap_types::Value;
 /// arena index *plus one* (`0` marks a vacant slot).
 type Slot = (u64, u32);
 
+/// Number of first-level partitions (must be a power of two).
+const PARTITIONS: usize = 128;
+
+/// Bits of the hash consumed by the partition selector — the *top*
+/// bits, disjoint from the low bits that pick the slot within a
+/// partition, so both levels see independent hash entropy.
+const PART_SHIFT: u32 = 64 - PARTITIONS.trailing_zeros();
+
+/// One first-level partition: an independently sized open-addressed
+/// slot array over the shared entry arenas.
+#[derive(Default)]
+struct Partition {
+    /// Length is a power of two (or zero before first use), kept at
+    /// most half full so linear probe runs stay short.
+    slots: Vec<Slot>,
+    /// `slots.len() - 1`.
+    mask: u64,
+    /// Live entries indexed by this partition.
+    len: usize,
+}
+
+impl Partition {
+    /// Doubles the slot array and re-places every live slot under the
+    /// new mask, from the hashes cached in the slots themselves.
+    #[cold]
+    fn grow(&mut self) {
+        let n = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0); n]);
+        self.mask = (n - 1) as u64;
+        for (h, e1) in old {
+            if e1 == 0 {
+                continue;
+            }
+            let mut i = (h & self.mask) as usize;
+            while self.slots[i].1 != 0 {
+                i = (i + 1) & self.mask as usize;
+            }
+            self.slots[i] = (h, e1);
+        }
+    }
+}
+
 /// Hash table mapping a fixed-arity `[Value]` key to a fixed-width
 /// payload slice of `P`, preserving insertion order for drains. All
 /// keys passed to one table must share the same arity (an operator's
 /// group-key width); payload width is fixed at construction (an
 /// operator's aggregate-slot count).
 pub(crate) struct GroupTable<P> {
-    /// Open-addressed index; length is a power of two, kept at most
-    /// half full so linear probe runs stay short.
-    slots: Vec<Slot>,
-    /// `slots.len() - 1`.
-    mask: u64,
-    /// Number of live entries.
+    /// First-level partitions, selected by the hash's top bits.
+    parts: Vec<Partition>,
+    /// Number of live entries across all partitions.
     len: usize,
     /// Flat key storage: entry `e` owns `keys[e*arity .. (e+1)*arity]`.
     keys: Vec<Value>,
+    /// Parallel `u64` key words (entry `e` owns
+    /// `ukeys[e*arity .. (e+1)*arity]`), valid while `ukeys_ok`.
+    ukeys: Vec<u64>,
+    /// Whether every key inserted since the last drain was all-`UInt`
+    /// (so `ukeys` mirrors `keys` and word probes are exact).
+    ukeys_ok: bool,
     /// Flat payload storage: entry `e` owns
     /// `payloads[e*width .. (e+1)*width]`.
     payloads: Vec<P>,
@@ -69,10 +134,11 @@ pub(crate) struct GroupTable<P> {
 impl<P> GroupTable<P> {
     pub(crate) fn new(width: usize) -> Self {
         GroupTable {
-            slots: Vec::new(),
-            mask: 0,
+            parts: (0..PARTITIONS).map(|_| Partition::default()).collect(),
             len: 0,
             keys: Vec::new(),
+            ukeys: Vec::new(),
+            ukeys_ok: true,
             payloads: Vec::new(),
             width,
             probes: Cell::new(0),
@@ -84,9 +150,10 @@ impl<P> GroupTable<P> {
         self.len == 0
     }
 
-    /// Current open-addressed index capacity (slot count).
+    /// Current open-addressed index capacity (slot count across all
+    /// partitions).
     pub(crate) fn slot_count(&self) -> u64 {
-        self.slots.len() as u64
+        self.parts.iter().map(|p| p.slots.len() as u64).sum()
     }
 
     /// Total slot inspections across all lookups so far.
@@ -97,6 +164,12 @@ impl<P> GroupTable<P> {
     /// Groups created across the table's lifetime.
     pub(crate) fn insert_count(&self) -> u64 {
         self.inserts
+    }
+
+    /// Whether [`GroupTable::upsert_u64`] is currently exact: every key
+    /// inserted since the last drain was all-`UInt`.
+    pub(crate) fn u64_keys_ok(&self) -> bool {
+        self.ukeys_ok
     }
 
     /// Entry index of `key`, or `None` when the group does not exist.
@@ -117,14 +190,15 @@ impl<P> GroupTable<P> {
         arity: usize,
         mut eq: impl FnMut(&[Value]) -> bool,
     ) -> Option<usize> {
-        if self.slots.is_empty() {
+        let p = &self.parts[(hash >> PART_SHIFT) as usize];
+        if p.slots.is_empty() {
             return None;
         }
-        let mut i = (hash & self.mask) as usize;
+        let mut i = (hash & p.mask) as usize;
         let mut inspected = 0u64;
         let found = loop {
             inspected += 1;
-            let (h, e1) = self.slots[i];
+            let (h, e1) = p.slots[i];
             if e1 == 0 {
                 break None;
             }
@@ -134,10 +208,37 @@ impl<P> GroupTable<P> {
                     break Some(e);
                 }
             }
-            i = (i + 1) & self.mask as usize;
+            i = (i + 1) & p.mask as usize;
         };
         self.probes.set(self.probes.get() + inspected);
         found
+    }
+
+    /// Entry index of the group whose key words equal `ukey` — the
+    /// non-mutating form of [`GroupTable::upsert_u64`]'s probe walk,
+    /// kept as a test oracle for word/value probe agreement.
+    #[cfg(test)]
+    fn find_u64(&self, hash: u64, ukey: &[u64]) -> Option<usize> {
+        debug_assert!(self.ukeys_ok, "caller checks u64_keys_ok");
+        let arity = ukey.len();
+        let p = &self.parts[(hash >> PART_SHIFT) as usize];
+        if p.slots.is_empty() {
+            return None;
+        }
+        let mut i = (hash & p.mask) as usize;
+        loop {
+            let (h, e1) = p.slots[i];
+            if e1 == 0 {
+                return None;
+            }
+            if h == hash {
+                let e = (e1 - 1) as usize;
+                if self.ukeys[e * arity..(e + 1) * arity] == *ukey {
+                    return Some(e);
+                }
+            }
+            i = (i + 1) & p.mask as usize;
+        }
     }
 
     /// Mutable payload slice of entry `e` (an index returned by
@@ -188,16 +289,32 @@ impl<P> GroupTable<P> {
         key: &mut Vec<Value>,
         fresh: impl Iterator<Item = P>,
     ) -> &mut [P] {
-        if self.len * 2 >= self.slots.len() {
-            self.grow();
+        let p = &mut self.parts[(hash >> PART_SHIFT) as usize];
+        if p.len * 2 >= p.slots.len() {
+            p.grow();
         }
         self.inserts += 1;
-        let mut i = (hash & self.mask) as usize;
-        while self.slots[i].1 != 0 {
-            i = (i + 1) & self.mask as usize;
+        let mut i = (hash & p.mask) as usize;
+        while p.slots[i].1 != 0 {
+            i = (i + 1) & p.mask as usize;
         }
         self.len += 1;
-        self.slots[i] = (hash, self.len as u32);
+        p.len += 1;
+        p.slots[i] = (hash, self.len as u32);
+        // Mirror the key into the word arena while it stays all-`UInt`;
+        // the first other kind poisons word probes for this window.
+        if self.ukeys_ok {
+            for v in key.iter() {
+                match v {
+                    Value::UInt(x) => self.ukeys.push(*x),
+                    _ => {
+                        self.ukeys_ok = false;
+                        self.ukeys.clear();
+                        break;
+                    }
+                }
+            }
+        }
         self.keys.append(key);
         let start = self.payloads.len();
         self.payloads.extend(fresh);
@@ -205,14 +322,112 @@ impl<P> GroupTable<P> {
         &mut self.payloads[start..]
     }
 
+    /// All-unsigned find-or-insert for the columnar fast path: the key
+    /// arrives as raw words (one per lane), one probe walk serves both
+    /// the lookup and — on a miss — the insert position, and the key
+    /// mirrors into both arenas without passing through a `Value`
+    /// scratch buffer. Returns the entry index (an index into
+    /// [`GroupTable::payloads_mut`] at `width` stride). Callers check
+    /// [`GroupTable::u64_keys_ok`] and guarantee every word is a
+    /// `Value::UInt` payload, or the probe is meaningless.
+    ///
+    /// Probes are tallied into `counted`, a caller-held register, not
+    /// directly into the [`GroupTable::probes`] cell: a per-call
+    /// read-modify-write of the cell is a loop-carried dependency
+    /// through memory that serializes the caller's row loop. The caller
+    /// folds the tally in once per batch via [`GroupTable::add_probes`]
+    /// — final counter values still match the row path's walk-by-walk
+    /// accounting exactly.
+    pub(crate) fn upsert_u64(
+        &mut self,
+        hash: u64,
+        ukey: &[u64],
+        counted: &mut u64,
+        fresh: impl Iterator<Item = P>,
+    ) -> usize {
+        debug_assert!(self.ukeys_ok, "caller checks u64_keys_ok");
+        let arity = ukey.len();
+        let pi = (hash >> PART_SHIFT) as usize;
+        // Probe walk, counted exactly like `find_u64`'s — row- and
+        // column-pushed streams must report identical probe telemetry —
+        // landing on the empty slot the insert will fill on a miss.
+        let mut landing = None;
+        let p = &self.parts[pi];
+        if !p.slots.is_empty() {
+            let mut i = (hash & p.mask) as usize;
+            let mut inspected = 0u64;
+            loop {
+                inspected += 1;
+                let (h, e1) = p.slots[i];
+                if e1 == 0 {
+                    landing = Some(i);
+                    break;
+                }
+                if h == hash {
+                    let e = (e1 - 1) as usize;
+                    // Explicit word loop: group keys are 1-5 words, so
+                    // an unrolled compare beats the memcmp call a slice
+                    // `==` lowers to at these lengths.
+                    let cand = &self.ukeys[e * arity..(e + 1) * arity];
+                    if cand.iter().zip(ukey).all(|(a, b)| a == b) {
+                        *counted += inspected;
+                        return e;
+                    }
+                }
+                i = (i + 1) & p.mask as usize;
+            }
+            *counted += inspected;
+        }
+        let p = &mut self.parts[pi];
+        let i = if p.len * 2 >= p.slots.len() {
+            p.grow();
+            let mut i = (hash & p.mask) as usize;
+            while p.slots[i].1 != 0 {
+                i = (i + 1) & p.mask as usize;
+            }
+            i
+        } else {
+            landing.expect("half-full partitions always keep an empty slot")
+        };
+        self.inserts += 1;
+        self.len += 1;
+        p.len += 1;
+        p.slots[i] = (hash, self.len as u32);
+        self.ukeys.extend_from_slice(ukey);
+        self.keys.extend(ukey.iter().map(|&w| Value::UInt(w)));
+        let start = self.payloads.len();
+        self.payloads.extend(fresh);
+        debug_assert_eq!(self.payloads.len(), start + self.width);
+        self.len - 1
+    }
+
+    /// Folds a batch's probe tally (accumulated across
+    /// [`GroupTable::upsert_u64`] calls) into the probe counter.
+    #[inline]
+    pub(crate) fn add_probes(&self, counted: u64) {
+        self.probes.set(self.probes.get() + counted);
+    }
+
+    /// The whole payload arena — entry `e` owns
+    /// `[e*width .. (e+1)*width]` — for bulk slot-major folds.
+    #[inline]
+    pub(crate) fn payloads_mut(&mut self) -> &mut [P] {
+        &mut self.payloads
+    }
+
     /// Takes every entry in insertion order — the flat key arena
     /// (`arity` values per entry), the flat payload arena (`width`
     /// slots per entry) and the entry count — and resets the table for
-    /// the next window (slot storage is retained).
+    /// the next window (slot storage is retained, word probes re-arm).
     pub(crate) fn take_entries(&mut self) -> (Vec<Value>, Vec<P>, usize) {
         let n = self.len;
-        self.slots.fill((0, 0));
+        for p in &mut self.parts {
+            p.slots.fill((0, 0));
+            p.len = 0;
+        }
         self.len = 0;
+        self.ukeys.clear();
+        self.ukeys_ok = true;
         (
             std::mem::take(&mut self.keys),
             std::mem::take(&mut self.payloads),
@@ -229,25 +444,6 @@ impl<P> GroupTable<P> {
         payloads.clear();
         self.keys = keys;
         self.payloads = payloads;
-    }
-
-    /// Doubles the slot array and re-places every live slot under the
-    /// new mask, from the hashes cached in the slots themselves.
-    #[cold]
-    fn grow(&mut self) {
-        let n = (self.slots.len() * 2).max(32);
-        let old = std::mem::replace(&mut self.slots, vec![(0, 0); n]);
-        self.mask = (n - 1) as u64;
-        for (h, e1) in old {
-            if e1 == 0 {
-                continue;
-            }
-            let mut i = (h & self.mask) as usize;
-            while self.slots[i].1 != 0 {
-                i = (i + 1) & self.mask as usize;
-            }
-            self.slots[i] = (h, e1);
-        }
     }
 }
 
@@ -323,5 +519,92 @@ mod tests {
         assert_eq!(t.get_mut(42, &key(1)), Some(&mut [10u64][..]));
         assert_eq!(t.get_mut(42, &key(2)), Some(&mut [20u64][..]));
         assert!(t.get_mut(42, &key(3)).is_none());
+    }
+
+    #[test]
+    fn u64_probe_agrees_with_value_probe() {
+        let mut t: GroupTable<u64> = GroupTable::new(1);
+        for v in 0..200u64 {
+            let mut k = key(v);
+            let h = hash_values(&k);
+            assert!(t.u64_keys_ok());
+            assert_eq!(
+                t.find_u64(h, &[v, v.wrapping_mul(7)]),
+                t.find_with(h, 2, |s| s == k.as_slice()),
+                "pre-insert probe, v={v}"
+            );
+            t.insert_new(h, &mut k, [v].into_iter());
+            assert_eq!(
+                t.find_u64(h, &[v, v.wrapping_mul(7)]),
+                Some(v as usize),
+                "post-insert probe, v={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn u64_upsert_mirrors_value_insert() {
+        // Word-upserted entries must be indistinguishable from
+        // value-inserted ones: both probes find them, a re-upsert hits
+        // instead of duplicating, and the drained key arena holds real
+        // `UInt` values.
+        let mut t: GroupTable<u64> = GroupTable::new(1);
+        let words = [5u64, 35];
+        let k = key(5);
+        let h = hash_values(&k);
+        let mut walked = 0u64;
+        let e = t.upsert_u64(h, &words, &mut walked, [9].into_iter());
+        assert_eq!(e, 0);
+        assert_eq!(
+            t.upsert_u64(h, &words, &mut walked, [0].into_iter()),
+            0,
+            "hit, no dup"
+        );
+        assert!(walked >= 1, "hit walks are tallied into the register");
+        t.payloads_mut()[e] += 1;
+        assert_eq!(t.find_u64(h, &words), Some(0));
+        assert_eq!(t.find_with(h, 2, |s| s == k.as_slice()), Some(0));
+        let (arena, payloads, n) = t.take_entries();
+        assert_eq!((n, payloads.as_slice()), (1, &[10u64][..]));
+        assert_eq!(arena, k);
+    }
+
+    #[test]
+    fn non_uint_key_poisons_u64_probe_until_drain() {
+        let mut t: GroupTable<u64> = GroupTable::new(1);
+        let mut k = key(3);
+        t.insert_new(hash_values(&k), &mut k, [1].into_iter());
+        assert!(t.u64_keys_ok());
+        let mut mixed = vec![Value::UInt(5), Value::Int(5)];
+        t.insert_new(hash_values(&mixed), &mut mixed, [2].into_iter());
+        assert!(!t.u64_keys_ok(), "Int key poisons word probes");
+        // The Value probe still distinguishes UInt(5) from Int(5)
+        // structurally.
+        let probe = vec![Value::UInt(5), Value::UInt(5)];
+        assert!(t
+            .find_with(hash_values(&probe), 2, |s| s == probe.as_slice())
+            .is_none());
+        t.take_entries();
+        assert!(t.u64_keys_ok(), "drain re-arms word probes");
+    }
+
+    #[test]
+    fn partitions_grow_independently_and_drain_in_insertion_order() {
+        // Enough keys to force growth in many partitions; the drain
+        // must still come back in exact insertion order.
+        let mut t: GroupTable<u64> = GroupTable::new(1);
+        for v in 0..5_000u64 {
+            let mut k = key(v);
+            let h = hash_values(&k);
+            assert!(t.find(h, &k).is_none());
+            t.insert_new(h, &mut k, [v].into_iter());
+        }
+        assert_eq!(t.insert_count(), 5_000);
+        let (arena, payloads, n) = t.take_entries();
+        assert_eq!(n, 5_000);
+        assert_eq!(payloads, (0..5_000u64).collect::<Vec<u64>>());
+        for v in 0..5_000u64 {
+            assert_eq!(arena[(v as usize) * 2], Value::UInt(v));
+        }
     }
 }

@@ -11,6 +11,7 @@ pub(crate) use join::JoinOp;
 pub(crate) use merge::MergeOp;
 pub(crate) use select::SelectOp;
 
+use qap_expr::LANE_KINDS;
 use qap_types::{ColumnBatch, Tuple, Value};
 
 use crate::ExecResult;
@@ -37,6 +38,13 @@ pub(crate) struct OpRuntimeStats {
     /// Columnar evaluations that fell back to the per-tuple
     /// interpreter (non-kernelizable expression or runtime bailout).
     pub kernel_fallbacks: u64,
+    /// Completed kernel runs per lane type the run touched, indexed by
+    /// `qap_expr::LaneKind as usize` (one run may credit several lane
+    /// types).
+    pub kernel_lane_hits: [u64; LANE_KINDS],
+    /// Kernel bailouts per lane type that forced the fallback, same
+    /// indexing.
+    pub kernel_lane_fallbacks: [u64; LANE_KINDS],
 }
 
 /// A compiled streaming operator, processing input one *batch* at a

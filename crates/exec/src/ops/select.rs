@@ -57,6 +57,10 @@ pub(crate) struct SelectOp {
     col_plan: Option<Vec<ColProj>>,
     /// Reused selection vector for the columnar filter.
     sel: SelectionVector,
+    /// Recycled surviving-row indices for the interpreter predicate
+    /// fallback, so a kernel bailout does not reallocate two index
+    /// buffers per batch.
+    fallback_keep: Vec<u32>,
     /// Reused kernel register file.
     kscratch: KernelScratch,
     kernel_hits: u64,
@@ -106,6 +110,7 @@ impl SelectOp {
             kernel,
             col_plan,
             sel: SelectionVector::new(),
+            fallback_keep: Vec::new(),
             kscratch: KernelScratch::new(),
             kernel_hits: 0,
             kernel_fallbacks: 0,
@@ -126,11 +131,13 @@ impl SelectOp {
             }
         }
         // Interpreter fallback: materialize each selected row into the
-        // scratch tuple and evaluate exactly as the row path would.
+        // scratch tuple and evaluate exactly as the row path would. The
+        // candidate list swaps into the recycled `fallback_keep` buffer
+        // rather than deallocating on every bailed batch.
         self.kernel_fallbacks += 1;
-        let kept = std::mem::take(self.sel.raw_mut());
+        std::mem::swap(self.sel.raw_mut(), &mut self.fallback_keep);
         self.sel.clear();
-        for i in kept {
+        for &i in &self.fallback_keep {
             batch.write_row_into(i as usize, &mut self.scratch);
             if p.eval_predicate(&self.scratch)? {
                 self.sel.push(i);
@@ -196,6 +203,11 @@ impl Operator for SelectOp {
             batch.clear();
             return Ok(());
         }
+        // Dictionary-encode string lanes first: a string predicate then
+        // costs one interpreter compare per *distinct* value plus an
+        // integer code scan, and downstream operators (aggregation,
+        // shipping) inherit the encoded lane.
+        batch.dict_encode_strings();
         // σ: refine the selection, then compact the batch onto it.
         self.sel.fill_identity(n);
         self.filter_columns(batch)?;
@@ -265,6 +277,8 @@ impl Operator for SelectOp {
         OpRuntimeStats {
             kernel_hits: self.kernel_hits,
             kernel_fallbacks: self.kernel_fallbacks,
+            kernel_lane_hits: self.kscratch.lane_hits(),
+            kernel_lane_fallbacks: self.kscratch.lane_fallbacks(),
             ..OpRuntimeStats::default()
         }
     }

@@ -19,21 +19,103 @@
 //!   typed output column, one operation per *column* rather than one
 //!   tree walk per row.
 //!
-//! Kernels are compiled against the unsigned domain — the native type
-//! of every packet-header field. Anything outside it (signed lanes,
-//! strings, negative literals, arithmetic that would error) is left to
-//! the per-tuple interpreter: compilation returns `None` for shapes it
-//! does not cover, and execution **bails out losslessly** (returning
+//! # Typed lanes
+//!
+//! The **register** machine (gather → arithmetic → compare) works in
+//! the unsigned domain — the native type of every packet-header field.
+//! Signed lanes whose selected values are all non-negative reinterpret
+//! into it bit-exactly (`as_u64` applies the same coercion); anything
+//! else bails out of the register path.
+//!
+//! The **fused filters** ([`Instr::FilterColConst`],
+//! [`Instr::FilterColTruthy`]) are lane-typed: unsigned and signed
+//! lanes compare numerically (`u64` resp. `i128`, exactly the
+//! `values_eq`/`total_cmp` result for numeric operand pairs), boolean
+//! lanes go through a two-entry truth table, dictionary-encoded string
+//! lanes through a per-distinct-value table followed by an integer
+//! code scan, and plain string or demoted mixed lanes row-at-a-time
+//! through the interpreter's own `eval_binary`. Every table entry and
+//! constant-fold is computed *by* the interpreter, so the fused path
+//! is exact by construction. Constants of a kind whose comparison
+//! against the lane is value-independent (a negative literal against
+//! an unsigned lane, a string against a numeric lane — `total_cmp`
+//! orders by kind rank) fold to keep-all/drop-all.
+//!
+//! Inner loops are written as fixed-width chunks (`SIMD_WIDTH`) with a
+//! branchless compress step so the autovectorizer can turn the compare
+//! into SIMD lanes and the emit into straight-line stores.
+//!
+//! Compilation returns `None` for shapes outside the domain (`NULL` or
+//! boolean literals, arithmetic that would always error, non-comparison
+//! `NOT`), and execution **bails out losslessly** (returning
 //! `false`/`None` with the selection untouched) when a batch's runtime
 //! lane types or an overflow/division error fall outside the compiled
 //! domain. The caller then re-runs the row interpreter, which
 //! reproduces tuple-at-a-time semantics — including *which* row errors
 //! first — bit-for-bit. A kernel therefore never changes results; it
-//! only makes the common case cheap.
+//! only makes the common case cheap. [`KernelScratch`] tallies
+//! hits and bailouts per [`LaneKind`] for the observability layer.
 
-use qap_types::{Column, ColumnBatch, ColumnData, SelectionVector, Value};
+use qap_types::{Column, ColumnBatch, ColumnData, SelectionVector, Value, DICT_NULL_CODE};
 
+use crate::bound::eval_binary;
 use crate::{BinOp, BoundExpr, UnOp};
+
+/// Chunk width of the vectorizable filter loops. 32 × u64 spans four
+/// AVX2 / two AVX-512 cache lines — wide enough that the compare loop
+/// autovectorizes, small enough that the keep-flags array stays in
+/// registers.
+const SIMD_WIDTH: usize = 32;
+
+/// Runtime lane type a kernel touched, for per-lane observability
+/// (`qap_op_kernel_*` metric labels) and bailout attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum LaneKind {
+    /// Unsigned 64-bit lane.
+    Uint = 0,
+    /// Signed 64-bit lane.
+    Int = 1,
+    /// Boolean lane.
+    Bool = 2,
+    /// Plain interned-string lane.
+    Str = 3,
+    /// Dictionary-encoded string lane.
+    Dict = 4,
+    /// Demoted mixed-kind lane.
+    Mixed = 5,
+}
+
+/// Number of [`LaneKind`] variants (length of the per-lane tallies).
+pub const LANE_KINDS: usize = 6;
+
+impl LaneKind {
+    /// Every lane kind, in tally-index order.
+    pub const ALL: [LaneKind; LANE_KINDS] = [
+        LaneKind::Uint,
+        LaneKind::Int,
+        LaneKind::Bool,
+        LaneKind::Str,
+        LaneKind::Dict,
+        LaneKind::Mixed,
+    ];
+
+    /// Stable label for metric export.
+    pub fn label(self) -> &'static str {
+        match self {
+            LaneKind::Uint => "uint",
+            LaneKind::Int => "int",
+            LaneKind::Bool => "bool",
+            LaneKind::Str => "str",
+            LaneKind::Dict => "dict",
+            LaneKind::Mixed => "mixed",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        1 << self as u8
+    }
+}
 
 /// Comparison operator of a filter instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +139,20 @@ impl CmpOp {
             BinOp::Ge => CmpOp::Ge,
             _ => return None,
         })
+    }
+
+    /// The [`BinOp`] this comparison came from — used to hand single
+    /// comparisons back to the interpreter when precomputing truth
+    /// tables and per-row fallbacks.
+    fn to_bin(self) -> BinOp {
+        match self {
+            CmpOp::Eq => BinOp::Eq,
+            CmpOp::Ne => BinOp::Ne,
+            CmpOp::Lt => BinOp::Lt,
+            CmpOp::Le => BinOp::Le,
+            CmpOp::Gt => BinOp::Gt,
+            CmpOp::Ge => BinOp::Ge,
+        }
     }
 
     /// Logical negation (exact under two-valued comparison results;
@@ -170,7 +266,7 @@ impl ArithOp {
 #[derive(Debug, Clone)]
 enum Instr {
     /// Gather the selected rows of a column into a register. Requires
-    /// an unsigned lane at runtime (bail out otherwise).
+    /// an unsigned-representable lane at runtime (bail out otherwise).
     LoadCol { col: u32, dst: u8 },
     /// Broadcast a constant into a register.
     LoadConst { idx: u16, dst: u8 },
@@ -181,9 +277,13 @@ enum Instr {
     /// Refine the current selection to rows where `a OP b` holds and
     /// neither operand is NULL.
     Filter { op: CmpOp, a: u8, b: u8 },
-    /// Fused column-vs-constant filter — the `destPort = 80` hot path:
-    /// no gather, no register, one pass over the lane.
+    /// Fused column-vs-constant filter — the `destPort = 80` /
+    /// `protocol = 'tcp'` hot path: no gather, no register, one
+    /// lane-typed pass. `idx` indexes the typed comparison pool.
     FilterColConst { col: u32, op: CmpOp, idx: u16 },
+    /// Fused bare-column predicate: GSQL's C convention — keep rows
+    /// whose value is truthy (`as_bool().unwrap_or(false)`).
+    FilterColTruthy { col: u32 },
     /// Begin an OR: remember the incoming selection and start an empty
     /// survivor accumulator.
     OrStart,
@@ -210,8 +310,9 @@ enum Reg {
 }
 
 /// Reusable execution state for kernel runs: registers, the working
-/// selection, and the OR bookkeeping stack. One scratch serves any
-/// number of kernels; steady-state execution allocates nothing.
+/// selection, the OR bookkeeping stack, and per-lane-type hit/bailout
+/// tallies. One scratch serves any number of kernels; steady-state
+/// execution allocates nothing.
 #[derive(Default)]
 pub struct KernelScratch {
     regs: Vec<Reg>,
@@ -221,12 +322,34 @@ pub struct KernelScratch {
     or_stack: Vec<(Vec<u32>, Vec<u32>)>,
     /// Spare index buffers recycled across OR constructs.
     spare_idx: Vec<Vec<u32>>,
+    /// Per-distinct-value keep flags for dictionary-lane filters.
+    dict_keep: Vec<bool>,
+    /// Lane kinds touched by the current run (bitmask over [`LaneKind`]).
+    touched: u8,
+    /// Lane kind that caused the current run to bail, if any.
+    bail: Option<LaneKind>,
+    lane_hits: [u64; LANE_KINDS],
+    lane_fallbacks: [u64; LANE_KINDS],
 }
 
 impl KernelScratch {
     /// Creates an empty scratch.
     pub fn new() -> Self {
         KernelScratch::default()
+    }
+
+    /// Cumulative count of successful kernel runs per lane kind touched
+    /// (one batch touching both a `uint` and a `dict` lane counts once
+    /// under each).
+    pub fn lane_hits(&self) -> [u64; LANE_KINDS] {
+        self.lane_hits
+    }
+
+    /// Cumulative count of kernel bailouts per lane kind, attributed to
+    /// the lane that fell outside the compiled domain (arithmetic
+    /// overflow/borrow bails attribute to the unsigned domain).
+    pub fn lane_fallbacks(&self) -> [u64; LANE_KINDS] {
+        self.lane_fallbacks
     }
 
     fn take_idx(&mut self) -> Vec<u32> {
@@ -237,13 +360,30 @@ impl KernelScratch {
         v.clear();
         self.spare_idx.push(v);
     }
+
+    fn settle(&mut self, ok: bool) {
+        if ok {
+            let mut t = self.touched;
+            while t != 0 {
+                self.lane_hits[t.trailing_zeros() as usize] += 1;
+                t &= t - 1;
+            }
+        } else if let Some(k) = self.bail {
+            self.lane_fallbacks[k as usize] += 1;
+        }
+        self.touched = 0;
+        self.bail = None;
+    }
 }
 
-/// Shared compile state: emitted program, constant pool, register
-/// high-water mark.
+/// Shared compile state: emitted program, constant pools, register
+/// high-water mark. Register-machine constants live in the unsigned
+/// pool (`consts`); fused comparisons keep their literal as a typed
+/// [`Value`] (`cmp_consts`) so lane dispatch happens at run time.
 struct Compiler {
     instrs: Vec<Instr>,
     consts: Vec<u64>,
+    cmp_consts: Vec<Value>,
     nregs: u8,
 }
 
@@ -252,6 +392,7 @@ impl Compiler {
         Compiler {
             instrs: Vec::new(),
             consts: Vec::new(),
+            cmp_consts: Vec::new(),
             nregs: 0,
         }
     }
@@ -265,6 +406,19 @@ impl Compiler {
         }
         self.consts.push(c);
         Some((self.consts.len() - 1) as u16)
+    }
+
+    fn cmp_const_idx(&mut self, v: Value) -> Option<u16> {
+        // Structural dedup is sound: structurally equal values dispatch
+        // identically at run time.
+        if let Some(i) = self.cmp_consts.iter().position(|x| *x == v) {
+            return Some(i as u16);
+        }
+        if self.cmp_consts.len() >= usize::from(u16::MAX) {
+            return None;
+        }
+        self.cmp_consts.push(v);
+        Some((self.cmp_consts.len() - 1) as u16)
     }
 
     /// Compiles a numeric (unsigned-domain) expression, returning the
@@ -366,16 +520,10 @@ impl Compiler {
                 _ => None,
             },
             // Bare column predicate: GSQL's C convention (non-zero is
-            // true, NULL is false) — over the unsigned domain exactly
-            // `col <> 0`.
+            // true, NULL and non-numeric are false).
             BoundExpr::Column(i) => {
                 let col = u32::try_from(*i).ok()?;
-                let idx = self.const_idx(0)?;
-                self.instrs.push(Instr::FilterColConst {
-                    col,
-                    op: CmpOp::Ne,
-                    idx,
-                });
+                self.instrs.push(Instr::FilterColTruthy { col });
                 Some(())
             }
             _ => None,
@@ -386,26 +534,20 @@ impl Compiler {
     fn cmp(&mut self, op: CmpOp, lhs: &BoundExpr, rhs: &BoundExpr) -> Option<()> {
         match (lhs, rhs) {
             (BoundExpr::Column(i), BoundExpr::Literal(v)) => {
-                if let Some(c) = literal_u64(v) {
-                    let col = u32::try_from(*i).ok()?;
-                    let idx = self.const_idx(c)?;
-                    self.instrs.push(Instr::FilterColConst { col, op, idx });
-                    return Some(());
-                }
-                None
+                let col = u32::try_from(*i).ok()?;
+                let idx = self.cmp_const_idx(cmp_literal(v)?)?;
+                self.instrs.push(Instr::FilterColConst { col, op, idx });
+                Some(())
             }
             (BoundExpr::Literal(v), BoundExpr::Column(i)) => {
-                if let Some(c) = literal_u64(v) {
-                    let col = u32::try_from(*i).ok()?;
-                    let idx = self.const_idx(c)?;
-                    self.instrs.push(Instr::FilterColConst {
-                        col,
-                        op: op.mirror(),
-                        idx,
-                    });
-                    return Some(());
-                }
-                None
+                let col = u32::try_from(*i).ok()?;
+                let idx = self.cmp_const_idx(cmp_literal(v)?)?;
+                self.instrs.push(Instr::FilterColConst {
+                    col,
+                    op: op.mirror(),
+                    idx,
+                });
+                Some(())
             }
             _ => {
                 let a = self.num(lhs, 0)?;
@@ -429,6 +571,19 @@ fn literal_u64(v: &Value) -> Option<u64> {
     }
 }
 
+/// A literal the fused column-vs-constant filter covers. `UInt`, `Int`
+/// (any sign) and `Str` dispatch per lane kind at run time. `NULL`
+/// literals (comparison is NULL → row dropped regardless of the lane)
+/// and boolean literals (equality coerces them numerically while
+/// ordering ranks them by kind — a mix kept out of the fused path) are
+/// left to the interpreter.
+fn cmp_literal(v: &Value) -> Option<Value> {
+    match v {
+        Value::UInt(_) | Value::Int(_) | Value::Str(_) => Some(v.clone()),
+        Value::Bool(_) | Value::Null => None,
+    }
+}
+
 /// A compiled predicate: evaluates column-at-a-time into a
 /// [`SelectionVector`]. Build once per operator with
 /// [`PredicateKernel::compile`]; apply per batch with
@@ -436,20 +591,22 @@ fn literal_u64(v: &Value) -> Option<u64> {
 pub struct PredicateKernel {
     instrs: Vec<Instr>,
     consts: Vec<u64>,
+    cmp_consts: Vec<Value>,
     nregs: u8,
 }
 
 impl PredicateKernel {
     /// Compiles a predicate, or `None` when the expression contains a
-    /// shape the kernel domain does not cover (string comparison,
-    /// signed literals, non-comparison `NOT`, …) — the caller keeps
-    /// the per-tuple interpreter for those.
+    /// shape the kernel domain does not cover (`NULL`/boolean literals,
+    /// division by a constant zero, non-comparison `NOT`, …) — the
+    /// caller keeps the per-tuple interpreter for those.
     pub fn compile(e: &BoundExpr) -> Option<Self> {
         let mut c = Compiler::new();
         c.pred(e)?;
         Some(PredicateKernel {
             instrs: c.instrs,
             consts: c.consts,
+            cmp_consts: c.cmp_consts,
             nregs: c.nregs,
         })
     }
@@ -458,10 +615,11 @@ impl PredicateKernel {
     ///
     /// Returns `true` on success. Returns `false` — with `sel`
     /// untouched — when the batch falls outside the compiled domain at
-    /// runtime (a referenced lane is not unsigned, or an arithmetic
-    /// instruction hits a value the row evaluator would reject); the
-    /// caller must then re-run the interpreter, which reproduces exact
-    /// tuple-at-a-time semantics including error order.
+    /// runtime (a register-path lane is not unsigned-representable, or
+    /// an arithmetic instruction hits a value the row evaluator would
+    /// reject); the caller must then re-run the interpreter, which
+    /// reproduces exact tuple-at-a-time semantics including error
+    /// order.
     pub fn filter(
         &self,
         batch: &ColumnBatch,
@@ -479,7 +637,9 @@ impl PredicateKernel {
         if scratch.regs.len() < usize::from(self.nregs) {
             scratch.regs.resize(usize::from(self.nregs), Reg::Empty);
         }
-        if !run_instrs(&self.instrs, &self.consts, batch, scratch) {
+        let ok = run_instrs(&self.instrs, &self.consts, &self.cmp_consts, batch, scratch);
+        scratch.settle(ok);
+        if !ok {
             return false;
         }
         debug_assert!(scratch.or_stack.is_empty());
@@ -493,19 +653,29 @@ impl PredicateKernel {
 pub struct NumKernel {
     instrs: Vec<Instr>,
     consts: Vec<u64>,
+    cmp_consts: Vec<Value>,
     nregs: u8,
     out: u8,
 }
 
 impl NumKernel {
     /// Compiles a numeric expression, or `None` when it falls outside
-    /// the kernel domain.
+    /// the kernel domain. Bare column and non-`UInt` literal roots are
+    /// rejected: the kernel's output lane is unsigned, and an identity
+    /// root must preserve the input's kind (`Int 5` stays `Int 5`) —
+    /// those shapes belong to the operator's column-move path.
     pub fn compile(e: &BoundExpr) -> Option<Self> {
+        match e {
+            BoundExpr::Column(_) => return None,
+            BoundExpr::Literal(v) if !matches!(v, Value::UInt(_)) => return None,
+            _ => {}
+        }
         let mut c = Compiler::new();
         let out = c.num(e, 0)?;
         Some(NumKernel {
             instrs: c.instrs,
             consts: c.consts,
+            cmp_consts: c.cmp_consts,
             nregs: c.nregs,
             out,
         })
@@ -525,7 +695,9 @@ impl NumKernel {
         if scratch.regs.len() < usize::from(self.nregs) {
             scratch.regs.resize(usize::from(self.nregs), Reg::Empty);
         }
-        if !run_instrs(&self.instrs, &self.consts, batch, scratch) {
+        let ok = run_instrs(&self.instrs, &self.consts, &self.cmp_consts, batch, scratch);
+        scratch.settle(ok);
+        if !ok {
             return None;
         }
         let n = batch.rows();
@@ -547,6 +719,7 @@ impl NumKernel {
 fn run_instrs(
     instrs: &[Instr],
     consts: &[u64],
+    cmp_consts: &[Value],
     batch: &ColumnBatch,
     scratch: &mut KernelScratch,
 ) -> bool {
@@ -555,16 +728,27 @@ fn run_instrs(
             Instr::LoadCol { col, dst } => {
                 let c = batch.column(*col as usize);
                 let mut reg = std::mem::take(&mut scratch.regs[usize::from(*dst)]);
-                if !load_column(c, &scratch.cur, &mut reg) {
-                    return false;
+                match load_column(c, &scratch.cur, &mut reg) {
+                    Ok(kind) => {
+                        if let Some(kind) = kind {
+                            scratch.touched |= kind.bit();
+                        }
+                        scratch.regs[usize::from(*dst)] = reg;
+                    }
+                    Err(kind) => {
+                        scratch.bail = Some(kind);
+                        return false;
+                    }
                 }
-                scratch.regs[usize::from(*dst)] = reg;
             }
             Instr::LoadConst { idx, dst } => {
                 scratch.regs[usize::from(*dst)] = Reg::Scalar(consts[usize::from(*idx)]);
             }
             Instr::Arith { op, a, b, dst } => {
                 if !arith(scratch, *op, *a, *b, *dst) {
+                    // Overflow/borrow/zero-division: the unsigned
+                    // arithmetic domain, not a typed lane.
+                    scratch.bail = Some(LaneKind::Uint);
                     return false;
                 }
             }
@@ -592,8 +776,20 @@ fn run_instrs(
             }
             Instr::FilterColConst { col, op, idx } => {
                 let c = batch.column(*col as usize);
-                if !filter_col_const(&mut scratch.cur, c, *op, consts[usize::from(*idx)]) {
-                    return false;
+                let k = &cmp_consts[usize::from(*idx)];
+                match filter_col_const(&mut scratch.cur, &mut scratch.dict_keep, c, *op, k) {
+                    Ok(Some(kind)) => scratch.touched |= kind.bit(),
+                    Ok(None) => {}
+                    Err(kind) => {
+                        scratch.bail = Some(kind);
+                        return false;
+                    }
+                }
+            }
+            Instr::FilterColTruthy { col } => {
+                let c = batch.column(*col as usize);
+                if let Some(kind) = filter_col_truthy(&mut scratch.cur, c) {
+                    scratch.touched |= kind.bit();
                 }
             }
             Instr::OrStart => {
@@ -631,10 +827,21 @@ fn run_instrs(
     true
 }
 
+/// One comparison handed back to the interpreter; `true` iff the row
+/// survives (comparison results are `Bool` or `NULL`, and the
+/// predicate convention drops `NULL`).
+#[inline]
+fn truth(op: CmpOp, l: &Value, k: &Value) -> bool {
+    matches!(eval_binary(op.to_bin(), l, k), Ok(Value::Bool(true)))
+}
+
 /// Gathers the selected rows of a column into a register. Unsigned
-/// lanes gather values (and NULL flags when present); a fully untyped
-/// column is all-NULL; any other lane type bails out.
-fn load_column(c: &Column, cur: &[u32], reg: &mut Reg) -> bool {
+/// lanes gather values (and NULL flags when present); signed lanes
+/// whose selected non-NULL values are all non-negative reinterpret into
+/// the unsigned domain bit-exactly (`as_u64` applies the same coercion
+/// everywhere a register is consumed); a fully untyped column is
+/// all-NULL. Anything else reports the offending lane kind.
+fn load_column(c: &Column, cur: &[u32], reg: &mut Reg) -> Result<Option<LaneKind>, LaneKind> {
     let (mut vals, mut nulls) = match std::mem::take(reg) {
         Reg::Vector {
             mut vals,
@@ -646,23 +853,50 @@ fn load_column(c: &Column, cur: &[u32], reg: &mut Reg) -> bool {
         }
         _ => (Vec::new(), Vec::new()),
     };
-    match c.data() {
+    let kind = match c.data() {
         Some(ColumnData::UInt(lane)) => {
             vals.extend(cur.iter().map(|&i| lane[i as usize]));
             if c.has_nulls() {
                 let mask = c.null_mask();
                 nulls.extend(cur.iter().map(|&i| mask[i as usize]));
             }
+            Some(LaneKind::Uint)
+        }
+        Some(ColumnData::Int(lane)) => {
+            if c.has_nulls() {
+                let mask = c.null_mask();
+                for &i in cur {
+                    let (x, null) = (lane[i as usize], mask[i as usize]);
+                    if x < 0 && !null {
+                        return Err(LaneKind::Int);
+                    }
+                    vals.push(x as u64);
+                    nulls.push(null);
+                }
+            } else {
+                for &i in cur {
+                    let x = lane[i as usize];
+                    if x < 0 {
+                        return Err(LaneKind::Int);
+                    }
+                    vals.push(x as u64);
+                }
+            }
+            Some(LaneKind::Int)
         }
         None => {
             // Untyped column: every row NULL.
             vals.resize(cur.len(), 0);
             nulls.resize(cur.len(), true);
+            None
         }
-        _ => return false,
-    }
+        Some(ColumnData::Bool(_)) => return Err(LaneKind::Bool),
+        Some(ColumnData::Str(_)) => return Err(LaneKind::Str),
+        Some(ColumnData::Dict(_)) => return Err(LaneKind::Dict),
+        Some(ColumnData::Mixed(_)) => return Err(LaneKind::Mixed),
+    };
     *reg = Reg::Vector { vals, nulls };
-    true
+    Ok(kind)
 }
 
 /// Element-wise arithmetic between two registers. Any element the row
@@ -823,40 +1057,278 @@ fn filter_regs(cur: &mut Vec<u32>, op: CmpOp, a: &Reg, b: &Reg) {
     cur.truncate(w);
 }
 
-/// The fused column-vs-constant filter: one pass over the unsigned
-/// lane, refining the selection in place. Bails out (selection
-/// unchanged) when the lane is not unsigned.
-fn filter_col_const(cur: &mut Vec<u32>, c: &Column, op: CmpOp, k: u64) -> bool {
-    let lane = match c.data() {
-        Some(ColumnData::UInt(lane)) => lane.as_slice(),
-        // Untyped column: every row NULL, nothing survives.
-        None => {
-            cur.clear();
-            return true;
-        }
-        _ => return false,
-    };
-    let mut w = 0;
-    if c.has_nulls() {
-        let mask = c.null_mask();
-        for r in 0..cur.len() {
-            let i = cur[r] as usize;
-            if !mask[i] && op.apply(lane[i], k) {
-                cur[w] = cur[r];
-                w += 1;
+/// A column-vs-constant comparison folded against a lane kind: either a
+/// numeric compare per element or a value-independent constant result
+/// (`total_cmp` orders kinds by rank, so e.g. any unsigned value
+/// relates to a string the same way).
+enum ConstCmp<T> {
+    Val(T),
+    All(bool),
+}
+
+/// Folds a typed comparison constant against an unsigned lane.
+fn classify_u64(op: CmpOp, k: &Value) -> ConstCmp<u64> {
+    debug_assert!(!matches!(k, Value::Null), "NULL refused at compile time");
+    match k {
+        Value::UInt(c) => ConstCmp::Val(*c),
+        // `values_eq` and `cmp_u_i` both compare a non-negative Int
+        // numerically against unsigned values.
+        Value::Int(c) if *c >= 0 => ConstCmp::Val(*c as u64),
+        // Negative Int (never equal, always below every unsigned
+        // value), Str (kind rank), Bool ordered (kind rank): the
+        // result is value-independent — fold it via the interpreter.
+        _ => ConstCmp::All(truth(op, &Value::UInt(0), k)),
+    }
+}
+
+/// Folds a typed comparison constant against a signed lane. `i128`
+/// holds every `u64` and `i64` exactly, and both `values_eq` and
+/// `total_cmp` compare Int/UInt operand pairs numerically.
+fn classify_i64(op: CmpOp, k: &Value) -> ConstCmp<i128> {
+    debug_assert!(!matches!(k, Value::Null), "NULL refused at compile time");
+    match k {
+        Value::UInt(c) => ConstCmp::Val(i128::from(*c)),
+        Value::Int(c) => ConstCmp::Val(i128::from(*c)),
+        _ => ConstCmp::All(truth(op, &Value::Int(0), k)),
+    }
+}
+
+/// Core of every fused filter: refine `cur` to the rows where `f` holds
+/// on the lane element and the row is not NULL. The dense case
+/// (identity selection, no NULL mask) runs in `SIMD_WIDTH` chunks — the
+/// compare loop autovectorizes, the compress step is branchless; sparse
+/// selections use a branchless gather loop.
+#[inline(always)]
+fn filter_lane_with<T: Copy, F: Fn(T) -> bool>(
+    cur: &mut Vec<u32>,
+    lane: &[T],
+    mask: &[bool],
+    f: F,
+) {
+    let mut w = 0usize;
+    if mask.is_empty() && cur.len() == lane.len() {
+        // The selection is strictly increasing, so equal length means
+        // identity: scan the lane directly.
+        let mut keeps = [false; SIMD_WIDTH];
+        let mut base = 0usize;
+        for chunk in lane.chunks_exact(SIMD_WIDTH) {
+            for (j, &x) in chunk.iter().enumerate() {
+                keeps[j] = f(x);
             }
+            for (j, &keep) in keeps.iter().enumerate() {
+                cur[w] = (base + j) as u32;
+                w += usize::from(keep);
+            }
+            base += SIMD_WIDTH;
+        }
+        for (j, &x) in lane[base..].iter().enumerate() {
+            cur[w] = (base + j) as u32;
+            w += usize::from(f(x));
+        }
+    } else if mask.is_empty() {
+        for r in 0..cur.len() {
+            let keep = f(lane[cur[r] as usize]);
+            cur[w] = cur[r];
+            w += usize::from(keep);
         }
     } else {
         for r in 0..cur.len() {
             let i = cur[r] as usize;
-            if op.apply(lane[i], k) {
-                cur[w] = cur[r];
-                w += 1;
-            }
+            let keep = !mask[i] && f(lane[i]);
+            cur[w] = cur[r];
+            w += usize::from(keep);
         }
     }
     cur.truncate(w);
-    true
+}
+
+fn filter_u64(cur: &mut Vec<u32>, lane: &[u64], mask: &[bool], op: CmpOp, k: u64) {
+    match op {
+        CmpOp::Eq => filter_lane_with(cur, lane, mask, move |x| x == k),
+        CmpOp::Ne => filter_lane_with(cur, lane, mask, move |x| x != k),
+        CmpOp::Lt => filter_lane_with(cur, lane, mask, move |x| x < k),
+        CmpOp::Le => filter_lane_with(cur, lane, mask, move |x| x <= k),
+        CmpOp::Gt => filter_lane_with(cur, lane, mask, move |x| x > k),
+        CmpOp::Ge => filter_lane_with(cur, lane, mask, move |x| x >= k),
+    }
+}
+
+fn filter_i64(cur: &mut Vec<u32>, lane: &[i64], mask: &[bool], op: CmpOp, k: i128) {
+    match op {
+        CmpOp::Eq => filter_lane_with(cur, lane, mask, move |x| i128::from(x) == k),
+        CmpOp::Ne => filter_lane_with(cur, lane, mask, move |x| i128::from(x) != k),
+        CmpOp::Lt => filter_lane_with(cur, lane, mask, move |x| i128::from(x) < k),
+        CmpOp::Le => filter_lane_with(cur, lane, mask, move |x| i128::from(x) <= k),
+        CmpOp::Gt => filter_lane_with(cur, lane, mask, move |x| i128::from(x) > k),
+        CmpOp::Ge => filter_lane_with(cur, lane, mask, move |x| i128::from(x) >= k),
+    }
+}
+
+/// Applies a value-independent comparison result: drop everything, or
+/// keep every non-NULL row (NULL operands still make the comparison
+/// NULL, which the predicate convention drops).
+fn filter_const(cur: &mut Vec<u32>, c: &Column, keep: bool) {
+    if !keep {
+        cur.clear();
+        return;
+    }
+    if c.has_nulls() {
+        let mask = c.null_mask();
+        let mut w = 0usize;
+        for r in 0..cur.len() {
+            let keep = !mask[cur[r] as usize];
+            cur[w] = cur[r];
+            w += usize::from(keep);
+        }
+        cur.truncate(w);
+    }
+}
+
+fn lane_mask(c: &Column) -> &[bool] {
+    if c.has_nulls() {
+        c.null_mask()
+    } else {
+        &[]
+    }
+}
+
+/// The fused column-vs-constant filter: one lane-typed pass refining
+/// the selection in place. Returns the lane kind touched (`None` for a
+/// fully untyped column). Infallible — every lane kind has an exact
+/// path — but keeps the bailout signature so future lane types can
+/// degrade gracefully.
+fn filter_col_const(
+    cur: &mut Vec<u32>,
+    dict_keep: &mut Vec<bool>,
+    c: &Column,
+    op: CmpOp,
+    k: &Value,
+) -> Result<Option<LaneKind>, LaneKind> {
+    match c.data() {
+        // Untyped column: every row NULL, nothing survives.
+        None => {
+            cur.clear();
+            Ok(None)
+        }
+        Some(ColumnData::UInt(lane)) => {
+            match classify_u64(op, k) {
+                ConstCmp::Val(kc) => filter_u64(cur, lane, lane_mask(c), op, kc),
+                ConstCmp::All(keep) => filter_const(cur, c, keep),
+            }
+            Ok(Some(LaneKind::Uint))
+        }
+        Some(ColumnData::Int(lane)) => {
+            match classify_i64(op, k) {
+                ConstCmp::Val(kc) => filter_i64(cur, lane, lane_mask(c), op, kc),
+                ConstCmp::All(keep) => filter_const(cur, c, keep),
+            }
+            Ok(Some(LaneKind::Int))
+        }
+        Some(ColumnData::Bool(lane)) => {
+            // Two-entry truth table, computed by the interpreter.
+            let keep = [
+                truth(op, &Value::Bool(false), k),
+                truth(op, &Value::Bool(true), k),
+            ];
+            filter_lane_with(cur, lane, lane_mask(c), move |b| keep[usize::from(b)]);
+            Ok(Some(LaneKind::Bool))
+        }
+        Some(ColumnData::Dict(d)) => {
+            // Per-distinct-value truth table, then an integer code
+            // scan; NULL rows carry the null code and drop without
+            // consulting the mask.
+            dict_keep.clear();
+            dict_keep.extend(
+                d.values()
+                    .iter()
+                    .map(|s| truth(op, &Value::Str(s.clone()), k)),
+            );
+            let keep = &dict_keep[..];
+            filter_lane_with(cur, d.codes(), &[], move |code| {
+                code != DICT_NULL_CODE && keep[code as usize]
+            });
+            Ok(Some(LaneKind::Dict))
+        }
+        Some(ColumnData::Str(lane)) => {
+            if let Value::Str(_) = k {
+                let mask = lane_mask(c);
+                let mut w = 0usize;
+                for r in 0..cur.len() {
+                    let i = cur[r] as usize;
+                    let keep =
+                        (mask.is_empty() || !mask[i]) && truth(op, &Value::Str(lane[i].clone()), k);
+                    cur[w] = cur[r];
+                    w += usize::from(keep);
+                }
+                cur.truncate(w);
+            } else {
+                // Numeric constant vs string lane: kind-rank compare,
+                // value-independent.
+                filter_const(cur, c, truth(op, &Value::Str("".into()), k));
+            }
+            Ok(Some(LaneKind::Str))
+        }
+        Some(ColumnData::Mixed(lane)) => {
+            // Demoted lane: row-at-a-time through the interpreter
+            // (comparisons never error, so no mid-batch abort risk).
+            let mask = lane_mask(c);
+            let mut w = 0usize;
+            for r in 0..cur.len() {
+                let i = cur[r] as usize;
+                let keep = (mask.is_empty() || !mask[i]) && truth(op, &lane[i], k);
+                cur[w] = cur[r];
+                w += usize::from(keep);
+            }
+            cur.truncate(w);
+            Ok(Some(LaneKind::Mixed))
+        }
+    }
+}
+
+/// The fused bare-column predicate: GSQL's C convention, exactly
+/// `eval_predicate` on a plain column — `as_bool().unwrap_or(false)`.
+/// Numeric lanes keep non-zero rows, boolean lanes keep `true`, string
+/// lanes (plain or dictionary) have no boolean coercion and drop
+/// everything, as do NULL rows.
+fn filter_col_truthy(cur: &mut Vec<u32>, c: &Column) -> Option<LaneKind> {
+    match c.data() {
+        None => {
+            cur.clear();
+            None
+        }
+        Some(ColumnData::UInt(lane)) => {
+            filter_lane_with(cur, lane, lane_mask(c), |x| x != 0);
+            Some(LaneKind::Uint)
+        }
+        Some(ColumnData::Int(lane)) => {
+            filter_lane_with(cur, lane, lane_mask(c), |x| x != 0);
+            Some(LaneKind::Int)
+        }
+        Some(ColumnData::Bool(lane)) => {
+            filter_lane_with(cur, lane, lane_mask(c), |b| b);
+            Some(LaneKind::Bool)
+        }
+        Some(ColumnData::Str(_)) => {
+            cur.clear();
+            Some(LaneKind::Str)
+        }
+        Some(ColumnData::Dict(_)) => {
+            cur.clear();
+            Some(LaneKind::Dict)
+        }
+        Some(ColumnData::Mixed(lane)) => {
+            let mask = lane_mask(c);
+            let mut w = 0usize;
+            for r in 0..cur.len() {
+                let i = cur[r] as usize;
+                let keep = (mask.is_empty() || !mask[i]) && lane[i].as_bool().unwrap_or(false);
+                cur[w] = cur[r];
+                w += usize::from(keep);
+            }
+            cur.truncate(w);
+            Some(LaneKind::Mixed)
+        }
+    }
 }
 
 /// Merges sorted `src` into sorted `dst` (disjoint index sets).
@@ -916,11 +1388,16 @@ mod tests {
     /// Applies a compiled kernel and cross-checks against the row
     /// interpreter on every row.
     fn check(e: &BoundExpr, rows: &[Tuple]) {
+        check_batch(e, rows, &batch(rows));
+    }
+
+    /// Like [`check`] but against a caller-prepared batch (e.g. one
+    /// whose string lanes were dictionary-encoded).
+    fn check_batch(e: &BoundExpr, rows: &[Tuple], b: &ColumnBatch) {
         let k = PredicateKernel::compile(e).expect("kernelizable");
-        let b = batch(rows);
         let mut sel = SelectionVector::identity(rows.len());
         let mut scratch = KernelScratch::new();
-        assert!(k.filter(&b, &mut sel, &mut scratch), "kernel bailed out");
+        assert!(k.filter(b, &mut sel, &mut scratch), "kernel bailed out");
         let expect: Vec<u32> = rows
             .iter()
             .enumerate()
@@ -938,6 +1415,14 @@ mod tests {
         BoundExpr::Literal(Value::UInt(x))
     }
 
+    fn ilit(x: i64) -> BoundExpr {
+        BoundExpr::Literal(Value::Int(x))
+    }
+
+    fn slit(s: &str) -> BoundExpr {
+        BoundExpr::Literal(Value::from(s))
+    }
+
     fn bin(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
         BoundExpr::Binary {
             op,
@@ -946,19 +1431,33 @@ mod tests {
         }
     }
 
+    const CMP_OPS: [BinOp; 6] = [
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+    ];
+
     #[test]
     fn col_const_comparisons() {
         let rows: Vec<Tuple> = (0..10u64).map(|x| tuple![x, 100u64 - x]).collect();
-        for op in [
-            BinOp::Eq,
-            BinOp::Ne,
-            BinOp::Lt,
-            BinOp::Le,
-            BinOp::Gt,
-            BinOp::Ge,
-        ] {
+        for op in CMP_OPS {
             check(&bin(op, col(0), lit(5)), &rows);
             check(&bin(op, lit(5), col(0)), &rows);
+        }
+    }
+
+    #[test]
+    fn col_const_comparisons_cover_simd_chunk_edges() {
+        // Lengths straddling the chunk width exercise both the chunked
+        // loop and the scalar tail.
+        for n in [SIMD_WIDTH - 1, SIMD_WIDTH, 2 * SIMD_WIDTH + 3] {
+            let rows: Vec<Tuple> = (0..n as u64).map(|x| tuple![x % 7]).collect();
+            for op in CMP_OPS {
+                check(&bin(op, col(0), lit(3)), &rows);
+            }
         }
     }
 
@@ -1025,15 +1524,184 @@ mod tests {
     }
 
     #[test]
-    fn mixed_lane_bails_out_losslessly() {
-        let rows = vec![tuple![1u64], tuple![-5i64]];
-        let e = bin(BinOp::Gt, col(0), lit(0));
+    fn bare_column_truthy_on_typed_lanes() {
+        // Signed lane: any non-zero (including negative) is true.
+        let rows: Vec<Tuple> = (-3..3i64)
+            .map(|x| Tuple::new(vec![Value::Int(x)]))
+            .collect();
+        check(&col(0), &rows);
+        // Boolean lane with a NULL.
+        let rows = vec![
+            Tuple::new(vec![Value::Bool(true)]),
+            Tuple::new(vec![Value::Bool(false)]),
+            Tuple::new(vec![Value::Null]),
+        ];
+        check(&col(0), &rows);
+        // String lane: `as_bool` has no coercion, every row drops.
+        let rows: Vec<Tuple> = ["tcp", "udp"]
+            .iter()
+            .map(|s| Tuple::new(vec![Value::from(*s)]))
+            .collect();
+        check(&col(0), &rows);
+    }
+
+    #[test]
+    fn int_lane_comparisons_match_interpreter() {
+        let rows: Vec<Tuple> = (-10..10i64)
+            .map(|x| Tuple::new(vec![Value::Int(x)]))
+            .collect();
+        for op in CMP_OPS {
+            check(&bin(op, col(0), lit(5)), &rows);
+            check(&bin(op, col(0), ilit(-3)), &rows);
+            check(&bin(op, ilit(-3), col(0)), &rows);
+            // A constant only representable above i64: i128 compare
+            // must agree with the structural/numeric split.
+            check(&bin(op, col(0), lit(u64::MAX)), &rows);
+        }
+    }
+
+    #[test]
+    fn int_lane_with_nulls() {
+        let rows = vec![
+            Tuple::new(vec![Value::Int(-1)]),
+            Tuple::new(vec![Value::Null]),
+            Tuple::new(vec![Value::Int(4)]),
+        ];
+        for op in CMP_OPS {
+            check(&bin(op, col(0), lit(2)), &rows);
+        }
+    }
+
+    #[test]
+    fn negative_literal_on_unsigned_lane_folds_constant() {
+        let rows: Vec<Tuple> = (0..8u64).map(|x| tuple![x]).collect();
+        for op in CMP_OPS {
+            check(&bin(op, col(0), ilit(-1)), &rows);
+        }
+        // And with NULLs: keep-all must still drop NULL rows.
+        let rows = vec![tuple![7u64], Tuple::new(vec![Value::Null])];
+        check(&bin(BinOp::Ne, col(0), ilit(-1)), &rows);
+    }
+
+    #[test]
+    fn bool_lane_comparisons_match_interpreter() {
+        let rows = vec![
+            Tuple::new(vec![Value::Bool(true)]),
+            Tuple::new(vec![Value::Bool(false)]),
+            Tuple::new(vec![Value::Null]),
+        ];
+        for op in CMP_OPS {
+            // Equality coerces numerically; ordering ranks by kind.
+            check(&bin(op, col(0), lit(1)), &rows);
+            check(&bin(op, col(0), lit(0)), &rows);
+            check(&bin(op, col(0), slit("x")), &rows);
+        }
+    }
+
+    #[test]
+    fn str_lane_comparisons_match_interpreter() {
+        let rows: Vec<Tuple> = ["alpha", "beta", "tcp", "udp", "beta"]
+            .iter()
+            .map(|s| Tuple::new(vec![Value::from(*s)]))
+            .collect();
+        for op in CMP_OPS {
+            check(&bin(op, col(0), slit("beta")), &rows);
+            check(&bin(op, slit("beta"), col(0)), &rows);
+            // Numeric constant vs string lane: kind-rank fold.
+            check(&bin(op, col(0), lit(5)), &rows);
+        }
+    }
+
+    #[test]
+    fn dict_lane_string_predicates_match_interpreter() {
+        let protos = ["tcp", "udp", "icmp"];
+        let rows: Vec<Tuple> = (0..40usize)
+            .map(|i| {
+                if i % 7 == 3 {
+                    Tuple::new(vec![Value::Null])
+                } else {
+                    Tuple::new(vec![Value::from(protos[i % 3])])
+                }
+            })
+            .collect();
+        let mut b = batch(&rows);
+        b.dict_encode_strings();
+        assert!(
+            matches!(b.column(0).data(), Some(ColumnData::Dict(_))),
+            "lane dictionary-encoded"
+        );
+        for op in CMP_OPS {
+            check_batch(&bin(op, col(0), slit("udp")), &rows, &b);
+        }
+        // Numeric constant vs dictionary lane.
+        check_batch(&bin(BinOp::Ne, col(0), lit(80)), &rows, &b);
+    }
+
+    #[test]
+    fn mixed_lane_filters_per_row_and_reg_path_bails() {
+        let rows = vec![tuple![1u64], Tuple::new(vec![Value::Int(-5)])];
+        assert!(
+            matches!(batch(&rows).column(0).data(), Some(ColumnData::Mixed(_))),
+            "kind mismatch demotes the lane"
+        );
+        // The fused filter now evaluates demoted lanes row-at-a-time.
+        check(&bin(BinOp::Gt, col(0), lit(0)), &rows);
+        check(&col(0), &rows);
+        // The register path (gather + arithmetic) still bails out
+        // losslessly.
+        let e = bin(BinOp::Gt, bin(BinOp::Add, col(0), lit(0)), lit(0));
         let k = PredicateKernel::compile(&e).unwrap();
         let b = batch(&rows);
         let mut sel = SelectionVector::identity(2);
         let mut scratch = KernelScratch::new();
         assert!(!k.filter(&b, &mut sel, &mut scratch), "mixed lane bails");
         assert_eq!(sel.as_slice(), &[0, 1], "selection untouched on bailout");
+        assert_eq!(
+            scratch.lane_fallbacks()[LaneKind::Mixed as usize],
+            1,
+            "bail attributed to the demoted lane"
+        );
+    }
+
+    #[test]
+    fn lane_counters_attribute_hits() {
+        let rows: Vec<Tuple> = (0..4u64).map(|x| tuple![x]).collect();
+        let e = bin(BinOp::Gt, col(0), lit(1));
+        let k = PredicateKernel::compile(&e).unwrap();
+        let b = batch(&rows);
+        let mut scratch = KernelScratch::new();
+        let mut sel = SelectionVector::identity(rows.len());
+        assert!(k.filter(&b, &mut sel, &mut scratch));
+        assert_eq!(scratch.lane_hits()[LaneKind::Uint as usize], 1);
+        assert_eq!(scratch.lane_hits().iter().sum::<u64>(), 1);
+        assert_eq!(scratch.lane_fallbacks().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn int_lane_register_path_reinterprets_nonnegative() {
+        // All selected values non-negative: gather reinterprets and the
+        // arithmetic path matches the interpreter.
+        let rows: Vec<Tuple> = (0..20i64)
+            .map(|x| Tuple::new(vec![Value::Int(x), Value::Int(x % 5)]))
+            .collect();
+        check(&bin(BinOp::Lt, col(1), col(0)), &rows);
+        check(
+            &bin(BinOp::Eq, bin(BinOp::Mod, col(0), lit(5)), col(1)),
+            &rows,
+        );
+        // A negative value under the selection bails the gather.
+        let rows = vec![
+            Tuple::new(vec![Value::Int(3), Value::Int(3)]),
+            Tuple::new(vec![Value::Int(-4), Value::Int(4)]),
+        ];
+        let e = bin(BinOp::Lt, col(0), col(1));
+        let k = PredicateKernel::compile(&e).unwrap();
+        let b = batch(&rows);
+        let mut sel = SelectionVector::identity(2);
+        let mut scratch = KernelScratch::new();
+        assert!(!k.filter(&b, &mut sel, &mut scratch));
+        assert_eq!(sel.as_slice(), &[0, 1]);
+        assert_eq!(scratch.lane_fallbacks()[LaneKind::Int as usize], 1);
     }
 
     #[test]
@@ -1045,19 +1713,17 @@ mod tests {
         let mut sel = SelectionVector::identity(2);
         let mut scratch = KernelScratch::new();
         assert!(!k.filter(&b, &mut sel, &mut scratch));
+        assert_eq!(scratch.lane_fallbacks()[LaneKind::Uint as usize], 1);
     }
 
     #[test]
     fn unkernelizable_shapes_refuse_compilation() {
-        // String literal comparison.
-        let e = bin(
-            BinOp::Eq,
-            col(0),
-            BoundExpr::Literal(Value::Str("tcp".into())),
-        );
+        // Boolean literal comparison: equality coerces numerically,
+        // ordering ranks by kind — left to the interpreter.
+        let e = bin(BinOp::Lt, col(0), BoundExpr::Literal(Value::Bool(true)));
         assert!(PredicateKernel::compile(&e).is_none());
-        // Negative literal.
-        let e = bin(BinOp::Lt, col(0), BoundExpr::Literal(Value::Int(-1)));
+        // NULL literal comparison.
+        let e = bin(BinOp::Eq, col(0), BoundExpr::Literal(Value::Null));
         assert!(PredicateKernel::compile(&e).is_none());
         // Division by constant zero must keep the interpreter's error.
         let e = bin(BinOp::Eq, bin(BinOp::Div, col(0), lit(0)), lit(1));
@@ -1068,6 +1734,16 @@ mod tests {
             expr: Box::new(col(0)),
         };
         assert!(PredicateKernel::compile(&e).is_none());
+        // Identity roots are kind-preserving — not the kernel's
+        // unsigned output lane.
+        assert!(NumKernel::compile(&col(0)).is_none());
+        assert!(NumKernel::compile(&ilit(5)).is_none());
+    }
+
+    #[test]
+    fn string_and_negative_literals_now_compile() {
+        assert!(PredicateKernel::compile(&bin(BinOp::Eq, col(0), slit("tcp"))).is_some());
+        assert!(PredicateKernel::compile(&bin(BinOp::Lt, col(0), ilit(-1))).is_some());
     }
 
     #[test]
@@ -1096,6 +1772,26 @@ mod tests {
                 assert_eq!(c.value(i), e.eval(t).unwrap(), "row {i}");
             }
         }
+    }
+
+    #[test]
+    fn num_kernel_on_nonnegative_int_lane() {
+        let rows = vec![
+            Tuple::new(vec![Value::Int(120)]),
+            Tuple::new(vec![Value::Null]),
+            Tuple::new(vec![Value::Int(61)]),
+        ];
+        let e = bin(BinOp::Div, col(0), lit(60));
+        let k = NumKernel::compile(&e).unwrap();
+        let b = batch(&rows);
+        let mut scratch = KernelScratch::new();
+        let c = k.eval_column(&b, &mut scratch).unwrap();
+        for (i, t) in rows.iter().enumerate() {
+            assert_eq!(c.value(i), e.eval(t).unwrap(), "row {i}");
+        }
+        // A negative input bails to the interpreter.
+        let rows = vec![Tuple::new(vec![Value::Int(-60)])];
+        assert!(k.eval_column(&batch(&rows), &mut scratch).is_none());
     }
 
     #[test]

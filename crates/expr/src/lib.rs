@@ -34,7 +34,7 @@ pub use agg::{
 pub use analysis::{analyze_transform, AnalyzedExpr, ColumnTransform};
 pub use bound::{bind, bind_with, BoundExpr, Resolver};
 pub use error::{ExprError, ExprResult};
-pub use kernel::{KernelScratch, NumKernel, PredicateKernel};
+pub use kernel::{KernelScratch, LaneKind, NumKernel, PredicateKernel, LANE_KINDS};
 pub use scalar::{BinOp, ColumnRef, ScalarExpr, UnOp};
 // Re-exported so downstream crates keep a single import path for the
 // aggregate machinery.

@@ -46,7 +46,10 @@ mod histogram;
 mod registry;
 
 pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
-pub use registry::{EdgeEntry, HostMetrics, MetricsRegistry, OpEntry, OpMetrics, SharedGauge};
+pub use registry::{
+    EdgeEntry, HostMetrics, MetricsRegistry, OpEntry, OpMetrics, SharedGauge, KERNEL_LANES,
+    KERNEL_LANE_LABELS,
+};
 
 /// Estimated wire size in bytes of one tuple with `arity` fields —
 /// 2-byte header plus 1 tag + 8 payload bytes per field. Mirrors

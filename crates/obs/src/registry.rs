@@ -4,6 +4,17 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use crate::Histogram;
 
+/// Number of kernel lane types the per-lane kernel counters track.
+/// Mirrors `qap_expr::LANE_KINDS` (the engines assign the compiler's
+/// fixed-size tallies straight into [`OpMetrics`], so a mismatch is a
+/// compile error there, not a silent truncation here).
+pub const KERNEL_LANES: usize = 6;
+
+/// Exporter labels for the kernel lane types, indexed like the
+/// `kernel_lane_*` arrays (mirrors `qap_expr::LaneKind::label`).
+pub const KERNEL_LANE_LABELS: [&str; KERNEL_LANES] =
+    ["uint", "int", "bool", "str", "dict", "mixed"];
+
 /// Per-operator telemetry. Tuple counts are batch-size-invariant
 /// (semantic flow); batch counts, occupancy and latency describe the
 /// mechanics of one particular run.
@@ -37,6 +48,12 @@ pub struct OpMetrics {
     /// Kernel bailouts and non-kernelizable evaluations that fell back
     /// to the per-tuple interpreter on a columnar batch.
     pub kernel_fallbacks: u64,
+    /// Completed kernel runs per lane type, indexed per
+    /// [`KERNEL_LANE_LABELS`] (one run may credit several lane types).
+    pub kernel_lane_hits: [u64; KERNEL_LANES],
+    /// Kernel bailouts per lane type that forced the interpreter
+    /// fallback, same indexing.
+    pub kernel_lane_fallbacks: [u64; KERNEL_LANES],
     /// Window flushes performed (aggregation operators).
     pub flushes: u64,
     /// Total wall-clock nanoseconds spent inside window flushes.
@@ -66,6 +83,20 @@ impl OpMetrics {
         self.col_batch_occupancy.merge(&other.col_batch_occupancy);
         self.kernel_hits += other.kernel_hits;
         self.kernel_fallbacks += other.kernel_fallbacks;
+        for (a, b) in self
+            .kernel_lane_hits
+            .iter_mut()
+            .zip(other.kernel_lane_hits.iter())
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .kernel_lane_fallbacks
+            .iter_mut()
+            .zip(other.kernel_lane_fallbacks.iter())
+        {
+            *a += b;
+        }
         self.flushes += other.flushes;
         self.flush_ns += other.flush_ns;
         self.group_slots += other.group_slots;

@@ -4,24 +4,28 @@
 //! `i·R/M ≤ H(A) < (i+1)·R/M`, with `H` a hash over the partitioning
 //! set's expressions, `R` the hash range and `M` the partition count.
 
-use qap_expr::{bind, BoundExpr, ExprResult};
-use qap_types::{Schema, Tuple, Value};
+use qap_expr::{bind, BinOp, BoundExpr, ExprResult};
+use qap_types::{Column, ColumnBatch, ColumnData, Schema, Tuple, Value, DICT_NULL_CODE};
 
 use crate::PartitionSet;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a step over a word's eight little-endian bytes.
+#[inline]
+fn fnv_fold_word(mut h: u64, w: u64) -> u64 {
+    for byte in w.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 /// FNV-1a over a 64-bit word stream. Deterministic across runs (unlike
 /// SipHash-keyed std hashing), which experiments and tests rely on.
 pub fn fnv1a_hash(words: impl IntoIterator<Item = u64>) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for w in words {
-        for byte in w.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(PRIME);
-        }
-    }
-    h
+    words.into_iter().fold(FNV_OFFSET, fnv_fold_word)
 }
 
 /// Evaluates a partitioning set's expressions against tuples of one
@@ -75,6 +79,158 @@ impl HashPartitioner {
         let h = fnv1a_hash(words);
         // i = floor(H * M / 2^64): the range split of Section 3.3.
         ((u128::from(h) * self.partitions as u128) >> 64) as usize
+    }
+
+    /// Columnar twin of [`HashPartitioner::partition`]: assigns every
+    /// row of a batch in one lane-at-a-time sweep, pushing the
+    /// partition indices onto `out`. Bare columns fold straight off
+    /// their typed lanes (dictionary-encoded strings hash once per
+    /// *distinct* value, then resolve per row by code), and the subnet
+    /// idiom `col & mask` folds masked words off unsigned lanes.
+    ///
+    /// Returns `false` — leaving `out` empty — when some expression has
+    /// no lane form; the caller then routes that batch per tuple.
+    /// Whenever it returns `true` the assignment is bit-identical to
+    /// calling [`HashPartitioner::partition`] on each row.
+    pub fn partition_columns(&self, batch: &ColumnBatch, out: &mut Vec<u32>) -> bool {
+        out.clear();
+        let n = batch.rows();
+        if self.exprs.is_empty() {
+            out.resize(n, 0);
+            return true;
+        }
+        if !self.exprs.iter().all(|e| lane_foldable(e, batch)) {
+            return false;
+        }
+        let mut hs = vec![FNV_OFFSET; n];
+        for e in &self.exprs {
+            fold_expr_lane(e, batch, &mut hs);
+        }
+        out.extend(
+            hs.iter()
+                .map(|&h| ((u128::from(h) * self.partitions as u128) >> 64) as u32),
+        );
+        true
+    }
+}
+
+/// Whether [`fold_expr_lane`] covers the expression over this batch.
+fn lane_foldable(e: &BoundExpr, batch: &ColumnBatch) -> bool {
+    match e {
+        BoundExpr::Column(i) => *i < batch.arity(),
+        BoundExpr::Binary {
+            op: BinOp::BitAnd,
+            lhs,
+            rhs,
+        } => match (lhs.as_ref(), rhs.as_ref()) {
+            (BoundExpr::Column(i), BoundExpr::Literal(Value::UInt(_))) => {
+                *i < batch.arity() && batch.column(*i).uints().is_some()
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Folds one expression's per-row words into the running FNV states,
+/// exactly as [`HashPartitioner::partition`] would fold
+/// `value_word(e.eval(row))`.
+fn fold_expr_lane(e: &BoundExpr, batch: &ColumnBatch, hs: &mut [u64]) {
+    match e {
+        BoundExpr::Column(i) => fold_column(batch.column(*i), hs),
+        BoundExpr::Binary {
+            op: BinOp::BitAnd,
+            lhs,
+            rhs,
+        } => {
+            let (BoundExpr::Column(i), BoundExpr::Literal(Value::UInt(m))) =
+                (lhs.as_ref(), rhs.as_ref())
+            else {
+                unreachable!("lane_foldable admits only the col & mask shape");
+            };
+            let c = batch.column(*i);
+            let lane = c.uints().expect("lane_foldable checked the lane type");
+            let mask = c.null_mask();
+            if mask.is_empty() {
+                for (h, &x) in hs.iter_mut().zip(lane) {
+                    *h = fnv_fold_word(*h, x & m);
+                }
+            } else {
+                // NULL propagates through `&`, so a NULL row folds the
+                // NULL word just like the row evaluator.
+                for ((h, &x), &nl) in hs.iter_mut().zip(lane).zip(mask) {
+                    *h = fnv_fold_word(*h, if nl { u64::MAX } else { x & m });
+                }
+            }
+        }
+        _ => unreachable!("lane_foldable admits only columns and masks"),
+    }
+}
+
+/// Folds a bare column's per-row `value_word`s into the FNV states.
+fn fold_column(c: &Column, hs: &mut [u64]) {
+    let mask = c.null_mask();
+    let masked = |r: usize| !mask.is_empty() && mask[r];
+    match c.data() {
+        // Untyped column: every row is NULL.
+        None => {
+            for h in hs.iter_mut() {
+                *h = fnv_fold_word(*h, u64::MAX);
+            }
+        }
+        Some(ColumnData::UInt(l)) => {
+            if mask.is_empty() {
+                for (h, &x) in hs.iter_mut().zip(l) {
+                    *h = fnv_fold_word(*h, x);
+                }
+            } else {
+                for ((h, &x), &nl) in hs.iter_mut().zip(l).zip(mask) {
+                    *h = fnv_fold_word(*h, if nl { u64::MAX } else { x });
+                }
+            }
+        }
+        Some(ColumnData::Int(l)) => {
+            for (r, (h, &x)) in hs.iter_mut().zip(l).enumerate() {
+                *h = fnv_fold_word(*h, if masked(r) { u64::MAX } else { x as u64 });
+            }
+        }
+        Some(ColumnData::Bool(l)) => {
+            for (r, (h, &x)) in hs.iter_mut().zip(l).enumerate() {
+                *h = fnv_fold_word(*h, if masked(r) { u64::MAX } else { u64::from(x) });
+            }
+        }
+        Some(ColumnData::Str(l)) => {
+            for (r, (h, s)) in hs.iter_mut().zip(l).enumerate() {
+                let w = if masked(r) {
+                    u64::MAX
+                } else {
+                    fnv1a_hash(s.as_bytes().iter().map(|&b| u64::from(b)))
+                };
+                *h = fnv_fold_word(*h, w);
+            }
+        }
+        Some(ColumnData::Dict(d)) => {
+            // One string hash per distinct value; rows resolve by code.
+            let words: Vec<u64> = d
+                .values()
+                .iter()
+                .map(|s| fnv1a_hash(s.as_bytes().iter().map(|&b| u64::from(b))))
+                .collect();
+            for (r, (h, &code)) in hs.iter_mut().zip(d.codes()).enumerate() {
+                let w = if masked(r) || code == DICT_NULL_CODE {
+                    u64::MAX
+                } else {
+                    words[code as usize]
+                };
+                *h = fnv_fold_word(*h, w);
+            }
+        }
+        Some(ColumnData::Mixed(l)) => {
+            for (r, (h, v)) in hs.iter_mut().zip(l).enumerate() {
+                let w = if masked(r) { u64::MAX } else { value_word(v) };
+                *h = fnv_fold_word(*h, w);
+            }
+        }
     }
 }
 
@@ -176,5 +332,104 @@ mod tests {
         for i in 0..100 {
             assert_eq!(p.partition(&pkt(i, i * 3, i * 5)), 0);
         }
+    }
+
+    /// Asserts the lane path covers the batch and matches the row
+    /// evaluator on every row.
+    fn assert_lane_agrees(p: &HashPartitioner, rows: &[Tuple], batch: &ColumnBatch) {
+        let mut parts = Vec::new();
+        assert!(p.partition_columns(batch, &mut parts), "lane path covers");
+        assert_eq!(parts.len(), rows.len());
+        for (t, &lane) in rows.iter().zip(&parts) {
+            assert_eq!(p.partition(t), lane as usize);
+        }
+    }
+
+    #[test]
+    fn columnar_agrees_on_uint_columns() {
+        let ps = PartitionSet::from_columns(["srcIP", "destIP"]);
+        let p = HashPartitioner::new(&ps, &tcp_schema(), 11).unwrap();
+        let rows: Vec<Tuple> = (0..512u64).map(|i| pkt(i, i * 7, i * 13)).collect();
+        assert_lane_agrees(&p, &rows, &ColumnBatch::from_rows(&rows));
+    }
+
+    #[test]
+    fn columnar_agrees_on_masked_expr() {
+        let ps = PartitionSet::from_exprs([&qap_expr::ScalarExpr::col("srcIP").mask(0xFFFF_FF00)]);
+        let p = HashPartitioner::new(&ps, &tcp_schema(), 16).unwrap();
+        let rows: Vec<Tuple> = (0..256u64)
+            .map(|i| pkt(i, 0x0A00_0000 + i * 3, 1))
+            .collect();
+        assert_lane_agrees(&p, &rows, &ColumnBatch::from_rows(&rows));
+    }
+
+    /// A schema covering every lane kind the fold supports: unsigned,
+    /// signed, boolean, and string columns.
+    fn mixed_schema() -> Schema {
+        use qap_types::{DataType, Field};
+        Schema::new(
+            "MIX",
+            vec![
+                Field::new("u", DataType::UInt),
+                Field::new("i", DataType::Int),
+                Field::new("b", DataType::Bool),
+                Field::new("s", DataType::Str),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn mixed_rows() -> Vec<Tuple> {
+        (0..300i64)
+            .map(|i| {
+                let s = ["tcp", "udp", "icmp"][(i % 3) as usize];
+                let mut t = tuple![i as u64, -i * 5, i % 2 == 0, s];
+                // Sprinkle NULLs across every lane kind.
+                if i % 7 == 0 {
+                    t = tuple![Value::Null, -i * 5, i % 2 == 0, s];
+                } else if i % 11 == 0 {
+                    t = tuple![i as u64, Value::Null, Value::Null, Value::Null];
+                }
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn columnar_agrees_on_mixed_types_with_nulls() {
+        let ps = PartitionSet::from_columns(["u", "i", "b", "s"]);
+        let p = HashPartitioner::new(&ps, &mixed_schema(), 9).unwrap();
+        let rows = mixed_rows();
+        assert_lane_agrees(&p, &rows, &ColumnBatch::from_rows(&rows));
+    }
+
+    #[test]
+    fn columnar_agrees_on_dict_encoded_strings() {
+        let ps = PartitionSet::from_columns(["s", "u"]);
+        let p = HashPartitioner::new(&ps, &mixed_schema(), 7).unwrap();
+        let rows = mixed_rows();
+        let mut batch = ColumnBatch::from_rows(&rows);
+        batch.dict_encode_strings();
+        assert_lane_agrees(&p, &rows, &batch);
+    }
+
+    #[test]
+    fn columnar_falls_back_on_unsupported_expr() {
+        // `time / 60` has no lane form: the batch must route per tuple.
+        let ps = PartitionSet::from_exprs([&qap_expr::ScalarExpr::col("time").div(60)]);
+        let p = HashPartitioner::new(&ps, &tcp_schema(), 8).unwrap();
+        let rows: Vec<Tuple> = (0..64u64).map(|i| pkt(i, i, i)).collect();
+        let mut parts = vec![99u32];
+        assert!(!p.partition_columns(&ColumnBatch::from_rows(&rows), &mut parts));
+        assert!(parts.is_empty(), "failed fold leaves no stale assignment");
+    }
+
+    #[test]
+    fn columnar_empty_set_degenerates_to_partition_zero() {
+        let p = HashPartitioner::new(&PartitionSet::empty(), &tcp_schema(), 4).unwrap();
+        let rows: Vec<Tuple> = (0..16u64).map(|i| pkt(i, i, i)).collect();
+        let mut parts = Vec::new();
+        assert!(p.partition_columns(&ColumnBatch::from_rows(&rows), &mut parts));
+        assert!(parts.iter().all(|&x| x == 0));
     }
 }

@@ -23,9 +23,146 @@
 //!   communication between predicate kernels and operators: a filter is
 //!   a refinement of the selection, not a copy of the data.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::{Tuple, Value};
+
+/// The code a dictionary lane stores at NULL positions. Never
+/// dereferenced: [`Column::value`] consults the null mask before the
+/// lane, and every consumer of dictionary codes must do the same.
+pub const DICT_NULL_CODE: u32 = u32::MAX;
+
+/// A dictionary-encoded string lane: one `u32` code per row into a
+/// table of distinct strings in first-seen order.
+///
+/// The point is that repeated strings (protocol names, hostnames — flow
+/// attributes are extremely repetitive) collapse to integer compares:
+/// a predicate evaluates once per *distinct* value and then runs an
+/// integer scan over the codes, and per-row hashing becomes a per-code
+/// table lookup. The dictionary is per-batch: [`DictLane::clear`]
+/// resets it, and the wire codec ships the table with every frame.
+///
+/// Codes of *one lane* are comparable (equal codes ⇔ equal strings,
+/// by interning); codes of different lanes or different batches are
+/// not.
+#[derive(Debug, Clone, Default)]
+pub struct DictLane {
+    codes: Vec<u32>,
+    values: Vec<Arc<str>>,
+    /// Content → code, so interning is O(1) per push. Rebuilt on
+    /// decode; first occurrence wins when a decoded table carries
+    /// duplicates (codes stay valid — consumers compare via the
+    /// `values` table, never across raw codes of distinct entries).
+    index: HashMap<Arc<str>, u32>,
+}
+
+impl DictLane {
+    /// Creates an empty dictionary lane.
+    pub fn new() -> Self {
+        DictLane::default()
+    }
+
+    /// Rebuilds a lane from decoded parts. Every code must be a valid
+    /// index into `values` or [`DICT_NULL_CODE`] (the decoder enforces
+    /// this against the null mask before constructing the lane).
+    pub fn from_parts(codes: Vec<u32>, values: Vec<Arc<str>>) -> Self {
+        assert!(
+            codes
+                .iter()
+                .all(|&c| c == DICT_NULL_CODE || (c as usize) < values.len()),
+            "dictionary code out of range"
+        );
+        let index = values
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Arc::clone(s), i as u32))
+            .collect();
+        DictLane {
+            codes,
+            values,
+            index,
+        }
+    }
+
+    /// Number of rows (codes), not distinct values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the lane holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The per-row codes ([`DICT_NULL_CODE`] at NULL positions).
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The distinct strings, indexed by code, in first-seen order.
+    #[inline]
+    pub fn values(&self) -> &[Arc<str>] {
+        &self.values
+    }
+
+    /// The string at row `i`.
+    ///
+    /// # Panics
+    /// When row `i` is a NULL placeholder or out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Arc<str> {
+        &self.values[self.codes[i] as usize]
+    }
+
+    /// Interns a string, returning its code.
+    pub fn intern(&mut self, s: &Arc<str>) -> u32 {
+        // Network-attribute dictionaries are almost always tiny
+        // (protocol names, flag strings), where a few length-guarded
+        // compares — pointer equality first — are much cheaper than a
+        // SipHash lookup per row. Larger tables fall through to the
+        // index; both structures always hold every entry.
+        if self.values.len() <= 8 {
+            for (i, v) in self.values.iter().enumerate() {
+                if Arc::ptr_eq(v, s) || v.as_ref() == s.as_ref() {
+                    return i as u32;
+                }
+            }
+        } else if let Some(&c) = self.index.get(s.as_ref()) {
+            return c;
+        }
+        let c = self.values.len() as u32;
+        debug_assert!(c != DICT_NULL_CODE, "dictionary full");
+        self.values.push(Arc::clone(s));
+        self.index.insert(Arc::clone(s), c);
+        c
+    }
+
+    /// Appends one row holding `s`.
+    pub fn push(&mut self, s: &Arc<str>) {
+        let c = self.intern(s);
+        self.codes.push(c);
+    }
+
+    fn push_placeholder(&mut self) {
+        self.codes.push(DICT_NULL_CODE);
+    }
+
+    fn clear(&mut self) {
+        self.codes.clear();
+        self.values.clear();
+        self.index.clear();
+    }
+
+    /// Compacts the codes onto the selection; the dictionary itself is
+    /// untouched (stale entries are harmless and batch-bounded).
+    fn compact(&mut self, sel: &[u32]) {
+        compact_lane(&mut self.codes, sel);
+    }
+}
 
 /// The typed lane backing one [`Column`].
 ///
@@ -45,6 +182,9 @@ pub enum ColumnData {
     Bool(Vec<bool>),
     /// Interned-string lane.
     Str(Vec<Arc<str>>),
+    /// Dictionary-encoded string lane: integer codes into a per-batch
+    /// table of distinct strings.
+    Dict(DictLane),
     /// Untyped fallback lane holding plain values.
     Mixed(Vec<Value>),
 }
@@ -56,6 +196,7 @@ impl ColumnData {
             ColumnData::Int(v) => v.len(),
             ColumnData::Bool(v) => v.len(),
             ColumnData::Str(v) => v.len(),
+            ColumnData::Dict(v) => v.len(),
             ColumnData::Mixed(v) => v.len(),
         }
     }
@@ -66,6 +207,7 @@ impl ColumnData {
             ColumnData::Int(v) => v.clear(),
             ColumnData::Bool(v) => v.clear(),
             ColumnData::Str(v) => v.clear(),
+            ColumnData::Dict(v) => v.clear(),
             ColumnData::Mixed(v) => v.clear(),
         }
     }
@@ -76,6 +218,7 @@ impl ColumnData {
             ColumnData::Int(v) => v.push(0),
             ColumnData::Bool(v) => v.push(false),
             ColumnData::Str(v) => v.push(Arc::from("")),
+            ColumnData::Dict(v) => v.push_placeholder(),
             ColumnData::Mixed(v) => v.push(Value::Null),
         }
     }
@@ -87,6 +230,7 @@ impl ColumnData {
             ColumnData::Int(v) => compact_lane(v, sel),
             ColumnData::Bool(v) => compact_lane(v, sel),
             ColumnData::Str(v) => compact_lane(v, sel),
+            ColumnData::Dict(v) => v.compact(sel),
             ColumnData::Mixed(v) => compact_lane(v, sel),
         }
     }
@@ -238,6 +382,60 @@ impl Column {
         }
     }
 
+    /// The boolean lane when the column is typed `Bool`.
+    #[inline]
+    pub fn bools(&self) -> Option<&[bool]> {
+        match &self.data {
+            Some(ColumnData::Bool(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string lane when the column is typed `Str` (not
+    /// dictionary-encoded).
+    #[inline]
+    pub fn strs(&self) -> Option<&[Arc<str>]> {
+        match &self.data {
+            Some(ColumnData::Str(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The dictionary lane when the column is dictionary-encoded.
+    #[inline]
+    pub fn dict(&self) -> Option<&DictLane> {
+        match &self.data {
+            Some(ColumnData::Dict(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Dictionary-encodes a plain `Str` lane in place (no-op on any
+    /// other lane type). Values are preserved exactly — only the
+    /// representation changes; `Dict` survives [`Column::clear`] like
+    /// every lane type, so a recycled staging column interns directly
+    /// on subsequent pushes.
+    pub fn dict_encode(&mut self) {
+        let Some(ColumnData::Str(lane)) = &self.data else {
+            return;
+        };
+        let mut d = DictLane::new();
+        if self.nulls.is_empty() {
+            for s in lane {
+                d.push(s);
+            }
+        } else {
+            for (s, &n) in lane.iter().zip(&self.nulls) {
+                if n {
+                    d.push_placeholder();
+                } else {
+                    d.push(s);
+                }
+            }
+        }
+        self.data = Some(ColumnData::Dict(d));
+    }
+
     /// Appends a value, typing or demoting the lane as needed.
     pub fn push(&mut self, v: &Value) {
         match v {
@@ -280,6 +478,7 @@ impl Column {
             (ColumnData::Int(l), Value::Int(x)) => l.push(*x),
             (ColumnData::Bool(l), Value::Bool(x)) => l.push(*x),
             (ColumnData::Str(l), Value::Str(x)) => l.push(Arc::clone(x)),
+            (ColumnData::Dict(l), Value::Str(x)) => l.push(x),
             (ColumnData::Mixed(l), v) => l.push(v.clone()),
             (_, v) => {
                 self.demote_to_mixed();
@@ -312,6 +511,7 @@ impl Column {
             Some(ColumnData::Int(l)) => Value::Int(l[i]),
             Some(ColumnData::Bool(l)) => Value::Bool(l[i]),
             Some(ColumnData::Str(l)) => Value::Str(Arc::clone(&l[i])),
+            Some(ColumnData::Dict(l)) => Value::Str(Arc::clone(l.get(i))),
             Some(ColumnData::Mixed(l)) => l[i].clone(),
             None => unreachable!("non-null row in an untyped column"),
         }
@@ -485,6 +685,16 @@ impl ColumnBatch {
         let mut out = Vec::new();
         self.append_rows_to(&mut out);
         out
+    }
+
+    /// Dictionary-encodes every plain `Str` column in place — the
+    /// batch-entry normalization the columnar operators and the
+    /// boundary shippers apply so string predicates and group keys run
+    /// as integer compares downstream.
+    pub fn dict_encode_strings(&mut self) {
+        for c in &mut self.columns {
+            c.dict_encode();
+        }
     }
 
     /// Empties the batch, retaining arity, lane types and capacity.
@@ -741,6 +951,67 @@ mod tests {
         assert_eq!(s.as_slice(), &[0, 1]);
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dict_encode_round_trips_with_nulls() {
+        let rows = vec![
+            tuple!["tcp"],
+            tuple!["udp"],
+            Tuple::new(vec![Value::Null]),
+            tuple!["tcp"],
+            tuple![""],
+        ];
+        let mut b = ColumnBatch::from_rows(&rows);
+        b.dict_encode_strings();
+        let d = b.column(0).dict().expect("dict lane");
+        assert_eq!(d.values().len(), 3, "tcp, udp, empty string");
+        assert_eq!(d.codes(), &[0, 1, DICT_NULL_CODE, 0, 2]);
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn dict_lane_survives_clear_and_interns_pushes() {
+        let mut b = ColumnBatch::from_rows(&[tuple!["a"], tuple!["b"]]);
+        b.dict_encode_strings();
+        b.clear();
+        assert!(matches!(b.column(0).data(), Some(ColumnData::Dict(_))));
+        b.push_row(&tuple!["b"]);
+        b.push_row(&tuple!["b"]);
+        b.push_row(&tuple!["c"]);
+        let d = b.column(0).dict().expect("dict lane");
+        assert_eq!(d.values().len(), 2, "dictionary reset by clear");
+        assert_eq!(d.codes(), &[0, 0, 1]);
+        assert_eq!(b.to_rows(), vec![tuple!["b"], tuple!["b"], tuple!["c"]]);
+    }
+
+    #[test]
+    fn dict_lane_demotes_on_kind_mismatch() {
+        let mut b = ColumnBatch::from_rows(&[tuple!["a"]]);
+        b.dict_encode_strings();
+        b.push_row(&tuple![7u64]);
+        assert!(matches!(b.column(0).data(), Some(ColumnData::Mixed(_))));
+        assert_eq!(b.to_rows(), vec![tuple!["a"], tuple![7u64]]);
+    }
+
+    #[test]
+    fn dict_compact_keeps_codes_aligned() {
+        let rows = vec![tuple!["x"], tuple!["y"], tuple!["x"], tuple!["z"]];
+        let mut b = ColumnBatch::from_rows(&rows);
+        b.dict_encode_strings();
+        let mut sel = SelectionVector::new();
+        sel.push(1);
+        sel.push(3);
+        b.compact(&sel);
+        assert_eq!(b.to_rows(), vec![tuple!["y"], tuple!["z"]]);
+    }
+
+    #[test]
+    fn dict_encode_non_str_lane_is_noop() {
+        let mut b = ColumnBatch::from_rows(&[tuple![1u64, -1i64]]);
+        b.dict_encode_strings();
+        assert!(matches!(b.column(0).data(), Some(ColumnData::UInt(_))));
+        assert!(matches!(b.column(1).data(), Some(ColumnData::Int(_))));
     }
 
     #[test]

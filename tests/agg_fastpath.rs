@@ -155,6 +155,129 @@ fn mixed_type_inputs_cross_the_fallback_seam() {
     assert_batch_invariant(&dag, &mixed_trace(), "mixed-type keys and sums");
 }
 
+/// Runs a query set through the *columnar* path (tuples transposed to
+/// [`ColumnBatch`] chunks, pushed via `push_columns`) and returns the
+/// same encoded-output + counters shape as [`run_encoded`].
+fn run_encoded_columnar(
+    dag: &QueryDag,
+    input: &[Tuple],
+    batch: usize,
+) -> (Vec<SinkRows>, Vec<OpCounters>) {
+    use qap::types::ColumnBatch;
+    let mut engine = Engine::new(dag).expect("engine builds");
+    engine.set_batch_config(BatchConfig::new(batch));
+    let sources = engine.source_nodes();
+    for &s in &sources {
+        for chunk in input.chunks(batch) {
+            let mut cols = ColumnBatch::from_rows(chunk);
+            engine.push_columns(s, &mut cols).expect("push");
+        }
+    }
+    engine.finish().expect("finish");
+    let counters = engine.counters().to_vec();
+    let outputs = dag
+        .topo_order()
+        .filter(|&id| dag.parents(id).is_empty())
+        .map(|id| {
+            let rows = engine.output(id);
+            (id, rows.iter().map(|t| encode_tuple(t).to_vec()).collect())
+        })
+        .collect();
+    (outputs, counters)
+}
+
+/// Asserts the columnar typed-lane path is invisible: byte-identical
+/// outputs and identical counters against the batch-size-1 row
+/// reference, at every batch size.
+fn assert_columnar_invariant(dag: &QueryDag, input: &[Tuple], label: &str) {
+    let (ref_out, ref_counters) = run_encoded(dag, input, 1);
+    assert!(
+        ref_out.iter().any(|(_, rows)| !rows.is_empty()),
+        "{label}: reference run produced no rows"
+    );
+    for batch in [5usize, 64, 1024] {
+        let (out, counters) = run_encoded_columnar(dag, input, batch);
+        assert_eq!(
+            out, ref_out,
+            "{label}: columnar outputs differ at batch {batch}"
+        );
+        assert_eq!(
+            counters, ref_counters,
+            "{label}: columnar counters differ at batch {batch}"
+        );
+    }
+}
+
+/// A stream with signed and boolean columns, exercising the Int and
+/// Bool typed lanes end to end.
+fn signed_dag() -> QueryDag {
+    let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+    b.parse_script(
+        "STREAM T(ts uint increasing, delta int, up bool, v uint);\n\
+         QUERY signed: SELECT tb, up, COUNT(*) as cnt, SUM(delta) as drift FROM T \
+         GROUP BY ts/60 as tb, up;",
+    )
+    .expect("script parses");
+    b.build()
+}
+
+#[test]
+fn int_lane_negative_sums_match_row_path() {
+    // SUM over a lane that is mostly negative: the signed accumulator
+    // must agree with the row evaluator sign-for-sign.
+    let input: Vec<Tuple> = (0..900u64)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::UInt(i / 3),
+                Value::Int(7 - (i as i64 % 23) * 3),
+                Value::Bool(i % 5 < 2),
+                Value::UInt(i),
+            ])
+        })
+        .collect();
+    assert_columnar_invariant(&signed_dag(), &input, "negative int sums");
+}
+
+#[test]
+fn all_null_lanes_match_row_path() {
+    // Every delta and up value is NULL: the validity mask covers the
+    // whole lane, SUM yields NULL groups, and the Bool key folds the
+    // NULL word.
+    let input: Vec<Tuple> = (0..400u64)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::UInt(i / 2),
+                Value::Null,
+                Value::Null,
+                Value::UInt(i),
+            ])
+        })
+        .collect();
+    assert_columnar_invariant(&signed_dag(), &input, "all-null lanes");
+}
+
+#[test]
+fn mixed_null_and_non_null_groups_match_row_path() {
+    // NULLs interleave with live values inside the same groups, so the
+    // mask flips within single SIMD-width chunks.
+    let input: Vec<Tuple> = (0..1200u64)
+        .map(|i| {
+            let delta = match i % 3 {
+                0 => Value::Int(-(i as i64 % 41)),
+                1 => Value::Int(i as i64 % 17),
+                _ => Value::Null,
+            };
+            let up = match i % 7 {
+                0 | 1 => Value::Bool(true),
+                2 => Value::Null,
+                _ => Value::Bool(false),
+            };
+            Tuple::new(vec![Value::UInt(i / 4), delta, up, Value::UInt(i)])
+        })
+        .collect();
+    assert_columnar_invariant(&signed_dag(), &input, "mixed null groups");
+}
+
 #[test]
 fn mixed_type_groups_match_a_scalar_reference() {
     // Beyond batch invariance: the division key's fallback must agree

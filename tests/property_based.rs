@@ -832,6 +832,30 @@ fn arb_predicate() -> impl Strategy<Value = BoundExpr> {
     })
 }
 
+/// String-heavy two-column rows: a small label vocabulary (the shape
+/// per-batch dictionaries are built for) with NULLs, the empty string,
+/// and multi-byte UTF-8 mixed in, next to a numeric lane.
+fn arb_str_rows() -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![
+                Just(Value::Null),
+                prop_oneof![
+                    Just("tcp"),
+                    Just("udp"),
+                    Just("icmp"),
+                    Just(""),
+                    Just("°δ — label"),
+                ]
+                .prop_map(Value::from),
+            ],
+            0u64..100,
+        )
+            .prop_map(|(s, v)| Tuple::new(vec![s, Value::UInt(v)])),
+        0..40,
+    )
+}
+
 proptest! {
     /// Row → column → row is the identity for arbitrary uniform-arity
     /// batches: every value kind, NULLs, interned strings, and columns
@@ -892,6 +916,58 @@ proptest! {
             // A bailout is always allowed: the engine re-runs the
             // interpreter, reproducing its exact outcome (including the
             // error) row by row.
+        }
+    }
+
+    /// Dictionary encoding is invisible end to end: encode the string
+    /// lanes, ship the batch over the columnar wire, decode, and the
+    /// materialized rows are identical to the originals — codes and
+    /// dictionaries never leak into the value view.
+    #[test]
+    fn dict_encoded_batches_round_trip_the_wire(rows in arb_str_rows()) {
+        let mut b = ColumnBatch::from_rows(&rows);
+        b.dict_encode_strings();
+        let frame = encode_column_batch(&b, &mut BytesMut::new()).unwrap();
+        let decoded = decode_column_batch(frame).unwrap();
+        prop_assert_eq!(decoded.rows(), rows.len());
+        prop_assert_eq!(decoded.to_rows(), rows);
+        // The pre-wire encoded batch reads back identically too.
+        prop_assert_eq!(b.to_rows(), rows);
+    }
+
+    /// A string-equality kernel selects exactly the rows the
+    /// interpreter keeps, on both raw string lanes and dict-encoded
+    /// lanes — encoding must not change which rows match.
+    #[test]
+    fn string_equality_kernel_agrees_with_interpreter(
+        rows in arb_str_rows(),
+        needle in prop_oneof![
+            Just("tcp"), Just("udp"), Just(""), Just("°δ — label"), Just("absent"),
+        ],
+        negate in any::<bool>()
+    ) {
+        let p = cmp_expr(
+            if negate { BinOp::Ne } else { BinOp::Eq },
+            BoundExpr::Column(0),
+            BoundExpr::Literal(Value::from(needle)),
+        );
+        if let Some(k) = PredicateKernel::compile(&p) {
+            let expect: Vec<u32> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| p.eval_predicate(t).unwrap_or(false))
+                .map(|(i, _)| i as u32)
+                .collect();
+            let raw = ColumnBatch::from_rows(&rows);
+            let mut encoded = ColumnBatch::from_rows(&rows);
+            encoded.dict_encode_strings();
+            for batch in [&raw, &encoded] {
+                let mut sel = SelectionVector::identity(rows.len());
+                let mut scratch = KernelScratch::new();
+                if k.filter(batch, &mut sel, &mut scratch) {
+                    prop_assert_eq!(sel.as_slice(), &expect[..]);
+                }
+            }
         }
     }
 
