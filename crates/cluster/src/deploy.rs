@@ -23,7 +23,10 @@
 //! shipping a plan that would mis-execute.
 
 use qap_exec::{ExecError, ExecResult, OpCounters, OpMetrics};
-use qap_expr::{AggCall, AggFunc, AggKind, BinOp, ColumnRef, ScalarExpr, UnOp};
+use qap_expr::{
+    AggCall, AggFunc, AggKind, AnalyzedExpr, BinOp, ColumnRef, ColumnTransform, ScalarExpr, UnOp,
+};
+use qap_partition::PartitionSet;
 use qap_obs::{Histogram, HISTOGRAM_BUCKETS};
 use qap_plan::{JoinType, LogicalNode, NamedAgg, NamedExpr, TemporalJoin};
 use qap_types::{
@@ -962,6 +965,225 @@ pub(crate) fn decode_unit_outcome(payload: Bytes) -> TypeResult<UnitOutcome> {
     })
 }
 
+// ---------------------------------------------------------------------
+// Migration payloads
+// ---------------------------------------------------------------------
+
+/// One drain-and-handoff command, serialized into a
+/// [`qap_types::ControlFrame::Migrate`] payload.
+///
+/// `Extract` carries everything a host needs to rebuild the routing
+/// partitioner locally — the partitioning set, the bucket geometry and
+/// the *new* assignment table — because the host process shares no
+/// memory with the coordinator's splitter. Node ids are the host's
+/// *local* ids (the coordinator resolves them through the slice's
+/// global↔local map, exactly as it addresses `Data` frames).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum MigrateCmd {
+    /// Force-close windows before `boundary` on each job's node, then
+    /// extract every group whose key re-routes away from the node's
+    /// owned partitions under the new table.
+    Extract {
+        /// Drain boundary (a trace timestamp).
+        boundary: u64,
+        /// Partition count `M` of the deployed splitter.
+        partitions: u32,
+        /// Virtual buckets per partition.
+        buckets_per_partition: u32,
+        /// The *new* bucket→partition table the extraction routes by.
+        assignment: Vec<u32>,
+        /// The partitioning set, for rebuilding the key partitioner
+        /// against each node's aggregate schema.
+        set: PartitionSet,
+        /// Per-node jobs: (local node id, owned partitions).
+        jobs: Vec<(u32, Vec<u32>)>,
+    },
+    /// Merge shipped state rows into each node's group table.
+    Absorb {
+        /// Per-node row batches: (local node id, state rows).
+        batches: Vec<(u32, Vec<Tuple>)>,
+    },
+}
+
+fn put_transform(buf: &mut BytesMut, t: &ColumnTransform) {
+    match t {
+        ColumnTransform::Identity => buf.put_u8(0),
+        ColumnTransform::Div(k) => {
+            buf.put_u8(1);
+            buf.put_u64(*k);
+        }
+        ColumnTransform::Mask(m) => {
+            buf.put_u8(2);
+            buf.put_u64(*m);
+        }
+        ColumnTransform::Opaque(e) => {
+            buf.put_u8(3);
+            put_expr(buf, e);
+        }
+    }
+}
+
+fn read_transform(r: &mut Reader) -> TypeResult<ColumnTransform> {
+    Ok(match r.u8()? {
+        0 => ColumnTransform::Identity,
+        1 => ColumnTransform::Div(r.u64()?),
+        2 => ColumnTransform::Mask(r.u64()?),
+        3 => ColumnTransform::Opaque(read_expr(r)?),
+        other => return Err(TypeError::BadTag(other)),
+    })
+}
+
+fn put_partition_set(buf: &mut BytesMut, set: &PartitionSet) {
+    buf.put_u32(set.exprs().len() as u32);
+    for e in set.exprs() {
+        put_column_ref(buf, &e.column);
+        put_transform(buf, &e.transform);
+    }
+}
+
+fn read_partition_set(r: &mut Reader) -> TypeResult<PartitionSet> {
+    let n = r.len()?;
+    let mut exprs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let column = read_column_ref(r)?;
+        let transform = read_transform(r)?;
+        exprs.push(AnalyzedExpr { column, transform });
+    }
+    Ok(PartitionSet::from_analyzed(exprs))
+}
+
+/// Writes a `(local node, rows)` list with each batch as one hardened
+/// wire frame — the same codec the result path uses for outputs.
+fn put_node_batches(
+    buf: &mut BytesMut,
+    batches: &[(u32, Vec<Tuple>)],
+    scratch: &mut BytesMut,
+) -> TypeResult<()> {
+    buf.put_u32(batches.len() as u32);
+    for (node, rows) in batches {
+        buf.put_u32(*node);
+        let frame = encode_batch(rows, scratch)?;
+        buf.put_u32(frame.len() as u32);
+        buf.put_slice(&frame);
+    }
+    Ok(())
+}
+
+fn read_node_batches(r: &mut Reader) -> TypeResult<Vec<(u32, Vec<Tuple>)>> {
+    let n = r.len()?;
+    let mut batches = Vec::with_capacity(n);
+    for _ in 0..n {
+        let node = r.u32()?;
+        let frame = r.bytes()?;
+        batches.push((node, decode_batch(frame)?));
+    }
+    Ok(batches)
+}
+
+const MIGRATE_EXTRACT: u8 = 0;
+const MIGRATE_ABSORB: u8 = 1;
+
+/// Encodes a [`MigrateCmd`] into a `Migrate` payload.
+pub(crate) fn encode_migrate_cmd(cmd: &MigrateCmd, scratch: &mut BytesMut) -> TypeResult<Bytes> {
+    let mut out = BytesMut::new();
+    match cmd {
+        MigrateCmd::Extract {
+            boundary,
+            partitions,
+            buckets_per_partition,
+            assignment,
+            set,
+            jobs,
+        } => {
+            out.put_u8(MIGRATE_EXTRACT);
+            out.put_u64(*boundary);
+            out.put_u32(*partitions);
+            out.put_u32(*buckets_per_partition);
+            out.put_u32(assignment.len() as u32);
+            for &a in assignment {
+                out.put_u32(a);
+            }
+            put_partition_set(&mut out, set);
+            out.put_u32(jobs.len() as u32);
+            for (node, owned) in jobs {
+                out.put_u32(*node);
+                out.put_u32(owned.len() as u32);
+                for &p in owned {
+                    out.put_u32(p);
+                }
+            }
+        }
+        MigrateCmd::Absorb { batches } => {
+            out.put_u8(MIGRATE_ABSORB);
+            put_node_batches(&mut out, batches, scratch)?;
+        }
+    }
+    Ok(out.freeze())
+}
+
+/// Decodes a `Migrate` payload; damage surfaces as a typed
+/// [`TypeError`], never a panic in the host process.
+pub(crate) fn decode_migrate_cmd(payload: Bytes) -> TypeResult<MigrateCmd> {
+    let mut r = Reader::new(payload, "migrate command");
+    let cmd = match r.u8()? {
+        MIGRATE_EXTRACT => {
+            let boundary = r.u64()?;
+            let partitions = r.u32()?;
+            let buckets_per_partition = r.u32()?;
+            let n = r.len()?;
+            let mut assignment = Vec::with_capacity(n);
+            for _ in 0..n {
+                assignment.push(r.u32()?);
+            }
+            let set = read_partition_set(&mut r)?;
+            let n = r.len()?;
+            let mut jobs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let node = r.u32()?;
+                let k = r.len()?;
+                let mut owned = Vec::with_capacity(k);
+                for _ in 0..k {
+                    owned.push(r.u32()?);
+                }
+                jobs.push((node, owned));
+            }
+            MigrateCmd::Extract {
+                boundary,
+                partitions,
+                buckets_per_partition,
+                assignment,
+                set,
+                jobs,
+            }
+        }
+        MIGRATE_ABSORB => MigrateCmd::Absorb {
+            batches: read_node_batches(&mut r)?,
+        },
+        other => return Err(TypeError::BadTag(other)),
+    };
+    r.finish()?;
+    Ok(cmd)
+}
+
+/// Encodes a `MigrateAck` payload: the per-node state rows an extract
+/// produced (empty for an absorb acknowledgement).
+pub(crate) fn encode_migrate_reply(
+    batches: &[(u32, Vec<Tuple>)],
+    scratch: &mut BytesMut,
+) -> TypeResult<Bytes> {
+    let mut out = BytesMut::new();
+    put_node_batches(&mut out, batches, scratch)?;
+    Ok(out.freeze())
+}
+
+/// Decodes a `MigrateAck` payload.
+pub(crate) fn decode_migrate_reply(payload: Bytes) -> TypeResult<Vec<(u32, Vec<Tuple>)>> {
+    let mut r = Reader::new(payload, "migrate reply");
+    let batches = read_node_batches(&mut r)?;
+    r.finish()?;
+    Ok(batches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1133,6 +1355,89 @@ mod tests {
         let mut scratch = BytesMut::new();
         let bytes = encode_unit_outcome(&outcome, &mut scratch).unwrap();
         assert_eq!(decode_unit_outcome(bytes).unwrap(), outcome);
+    }
+
+    fn sample_migrate_cmds() -> Vec<MigrateCmd> {
+        let set = PartitionSet::from_analyzed([
+            AnalyzedExpr {
+                column: ColumnRef::bare("srcIP"),
+                transform: ColumnTransform::Mask(0xFFF0),
+            },
+            AnalyzedExpr {
+                column: ColumnRef::qualified("TCP", "destIP"),
+                transform: ColumnTransform::Identity,
+            },
+        ]);
+        vec![
+            MigrateCmd::Extract {
+                boundary: 1_234_567,
+                partitions: 8,
+                buckets_per_partition: 4,
+                assignment: (0..32).map(|b| b / 4).collect(),
+                set,
+                jobs: vec![(3, vec![2, 3]), (9, vec![6, 7])],
+            },
+            MigrateCmd::Absorb {
+                batches: vec![
+                    (
+                        3,
+                        vec![Tuple::new(vec![
+                            Value::UInt(60),
+                            Value::UInt(0xDEAD),
+                            Value::Int(7),
+                        ])],
+                    ),
+                    (9, Vec::new()),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn migrate_cmd_round_trips() {
+        let mut scratch = BytesMut::new();
+        for cmd in sample_migrate_cmds() {
+            let bytes = encode_migrate_cmd(&cmd, &mut scratch).unwrap();
+            assert_eq!(decode_migrate_cmd(bytes).unwrap(), cmd, "{cmd:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_migrate_cmd_is_typed_error() {
+        let mut scratch = BytesMut::new();
+        for cmd in sample_migrate_cmds() {
+            let bytes = encode_migrate_cmd(&cmd, &mut scratch).unwrap();
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_migrate_cmd(bytes.slice(..cut)).is_err(),
+                    "{cmd:?} cut {cut} decoded"
+                );
+            }
+            let mut longer = bytes.to_vec();
+            longer.push(0);
+            assert!(decode_migrate_cmd(Bytes::from(longer)).is_err());
+        }
+        assert!(decode_migrate_cmd(Bytes::from(vec![9u8])).is_err(), "bad tag");
+    }
+
+    #[test]
+    fn migrate_reply_round_trips() {
+        let batches = vec![
+            (
+                4,
+                vec![
+                    Tuple::new(vec![Value::UInt(1), Value::Str("k".into())]),
+                    Tuple::new(vec![Value::UInt(2), Value::Null]),
+                ],
+            ),
+            (11, Vec::new()),
+        ];
+        let mut scratch = BytesMut::new();
+        let bytes = encode_migrate_reply(&batches, &mut scratch).unwrap();
+        assert_eq!(decode_migrate_reply(bytes.clone()).unwrap(), batches);
+        for cut in 0..bytes.len() {
+            assert!(decode_migrate_reply(bytes.slice(..cut)).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

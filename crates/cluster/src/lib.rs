@@ -31,6 +31,7 @@ pub mod experiments;
 pub mod link;
 mod measure;
 mod obs_export;
+pub mod rebalance;
 mod remote;
 mod sim;
 mod threaded;
@@ -40,6 +41,10 @@ mod validate;
 pub use link::{connect_with_backoff, HostAddr, HostListener};
 pub use measure::measure_stats;
 pub use obs_export::{metrics_registry, op_kind};
+pub use rebalance::{
+    hot_key_floor, migration_spec, plan_assignment, plan_assignment_pinned, ImbalanceDetector,
+    MigrationSpec, RebalanceConfig, ReplicaFamily,
+};
 pub use remote::{remote_host_count, run_distributed_remote, serve_host, HostServerConfig};
 pub use sim::{
     run_distributed, run_distributed_multi, ClusterMetrics, CostConstants, SimConfig, SimResult,

@@ -108,6 +108,13 @@ pub fn metrics_registry(plan: &DistributedPlan, result: &SimResult) -> MetricsRe
         t.frames_corrupt_dropped as f64,
     );
     reg.set_gauge("host_failures", result.failures.len() as f64);
+    // Adaptive re-partitioning telemetry. Static runs report the
+    // identity values (imbalance 1.0, zero repartitions) so dashboards
+    // can chart static and adaptive runs on the same axes.
+    reg.set_gauge("load_imbalance", m.load_imbalance);
+    reg.set_gauge("repartitions", m.repartitions as f64);
+    reg.set_gauge("migrated_keys", m.migrated_keys as f64);
+    reg.set_gauge("migration_pause_ms", m.migration_pause_ms);
     reg
 }
 
@@ -166,6 +173,50 @@ mod tests {
         assert!(reg
             .to_prometheus()
             .contains("qap_run_transport_backpressure_stalls 0"));
+        // Static runs export the adaptive gauges at their identity
+        // values — the series exists either way.
+        let p = reg.to_prometheus();
+        assert!(p.contains("qap_run_load_imbalance 1"));
+        assert!(p.contains("qap_run_repartitions 0"));
+        assert!(p.contains("qap_run_migrated_keys 0"));
+        assert!(p.contains("qap_run_migration_pause_ms 0"));
+    }
+
+    #[test]
+    fn adaptive_runs_export_rebalance_gauges() {
+        use crate::RebalanceConfig;
+        use qap_trace::{generate_skew_ramp, SkewRampConfig};
+
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, COUNT(*) as pkts, SUM(len) as bytes FROM TCP \
+             GROUP BY time/60 as tb, srcIP",
+        )
+        .unwrap();
+        let dag = b.build();
+        let plan = optimize(
+            &dag,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 4),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let trace = generate_skew_ramp(&SkewRampConfig::tiny(7));
+        let mut cfg = SimConfig::default();
+        cfg.transport.rebalance = RebalanceConfig::adaptive()
+            .with_threshold(1.2)
+            .with_consecutive(1)
+            .with_sample_secs(45);
+        let result = run_distributed(&plan, &trace, &cfg).unwrap();
+        assert!(result.metrics.repartitions >= 1, "skew ramp must trigger");
+        let reg = metrics_registry(&plan, &result);
+        let p = reg.to_prometheus();
+        assert!(p.contains("qap_run_repartitions"));
+        assert!(p.contains("qap_run_migrated_keys"));
+        assert!(reg.to_json().contains("\"load_imbalance\""));
+        // The exported gauge carries the measured peak, not the static
+        // identity value.
+        assert!(result.metrics.load_imbalance > 1.0);
     }
 
     #[test]

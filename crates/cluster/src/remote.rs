@@ -40,17 +40,20 @@
 //!
 //! [`Deploy`]: qap_types::ControlFrame::Deploy
 
+use std::collections::HashMap;
 use std::io::BufWriter;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crossbeam::channel as chan;
 use qap_exec::{
     BatchConfig, Engine, ExecError, ExecResult, FailureCause, HostFailure, OpCounters, OpMetrics,
 };
 use qap_obs::SharedGauge;
-use qap_optimizer::DistributedPlan;
+use qap_optimizer::{DistributedPlan, SplitStrategy};
+use qap_partition::{HashPartitioner, KeySketch};
 use qap_plan::{LogicalNode, NodeId, QueryDag};
 use qap_types::{
     encode_batch, encode_column_batch, Bytes, BytesMut, Catalog, ColumnBatch, ControlFrame, Tuple,
@@ -58,13 +61,15 @@ use qap_types::{
 };
 
 use crate::deploy::{
-    decode_remote_unit, decode_unit_outcome, encode_remote_unit, encode_unit_outcome, RemoteUnit,
-    UnitOutcome,
+    decode_migrate_cmd, decode_migrate_reply, decode_remote_unit, decode_unit_outcome,
+    encode_migrate_cmd, encode_migrate_reply, encode_remote_unit, encode_unit_outcome, MigrateCmd,
+    RemoteUnit, UnitOutcome,
 };
 use crate::link::{
     read_control, write_control, ChannelTransport, DuplexStream, FrameSink, HostAddr, HostListener,
     LinkError, StreamSink, Transport,
 };
+use crate::rebalance::{self, ImbalanceDetector};
 use crate::sim::{account, trace_duration, SimConfig, SimResult};
 use crate::threaded::{
     compute_units, forward_boundary, panic_message, run_central_unit, slice_unit, split_trace,
@@ -287,6 +292,9 @@ pub fn run_distributed_remote(
     cfg: &SimConfig,
     hosts: &[HostAddr],
 ) -> ExecResult<SimResult> {
+    if cfg.transport.rebalance.enabled {
+        return run_remote_adaptive(plan, trace, cfg, hosts);
+    }
     let agg = plan.partitioning.aggregator_host;
     // One process per host: the decomposition is host-serial by
     // construction, whatever the in-process parallelism knob says.
@@ -583,6 +591,801 @@ pub fn run_distributed_remote(
 }
 
 // ---------------------------------------------------------------------
+// Adaptive coordinator
+// ---------------------------------------------------------------------
+
+/// Commands the adaptive coordinator queues to one host session's
+/// writer thread. The channel and the socket are both FIFO, so a
+/// `Migrate` reaches the host only after every feed batch queued before
+/// it — the socket counterpart of the in-process drain ordering.
+enum HostCmd {
+    /// One splitter batch for the given (global) scan node.
+    Feed(u32, Vec<Tuple>),
+    /// An encoded [`MigrateCmd`] payload; the writer flushes its buffer
+    /// behind it so the host sees the command promptly.
+    Migrate(Bytes),
+    /// End of stream.
+    Eos,
+}
+
+/// Outcome of one remote drain-and-handoff attempt (the socket
+/// counterpart of the threaded runner's migrate report).
+struct RemoteMigrateReport {
+    /// Rows shipped; `Some` means the new assignment table takes effect
+    /// (`None` = aborted with all state back in its source engines).
+    moved: Option<u64>,
+    /// A host died (or timed out) mid-protocol: the driver disables
+    /// further migrations — the fleet's state can no longer be moved
+    /// consistently. Its typed failure surfaces through the pump.
+    host_died: bool,
+}
+
+/// The adaptive variant of the remote coordinator: the calling thread
+/// becomes the splitter, routing the trace epoch by epoch through a
+/// live [`HashPartitioner`] table and driving drain-and-handoff
+/// migrations over the sessions' `Migrate`/`MigrateAck` exchanges.
+///
+/// The host-serial decomposition parks the aggregator host's partition
+/// scans inside the central unit, where no socket reaches them — so
+/// those partitions are **pinned**:
+/// [`plan_assignment_pinned`](crate::plan_assignment_pinned) never
+/// selects the aggregator host as donor or receiver, the pinned
+/// buckets' routing never changes, and the central unit's feed is fully
+/// determined by the *initial* table. That lets the coordinator
+/// pre-route the central feed up front and run
+/// [`run_central_unit`] unchanged while rebalancing the dedicated leaf
+/// host processes around it.
+///
+/// Each migration is one `Migrate(Extract)` round trip per leaf
+/// session (flush to the boundary, then extract the re-routed groups)
+/// followed by one `Migrate(Absorb)` round trip to the destinations.
+/// Combining flush and extract per host is sound because no absorb is
+/// sent until *every* extract ack is in — by then the whole fleet is
+/// flushed to the boundary, which is the same global barrier the
+/// threaded runner erects with its explicit flush phase.
+fn run_remote_adaptive(
+    plan: &DistributedPlan,
+    trace: &[Tuple],
+    cfg: &SimConfig,
+    hosts: &[HostAddr],
+) -> ExecResult<SimResult> {
+    let fallback = |reason: String| -> ExecResult<SimResult> {
+        let mut cfg = *cfg;
+        cfg.transport.rebalance.enabled = false;
+        let mut r = run_distributed_remote(plan, trace, &cfg, hosts)?;
+        r.metrics.rebalance_fallback = Some(reason);
+        Ok(r)
+    };
+    let reb = cfg.transport.rebalance;
+    let spec = match rebalance::migration_spec(plan) {
+        Ok(s) => s,
+        Err(reason) => return fallback(reason),
+    };
+    let agg = plan.partitioning.aggregator_host;
+    let transport = cfg.transport.host_serial();
+    let unit_nodes = compute_units(plan, agg, &transport);
+    let slices: Vec<UnitPlan> = unit_nodes
+        .iter()
+        .map(|nodes| slice_unit(plan, nodes))
+        .collect::<ExecResult<Vec<_>>>()?;
+    for (u, s) in slices.iter().enumerate() {
+        if u != 0 && !s.remote_in.is_empty() {
+            return Err(ExecError::BadPlan(format!(
+                "leaf unit on host {} unexpectedly consumes remote streams",
+                s.host
+            )));
+        }
+    }
+    if !slices[0].boundary.is_empty() {
+        return Err(ExecError::BadPlan(
+            "central unit unexpectedly ships boundary output".into(),
+        ));
+    }
+    if hosts.len() != slices.len() - 1 {
+        return Err(ExecError::BadPlan(format!(
+            "plan needs {} leaf host processes, got {} addresses",
+            slices.len() - 1,
+            hosts.len()
+        )));
+    }
+    if slices.len() - 1 < 2 {
+        return fallback("fewer than two leaf host processes: nothing to rebalance".into());
+    }
+
+    // Stream geometry: partition → scan node → unit.
+    let mut scan_of_partition: HashMap<u32, NodeId> = HashMap::new();
+    let mut stream_name = None;
+    for id in plan.dag.topo_order() {
+        if let LogicalNode::Source { stream, partition } = plan.dag.node(id) {
+            stream_name = Some(stream.clone());
+            scan_of_partition.insert(partition.expect("physical scan"), id);
+        }
+    }
+    let stream =
+        stream_name.ok_or_else(|| ExecError::BadPlan("plan has no source scans".into()))?;
+    let schema = plan
+        .dag
+        .catalog()
+        .get(&stream)
+        .expect("catalog has stream")
+        .clone();
+    let Some(&tidx) = schema.temporal_indices().first() else {
+        return fallback(format!("stream {stream} has no time column"));
+    };
+    let SplitStrategy::Hash(set) = &plan.partitioning.strategy else {
+        unreachable!("migration_spec admits only hash strategies");
+    };
+    let m = plan.partitioning.partitions;
+    let hosts_n = plan.partitioning.hosts;
+    let mut splitter = HashPartitioner::with_buckets(set, &schema, m, reb.buckets_per_partition)
+        .map_err(|e| ExecError::BadPlan(format!("unusable partitioning set: {e}")))?;
+    let scan_of: Vec<NodeId> = (0..m)
+        .map(|p| {
+            scan_of_partition
+                .get(&(p as u32))
+                .copied()
+                .ok_or_else(|| ExecError::BadPlan(format!("plan has no scan for partition {p}")))
+        })
+        .collect::<ExecResult<_>>()?;
+    let mut unit_of: Vec<usize> = vec![0; plan.dag.len()];
+    for (u, nodes) in unit_nodes.iter().enumerate() {
+        for &id in nodes {
+            unit_of[id] = u;
+        }
+    }
+
+    // Pre-route the central unit's feed with the initial table. The
+    // identity bucket assignment routes bit-identically to the static
+    // splitter, and pinned buckets never move, so this is exactly the
+    // feed the central scans would see live.
+    let SplitterFeed {
+        schema: _,
+        per_unit: mut per_unit_feed,
+    } = split_trace(plan, trace, cfg.batch.max_batch, &unit_nodes)?;
+
+    // Migration topology: family members grouped by unit, with the
+    // per-unit local↔global id maps the wire protocol needs.
+    let mut fam_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut members_by_unit: HashMap<usize, Vec<NodeId>> = HashMap::new();
+    for (fi, fam) in spec.families.iter().enumerate() {
+        for mem in &fam.members {
+            fam_of.insert(mem.node, fi);
+            members_by_unit
+                .entry(unit_of[mem.node])
+                .or_default()
+                .push(mem.node);
+        }
+    }
+    // Unit 0's members sit on the pinned aggregator host: their keys
+    // never re-route, so they take part in no exchange.
+    let mut units: Vec<usize> = members_by_unit
+        .keys()
+        .copied()
+        .filter(|&u| u != 0)
+        .collect();
+    units.sort_unstable();
+    let global_of: Vec<HashMap<u32, NodeId>> = slices
+        .iter()
+        .map(|s| s.local.iter().map(|(&g, &l)| (l as u32, g)).collect())
+        .collect();
+
+    // Connect + handshake + deploy every leaf host up front.
+    let mut scratch = BytesMut::new();
+    let mut sessions: Vec<HostSession> = Vec::new();
+    let mut failures: Vec<HostFailure> = Vec::new();
+    for (i, addr) in hosts.iter().enumerate() {
+        let u = i + 1;
+        let payload = encode_remote_unit(&remote_unit_of(plan, &slices[u], cfg)?, &mut scratch)?;
+        match deploy_host(addr, u, slices[u].host, payload, transport.send_timeout_ms) {
+            Ok(session) => sessions.push(session),
+            Err(failure) => {
+                if !transport.partial_results {
+                    return Err(failure.into());
+                }
+                failures.push(failure);
+            }
+        }
+    }
+    let session_of_unit: HashMap<usize, usize> =
+        sessions.iter().enumerate().map(|(i, s)| (s.unit, i)).collect();
+
+    let (tx, rx) = ChannelTransport.pair(transport.channel_capacity.max(1));
+    let depth = SharedGauge::new();
+    let batch_cfg = cfg.batch;
+    let columnar = transport.columnar;
+    let max = batch_cfg.max_batch.max(1);
+    let ack_timeout = Duration::from_millis(if transport.send_timeout_ms > 0 {
+        transport.send_timeout_ms
+    } else {
+        HANDSHAKE_FALLBACK_MS
+    });
+
+    let outcomes: Vec<Mutex<Option<UnitOutcome>>> =
+        sessions.iter().map(|_| Mutex::new(None)).collect();
+    let fed: Vec<AtomicU64> = sessions.iter().map(|_| AtomicU64::new(0)).collect();
+    let shared_failures: Mutex<Vec<HostFailure>> = Mutex::new(Vec::new());
+    let shutdown_handles: Vec<DuplexStream> = sessions
+        .iter()
+        .map(|s| s.stream.try_clone())
+        .collect::<Result<_, _>>()
+        .map_err(|e| link_failure(agg, 0, e))?;
+
+    let mut repartitions = 0u64;
+    let mut migrated = 0u64;
+    let mut pause_ms = 0.0f64;
+    let mut peak_imbalance = 1.0f64;
+
+    let central = std::thread::scope(|scope| {
+        let mut cmd_txs: Vec<Option<chan::Sender<HostCmd>>> = Vec::with_capacity(sessions.len());
+        let mut ack_rxs: Vec<chan::Receiver<Bytes>> = Vec::with_capacity(sessions.len());
+        for (i, session) in sessions.iter().enumerate() {
+            let (cmd_tx, cmd_rx) = chan::unbounded::<HostCmd>();
+            let (ack_tx, ack_rx) = chan::unbounded::<Bytes>();
+            ack_rxs.push(ack_rx);
+            let clones = session
+                .stream
+                .try_clone()
+                .and_then(|w| session.stream.try_clone().map(|r| (w, r)));
+            let (write_stream, read_stream) = match clones {
+                Ok(pair) => pair,
+                Err(e) => {
+                    shared_failures
+                        .lock()
+                        .unwrap()
+                        .push(link_failure(session.host, 0, e));
+                    cmd_txs.push(None);
+                    continue;
+                }
+            };
+            cmd_txs.push(Some(cmd_tx));
+            let fed_i = &fed[i];
+            let host = session.host;
+            let shared_failures = &shared_failures;
+
+            // Writer: drain the command queue into the socket.
+            scope.spawn(move || {
+                use std::io::Write;
+                let mut writer = BufWriter::new(write_stream);
+                let mut stage = ColumnBatch::new(0);
+                let mut enc_scratch = BytesMut::new();
+                let mut ctl_scratch = BytesMut::new();
+                let mut sent: u64 = 0;
+                let outcome: Result<(), String> = (|| {
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        match cmd {
+                            HostCmd::Feed(scan, batch) => {
+                                let frame = encode_feed_frame(
+                                    &batch,
+                                    columnar,
+                                    &mut stage,
+                                    &mut enc_scratch,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                write_control(
+                                    &mut writer,
+                                    &ControlFrame::Data {
+                                        producer: scan,
+                                        frame,
+                                    },
+                                    &mut ctl_scratch,
+                                )?;
+                                sent += batch.len() as u64;
+                                fed_i.store(sent, Ordering::Relaxed);
+                            }
+                            HostCmd::Migrate(payload) => {
+                                write_control(
+                                    &mut writer,
+                                    &ControlFrame::Migrate(payload),
+                                    &mut ctl_scratch,
+                                )?;
+                                writer.flush().map_err(|e| e.to_string())?;
+                            }
+                            HostCmd::Eos => break,
+                        }
+                    }
+                    // Reached on Eos *and* when the driver drops the
+                    // queue on an abort path: either way, close the
+                    // feed so the host can finish.
+                    write_control(&mut writer, &ControlFrame::Eos, &mut ctl_scratch)?;
+                    writer.flush().map_err(|e| e.to_string())
+                })();
+                if let Err(msg) = outcome {
+                    shared_failures
+                        .lock()
+                        .unwrap()
+                        .push(link_failure(host, sent, msg));
+                }
+            });
+
+            // Reader pump: boundary Data frames into the central
+            // channel, MigrateAck payloads to the driver, terminal
+            // Result into the outcome slot.
+            let mut sink = tx.clone();
+            let depth = &depth;
+            let outcome_slot = &outcomes[i];
+            let fed_i = &fed[i];
+            scope.spawn(move || {
+                let mut stream = read_stream;
+                let failure = loop {
+                    match read_control(&mut stream) {
+                        Ok(Some(ControlFrame::Data { producer, frame })) => {
+                            depth.inc();
+                            match sink.send((producer as NodeId, frame)) {
+                                Ok(crate::link::SendOutcome::Closed) | Err(_) => break None,
+                                _ => {}
+                            }
+                        }
+                        Ok(Some(ControlFrame::MigrateAck(payload))) => {
+                            // Driver gone (abort path): keep pumping
+                            // boundary frames regardless.
+                            let _ = ack_tx.send(payload);
+                        }
+                        Ok(Some(ControlFrame::Result(payload))) => {
+                            match decode_unit_outcome(payload) {
+                                Ok(outcome) => {
+                                    *outcome_slot.lock().unwrap() = Some(outcome);
+                                    break None;
+                                }
+                                Err(e) => break Some(format!("result payload corrupt: {e}")),
+                            }
+                        }
+                        Ok(Some(ControlFrame::Error { kind, message })) => {
+                            break Some(format!("host reported failure ({kind}): {message}"))
+                        }
+                        Ok(Some(ControlFrame::Eos)) => continue,
+                        Ok(Some(other)) => break Some(format!("protocol violation: {other:?}")),
+                        Ok(None) => break Some("connection closed before result".into()),
+                        Err(e @ LinkError::MidFrame { .. }) => break Some(e.to_string()),
+                        Err(e) => break Some(e.to_string()),
+                    }
+                };
+                if let Some(msg) = failure {
+                    shared_failures.lock().unwrap().push(link_failure(
+                        host,
+                        fed_i.load(Ordering::Relaxed),
+                        msg,
+                    ));
+                }
+            });
+        }
+        drop(tx);
+
+        let central_feed = std::mem::take(&mut per_unit_feed[0]);
+        let central_handle = scope.spawn(|| {
+            run_central_unit(
+                &slices[0],
+                central_feed,
+                batch_cfg,
+                columnar,
+                rx,
+                &depth,
+                &plan.host,
+                &transport,
+                agg,
+            )
+        });
+
+        // One absorb round trip: encode per-session batches, send,
+        // collect acks. Returns false if any destination died.
+        let absorb_round = |cmd_txs: &mut Vec<Option<chan::Sender<HostCmd>>>,
+                            mut by_session: HashMap<usize, Vec<(u32, Vec<Tuple>)>>|
+         -> bool {
+            let mut ok = true;
+            let mut scratch = BytesMut::new();
+            let mut sent_to = Vec::new();
+            let mut sis: Vec<usize> = by_session.keys().copied().collect();
+            sis.sort_unstable();
+            for si in sis {
+                let batches = by_session.remove(&si).expect("keyed by session");
+                let payload = match encode_migrate_cmd(&MigrateCmd::Absorb { batches }, &mut scratch)
+                {
+                    Ok(p) => p,
+                    Err(_) => {
+                        ok = false;
+                        continue;
+                    }
+                };
+                let sent = match &cmd_txs[si] {
+                    Some(tx) => tx.send(HostCmd::Migrate(payload)).is_ok(),
+                    None => false,
+                };
+                if sent {
+                    sent_to.push(si);
+                } else {
+                    cmd_txs[si] = None;
+                    ok = false;
+                }
+            }
+            for si in sent_to {
+                let acked = ack_rxs[si]
+                    .recv_timeout(ack_timeout)
+                    .ok()
+                    .and_then(|p| decode_migrate_reply(p).ok())
+                    .is_some();
+                if !acked {
+                    cmd_txs[si] = None;
+                    ok = false;
+                }
+            }
+            ok
+        };
+
+        // One drain-and-handoff attempt, transactional up to the first
+        // absorb — the same phase discipline as the threaded runner.
+        let migrate = |cmd_txs: &mut Vec<Option<chan::Sender<HostCmd>>>,
+                       next: &[u32],
+                       boundary: u64|
+         -> RemoteMigrateReport {
+            let abort = RemoteMigrateReport {
+                moved: None,
+                host_died: true,
+            };
+            // Coordinator-side routing partitioners bound to the new
+            // table, one per replica family.
+            let mut keyps = Vec::with_capacity(spec.families.len());
+            for fam in &spec.families {
+                let mut kp = match HashPartitioner::with_buckets(
+                    set,
+                    &fam.schema,
+                    m,
+                    reb.buckets_per_partition,
+                ) {
+                    Ok(kp) => kp,
+                    Err(_) => {
+                        return RemoteMigrateReport {
+                            moved: None,
+                            host_died: false,
+                        }
+                    }
+                };
+                kp.set_assignment(next.to_vec());
+                keyps.push(kp);
+            }
+
+            // Build every extract payload before sending anything: a
+            // failure here aborts with all state still in place.
+            let mut enc_scratch = BytesMut::new();
+            let mut outbound: Vec<(usize, Bytes)> = Vec::new();
+            for &u in &units {
+                let Some(&si) = session_of_unit.get(&u) else {
+                    return abort;
+                };
+                let jobs: Vec<(u32, Vec<u32>)> = members_by_unit[&u]
+                    .iter()
+                    .map(|&node| {
+                        let fi = fam_of[&node];
+                        let mem = spec.families[fi]
+                            .members
+                            .iter()
+                            .find(|mb| mb.node == node)
+                            .expect("member of its own family");
+                        (slices[u].local[&node] as u32, mem.partitions.clone())
+                    })
+                    .collect();
+                let cmd = MigrateCmd::Extract {
+                    boundary,
+                    partitions: m as u32,
+                    buckets_per_partition: reb.buckets_per_partition as u32,
+                    assignment: next.to_vec(),
+                    set: set.clone(),
+                    jobs,
+                };
+                match encode_migrate_cmd(&cmd, &mut enc_scratch) {
+                    Ok(payload) => outbound.push((si, payload)),
+                    Err(_) => {
+                        return RemoteMigrateReport {
+                            moved: None,
+                            host_died: false,
+                        }
+                    }
+                }
+            }
+
+            // Flush-and-extract round trip to every leaf session. The
+            // global barrier holds because no absorb goes out until
+            // every ack is in: by then the whole fleet is flushed to
+            // the boundary.
+            let mut pending: Vec<usize> = Vec::new();
+            let mut any_dead = false;
+            for (si, payload) in outbound {
+                let sent = match &cmd_txs[si] {
+                    Some(tx) => tx.send(HostCmd::Migrate(payload)).is_ok(),
+                    None => false,
+                };
+                if sent {
+                    pending.push(si);
+                } else {
+                    cmd_txs[si] = None;
+                    any_dead = true;
+                }
+            }
+            let mut extracted: Vec<(NodeId, Vec<Tuple>)> = Vec::new();
+            for si in pending {
+                let u = sessions[si].unit;
+                let batches = ack_rxs[si]
+                    .recv_timeout(ack_timeout)
+                    .ok()
+                    .and_then(|p| decode_migrate_reply(p).ok());
+                match batches {
+                    Some(batches) => {
+                        for (l, rows) in batches {
+                            match global_of[u].get(&l) {
+                                Some(&g) => extracted.push((g, rows)),
+                                None => any_dead = true,
+                            }
+                        }
+                    }
+                    None => {
+                        cmd_txs[si] = None;
+                        any_dead = true;
+                    }
+                }
+            }
+            if any_dead {
+                // Hand every extracted row back to its source engine
+                // (best effort) so the survivors keep a consistent
+                // picture under the *old* table.
+                let mut by_session: HashMap<usize, Vec<(u32, Vec<Tuple>)>> = HashMap::new();
+                for (node, rows) in extracted {
+                    let u = unit_of[node];
+                    if let Some(&si) = session_of_unit.get(&u) {
+                        by_session
+                            .entry(si)
+                            .or_default()
+                            .push((slices[u].local[&node] as u32, rows));
+                    }
+                }
+                absorb_round(cmd_txs, by_session);
+                return abort;
+            }
+
+            // Route by the new table and absorb at the destinations.
+            let mut per_node: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
+            for (node, rows) in extracted {
+                let fi = fam_of[&node];
+                let fam = &spec.families[fi];
+                for row in rows {
+                    let p = keyps[fi].partition(&row) as u32;
+                    let dest = fam
+                        .member_of_partition(p)
+                        .expect("spec covers every partition")
+                        .node;
+                    per_node.entry(dest).or_default().push(row);
+                }
+            }
+            let mut moved = 0u64;
+            let mut by_session: HashMap<usize, Vec<(u32, Vec<Tuple>)>> = HashMap::new();
+            let mut dests: Vec<NodeId> = per_node.keys().copied().collect();
+            dests.sort_unstable();
+            for node in dests {
+                let rows = per_node.remove(&node).expect("keyed by nodes");
+                moved += rows.len() as u64;
+                let u = unit_of[node];
+                // An extracted row's bucket moved, and moved buckets
+                // never land on the pinned aggregator host.
+                let &si = session_of_unit
+                    .get(&u)
+                    .expect("pinned host never receives migrated state");
+                by_session
+                    .entry(si)
+                    .or_default()
+                    .push((slices[u].local[&node] as u32, rows));
+            }
+            let ok = absorb_round(cmd_txs, by_session);
+            RemoteMigrateReport {
+                moved: Some(moved),
+                host_died: !ok,
+            }
+        };
+
+        // The adaptive splitter loop — the same epoch segmentation and
+        // gauge accounting as the in-process runner, minus the pinned
+        // partitions (their feed went to the central unit up front, but
+        // their tuples still count toward the load gauges).
+        let send_feed =
+            |cmd_txs: &mut Vec<Option<chan::Sender<HostCmd>>>, p: usize, batch: Vec<Tuple>| {
+                let scan = scan_of[p];
+                if let Some(&si) = session_of_unit.get(&unit_of[scan]) {
+                    if let Some(tx) = &cmd_txs[si] {
+                        if tx.send(HostCmd::Feed(scan as u32, batch)).is_err() {
+                            cmd_txs[si] = None;
+                        }
+                    }
+                }
+            };
+        let mut detector = ImbalanceDetector::new(reb);
+        let mut host_tuples = vec![0u64; hosts_n];
+        let mut bucket_tuples = vec![0u64; splitter.bucket_count()];
+        let mut bufs: Vec<Vec<Tuple>> = vec![Vec::new(); m];
+        let mut migrations_enabled = true;
+        let mut parts: Vec<u32> = Vec::new();
+        let mut buckets: Vec<u32> = Vec::new();
+        let mut hashes: Vec<u64> = Vec::new();
+        let mut sketch = KeySketch::with_defaults();
+        let t0 = trace
+            .first()
+            .map(|t| t.get(tidx).as_u64().unwrap_or(0))
+            .unwrap_or(0);
+        let mut epoch_end = t0 + reb.sample_secs;
+        let mut start = 0usize;
+        while start < trace.len() {
+            let mut end = start;
+            while end < trace.len() && trace[end].get(tidx).as_u64().unwrap_or(0) < epoch_end {
+                end += 1;
+            }
+            for chunk in trace[start..end].chunks(max) {
+                let lane_ok = {
+                    let mut cols = ColumnBatch::from_rows(chunk);
+                    cols.dict_encode_strings();
+                    splitter.route_columns_hashed(&cols, &mut parts, &mut buckets, &mut hashes)
+                };
+                for (i, tuple) in chunk.iter().enumerate() {
+                    let (p, b) = if lane_ok {
+                        sketch.observe(hashes[i]);
+                        (parts[i] as usize, buckets[i] as usize)
+                    } else {
+                        sketch.observe(splitter.key_hash(tuple));
+                        (splitter.partition(tuple), splitter.bucket(tuple))
+                    };
+                    host_tuples[plan.partitioning.host_of_partition(p)] += 1;
+                    bucket_tuples[b] += 1;
+                    if unit_of[scan_of[p]] != 0 {
+                        bufs[p].push(tuple.clone());
+                        if bufs[p].len() >= max {
+                            send_feed(&mut cmd_txs, p, std::mem::take(&mut bufs[p]));
+                        }
+                    }
+                }
+            }
+            // Epoch boundary: residue in ascending scan order — the
+            // drain barrier needs every routed tuple inside its engine.
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_unstable_by_key(|&p| scan_of[p]);
+            for p in order {
+                if !bufs[p].is_empty() {
+                    send_feed(&mut cmd_txs, p, std::mem::take(&mut bufs[p]));
+                }
+            }
+            if end < trace.len() {
+                peak_imbalance = peak_imbalance.max(rebalance::imbalance(&host_tuples));
+                if detector.observe(&host_tuples)
+                    && migrations_enabled
+                    && rebalance::hot_key_floor(&sketch, hosts_n) < reb.threshold
+                {
+                    if let Some(next) = rebalance::plan_assignment_pinned(
+                        splitter.assignment(),
+                        &bucket_tuples,
+                        m,
+                        hosts_n,
+                        Some(agg),
+                    ) {
+                        let timer = Instant::now();
+                        let report = migrate(&mut cmd_txs, &next, epoch_end);
+                        pause_ms += timer.elapsed().as_secs_f64() * 1e3;
+                        if report.host_died {
+                            migrations_enabled = false;
+                        }
+                        if let Some(n) = report.moved {
+                            migrated += n;
+                            splitter.set_assignment(next);
+                            repartitions += 1;
+                        }
+                    }
+                }
+                host_tuples.fill(0);
+                bucket_tuples.fill(0);
+                sketch.clear();
+            }
+            start = end;
+            epoch_end += reb.sample_secs;
+        }
+        // End of stream: the writers append Eos behind the queued feed.
+        for tx in cmd_txs.iter().flatten() {
+            let _ = tx.send(HostCmd::Eos);
+        }
+        drop(cmd_txs);
+
+        let central = match central_handle.join() {
+            Ok(outcome) => outcome,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        // Unblock any writer or pump still parked on a socket.
+        for s in &shutdown_handles {
+            s.shutdown();
+        }
+        central
+    });
+
+    let central = central?;
+    failures.extend(shared_failures.into_inner().unwrap());
+
+    // Stitch — identical to the static coordinator's merge.
+    let mut global_counters: Vec<OpCounters> = vec![OpCounters::default(); plan.dag.len()];
+    let mut global_metrics: Vec<OpMetrics> = vec![OpMetrics::default(); plan.dag.len()];
+    let mut outputs: Vec<(String, Vec<Tuple>)> = plan
+        .outputs
+        .iter()
+        .map(|o| {
+            (
+                o.name
+                    .clone()
+                    .unwrap_or_else(|| format!("query{}", o.logical)),
+                Vec::new(),
+            )
+        })
+        .collect();
+    for (&global, &local) in &slices[0].local {
+        global_counters[global] = central.run.counters[local];
+        global_metrics[global] = central.run.node_metrics[local].clone();
+    }
+    for (idx, rows) in central.run.outputs {
+        outputs[idx].1 = rows;
+    }
+    failures.extend(central.failures);
+
+    let mut edges: Vec<EdgeTransport> = Vec::new();
+    let mut stalls: u64 = 0;
+    let mut dropped: u64 = 0;
+    for (i, session) in sessions.iter().enumerate() {
+        let outcome = outcomes[i].lock().unwrap().take();
+        let Some(outcome) = outcome else {
+            continue;
+        };
+        let slice = &slices[session.unit];
+        for (&global, &local) in &slice.local {
+            global_counters[global] = outcome.counters[local];
+            global_metrics[global] = outcome.node_metrics[local].clone();
+        }
+        for (idx, rows) in outcome.outputs {
+            outputs[idx as usize].1 = rows;
+        }
+        edges.extend(outcome.edges);
+        stalls += outcome.stalls;
+        dropped += outcome.dropped;
+    }
+
+    if !transport.partial_results {
+        if let Some(first) = failures.into_iter().next() {
+            return Err(first.into());
+        }
+        failures = Vec::new();
+    }
+
+    edges.sort_unstable_by_key(|e| e.producer);
+    let frames: u64 = edges.iter().map(|e| e.frames).sum();
+    let payload: u64 = edges.iter().map(|e| e.bytes).sum();
+    let retries: u64 = edges.iter().map(|e| e.retries).sum();
+    let transport_metrics = TransportMetrics {
+        edges,
+        frames,
+        frame_bytes: payload + frames * FRAME_HEADER_LEN as u64,
+        backpressure_stalls: stalls,
+        queue_peak: depth.peak(),
+        retries,
+        frames_dropped: dropped,
+        frames_corrupt_dropped: central.corrupt_dropped,
+        channel_capacity: transport.channel_capacity.max(1),
+        frame_batch: transport.frame_batch.max(1),
+    };
+
+    let duration = trace_duration(&schema, trace);
+    let mut metrics = account(plan, &global_counters, duration, cfg);
+    metrics.boundary_queue_peak = transport_metrics.queue_peak;
+    metrics.transport = transport_metrics;
+    metrics.repartitions = repartitions;
+    metrics.migrated_keys = migrated;
+    metrics.migration_pause_ms = pause_ms;
+    metrics.load_imbalance = peak_imbalance;
+    Ok(SimResult {
+        metrics,
+        outputs,
+        counters: global_counters,
+        node_metrics: global_metrics,
+        failures,
+    })
+}
+
+// ---------------------------------------------------------------------
 // Host server
 // ---------------------------------------------------------------------
 
@@ -709,6 +1512,92 @@ fn run_deployed_unit(
                     &mut scratch,
                     &mut shared,
                 )?;
+            }
+            Some(ControlFrame::Migrate(payload)) => {
+                let cmd = decode_migrate_cmd(payload)
+                    .map_err(|e| ExecError::BadPlan(format!("migrate command corrupt: {e}")))?;
+                let reply = match cmd {
+                    MigrateCmd::Extract {
+                        boundary,
+                        partitions,
+                        buckets_per_partition,
+                        assignment,
+                        set,
+                        jobs,
+                    } => {
+                        // Socket FIFO means every feed frame queued
+                        // before this command is already in the engine:
+                        // flushing to the boundary here is the same
+                        // drain the in-process worker performs.
+                        for &(node, _) in &jobs {
+                            let local = node as NodeId;
+                            if local >= dag.len() {
+                                return Err(ExecError::BadPlan(format!(
+                                    "migrate job for unknown node {node}"
+                                )));
+                            }
+                            engine.flush_before(local, boundary)?;
+                        }
+                        forward_boundary(
+                            &mut engine,
+                            &mut edges,
+                            frame_batch,
+                            unit.columnar,
+                            false,
+                            &mut scratch,
+                            &mut shared,
+                        )?;
+                        let mut out: Vec<(u32, Vec<Tuple>)> = Vec::new();
+                        for (node, owned) in jobs {
+                            let local = node as NodeId;
+                            let mut keyp = HashPartitioner::with_buckets(
+                                &set,
+                                dag.schema(local),
+                                partitions as usize,
+                                buckets_per_partition as usize,
+                            )
+                            .map_err(|e| {
+                                ExecError::BadPlan(format!("migrate partitioner: {e}"))
+                            })?;
+                            keyp.set_assignment(assignment.clone());
+                            let rows = engine.extract_state(local, &mut |key| {
+                                let p = keyp.partition(&Tuple::new(key.to_vec())) as u32;
+                                !owned.contains(&p)
+                            });
+                            if !rows.is_empty() {
+                                out.push((node, rows));
+                            }
+                        }
+                        encode_migrate_reply(&out, &mut scratch)
+                    }
+                    MigrateCmd::Absorb { batches } => {
+                        for (node, mut rows) in batches {
+                            let local = node as NodeId;
+                            if local >= dag.len() {
+                                return Err(ExecError::BadPlan(format!(
+                                    "migrate batch for unknown node {node}"
+                                )));
+                            }
+                            engine.absorb_state(local, &mut rows)?;
+                        }
+                        forward_boundary(
+                            &mut engine,
+                            &mut edges,
+                            frame_batch,
+                            unit.columnar,
+                            false,
+                            &mut scratch,
+                            &mut shared,
+                        )?;
+                        encode_migrate_reply(&[], &mut scratch)
+                    }
+                }
+                .map_err(|e| ExecError::BadPlan(format!("encode migrate reply: {e}")))?;
+                shared
+                    .sink
+                    .0
+                    .write_control(&ControlFrame::MigrateAck(reply))
+                    .map_err(|e| ExecError::BadPlan(format!("migrate ack link: {e}")))?;
             }
             Some(ControlFrame::Eos) => break,
             Some(other) => {
@@ -966,6 +1855,60 @@ mod tests {
             threaded.metrics.transport.tuples(),
             remote.metrics.transport.tuples()
         );
+    }
+
+    #[test]
+    fn adaptive_tcp_is_bit_identical_and_migrates() {
+        use crate::rebalance::RebalanceConfig;
+        use qap_trace::{generate_skew_ramp, SkewRampConfig};
+
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, COUNT(*) as pkts, SUM(len) as bytes FROM TCP \
+             GROUP BY time/60 as tb, srcIP",
+        )
+        .unwrap();
+        let dag = b.build();
+        let plan = optimize(
+            &dag,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 4),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let trace = generate_skew_ramp(&SkewRampConfig::tiny(7));
+        let cfg = SimConfig {
+            transport: TransportConfig::default().host_serial(),
+            ..SimConfig::default()
+        };
+
+        let units = compute_units(&plan, plan.partitioning.aggregator_host, &cfg.transport);
+        let addrs = spawn_hosts(units.len() - 1);
+        let stat = run_distributed_remote(&plan, &trace, &cfg, &addrs).unwrap();
+
+        // 45s samples against 60s windows: the drain boundary splits
+        // live windows, so group state genuinely ships between hosts.
+        let mut acfg = cfg;
+        acfg.transport.rebalance = RebalanceConfig::adaptive()
+            .with_threshold(1.2)
+            .with_consecutive(1)
+            .with_sample_secs(45);
+        let addrs = spawn_hosts(units.len() - 1);
+        let adap = run_distributed_remote(&plan, &trace, &acfg, &addrs).unwrap();
+
+        assert!(
+            adap.metrics.rebalance_fallback.is_none(),
+            "{:?}",
+            adap.metrics.rebalance_fallback
+        );
+        assert!(adap.metrics.repartitions >= 1, "no repartition fired");
+        assert!(adap.metrics.migrated_keys > 0, "no state shipped");
+        assert!(adap.failures.is_empty(), "{:?}", adap.failures);
+        assert_eq!(stat.outputs.len(), adap.outputs.len());
+        for (s, a) in stat.outputs.iter().zip(adap.outputs.iter()) {
+            assert_eq!(s.0, a.0);
+            assert_eq!(sorted(s.1.clone()), sorted(a.1.clone()), "{}", s.0);
+        }
     }
 
     #[test]

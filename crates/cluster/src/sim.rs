@@ -6,10 +6,11 @@ use serde::Serialize;
 
 use qap_exec::{BatchConfig, Engine, ExecError, ExecResult, HostFailure, OpCounters, OpMetrics};
 use qap_optimizer::{DistributedPlan, SplitStrategy};
-use qap_partition::HashPartitioner;
+use qap_partition::{HashPartitioner, KeySketch};
 use qap_plan::LogicalNode;
 use qap_types::{ColumnBatch, Tuple};
 
+use crate::rebalance::{self, ImbalanceDetector, MigrationSpec};
 use crate::transport::{TransportConfig, TransportMetrics};
 
 /// Per-tuple work-unit charges. The absolute scale is arbitrary — CPU
@@ -141,6 +142,22 @@ pub struct ClusterMetrics {
     /// deterministic simulator (batches deliver synchronously); the
     /// threaded runner reports its live channel peak.
     pub boundary_queue_peak: u64,
+    /// Re-partitioning events the online controller fired (0 when the
+    /// controller is disabled or the plan fell back to static).
+    pub repartitions: u64,
+    /// Group-state rows shipped between hosts across all migrations.
+    pub migrated_keys: u64,
+    /// Wall-clock milliseconds the feed was paused for drain-and-handoff,
+    /// summed over migrations (measured, so not deterministic; the
+    /// simulator's single-process migrations report real but tiny
+    /// values).
+    pub migration_pause_ms: f64,
+    /// Peak per-sample-epoch splitter load imbalance (max/mean of
+    /// per-host routed tuples). 1.0 when the controller never sampled.
+    pub load_imbalance: f64,
+    /// Why an enabled rebalance controller fell back to static
+    /// partitioning (plan ineligible), if it did.
+    pub rebalance_fallback: Option<String>,
     /// Measured boundary transport (frames, encoded bytes, stalls).
     /// Empty in the deterministic simulator; the threaded runner fills
     /// it from its framed channel path.
@@ -205,6 +222,9 @@ pub fn run_distributed_multi(
     feeds: &[(&str, &[Tuple])],
     cfg: &SimConfig,
 ) -> ExecResult<SimResult> {
+    if cfg.transport.rebalance.enabled {
+        return run_distributed_adaptive(plan, feeds, cfg);
+    }
     // Locate partition scans, grouped by stream.
     let mut scans: HashMap<(String, u32), usize> = HashMap::new();
     let mut streams: Vec<String> = Vec::new();
@@ -364,6 +384,304 @@ pub fn run_distributed_multi(
     })
 }
 
+/// Re-runs statically (controller off) and records why the adaptive
+/// path declined.
+fn static_fallback(
+    plan: &DistributedPlan,
+    feeds: &[(&str, &[Tuple])],
+    cfg: &SimConfig,
+    reason: String,
+) -> ExecResult<SimResult> {
+    let mut cfg = *cfg;
+    cfg.transport.rebalance.enabled = false;
+    let mut r = run_distributed_multi(plan, feeds, &cfg)?;
+    r.metrics.rebalance_fallback = Some(reason);
+    Ok(r)
+}
+
+/// The adaptive splitter loop: feed one sample epoch, read the load
+/// gauges, and when the imbalance detector fires, drain-and-handoff
+/// group state at the epoch boundary before swapping the bucket
+/// assignment. In the deterministic simulator every host lives in one
+/// engine, so "shipping" state is an extract→absorb between plan nodes
+/// — the same [`Engine::flush_before`]/[`Engine::extract_state`]/
+/// [`Engine::absorb_state`] contract the threaded and remote runners
+/// drive over their transports.
+fn run_distributed_adaptive(
+    plan: &DistributedPlan,
+    feeds: &[(&str, &[Tuple])],
+    cfg: &SimConfig,
+) -> ExecResult<SimResult> {
+    let reb = cfg.transport.rebalance;
+    let spec = match rebalance::migration_spec(plan) {
+        Ok(s) => s,
+        Err(reason) => return static_fallback(plan, feeds, cfg, reason),
+    };
+    let mut scans: HashMap<u32, usize> = HashMap::new();
+    let mut stream_name: Option<String> = None;
+    for id in plan.dag.topo_order() {
+        if let LogicalNode::Source { stream, partition } = plan.dag.node(id) {
+            let key = stream.to_ascii_lowercase();
+            match &stream_name {
+                None => stream_name = Some(key),
+                Some(s) if *s == key => {}
+                Some(_) => {
+                    return static_fallback(
+                        plan,
+                        feeds,
+                        cfg,
+                        "adaptive splitter supports a single source stream".into(),
+                    );
+                }
+            }
+            let p = partition.ok_or_else(|| {
+                ExecError::BadPlan("distributed plan contains an unpartitioned source".into())
+            })?;
+            scans.insert(p, id);
+        }
+    }
+    let Some(stream) = stream_name else {
+        return static_fallback(plan, feeds, cfg, "plan reads no source stream".into());
+    };
+    let Some((_, trace)) = feeds.iter().find(|(s, _)| s.eq_ignore_ascii_case(&stream)) else {
+        return Err(ExecError::BadPlan(format!(
+            "plan reads stream '{stream}' but no feed was provided"
+        )));
+    };
+    let trace: &[Tuple] = trace;
+    let schema = plan
+        .dag
+        .catalog()
+        .get(&stream)
+        .expect("plan catalog has its stream")
+        .clone();
+    let Some(&tidx) = schema.temporal_indices().first() else {
+        return static_fallback(plan, feeds, cfg, format!("stream {stream} has no time column"));
+    };
+    let SplitStrategy::Hash(set) = &plan.partitioning.strategy else {
+        unreachable!("migration_spec admits only hash strategies");
+    };
+
+    let m = plan.partitioning.partitions;
+    let hosts = plan.partitioning.hosts;
+    let mut splitter = HashPartitioner::with_buckets(set, &schema, m, reb.buckets_per_partition)
+        .map_err(|e| ExecError::BadPlan(format!("unusable partitioning set: {e}")))?;
+    let scan_of: Vec<usize> = (0..m)
+        .map(|p| {
+            scans.get(&(p as u32)).copied().ok_or_else(|| {
+                ExecError::BadPlan(format!("plan has no scan for partition {p}"))
+            })
+        })
+        .collect::<ExecResult<_>>()?;
+
+    let sink_nodes: Vec<usize> = plan.outputs.iter().map(|o| o.node).collect();
+    let mut engine = Engine::with_sinks(&plan.dag, &sink_nodes)?;
+    engine.set_batch_config(cfg.batch);
+
+    let max = cfg.batch.max_batch.max(1);
+    let columnar = cfg.transport.columnar;
+    let arity = schema.arity();
+    let mut bufs: Vec<Vec<Tuple>> = vec![Vec::new(); m];
+    let mut cbufs: Vec<ColumnBatch> = if columnar {
+        (0..m).map(|_| ColumnBatch::new(arity)).collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut detector = ImbalanceDetector::new(reb);
+    let mut host_tuples = vec![0u64; hosts];
+    let mut bucket_tuples = vec![0u64; splitter.bucket_count()];
+    let mut repartitions = 0u64;
+    let mut migrated = 0u64;
+    let mut pause_ms = 0.0f64;
+    let mut peak_imbalance = 1.0f64;
+
+    let t0 = trace
+        .first()
+        .map(|t| t.get(tidx).as_u64().unwrap_or(0))
+        .unwrap_or(0);
+    let mut epoch_end = t0 + reb.sample_secs;
+    let mut start = 0usize;
+    let mut parts: Vec<u32> = Vec::new();
+    let mut buckets: Vec<u32> = Vec::new();
+    let mut hashes: Vec<u64> = Vec::new();
+    let mut sketch = KeySketch::with_defaults();
+    while start < trace.len() {
+        let mut end = start;
+        while end < trace.len() && trace[end].get(tidx).as_u64().unwrap_or(0) < epoch_end {
+            end += 1;
+        }
+        // Feed this epoch's segment exactly as the static splitter
+        // does, counting per-host and per-bucket routed tuples from
+        // the same hash sweep. The key sketch rides the same hashes,
+        // so frequency tracking costs no extra hashing pass.
+        for chunk in trace[start..end].chunks(max) {
+            let lane_ok = {
+                let mut cols = ColumnBatch::from_rows(chunk);
+                cols.dict_encode_strings();
+                splitter.route_columns_hashed(&cols, &mut parts, &mut buckets, &mut hashes)
+            };
+            for (i, tuple) in chunk.iter().enumerate() {
+                let (p, b) = if lane_ok {
+                    sketch.observe(hashes[i]);
+                    (parts[i] as usize, buckets[i] as usize)
+                } else {
+                    sketch.observe(splitter.key_hash(tuple));
+                    (splitter.partition(tuple), splitter.bucket(tuple))
+                };
+                host_tuples[plan.partitioning.host_of_partition(p)] += 1;
+                bucket_tuples[b] += 1;
+                if columnar {
+                    cbufs[p].push_row(tuple);
+                    if cbufs[p].rows() >= max {
+                        cbufs[p].dict_encode_strings();
+                        engine.push_columns(scan_of[p], &mut cbufs[p])?;
+                        if cbufs[p].arity() != arity {
+                            cbufs[p] = ColumnBatch::new(arity);
+                        }
+                    }
+                } else {
+                    bufs[p].push(tuple.clone());
+                    if bufs[p].len() >= max {
+                        engine.push_batch(scan_of[p], &mut bufs[p])?;
+                    }
+                }
+            }
+        }
+        // Epoch boundary: flush staged residue (the drain step needs
+        // every routed tuple inside the engine), in scan order.
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_unstable_by_key(|&p| scan_of[p]);
+        for p in order {
+            if columnar {
+                if cbufs[p].rows() > 0 {
+                    cbufs[p].dict_encode_strings();
+                    engine.push_columns(scan_of[p], &mut cbufs[p])?;
+                }
+                // Unlike the static splitter's one-shot tail flush, the
+                // buffers live on into the next epoch: re-arm a pooled
+                // swap-in of another arity before reuse.
+                if cbufs[p].arity() != arity {
+                    cbufs[p] = ColumnBatch::new(arity);
+                }
+            } else if !bufs[p].is_empty() {
+                engine.push_batch(scan_of[p], &mut bufs[p])?;
+            }
+        }
+        if end < trace.len() {
+            peak_imbalance = peak_imbalance.max(rebalance::imbalance(&host_tuples));
+            if detector.observe(&host_tuples)
+                && rebalance::hot_key_floor(&sketch, hosts) < reb.threshold
+            {
+                if let Some(next) = rebalance::plan_assignment(
+                    splitter.assignment(),
+                    &bucket_tuples,
+                    m,
+                    hosts,
+                ) {
+                    let timer = std::time::Instant::now();
+                    migrated += migrate_in_engine(
+                        &mut engine,
+                        &spec,
+                        set,
+                        m,
+                        reb.buckets_per_partition,
+                        &next,
+                        epoch_end,
+                    )?;
+                    pause_ms += timer.elapsed().as_secs_f64() * 1e3;
+                    splitter.set_assignment(next);
+                    repartitions += 1;
+                }
+            }
+            host_tuples.fill(0);
+            bucket_tuples.fill(0);
+            sketch.clear();
+        }
+        start = end;
+        epoch_end += reb.sample_secs;
+    }
+    engine.finish()?;
+
+    let duration = trace_duration(&schema, trace);
+    let counters = engine.counters().to_vec();
+    let node_metrics = engine.metrics();
+    let mut metrics = account(plan, &counters, duration, cfg);
+    metrics.repartitions = repartitions;
+    metrics.migrated_keys = migrated;
+    metrics.migration_pause_ms = pause_ms;
+    metrics.load_imbalance = peak_imbalance;
+
+    let mut outputs = Vec::new();
+    for o in &plan.outputs {
+        let name = o
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("query{}", o.logical));
+        outputs.push((name, engine.output(o.node)));
+    }
+    metrics.output_rows = outputs
+        .iter()
+        .map(|(n, rows)| (n.clone(), rows.len() as u64))
+        .collect();
+    Ok(SimResult {
+        metrics,
+        outputs,
+        counters,
+        node_metrics,
+        failures: Vec::new(),
+    })
+}
+
+/// One drain-and-handoff inside a single engine: for every replica
+/// family, force-close windows before `boundary`, extract the groups
+/// whose keys re-route under `next`, and absorb them into the replica
+/// that now owns their partition. Returns the number of state rows
+/// moved.
+fn migrate_in_engine(
+    engine: &mut Engine,
+    spec: &MigrationSpec,
+    set: &qap_partition::PartitionSet,
+    partitions: usize,
+    buckets_per_partition: usize,
+    next: &[u32],
+    boundary: u64,
+) -> ExecResult<u64> {
+    let mut moved = 0u64;
+    for fam in &spec.families {
+        let mut keyp =
+            HashPartitioner::with_buckets(set, &fam.schema, partitions, buckets_per_partition)
+                .map_err(|e| ExecError::BadPlan(format!("migration key partitioner: {e}")))?;
+        keyp.set_assignment(next.to_vec());
+        for mem in &fam.members {
+            engine.flush_before(mem.node, boundary)?;
+        }
+        let mut per_dest: HashMap<usize, Vec<Tuple>> = HashMap::new();
+        for mem in &fam.members {
+            let owned = &mem.partitions;
+            let rows = engine.extract_state(mem.node, &mut |key| {
+                let p = keyp.partition(&Tuple::new(key.to_vec())) as u32;
+                !owned.contains(&p)
+            });
+            for row in rows {
+                let p = keyp.partition(&row) as u32;
+                let dest = fam
+                    .member_of_partition(p)
+                    .expect("spec covers every partition")
+                    .node;
+                per_dest.entry(dest).or_default().push(row);
+            }
+        }
+        let mut dests: Vec<(usize, Vec<Tuple>)> = per_dest.into_iter().collect();
+        dests.sort_unstable_by_key(|(d, _)| *d);
+        for (dest, mut rows) in dests {
+            moved += rows.len() as u64;
+            engine.absorb_state(dest, &mut rows)?;
+        }
+    }
+    Ok(moved)
+}
+
 /// Span of the trace's temporal attribute, in seconds.
 pub(crate) fn trace_duration(schema: &qap_types::Schema, trace: &[Tuple]) -> f64 {
     let Some(&tidx) = schema.temporal_indices().first() else {
@@ -510,6 +828,11 @@ pub(crate) fn account(
         host_tx_tuples,
         host_tx_bytes_per_sec: host_tx_bytes.iter().map(|b| b / duration_secs).collect(),
         boundary_queue_peak: 0,
+        repartitions: 0,
+        migrated_keys: 0,
+        migration_pause_ms: 0.0,
+        load_imbalance: 1.0,
+        rebalance_fallback: None,
         transport: TransportMetrics::default(),
     }
 }
@@ -546,6 +869,67 @@ mod tests {
             std::cmp::Ordering::Equal
         });
         rows
+    }
+
+    #[test]
+    fn adaptive_rebalance_is_bit_identical_to_static_and_migrates() {
+        use crate::rebalance::RebalanceConfig;
+        use qap_trace::{generate_skew_ramp, SkewRampConfig};
+
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, COUNT(*) as pkts, SUM(len) as bytes FROM TCP \
+             GROUP BY time/60 as tb, srcIP",
+        )
+        .unwrap();
+        let dag = b.build();
+        let part = Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 4);
+        let plan = optimize(&dag, &part, &OptimizerConfig::full()).unwrap();
+        let trace = generate_skew_ramp(&SkewRampConfig::tiny(7));
+
+        let stat = run_distributed(&plan, &trace, &SimConfig::default()).unwrap();
+        let mut cfg = SimConfig::default();
+        // Sample at 45s — deliberately unaligned with the 60s window so
+        // the drain boundary splits live windows and state really ships.
+        cfg.transport.rebalance = RebalanceConfig::adaptive()
+            .with_threshold(1.2)
+            .with_consecutive(1)
+            .with_sample_secs(45);
+        let adap = run_distributed(&plan, &trace, &cfg).unwrap();
+
+        assert!(adap.metrics.rebalance_fallback.is_none());
+        assert!(adap.metrics.repartitions >= 1, "no repartition fired");
+        assert!(adap.metrics.migrated_keys > 0, "no state shipped");
+        assert_eq!(stat.outputs.len(), adap.outputs.len());
+        for (s, a) in stat.outputs.iter().zip(adap.outputs.iter()) {
+            assert_eq!(s.0, a.0);
+            assert_eq!(sorted(s.1.clone()), sorted(a.1.clone()), "{}", s.0);
+        }
+    }
+
+    #[test]
+    fn adaptive_on_round_robin_falls_back_to_static() {
+        use crate::rebalance::RebalanceConfig;
+
+        let dag = flows_dag();
+        let plan = optimize(
+            &dag,
+            &Partitioning::round_robin(3),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let trace = generate(&TraceConfig::tiny(5));
+        let mut cfg = SimConfig::default();
+        cfg.transport.rebalance = RebalanceConfig::adaptive();
+        let r = run_distributed(&plan, &trace, &cfg).unwrap();
+        assert!(r.metrics.rebalance_fallback.is_some());
+        assert_eq!(r.metrics.repartitions, 0);
+        // The fallback run is the static run.
+        let s = run_distributed(&plan, &trace, &SimConfig::default()).unwrap();
+        for (a, b) in s.outputs.iter().zip(r.outputs.iter()) {
+            assert_eq!(sorted(a.1.clone()), sorted(b.1.clone()));
+        }
     }
 
     #[test]

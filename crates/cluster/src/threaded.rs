@@ -62,9 +62,10 @@ use std::time::{Duration, Instant};
 use qap_exec::{
     BatchConfig, Engine, ExecError, ExecResult, FailureCause, HostFailure, OpCounters, OpMetrics,
 };
+use crossbeam::channel as chan;
 use qap_obs::SharedGauge;
 use qap_optimizer::{DistributedPlan, SplitStrategy};
-use qap_partition::HashPartitioner;
+use qap_partition::{HashPartitioner, KeySketch, PartitionSet};
 use qap_plan::{LogicalNode, NodeId, QueryDag};
 use qap_types::{
     encode_batch, encode_column_batch, Bytes, BytesMut, ColumnBatch, Schema, Tuple,
@@ -72,6 +73,7 @@ use qap_types::{
 };
 
 use crate::link::{ChannelTransport, FrameSink, FrameSource, RecvOutcome, SendOutcome, Transport};
+use crate::rebalance::{self, ImbalanceDetector, MigrationSpec};
 use crate::sim::{account, trace_duration, SimConfig, SimResult};
 use crate::transport::{EdgeTransport, FaultPlan, TransportConfig, TransportMetrics};
 
@@ -521,6 +523,9 @@ pub fn run_distributed_threaded(
     trace: &[Tuple],
     cfg: &SimConfig,
 ) -> ExecResult<SimResult> {
+    if cfg.transport.rebalance.enabled {
+        return run_threaded_adaptive(plan, trace, cfg);
+    }
     let agg = plan.partitioning.aggregator_host;
     let transport = cfg.transport;
 
@@ -705,6 +710,778 @@ pub fn run_distributed_threaded(
     let mut metrics = account(plan, &global_counters, duration, cfg);
     metrics.boundary_queue_peak = transport_metrics.queue_peak;
     metrics.transport = transport_metrics;
+    Ok(SimResult {
+        metrics,
+        outputs,
+        counters: global_counters,
+        node_metrics: global_metrics,
+        failures,
+    })
+}
+
+/// One state-extraction order for a leaf worker: which aggregate to
+/// drain, the key partitioner bound to the *new* assignment table, and
+/// the partitions the member keeps (everything else ships).
+struct ExtractJob {
+    /// Global plan-node id of the member aggregate.
+    node: NodeId,
+    /// Routing partitioner over the aggregate's group-key prefix,
+    /// already carrying the next assignment table.
+    keyp: HashPartitioner,
+    /// Partitions this member still owns under the new table (sorted).
+    owned: Vec<u32>,
+}
+
+/// Driver→worker commands of the adaptive runner. Per-channel FIFO is
+/// the protocol's ordering guarantee: a `Flush` ack certifies every
+/// earlier `Feed` on the same channel was applied, which is exactly the
+/// drain step of drain-and-handoff. Dropping the channel is
+/// end-of-stream.
+enum WorkerCmd {
+    /// Route one splitter batch into the given (global) scan.
+    Feed(NodeId, Vec<Tuple>),
+    /// Force-close windows before the boundary on the listed (global)
+    /// aggregates, then ack success.
+    Flush(u64, Vec<NodeId>, chan::Sender<bool>),
+    /// Extract re-routed group state; reply with `(global node, rows)`.
+    Extract(Vec<ExtractJob>, chan::Sender<Vec<(NodeId, Vec<Tuple>)>>),
+    /// Merge shipped state rows into the listed (global) aggregates,
+    /// then ack success.
+    Absorb(Vec<(NodeId, Vec<Tuple>)>, chan::Sender<bool>),
+}
+
+/// Command-driven variant of [`run_leaf_unit`]: the driver thread
+/// streams `Feed` batches epoch by epoch and brackets each migration
+/// with `Flush` → `Extract` → `Absorb`. Engine errors during a
+/// migration command are acked as failure *and* returned, so the driver
+/// can abort the handoff while the join harvest still records the typed
+/// cause. Fault injection (hang, panic-after-N-tuples) matches the
+/// static worker.
+fn run_leaf_unit_adaptive<S: FrameSink>(
+    slice: &UnitPlan,
+    rx: chan::Receiver<WorkerCmd>,
+    batch_cfg: BatchConfig,
+    frame_batch: usize,
+    columnar: bool,
+    mut shared: TxShared<'_, S>,
+) -> ExecResult<UnitRun> {
+    if shared.fault.hang_host == Some(shared.host) && shared.fault.hang_millis > 0 {
+        std::thread::sleep(Duration::from_millis(shared.fault.hang_millis));
+    }
+    let panic_at =
+        (shared.fault.panic_host == Some(shared.host)).then_some(shared.fault.panic_after_tuples);
+
+    let mut sinks: Vec<NodeId> = slice.boundary.iter().map(|&g| slice.local[&g]).collect();
+    for &(_, g) in &slice.outputs {
+        let l = slice.local[&g];
+        if !sinks.contains(&l) {
+            sinks.push(l);
+        }
+    }
+    let mut engine = Engine::with_sinks(&slice.dag, &sinks)?;
+    engine.set_batch_config(batch_cfg);
+    let mut edges: Vec<EdgeStage> = slice
+        .boundary
+        .iter()
+        .map(|&g| EdgeStage::new(slice, g))
+        .collect();
+    let mut scratch = BytesMut::new();
+    let mut feed_stage = ColumnBatch::new(0);
+
+    let mut fed: u64 = 0;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            WorkerCmd::Feed(scan_global, mut batch) => {
+                let batch_len = batch.len() as u64;
+                feed_engine(
+                    &mut engine,
+                    slice.local[&scan_global],
+                    &mut batch,
+                    columnar,
+                    &mut feed_stage,
+                )?;
+                fed += batch_len;
+                shared.tuples.store(fed, Ordering::Relaxed);
+                if let Some(at) = panic_at {
+                    if fed >= at {
+                        panic!("injected worker fault after {fed} tuples (plan: panic at {at})");
+                    }
+                }
+                forward_boundary(
+                    &mut engine,
+                    &mut edges,
+                    frame_batch,
+                    columnar,
+                    false,
+                    &mut scratch,
+                    &mut shared,
+                )?;
+            }
+            WorkerCmd::Flush(boundary, nodes, ack) => {
+                let r = (|| -> ExecResult<()> {
+                    for g in &nodes {
+                        engine.flush_before(slice.local[g], boundary)?;
+                    }
+                    forward_boundary(
+                        &mut engine,
+                        &mut edges,
+                        frame_batch,
+                        columnar,
+                        false,
+                        &mut scratch,
+                        &mut shared,
+                    )
+                })();
+                match r {
+                    Ok(()) => {
+                        let _ = ack.send(true);
+                    }
+                    Err(e) => {
+                        let _ = ack.send(false);
+                        return Err(e);
+                    }
+                }
+            }
+            WorkerCmd::Extract(jobs, reply) => {
+                let mut out = Vec::new();
+                for job in jobs {
+                    let ExtractJob { node, keyp, owned } = job;
+                    let local = slice.local[&node];
+                    let rows = engine.extract_state(local, &mut |key| {
+                        let p = keyp.partition(&Tuple::new(key.to_vec())) as u32;
+                        !owned.contains(&p)
+                    });
+                    if !rows.is_empty() {
+                        out.push((node, rows));
+                    }
+                }
+                let _ = reply.send(out);
+            }
+            WorkerCmd::Absorb(batches, ack) => {
+                let r = (|| -> ExecResult<()> {
+                    for (g, mut rows) in batches {
+                        engine.absorb_state(slice.local[&g], &mut rows)?;
+                    }
+                    forward_boundary(
+                        &mut engine,
+                        &mut edges,
+                        frame_batch,
+                        columnar,
+                        false,
+                        &mut scratch,
+                        &mut shared,
+                    )
+                })();
+                match r {
+                    Ok(()) => {
+                        let _ = ack.send(true);
+                    }
+                    Err(e) => {
+                        let _ = ack.send(false);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+    engine.finish()?;
+    forward_boundary(
+        &mut engine,
+        &mut edges,
+        frame_batch,
+        columnar,
+        true,
+        &mut scratch,
+        &mut shared,
+    )?;
+    let counters = engine.counters().to_vec();
+    let node_metrics = engine.metrics();
+    let outputs = slice
+        .outputs
+        .iter()
+        .map(|&(idx, g)| (idx, engine.output(slice.local[&g])))
+        .collect();
+    Ok(UnitRun {
+        counters,
+        node_metrics,
+        outputs,
+        edges: edges.into_iter().map(|e| e.stats).collect(),
+    })
+}
+
+/// Outcome of one drain-and-handoff attempt across the worker fleet.
+struct MigrateReport {
+    /// Rows shipped; `Some` means the new assignment table takes effect
+    /// (`None` = aborted before any state left its engine — the old
+    /// table stays).
+    moved: Option<u64>,
+    /// A worker died mid-protocol. Its typed failure surfaces at join;
+    /// the driver disables further migrations (the fleet's state can no
+    /// longer be moved consistently).
+    worker_died: bool,
+}
+
+/// Drives one migration over the command channels: flush barrier on
+/// every family member, extract the re-routed groups, route the rows by
+/// the new table, absorb at the destinations. Transactional up to the
+/// first absorb: a death during flush aborts with no state moved; a
+/// death during extract hands every already-extracted row back to its
+/// source engine (best effort) and aborts; once absorbs start, the new
+/// table takes effect regardless — rows bound for a dead worker are
+/// part of that worker's failure record, exactly like tuples it would
+/// have been fed.
+#[allow(clippy::too_many_arguments)]
+fn migrate_threaded(
+    cmd_txs: &mut [Option<chan::Sender<WorkerCmd>>],
+    unit_of: &[usize],
+    spec: &MigrationSpec,
+    set: &PartitionSet,
+    partitions: usize,
+    buckets_per_partition: usize,
+    next: &[u32],
+    boundary: u64,
+) -> MigrateReport {
+    let abort = MigrateReport {
+        moved: None,
+        worker_died: true,
+    };
+    // Per-family routing partitioners bound to the *new* table.
+    let mut keyps = Vec::with_capacity(spec.families.len());
+    for fam in &spec.families {
+        let mut kp = match HashPartitioner::with_buckets(
+            set,
+            &fam.schema,
+            partitions,
+            buckets_per_partition,
+        ) {
+            Ok(kp) => kp,
+            Err(_) => {
+                return MigrateReport {
+                    moved: None,
+                    worker_died: false,
+                }
+            }
+        };
+        kp.set_assignment(next.to_vec());
+        keyps.push(kp);
+    }
+    let mut fam_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut members_by_unit: HashMap<usize, Vec<NodeId>> = HashMap::new();
+    for (fi, fam) in spec.families.iter().enumerate() {
+        for mem in &fam.members {
+            fam_of.insert(mem.node, fi);
+            members_by_unit
+                .entry(unit_of[mem.node])
+                .or_default()
+                .push(mem.node);
+        }
+    }
+    let mut units: Vec<usize> = members_by_unit.keys().copied().collect();
+    units.sort_unstable();
+
+    // Phase 1 — flush barrier: every member force-closes windows before
+    // the boundary, so every shipped state row and every destination
+    // agree on the current bucket. An abort here is harmless: flushed
+    // windows are complete anyway (the feed is time-ordered and past the
+    // boundary), their results just emitted early.
+    let mut acks = Vec::new();
+    for &u in &units {
+        let (ack_tx, ack_rx) = chan::bounded(1);
+        let sent = match &cmd_txs[u] {
+            Some(ctx) => ctx
+                .send(WorkerCmd::Flush(
+                    boundary,
+                    members_by_unit[&u].clone(),
+                    ack_tx,
+                ))
+                .is_ok(),
+            None => false,
+        };
+        if !sent {
+            cmd_txs[u] = None;
+            return abort;
+        }
+        acks.push((u, ack_rx));
+    }
+    for (u, rx) in acks {
+        if !matches!(rx.recv(), Ok(true)) {
+            cmd_txs[u] = None;
+            return abort;
+        }
+    }
+
+    // Phase 2 — extract the groups whose keys re-route under the new
+    // table, from every member concurrently.
+    let mut any_dead = false;
+    let mut replies = Vec::new();
+    for &u in &units {
+        let jobs: Vec<ExtractJob> = members_by_unit[&u]
+            .iter()
+            .map(|&node| {
+                let fi = fam_of[&node];
+                let mem = spec.families[fi]
+                    .members
+                    .iter()
+                    .find(|m| m.node == node)
+                    .expect("member of its own family");
+                ExtractJob {
+                    node,
+                    keyp: keyps[fi].clone(),
+                    owned: mem.partitions.clone(),
+                }
+            })
+            .collect();
+        let (reply_tx, reply_rx) = chan::bounded(1);
+        let sent = match &cmd_txs[u] {
+            Some(ctx) => ctx.send(WorkerCmd::Extract(jobs, reply_tx)).is_ok(),
+            None => false,
+        };
+        if sent {
+            replies.push((u, reply_rx));
+        } else {
+            cmd_txs[u] = None;
+            any_dead = true;
+        }
+    }
+    let mut extracted: Vec<(NodeId, Vec<Tuple>)> = Vec::new();
+    for (u, rx) in replies {
+        match rx.recv() {
+            Ok(batch) => extracted.extend(batch),
+            Err(_) => {
+                cmd_txs[u] = None;
+                any_dead = true;
+            }
+        }
+    }
+    if any_dead {
+        // Hand every extracted row back to its source engine so the
+        // surviving workers keep a consistent picture under the *old*
+        // table (best effort — a failed return joins that worker's
+        // loss).
+        let mut by_unit: HashMap<usize, Vec<(NodeId, Vec<Tuple>)>> = HashMap::new();
+        for (node, rows) in extracted {
+            by_unit.entry(unit_of[node]).or_default().push((node, rows));
+        }
+        for (u, batches) in by_unit {
+            let (ack_tx, ack_rx) = chan::bounded(1);
+            if let Some(ctx) = &cmd_txs[u] {
+                if ctx.send(WorkerCmd::Absorb(batches, ack_tx)).is_ok() {
+                    let _ = ack_rx.recv();
+                }
+            }
+        }
+        return abort;
+    }
+
+    // Phase 3 — route by the new table and absorb at the destinations.
+    let mut per_node: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
+    for (node, rows) in extracted {
+        let fi = fam_of[&node];
+        let fam = &spec.families[fi];
+        for row in rows {
+            let p = keyps[fi].partition(&row) as u32;
+            let dest = fam
+                .member_of_partition(p)
+                .expect("spec covers every partition")
+                .node;
+            per_node.entry(dest).or_default().push(row);
+        }
+    }
+    let mut moved = 0u64;
+    let mut by_unit: HashMap<usize, Vec<(NodeId, Vec<Tuple>)>> = HashMap::new();
+    let mut nodes: Vec<NodeId> = per_node.keys().copied().collect();
+    nodes.sort_unstable();
+    for node in nodes {
+        let rows = per_node.remove(&node).expect("keyed by nodes");
+        moved += rows.len() as u64;
+        by_unit.entry(unit_of[node]).or_default().push((node, rows));
+    }
+    let mut dest_units: Vec<usize> = by_unit.keys().copied().collect();
+    dest_units.sort_unstable();
+    let mut worker_died = false;
+    let mut acks = Vec::new();
+    for u in dest_units {
+        let batches = by_unit.remove(&u).expect("keyed by units");
+        let (ack_tx, ack_rx) = chan::bounded(1);
+        let sent = match &cmd_txs[u] {
+            Some(ctx) => ctx.send(WorkerCmd::Absorb(batches, ack_tx)).is_ok(),
+            None => false,
+        };
+        if sent {
+            acks.push((u, ack_rx));
+        } else {
+            cmd_txs[u] = None;
+            worker_died = true;
+        }
+    }
+    for (u, rx) in acks {
+        if !matches!(rx.recv(), Ok(true)) {
+            cmd_txs[u] = None;
+            worker_died = true;
+        }
+    }
+    MigrateReport {
+        moved: Some(moved),
+        worker_died,
+    }
+}
+
+/// The adaptive variant of the threaded runner: the calling thread
+/// *becomes the splitter* — it routes the trace epoch by epoch through
+/// a live [`HashPartitioner`] assignment table, reads the per-host load
+/// gauges at every sample boundary, and drives drain-and-handoff
+/// migrations over the worker command channels while the central unit
+/// consumes boundary frames on its own thread. Plans the migration
+/// spec rejects fall back to the static runner with the reason
+/// recorded.
+fn run_threaded_adaptive(
+    plan: &DistributedPlan,
+    trace: &[Tuple],
+    cfg: &SimConfig,
+) -> ExecResult<SimResult> {
+    let fallback = |reason: String| -> ExecResult<SimResult> {
+        let mut cfg = *cfg;
+        cfg.transport.rebalance.enabled = false;
+        let mut r = run_distributed_threaded(plan, trace, &cfg)?;
+        r.metrics.rebalance_fallback = Some(reason);
+        Ok(r)
+    };
+    let reb = cfg.transport.rebalance;
+    let spec = match rebalance::migration_spec(plan) {
+        Ok(s) => s,
+        Err(reason) => return fallback(reason),
+    };
+    let agg = plan.partitioning.aggregator_host;
+    let transport = cfg.transport;
+    let unit_nodes = compute_units(plan, agg, &transport);
+    // The driver feeds leaf workers only: a host-serial decomposition
+    // parks the aggregator host's scans inside the central unit, where
+    // no command channel reaches them.
+    if unit_nodes[0]
+        .iter()
+        .any(|&id| matches!(plan.dag.node(id), LogicalNode::Source { .. }))
+    {
+        return fallback(
+            "host-serial unit decomposition: the central unit owns partition scans".into(),
+        );
+    }
+    let slices: Vec<UnitPlan> = unit_nodes
+        .iter()
+        .map(|nodes| slice_unit(plan, nodes))
+        .collect::<ExecResult<Vec<_>>>()?;
+    for (u, s) in slices.iter().enumerate() {
+        if u != 0 && !s.remote_in.is_empty() {
+            return Err(ExecError::BadPlan(format!(
+                "leaf unit on host {} unexpectedly consumes remote streams",
+                s.host
+            )));
+        }
+    }
+    if !slices[0].boundary.is_empty() {
+        return Err(ExecError::BadPlan(
+            "central unit unexpectedly ships boundary output".into(),
+        ));
+    }
+
+    // Stream geometry: partition → scan node → unit.
+    let mut scan_of_partition: HashMap<u32, NodeId> = HashMap::new();
+    let mut stream_name = None;
+    for id in plan.dag.topo_order() {
+        if let LogicalNode::Source { stream, partition } = plan.dag.node(id) {
+            stream_name = Some(stream.clone());
+            scan_of_partition.insert(partition.expect("physical scan"), id);
+        }
+    }
+    let stream =
+        stream_name.ok_or_else(|| ExecError::BadPlan("plan has no source scans".into()))?;
+    let schema = plan
+        .dag
+        .catalog()
+        .get(&stream)
+        .expect("catalog has stream")
+        .clone();
+    let Some(&tidx) = schema.temporal_indices().first() else {
+        return fallback(format!("stream {stream} has no time column"));
+    };
+    let SplitStrategy::Hash(set) = &plan.partitioning.strategy else {
+        unreachable!("migration_spec admits only hash strategies");
+    };
+    let m = plan.partitioning.partitions;
+    let hosts = plan.partitioning.hosts;
+    let mut splitter = HashPartitioner::with_buckets(set, &schema, m, reb.buckets_per_partition)
+        .map_err(|e| ExecError::BadPlan(format!("unusable partitioning set: {e}")))?;
+    let scan_of: Vec<NodeId> = (0..m)
+        .map(|p| {
+            scan_of_partition.get(&(p as u32)).copied().ok_or_else(|| {
+                ExecError::BadPlan(format!("plan has no scan for partition {p}"))
+            })
+        })
+        .collect::<ExecResult<_>>()?;
+    let mut unit_of: Vec<usize> = vec![0; plan.dag.len()];
+    for (u, nodes) in unit_nodes.iter().enumerate() {
+        for &id in nodes {
+            unit_of[id] = u;
+        }
+    }
+
+    let (tx, rx) = ChannelTransport.pair(transport.channel_capacity.max(1));
+    let depth = SharedGauge::new();
+    let stalls = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
+    let worker_tuples: Vec<AtomicU64> = (0..slices.len()).map(|_| AtomicU64::new(0)).collect();
+
+    let batch_cfg = cfg.batch;
+    let frame_batch = transport.frame_batch.max(1);
+    let columnar = transport.columnar;
+    let max = batch_cfg.max_batch.max(1);
+
+    let mut repartitions = 0u64;
+    let mut migrated = 0u64;
+    let mut pause_ms = 0.0f64;
+    let mut peak_imbalance = 1.0f64;
+
+    type ScopeOut = (Vec<(usize, UnitRun)>, Vec<HostFailure>, u64);
+    let result: ExecResult<ScopeOut> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut cmd_txs: Vec<Option<chan::Sender<WorkerCmd>>> = vec![None];
+        for (u, slice) in slices.iter().enumerate().skip(1) {
+            let (cmd_tx, cmd_rx) = chan::unbounded();
+            cmd_txs.push(Some(cmd_tx));
+            let shared = TxShared {
+                sink: tx.clone(),
+                depth: &depth,
+                stalls: &stalls,
+                dropped: &dropped,
+                tuples: &worker_tuples[u],
+                fault: transport.fault,
+                send_timeout_ms: transport.send_timeout_ms,
+                host: slice.host,
+            };
+            handles.push((
+                u,
+                scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        run_leaf_unit_adaptive(
+                            slice, cmd_rx, batch_cfg, frame_batch, columnar, shared,
+                        )
+                    }))
+                }),
+            ));
+        }
+        drop(tx);
+        // The central unit gets its own thread — the calling thread is
+        // busy being the splitter.
+        let central_handle = scope.spawn(|| {
+            run_central_unit(
+                &slices[0],
+                Vec::new(),
+                batch_cfg,
+                columnar,
+                rx,
+                &depth,
+                &plan.host,
+                &transport,
+                agg,
+            )
+        });
+
+        // The adaptive splitter loop, mirroring the simulator's epoch
+        // segmentation and gauge accounting batch for batch.
+        let send_feed =
+            |cmd_txs: &mut Vec<Option<chan::Sender<WorkerCmd>>>, p: usize, batch: Vec<Tuple>| {
+                let scan = scan_of[p];
+                let u = unit_of[scan];
+                if let Some(cmd_tx) = &cmd_txs[u] {
+                    if cmd_tx.send(WorkerCmd::Feed(scan, batch)).is_err() {
+                        // Worker died; its typed failure is harvested at
+                        // join. Stop feeding it.
+                        cmd_txs[u] = None;
+                    }
+                }
+            };
+        let mut detector = ImbalanceDetector::new(reb);
+        let mut host_tuples = vec![0u64; hosts];
+        let mut bucket_tuples = vec![0u64; splitter.bucket_count()];
+        let mut bufs: Vec<Vec<Tuple>> = vec![Vec::new(); m];
+        let mut migrations_enabled = true;
+        let mut parts: Vec<u32> = Vec::new();
+        let mut buckets: Vec<u32> = Vec::new();
+        let mut hashes: Vec<u64> = Vec::new();
+        let mut sketch = KeySketch::with_defaults();
+        let t0 = trace
+            .first()
+            .map(|t| t.get(tidx).as_u64().unwrap_or(0))
+            .unwrap_or(0);
+        let mut epoch_end = t0 + reb.sample_secs;
+        let mut start = 0usize;
+        while start < trace.len() {
+            let mut end = start;
+            while end < trace.len() && trace[end].get(tidx).as_u64().unwrap_or(0) < epoch_end {
+                end += 1;
+            }
+            for chunk in trace[start..end].chunks(max) {
+                let lane_ok = {
+                    let mut cols = ColumnBatch::from_rows(chunk);
+                    cols.dict_encode_strings();
+                    splitter.route_columns_hashed(&cols, &mut parts, &mut buckets, &mut hashes)
+                };
+                for (i, tuple) in chunk.iter().enumerate() {
+                    let (p, b) = if lane_ok {
+                        sketch.observe(hashes[i]);
+                        (parts[i] as usize, buckets[i] as usize)
+                    } else {
+                        sketch.observe(splitter.key_hash(tuple));
+                        (splitter.partition(tuple), splitter.bucket(tuple))
+                    };
+                    host_tuples[plan.partitioning.host_of_partition(p)] += 1;
+                    bucket_tuples[b] += 1;
+                    bufs[p].push(tuple.clone());
+                    if bufs[p].len() >= max {
+                        send_feed(&mut cmd_txs, p, std::mem::take(&mut bufs[p]));
+                    }
+                }
+            }
+            // Epoch boundary: residue in ascending scan order (the
+            // static splitter's tail discipline) — the flush barrier
+            // needs every routed tuple inside its engine.
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_unstable_by_key(|&p| scan_of[p]);
+            for p in order {
+                if !bufs[p].is_empty() {
+                    send_feed(&mut cmd_txs, p, std::mem::take(&mut bufs[p]));
+                }
+            }
+            if end < trace.len() {
+                peak_imbalance = peak_imbalance.max(rebalance::imbalance(&host_tuples));
+                if detector.observe(&host_tuples)
+                    && migrations_enabled
+                    && rebalance::hot_key_floor(&sketch, hosts) < reb.threshold
+                {
+                    if let Some(next) = rebalance::plan_assignment(
+                        splitter.assignment(),
+                        &bucket_tuples,
+                        m,
+                        hosts,
+                    ) {
+                        let timer = Instant::now();
+                        let report = migrate_threaded(
+                            &mut cmd_txs,
+                            &unit_of,
+                            &spec,
+                            set,
+                            m,
+                            reb.buckets_per_partition,
+                            &next,
+                            epoch_end,
+                        );
+                        pause_ms += timer.elapsed().as_secs_f64() * 1e3;
+                        if report.worker_died {
+                            migrations_enabled = false;
+                        }
+                        if let Some(n) = report.moved {
+                            migrated += n;
+                            splitter.set_assignment(next);
+                            repartitions += 1;
+                        }
+                    }
+                }
+                host_tuples.fill(0);
+                bucket_tuples.fill(0);
+                sketch.clear();
+            }
+            start = end;
+            epoch_end += reb.sample_secs;
+        }
+        // End of stream: closing the command channels lets each worker
+        // drain its queue, finish its engine, and flush its tail frames.
+        drop(cmd_txs);
+
+        let mut runs = Vec::new();
+        let mut failures: Vec<HostFailure> = Vec::new();
+        for (u, handle) in handles {
+            let outcome = handle.join().expect("catch_unwind never panics");
+            match outcome {
+                Ok(Ok(run)) => runs.push((u, run)),
+                Ok(Err(ExecError::Host(f))) => failures.push(f),
+                Ok(Err(e)) => failures.push(HostFailure {
+                    host: slices[u].host,
+                    cause: FailureCause::Exec(Box::new(e)),
+                    tuples_processed: worker_tuples[u].load(Ordering::Relaxed),
+                }),
+                Err(payload) => failures.push(HostFailure {
+                    host: slices[u].host,
+                    cause: FailureCause::Panic(panic_message(payload)),
+                    tuples_processed: worker_tuples[u].load(Ordering::Relaxed),
+                }),
+            }
+        }
+        let central = match central_handle.join() {
+            Ok(outcome) => outcome?,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        runs.insert(0, (0, central.run));
+        failures.extend(central.failures);
+        if !transport.partial_results {
+            if let Some(first) = failures.into_iter().next() {
+                return Err(first.into());
+            }
+            return Ok((runs, Vec::new(), central.corrupt_dropped));
+        }
+        Ok((runs, failures, central.corrupt_dropped))
+    });
+    let (runs, failures, corrupt_dropped) = result?;
+
+    let mut global_counters: Vec<OpCounters> = vec![OpCounters::default(); plan.dag.len()];
+    let mut global_metrics: Vec<OpMetrics> = vec![OpMetrics::default(); plan.dag.len()];
+    let mut outputs: Vec<(String, Vec<Tuple>)> = plan
+        .outputs
+        .iter()
+        .map(|o| {
+            (
+                o.name
+                    .clone()
+                    .unwrap_or_else(|| format!("query{}", o.logical)),
+                Vec::new(),
+            )
+        })
+        .collect();
+    let mut edges: Vec<EdgeTransport> = Vec::new();
+    for (u, run) in runs {
+        let slice = &slices[u];
+        for (&global, &local) in &slice.local {
+            global_counters[global] = run.counters[local];
+            global_metrics[global] = run.node_metrics[local].clone();
+        }
+        for (idx, rows) in run.outputs {
+            outputs[idx].1 = rows;
+        }
+        edges.extend(run.edges);
+    }
+    edges.sort_unstable_by_key(|e| e.producer);
+    let frames: u64 = edges.iter().map(|e| e.frames).sum();
+    let payload: u64 = edges.iter().map(|e| e.bytes).sum();
+    let retries: u64 = edges.iter().map(|e| e.retries).sum();
+    let transport_metrics = TransportMetrics {
+        edges,
+        frames,
+        frame_bytes: payload + frames * FRAME_HEADER_LEN as u64,
+        backpressure_stalls: stalls.load(Ordering::Relaxed),
+        queue_peak: depth.peak(),
+        retries,
+        frames_dropped: dropped.load(Ordering::Relaxed),
+        frames_corrupt_dropped: corrupt_dropped,
+        channel_capacity: transport.channel_capacity.max(1),
+        frame_batch,
+    };
+
+    let duration = trace_duration(&schema, trace);
+    let mut metrics = account(plan, &global_counters, duration, cfg);
+    metrics.boundary_queue_peak = transport_metrics.queue_peak;
+    metrics.transport = transport_metrics;
+    metrics.repartitions = repartitions;
+    metrics.migrated_keys = migrated;
+    metrics.migration_pause_ms = pause_ms;
+    metrics.load_imbalance = peak_imbalance;
     Ok(SimResult {
         metrics,
         outputs,
@@ -1383,6 +2160,106 @@ mod tests {
                 assert!(!plan.central[id]);
             }
         }
+    }
+
+    #[test]
+    fn adaptive_threaded_is_bit_identical_and_migrates() {
+        use crate::rebalance::RebalanceConfig;
+        use qap_trace::{generate_skew_ramp, SkewRampConfig};
+
+        let mut b = QuerySetBuilder::new(Catalog::with_network_schemas());
+        b.add_query(
+            "flows",
+            "SELECT tb, srcIP, COUNT(*) as pkts, SUM(len) as bytes FROM TCP \
+             GROUP BY time/60 as tb, srcIP",
+        )
+        .unwrap();
+        let dag = b.build();
+        let plan = optimize(
+            &dag,
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 4),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let trace = generate_skew_ramp(&SkewRampConfig::tiny(7));
+
+        let stat = run_distributed_threaded(&plan, &trace, &SimConfig::default()).unwrap();
+        let mut cfg = SimConfig::default();
+        // 45s samples against 60s windows: the drain boundary splits
+        // live windows, so group state genuinely ships between workers.
+        cfg.transport.rebalance = RebalanceConfig::adaptive()
+            .with_threshold(1.2)
+            .with_consecutive(1)
+            .with_sample_secs(45);
+        let adap = run_distributed_threaded(&plan, &trace, &cfg).unwrap();
+
+        assert!(adap.metrics.rebalance_fallback.is_none());
+        assert!(adap.metrics.repartitions >= 1, "no repartition fired");
+        assert!(adap.metrics.migrated_keys > 0, "no state shipped");
+        assert!(adap.failures.is_empty());
+        assert_eq!(stat.outputs.len(), adap.outputs.len());
+        for (s, a) in stat.outputs.iter().zip(adap.outputs.iter()) {
+            assert_eq!(s.0, a.0);
+            assert_eq!(sorted(s.1.clone()), sorted(a.1.clone()), "{}", s.0);
+        }
+        // The detector, greedy planner and splitter are shared with the
+        // simulator — the whole control loop must agree run for run.
+        let sim = run_distributed(&plan, &trace, &cfg).unwrap();
+        assert_eq!(adap.metrics.repartitions, sim.metrics.repartitions);
+        assert_eq!(adap.metrics.migrated_keys, sim.metrics.migrated_keys);
+        for (s, a) in sim.outputs.iter().zip(adap.outputs.iter()) {
+            assert_eq!(sorted(s.1.clone()), sorted(a.1.clone()), "vs sim: {}", s.0);
+        }
+    }
+
+    #[test]
+    fn adaptive_threaded_falls_back_on_ineligible_plans() {
+        use crate::rebalance::RebalanceConfig;
+
+        let dag = section_3_2();
+        let trace = generate(&TraceConfig::tiny(21));
+        let mut cfg = SimConfig::default();
+        cfg.transport.rebalance = RebalanceConfig::adaptive();
+        // Round-robin has no key to re-route: static fallback.
+        let rr_plan = optimize(
+            &dag,
+            &Partitioning::round_robin(3),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let r = run_distributed_threaded(&rr_plan, &trace, &cfg).unwrap();
+        assert!(r.metrics.rebalance_fallback.is_some());
+        assert_eq!(r.metrics.repartitions, 0);
+        let s = run_distributed_threaded(&rr_plan, &trace, &SimConfig::default()).unwrap();
+        for (a, b) in s.outputs.iter().zip(r.outputs.iter()) {
+            assert_eq!(sorted(a.1.clone()), sorted(b.1.clone()));
+        }
+        // Host-serial decomposition parks the aggregator's scans in the
+        // central unit, out of the driver's reach: static fallback too
+        // (on a plan the migration spec itself accepts).
+        let mut fb = QuerySetBuilder::new(Catalog::with_network_schemas());
+        fb.add_query(
+            "flows",
+            "SELECT tb, srcIP, COUNT(*) as pkts FROM TCP GROUP BY time/60 as tb, srcIP",
+        )
+        .unwrap();
+        let hash_plan = optimize(
+            &fb.build(),
+            &Partitioning::hash(PartitionSet::from_columns(["srcIP"]), 3),
+            &OptimizerConfig::full(),
+        )
+        .unwrap();
+        let mut serial = cfg;
+        serial.transport = serial.transport.host_serial();
+        let r = run_distributed_threaded(&hash_plan, &trace, &serial).unwrap();
+        assert!(
+            r.metrics
+                .rebalance_fallback
+                .as_deref()
+                .is_some_and(|m| m.contains("host-serial")),
+            "got {:?}",
+            r.metrics.rebalance_fallback
+        );
     }
 
     #[test]

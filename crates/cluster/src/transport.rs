@@ -21,6 +21,8 @@
 
 use serde::Serialize;
 
+use crate::rebalance::RebalanceConfig;
+
 /// Deterministic fault-injection plan for the threaded runner.
 ///
 /// All knobs are *every-Nth* selectors driven by per-edge (or per-host)
@@ -138,7 +140,7 @@ impl FaultPlan {
 }
 
 /// Knobs for the threaded runner's boundary transport.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct TransportConfig {
     /// Bounded channel capacity, in frames. Producing units block once
     /// this many frames are in flight toward a consumer — backpressure
@@ -176,6 +178,11 @@ pub struct TransportConfig {
     /// ([`qap_exec::FailureCause::Timeout`]). `0` means unbounded —
     /// the pre-fault-tolerance blocking behavior.
     pub send_timeout_ms: u64,
+    /// Online re-partitioning controller (disabled by default): when
+    /// enabled, the splitter samples per-host load each epoch and
+    /// migrates group state at epoch boundaries once the imbalance
+    /// detector fires (see [`crate::rebalance`]).
+    pub rebalance: RebalanceConfig,
 }
 
 impl Default for TransportConfig {
@@ -193,6 +200,7 @@ impl Default for TransportConfig {
             fault: FaultPlan::default(),
             partial_results: false,
             send_timeout_ms: DEFAULT_SEND_TIMEOUT_MS,
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -278,6 +286,12 @@ impl TransportConfig {
     /// unbounded).
     pub fn with_send_timeout_ms(mut self, ms: u64) -> Self {
         self.send_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the online re-partitioning controller.
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = rebalance;
         self
     }
 }
@@ -371,6 +385,7 @@ mod tests {
         assert!(d.fault.is_clean());
         assert!(!d.partial_results);
         assert_eq!(d.send_timeout_ms, DEFAULT_SEND_TIMEOUT_MS);
+        assert!(!d.rebalance.enabled);
         let c = TransportConfig::new(0, 0);
         assert_eq!((c.channel_capacity, c.frame_batch), (1, 1));
         assert!(!TransportConfig::default().host_serial().partition_parallel);
@@ -386,6 +401,11 @@ mod tests {
                 .send_timeout_ms,
             250
         );
+        let r = TransportConfig::default()
+            .with_rebalance(RebalanceConfig::adaptive().with_threshold(0.2))
+            .rebalance;
+        assert!(r.enabled);
+        assert_eq!(r.threshold, 1.0, "threshold clamps to balance");
     }
 
     #[test]

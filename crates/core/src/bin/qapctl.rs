@@ -72,7 +72,15 @@ const USAGE: &str = "usage:
                    [--workers a,b,c]      (with --transport tcp|unix: connect to already-running
                                            `qapctl host` processes at these addresses instead of
                                            spawning child processes; one address per leaf host)
-  qapctl gen-trace <out.qtr> [--seed S] [--epochs E] [--flows F]
+                   [--repartition[=THRESHOLD,K]] (close the loop from load gauges to the splitter:
+                                           re-plan the bucket assignment and migrate aggregate
+                                           state when max/mean host load exceeds THRESHOLD
+                                           (default 1.5) for K consecutive epochs (default 2);
+                                           falls back to the static splitter on ineligible plans)
+                   [--skew-ramp]          (replay a skewed trace whose hot keys drift between
+                                           epochs — the workload adaptive re-partitioning exists
+                                           for; composes with --seed/--epochs/--flows)
+  qapctl gen-trace <out.qtr> [--seed S] [--epochs E] [--flows F] [--skew-ramp]
   qapctl host      --listen <addr> [--once]
                    (run a cluster host process: accept coordinator sessions, execute deployed
                     units; <addr> is host:port, tcp:host:port, or unix:/path; port 0 binds an
@@ -109,6 +117,9 @@ struct Opts {
     /// `Some(Some(path))` = write to `path` (`.prom` selects Prometheus
     /// text, anything else JSON).
     metrics: Option<Option<String>>,
+    /// `run --skew-ramp` / `gen-trace --skew-ramp`: generate the
+    /// drifting-hot-key workload instead of the uniform trace.
+    skew_ramp: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -135,6 +146,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         listen: None,
         once: false,
         metrics: None,
+        skew_ramp: false,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -240,6 +252,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--agnostic" => opts.agnostic = true,
             "--strict-joins" => opts.strict_joins = true,
             "--threaded" => opts.threaded = true,
+            "--skew-ramp" => opts.skew_ramp = true,
+            "--repartition" => opts.transport.rebalance = RebalanceConfig::adaptive(),
+            other if other.starts_with("--repartition=") => {
+                opts.transport.rebalance =
+                    parse_repartition(&other["--repartition=".len()..])?;
+            }
             "--metrics" => opts.metrics = Some(None),
             other if other.starts_with("--metrics=") => {
                 let path = &other["--metrics=".len()..];
@@ -311,6 +329,33 @@ fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
         }
     }
     Ok(plan)
+}
+
+/// Parses `--repartition=THRESHOLD[,K]`: the max/mean imbalance that
+/// arms the controller and how many consecutive epochs must cross it.
+fn parse_repartition(spec: &str) -> Result<RebalanceConfig, String> {
+    let mut cfg = RebalanceConfig::adaptive();
+    let (threshold, k) = match spec.split_once(',') {
+        Some((t, k)) => (t.trim(), Some(k.trim())),
+        None => (spec.trim(), None),
+    };
+    let t: f64 = threshold
+        .parse()
+        .map_err(|e| format!("--repartition threshold: {e}"))?;
+    if t <= 1.0 || t.is_nan() {
+        return Err("--repartition: threshold must exceed 1.0 (max/mean ratio)".into());
+    }
+    cfg = cfg.with_threshold(t);
+    if let Some(k) = k {
+        let k: u32 = k
+            .parse()
+            .map_err(|e| format!("--repartition epochs: {e}"))?;
+        if k == 0 {
+            return Err("--repartition: consecutive epochs must be at least 1".into());
+        }
+        cfg = cfg.with_consecutive(k);
+    }
+    Ok(cfg)
 }
 
 fn parse_backend(raw: &str) -> Result<PlannerBackend, String> {
@@ -475,15 +520,29 @@ fn run_remote(
     result
 }
 
-fn gen_trace(opts: &Opts) -> Result<(), String> {
-    // The positional argument is the output path here.
-    let trace = generate(&TraceConfig {
+/// Builds the run/gen-trace workload from the shared trace knobs:
+/// uniform by default, the drifting-hot-key ramp under `--skew-ramp`.
+fn make_trace(opts: &Opts) -> Vec<Tuple> {
+    let base = TraceConfig {
         seed: opts.seed,
         epochs: opts.epochs,
         flows_per_epoch: opts.flows,
         spread_ips: true,
         ..TraceConfig::default()
-    });
+    };
+    if opts.skew_ramp {
+        generate_skew_ramp(&SkewRampConfig {
+            base,
+            ..SkewRampConfig::default()
+        })
+    } else {
+        generate(&base)
+    }
+}
+
+fn gen_trace(opts: &Opts) -> Result<(), String> {
+    // The positional argument is the output path here.
+    let trace = make_trace(opts);
     write_trace(&opts.script, &trace).map_err(|e| e.to_string())?;
     let s = stats(&trace);
     println!(
@@ -613,13 +672,7 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
     }
     let trace = match &opts.trace_file {
         Some(path) => read_trace(path).map_err(|e| e.to_string())?,
-        None => generate(&TraceConfig {
-            seed: opts.seed,
-            epochs: opts.epochs,
-            flows_per_epoch: opts.flows,
-            spread_ips: true,
-            ..TraceConfig::default()
-        }),
+        None => make_trace(opts),
     };
     let tstats = stats(&trace);
     println!(
@@ -684,6 +737,16 @@ fn execute(dag: &QueryDag, opts: &Opts) -> Result<(), String> {
         "  leaf imbalance: {:.3}; late drops: {}",
         m.leaf_imbalance, m.late_dropped
     );
+    if opts.transport.rebalance.enabled {
+        match &m.rebalance_fallback {
+            Some(reason) => println!("  repartitioning: fell back to static splitter ({reason})"),
+            None => println!(
+                "  repartitioning: {} migrations, {} keys moved, peak imbalance {:.3}, \
+                 pause {:.1} ms",
+                m.repartitions, m.migrated_keys, m.load_imbalance, m.migration_pause_ms
+            ),
+        }
+    }
     let t = &m.transport;
     if t.frames > 0 {
         println!(

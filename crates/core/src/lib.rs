@@ -92,8 +92,8 @@ pub mod prelude {
         predict_host_load_for_plan, remote_host_count, run_distributed, run_distributed_multi,
         run_distributed_remote, run_distributed_threaded, serve_host, validate_cost_model,
         ClusterMetrics, CostConstants, CostValidation, FailureCause, FaultPlan, HostAddr,
-        HostFailure, HostListener, HostServerConfig, MetricsRegistry, SimConfig, SimResult,
-        TransportConfig, TransportKind, TransportMetrics, DEFAULT_SEND_TIMEOUT_MS,
+        HostFailure, HostListener, HostServerConfig, MetricsRegistry, RebalanceConfig, SimConfig,
+        SimResult, TransportConfig, TransportKind, TransportMetrics, DEFAULT_SEND_TIMEOUT_MS,
         DEFAULT_TOLERANCE,
     };
     pub use qap_exec::{
@@ -114,7 +114,8 @@ pub mod prelude {
     pub use qap_planner::{choose_partitioning_egraph, plan_with, PlannerInput, PlannerOutcome};
     pub use qap_sql::QuerySetBuilder;
     pub use qap_trace::{
-        generate, read_trace, stats, write_trace, TraceConfig, TraceStats, SUSPICIOUS_PATTERN,
+        generate, generate_skew_ramp, read_trace, stats, write_trace, SkewRampConfig, TraceConfig,
+        TraceStats, SUSPICIOUS_PATTERN,
     };
     pub use qap_types::{Catalog, Schema, Tuple, Value};
 }

@@ -500,6 +500,50 @@ impl Engine {
         Ok(())
     }
 
+    /// Migration drain: force-closes any window at `node` complete
+    /// relative to boundary `time`, routing flushed rows downstream.
+    /// After this, the node's live state holds at most the one window
+    /// the boundary splits — exactly what [`Engine::extract_state`]
+    /// ships.
+    pub fn flush_before(&mut self, node: NodeId, time: u64) -> ExecResult<()> {
+        if node >= self.ops.len() {
+            return Err(ExecError::BadPlan(format!("no node {node} to flush")));
+        }
+        let mut out = self.take_buf();
+        self.ops[node].flush_before(time, &mut out)?;
+        self.route(node, out);
+        self.run()
+    }
+
+    /// Migration extract: removes live group state at `node` for keys
+    /// the predicate selects, returning one state row per moved group
+    /// (group key values, then per-slot lossless accumulator state).
+    pub fn extract_state(
+        &mut self,
+        node: NodeId,
+        pred: &mut dyn FnMut(&[qap_types::Value]) -> bool,
+    ) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        if node < self.ops.len() {
+            self.ops[node].extract_state(pred, &mut out);
+        }
+        out
+    }
+
+    /// Migration absorb: merges state rows previously extracted from an
+    /// identically-shaped node on a peer engine into `node`'s live
+    /// tables, draining `rows` and routing anything the absorbed state
+    /// flushes.
+    pub fn absorb_state(&mut self, node: NodeId, rows: &mut Vec<Tuple>) -> ExecResult<()> {
+        if node >= self.ops.len() {
+            return Err(ExecError::BadPlan(format!("no node {node} to absorb into")));
+        }
+        let mut out = self.take_buf();
+        self.ops[node].absorb_state(rows, &mut out)?;
+        self.route(node, out);
+        self.run()
+    }
+
     /// Takes the collected output of a sink node.
     pub fn output(&mut self, node: NodeId) -> Vec<Tuple> {
         self.sink_outputs.remove(&node).unwrap_or_default()

@@ -58,6 +58,38 @@ impl AnyAcc {
             AnyAcc::Udaf(u) => u.partial(),
         }
     }
+
+    /// Lossless serialized state for migration (unlike `partial`, which
+    /// truncates AVG and saturates SUM through `finalize`). Built-ins
+    /// emit their fixed-width word encoding; a UDAF's mergeable state
+    /// is its `partial` by contract.
+    fn state_values(&self, out: &mut Vec<Value>) {
+        match self {
+            AnyAcc::Builtin(a) => a.state_values(out),
+            AnyAcc::Udaf(u) => out.push(u.partial()),
+        }
+    }
+
+    /// Folds shipped state (from [`AnyAcc::state_values`] on the same
+    /// slot shape) into this accumulator.
+    fn absorb_state(&mut self, vals: &[Value]) {
+        match self {
+            AnyAcc::Builtin(a) => a.merge_state(vals),
+            AnyAcc::Udaf(u) => {
+                if let Some(v) = vals.first() {
+                    u.merge(v);
+                }
+            }
+        }
+    }
+}
+
+/// Number of state values one slot ships per group during migration.
+fn slot_state_width(slot: &AggSlot) -> usize {
+    match &slot.factory {
+        AccFactory::Builtin(kind) => qap_expr::state_width(*kind),
+        AccFactory::Udaf(_) => 1,
+    }
 }
 
 /// One aggregate slot: state factory + optional argument + whether
@@ -434,6 +466,61 @@ impl AggregateOp {
         res
     }
 
+    /// [`AggregateOp::flush`] for the columnar path: emits the closed
+    /// window into a [`ColumnBatch`] (reusing `row_scratch` per row)
+    /// instead of allocating one `Vec<Value>` per output tuple — the
+    /// engine pools the batch, so steady-state columnar emission
+    /// allocates nothing per row.
+    fn flush_cols(&mut self, out: &mut ColumnBatch) -> ExecResult<()> {
+        let start = std::time::Instant::now();
+        let (mut keys, accs, n) = self.groups.take_entries();
+        let res = self.emit_cols(&mut keys, &accs, n, out);
+        self.groups.restore(keys, accs);
+        self.flushes += 1;
+        self.flush_ns += start.elapsed().as_nanos() as u64;
+        res
+    }
+
+    /// [`AggregateOp::emit`] into a columnar batch: each group row is
+    /// built in the reused `row_scratch`, HAVING-filtered, and appended
+    /// lane-wise — no per-row buffer allocation.
+    fn emit_cols(
+        &mut self,
+        keys: &mut Vec<Value>,
+        accs_arena: &[AnyAcc],
+        n: usize,
+        out: &mut ColumnBatch,
+    ) -> ExecResult<()> {
+        let arity = self.group_exprs.len();
+        let width = self.slots.len();
+        if out.arity() != arity + width {
+            debug_assert!(out.is_empty(), "pooled output batch arrives empty");
+            *out = ColumnBatch::new(arity + width);
+        }
+        let mut vals = keys.drain(..);
+        for e in 0..n {
+            let accs = &accs_arena[e * width..(e + 1) * width];
+            self.row_scratch.clear();
+            for v in vals.by_ref().take(arity) {
+                self.row_scratch.push(v);
+            }
+            for (slot, acc) in self.slots.iter().zip(accs) {
+                self.row_scratch.push(if slot.emit_partial {
+                    acc.partial()
+                } else {
+                    acc.finalize()
+                });
+            }
+            if let Some(h) = &self.having {
+                if !h.eval_predicate(&self.row_scratch)? {
+                    continue;
+                }
+            }
+            out.push_row(&self.row_scratch);
+        }
+        Ok(())
+    }
+
     /// Emits `n` drained groups — keys drained from the flat key arena,
     /// one finalized (or partial) value per aggregate slot — applying
     /// the HAVING filter.
@@ -757,6 +844,150 @@ impl AggregateOp {
                         }
                     }
                 }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Walks one group table, shipping every group whose key satisfies
+/// `pred` as a state row (key values, then each slot's lossless
+/// accumulator state) and re-inserting the keepers. The table's probe
+/// structure is rebuilt for the keepers; migration is an epoch-boundary
+/// event, so the rebuild is off every hot path.
+fn extract_from_table(
+    table: &mut GroupTable<AnyAcc>,
+    slots: &[AggSlot],
+    arity: usize,
+    state_w: usize,
+    pred: &mut dyn FnMut(&[Value]) -> bool,
+    out: &mut Vec<Tuple>,
+) {
+    if table.is_empty() {
+        return;
+    }
+    let width = slots.len();
+    let (keys, payloads, n) = table.take_entries();
+    let mut key_iter = keys.into_iter();
+    let mut pay_iter = payloads.into_iter();
+    let mut scratch: Vec<Value> = Vec::with_capacity(arity);
+    for _ in 0..n {
+        scratch.clear();
+        scratch.extend(key_iter.by_ref().take(arity));
+        if pred(&scratch) {
+            let mut row = Vec::with_capacity(arity + state_w);
+            row.append(&mut scratch);
+            for acc in pay_iter.by_ref().take(width) {
+                acc.state_values(&mut row);
+            }
+            out.push(Tuple::new(row));
+        } else {
+            let mut vh = fx::ValueHash::new();
+            for v in &scratch {
+                vh.add(v);
+            }
+            table.insert_new(vh.finish(), &mut scratch, pay_iter.by_ref().take(width));
+        }
+    }
+}
+
+impl AggregateOp {
+    /// Force-closes the current window when it is complete relative to
+    /// the drain boundary `time` — i.e. when every tuple at `time` or
+    /// later maps to a strictly greater window bucket. Part of the
+    /// migration drain protocol: after the splitter stops feeding at
+    /// boundary `time` and this runs, the live table holds at most the
+    /// single window the boundary splits, which is exactly the state
+    /// [`AggregateOp::extract_state`] ships. A `General` temporal key
+    /// is a no-op (callers gate migration eligibility on fast temporal
+    /// shapes).
+    fn window_flush_before(&mut self, time: u64, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        let boundary = match &self.key_evals[self.temporal_idx] {
+            KeyEval::Col(_) => i128::from(time),
+            KeyEval::DivConst { div, .. } => i128::from(time / *div),
+            KeyEval::General => return Ok(()),
+        };
+        if let Some(cur) = self.current_bucket {
+            if cur < boundary {
+                self.flush(out)?;
+                // Arm the boundary bucket so anything older than the
+                // drain point still counts as late, exactly as if a
+                // boundary-bucket tuple had advanced the window.
+                self.current_bucket = Some(boundary);
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts live group state (current window and NULL-window
+    /// groups) for keys `pred` selects; each state row is the group key
+    /// followed by every slot's lossless accumulator state.
+    fn window_extract_state(&mut self, pred: &mut dyn FnMut(&[Value]) -> bool, out: &mut Vec<Tuple>) {
+        let arity = self.group_exprs.len();
+        let state_w: usize = self.slots.iter().map(slot_state_width).sum();
+        extract_from_table(&mut self.groups, &self.slots, arity, state_w, pred, out);
+        extract_from_table(&mut self.null_groups, &self.slots, arity, state_w, pred, out);
+    }
+
+    /// Absorbs state rows extracted from the same operator shape on
+    /// another host, merging each shipped group's accumulator state
+    /// into the local table (creating the group when absent). A shipped
+    /// bucket ahead of the local window flushes it first; behind it
+    /// counts as late — neither occurs under the drain protocol, which
+    /// aligns both hosts on the boundary bucket before shipping.
+    fn window_absorb_state(
+        &mut self,
+        rows: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+    ) -> ExecResult<()> {
+        let arity = self.group_exprs.len();
+        let state_w: usize = self.slots.iter().map(slot_state_width).sum();
+        for tuple in rows.drain(..) {
+            let vals = tuple.into_values();
+            if vals.len() != arity + state_w {
+                return Err(crate::ExecError::BadPlan(format!(
+                    "migration state row arity {} does not match key {arity} + state {state_w}",
+                    vals.len()
+                )));
+            }
+            self.key_scratch.clear();
+            let mut vh = fx::ValueHash::new();
+            for v in &vals[..arity] {
+                vh.add(v);
+                self.key_scratch.push(v.clone());
+            }
+            let hash = vh.finish();
+            let accs = if self.key_scratch[self.temporal_idx].is_null() {
+                self.null_groups.get_or_insert(
+                    hash,
+                    &mut self.key_scratch,
+                    self.slots.iter().map(AggSlot::fresh),
+                )
+            } else {
+                let bucket = bucket_of(&self.key_scratch[self.temporal_idx]);
+                match self.current_bucket {
+                    Some(cur) if bucket > cur => {
+                        self.flush(out)?;
+                        self.current_bucket = Some(bucket);
+                    }
+                    Some(cur) if bucket < cur => {
+                        self.late += 1;
+                        continue;
+                    }
+                    Some(_) => {}
+                    None => self.current_bucket = Some(bucket),
+                }
+                self.groups.get_or_insert(
+                    hash,
+                    &mut self.key_scratch,
+                    self.slots.iter().map(AggSlot::fresh),
+                )
+            };
+            let mut off = arity;
+            for (slot, acc) in self.slots.iter().zip(accs.iter_mut()) {
+                let w = slot_state_width(slot);
+                acc.absorb_state(&vals[off..off + w]);
+                off += w;
             }
         }
         Ok(())
@@ -1253,7 +1484,7 @@ impl Operator for AggregateOp {
         port: usize,
         batch: &mut ColumnBatch,
         rows_out: &mut Vec<Tuple>,
-        _cols_out: &mut ColumnBatch,
+        cols_out: &mut ColumnBatch,
     ) -> ExecResult<()> {
         if batch.rows() == 0 {
             batch.clear();
@@ -1344,7 +1575,7 @@ impl Operator for AggregateOp {
                             &mut self.row_scratch,
                         )?;
                         ents.clear();
-                        self.flush(rows_out)?;
+                        self.flush_cols(cols_out)?;
                         self.current_bucket = Some(bucket);
                     }
                     Some(cur) if bucket < cur => {
@@ -1411,7 +1642,7 @@ impl Operator for AggregateOp {
             };
             match self.current_bucket {
                 Some(cur) if bucket > cur => {
-                    self.flush(rows_out)?;
+                    self.flush_cols(cols_out)?;
                     self.current_bucket = Some(bucket);
                 }
                 Some(cur) if bucket < cur => {
@@ -1472,6 +1703,18 @@ impl Operator for AggregateOp {
 
     fn late_dropped(&self) -> u64 {
         self.late
+    }
+
+    fn flush_before(&mut self, time: u64, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        self.window_flush_before(time, out)
+    }
+
+    fn extract_state(&mut self, pred: &mut dyn FnMut(&[Value]) -> bool, out: &mut Vec<Tuple>) {
+        self.window_extract_state(pred, out);
+    }
+
+    fn absorb_state(&mut self, rows: &mut Vec<Tuple>, out: &mut Vec<Tuple>) -> ExecResult<()> {
+        self.window_absorb_state(rows, out)
     }
 
     fn runtime_stats(&self) -> OpRuntimeStats {

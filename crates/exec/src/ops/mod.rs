@@ -103,6 +103,26 @@ pub(crate) trait Operator {
     fn late_dropped(&self) -> u64 {
         0
     }
+    /// Migration drain hook: force-closes any window complete relative
+    /// to the drain boundary `time` (every tuple at `time` or later
+    /// maps to a strictly greater bucket), emitting the flushed rows.
+    /// Stateless and non-windowed operators have nothing to close.
+    fn flush_before(&mut self, _time: u64, _out: &mut Vec<Tuple>) -> ExecResult<()> {
+        Ok(())
+    }
+    /// Migration extract hook: removes live group state for keys the
+    /// predicate selects, appending one state row per moved group (key
+    /// values, then lossless accumulator state per slot). Operators
+    /// without keyed window state ship nothing.
+    fn extract_state(&mut self, _pred: &mut dyn FnMut(&[Value]) -> bool, _out: &mut Vec<Tuple>) {}
+    /// Migration absorb hook: merges state rows produced by
+    /// [`Operator::extract_state`] on an identically-shaped operator,
+    /// draining `rows`. Operators without keyed window state drop the
+    /// payload (callers gate migration on aggregate leaves).
+    fn absorb_state(&mut self, rows: &mut Vec<Tuple>, _out: &mut Vec<Tuple>) -> ExecResult<()> {
+        rows.clear();
+        Ok(())
+    }
     /// Operator-internal runtime telemetry (flush latency, group-table
     /// occupancy). Harvested once per snapshot, never on the hot path;
     /// stateless operators report zeros.

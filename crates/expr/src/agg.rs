@@ -268,6 +268,105 @@ impl Accumulator {
     }
 }
 
+/// Number of [`Value`] slots [`Accumulator::state_values`] emits for a
+/// kind. Fixed per kind so shipped state rows have a static layout.
+pub fn state_width(kind: AggKind) -> usize {
+    match kind {
+        AggKind::Count | AggKind::Min | AggKind::Max | AggKind::OrAgg | AggKind::AndAgg => 1,
+        AggKind::Sum => 2,
+        AggKind::Avg => 3,
+    }
+}
+
+fn put_i128(x: i128, out: &mut Vec<Value>) {
+    let b = x as u128;
+    out.push(Value::UInt((b >> 64) as u64));
+    out.push(Value::UInt(b as u64));
+}
+
+fn get_i128(hi: &Value, lo: &Value) -> Option<i128> {
+    match (hi, lo) {
+        (Value::UInt(h), Value::UInt(l)) => {
+            Some(((u128::from(*h) << 64) | u128::from(*l)) as i128)
+        }
+        _ => None,
+    }
+}
+
+impl Accumulator {
+    /// Serializes the exact internal state as `state_width` values, for
+    /// shipping a live group across hosts during migration. Unlike
+    /// `finalize`, this is lossless: an AVG ships its (sum, count) pair
+    /// and a SUM ships its full i128 as two u64 words.
+    pub fn state_values(&self, out: &mut Vec<Value>) {
+        match self {
+            Accumulator::Count(n) => out.push(Value::UInt(*n)),
+            Accumulator::Sum(s) => match s {
+                Some(x) => put_i128(*x, out),
+                None => {
+                    out.push(Value::Null);
+                    out.push(Value::Null);
+                }
+            },
+            Accumulator::Min(m) | Accumulator::Max(m) => {
+                out.push(m.clone().unwrap_or(Value::Null))
+            }
+            Accumulator::Avg(s, n) => {
+                put_i128(*s, out);
+                out.push(Value::UInt(*n));
+            }
+            Accumulator::Or(acc) => out.push(Value::UInt(*acc)),
+            Accumulator::And(acc) => out.push(acc.map(Value::UInt).unwrap_or(Value::Null)),
+        }
+    }
+
+    /// Folds serialized state (as produced by [`Accumulator::state_values`]
+    /// on the same kind) into this accumulator, which may already hold
+    /// partial state of its own. Exact inverse of `state_values` when the
+    /// receiver is fresh.
+    pub fn merge_state(&mut self, vals: &[Value]) {
+        match self {
+            Accumulator::Count(n) => {
+                if let Some(Value::UInt(x)) = vals.first() {
+                    *n += x;
+                }
+            }
+            Accumulator::Sum(s) => {
+                if let (Some(hi), Some(lo)) = (vals.first(), vals.get(1)) {
+                    if let Some(x) = get_i128(hi, lo) {
+                        *s = Some(s.unwrap_or(0) + x);
+                    }
+                }
+            }
+            Accumulator::Min(_) | Accumulator::Max(_) => {
+                if let Some(v) = vals.first() {
+                    self.update(v);
+                }
+            }
+            Accumulator::Avg(s, n) => {
+                if let (Some(hi), Some(lo), Some(Value::UInt(c))) =
+                    (vals.first(), vals.get(1), vals.get(2))
+                {
+                    if let Some(x) = get_i128(hi, lo) {
+                        *s += x;
+                        *n += c;
+                    }
+                }
+            }
+            Accumulator::Or(acc) => {
+                if let Some(Value::UInt(x)) = vals.first() {
+                    *acc |= x;
+                }
+            }
+            Accumulator::And(acc) => {
+                if let Some(Value::UInt(x)) = vals.first() {
+                    *acc = Some(acc.unwrap_or(u64::MAX) & x);
+                }
+            }
+        }
+    }
+}
+
 fn widen(v: &Value) -> Option<i128> {
     match v {
         Value::UInt(x) => Some(i128::from(*x)),
@@ -465,6 +564,92 @@ mod tests {
         let spec = split_agg(AggKind::Avg);
         assert_eq!(spec.sub, vec![AggKind::Sum, AggKind::Count]);
         assert_eq!(spec.finish, FinishOp::DivSumCount);
+    }
+
+    #[test]
+    fn state_roundtrip_is_lossless_for_all_kinds() {
+        // Split an input stream across two accumulators, ship one's state
+        // into the other, and check the result equals direct evaluation —
+        // the invariant group migration relies on.
+        let part_a = [Value::UInt(3), Value::Int(-7), Value::UInt(9)];
+        let part_b = [Value::UInt(1), Value::UInt(100)];
+        for kind in [
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::Avg,
+            AggKind::OrAgg,
+            AggKind::AndAgg,
+        ] {
+            let direct = run(kind, &[&part_a[..], &part_b[..]].concat());
+            let moved = run_state_merge(kind, &part_a, &part_b);
+            assert_eq!(moved, direct, "kind {kind}");
+        }
+    }
+
+    fn run_state_merge(kind: AggKind, part_a: &[Value], part_b: &[Value]) -> Value {
+        let mut a = make_accumulator(kind);
+        for v in part_a {
+            a.update(v);
+        }
+        let mut shipped = Vec::new();
+        a.state_values(&mut shipped);
+        assert_eq!(shipped.len(), state_width(kind), "kind {kind}");
+        let mut b = make_accumulator(kind);
+        for v in part_b {
+            b.update(v);
+        }
+        b.merge_state(&shipped);
+        b.finalize()
+    }
+
+    #[test]
+    fn empty_state_merges_as_identity() {
+        for kind in [
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::Avg,
+            AggKind::AndAgg,
+        ] {
+            let empty = make_accumulator(kind);
+            let mut shipped = Vec::new();
+            empty.state_values(&mut shipped);
+            let mut b = make_accumulator(kind);
+            b.update(&Value::UInt(4));
+            let before = b.finalize();
+            b.merge_state(&shipped);
+            assert_eq!(b.finalize(), before, "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn avg_state_preserves_sum_count_exactly() {
+        // finalize() truncates; the state path must not.
+        let mut a = make_accumulator(AggKind::Avg);
+        a.update(&Value::UInt(1));
+        a.update(&Value::UInt(2));
+        let mut shipped = Vec::new();
+        a.state_values(&mut shipped);
+        let mut b = make_accumulator(AggKind::Avg);
+        b.update(&Value::UInt(4));
+        b.merge_state(&shipped);
+        // (1 + 2 + 4) / 3 == 2; a lossy finalize-merge would give a
+        // different answer because AVG(1,2) truncates to 1.
+        assert_eq!(b.finalize(), Value::UInt(2));
+    }
+
+    #[test]
+    fn negative_sum_state_roundtrips_through_words() {
+        let mut a = make_accumulator(AggKind::Sum);
+        a.update(&Value::Int(-5));
+        let mut shipped = Vec::new();
+        a.state_values(&mut shipped);
+        let mut b = make_accumulator(AggKind::Sum);
+        b.merge_state(&shipped);
+        assert_eq!(b.finalize(), Value::Int(-5));
     }
 
     #[test]

@@ -29,7 +29,8 @@ mod kernel;
 mod scalar;
 
 pub use agg::{
-    make_accumulator, split_agg, Accumulator, AggCall, AggFunc, AggKind, FinishOp, SplitAgg,
+    make_accumulator, split_agg, state_width, Accumulator, AggCall, AggFunc, AggKind, FinishOp,
+    SplitAgg,
 };
 pub use analysis::{analyze_transform, AnalyzedExpr, ColumnTransform};
 pub use bound::{bind, bind_with, BoundExpr, Resolver};

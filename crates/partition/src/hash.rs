@@ -46,6 +46,15 @@ pub fn fnv1a_hash(words: impl IntoIterator<Item = u64>) -> u64 {
 pub struct HashPartitioner {
     exprs: Vec<BoundExpr>,
     partitions: usize,
+    /// Virtual-bucket assignment table for adaptive re-partitioning:
+    /// when present, a tuple maps to bucket `b = (H·V) >> 64` over
+    /// `V = assign.len()` virtual buckets and then to partition
+    /// `assign[b]`. `None` keeps the exact closed-form range split of
+    /// Section 3.3. The identity assignment `assign[b] = b·M/V` with
+    /// `V` a multiple of `M` is bit-identical to the closed form:
+    /// `⌊⌊h·kM/2⁶⁴⌋/k⌋ = ⌊h·M/2⁶⁴⌋` (nested-floor identity), so
+    /// enabling buckets changes nothing until the table is rewritten.
+    assign: Option<std::sync::Arc<Vec<u32>>>,
 }
 
 impl HashPartitioner {
@@ -58,12 +67,70 @@ impl HashPartitioner {
             .iter()
             .map(|e| bind(e, schema))
             .collect::<ExprResult<Vec<_>>>()?;
-        Ok(HashPartitioner { exprs, partitions })
+        Ok(HashPartitioner {
+            exprs,
+            partitions,
+            assign: None,
+        })
+    }
+
+    /// [`HashPartitioner::new`] with `buckets_per_partition` virtual
+    /// buckets per partition and the identity assignment — the starting
+    /// point for adaptive runs, which later rewrite the table via
+    /// [`HashPartitioner::set_assignment`]. With the identity table the
+    /// routing is bit-identical to the bucket-free partitioner.
+    pub fn with_buckets(
+        set: &PartitionSet,
+        schema: &Schema,
+        partitions: usize,
+        buckets_per_partition: usize,
+    ) -> ExprResult<Self> {
+        let mut p = HashPartitioner::new(set, schema, partitions)?;
+        let k = buckets_per_partition.max(1);
+        p.assign = Some(std::sync::Arc::new(identity_assignment(partitions, k)));
+        Ok(p)
     }
 
     /// Number of partitions `M`.
     pub fn partitions(&self) -> usize {
         self.partitions
+    }
+
+    /// Number of virtual buckets `V` (0 when bucketed routing is off).
+    pub fn bucket_count(&self) -> usize {
+        self.assign.as_ref().map_or(0, |a| a.len())
+    }
+
+    /// The current bucket→partition assignment (empty when bucketed
+    /// routing is off).
+    pub fn assignment(&self) -> &[u32] {
+        self.assign.as_ref().map_or(&[], |a| a.as_slice())
+    }
+
+    /// Swaps in a new bucket→partition assignment (the splitter's
+    /// atomic re-route at a migration epoch boundary). Every entry must
+    /// name a valid partition.
+    ///
+    /// # Panics
+    /// When the table is empty or maps a bucket out of range.
+    pub fn set_assignment(&mut self, assign: Vec<u32>) {
+        assert!(!assign.is_empty(), "assignment table cannot be empty");
+        assert!(
+            assign.iter().all(|&p| (p as usize) < self.partitions),
+            "assignment maps a bucket to a nonexistent partition"
+        );
+        self.assign = Some(std::sync::Arc::new(assign));
+    }
+
+    /// The FNV-1a hash a tuple routes by (partitioning-set expressions
+    /// evaluated in sorted set order).
+    #[inline]
+    fn route_hash(&self, tuple: &Tuple) -> u64 {
+        let words = self.exprs.iter().map(|e| match e.eval(tuple) {
+            Ok(v) => value_word(&v),
+            Err(_) => 0,
+        });
+        fnv1a_hash(words)
     }
 
     /// Assigns a tuple to a partition. An empty expression list (the
@@ -72,13 +139,36 @@ impl HashPartitioner {
         if self.exprs.is_empty() {
             return 0;
         }
-        let words = self.exprs.iter().map(|e| match e.eval(tuple) {
-            Ok(v) => value_word(&v),
-            Err(_) => 0,
-        });
-        let h = fnv1a_hash(words);
-        // i = floor(H * M / 2^64): the range split of Section 3.3.
-        ((u128::from(h) * self.partitions as u128) >> 64) as usize
+        let h = self.route_hash(tuple);
+        match &self.assign {
+            // i = floor(H * M / 2^64): the range split of Section 3.3.
+            None => ((u128::from(h) * self.partitions as u128) >> 64) as usize,
+            Some(a) => a[((u128::from(h) * a.len() as u128) >> 64) as usize] as usize,
+        }
+    }
+
+    /// The routing hash of one tuple — the key identity a rebalance
+    /// controller's frequency sketch counts (finer than a bucket: many
+    /// keys share a bucket, and a bucket is the atomic migration unit,
+    /// but a single *key* is atomic under any assignment at all). The
+    /// degenerate empty set hashes everything to one key.
+    pub fn key_hash(&self, tuple: &Tuple) -> u64 {
+        if self.exprs.is_empty() {
+            return 0;
+        }
+        self.route_hash(tuple)
+    }
+
+    /// The virtual bucket a tuple falls into — the granularity the
+    /// rebalance controller counts load at. Bucket-free partitioners
+    /// report the partition itself (one bucket per partition).
+    pub fn bucket(&self, tuple: &Tuple) -> usize {
+        if self.exprs.is_empty() {
+            return 0;
+        }
+        let h = self.route_hash(tuple);
+        let v = self.assign.as_ref().map_or(self.partitions, |a| a.len());
+        ((u128::from(h) * v as u128) >> 64) as usize
     }
 
     /// Columnar twin of [`HashPartitioner::partition`]: assigns every
@@ -106,12 +196,102 @@ impl HashPartitioner {
         for e in &self.exprs {
             fold_expr_lane(e, batch, &mut hs);
         }
-        out.extend(
-            hs.iter()
-                .map(|&h| ((u128::from(h) * self.partitions as u128) >> 64) as u32),
-        );
+        match &self.assign {
+            None => out.extend(
+                hs.iter()
+                    .map(|&h| ((u128::from(h) * self.partitions as u128) >> 64) as u32),
+            ),
+            Some(a) => {
+                let v = a.len() as u128;
+                out.extend(
+                    hs.iter()
+                        .map(|&h| a[((u128::from(h) * v) >> 64) as usize]),
+                );
+            }
+        }
         true
     }
+
+    /// [`HashPartitioner::partition_columns`] that also reports each
+    /// row's virtual bucket (the rebalance controller's load-count
+    /// granularity) from the same hash sweep. Same coverage contract:
+    /// `false` leaves both vectors empty.
+    pub fn route_columns(
+        &self,
+        batch: &ColumnBatch,
+        parts: &mut Vec<u32>,
+        buckets: &mut Vec<u32>,
+    ) -> bool {
+        parts.clear();
+        buckets.clear();
+        let n = batch.rows();
+        if self.exprs.is_empty() {
+            parts.resize(n, 0);
+            buckets.resize(n, 0);
+            return true;
+        }
+        if !self.exprs.iter().all(|e| lane_foldable(e, batch)) {
+            return false;
+        }
+        let mut hs = vec![FNV_OFFSET; n];
+        for e in &self.exprs {
+            fold_expr_lane(e, batch, &mut hs);
+        }
+        let v = self.assign.as_ref().map_or(self.partitions, |a| a.len()) as u128;
+        buckets.extend(hs.iter().map(|&h| ((u128::from(h) * v) >> 64) as u32));
+        match &self.assign {
+            None => parts.extend(buckets.iter().copied()),
+            Some(a) => parts.extend(buckets.iter().map(|&b| a[b as usize])),
+        }
+        true
+    }
+
+    /// [`HashPartitioner::route_columns`] that additionally reports
+    /// each row's routing hash from the same lane sweep, so an adaptive
+    /// splitter can feed its key-frequency sketch without hashing
+    /// twice. Same coverage contract: `false` leaves all three vectors
+    /// empty, and whenever it returns `true` the hashes agree with
+    /// [`HashPartitioner::key_hash`] row for row.
+    pub fn route_columns_hashed(
+        &self,
+        batch: &ColumnBatch,
+        parts: &mut Vec<u32>,
+        buckets: &mut Vec<u32>,
+        hashes: &mut Vec<u64>,
+    ) -> bool {
+        parts.clear();
+        buckets.clear();
+        hashes.clear();
+        let n = batch.rows();
+        if self.exprs.is_empty() {
+            parts.resize(n, 0);
+            buckets.resize(n, 0);
+            hashes.resize(n, 0);
+            return true;
+        }
+        if !self.exprs.iter().all(|e| lane_foldable(e, batch)) {
+            return false;
+        }
+        hashes.resize(n, FNV_OFFSET);
+        for e in &self.exprs {
+            fold_expr_lane(e, batch, hashes);
+        }
+        let v = self.assign.as_ref().map_or(self.partitions, |a| a.len()) as u128;
+        buckets.extend(hashes.iter().map(|&h| ((u128::from(h) * v) >> 64) as u32));
+        match &self.assign {
+            None => parts.extend(buckets.iter().copied()),
+            Some(a) => parts.extend(buckets.iter().map(|&b| a[b as usize])),
+        }
+        true
+    }
+}
+
+/// The identity bucket→partition table over `partitions·k` buckets:
+/// `assign[b] = b·M/V`, which reproduces the closed-form range split
+/// exactly (see [`HashPartitioner::with_buckets`]).
+pub fn identity_assignment(partitions: usize, buckets_per_partition: usize) -> Vec<u32> {
+    let v = partitions * buckets_per_partition.max(1);
+    (0..v).map(|b| (b * partitions / v) as u32).collect()
 }
 
 /// Whether [`fold_expr_lane`] covers the expression over this batch.
@@ -354,6 +534,28 @@ mod tests {
     }
 
     #[test]
+    fn hashed_route_agrees_with_row_paths() {
+        let ps = PartitionSet::from_columns(["srcIP"]);
+        let mut p = HashPartitioner::with_buckets(&ps, &tcp_schema(), 4, 8).unwrap();
+        p.set_assignment(identity_assignment(4, 8));
+        let rows: Vec<Tuple> = (0..512u64).map(|i| pkt(i, i * 7, i * 13)).collect();
+        let batch = ColumnBatch::from_rows(&rows);
+        let (mut parts, mut buckets, mut hashes) = (Vec::new(), Vec::new(), Vec::new());
+        assert!(p.route_columns_hashed(&batch, &mut parts, &mut buckets, &mut hashes));
+        let (mut parts2, mut buckets2) = (Vec::new(), Vec::new());
+        assert!(p.route_columns(&batch, &mut parts2, &mut buckets2));
+        assert_eq!(parts, parts2);
+        assert_eq!(buckets, buckets2);
+        for (i, t) in rows.iter().enumerate() {
+            assert_eq!(hashes[i], p.key_hash(t), "row {i}");
+            assert_eq!(parts[i] as usize, p.partition(t), "row {i}");
+        }
+        // Same key, same hash — the sketch identity the controller
+        // counts by.
+        assert_eq!(p.key_hash(&pkt(1, 42, 7)), p.key_hash(&pkt(9, 42, 99)));
+    }
+
+    #[test]
     fn columnar_agrees_on_masked_expr() {
         let ps = PartitionSet::from_exprs([&qap_expr::ScalarExpr::col("srcIP").mask(0xFFFF_FF00)]);
         let p = HashPartitioner::new(&ps, &tcp_schema(), 16).unwrap();
@@ -422,6 +624,55 @@ mod tests {
         let mut parts = vec![99u32];
         assert!(!p.partition_columns(&ColumnBatch::from_rows(&rows), &mut parts));
         assert!(parts.is_empty(), "failed fold leaves no stale assignment");
+    }
+
+    #[test]
+    fn identity_buckets_bit_identical_to_closed_form() {
+        let ps = PartitionSet::from_columns(["srcIP", "destIP"]);
+        let plain = HashPartitioner::new(&ps, &tcp_schema(), 8).unwrap();
+        for k in [1usize, 4, 16] {
+            let bucketed = HashPartitioner::with_buckets(&ps, &tcp_schema(), 8, k).unwrap();
+            for i in 0..2000u64 {
+                let t = pkt(i, i * 7, i * 13);
+                assert_eq!(plain.partition(&t), bucketed.partition(&t), "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_buckets_bit_identical_on_lane_path() {
+        let ps = PartitionSet::from_columns(["srcIP", "destIP"]);
+        let plain = HashPartitioner::new(&ps, &tcp_schema(), 8).unwrap();
+        let bucketed = HashPartitioner::with_buckets(&ps, &tcp_schema(), 8, 8).unwrap();
+        let rows: Vec<Tuple> = (0..512u64).map(|i| pkt(i, i * 3, i * 11)).collect();
+        let batch = ColumnBatch::from_rows(&rows);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        assert!(plain.partition_columns(&batch, &mut a));
+        assert!(bucketed.partition_columns(&batch, &mut b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rewritten_assignment_reroutes_buckets() {
+        let ps = PartitionSet::from_columns(["srcIP"]);
+        let mut p = HashPartitioner::with_buckets(&ps, &tcp_schema(), 4, 4).unwrap();
+        let t = pkt(0, 42, 0);
+        let bucket = p.bucket(&t);
+        assert!(bucket < p.bucket_count());
+        // Redirect exactly this tuple's bucket to partition 3.
+        let mut assign = p.assignment().to_vec();
+        assign[bucket] = 3;
+        p.set_assignment(assign);
+        assert_eq!(p.partition(&t), 3);
+        // Row and lane paths agree on the rewritten table.
+        let rows: Vec<Tuple> = (0..256u64).map(|i| pkt(i, i * 17, 0)).collect();
+        let batch = ColumnBatch::from_rows(&rows);
+        let (mut parts, mut buckets) = (Vec::new(), Vec::new());
+        assert!(p.route_columns(&batch, &mut parts, &mut buckets));
+        for (i, t) in rows.iter().enumerate() {
+            assert_eq!(p.partition(t), parts[i] as usize);
+            assert_eq!(p.bucket(t), buckets[i] as usize);
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ mod compat;
 mod cost;
 mod hash;
 mod set;
+mod sketch;
 
 pub use choose::{choose_partitioning, choose_partitioning_with, PartitionAnalysis};
 pub use compat::{
@@ -38,5 +39,6 @@ pub use cost::{
     estimated_tuple_size, node_rates, plan_cost, CostModel, CostObjective, CostReport, NodeRates,
     NodeStats, StatsProvider, UniformStats,
 };
-pub use hash::{fnv1a_hash, HashPartitioner};
+pub use hash::{fnv1a_hash, identity_assignment, HashPartitioner};
 pub use set::{reconcile_partition_sets, PartitionSet};
+pub use sketch::KeySketch;

@@ -1,0 +1,245 @@
+//! Per-splitter key-frequency sketch.
+//!
+//! The splitter already computes one FNV-1a hash per tuple to route it
+//! (Section 3.3); the sketch folds those hashes into (a) a small
+//! count-min structure with a top-k heavy-hitter table and (b) a
+//! linear-counting distinct estimate. Together they refresh the
+//! planner's trace statistics online — observed skew and group-count
+//! estimates replace the up-front `TraceStats` when the rebalance
+//! controller re-plans — without the splitter ever touching key
+//! *values* (the hash word is enough for frequency accounting).
+
+/// Count-min depth: four rows keeps the over-estimate bias negligible
+/// at the widths used here while staying cache-resident.
+const DEPTH: usize = 4;
+
+/// Odd multipliers deriving the four row indices from one key hash
+/// (splitmix-style finalizer constants; any fixed odd constants work —
+/// determinism matters more than independence here).
+const ROW_SALTS: [u64; DEPTH] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xbf58_476d_1ce4_e5b9,
+    0x94d0_49bb_1331_11eb,
+    0x2545_f491_4f6c_dd1d,
+];
+
+/// Count-min sketch over routing-hash words, with an exact-ish top-k
+/// heavy-hitter table and a linear-counting distinct estimator.
+#[derive(Debug, Clone)]
+pub struct KeySketch {
+    /// `DEPTH` rows of `width` counters, flattened row-major.
+    rows: Vec<u64>,
+    width: usize,
+    /// Heavy-hitter table: (key hash, estimated count), at most `k`
+    /// entries, maintained space-saving style (the minimum entry is
+    /// evicted when a new key's estimate exceeds it).
+    top: Vec<(u64, u64)>,
+    k: usize,
+    observed: u64,
+    /// Bitmap for linear counting: bit `h mod bits` set when seen.
+    seen: Vec<u64>,
+}
+
+impl KeySketch {
+    /// A sketch with `width` counters per row and a `k`-entry
+    /// heavy-hitter table. `width` is rounded up to a power of two so
+    /// row indexing is a mask.
+    pub fn new(width: usize, k: usize) -> Self {
+        let width = width.max(16).next_power_of_two();
+        KeySketch {
+            rows: vec![0; DEPTH * width],
+            width,
+            top: Vec::with_capacity(k.max(1)),
+            k: k.max(1),
+            observed: 0,
+            // 8 words per counter-row width: 64·width/8 = 8·width bits,
+            // comfortably above the distinct counts worth tracking.
+            seen: vec![0; width.max(8)],
+        }
+    }
+
+    /// Default shape: 1024 counters × 4 rows, 32 heavy hitters.
+    pub fn with_defaults() -> Self {
+        KeySketch::new(1024, 32)
+    }
+
+    /// Folds one observation of a routing-hash word.
+    pub fn observe(&mut self, h: u64) {
+        self.observe_n(h, 1);
+    }
+
+    /// Folds `n` observations of the same routing-hash word (the
+    /// columnar splitter counts per batch).
+    pub fn observe_n(&mut self, h: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.observed += n;
+        let mask = (self.width - 1) as u64;
+        let mut est = u64::MAX;
+        for (r, salt) in ROW_SALTS.iter().enumerate() {
+            let idx = (h.wrapping_mul(*salt) >> 32) & mask;
+            let c = &mut self.rows[r * self.width + idx as usize];
+            *c += n;
+            est = est.min(*c);
+        }
+        let bits = self.seen.len() as u64 * 64;
+        let b = (h % bits) as usize;
+        self.seen[b / 64] |= 1 << (b % 64);
+        // Maintain the top-k table on the fresh count-min estimate.
+        if let Some(e) = self.top.iter_mut().find(|(key, _)| *key == h) {
+            e.1 = est;
+            return;
+        }
+        if self.top.len() < self.k {
+            self.top.push((h, est));
+            return;
+        }
+        let (mi, &(_, mc)) = self
+            .top
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, c))| *c)
+            .expect("top-k table is non-empty at capacity");
+        if est > mc {
+            self.top[mi] = (h, est);
+        }
+    }
+
+    /// Total observations folded in.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Count-min frequency estimate for one routing-hash word (an
+    /// upper bound that is exact for keys dominating their counters).
+    pub fn estimate(&self, h: u64) -> u64 {
+        let mask = (self.width - 1) as u64;
+        ROW_SALTS
+            .iter()
+            .enumerate()
+            .map(|(r, salt)| {
+                let idx = (h.wrapping_mul(*salt) >> 32) & mask;
+                self.rows[r * self.width + idx as usize]
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The heavy-hitter table, heaviest first: (routing hash, estimated
+    /// count).
+    pub fn top_k(&self) -> Vec<(u64, u64)> {
+        let mut t = self.top.clone();
+        t.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        t
+    }
+
+    /// Linear-counting estimate of the number of distinct keys
+    /// observed: `-m·ln(z/m)` over `m` bits with `z` still zero.
+    /// Saturates at `m·ln m` when every bit is set.
+    pub fn distinct_estimate(&self) -> u64 {
+        let m = (self.seen.len() * 64) as f64;
+        let set: u32 = self.seen.iter().map(|w| w.count_ones()).sum();
+        let zero = m - f64::from(set);
+        if zero < 1.0 {
+            return (m * m.ln()) as u64;
+        }
+        (-m * (zero / m).ln()).round() as u64
+    }
+
+    /// Fraction of all observations carried by the top-k keys — the
+    /// skew signal the rebalance controller reports alongside load
+    /// imbalance.
+    pub fn heavy_fraction(&self) -> f64 {
+        if self.observed == 0 {
+            return 0.0;
+        }
+        let heavy: u64 = self.top.iter().map(|(_, c)| *c).sum();
+        (heavy as f64 / self.observed as f64).min(1.0)
+    }
+
+    /// Resets every counter (the controller clears the sketch after a
+    /// re-plan so the next window reflects post-migration traffic).
+    pub fn clear(&mut self) {
+        self.rows.fill(0);
+        self.top.clear();
+        self.observed = 0;
+        self.seen.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_track_exact_counts_on_sparse_keys() {
+        let mut s = KeySketch::new(1024, 8);
+        for key in 0..50u64 {
+            let h = key.wrapping_mul(0x517c_c1b7_2722_0a95);
+            for _ in 0..=key {
+                s.observe(h);
+            }
+        }
+        // 50 keys across 4096 counters: collisions are unlikely and
+        // count-min only ever over-estimates.
+        for key in 0..50u64 {
+            let h = key.wrapping_mul(0x517c_c1b7_2722_0a95);
+            let est = s.estimate(h);
+            assert!(est > key, "under-estimate for {key}");
+            assert!(est <= (key + 1) + 5, "wild over-estimate for {key}");
+        }
+    }
+
+    #[test]
+    fn top_k_finds_the_heavy_hitters() {
+        let mut s = KeySketch::new(512, 4);
+        // Two heavy keys among a sea of singletons.
+        for i in 0..2000u64 {
+            s.observe(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        for _ in 0..500 {
+            s.observe(7);
+            s.observe(13);
+        }
+        let top = s.top_k();
+        let keys: Vec<u64> = top.iter().take(2).map(|(h, _)| *h).collect();
+        assert!(keys.contains(&7) && keys.contains(&13), "top2 = {keys:?}");
+        assert!(s.heavy_fraction() > 0.25);
+    }
+
+    #[test]
+    fn distinct_estimate_is_in_the_right_ballpark() {
+        let mut s = KeySketch::new(1024, 8);
+        for i in 0..3000u64 {
+            s.observe(i.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ (i << 7));
+        }
+        let d = s.distinct_estimate();
+        assert!(
+            (1500..=4500).contains(&d),
+            "distinct estimate {d} far from 3000"
+        );
+    }
+
+    #[test]
+    fn observe_n_matches_repeated_observe() {
+        let mut a = KeySketch::new(256, 4);
+        let mut b = KeySketch::new(256, 4);
+        for _ in 0..42 {
+            a.observe(99);
+        }
+        b.observe_n(99, 42);
+        assert_eq!(a.estimate(99), b.estimate(99));
+        assert_eq!(a.observed(), b.observed());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = KeySketch::with_defaults();
+        s.observe(1);
+        s.clear();
+        assert_eq!(s.observed(), 0);
+        assert_eq!(s.estimate(1), 0);
+        assert!(s.top_k().is_empty());
+    }
+}

@@ -69,6 +69,56 @@ impl TraceConfig {
     }
 }
 
+/// The skew-ramp scenario: a small *hot set* of source hosts carries a
+/// fixed fraction of all flows, and the hot set drifts (is re-drawn)
+/// every `drift_period` epochs. Static partitionings that happened to
+/// colocate the hot set degrade until the drift relieves them; an
+/// adaptive splitter re-spreads the hot buckets each phase. Everything
+/// is deterministic in `base.seed`.
+#[derive(Debug, Clone)]
+pub struct SkewRampConfig {
+    /// Underlying flow-structured generator settings (seed, epochs,
+    /// hosts, flow sizes...).
+    pub base: TraceConfig,
+    /// Hot-set size per phase (ignored when `hot_hosts` is given).
+    pub hot_keys: usize,
+    /// Fraction of flows whose source is drawn from the hot set.
+    pub hot_fraction: f64,
+    /// Epochs between hot-set re-draws (one *phase* = this many epochs).
+    pub drift_period: u64,
+    /// Explicit per-phase hot source addresses, used verbatim as
+    /// `srcIP` values (no IP spreading). Callers that know the
+    /// partitioner use this to build adversarial layouts — e.g. hot
+    /// keys that all route to one host under the static assignment.
+    /// Phase `p` uses entry `p % hot_hosts.len()`. `None` derives hot
+    /// sets from the seed.
+    pub hot_hosts: Option<Vec<Vec<u64>>>,
+}
+
+impl Default for SkewRampConfig {
+    fn default() -> Self {
+        SkewRampConfig {
+            base: TraceConfig::default(),
+            hot_keys: 8,
+            hot_fraction: 0.8,
+            drift_period: 2,
+            hot_hosts: None,
+        }
+    }
+}
+
+impl SkewRampConfig {
+    /// A small skew-ramp for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        SkewRampConfig {
+            base: TraceConfig::tiny(seed),
+            hot_keys: 4,
+            drift_period: 1,
+            ..SkewRampConfig::default()
+        }
+    }
+}
+
 /// Zipf sampler over `0..n` via inverse-CDF table.
 struct Zipf {
     cdf: Vec<f64>,
@@ -158,6 +208,98 @@ pub fn generate(cfg: &TraceConfig) -> Vec<Tuple> {
             let (src, dst) = (ip(src), ip(dst));
             for i in 0..count {
                 let time = base + rng.random_range(0..cfg.epoch_secs);
+                let micro: u64 = rng.random_range(0..1_000_000);
+                let timestamp = time * 1_000_000 + micro;
+                let flags = if suspicious {
+                    SUSPICIOUS_FLAGS[(i as usize) % SUSPICIOUS_FLAGS.len()]
+                } else {
+                    NORMAL_FLAGS[rng.random_range(0..NORMAL_FLAGS.len())]
+                };
+                let len: u64 = if rng.random::<f64>() < 0.5 {
+                    rng.random_range(40..=100)
+                } else {
+                    rng.random_range(100..=1500)
+                };
+                let tuple = Tuple::new(vec![
+                    Value::UInt(time),
+                    Value::UInt(timestamp),
+                    Value::UInt(src),
+                    Value::UInt(dst),
+                    Value::UInt(src_port),
+                    Value::UInt(dst_port),
+                    Value::UInt(6),
+                    Value::UInt(flags),
+                    Value::UInt(len),
+                ]);
+                packets.push((time, timestamp, tuple));
+            }
+        }
+    }
+    packets.sort_by_key(|(t, ts, _)| (*t, *ts));
+    packets.into_iter().map(|(_, _, t)| t).collect()
+}
+
+/// Generates a skew-ramp trace (same `TCP` schema and ordering as
+/// [`generate`]): per phase, `hot_fraction` of flows originate from a
+/// small hot set of sources that is re-drawn every `drift_period`
+/// epochs.
+///
+/// ```
+/// use qap_trace::{generate_skew_ramp, SkewRampConfig};
+///
+/// let trace = generate_skew_ramp(&SkewRampConfig::tiny(7));
+/// assert!(!trace.is_empty());
+/// assert_eq!(trace, generate_skew_ramp(&SkewRampConfig::tiny(7)));
+/// ```
+pub fn generate_skew_ramp(cfg: &SkewRampConfig) -> Vec<Tuple> {
+    let base = &cfg.base;
+    let mut rng = StdRng::seed_from_u64(base.seed);
+    let zipf = Zipf::new(base.hosts, base.zipf_exponent);
+    let ip = |h: u64| if base.spread_ips { spread(h) } else { h };
+    let drift = cfg.drift_period.max(1);
+    let mut packets: Vec<(u64, u64, Tuple)> = Vec::new();
+
+    for epoch in 0..base.epochs {
+        let phase = epoch / drift;
+        // The hot set is a function of (seed, phase) only, so it is
+        // stable within a phase and re-drawn at every drift boundary.
+        let hot: Vec<u64> = match &cfg.hot_hosts {
+            Some(sets) if !sets.is_empty() => sets[(phase as usize) % sets.len()].clone(),
+            _ => {
+                let mut hr =
+                    StdRng::seed_from_u64(base.seed ^ phase.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut set = Vec::with_capacity(cfg.hot_keys.max(1));
+                while set.len() < cfg.hot_keys.max(1) {
+                    let h = ip(hr.random_range(1..=base.hosts.max(1)));
+                    if !set.contains(&h) {
+                        set.push(h);
+                    }
+                }
+                set
+            }
+        };
+        let time_base = epoch * base.epoch_secs;
+        for _ in 0..base.flows_per_epoch {
+            let src = if rng.random::<f64>() < cfg.hot_fraction {
+                hot[rng.random_range(0..hot.len())]
+            } else {
+                ip(zipf.sample(&mut rng) + 1)
+            };
+            let mut dst = ip(zipf.sample(&mut rng) + 1);
+            if dst == src {
+                dst = ip((dst % base.hosts) + 1);
+            }
+            let src_port: u64 = rng.random_range(1024..=65535);
+            let dst_port: u64 = *[80u64, 443, 53, 22, 25]
+                .get(rng.random_range(0..5usize))
+                .expect("index in range");
+            let suspicious = rng.random::<f64>() < base.suspicious_fraction;
+            let mut count = pareto_count(&mut rng, base.pareto_alpha, base.max_flow_packets);
+            if suspicious {
+                count = count.max(SUSPICIOUS_FLAGS.len() as u64);
+            }
+            for i in 0..count {
+                let time = time_base + rng.random_range(0..base.epoch_secs);
                 let micro: u64 = rng.random_range(0..1_000_000);
                 let timestamp = time * 1_000_000 + micro;
                 let flags = if suspicious {
@@ -307,6 +449,103 @@ mod tests {
         );
         // Same flow structure either way.
         assert_eq!(dense.len(), spread.len());
+    }
+
+    #[test]
+    fn skew_ramp_is_deterministic_and_well_formed() {
+        let a = generate_skew_ramp(&SkewRampConfig::tiny(11));
+        let b = generate_skew_ramp(&SkewRampConfig::tiny(11));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let mut last = 0u64;
+        for t in &a {
+            assert_eq!(t.arity(), 9);
+            let time = t.get(0).as_u64().unwrap();
+            assert!(time >= last);
+            last = time;
+        }
+    }
+
+    #[test]
+    fn skew_ramp_concentrates_traffic_on_hot_set() {
+        let cfg = SkewRampConfig {
+            hot_fraction: 0.8,
+            ..SkewRampConfig::tiny(12)
+        };
+        let trace = generate_skew_ramp(&cfg);
+        let mut counts = std::collections::HashMap::new();
+        for t in &trace {
+            *counts.entry(t.get(2).as_u64().unwrap()).or_insert(0u64) += 1;
+        }
+        let total: u64 = counts.values().sum();
+        let mut by_count: Vec<u64> = counts.values().copied().collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        // Hot keys are re-drawn per phase (3 epochs × drift 1 → up to
+        // 3×4 hot hosts); the heaviest dozen sources must dominate.
+        let heavy: u64 = by_count.iter().take(12).sum();
+        assert!(
+            heavy as f64 > 0.5 * total as f64,
+            "hot set carries {heavy}/{total}"
+        );
+    }
+
+    #[test]
+    fn skew_ramp_hot_set_drifts_across_phases() {
+        let cfg = SkewRampConfig {
+            base: TraceConfig {
+                epochs: 4,
+                ..TraceConfig::tiny(13)
+            },
+            drift_period: 2,
+            ..SkewRampConfig::tiny(13)
+        };
+        let trace = generate_skew_ramp(&cfg);
+        let phase_len = 2 * cfg.base.epoch_secs;
+        let top_sources = |phase: u64| {
+            let mut counts = std::collections::HashMap::new();
+            for t in &trace {
+                let time = t.get(0).as_u64().unwrap();
+                if time / phase_len == phase {
+                    *counts.entry(t.get(2).as_u64().unwrap()).or_insert(0u64) += 1;
+                }
+            }
+            let mut v: Vec<(u64, u64)> = counts.into_iter().collect();
+            v.sort_unstable_by_key(|&(_, n)| std::cmp::Reverse(n));
+            v.into_iter()
+                .take(4)
+                .map(|(h, _)| h)
+                .collect::<std::collections::HashSet<_>>()
+        };
+        let p0 = top_sources(0);
+        let p1 = top_sources(1);
+        assert!(
+            p0.intersection(&p1).count() < p0.len(),
+            "hot set must change between phases: {p0:?} vs {p1:?}"
+        );
+    }
+
+    #[test]
+    fn skew_ramp_honors_explicit_hot_hosts() {
+        let cfg = SkewRampConfig {
+            hot_hosts: Some(vec![vec![77_777, 88_888], vec![99_999]]),
+            hot_fraction: 1.0,
+            base: TraceConfig {
+                epochs: 2,
+                ..TraceConfig::tiny(14)
+            },
+            drift_period: 1,
+            ..SkewRampConfig::tiny(14)
+        };
+        let trace = generate_skew_ramp(&cfg);
+        for t in &trace {
+            let time = t.get(0).as_u64().unwrap();
+            let src = t.get(2).as_u64().unwrap();
+            if time < cfg.base.epoch_secs {
+                assert!(src == 77_777 || src == 88_888, "phase0 src {src}");
+            } else {
+                assert_eq!(src, 99_999, "phase1 src {src}");
+            }
+        }
     }
 
     #[test]

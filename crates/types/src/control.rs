@@ -56,13 +56,17 @@ const TAG_DATA: u8 = 5;
 const TAG_EOS: u8 = 6;
 const TAG_RESULT: u8 = 7;
 const TAG_ERROR: u8 = 8;
+const TAG_MIGRATE: u8 = 9;
+const TAG_MIGRATE_ACK: u8 = 10;
 
 /// One message of the coordinator⇄host protocol.
 ///
 /// A session is: `Hello` → `Welcome` (or `Error`), `Deploy` →
 /// `DeployAck` (or `Error`), then `Data`* interleaved both ways, `Eos`
 /// from the coordinator once its feed is exhausted, `Data`* + `Result`
-/// (or `Error`) back from the host.
+/// (or `Error`) back from the host. An adaptive coordinator may
+/// interleave `Migrate` → `MigrateAck` exchanges with the feed to
+/// drain and hand off group state at epoch boundaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ControlFrame {
     /// Coordinator → host: protocol version and the cluster host id
@@ -115,13 +119,31 @@ pub enum ControlFrame {
         /// Human-readable cause.
         message: String,
     },
+    /// Coordinator → host: a drain-and-handoff migration command
+    /// (opaque payload, encoded by the cluster layer: either "flush to
+    /// a boundary and extract re-routed group state" or "absorb shipped
+    /// state rows").
+    Migrate(
+        /// The serialized migration command.
+        Bytes,
+    ),
+    /// Host → coordinator: reply to a [`ControlFrame::Migrate`]
+    /// command (opaque payload: the extracted state rows, empty for an
+    /// absorb acknowledgement).
+    MigrateAck(
+        /// The serialized migration reply.
+        Bytes,
+    ),
 }
 
 fn payload_len(frame: &ControlFrame) -> usize {
     match frame {
         ControlFrame::Hello { .. } => 8,
         ControlFrame::Welcome { .. } => 4,
-        ControlFrame::Deploy(p) | ControlFrame::Result(p) => p.len(),
+        ControlFrame::Deploy(p)
+        | ControlFrame::Result(p)
+        | ControlFrame::Migrate(p)
+        | ControlFrame::MigrateAck(p) => p.len(),
         ControlFrame::DeployAck | ControlFrame::Eos => 0,
         ControlFrame::Data { frame, .. } => 4 + frame.len(),
         ControlFrame::Error { message, .. } => 1 + 4 + message.len(),
@@ -175,6 +197,14 @@ pub fn encode_control(frame: &ControlFrame, scratch: &mut BytesMut) -> TypeResul
             scratch.put_u8(*kind);
             scratch.put_u32(message.len() as u32);
             scratch.put_slice(message.as_bytes());
+        }
+        ControlFrame::Migrate(p) => {
+            scratch.put_u8(TAG_MIGRATE);
+            scratch.put_slice(p);
+        }
+        ControlFrame::MigrateAck(p) => {
+            scratch.put_u8(TAG_MIGRATE_ACK);
+            scratch.put_slice(p);
         }
     }
     debug_assert_eq!(scratch.len(), CONTROL_HEADER_LEN + payload);
@@ -254,6 +284,14 @@ pub fn decode_control(mut buf: Bytes) -> TypeResult<ControlFrame> {
                 .to_string();
             ControlFrame::Error { kind, message }
         }
+        TAG_MIGRATE => {
+            let p = buf.copy_to_bytes(buf.remaining());
+            ControlFrame::Migrate(p)
+        }
+        TAG_MIGRATE_ACK => {
+            let p = buf.copy_to_bytes(buf.remaining());
+            ControlFrame::MigrateAck(p)
+        }
         other => return Err(TypeError::BadTag(other)),
     };
     if buf.remaining() != 0 {
@@ -296,6 +334,10 @@ mod tests {
                 kind: ERROR_EXEC,
                 message: String::new(),
             },
+            ControlFrame::Migrate(Bytes::from(b"drain-command".to_vec())),
+            ControlFrame::Migrate(Bytes::new()),
+            ControlFrame::MigrateAck(Bytes::from(b"state-rows".to_vec())),
+            ControlFrame::MigrateAck(Bytes::new()),
         ]
     }
 

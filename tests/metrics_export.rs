@@ -95,6 +95,11 @@ fn sample_registry() -> MetricsRegistry {
     r.set_gauge("duration_secs", 120.0);
     r.set_gauge("hosts", 2.0);
     r.set_gauge("bytes/sec", 12.5); // '/' must sanitize to '_'
+    // Adaptive re-partitioning gauges, as a closed-loop run sets them.
+    r.set_gauge("load_imbalance", 1.875);
+    r.set_gauge("repartitions", 2.0);
+    r.set_gauge("migrated_keys", 37.0);
+    r.set_gauge("migration_pause_ms", 4.25);
     r
 }
 
@@ -188,9 +193,13 @@ fn prometheus_families_are_complete_and_cumulative() {
         .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
         .sum();
     assert_eq!(inf_total, count_total);
-    // Run gauges exist.
+    // Run gauges exist — including the adaptive re-partitioning
+    // series, which static runs export at identity values.
     assert!(text.contains("qap_run_duration_secs "));
     assert!(text.contains("qap_run_aggregator_rx_bytes_per_sec "));
+    assert!(text.contains("qap_run_load_imbalance 1"));
+    assert!(text.contains("qap_run_repartitions 0"));
+    assert!(text.contains("qap_run_migrated_keys 0"));
 }
 
 #[test]
